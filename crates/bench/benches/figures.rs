@@ -1,0 +1,46 @@
+//! Timed regeneration of (scaled-down) paper figures — tracks how fast each
+//! experiment pipeline runs so regressions in the simulator show up here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powifi_core::Scheme;
+use powifi_deploy::{build_home, neighbor_experiment, table1, udp_experiment};
+use powifi_rf::Bitrate;
+use powifi_sensors::{exposure_at, Camera, TemperatureSensor, BENCH_DUTY};
+use powifi_sim::SimTime;
+
+fn bench_fig06a_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig06a/powifi_20mbps_2s", |b| {
+        b.iter(|| udp_experiment(Scheme::PoWiFi, 20.0, 42, 2).throughput_mbps)
+    });
+    g.bench_function("fig08/powifi_g24_2s", |b| {
+        b.iter(|| neighbor_experiment(Scheme::PoWiFi, Bitrate::G24, 42, 2))
+    });
+    g.bench_function("fig14/home2_micro_day", |b| {
+        b.iter(|| {
+            // 1440 s compressed day (1 s per bin), quietest home.
+            let (mut w, mut q, home) = build_home(table1()[1], 42, 1_440);
+            q.run_until(&mut w, SimTime::from_secs(60));
+            home.router.occupancy(&w.mac, SimTime::from_secs(60)).1
+        })
+    });
+    g.bench_function("fig11/range_sweep", |b| {
+        b.iter(|| {
+            let s = TemperatureSensor::battery_free();
+            let cam = Camera::battery_free();
+            let mut acc = 0.0;
+            let mut ft = 1.0;
+            while ft < 30.0 {
+                let e = exposure_at(ft, BENCH_DUTY, &[]);
+                acc += s.update_rate(&e) + cam.inter_frame_secs(&e).unwrap_or(0.0);
+                ft += 0.5;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig06a_point);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation: the bq25570 MPPT reference voltage (§3.1). The paper sets it
+//! to 200 mV as part of the rectifier/DC-DC co-design; sweeping it shows
+//! how much a mis-tuned operating point costs the recharging harvester.
+
+use powifi_bench::{banner, row, BenchArgs};
+use powifi_harvest::mppt_factor;
+use powifi_sensors::{exposure_at, TemperatureSensor, BENCH_DUTY};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    vref_mv: Vec<f64>,
+    relative_efficiency: Vec<f64>,
+    update_rate_at_10ft: Vec<f64>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Ablation — bq25570 MPPT reference voltage (§3.1 co-design knob)",
+        "the paper's 200 mV reference sits at the rectifier's max-power point",
+    );
+    let sensor = TemperatureSensor::battery_recharging();
+    let base_rate = sensor.update_rate(&exposure_at(10.0, BENCH_DUTY, &[]));
+    let mut out = Out {
+        vref_mv: Vec::new(),
+        relative_efficiency: Vec::new(),
+        update_rate_at_10ft: Vec::new(),
+    };
+    println!("{:<22}{:>12} {:>14}", "vref (mV)", "rel. eff.", "reads/s @10ft");
+    for mv in (50..=400).step_by(25) {
+        let factor = mppt_factor(mv as f64 / 1000.0);
+        let rate = base_rate * factor;
+        row(&format!("{mv}"), &[factor, rate], 2);
+        out.vref_mv.push(mv as f64);
+        out.relative_efficiency.push(factor);
+        out.update_rate_at_10ft.push(rate);
+    }
+    let best = out
+        .vref_mv
+        .iter()
+        .zip(&out.relative_efficiency)
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    println!("optimum reference: {} mV (paper: 200 mV)", best.0);
+    args.emit("abl_mppt", &out);
+}

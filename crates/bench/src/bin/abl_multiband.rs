@@ -1,0 +1,72 @@
+//! Ablation: multi-band power delivery (§8e). A router additionally
+//! injecting on 900 MHz and 5.8 GHz ISM channels vs the 2.4 GHz-only
+//! design: 900 MHz buys range (8.5 dB less path loss), 5.8 GHz buys
+//! close-in power density (three more channels at the FCC limit).
+
+use powifi_bench::{banner, row, BenchArgs};
+use powifi_harvest::MultibandHarvester;
+use powifi_rf::{Db, Dbm, Hertz, IsmBand, LogDistance, Meters, PathLoss};
+use powifi_sensors::READ_ENERGY;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    feet: Vec<f64>,
+    /// `[config][distance]` update rate (reads/s).
+    rates: Vec<Vec<f64>>,
+    configs: Vec<String>,
+}
+
+/// Per-channel exposure for a band set at `feet`, assuming the paper's
+/// benchmark duty of 0.3 per active power channel and 36 dBm EIRP each.
+fn exposure(bands: &[IsmBand], feet: f64) -> Vec<(Hertz, Dbm, f64)> {
+    let model = LogDistance {
+        d0: Meters(1.0),
+        exponent: 1.7,
+        fixed_loss: Db(2.0),
+    };
+    let mut out = Vec::new();
+    for &band in bands {
+        for ch in band.power_channels() {
+            let rx = model.received(band.fcc_eirp_limit(), Db(2.0), ch, Meters::from_feet(feet));
+            out.push((ch, rx, 0.3));
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Ablation — multi-band power delivery (§8e), update rate vs distance",
+        "900 MHz extends range; 5.8 GHz adds close-in power; both beat 2.4-only",
+    );
+    let configs: Vec<(&str, Vec<IsmBand>)> = vec![
+        ("2.4 GHz only", vec![IsmBand::Ism2400]),
+        ("2.4 + 5.8 GHz", vec![IsmBand::Ism2400, IsmBand::Ism5800]),
+        ("2.4 + 900 MHz", vec![IsmBand::Ism2400, IsmBand::Ism900]),
+        ("all three bands", IsmBand::ALL.to_vec()),
+    ];
+    let feet: Vec<f64> = vec![4.0, 8.0, 12.0, 16.0, 20.0, 25.0, 30.0, 35.0];
+    let mut out = Out {
+        feet: feet.clone(),
+        rates: Vec::new(),
+        configs: configs.iter().map(|(n, _)| n.to_string()).collect(),
+    };
+    row("distance (ft) →", &feet, 0);
+    for (name, bands) in &configs {
+        let h = MultibandHarvester::covering(bands);
+        let rates: Vec<f64> = feet
+            .iter()
+            .map(|&ft| h.dc_power(&exposure(bands, ft)).0 * 1e-6 / READ_ENERGY.0)
+            .collect();
+        row(name, &rates, 2);
+        out.rates.push(rates);
+    }
+    println!(
+        "\n(900 MHz: {:+.1} dB path loss vs 2.4 GHz; 5.8 GHz: {:+.1} dB)",
+        IsmBand::Ism900.pathloss_penalty_vs_2g4().0,
+        IsmBand::Ism5800.pathloss_penalty_vs_2g4().0
+    );
+    args.emit("abl_multiband", &out);
+}

@@ -1,0 +1,43 @@
+//! Ablation: why a *multi-channel* harvester (§3.1). Harvesting from one
+//! channel of a three-channel PoWiFi router forfeits two thirds of the
+//! delivered power; the sensor's range shrinks accordingly.
+
+use powifi_bench::{banner, row, BenchArgs};
+use powifi_sensors::{exposure_at, TemperatureSensor, BENCH_DUTY};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    feet: Vec<f64>,
+    one_channel: Vec<f64>,
+    two_channels: Vec<f64>,
+    three_channels: Vec<f64>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Ablation — harvester channel count vs sensor update rate",
+        "multi-channel harvesting is what makes cumulative occupancy usable",
+    );
+    let s = TemperatureSensor::battery_free();
+    let mut out = Out {
+        feet: Vec::new(),
+        one_channel: Vec::new(),
+        two_channels: Vec::new(),
+        three_channels: Vec::new(),
+    };
+    println!("{:<22}{:>10} {:>10} {:>10}", "distance (ft)", "1 ch", "2 ch", "3 ch");
+    for ft in [4.0, 8.0, 12.0, 16.0, 20.0] {
+        let e = exposure_at(ft, BENCH_DUTY, &[]);
+        let r1 = s.update_rate(&e[..1]);
+        let r2 = s.update_rate(&e[..2]);
+        let r3 = s.update_rate(&e);
+        row(&format!("{ft:.0}"), &[r1, r2, r3], 2);
+        out.feet.push(ft);
+        out.one_channel.push(r1);
+        out.two_channels.push(r2);
+        out.three_channels.push(r3);
+    }
+    args.emit("abl_multichannel", &out);
+}

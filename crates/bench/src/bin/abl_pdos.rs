@@ -1,0 +1,56 @@
+//! Ablation: the §8d power-denial-of-service attack. A compliant rogue
+//! device holding the channel with slow junk broadcasts starves the
+//! router's power delivery in proportion to its airtime.
+
+use powifi_bench::{banner, row, BenchArgs};
+use powifi_core::{spawn_attacker, AttackConfig, Router, RouterConfig};
+use powifi_deploy::three_channel_world;
+use powifi_sim::{SimDuration, SimRng, SimTime};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    attack_period_ms: Vec<f64>,
+    router_cumulative: Vec<f64>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Ablation — power-DoS (§8d): router occupancy vs attack intensity",
+        "a saturating 1 Mbps broadcaster collapses power delivery via carrier sense",
+    );
+    let secs = if args.full { 20 } else { 6 };
+    // Period ∞ = no attack; smaller periods = fiercer attack.
+    let periods_ms = [f64::INFINITY, 500.0, 100.0, 20.0, 2.0];
+    let mut out = Out {
+        attack_period_ms: periods_ms.to_vec(),
+        router_cumulative: Vec::new(),
+    };
+    println!("{:<22}{:>10}", "attack period", "cum occ %");
+    for &p in &periods_ms {
+        let (mut w, mut q, channels) = three_channel_world(args.seed, SimDuration::from_secs(1));
+        let rng = SimRng::from_seed(args.seed).derive("pdos");
+        let r = Router::install(&mut w, &mut q, &channels, RouterConfig::powifi(), &rng);
+        if p.is_finite() {
+            let cfg = AttackConfig::duty_cycled(SimDuration::from_secs_f64(p / 1000.0));
+            for &(_, m) in &channels {
+                spawn_attacker(&mut w, &mut q, m, cfg, &rng);
+            }
+        }
+        let end = SimTime::from_secs(secs);
+        q.run_until(&mut w, end);
+        let (_, cum) = r.occupancy(&w.mac, end);
+        row(
+            &(if p.is_finite() {
+                format!("{p:.0} ms")
+            } else {
+                "no attack".into()
+            }),
+            &[cum * 100.0],
+            1,
+        );
+        out.router_cumulative.push(cum);
+    }
+    args.emit("abl_pdos", &out);
+}

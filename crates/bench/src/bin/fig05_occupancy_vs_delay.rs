@@ -1,0 +1,82 @@
+//! Figure 5: single-channel occupancy vs the injector's UDP inter-packet
+//! delay, for queue-depth thresholds {1, 5, 50, 100}, no client traffic.
+//! Expect: ~50 % plateau while the delay is below the frame service time,
+//! falling thereafter; threshold 1 lags because user-space jitter lets the
+//! queue drain (§3.2(i)).
+
+use powifi_bench::{banner, row, BenchArgs};
+use powifi_core::{spawn_injector, PowerTrafficConfig, Scheme};
+use powifi_deploy::{constant_intensity, install_background, BackgroundConfig, SimWorld};
+use powifi_mac::{Mac, MacWorld, RateController};
+use powifi_net::NetState;
+use powifi_rf::Bitrate;
+use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    delays_us: Vec<u64>,
+    thresholds: Vec<usize>,
+    /// `[threshold][delay]` occupancy.
+    occupancy: Vec<Vec<f64>>,
+}
+
+fn occupancy_for(seed: u64, delay_us: u64, threshold: usize, secs: u64) -> f64 {
+    let rng = SimRng::from_seed(seed);
+    let mut w = SimWorld {
+        mac: Mac::new(rng.derive("mac")),
+        net: NetState::new(),
+    };
+    let mut q = EventQueue::new();
+    let medium = w.mac.add_medium(SimDuration::from_secs(1));
+    let iface = w.mac.add_station(medium, RateController::fixed(Bitrate::G54));
+    {
+        let mon = w.mac.monitor_mut(medium).monitor();
+        mon.track(iface);
+    }
+    // Busy-office backdrop (other networks, not our clients).
+    install_background(
+        &mut w,
+        &mut q,
+        medium,
+        BackgroundConfig::neighbor(0.30, Bitrate::G24),
+        constant_intensity(),
+        rng.derive("office"),
+    );
+    let cfg = PowerTrafficConfig {
+        inter_packet_delay: SimDuration::from_micros(delay_us),
+        qdepth_threshold: Some(threshold),
+        ..Scheme::PoWiFi.power_config().unwrap()
+    };
+    spawn_injector(&mut q, iface, cfg, rng.derive("inj"), SimTime::ZERO);
+    let end = SimTime::from_secs(secs);
+    q.run_until(&mut w, end);
+    w.mac().monitor(medium).mean_tracked(end)
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 5 — occupancy (%) vs inter-packet delay (µs), no client traffic",
+        "expect ~45-55 % plateau; decay once delay exceeds service time; qdepth=1 lowest",
+    );
+    let secs = if args.full { 20 } else { 4 };
+    let delays: Vec<u64> = (1..=8).map(|i| i * 50).collect();
+    let thresholds = [1usize, 5, 50, 100];
+    let mut out = Out {
+        delays_us: delays.clone(),
+        thresholds: thresholds.to_vec(),
+        occupancy: Vec::new(),
+    };
+    let header: Vec<f64> = delays.iter().map(|&d| d as f64).collect();
+    row("delay (µs) →", &header, 0);
+    for &t in &thresholds {
+        let occ: Vec<f64> = delays
+            .iter()
+            .map(|&d| occupancy_for(args.seed, d, t, secs) * 100.0)
+            .collect();
+        row(&format!("qdepth-threshold={t}"), &occ, 1);
+        out.occupancy.push(occ);
+    }
+    args.emit("fig05", &out);
+}

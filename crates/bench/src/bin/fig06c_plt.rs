@@ -1,0 +1,70 @@
+//! Figure 6(c): page-load times of the top-10 US sites under the four
+//! schemes. Expect: PoWiFi adds ~100 ms over Baseline; NoQueue ~300 ms;
+//! BlindUDP multiplies PLTs.
+
+use powifi_bench::{banner, row, BenchArgs};
+use powifi_core::Scheme;
+use powifi_deploy::plt_experiment;
+use powifi_net::top10_us;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    sites: Vec<String>,
+    schemes: Vec<String>,
+    /// `[site][scheme]` mean PLT seconds.
+    plt: Vec<Vec<f64>>,
+    added_delay_ms: Vec<f64>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 6(c) — page load time (s) for the top-10 US sites",
+        "expect: PoWiFi ~ Baseline (+~0.1 s); NoQueue +~0.3 s; BlindUDP blows up",
+    );
+    let loads = if args.full { 20 } else { 6 };
+    let schemes = [
+        Scheme::Baseline,
+        Scheme::PoWiFi,
+        Scheme::NoQueue,
+        Scheme::BlindUdp,
+    ];
+    println!(
+        "{:<22}{:>10} {:>10} {:>10} {:>10}",
+        "site", "Baseline", "PoWiFi", "NoQueue", "BlindUDP"
+    );
+    let mut out = Out {
+        sites: Vec::new(),
+        schemes: schemes.iter().map(|s| s.label().to_string()).collect(),
+        plt: Vec::new(),
+        added_delay_ms: Vec::new(),
+    };
+    let mut sums = [0.0f64; 4];
+    for site in top10_us() {
+        let mut means = Vec::new();
+        for (i, &scheme) in schemes.iter().enumerate() {
+            let plts = plt_experiment(scheme, site, loads, args.seed);
+            let mean = if plts.is_empty() {
+                f64::NAN
+            } else {
+                plts.iter().sum::<f64>() / plts.len() as f64
+            };
+            sums[i] += mean;
+            means.push(mean);
+        }
+        row(site.name, &means, 2);
+        out.sites.push(site.name.to_string());
+        out.plt.push(means);
+    }
+    let n = out.sites.len() as f64;
+    for i in 1..4 {
+        out.added_delay_ms
+            .push((sums[i] - sums[0]) / n * 1000.0);
+    }
+    println!(
+        "added delay vs Baseline: PoWiFi {:+.0} ms (paper 101), NoQueue {:+.0} ms (paper 294), BlindUDP {:+.0} ms",
+        out.added_delay_ms[0], out.added_delay_ms[1], out.added_delay_ms[2]
+    );
+    args.emit("fig06c", &out);
+}

@@ -1,0 +1,58 @@
+//! Figure 8: UDP throughput of a neighboring router–client pair vs its bit
+//! rate, with our router running BlindUDP / EqualShare / PoWiFi.
+//! Expect: PoWiFi > EqualShare everywhere (54 Mbps power packets hold the
+//! channel briefly); BlindUDP crushes the neighbor, worst at high rates.
+
+use powifi_bench::{banner, row, BenchArgs};
+use powifi_core::Scheme;
+use powifi_deploy::neighbor_experiment;
+use powifi_rf::Bitrate;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    neighbor_rate_mbps: Vec<f64>,
+    schemes: Vec<String>,
+    /// `[scheme][rate]` neighbor throughput Mbit/s.
+    throughput: Vec<Vec<f64>>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 8 — neighbor UDP throughput (Mbps) vs its Wi-Fi bit rate",
+        "expect: PoWiFi >= EqualShare > BlindUDP at every neighbor rate",
+    );
+    let secs = if args.full { 15 } else { 5 };
+    let rates = [
+        Bitrate::G6,
+        Bitrate::G12,
+        Bitrate::G18,
+        Bitrate::G24,
+        Bitrate::G36,
+        Bitrate::G48,
+        Bitrate::G54,
+    ];
+    let mut out = Out {
+        neighbor_rate_mbps: rates.iter().map(|r| r.mbps()).collect(),
+        schemes: vec!["EqualShare".into(), "PoWiFi".into(), "BlindUDP".into()],
+        throughput: Vec::new(),
+    };
+    row("neighbor rate →", &out.neighbor_rate_mbps, 0);
+    for (label, scheme_of) in [
+        ("EqualShare", None),
+        ("PoWiFi", Some(Scheme::PoWiFi)),
+        ("BlindUDP", Some(Scheme::BlindUdp)),
+    ] {
+        let tput: Vec<f64> = rates
+            .iter()
+            .map(|&r| {
+                let scheme = scheme_of.unwrap_or(Scheme::EqualShare(r));
+                neighbor_experiment(scheme, r, args.seed, secs)
+            })
+            .collect();
+        row(label, &tput, 1);
+        out.throughput.push(tput);
+    }
+    args.emit("fig08", &out);
+}

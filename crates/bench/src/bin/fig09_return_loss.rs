@@ -1,0 +1,47 @@
+//! Figure 9: harvester return loss vs frequency for both variants.
+//! Expect < −10 dB across 2.401–2.473 GHz (≤ 0.5 dB of lost power).
+
+use powifi_bench::{banner, row, BenchArgs};
+use powifi_harvest::MatchingNetwork;
+use powifi_rf::Hertz;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    freqs_mhz: Vec<f64>,
+    battery_free_db: Vec<f64>,
+    battery_charging_db: Vec<f64>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 9 — harvester return loss (dB) vs frequency (MHz)",
+        "expect: below -10 dB across the 2401-2473 MHz band, deep in-band dip",
+    );
+    let bf = MatchingNetwork::battery_free();
+    let bc = MatchingNetwork::battery_charging();
+    let mut out = Out {
+        freqs_mhz: Vec::new(),
+        battery_free_db: Vec::new(),
+        battery_charging_db: Vec::new(),
+    };
+    println!("{:<22}{:>10} {:>10}", "freq (MHz)", "batt-free", "recharging");
+    let mut f = 2400.0;
+    while f <= 2480.0 {
+        let a = bf.return_loss(Hertz::from_mhz(f)).0;
+        let b = bc.return_loss(Hertz::from_mhz(f)).0;
+        if (f as u64).is_multiple_of(5) {
+            row(&format!("{f:.0}"), &[a, b], 1);
+        }
+        out.freqs_mhz.push(f);
+        out.battery_free_db.push(a);
+        out.battery_charging_db.push(b);
+        f += 1.0;
+    }
+    let worst_bf = out.battery_free_db.iter().cloned().fold(f64::MIN, f64::max);
+    let worst_bc = out.battery_charging_db.iter().cloned().fold(f64::MIN, f64::max);
+    println!("worst in-band return loss: battery-free {worst_bf:.1} dB, recharging {worst_bc:.1} dB");
+    assert!(worst_bf < -10.0 && worst_bc < -10.0);
+    args.emit("fig09", &out);
+}

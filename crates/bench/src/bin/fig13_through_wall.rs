@@ -1,0 +1,43 @@
+//! Figure 13: battery-free camera behind walls, 5 ft from the router.
+//! Expect: inter-frame time grows with wall absorption
+//! (free space < glass < wood < hollow wall < sheet-rock).
+
+use powifi_bench::{banner, row, BenchArgs};
+use powifi_rf::WallMaterial;
+use powifi_sensors::{exposure_at, Camera, BENCH_DUTY};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    materials: Vec<String>,
+    attenuation_db: Vec<f64>,
+    inter_frame_min: Vec<Option<f64>>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 13 — battery-free camera through walls at 5 ft",
+        "paper order: Free Space, 1.8\" Wood, 1\" Glass, 5.4\" Wall, 7.9\" Wall",
+    );
+    let cam = Camera::battery_free();
+    let mut out = Out {
+        materials: Vec::new(),
+        attenuation_db: Vec::new(),
+        inter_frame_min: Vec::new(),
+    };
+    println!("{:<22}{:>10} {:>10}", "material", "atten(dB)", "min/frame");
+    for m in WallMaterial::FIG13_ORDER {
+        let e = exposure_at(5.0, BENCH_DUTY, &[m]);
+        let t = cam.inter_frame_secs(&e).map(|s| s / 60.0);
+        row(
+            m.label(),
+            &[m.attenuation().0, t.unwrap_or(f64::NAN)],
+            2,
+        );
+        out.materials.push(m.label().to_string());
+        out.attenuation_db.push(m.attenuation().0);
+        out.inter_frame_min.push(t);
+    }
+    args.emit("fig13", &out);
+}

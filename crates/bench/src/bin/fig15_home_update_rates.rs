@@ -1,0 +1,50 @@
+//! Figure 15: CDFs of the battery-free temperature sensor's update rate at
+//! 10 ft from the router across the six homes.
+//! Expect: positive rates nearly everywhere; busier homes shift left.
+
+use powifi_bench::{banner, row, summarize, BenchArgs};
+use powifi_deploy::{run_home, sensor_rates_from_home, table1};
+use parking_lot::Mutex;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    /// `[home]` sorted update-rate samples (one per 60 s bin).
+    rates: Vec<Vec<f64>>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 15 — temperature-sensor update rate CDFs at 10 ft, per home",
+        "expect: power delivered in every home; medians around 1 read/s",
+    );
+    let spd = if args.full { 14_400 } else { 2_880 };
+    let results: Mutex<Vec<(usize, Vec<f64>)>> = Mutex::new(Vec::new());
+    crossbeam::scope(|scope| {
+        for cfg in table1() {
+            let results = &results;
+            let seed = args.seed;
+            scope.spawn(move |_| {
+                let run = run_home(cfg, seed, spd);
+                let rates = sensor_rates_from_home(&run, 10.0);
+                results.lock().push((cfg.id, rates));
+            });
+        }
+    })
+    .expect("home workers");
+    let mut all = results.into_inner();
+    all.sort_by_key(|(id, _)| *id);
+    println!(
+        "{:<22}{:>10} {:>10} {:>10} {:>10}",
+        "home", "mean", "p10", "p50", "p90"
+    );
+    let mut out = Out { rates: Vec::new() };
+    for (id, mut rates) in all {
+        let (mean, p10, p50, p90) = summarize(rates.clone());
+        row(&format!("home {id}"), &[mean, p10, p50, p90], 2);
+        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        out.rates.push(rates);
+    }
+    args.emit("fig15", &out);
+}

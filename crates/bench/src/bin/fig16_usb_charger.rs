@@ -1,0 +1,44 @@
+//! Figure 16 / §8a: the Wi-Fi USB charger trickle-charging a Jawbone UP24
+//! 5–7 cm from the router. Paper: ≈2.3 mA average, 0 → 41 % in 2.5 h.
+
+use powifi_bench::{banner, row, BenchArgs};
+use powifi_sensors::UsbCharger;
+use powifi_sim::SimDuration;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    current_ma_at_6cm: f64,
+    soc_curve: Vec<(f64, f64)>,
+    soc_at_2_5h: f64,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 16 — Wi-Fi USB charger: Jawbone UP24 at 6 cm",
+        "paper: ~2.3 mA average; 0 -> 41 % charge in 2.5 h",
+    );
+    let mut charger = UsbCharger::jawbone_demo();
+    let duty = 0.3; // per channel; ~90 % cumulative
+    let ma = charger.charge_current_ma(6.0, duty);
+    println!("average charge current: {ma:.2} mA");
+    println!("\n{:<22}{:>10}", "time (min)", "charge %");
+    let mut out = Out {
+        current_ma_at_6cm: ma,
+        soc_curve: Vec::new(),
+        soc_at_2_5h: 0.0,
+    };
+    for minute in 0..=150 {
+        if minute > 0 {
+            charger.charge_for(SimDuration::from_secs(60), 6.0, duty);
+        }
+        if minute % 15 == 0 {
+            row(&format!("{minute}"), &[charger.soc() * 100.0], 1);
+        }
+        out.soc_curve.push((minute as f64, charger.soc()));
+    }
+    out.soc_at_2_5h = charger.soc();
+    println!("state of charge after 2.5 h: {:.1} % (paper: 41 %)", out.soc_at_2_5h * 100.0);
+    args.emit("fig16", &out);
+}

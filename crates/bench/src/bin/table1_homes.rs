@@ -1,0 +1,25 @@
+//! Table 1: the home-deployment summary (configuration of the §6 study).
+
+use powifi_bench::{banner, BenchArgs};
+use powifi_deploy::table1;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    homes: Vec<(usize, u32, u32, u32)>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner("Table 1 — summary of the home deployment", "");
+    println!("{:<10}{:>8}{:>10}{:>16}", "Home #", "Users", "Devices", "Neighbor APs");
+    let mut out = Out { homes: Vec::new() };
+    for h in table1() {
+        println!(
+            "{:<10}{:>8}{:>10}{:>16}",
+            h.id, h.users, h.devices, h.neighbor_aps
+        );
+        out.homes.push((h.id, h.users, h.devices, h.neighbor_aps));
+    }
+    args.emit("table1", &out);
+}

@@ -1,0 +1,106 @@
+//! # powifi-bench
+//!
+//! The figure/table regeneration harness. Every table and figure of the
+//! paper's evaluation has a binary (`fig01_…` … `fig16_…`, `table1_homes`)
+//! plus ablation binaries for the design choices called out in DESIGN.md.
+//! Binaries print the paper's rows/series to stdout and, with `--json DIR`,
+//! write machine-readable results for EXPERIMENTS.md.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Common CLI arguments for all bench binaries.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Experiment RNG seed (default 42; every run is deterministic in it).
+    pub seed: u64,
+    /// Run the full-length configuration (paper-scale durations/repeats).
+    pub full: bool,
+    /// Directory to write `<name>.json` result files into.
+    pub json_dir: Option<PathBuf>,
+}
+
+impl BenchArgs {
+    /// Parse `--seed N`, `--full`, `--json DIR` from `std::env::args`.
+    pub fn parse() -> BenchArgs {
+        let mut args = BenchArgs {
+            seed: 42,
+            full: false,
+            json_dir: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                "--full" => args.full = true,
+                "--json" => {
+                    args.json_dir = Some(PathBuf::from(it.next().expect("--json needs a dir")));
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: [--seed N] [--full] [--json DIR]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+
+    /// Write a serializable result as `<name>.json` when `--json` was given.
+    pub fn emit<T: Serialize>(&self, name: &str, value: &T) {
+        if let Some(dir) = &self.json_dir {
+            fs::create_dir_all(dir).expect("create json dir");
+            let path = dir.join(format!("{name}.json"));
+            fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+                .expect("write json");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Print a header line for a figure/table.
+pub fn banner(title: &str, note: &str) {
+    println!("== {title} ==");
+    if !note.is_empty() {
+        println!("   {note}");
+    }
+}
+
+/// Format a data row: label then fixed-precision values.
+pub fn row(label: &str, values: &[f64], precision: usize) {
+    let cells: Vec<String> = values
+        .iter()
+        .map(|v| format!("{v:>10.prec$}", prec = precision))
+        .collect();
+    println!("{label:<22}{}", cells.join(" "));
+}
+
+/// Summarize a sample set as (mean, p10, p50, p90).
+pub fn summarize(mut xs: Vec<f64>) -> (f64, f64, f64, f64) {
+    assert!(!xs.is_empty());
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let q = |p: f64| xs[((p * xs.len() as f64) as usize).min(xs.len() - 1)];
+    (mean, q(0.10), q(0.50), q(0.90))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_orders_quantiles() {
+        let (mean, p10, p50, p90) = summarize((1..=100).map(|i| i as f64).collect());
+        assert!((mean - 50.5).abs() < 1e-9);
+        assert!(p10 < p50 && p50 < p90);
+    }
+}

@@ -1,0 +1,32 @@
+//! # powifi-core
+//!
+//! The paper's primary contribution: the PoWiFi router-side power-delivery
+//! system (§3.2). A user-space injector streams 1500-byte UDP broadcast
+//! "power packets" at 54 Mbps on channels 1/6/11, gated per packet by the
+//! `IP_Power` queue-depth check so client traffic always wins, keeping the
+//! *cumulative* channel occupancy near (or above) 100 % with minimal impact
+//! on Wi-Fi performance.
+//!
+//! Also included: the evaluation schemes of §4.1 (Baseline / BlindUDP /
+//! NoQueue / PoWiFi / EqualShare), the §6 future-work occupancy capper, the
+//! §8c multi-router modes, and the §8d power-DoS attacker model.
+
+#![warn(missing_docs)]
+
+pub mod capper;
+pub mod config;
+pub mod injector;
+pub mod multi_router;
+pub mod pdos;
+pub mod router;
+pub mod silent_slot;
+pub mod stack;
+
+pub use capper::{spawn_capper, CapperConfig};
+pub use config::{JitterModel, PowerTrafficConfig, Scheme};
+pub use injector::{spawn_injector, InjectorCtl, InjectorHandle};
+pub use multi_router::{install_fleet, FleetMode};
+pub use pdos::{spawn_attacker, AttackConfig};
+pub use router::{Router, RouterConfig, RouterIface};
+pub use silent_slot::{spawn_silent_injector, SilentSlotConfig};
+pub use stack::{ip_power_check, IpPowerVerdict, PowerMacShim, PowerSocket};

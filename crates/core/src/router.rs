@@ -1,0 +1,256 @@
+//! The PoWiFi router: one 802.11 interface per power channel (1, 6, 11 in
+//! the paper), NAT-style client service on the first channel, beacons, and a
+//! power-packet injector per interface (§3.2, §4).
+
+use crate::config::Scheme;
+use crate::injector::{spawn_injector, InjectorHandle};
+use powifi_mac::{start_beacons, Mac, MacWorld, MediumId, RateController, StationId};
+use powifi_rf::{Bitrate, WifiChannel};
+use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
+
+/// One wireless interface of the router.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterIface {
+    /// The Wi-Fi channel this interface transmits on.
+    pub channel: WifiChannel,
+    /// The interface's MAC station.
+    pub sta: StationId,
+    /// The collision domain it participates in.
+    pub medium: MediumId,
+}
+
+/// Router configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Which power scheme to run.
+    pub scheme: Scheme,
+    /// Whether interfaces emit 802.11 beacons (102.4 ms period, 6 Mbps).
+    pub beacons: bool,
+    /// Record fine RF envelopes on every channel monitor (short runs only).
+    pub fine_envelope: bool,
+}
+
+impl RouterConfig {
+    /// A PoWiFi router with beacons, no envelope recording.
+    pub fn powifi() -> RouterConfig {
+        RouterConfig {
+            scheme: Scheme::PoWiFi,
+            beacons: true,
+            fine_envelope: false,
+        }
+    }
+
+    /// Same, but with another scheme.
+    pub fn with_scheme(scheme: Scheme) -> RouterConfig {
+        RouterConfig {
+            scheme,
+            beacons: true,
+            fine_envelope: false,
+        }
+    }
+}
+
+/// A running router.
+pub struct Router {
+    /// Interfaces, one per channel, in the order given at install time.
+    pub ifaces: Vec<RouterIface>,
+    /// Injector control blocks (empty under Baseline).
+    pub injectors: Vec<InjectorHandle>,
+}
+
+impl Router {
+    /// Install a router into the world: adds one station per `(channel,
+    /// medium)` pair, marks it tracked in the channel monitor, starts
+    /// beacons and the scheme's injectors. The first interface is the one
+    /// that serves clients (channel 1 in the paper).
+    pub fn install<W: MacWorld>(
+        w: &mut W,
+        q: &mut EventQueue<W>,
+        channels: &[(WifiChannel, MediumId)],
+        cfg: RouterConfig,
+        rng: &SimRng,
+    ) -> Router {
+        assert!(!channels.is_empty(), "router needs at least one interface");
+        let mut ifaces = Vec::new();
+        let mut injectors = Vec::new();
+        for (i, &(channel, medium)) in channels.iter().enumerate() {
+            let sta = {
+                let mac = w.mac_mut();
+                // Client data uses Minstrel rate adaptation (the ath9k
+                // default); power frames carry an explicit rate regardless.
+                let sta = mac.add_station(medium, RateController::minstrel(Bitrate::G54));
+                let mon = mac.monitor_mut(medium).monitor();
+                mon.track(sta);
+                if cfg.fine_envelope {
+                    mon.enable_envelope();
+                }
+                sta
+            };
+            ifaces.push(RouterIface {
+                channel,
+                sta,
+                medium,
+            });
+            if cfg.beacons {
+                // Stagger beacon phases across interfaces.
+                let phase = SimTime::from_micros(1_000 * (1 + i as u64));
+                start_beacons(
+                    q,
+                    sta,
+                    phase,
+                    SimDuration::from_micros(102_400),
+                    Bitrate::G6,
+                );
+            }
+            if let Some(pcfg) = cfg.scheme.power_config() {
+                let stream = rng.derive_idx("injector", i);
+                // Small start stagger so channels do not tick in lockstep.
+                let start = SimTime::from_micros(7 * (i as u64 + 1));
+                injectors.push(spawn_injector(q, sta, pcfg, stream, start));
+            }
+        }
+        Router { ifaces, injectors }
+    }
+
+    /// The client-serving interface (channel 1 in the paper's deployments).
+    pub fn client_iface(&self) -> RouterIface {
+        self.ifaces[0]
+    }
+
+    /// Per-channel mean occupancy (tshark metric) of this router's frames
+    /// over `[0, end)`, and the cumulative sum — the paper's headline
+    /// metric (cumulative can exceed 1.0, §4).
+    pub fn occupancy(&self, mac: &Mac, end: SimTime) -> (Vec<f64>, f64) {
+        let per: Vec<f64> = self
+            .ifaces
+            .iter()
+            .map(|i| mac.monitor(i.medium).mean_of_station(i.sta, end))
+            .collect();
+        let cum = per.iter().sum();
+        (per, cum)
+    }
+
+    /// Per-channel occupancy time series (one value per monitor bin).
+    pub fn occupancy_series(&self, mac: &Mac, end: SimTime) -> Vec<Vec<f64>> {
+        self.ifaces
+            .iter()
+            .map(|i| mac.monitor(i.medium).tracked_series(end))
+            .collect()
+    }
+
+    /// Per-channel physical RF duty factors (what a harvester integrates).
+    pub fn duty_series(&self, mac: &Mac, end: SimTime) -> Vec<Vec<f64>> {
+        self.ifaces
+            .iter()
+            .map(|i| mac.monitor(i.medium).duty_series(end))
+            .collect()
+    }
+
+    /// Total power datagrams sent / dropped across interfaces.
+    pub fn injector_totals(&self) -> (u64, u64) {
+        self.injectors.iter().fold((0, 0), |(s, d), c| {
+            let c = c.borrow();
+            (s + c.sent, d + c.dropped)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct W {
+        mac: Mac,
+    }
+    impl MacWorld for W {
+        fn mac(&self) -> &Mac {
+            &self.mac
+        }
+        fn mac_mut(&mut self) -> &mut Mac {
+            &mut self.mac
+        }
+    }
+
+    fn three_channel_world() -> (W, EventQueue<W>, Vec<(WifiChannel, MediumId)>) {
+        let mut w = W {
+            mac: Mac::new(SimRng::from_seed(1)),
+        };
+        let channels: Vec<_> = WifiChannel::POWER_SET
+            .iter()
+            .map(|&ch| (ch, w.mac.add_medium(SimDuration::from_secs(1))))
+            .collect();
+        (w, EventQueue::new(), channels)
+    }
+
+    #[test]
+    fn powifi_router_reaches_high_cumulative_occupancy() {
+        let (mut w, mut q, channels) = three_channel_world();
+        let rng = SimRng::from_seed(7);
+        let r = Router::install(&mut w, &mut q, &channels, RouterConfig::powifi(), &rng);
+        let end = SimTime::from_secs(3);
+        q.run_until(&mut w, end);
+        let (per, cum) = r.occupancy(&w.mac, end);
+        assert_eq!(per.len(), 3);
+        // On an idle network each channel saturates near its calibrated
+        // ceiling (~0.45; the injector's kernel-hiccup model sets it), so
+        // the cumulative exceeds 1.0 — the paper notes "cumulative
+        // occupancy … can be greater than 100 % in under-utilized
+        // networks" (§4).
+        assert!(cum > 1.2, "cumulative {cum}");
+        for (i, p) in per.iter().enumerate() {
+            assert!((0.35..0.75).contains(p), "channel {i} occupancy {p}");
+        }
+    }
+
+    #[test]
+    fn baseline_router_sends_only_beacons() {
+        let (mut w, mut q, channels) = three_channel_world();
+        let rng = SimRng::from_seed(7);
+        let r = Router::install(
+            &mut w,
+            &mut q,
+            &channels,
+            RouterConfig::with_scheme(Scheme::Baseline),
+            &rng,
+        );
+        let end = SimTime::from_secs(2);
+        q.run_until(&mut w, end);
+        assert!(r.injectors.is_empty());
+        let (_, cum) = r.occupancy(&w.mac, end);
+        // Beacons only: a few hundred µs/s per channel.
+        assert!(cum < 0.01, "cumulative {cum}");
+    }
+
+    #[test]
+    fn injector_totals_accumulate() {
+        let (mut w, mut q, channels) = three_channel_world();
+        let rng = SimRng::from_seed(7);
+        let r = Router::install(&mut w, &mut q, &channels, RouterConfig::powifi(), &rng);
+        q.run_until(&mut w, SimTime::from_secs(1));
+        let (sent, dropped) = r.injector_totals();
+        assert!(sent > 5000, "sent {sent}");
+        // At 100 µs ticks vs ~340 µs service, roughly 2/3 of ticks drop.
+        assert!(dropped > sent, "sent {sent} dropped {dropped}");
+    }
+
+    #[test]
+    fn client_iface_is_first_channel() {
+        let (mut w, mut q, channels) = three_channel_world();
+        let rng = SimRng::from_seed(7);
+        let r = Router::install(&mut w, &mut q, &channels, RouterConfig::powifi(), &rng);
+        assert_eq!(r.client_iface().channel, WifiChannel::CH1);
+    }
+
+    #[test]
+    fn duty_exceeds_occupancy_under_powifi() {
+        // Physical duty (with preamble) must exceed the tshark metric.
+        let (mut w, mut q, channels) = three_channel_world();
+        let rng = SimRng::from_seed(7);
+        let r = Router::install(&mut w, &mut q, &channels, RouterConfig::powifi(), &rng);
+        let end = SimTime::from_secs(2);
+        q.run_until(&mut w, end);
+        let occ = r.occupancy_series(&w.mac, end);
+        let duty = r.duty_series(&w.mac, end);
+        assert!(duty[0][1] > occ[0][1]);
+    }
+}

@@ -1,0 +1,130 @@
+//! The selective-transmission stack of §3.2.
+//!
+//! The paper hoists MAC-layer queue state up to the IP layer with three
+//! components, mirrored here one-to-one:
+//!
+//! * [`PowerSocket`] — a UDP broadcast socket whose datagrams carry the
+//!   custom `IP_Power` option tagging them as droppable power traffic, bound
+//!   to one wireless interface;
+//! * [`PowerMacShim`] — the shim between the IP stack and the mac80211
+//!   subsystem that answers "how deep is this interface's transmit queue?";
+//! * [`ip_power_check`] — the per-packet decision in `ip_local_out_sk()`:
+//!   admit the datagram to the MAC queue, or drop it and return an error to
+//!   user space.
+
+use powifi_mac::{Mac, StationId};
+
+/// A user-space power socket: UDP broadcast + `IP_Power` option + interface
+/// binding (the integer "that uniquely identifies the corresponding wireless
+/// interface at the router").
+#[derive(Debug, Clone, Copy)]
+pub struct PowerSocket {
+    /// The wireless interface the socket's datagrams route to.
+    pub iface: StationId,
+    /// UDP payload size of each datagram (1500 bytes in the paper).
+    pub payload_bytes: u32,
+}
+
+/// The IP→MAC shim: exposes per-interface transmit-queue depth to the IP
+/// stack's transmit path.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerMacShim;
+
+impl PowerMacShim {
+    /// Queue depth of `iface` — the quantity the threshold check reads.
+    pub fn queue_status(mac: &Mac, iface: StationId) -> usize {
+        mac.queue_depth(iface)
+    }
+}
+
+/// Outcome of the `IP_Power` per-packet check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpPowerVerdict {
+    /// Queue depth below threshold: queue the datagram at the MAC layer.
+    Admit,
+    /// Queue already has enough frames to keep the channel occupied: drop
+    /// before transmission and return an error code to user space.
+    Drop,
+}
+
+/// The `ip_local_out_sk()` decision: drop the power datagram iff the pending
+/// queue depth is **at or above** the threshold (§3.2: "If the queue depth
+/// is indeed at or above a threshold value … the router drops the packet").
+/// `None` disables the check (the NoQueue scheme).
+pub fn ip_power_check(mac: &Mac, iface: StationId, threshold: Option<usize>) -> IpPowerVerdict {
+    match threshold {
+        None => IpPowerVerdict::Admit,
+        Some(t) => {
+            if PowerMacShim::queue_status(mac, iface) >= t {
+                IpPowerVerdict::Drop
+            } else {
+                IpPowerVerdict::Admit
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powifi_mac::{enqueue, Frame, MacWorld, RateController};
+    use powifi_rf::Bitrate;
+    use powifi_sim::{EventQueue, SimDuration, SimRng};
+
+    struct W {
+        mac: Mac,
+    }
+    impl MacWorld for W {
+        fn mac(&self) -> &Mac {
+            &self.mac
+        }
+        fn mac_mut(&mut self) -> &mut Mac {
+            &mut self.mac
+        }
+    }
+
+    fn setup(depth: usize) -> (W, StationId) {
+        let mut w = W {
+            mac: Mac::new(SimRng::from_seed(1)),
+        };
+        let m = w.mac.add_medium(SimDuration::from_secs(1));
+        let sta = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        let mut q = EventQueue::new();
+        for _ in 0..depth {
+            enqueue(&mut w, &mut q, sta, Frame::power(sta, 1500, Bitrate::G54));
+        }
+        // Note: no q.run — frames stay queued (one may contend, none sent).
+        (w, sta)
+    }
+
+    #[test]
+    fn admits_below_threshold() {
+        let (w, sta) = setup(3);
+        assert_eq!(ip_power_check(&w.mac, sta, Some(5)), IpPowerVerdict::Admit);
+    }
+
+    #[test]
+    fn drops_at_threshold() {
+        // "at or above a threshold value" → depth == threshold drops.
+        let (w, sta) = setup(5);
+        assert_eq!(ip_power_check(&w.mac, sta, Some(5)), IpPowerVerdict::Drop);
+    }
+
+    #[test]
+    fn drops_above_threshold() {
+        let (w, sta) = setup(9);
+        assert_eq!(ip_power_check(&w.mac, sta, Some(5)), IpPowerVerdict::Drop);
+    }
+
+    #[test]
+    fn no_threshold_always_admits() {
+        let (w, sta) = setup(500);
+        assert_eq!(ip_power_check(&w.mac, sta, None), IpPowerVerdict::Admit);
+    }
+
+    #[test]
+    fn shim_reads_queue_depth() {
+        let (w, sta) = setup(7);
+        assert_eq!(PowerMacShim::queue_status(&w.mac, sta), 7);
+    }
+}

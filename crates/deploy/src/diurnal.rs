@@ -1,0 +1,76 @@
+//! Diurnal load model for the 24-hour home deployments (§6, Fig. 14).
+//!
+//! Residential Wi-Fi load follows a day/night rhythm: an evening peak,
+//! a deep overnight trough, and a modest daytime plateau. Each home gets a
+//! phase offset so the six traces (staged over a week in the paper) do not
+//! move in lockstep.
+
+/// Relative load intensity (0–1) at `hour` of day (0–24, fractional).
+pub fn diurnal_intensity(hour: f64) -> f64 {
+    let h = hour.rem_euclid(24.0);
+    // Piecewise profile anchored at typical residential usage:
+    //   04:00 trough 0.05, 09:00 morning 0.35, 14:00 midday 0.30,
+    //   18:00 ramp 0.7, 21:00 peak 1.0, 24:00 wind-down 0.45.
+    let anchors = [
+        (0.0, 0.45),
+        (2.0, 0.15),
+        (4.0, 0.05),
+        (7.0, 0.20),
+        (9.0, 0.35),
+        (14.0, 0.30),
+        (18.0, 0.70),
+        (21.0, 1.00),
+        (23.0, 0.60),
+        (24.0, 0.45),
+    ];
+    for w in anchors.windows(2) {
+        let (h0, v0) = w[0];
+        let (h1, v1) = w[1];
+        if h >= h0 && h <= h1 {
+            let f = (h - h0) / (h1 - h0);
+            return v0 + f * (v1 - v0);
+        }
+    }
+    0.45
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_in_the_evening() {
+        let peak_hour = (0..96)
+            .map(|i| i as f64 * 0.25)
+            .fold((0.0, 0.0), |(bh, bv), h| {
+                let v = diurnal_intensity(h);
+                if v > bv {
+                    (h, v)
+                } else {
+                    (bh, bv)
+                }
+            })
+            .0;
+        assert!((20.0..=22.0).contains(&peak_hour), "peak at {peak_hour}");
+    }
+
+    #[test]
+    fn trough_is_overnight() {
+        assert!(diurnal_intensity(4.0) < 0.1);
+        assert!(diurnal_intensity(21.0) > 0.9);
+    }
+
+    #[test]
+    fn wraps_around_midnight() {
+        assert!((diurnal_intensity(24.0) - diurnal_intensity(0.0)).abs() < 1e-12);
+        assert!((diurnal_intensity(25.5) - diurnal_intensity(1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn always_in_unit_range() {
+        for i in 0..240 {
+            let v = diurnal_intensity(i as f64 * 0.1);
+            assert!((0.0..=1.0).contains(&v), "{v} at {}", i as f64 * 0.1);
+        }
+    }
+}

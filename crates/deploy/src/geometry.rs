@@ -1,0 +1,295 @@
+//! Spatial layout: place stations on a floor plan and derive every link's
+//! SNR from the path-loss model instead of hand-assigned values — so rate
+//! adaptation, PER and the harvester all see the same geometry.
+
+use crate::world::SimWorld;
+use powifi_mac::StationId;
+use powifi_rf::{
+    snr, Antenna, Db, Dbm, Hertz, LogDistance, Meters, Shadowed, WallMaterial,
+};
+use powifi_sim::SimRng;
+use std::collections::HashMap;
+
+/// A position on the floor plan, meters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pos {
+    /// East–west coordinate.
+    pub x: f64,
+    /// North–south coordinate.
+    pub y: f64,
+}
+
+impl Pos {
+    /// Construct from coordinates in meters.
+    pub const fn new(x: f64, y: f64) -> Pos {
+        Pos { x, y }
+    }
+
+    /// Construct from coordinates in feet.
+    pub fn from_feet(x_ft: f64, y_ft: f64) -> Pos {
+        Pos::new(x_ft * 0.3048, y_ft * 0.3048)
+    }
+
+    /// Euclidean distance to another position.
+    pub fn distance(self, other: Pos) -> Meters {
+        Meters(((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt())
+    }
+}
+
+/// A wall segment between two points; links crossing it take its loss.
+#[derive(Debug, Clone, Copy)]
+pub struct Wall {
+    /// One endpoint.
+    pub a: Pos,
+    /// Other endpoint.
+    pub b: Pos,
+    /// Material (sets the penetration loss).
+    pub material: WallMaterial,
+}
+
+fn segments_intersect(p1: Pos, p2: Pos, p3: Pos, p4: Pos) -> bool {
+    let d = |a: Pos, b: Pos, c: Pos| (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+    let d1 = d(p3, p4, p1);
+    let d2 = d(p3, p4, p2);
+    let d3 = d(p1, p2, p3);
+    let d4 = d(p1, p2, p4);
+    (d1 * d2 < 0.0) && (d3 * d4 < 0.0)
+}
+
+/// A floor plan: station positions, transmit characteristics and walls.
+pub struct FloorPlan {
+    positions: HashMap<StationId, Pos>,
+    tx_power: HashMap<StationId, Dbm>,
+    antennas: HashMap<StationId, Antenna>,
+    walls: Vec<Wall>,
+    /// Propagation model (with optional shadowing).
+    pub model: Shadowed<LogDistance>,
+    /// Default conducted power for unspecified stations (client devices).
+    pub default_tx: Dbm,
+    shadow_offsets: HashMap<(StationId, StationId), Db>,
+    rng: SimRng,
+}
+
+impl FloorPlan {
+    /// Empty plan over an indoor-obstructed model with 3 dB shadowing.
+    pub fn new(rng: SimRng) -> FloorPlan {
+        FloorPlan {
+            positions: HashMap::new(),
+            tx_power: HashMap::new(),
+            antennas: HashMap::new(),
+            walls: Vec::new(),
+            model: Shadowed {
+                inner: LogDistance::indoor_obstructed(),
+                sigma_db: 3.0,
+            },
+            default_tx: Dbm(15.0),
+            shadow_offsets: HashMap::new(),
+            rng,
+        }
+    }
+
+    /// Place a station.
+    pub fn place(&mut self, sta: StationId, pos: Pos) {
+        self.positions.insert(sta, pos);
+    }
+
+    /// Set a station's conducted power and antenna.
+    pub fn set_radio(&mut self, sta: StationId, power: Dbm, antenna: Antenna) {
+        self.tx_power.insert(sta, power);
+        self.antennas.insert(sta, antenna);
+    }
+
+    /// Add a wall segment.
+    pub fn add_wall(&mut self, wall: Wall) {
+        self.walls.push(wall);
+    }
+
+    fn antenna_gain(&self, sta: StationId) -> Db {
+        self.antennas
+            .get(&sta)
+            .copied()
+            .unwrap_or(Antenna { gain_dbi: 2.0 })
+            .gain()
+    }
+
+    /// Walls crossed by the straight line between two stations.
+    pub fn walls_between(&self, a: Pos, b: Pos) -> Vec<WallMaterial> {
+        self.walls
+            .iter()
+            .filter(|w| segments_intersect(a, b, w.a, w.b))
+            .map(|w| w.material)
+            .collect()
+    }
+
+    /// Received power at `rx` from `tx` at frequency `f`.
+    pub fn received(&mut self, tx: StationId, rx: StationId, f: Hertz) -> Option<Dbm> {
+        let pa = *self.positions.get(&tx)?;
+        let pb = *self.positions.get(&rx)?;
+        let d = pa.distance(pb);
+        let tx_p = self.tx_power.get(&tx).copied().unwrap_or(self.default_tx);
+        let wall_loss: f64 = self
+            .walls_between(pa, pb)
+            .iter()
+            .map(|m| m.attenuation().0)
+            .sum();
+        // Frozen per-link shadowing (symmetric).
+        let key = if tx.0 <= rx.0 { (tx, rx) } else { (rx, tx) };
+        let offset = if let Some(&o) = self.shadow_offsets.get(&key) {
+            o
+        } else {
+            let o = self.model.draw_offset(&mut self.rng);
+            self.shadow_offsets.insert(key, o);
+            o
+        };
+        Some(
+            tx_p + self.antenna_gain(tx) + self.antenna_gain(rx)
+                - self.model.loss_with_offset(f, d, offset)
+                - Db(wall_loss),
+        )
+    }
+
+    /// Push SNRs for every placed pair into the MAC's link table.
+    pub fn apply_links(&mut self, w: &mut SimWorld, f: Hertz) {
+        let stations: Vec<StationId> = self.positions.keys().copied().collect();
+        for &a in &stations {
+            for &b in &stations {
+                if a != b {
+                    if let Some(rx) = self.received(a, b, f) {
+                        w.mac.set_link_snr(a, b, snr(rx));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Position of a station, if placed.
+    pub fn position(&self, sta: StationId) -> Option<Pos> {
+        self.positions.get(&sta).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::three_channel_world;
+    use powifi_mac::RateController;
+    use powifi_rf::{Bitrate, WifiChannel};
+    use powifi_sim::SimDuration;
+
+    #[test]
+    fn distance_math() {
+        let a = Pos::new(0.0, 0.0);
+        let b = Pos::new(3.0, 4.0);
+        assert!((a.distance(b).0 - 5.0).abs() < 1e-12);
+        assert!((Pos::from_feet(10.0, 0.0).x - 3.048).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_intersection_detection() {
+        let wall = Wall {
+            a: Pos::new(5.0, -5.0),
+            b: Pos::new(5.0, 5.0),
+            material: WallMaterial::SheetRock7_9In,
+        };
+        let mut plan = FloorPlan::new(SimRng::from_seed(1));
+        plan.add_wall(wall);
+        // Crossing link.
+        assert_eq!(
+            plan.walls_between(Pos::new(0.0, 0.0), Pos::new(10.0, 0.0)).len(),
+            1
+        );
+        // Parallel link on one side.
+        assert!(plan.walls_between(Pos::new(0.0, 0.0), Pos::new(4.0, 3.0)).is_empty());
+    }
+
+    #[test]
+    fn closer_stations_get_higher_snr() {
+        let (mut w, _q, channels) = three_channel_world(1, SimDuration::from_secs(1));
+        let m = channels[0].1;
+        let ap = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        let near = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        let far = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        let mut plan = FloorPlan::new(SimRng::from_seed(2));
+        plan.model.sigma_db = 0.0; // deterministic for the comparison
+        plan.place(ap, Pos::new(0.0, 0.0));
+        plan.place(near, Pos::new(2.0, 0.0));
+        plan.place(far, Pos::new(12.0, 0.0));
+        let f = WifiChannel::CH1.center();
+        let rx_near = plan.received(ap, near, f).unwrap();
+        let rx_far = plan.received(ap, far, f).unwrap();
+        assert!(rx_near.0 > rx_far.0 + 10.0, "near {rx_near} far {rx_far}");
+    }
+
+    #[test]
+    fn walls_cost_their_attenuation() {
+        let mut plan = FloorPlan::new(SimRng::from_seed(3));
+        plan.model.sigma_db = 0.0;
+        let a = StationId(0);
+        let b = StationId(1);
+        plan.place(a, Pos::new(0.0, 0.0));
+        plan.place(b, Pos::new(10.0, 0.0));
+        let f = WifiChannel::CH6.center();
+        let open = plan.received(a, b, f).unwrap();
+        plan.add_wall(Wall {
+            a: Pos::new(5.0, -1.0),
+            b: Pos::new(5.0, 1.0),
+            material: WallMaterial::HollowWall5_4In,
+        });
+        let walled = plan.received(a, b, f).unwrap();
+        assert!((open.0 - walled.0 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shadowing_is_frozen_and_symmetric() {
+        let mut plan = FloorPlan::new(SimRng::from_seed(4));
+        let a = StationId(0);
+        let b = StationId(1);
+        plan.place(a, Pos::new(0.0, 0.0));
+        plan.place(b, Pos::new(8.0, 3.0));
+        let f = WifiChannel::CH1.center();
+        let ab1 = plan.received(a, b, f).unwrap();
+        let ab2 = plan.received(a, b, f).unwrap();
+        let ba = plan.received(b, a, f).unwrap();
+        assert_eq!(ab1.0, ab2.0, "shadowing must be frozen per link");
+        // Same default radios → reciprocal link.
+        assert!((ab1.0 - ba.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_links_feeds_the_mac() {
+        let (mut w, mut q, channels) = three_channel_world(5, SimDuration::from_secs(1));
+        let m = channels[0].1;
+        let ap = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        let far = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        let mut plan = FloorPlan::new(SimRng::from_seed(5));
+        plan.model.sigma_db = 0.0;
+        plan.set_radio(ap, Dbm(20.0), Antenna::ROUTER_6DBI);
+        plan.place(ap, Pos::new(0.0, 0.0));
+        plan.place(far, Pos::new(40.0, 0.0)); // 40 m + walls: marginal link
+        plan.add_wall(Wall {
+            a: Pos::new(20.0, -5.0),
+            b: Pos::new(20.0, 5.0),
+            material: WallMaterial::SheetRock7_9In,
+        });
+        plan.apply_links(&mut w, WifiChannel::CH1.center());
+        // The link is now weak enough that 54 Mbps unicast needs retries.
+        use powifi_mac::{enqueue, Dest, Frame, PayloadTag};
+        for i in 0..20 {
+            let fr = Frame::data(
+                ap,
+                Dest::Unicast(far),
+                PayloadTag {
+                    flow: 1,
+                    seq: i,
+                    bytes: 1000,
+                },
+            );
+            enqueue(&mut w, &mut q, ap, fr);
+        }
+        q.run_until(&mut w, powifi_sim::SimTime::from_secs(2));
+        assert!(
+            w.mac.station(ap).retransmissions > 0,
+            "40 m through-wall link should not be loss-free at 54 Mbps"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # powifi-deploy
+//!
+//! Deployment scenarios and experiment harnesses: the §4 busy office, the
+//! §6 six-home 24-hour study (Table 1 configurations, diurnal neighbor
+//! load), background-traffic generators, and runnable experiment procedures
+//! for Figs. 6–8 and 15.
+
+#![warn(missing_docs)]
+
+pub mod background;
+pub mod diurnal;
+pub mod experiment;
+pub mod geometry;
+pub mod home;
+pub mod office;
+pub mod world;
+
+pub use background::{constant_intensity, install_background, install_traffic_source, BackgroundConfig, IntensityFn};
+pub use diurnal::diurnal_intensity;
+pub use geometry::{FloorPlan, Pos, Wall};
+pub use experiment::{
+    neighbor_experiment, plt_experiment, sensor_rates_from_home, tcp_experiment, udp_experiment,
+    UdpResult,
+};
+pub use home::{build_home, run_home, table1, HomeConfig, HomeDeployment, HomeRun};
+pub use office::{build_office, OfficeConfig, OfficeScenario};
+pub use world::{three_channel_world, SimWorld};

@@ -1,0 +1,58 @@
+//! The composed simulation world: MAC + transport.
+
+use powifi_mac::{Frame, Mac, MacWorld, MediumId, StationId, TxOutcome};
+use powifi_net::{on_deliver, NetState, NetWorld};
+use powifi_rf::WifiChannel;
+use powifi_sim::{EventQueue, SimDuration, SimRng};
+
+/// The world used by every deployment scenario, example and bench.
+pub struct SimWorld {
+    /// The 802.11 substrate.
+    pub mac: Mac,
+    /// Transport flows and page loads.
+    pub net: NetState,
+}
+
+impl MacWorld for SimWorld {
+    fn mac(&self) -> &Mac {
+        &self.mac
+    }
+    fn mac_mut(&mut self) -> &mut Mac {
+        &mut self.mac
+    }
+    fn deliver(&mut self, q: &mut EventQueue<Self>, rx: StationId, frame: &Frame) {
+        on_deliver(self, q, rx, frame);
+    }
+    fn tx_complete(&mut self, _q: &mut EventQueue<Self>, _frame: &Frame, _outcome: TxOutcome) {}
+}
+
+impl NetWorld for SimWorld {
+    fn net(&self) -> &NetState {
+        &self.net
+    }
+    fn net_mut(&mut self) -> &mut NetState {
+        &mut self.net
+    }
+}
+
+/// Create a world with the three PoWiFi channels (1, 6, 11) as mediums.
+/// Returns the world, the event queue and the `(channel, medium)` pairs.
+pub fn three_channel_world(
+    seed: u64,
+    monitor_bin: SimDuration,
+) -> (
+    SimWorld,
+    EventQueue<SimWorld>,
+    Vec<(WifiChannel, MediumId)>,
+) {
+    let rng = SimRng::from_seed(seed);
+    let mut w = SimWorld {
+        mac: Mac::new(rng.derive("mac")),
+        net: NetState::new(),
+    };
+    let channels: Vec<_> = WifiChannel::POWER_SET
+        .iter()
+        .map(|&ch| (ch, w.mac.add_medium(monitor_bin)))
+        .collect();
+    (w, EventQueue::new(), channels)
+}

@@ -1,0 +1,129 @@
+//! Minimal complex arithmetic for impedance math (no external num crate).
+
+use core::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number (f64 re/im).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Construct from rectangular parts.
+    pub const fn new(re: f64, im: f64) -> C64 {
+        C64 { re, im }
+    }
+
+    /// Purely real value.
+    pub const fn real(re: f64) -> C64 {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Purely imaginary value.
+    pub const fn imag(im: f64) -> C64 {
+        C64 { re: 0.0, im }
+    }
+
+    /// Magnitude |z|.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> C64 {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    pub fn recip(self) -> C64 {
+        let n = self.norm_sq();
+        assert!(n > 0.0, "reciprocal of zero");
+        C64::new(self.re / n, -self.im / n)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    fn add(self, o: C64) -> C64 {
+        C64::new(self.re + o.re, self.im + o.im)
+    }
+}
+impl Sub for C64 {
+    type Output = C64;
+    fn sub(self, o: C64) -> C64 {
+        C64::new(self.re - o.re, self.im - o.im)
+    }
+}
+impl Mul for C64 {
+    type Output = C64;
+    fn mul(self, o: C64) -> C64 {
+        C64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+impl Div for C64 {
+    type Output = C64;
+    // Division via reciprocal multiplication is the intended algorithm.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, o: C64) -> C64 {
+        self * o.recip()
+    }
+}
+impl Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+impl Mul<f64> for C64 {
+    type Output = C64;
+    fn mul(self, s: f64) -> C64 {
+        C64::new(self.re * s, self.im * s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = C64::new(3.0, 4.0);
+        let b = C64::new(-1.0, 2.0);
+        assert_eq!(a + b, C64::new(2.0, 6.0));
+        assert_eq!(a - b, C64::new(4.0, 2.0));
+        assert_eq!(a * b, C64::new(-11.0, 2.0));
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!(a.conj(), C64::new(3.0, -4.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = C64::new(3.0, 4.0);
+        let b = C64::new(-1.0, 2.0);
+        let c = (a * b) / b;
+        assert!((c.re - a.re).abs() < 1e-12 && (c.im - a.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recip_of_unit() {
+        let i = C64::imag(1.0);
+        assert_eq!(i.recip(), C64::imag(-1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_zero_panics() {
+        C64::default().recip();
+    }
+}

@@ -1,0 +1,147 @@
+//! DC–DC converter behavioural models (§3.1 "DC–DC converter design").
+//!
+//! * **Seiko S-882Z** charge pump: the battery-free path. Cold-starts from
+//!   0 V once the rectifier provides ≥ 300 mV, pumps the storage capacitor to
+//!   2.4 V, then connects the output until the store droops to 1.8 V.
+//! * **TI bq25570**: boost converter with MPPT (200 mV reference in the
+//!   paper's configuration), battery charger, and a 2.55 V buck used by the
+//!   camera. With a battery attached there is no cold-start problem, which
+//!   is why the recharging harvester reaches −19.3 dBm.
+
+/// bq25570 MPPT model: relative harvest efficiency as a function of the
+/// MPPT reference voltage. The boost converter holds the rectifier's output
+/// at the reference; maximum power transfer happens near the rectifier's
+/// half-open-circuit point, which the paper's co-design lands at 200 mV
+/// (§3.1: "we set the buck converter's MPPT reference voltage to 200 mV").
+/// Off-reference operation loads the rectifier away from its optimum and
+/// also detunes its input impedance (the matching network was fitted at the
+/// design point), costing efficiency on both counts.
+pub fn mppt_factor(vref_volts: f64) -> f64 {
+    const OPTIMUM: f64 = 0.20;
+    const WIDTH: f64 = 0.11;
+    if vref_volts <= 0.0 {
+        return 0.0;
+    }
+    (-((vref_volts - OPTIMUM) / WIDTH).powi(2)).exp()
+}
+
+/// A behavioural DC–DC converter.
+#[derive(Debug, Clone, Copy)]
+pub struct Converter {
+    /// Power conversion efficiency into the store.
+    pub efficiency: f64,
+    /// Minimum rectifier open-circuit voltage to operate from a dead store.
+    pub cold_start_volts: f64,
+    /// True when a battery pre-biases the chip (no cold-start requirement).
+    pub battery_assisted: bool,
+    /// Quiescent drain from the store while operating, W.
+    pub quiescent_w: f64,
+    /// Store voltage at which the output switch engages (cap stores only).
+    pub output_on_volts: f64,
+    /// Store voltage at which the output switch disengages.
+    pub output_off_volts: f64,
+}
+
+impl Converter {
+    /// Seiko S-882Z: 300 mV start-up, charges to 2.4 V then releases
+    /// (datasheet VOUT hysteresis ≈ 1.8 V low side).
+    pub fn s882z() -> Converter {
+        Converter {
+            efficiency: 0.50,
+            cold_start_volts: 0.30,
+            battery_assisted: false,
+            quiescent_w: 0.3e-6,
+            output_on_volts: 2.4,
+            output_off_volts: 1.8,
+        }
+    }
+
+    /// bq25570 charging a battery (MPPT at 200 mV reference).
+    pub fn bq25570_battery() -> Converter {
+        Converter {
+            efficiency: 0.70,
+            cold_start_volts: 0.10,
+            battery_assisted: true,
+            quiescent_w: 0.5e-6,
+            output_on_volts: 0.0,
+            output_off_volts: 0.0,
+        }
+    }
+
+    /// bq25570 with the camera's super-capacitor: buck engages at 3.1 V and
+    /// runs the 2.55 V rail down to 2.4 V (§5.2).
+    pub fn bq25570_supercap() -> Converter {
+        Converter {
+            efficiency: 0.65,
+            cold_start_volts: 0.33,
+            battery_assisted: false,
+            quiescent_w: 0.5e-6,
+            output_on_volts: 3.1,
+            output_off_volts: 2.4,
+        }
+    }
+
+    /// Whether the converter can move energy given the rectifier's
+    /// open-circuit voltage and the present store voltage.
+    pub fn can_operate(&self, rect_voc: f64, store_volts: f64) -> bool {
+        if self.battery_assisted {
+            // Battery keeps internal rails alive; only needs some input.
+            rect_voc > 0.05
+        } else {
+            // Cold start from the rectifier, or stay alive off a store that
+            // has already been pumped above the internal supply minimum.
+            rect_voc >= self.cold_start_volts || store_volts >= 1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s882z_requires_300mv_cold_start() {
+        let c = Converter::s882z();
+        assert!(!c.can_operate(0.25, 0.0));
+        assert!(c.can_operate(0.31, 0.0));
+    }
+
+    #[test]
+    fn s882z_stays_alive_once_bootstrapped() {
+        let c = Converter::s882z();
+        assert!(c.can_operate(0.2, 1.5));
+    }
+
+    #[test]
+    fn battery_assist_removes_cold_start() {
+        let c = Converter::bq25570_battery();
+        assert!(c.can_operate(0.12, 0.0));
+        assert!(!c.can_operate(0.0, 0.0));
+    }
+
+    #[test]
+    fn battery_path_is_more_efficient() {
+        // The bq25570 boost beats the S-882Z charge pump — part of why the
+        // recharging variants extend range in Figs. 11–12.
+        assert!(Converter::bq25570_battery().efficiency > Converter::s882z().efficiency);
+    }
+
+    #[test]
+    fn mppt_peaks_at_the_papers_200mv() {
+        let peak = mppt_factor(0.20);
+        assert!((peak - 1.0).abs() < 1e-12);
+        for v in [0.05, 0.10, 0.15, 0.25, 0.30, 0.40] {
+            assert!(mppt_factor(v) < peak, "not a peak at {v} V");
+        }
+        // Symmetric-ish near the optimum, dead at zero.
+        assert_eq!(mppt_factor(0.0), 0.0);
+        assert!(mppt_factor(0.15) > 0.7 && mppt_factor(0.25) > 0.7);
+    }
+
+    #[test]
+    fn supercap_hysteresis_matches_camera_design() {
+        let c = Converter::bq25570_supercap();
+        assert_eq!(c.output_on_volts, 3.1);
+        assert_eq!(c.output_off_volts, 2.4);
+    }
+}

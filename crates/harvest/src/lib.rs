@@ -1,0 +1,31 @@
+//! # powifi-harvest
+//!
+//! The analog substrate of PoWiFi: the multi-channel 2.4 GHz RF harvester of
+//! §3.1, modeled at circuit level — complex-impedance LC matching network
+//! (return loss per Fig. 9), SMS7630-class voltage-doubler rectifier
+//! (power curve per Fig. 10, node dynamics per Fig. 1), Seiko S-882Z and TI
+//! bq25570 DC–DC behavioural models, and storage elements (capacitors,
+//! the camera's super-capacitor, NiMH and Li-Ion cells).
+//!
+//! All calibration constants are documented at their definition sites and
+//! cross-referenced in EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod dcdc;
+pub mod harvester;
+pub mod matching;
+pub mod multiband;
+pub mod rectifier;
+pub mod storage;
+pub mod traces;
+
+pub use complex::C64;
+pub use dcdc::{mppt_factor, Converter};
+pub use harvester::{Harvester, Store};
+pub use matching::{MatchingNetwork, RectifierImpedance, Z0};
+pub use multiband::{BandFrontEnd, MultibandHarvester};
+pub use rectifier::{Rectifier, RectifierNode, Variant};
+pub use storage::{Battery, Capacitor, Chemistry};
+pub use traces::{rectifier_trace, summarize, TraceSample, TraceSummary};

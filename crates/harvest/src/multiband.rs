@@ -1,0 +1,173 @@
+//! Multi-band harvesting (§8e / related work \[43\] "Sifting through the
+//! airwaves"): a bank of per-band front ends — each an LC match + rectifier
+//! tuned to its ISM band — feeding one DC–DC converter and store.
+//!
+//! Matching-network values per band were derived the same way as the
+//! 2.4 GHz design (numerical fit of the L-section against the rectifier's
+//! RC input; see EXPERIMENTS.md §calibration).
+
+use crate::matching::{MatchingNetwork, RectifierImpedance};
+use crate::rectifier::Rectifier;
+use powifi_rf::{Dbm, Hertz, IsmBand, MicroWatts};
+
+/// One band's front end.
+#[derive(Debug, Clone, Copy)]
+pub struct BandFrontEnd {
+    /// The band this front end is matched for.
+    pub band: IsmBand,
+    /// Its matching network.
+    pub matching: MatchingNetwork,
+    /// Its rectifier calibration.
+    pub rectifier: Rectifier,
+}
+
+impl BandFrontEnd {
+    /// A front end matched for `band` (battery-free calibration).
+    pub fn for_band(band: IsmBand) -> BandFrontEnd {
+        let matching = match band {
+            // 27 nH + 1.8 pF against a 600 Ω ∥ 1.2 pF rectifier:
+            // S11 < −22 dB across 902–928 MHz.
+            IsmBand::Ism900 => MatchingNetwork {
+                shunt_c: 1.8e-12,
+                series_l: 27e-9,
+                inductor_q: 100.0,
+                rectifier: RectifierImpedance {
+                    r_parallel: 600.0,
+                    c_parallel: 1.2e-12,
+                    r_series: 5.0,
+                },
+            },
+            IsmBand::Ism2400 => MatchingNetwork::battery_free(),
+            // 4 nH + 0.3 pF against a 600 Ω ∥ 0.2 pF rectifier:
+            // S11 < −18 dB across 5725–5875 MHz.
+            IsmBand::Ism5800 => MatchingNetwork {
+                shunt_c: 0.3e-12,
+                series_l: 4e-9,
+                inductor_q: 100.0,
+                rectifier: RectifierImpedance {
+                    r_parallel: 600.0,
+                    c_parallel: 0.2e-12,
+                    r_series: 5.0,
+                },
+            },
+        };
+        // Diode losses grow with frequency (junction capacitance shunting);
+        // Schottky rectifiers work somewhat better at UHF.
+        let mut rectifier = Rectifier::battery_free();
+        match band {
+            IsmBand::Ism900 => {
+                rectifier.coeff *= 1.15;
+                rectifier.sensitivity = Dbm(rectifier.sensitivity.0 - 1.0);
+            }
+            IsmBand::Ism2400 => {}
+            IsmBand::Ism5800 => {
+                rectifier.coeff *= 0.70;
+                rectifier.sensitivity = Dbm(rectifier.sensitivity.0 + 2.0);
+            }
+        }
+        BandFrontEnd {
+            band,
+            matching,
+            rectifier,
+        }
+    }
+
+    /// DC output for an in-band input.
+    pub fn dc_power(&self, f: Hertz, p: Dbm) -> MicroWatts {
+        let accepted = p.to_uw().0 * self.matching.mismatch_factor(f);
+        self.rectifier.output_power(MicroWatts(accepted).to_dbm())
+    }
+}
+
+/// A bank of band front ends sharing one store.
+#[derive(Debug, Clone)]
+pub struct MultibandHarvester {
+    /// The front ends, one per band.
+    pub front_ends: Vec<BandFrontEnd>,
+    /// DC–DC conversion efficiency into the shared store.
+    pub converter_efficiency: f64,
+}
+
+impl MultibandHarvester {
+    /// A harvester covering the given bands (battery-free calibration,
+    /// S-882Z-class converter).
+    pub fn covering(bands: &[IsmBand]) -> MultibandHarvester {
+        MultibandHarvester {
+            front_ends: bands.iter().map(|&b| BandFrontEnd::for_band(b)).collect(),
+            converter_efficiency: 0.5,
+        }
+    }
+
+    /// Total DC power into the store for per-frequency inputs with duty
+    /// factors. Out-of-band inputs (no matching front end) contribute
+    /// nothing — the selectivity a real multiband rectenna bank has.
+    pub fn dc_power(&self, inputs: &[(Hertz, Dbm, f64)]) -> MicroWatts {
+        let mut uw = 0.0;
+        for &(f, p, duty) in inputs {
+            if let Some(band) = IsmBand::containing(f) {
+                if let Some(fe) = self.front_ends.iter().find(|fe| fe.band == band) {
+                    uw += fe.dc_power(f, p).0 * duty.clamp(0.0, 1.0);
+                }
+            }
+        }
+        MicroWatts(uw * self.converter_efficiency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_band_matches_meet_minus_10db() {
+        for band in IsmBand::ALL {
+            let fe = BandFrontEnd::for_band(band);
+            let (lo, hi) = band.edges();
+            let mut f = lo.0;
+            while f <= hi.0 {
+                let rl = fe.matching.return_loss(Hertz(f)).0;
+                assert!(rl < -10.0, "{band:?}: {rl} dB at {f} Hz");
+                f += 1e6;
+            }
+        }
+    }
+
+    #[test]
+    fn front_ends_reject_out_of_band_power() {
+        let fe = BandFrontEnd::for_band(IsmBand::Ism900);
+        let in_band = fe.dc_power(Hertz::from_mhz(915.0), Dbm(-10.0)).0;
+        let out = fe.dc_power(Hertz::from_mhz(2437.0), Dbm(-10.0)).0;
+        assert!(out < 0.5 * in_band, "in {in_band} out {out}");
+    }
+
+    #[test]
+    fn more_bands_harvest_more() {
+        let only_2g4 = MultibandHarvester::covering(&[IsmBand::Ism2400]);
+        let all = MultibandHarvester::covering(&IsmBand::ALL);
+        let mut inputs = Vec::new();
+        for band in IsmBand::ALL {
+            for ch in band.power_channels() {
+                inputs.push((ch, Dbm(-12.0), 0.3));
+            }
+        }
+        let p1 = only_2g4.dc_power(&inputs).0;
+        let p3 = all.dc_power(&inputs).0;
+        assert!(p3 > 1.5 * p1, "2.4-only {p1} vs all-band {p3}");
+    }
+
+    #[test]
+    fn uncovered_bands_contribute_nothing() {
+        let h = MultibandHarvester::covering(&[IsmBand::Ism2400]);
+        let p = h.dc_power(&[(Hertz::from_mhz(915.0), Dbm(0.0), 1.0)]);
+        assert_eq!(p.0, 0.0);
+    }
+
+    #[test]
+    fn band_sensitivities_order_with_frequency() {
+        // Lower carrier frequency → friendlier diode physics.
+        let s900 = BandFrontEnd::for_band(IsmBand::Ism900).rectifier.sensitivity.0;
+        let s2400 = BandFrontEnd::for_band(IsmBand::Ism2400).rectifier.sensitivity.0;
+        let s5800 = BandFrontEnd::for_band(IsmBand::Ism5800).rectifier.sensitivity.0;
+        assert!(s900 < s2400 && s2400 < s5800);
+    }
+}

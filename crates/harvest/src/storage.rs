@@ -1,0 +1,234 @@
+//! Energy storage elements: ceramic capacitors, the AVX BestCap
+//! super-capacitor of the camera, and the NiMH / Li-Ion cells the paper
+//! recharges.
+
+use powifi_rf::Joules;
+use powifi_sim::SimDuration;
+
+/// A capacitor with leakage, tracked by terminal voltage.
+#[derive(Debug, Clone, Copy)]
+pub struct Capacitor {
+    /// Capacitance, F.
+    pub farads: f64,
+    /// Present voltage, V.
+    pub volts: f64,
+    /// Leakage resistance, Ω (`f64::INFINITY` = ideal).
+    pub leak_ohms: f64,
+}
+
+impl Capacitor {
+    /// New capacitor at 0 V.
+    pub fn new(farads: f64, leak_ohms: f64) -> Capacitor {
+        Capacitor {
+            farads,
+            volts: 0.0,
+            leak_ohms,
+        }
+    }
+
+    /// The camera's 6.8 mF AVX BestCap with its ultra-low leakage
+    /// (modeled as ≈2 µW equivalent at 3 V → R ≈ 4.5 MΩ).
+    pub fn bestcap_6_8mf() -> Capacitor {
+        Capacitor::new(6.8e-3, 4.5e6)
+    }
+
+    /// The temperature sensor's storage capacitor (100 µF ceramic).
+    pub fn sensor_100uf() -> Capacitor {
+        Capacitor::new(100e-6, 20e6)
+    }
+
+    /// Stored energy, J.
+    pub fn energy(&self) -> Joules {
+        Joules(0.5 * self.farads * self.volts * self.volts)
+    }
+
+    /// Add energy (from the DC–DC converter).
+    pub fn charge(&mut self, e: Joules) {
+        assert!(e.0 >= 0.0);
+        let new_e = self.energy().0 + e.0;
+        self.volts = (2.0 * new_e / self.farads).sqrt();
+    }
+
+    /// Remove energy for a load; returns false (leaving state unchanged) if
+    /// insufficient charge.
+    pub fn discharge(&mut self, e: Joules) -> bool {
+        assert!(e.0 >= 0.0);
+        let have = self.energy().0;
+        if e.0 > have {
+            return false;
+        }
+        self.volts = (2.0 * (have - e.0) / self.farads).sqrt();
+        true
+    }
+
+    /// Apply leakage over `dt` (exponential RC decay).
+    pub fn leak(&mut self, dt: SimDuration) {
+        if self.leak_ohms.is_finite() {
+            let tau = self.leak_ohms * self.farads;
+            self.volts *= (-dt.as_secs_f64() / tau).exp();
+        }
+    }
+
+    /// Instantaneous leakage power at the present voltage, W.
+    pub fn leak_power(&self) -> f64 {
+        if self.leak_ohms.is_finite() {
+            self.volts * self.volts / self.leak_ohms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Battery chemistry of a rechargeable cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Chemistry {
+    /// Nickel–metal hydride (2×AAA at 2.4 V in the paper).
+    NiMh,
+    /// Lithium-ion coin cell (Seiko MS412FE, 3.0 V, 1 mAh).
+    LiIon,
+}
+
+/// A rechargeable battery tracked by accumulated charge.
+#[derive(Debug, Clone, Copy)]
+pub struct Battery {
+    /// Chemistry (for reporting).
+    pub chemistry: Chemistry,
+    /// Nominal terminal voltage, V.
+    pub volts: f64,
+    /// Capacity, mAh.
+    pub capacity_mah: f64,
+    /// Present charge, mAh.
+    pub charge_mah: f64,
+    /// Coulombic charge efficiency (energy in → charge stored).
+    pub charge_eff: f64,
+}
+
+impl Battery {
+    /// The paper's 2×AAA 750 mAh NiMH pack at 2.4 V.
+    pub fn nimh_aaa() -> Battery {
+        Battery {
+            chemistry: Chemistry::NiMh,
+            volts: 2.4,
+            capacity_mah: 750.0,
+            charge_mah: 375.0,
+            charge_eff: 0.80,
+        }
+    }
+
+    /// The 1 mAh, 3.0 V Li-Ion coin cell of the camera.
+    pub fn liion_coin() -> Battery {
+        Battery {
+            chemistry: Chemistry::LiIon,
+            volts: 3.0,
+            capacity_mah: 1.0,
+            charge_mah: 0.5,
+            charge_eff: 0.90,
+        }
+    }
+
+    /// The Jawbone UP24's cell (≈14 mAh effective in the §8a demo: 2.3 mA
+    /// average over 2.5 h charged it from empty to 41 %).
+    pub fn jawbone_up24() -> Battery {
+        Battery {
+            chemistry: Chemistry::LiIon,
+            volts: 3.8,
+            capacity_mah: 14.0,
+            charge_mah: 0.0,
+            charge_eff: 1.0,
+        }
+    }
+
+    /// Push `e` joules of charging energy in over some interval; charge
+    /// accumulates as `e·η / V` coulombs, clamped at capacity.
+    pub fn charge_energy(&mut self, e: Joules) {
+        assert!(e.0 >= 0.0);
+        let coulombs = e.0 * self.charge_eff / self.volts;
+        let mah = coulombs / 3.6;
+        self.charge_mah = (self.charge_mah + mah).min(self.capacity_mah);
+    }
+
+    /// Draw `e` joules; returns false if the battery is too empty.
+    pub fn discharge_energy(&mut self, e: Joules) -> bool {
+        let mah = e.0 / self.volts / 3.6;
+        if mah > self.charge_mah {
+            return false;
+        }
+        self.charge_mah -= mah;
+        true
+    }
+
+    /// State of charge, 0–1.
+    pub fn soc(&self) -> f64 {
+        self.charge_mah / self.capacity_mah
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacitor_energy_voltage_roundtrip() {
+        let mut c = Capacitor::new(100e-6, f64::INFINITY);
+        c.charge(Joules::from_uj(288.0)); // ½·100µ·V² = 288 µJ → V = 2.4
+        assert!((c.volts - 2.4).abs() < 1e-9, "v {}", c.volts);
+        assert!(c.discharge(Joules::from_uj(126.0))); // down to ½·100µ·1.8²
+        assert!((c.volts - 1.8).abs() < 1e-9, "v {}", c.volts);
+    }
+
+    #[test]
+    fn capacitor_refuses_overdraw() {
+        let mut c = Capacitor::new(1e-6, f64::INFINITY);
+        c.charge(Joules::from_uj(1.0));
+        let v = c.volts;
+        assert!(!c.discharge(Joules::from_uj(2.0)));
+        assert_eq!(c.volts, v);
+    }
+
+    #[test]
+    fn leakage_decays_voltage() {
+        let mut c = Capacitor::new(1e-6, 1e6); // τ = 1 s
+        c.charge(Joules::from_uj(0.5)); // 1 V
+        c.leak(SimDuration::from_secs(1));
+        assert!((c.volts - (-1.0f64).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bestcap_frame_budget() {
+        // ½·6.8m·(3.1² − 2.4²) ≈ 13.1 mJ — enough for one 10.4 mJ frame,
+        // the design point of the battery-free camera (§5.2).
+        let mut c = Capacitor::bestcap_6_8mf();
+        c.charge(Joules(0.5 * 6.8e-3 * 3.1 * 3.1));
+        let usable = c.energy().0 - 0.5 * 6.8e-3 * 2.4 * 2.4;
+        assert!(usable > 10.4e-3, "usable {usable}");
+        assert!(usable < 14.0e-3);
+    }
+
+    #[test]
+    fn battery_charge_accounting() {
+        let mut b = Battery::nimh_aaa();
+        b.charge_mah = 0.0;
+        // 1 J at 2.4 V, 80 % efficient → 0.333 C → 0.0926 mAh.
+        b.charge_energy(Joules(1.0));
+        assert!((b.charge_mah - 1.0 * 0.8 / 2.4 / 3.6).abs() < 1e-9);
+        assert!(b.discharge_energy(Joules(0.1)));
+        assert!(!b.discharge_energy(Joules(100.0)));
+    }
+
+    #[test]
+    fn battery_clamps_at_capacity() {
+        let mut b = Battery::liion_coin();
+        b.charge_energy(Joules(1e6));
+        assert_eq!(b.charge_mah, b.capacity_mah);
+        assert_eq!(b.soc(), 1.0);
+    }
+
+    #[test]
+    fn jawbone_demo_arithmetic() {
+        // 2.3 mA for 2.5 h = 5.75 mAh ≈ 41 % of the 14 mAh effective cell.
+        let mut b = Battery::jawbone_up24();
+        let energy = 2.3e-3 * 3.8 * 2.5 * 3600.0; // I·V·t joules
+        b.charge_energy(Joules(energy));
+        assert!((b.soc() - 0.41).abs() < 0.01, "soc {}", b.soc());
+    }
+}

@@ -1,0 +1,190 @@
+//! Rectifier-voltage trace generation — the machinery behind Fig. 1 and the
+//! §2 "would it just work?" experiment.
+
+use crate::rectifier::{Rectifier, RectifierNode};
+use powifi_rf::Dbm;
+use powifi_sim::{PowerEnvelope, SimDuration, SimTime};
+
+/// One sample of a rectifier-voltage trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSample {
+    /// Time, seconds.
+    pub t: f64,
+    /// Rectifier node voltage, volts.
+    pub volts: f64,
+    /// Whether RF was on the air at this instant.
+    pub rf_on: bool,
+}
+
+/// Simulate the rectifier node against per-channel on/off envelopes.
+/// `channels` pairs each channel's envelope (levels 0/1 from the occupancy
+/// monitor) with the received power when that channel is active.
+pub fn rectifier_trace(
+    channels: &[(&PowerEnvelope, Dbm)],
+    rect: &Rectifier,
+    mut node: RectifierNode,
+    t0: SimTime,
+    t1: SimTime,
+    step: SimDuration,
+) -> Vec<TraceSample> {
+    assert!(t1 > t0 && !step.is_zero());
+    let mut out = Vec::new();
+    let mut t = t0;
+    while t < t1 {
+        let mut uw = 0.0;
+        for (env, p) in channels {
+            if env.level_at(t) > 0.5 {
+                uw += p.to_uw().0;
+            }
+        }
+        let rf_on = uw > 0.0;
+        let v_target = if rf_on {
+            rect.open_voltage(powifi_rf::MicroWatts(uw).to_dbm())
+        } else {
+            0.0
+        };
+        node.step(step, v_target);
+        out.push(TraceSample {
+            t: t.as_secs_f64(),
+            volts: node.volts,
+            rf_on,
+        });
+        t += step;
+    }
+    out
+}
+
+/// Summary of a trace against the DC–DC converter's minimum input voltage.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceSummary {
+    /// Highest voltage reached.
+    pub peak_volts: f64,
+    /// Fraction of samples at or above the threshold.
+    pub fraction_above: f64,
+    /// Whether the threshold was ever reached.
+    pub crossed: bool,
+}
+
+/// Evaluate a trace against a threshold (300 mV for the Seiko S-882Z).
+pub fn summarize(trace: &[TraceSample], threshold: f64) -> TraceSummary {
+    let peak = trace.iter().map(|s| s.volts).fold(0.0, f64::max);
+    let above = trace.iter().filter(|s| s.volts >= threshold).count();
+    TraceSummary {
+        peak_volts: peak,
+        fraction_above: if trace.is_empty() {
+            0.0
+        } else {
+            above as f64 / trace.len() as f64
+        },
+        crossed: peak >= threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a bursty envelope: `on_us` on, `off_us` off, repeating.
+    fn bursty(on_us: u64, off_us: u64, total_ms: u64) -> PowerEnvelope {
+        let mut env = PowerEnvelope::new();
+        let mut t = 0;
+        while t < total_ms * 1000 {
+            env.set(SimTime::from_micros(t), 1.0);
+            env.set(SimTime::from_micros(t + on_us), 0.0);
+            t += on_us + off_us;
+        }
+        env
+    }
+
+    #[test]
+    fn low_occupancy_never_crosses_threshold() {
+        // §2: a stock router at 10–40 % occupancy cannot push the node past
+        // 300 mV at 10 ft (received power below sensitivity).
+        let env = bursty(500, 2000, 5); // 20 % duty
+        let rect = Rectifier::battery_free();
+        let trace = rectifier_trace(
+            &[(&env, Dbm(-21.0))],
+            &rect,
+            RectifierNode::fig1_default(),
+            SimTime::ZERO,
+            SimTime::from_millis(5),
+            SimDuration::from_micros(5),
+        );
+        let s = summarize(&trace, 0.30);
+        assert!(!s.crossed, "peak {}", s.peak_volts);
+        assert!(s.peak_volts > 0.05, "harvests something during packets");
+    }
+
+    #[test]
+    fn continuous_high_power_crosses_threshold() {
+        let env = PowerEnvelope::constant(1.0);
+        let rect = Rectifier::battery_free();
+        let trace = rectifier_trace(
+            &[(&env, Dbm(-15.0))],
+            &rect,
+            RectifierNode::fig1_default(),
+            SimTime::ZERO,
+            SimTime::from_millis(5),
+            SimDuration::from_micros(5),
+        );
+        let s = summarize(&trace, 0.30);
+        assert!(s.crossed);
+        assert!(s.fraction_above > 0.8);
+    }
+
+    #[test]
+    fn voltage_sawtooths_with_bursts() {
+        let env = bursty(500, 1000, 6);
+        let rect = Rectifier::battery_free();
+        let trace = rectifier_trace(
+            &[(&env, Dbm(-18.0))],
+            &rect,
+            RectifierNode::fig1_default(),
+            SimTime::ZERO,
+            SimTime::from_millis(6),
+            SimDuration::from_micros(5),
+        );
+        // Rises while RF is on, falls while off (compare consecutive samples
+        // mid-burst and mid-gap).
+        let on_pair = trace.windows(2).find(|w| w[0].rf_on && w[1].rf_on).unwrap();
+        assert!(on_pair[1].volts >= on_pair[0].volts);
+        let off_pair = trace
+            .windows(2)
+            .find(|w| !w[0].rf_on && !w[1].rf_on && w[0].volts > 0.01)
+            .unwrap();
+        assert!(off_pair[1].volts < off_pair[0].volts);
+    }
+
+    #[test]
+    fn two_channels_sum_power() {
+        let a = bursty(500, 500, 4);
+        let b = PowerEnvelope::constant(1.0);
+        let rect = Rectifier::battery_free();
+        let one = rectifier_trace(
+            &[(&b, Dbm(-20.0))],
+            &rect,
+            RectifierNode::fig1_default(),
+            SimTime::ZERO,
+            SimTime::from_millis(4),
+            SimDuration::from_micros(10),
+        );
+        let two = rectifier_trace(
+            &[(&a, Dbm(-20.0)), (&b, Dbm(-20.0))],
+            &rect,
+            RectifierNode::fig1_default(),
+            SimTime::ZERO,
+            SimTime::from_millis(4),
+            SimDuration::from_micros(10),
+        );
+        let p1 = summarize(&one, 0.0).peak_volts;
+        let p2 = summarize(&two, 0.0).peak_volts;
+        assert!(p2 > p1, "{p2} <= {p1}");
+    }
+
+    #[test]
+    fn summary_of_empty_trace() {
+        let s = summarize(&[], 0.3);
+        assert!(!s.crossed);
+        assert_eq!(s.fraction_above, 0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the analog models.
+
+use powifi_harvest::{Capacitor, MatchingNetwork, Rectifier, RectifierNode};
+use powifi_rf::{Dbm, Hertz, Joules};
+use powifi_sim::SimDuration;
+use proptest::prelude::*;
+
+proptest! {
+    /// The matching network is passive: it can never reflect more power
+    /// than arrives (|Γ| ≤ 1 ⇒ mismatch factor within [0, 1]).
+    #[test]
+    fn matching_network_is_passive(f_mhz in 100f64..10_000.0) {
+        for n in [MatchingNetwork::battery_free(), MatchingNetwork::battery_charging()] {
+            let m = n.mismatch_factor(Hertz::from_mhz(f_mhz));
+            prop_assert!((0.0..=1.0).contains(&m), "mismatch {m} at {f_mhz} MHz");
+            prop_assert!(n.return_loss(Hertz::from_mhz(f_mhz)).0 <= 1e-9);
+        }
+    }
+
+    /// Rectifier output power is monotone in input power and never exceeds
+    /// the input (passivity).
+    #[test]
+    fn rectifier_monotone_and_passive(p in -30f64..20.0, delta in 0.01f64..10.0) {
+        for r in [Rectifier::battery_free(), Rectifier::battery_charging()] {
+            let lo = r.output_power(Dbm(p)).0;
+            let hi = r.output_power(Dbm(p + delta)).0;
+            prop_assert!(hi >= lo);
+            prop_assert!(lo <= Dbm(p).to_uw().0 + 1e-12, "gain from nothing at {p} dBm");
+        }
+    }
+
+    /// Capacitor charge/discharge conserves energy exactly.
+    #[test]
+    fn capacitor_energy_conservation(c_uf in 1f64..10_000.0, e1 in 0f64..1e-2, e2_frac in 0f64..1.0) {
+        let mut cap = Capacitor::new(c_uf * 1e-6, f64::INFINITY);
+        cap.charge(Joules(e1));
+        prop_assert!((cap.energy().0 - e1).abs() < 1e-12 + 1e-9 * e1);
+        let e2 = e1 * e2_frac;
+        prop_assert!(cap.discharge(Joules(e2)));
+        prop_assert!((cap.energy().0 - (e1 - e2)).abs() < 1e-12 + 1e-9 * e1);
+    }
+
+    /// The rectifier node voltage never overshoots its drive and never goes
+    /// negative, for any step pattern.
+    #[test]
+    fn node_voltage_bounded(steps in prop::collection::vec((0f64..2.0, 1u64..2000), 1..200)) {
+        let mut node = RectifierNode::fig1_default();
+        let vmax = steps.iter().map(|&(v, _)| v).fold(0.0f64, f64::max);
+        for &(v, us) in &steps {
+            node.step(SimDuration::from_micros(us), v);
+            prop_assert!(node.volts >= -1e-12);
+            prop_assert!(node.volts <= vmax + 1e-9);
+        }
+    }
+
+    /// Capacitor leakage is monotone: more time leaks more charge.
+    #[test]
+    fn leak_monotone(ms1 in 1u64..1000, extra in 1u64..1000) {
+        let mut a = Capacitor::new(1e-6, 1e6);
+        a.charge(Joules(0.5e-6));
+        let mut b = a;
+        a.leak(SimDuration::from_millis(ms1));
+        b.leak(SimDuration::from_millis(ms1 + extra));
+        prop_assert!(b.volts < a.volts);
+    }
+}

@@ -1,0 +1,183 @@
+//! Frame types exchanged on the simulated medium.
+
+use powifi_rf::Bitrate;
+use powifi_sim::SimTime;
+
+/// Identifier of a station (an AP interface, a client, a neighbor device…).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StationId(pub u32);
+
+/// Identifier of a shared medium (one per Wi-Fi channel collision domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MediumId(pub u32);
+
+/// Destination of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dest {
+    /// Unicast to one station: ACKed, retried on loss.
+    Unicast(StationId),
+    /// Broadcast: no ACK at PHY or higher layers — exactly why PoWiFi uses
+    /// UDP broadcast for power packets (§3.2, footnote 1).
+    Broadcast,
+}
+
+/// What kind of traffic a frame carries. The harvester cannot tell these
+/// apart (it just sees RF energy); the simulator tracks them for accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Ordinary client data (UDP/TCP payloads ride in `payload`).
+    Data,
+    /// PoWiFi power packet: superfluous UDP broadcast carrying no meaning.
+    Power,
+    /// AP beacon.
+    Beacon,
+    /// Management/other (probe requests etc. from neighbor devices).
+    Management,
+}
+
+/// Opaque upper-layer payload descriptor. The MAC does not interpret it; the
+/// transport layer (powifi-net) stores flow bookkeeping here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PayloadTag {
+    /// Flow identifier assigned by the transport layer (0 = none).
+    pub flow: u32,
+    /// Sequence/segment number within the flow.
+    pub seq: u64,
+    /// Transport-level payload bytes (excluding MAC/IP overhead).
+    pub bytes: u32,
+}
+
+impl PayloadTag {
+    /// A payload tag carrying nothing (power packets, beacons).
+    pub const NONE: PayloadTag = PayloadTag {
+        flow: 0,
+        seq: 0,
+        bytes: 0,
+    };
+}
+
+/// MAC header + FCS + LLC/SNAP overhead added to every data MPDU.
+pub const MAC_OVERHEAD_BYTES: u32 = 36;
+
+/// An 802.11 MPDU queued for transmission.
+#[derive(Debug, Clone, Copy)]
+pub struct Frame {
+    /// Unique frame id (assigned by the MAC on enqueue).
+    pub id: u64,
+    /// Traffic class.
+    pub kind: FrameKind,
+    /// Transmitting station.
+    pub src: StationId,
+    /// Destination.
+    pub dst: Dest,
+    /// Full MPDU size on the air, bytes (payload + MAC overhead).
+    pub bytes: u32,
+    /// PHY rate the frame is sent at. `None` = use the station's rate
+    /// controller at transmit time.
+    pub rate: Option<Bitrate>,
+    /// Upper-layer descriptor.
+    pub payload: PayloadTag,
+    /// Time the frame entered the transmit queue (for delay accounting).
+    pub enqueued_at: SimTime,
+}
+
+impl Frame {
+    /// Build a data frame around a transport payload of `payload_bytes`.
+    pub fn data(src: StationId, dst: Dest, payload: PayloadTag) -> Frame {
+        Frame {
+            id: 0,
+            kind: FrameKind::Data,
+            src,
+            dst,
+            bytes: payload.bytes + MAC_OVERHEAD_BYTES,
+            rate: None,
+            payload,
+            enqueued_at: SimTime::ZERO,
+        }
+    }
+
+    /// Build a PoWiFi power packet: a 1500-byte UDP broadcast datagram.
+    pub fn power(src: StationId, udp_payload_bytes: u32, rate: Bitrate) -> Frame {
+        Frame {
+            id: 0,
+            kind: FrameKind::Power,
+            src,
+            dst: Dest::Broadcast,
+            bytes: udp_payload_bytes + MAC_OVERHEAD_BYTES,
+            rate: Some(rate),
+            payload: PayloadTag::NONE,
+            enqueued_at: SimTime::ZERO,
+        }
+    }
+
+    /// Build a beacon frame (~128-byte management MPDU).
+    pub fn beacon(src: StationId, rate: Bitrate) -> Frame {
+        Frame {
+            id: 0,
+            kind: FrameKind::Beacon,
+            src,
+            dst: Dest::Broadcast,
+            bytes: 128,
+            rate: Some(rate),
+            payload: PayloadTag::NONE,
+            enqueued_at: SimTime::ZERO,
+        }
+    }
+
+    /// Whether the frame needs a link-layer ACK.
+    pub fn needs_ack(&self) -> bool {
+        matches!(self.dst, Dest::Unicast(_))
+    }
+}
+
+/// Result of a transmission attempt reported to the upper layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// Unicast frame was ACKed.
+    Acked,
+    /// Unicast frame exhausted its retry budget and was dropped.
+    RetryLimit,
+    /// Broadcast frame finished its single on-air attempt. `collided`
+    /// reports ground truth the real sender would not know.
+    BroadcastDone {
+        /// True if another transmission overlapped (receivers got nothing).
+        collided: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_packet_is_broadcast_1500() {
+        let f = Frame::power(StationId(1), 1500, Bitrate::G54);
+        assert_eq!(f.dst, Dest::Broadcast);
+        assert_eq!(f.bytes, 1500 + MAC_OVERHEAD_BYTES);
+        assert!(!f.needs_ack());
+        assert_eq!(f.kind, FrameKind::Power);
+    }
+
+    #[test]
+    fn data_frame_adds_mac_overhead() {
+        let f = Frame::data(
+            StationId(2),
+            Dest::Unicast(StationId(3)),
+            PayloadTag {
+                flow: 1,
+                seq: 9,
+                bytes: 1000,
+            },
+        );
+        assert_eq!(f.bytes, 1036);
+        assert!(f.needs_ack());
+        assert_eq!(f.rate, None);
+    }
+
+    #[test]
+    fn beacon_is_small_broadcast() {
+        let b = Frame::beacon(StationId(0), Bitrate::B1);
+        assert!(!b.needs_ack());
+        assert!(b.bytes < 256);
+    }
+}

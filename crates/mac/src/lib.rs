@@ -1,0 +1,27 @@
+//! # powifi-mac
+//!
+//! An event-driven 802.11g DCF simulator: frames and airtime, per-channel
+//! collision domains with carrier sense and binary-exponential backoff,
+//! unicast ACK/retry, broadcast (no-ACK) transmission — the property PoWiFi's
+//! power packets exploit — AARF rate adaptation, beacons, and the monitor-
+//! mode occupancy accounting the paper's evaluation is built on.
+//!
+//! Protocol logic is exposed as free functions over a [`MacWorld`] trait so
+//! the transport layer, the PoWiFi router and the deployment scenarios can
+//! compose one simulation world; see [`world`].
+
+#![warn(missing_docs)]
+
+pub mod airtime;
+pub mod frame;
+pub mod occupancy;
+pub mod rate_adapt;
+pub mod trace;
+pub mod world;
+
+pub use airtime::{ack_airtime, frame_airtime, tshark_airtime, MacTiming};
+pub use frame::{Dest, Frame, FrameKind, MediumId, PayloadTag, StationId, TxOutcome, MAC_OVERHEAD_BYTES};
+pub use occupancy::OccupancyMonitor;
+pub use rate_adapt::RateController;
+pub use trace::{FrameRecord, FrameTrace};
+pub use world::{enqueue, start_beacons, Mac, MacWorld, Medium, Station};

@@ -1,0 +1,309 @@
+//! Transmit-rate control.
+//!
+//! The paper's router "runs the default Wi-Fi rate adaptation algorithm" for
+//! client traffic while pinning power packets at 54 Mbps. We provide a fixed
+//! controller and an AARF-style adaptive one (step up after a success streak,
+//! step down on consecutive failures, with a backoff on failed probes).
+
+use powifi_rf::Bitrate;
+
+/// Per-station transmit rate controller for unicast data.
+#[derive(Debug, Clone)]
+pub enum RateController {
+    /// Always use one rate.
+    Fixed(Bitrate),
+    /// Adaptive (AARF): simple, but misreads collision losses.
+    Adaptive(AarfState),
+    /// Minstrel-style (the ath9k default the paper's router ran):
+    /// per-rate success EWMA, throughput-maximizing selection, periodic
+    /// probing. Collision losses hit all rates equally, so it does not
+    /// collapse under contention the way ARF-family controllers do.
+    Minstrel(MinstrelState),
+}
+
+/// Per-rate statistics for the Minstrel controller.
+#[derive(Debug, Clone, Copy)]
+struct RateStats {
+    attempts: u32,
+    successes: u32,
+    ewma_prob: f64,
+}
+
+/// Minstrel-style controller state over the OFDM ladder.
+#[derive(Debug, Clone)]
+pub struct MinstrelState {
+    stats: [RateStats; 8],
+    best: usize,
+    probing: Option<usize>,
+    frames: u32,
+    window: u32,
+}
+
+impl MinstrelState {
+    fn new(start: Bitrate) -> MinstrelState {
+        let best = Bitrate::OFDM
+            .iter()
+            .position(|&r| r == start)
+            .unwrap_or(Bitrate::OFDM.len() - 1);
+        MinstrelState {
+            stats: [RateStats {
+                attempts: 0,
+                successes: 0,
+                ewma_prob: 0.5,
+            }; 8],
+            best,
+            probing: None,
+            frames: 0,
+            window: 0,
+        }
+    }
+
+    fn current_idx(&self) -> usize {
+        self.probing.unwrap_or(self.best)
+    }
+
+    fn feedback(&mut self, ok: bool) {
+        let idx = self.current_idx();
+        let s = &mut self.stats[idx];
+        s.attempts += 1;
+        if ok {
+            s.successes += 1;
+        }
+        self.probing = None;
+        self.frames += 1;
+        // Probe a non-best rate every 16 frames (round-robin over ladder).
+        if self.frames.is_multiple_of(16) {
+            let probe = (self.best + 1 + (self.frames as usize / 16) % 7) % 8;
+            if probe != self.best {
+                self.probing = Some(probe);
+            }
+        }
+        // Update EWMAs and re-pick the best every 32 feedbacks.
+        self.window += 1;
+        if self.window >= 32 {
+            self.window = 0;
+            for s in &mut self.stats {
+                if s.attempts > 0 {
+                    let p = s.successes as f64 / s.attempts as f64;
+                    s.ewma_prob = 0.75 * s.ewma_prob + 0.25 * p;
+                    s.attempts = 0;
+                    s.successes = 0;
+                }
+            }
+            self.best = (0..8)
+                .max_by(|&a, &b| {
+                    let ta = Bitrate::OFDM[a].mbps() * self.stats[a].ewma_prob;
+                    let tb = Bitrate::OFDM[b].mbps() * self.stats[b].ewma_prob;
+                    ta.partial_cmp(&tb).unwrap()
+                })
+                .unwrap();
+        }
+    }
+}
+
+/// AARF controller state.
+#[derive(Debug, Clone)]
+pub struct AarfState {
+    rate: Bitrate,
+    success_streak: u32,
+    fail_streak: u32,
+    /// Successes required before probing the next rate up.
+    probe_threshold: u32,
+    /// True if the last step-up has not yet been validated by a success.
+    probing: bool,
+}
+
+impl RateController {
+    /// Fixed-rate controller.
+    pub fn fixed(rate: Bitrate) -> RateController {
+        RateController::Fixed(rate)
+    }
+
+    /// Minstrel-style controller starting at `start`.
+    pub fn minstrel(start: Bitrate) -> RateController {
+        RateController::Minstrel(MinstrelState::new(start))
+    }
+
+    /// Adaptive controller starting at `start` (commonly 54 Mbps indoors).
+    pub fn adaptive(start: Bitrate) -> RateController {
+        RateController::Adaptive(AarfState {
+            rate: start,
+            success_streak: 0,
+            fail_streak: 0,
+            probe_threshold: 10,
+            probing: false,
+        })
+    }
+
+    /// Rate to use for the next transmission.
+    pub fn current(&self) -> Bitrate {
+        match self {
+            RateController::Fixed(r) => *r,
+            RateController::Adaptive(s) => s.rate,
+            RateController::Minstrel(s) => Bitrate::OFDM[s.current_idx()],
+        }
+    }
+
+    /// Report an ACKed transmission.
+    pub fn on_success(&mut self) {
+        if let RateController::Minstrel(s) = self {
+            s.feedback(true);
+            return;
+        }
+        if let RateController::Adaptive(s) = self {
+            s.fail_streak = 0;
+            if s.probing {
+                // Probe validated: stay, relax the threshold.
+                s.probing = false;
+                s.probe_threshold = 10;
+            }
+            s.success_streak += 1;
+            if s.success_streak >= s.probe_threshold {
+                s.success_streak = 0;
+                if let Some(up) = s.rate.step_up() {
+                    s.rate = up;
+                    s.probing = true;
+                }
+            }
+        }
+    }
+
+    /// Report a failed (retried) transmission attempt.
+    pub fn on_failure(&mut self) {
+        if let RateController::Minstrel(s) = self {
+            s.feedback(false);
+            return;
+        }
+        if let RateController::Adaptive(s) = self {
+            s.success_streak = 0;
+            if s.probing {
+                // Probe failed immediately: back off and make the next probe
+                // harder to trigger (the AARF refinement over ARF).
+                s.probing = false;
+                s.probe_threshold = (s.probe_threshold * 2).min(50);
+                if let Some(down) = s.rate.step_down() {
+                    s.rate = down;
+                }
+                s.fail_streak = 0;
+                return;
+            }
+            s.fail_streak += 1;
+            if s.fail_streak >= 2 {
+                s.fail_streak = 0;
+                if let Some(down) = s.rate.step_down() {
+                    s.rate = down;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minstrel_stays_high_under_uniform_collision_loss() {
+        // 15 % loss independent of rate (collisions): the throughput-optimal
+        // choice remains 54 Mbps, and Minstrel must keep it.
+        let mut c = RateController::minstrel(Bitrate::G54);
+        let mut x: u32 = 7;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            if x % 100 < 15 {
+                c.on_failure();
+            } else {
+                c.on_success();
+            }
+        }
+        assert!(c.current().mbps() >= 48.0, "rate {:?}", c.current());
+    }
+
+    #[test]
+    fn minstrel_backs_off_when_high_rate_cannot_decode() {
+        // 54/48 fail always (bad SNR); 36 and below succeed. Minstrel must
+        // settle at 36 Mbps.
+        let mut c = RateController::minstrel(Bitrate::G54);
+        for _ in 0..3000 {
+            if c.current().mbps() > 36.0 {
+                c.on_failure();
+            } else {
+                c.on_success();
+            }
+        }
+        assert_eq!(c.current(), Bitrate::G36, "rate {:?}", c.current());
+    }
+
+    #[test]
+    fn minstrel_probes_other_rates() {
+        let mut c = RateController::minstrel(Bitrate::G24);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(c.current());
+            c.on_success();
+        }
+        assert!(seen.len() > 2, "no probing: {seen:?}");
+    }
+
+    #[test]
+    fn fixed_never_moves() {
+        let mut c = RateController::fixed(Bitrate::G54);
+        for _ in 0..100 {
+            c.on_failure();
+        }
+        assert_eq!(c.current(), Bitrate::G54);
+    }
+
+    #[test]
+    fn adaptive_steps_up_after_streak() {
+        let mut c = RateController::adaptive(Bitrate::G24);
+        for _ in 0..10 {
+            c.on_success();
+        }
+        assert_eq!(c.current(), Bitrate::G36);
+    }
+
+    #[test]
+    fn adaptive_steps_down_after_two_failures() {
+        let mut c = RateController::adaptive(Bitrate::G54);
+        c.on_failure();
+        assert_eq!(c.current(), Bitrate::G54);
+        c.on_failure();
+        assert_eq!(c.current(), Bitrate::G48);
+    }
+
+    #[test]
+    fn failed_probe_backs_off_and_raises_threshold() {
+        let mut c = RateController::adaptive(Bitrate::G24);
+        for _ in 0..10 {
+            c.on_success();
+        }
+        assert_eq!(c.current(), Bitrate::G36);
+        // The very next failure reverts the probe.
+        c.on_failure();
+        assert_eq!(c.current(), Bitrate::G24);
+        // Now 10 successes are not enough (threshold doubled to 20).
+        for _ in 0..10 {
+            c.on_success();
+        }
+        assert_eq!(c.current(), Bitrate::G24);
+        for _ in 0..10 {
+            c.on_success();
+        }
+        assert_eq!(c.current(), Bitrate::G36);
+    }
+
+    #[test]
+    fn adaptive_saturates_at_ladder_ends() {
+        let mut c = RateController::adaptive(Bitrate::G54);
+        for _ in 0..100 {
+            c.on_success();
+        }
+        assert_eq!(c.current(), Bitrate::G54);
+        let mut d = RateController::adaptive(Bitrate::G6);
+        for _ in 0..100 {
+            d.on_failure();
+        }
+        assert_eq!(d.current(), Bitrate::G6);
+    }
+}

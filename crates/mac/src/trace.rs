@@ -1,0 +1,148 @@
+//! Frame-level trace recording — a tcpdump for the simulated medium.
+//!
+//! The paper's methodology is built on monitor-mode captures; this module
+//! provides the analogous debugging veiw: a bounded ring of frame records
+//! per channel with a text dump, so failing experiments can be inspected
+//! the way a real capture would be.
+
+use crate::frame::{Dest, FrameKind, StationId};
+use powifi_rf::Bitrate;
+use powifi_sim::SimTime;
+use std::collections::VecDeque;
+
+/// One captured transmission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameRecord {
+    /// Transmission start time.
+    pub t: SimTime,
+    /// Transmitting station.
+    pub src: StationId,
+    /// Destination.
+    pub dst: Dest,
+    /// Traffic class.
+    pub kind: FrameKind,
+    /// MPDU bytes.
+    pub bytes: u32,
+    /// PHY rate.
+    pub rate: Bitrate,
+    /// Whether the frame collided (monitor-side ground truth).
+    pub collided: bool,
+}
+
+/// A bounded capture ring.
+#[derive(Debug)]
+pub struct FrameTrace {
+    ring: VecDeque<FrameRecord>,
+    capacity: usize,
+    /// Total frames observed (including those evicted from the ring).
+    pub observed: u64,
+}
+
+impl FrameTrace {
+    /// A trace holding the most recent `capacity` frames.
+    pub fn new(capacity: usize) -> FrameTrace {
+        assert!(capacity > 0);
+        FrameTrace {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            observed: 0,
+        }
+    }
+
+    /// Record one transmission.
+    pub fn record(&mut self, rec: FrameRecord) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(rec);
+        self.observed += 1;
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &FrameRecord> {
+        self.ring.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True if nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// tcpdump-style text dump of the retained records.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for r in &self.ring {
+            let dst = match r.dst {
+                Dest::Broadcast => "bcast".to_string(),
+                Dest::Unicast(s) => format!("sta{}", s.0),
+            };
+            out.push_str(&format!(
+                "{:>12.6}s sta{} > {}: {:?} {} B @ {} Mbps{}\n",
+                r.t.as_secs_f64(),
+                r.src.0,
+                dst,
+                r.kind,
+                r.bytes,
+                r.rate.mbps(),
+                if r.collided { " [COLLISION]" } else { "" },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t_us: u64, src: u32) -> FrameRecord {
+        FrameRecord {
+            t: SimTime::from_micros(t_us),
+            src: StationId(src),
+            dst: Dest::Broadcast,
+            kind: FrameKind::Power,
+            bytes: 1536,
+            rate: Bitrate::G54,
+            collided: false,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut tr = FrameTrace::new(3);
+        for i in 0..5 {
+            tr.record(rec(i * 100, i as u32));
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.observed, 5);
+        let srcs: Vec<u32> = tr.records().map(|r| r.src.0).collect();
+        assert_eq!(srcs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn dump_is_readable() {
+        let mut tr = FrameTrace::new(4);
+        tr.record(rec(125, 7));
+        let mut collided = rec(250, 8);
+        collided.collided = true;
+        collided.dst = Dest::Unicast(StationId(9));
+        collided.kind = FrameKind::Data;
+        tr.record(collided);
+        let dump = tr.dump();
+        assert!(dump.contains("sta7 > bcast: Power 1536 B @ 54 Mbps"));
+        assert!(dump.contains("sta8 > sta9: Data"));
+        assert!(dump.contains("[COLLISION]"));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let tr = FrameTrace::new(8);
+        assert!(tr.is_empty());
+        assert_eq!(tr.dump(), "");
+    }
+}

@@ -1,0 +1,953 @@
+//! The 802.11 DCF engine.
+//!
+//! One [`Mac`] owns every station and medium in a scenario. Protocol logic is
+//! written as free functions generic over a [`MacWorld`] — the composed
+//! simulation world — so higher layers (transport, PoWiFi router, deployment
+//! scenarios) can embed the MAC without dynamic dispatch and receive upcalls
+//! (`deliver`, `tx_complete`) when frames land.
+//!
+//! The DCF model is medium-centric: when a channel goes idle, contending
+//! stations count down DIFS plus their residual backoff slots; the earliest
+//! finisher transmits, equal finishers collide, losers keep their residual
+//! (the standard's fairness mechanism). Unicast frames are ACKed and retried
+//! with binary-exponential backoff; broadcast frames — including PoWiFi's
+//! power packets — get exactly one attempt and no ACK, as in the paper.
+
+use crate::airtime::{ack_airtime, frame_airtime, MacTiming};
+use crate::frame::{Dest, Frame, MediumId, StationId, TxOutcome};
+use crate::occupancy::OccupancyMonitor;
+use crate::rate_adapt::RateController;
+use crate::trace::{FrameRecord, FrameTrace};
+use powifi_rf::{packet_error_rate, Bitrate, Db};
+use powifi_sim::{EventHandle, EventQueue, SimDuration, SimRng, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// The world trait: any simulation embedding the MAC implements this.
+pub trait MacWorld: Sized + 'static {
+    /// Immutable access to the MAC state.
+    fn mac(&self) -> &Mac;
+    /// Mutable access to the MAC state.
+    fn mac_mut(&mut self) -> &mut Mac;
+
+    /// A frame was received by `rx` (unicast to it, or a broadcast it opted
+    /// into via [`Mac::set_wants_broadcast`]).
+    fn deliver(&mut self, q: &mut EventQueue<Self>, rx: StationId, frame: &Frame) {
+        let _ = (q, rx, frame);
+    }
+
+    /// The sender finished with a frame (ACKed / retries exhausted /
+    /// broadcast attempt done).
+    fn tx_complete(&mut self, q: &mut EventQueue<Self>, frame: &Frame, outcome: TxOutcome) {
+        let _ = (q, frame, outcome);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StaState {
+    Idle,
+    Contending,
+    Transmitting,
+}
+
+/// A station (AP interface, client, neighbor device, attacker…).
+///
+/// The transmit queue is two-class — power broadcasts vs everything else —
+/// served round-robin, mirroring the fq-style qdisc of the paper's router
+/// (that is what makes NoQueue "roughly halve" client throughput in Fig. 6
+/// rather than starve it).
+#[derive(Debug)]
+pub struct Station {
+    medium: MediumId,
+    /// queues[0]: data/beacons/management; queues[1]: power broadcasts.
+    queues: [VecDeque<Frame>; 2],
+    rr: usize,
+    queue_cap: usize,
+    state: StaState,
+    cw: u32,
+    retries: u8,
+    rate_ctl: RateController,
+    wants_broadcast: bool,
+    /// Counters for tests and reporting.
+    pub frames_sent: u64,
+    /// Unicast retransmission attempts.
+    pub retransmissions: u64,
+    /// Frames dropped because the transmit queue was full.
+    pub queue_drops: u64,
+}
+
+struct Contender {
+    sta: StationId,
+    rem: u32,
+    count_start: SimTime,
+}
+
+struct InFlight {
+    sta: StationId,
+    rate: Bitrate,
+    delivered: bool,
+    class: usize,
+}
+
+/// A collision domain (one Wi-Fi channel).
+pub struct Medium {
+    idle_since: SimTime,
+    busy_until: SimTime,
+    contenders: Vec<Contender>,
+    in_flight: Vec<InFlight>,
+    arb: Option<EventHandle>,
+    monitor: OccupancyMonitor,
+    trace: Option<FrameTrace>,
+    /// Ground-truth collision counter.
+    pub collisions: u64,
+}
+
+/// The MAC state: all stations, mediums and links of one scenario.
+pub struct Mac {
+    /// Timing constants (802.11g by default).
+    pub timing: MacTiming,
+    stations: Vec<Station>,
+    mediums: Vec<Medium>,
+    /// Link SNR table; missing entries default to a strong 40 dB link.
+    links: HashMap<(StationId, StationId), Db>,
+    /// Optional block-fading processes per directed link.
+    faders: HashMap<(StationId, StationId), powifi_rf::BlockFader>,
+    /// Per-medium external frame-corruption probability (fault injection).
+    corruption: HashMap<MediumId, f64>,
+    rng: SimRng,
+    next_frame_id: u64,
+}
+
+impl Mac {
+    /// New MAC with default timing, drawing randomness from `rng`.
+    pub fn new(rng: SimRng) -> Mac {
+        Mac {
+            timing: MacTiming::default(),
+            stations: Vec::new(),
+            mediums: Vec::new(),
+            links: HashMap::new(),
+            faders: HashMap::new(),
+            corruption: HashMap::new(),
+            rng,
+            next_frame_id: 1,
+        }
+    }
+
+    /// Add a channel with the given occupancy-monitor bin width.
+    pub fn add_medium(&mut self, monitor_bin: SimDuration) -> MediumId {
+        let id = MediumId(self.mediums.len() as u32);
+        self.mediums.push(Medium {
+            idle_since: SimTime::ZERO,
+            busy_until: SimTime::ZERO,
+            contenders: Vec::new(),
+            in_flight: Vec::new(),
+            arb: None,
+            monitor: OccupancyMonitor::new(monitor_bin),
+            trace: None,
+            collisions: 0,
+        });
+        id
+    }
+
+    /// Add a station on `medium`.
+    pub fn add_station(&mut self, medium: MediumId, rate_ctl: RateController) -> StationId {
+        let id = StationId(self.stations.len() as u32);
+        self.stations.push(Station {
+            medium,
+            queues: [VecDeque::new(), VecDeque::new()],
+            rr: 0,
+            queue_cap: 1000,
+            state: StaState::Idle,
+            cw: self.timing.cw_min,
+            retries: 0,
+            rate_ctl,
+            wants_broadcast: false,
+            frames_sent: 0,
+            retransmissions: 0,
+            queue_drops: 0,
+        });
+        id
+    }
+
+    /// Set the SNR of the directed link `a → b` (used for PER and ACK loss).
+    pub fn set_link_snr(&mut self, a: StationId, b: StationId, snr: Db) {
+        self.links.insert((a, b), snr);
+    }
+
+    fn link_snr(&mut self, a: StationId, b: StationId, now: SimTime) -> Db {
+        let base = self.links.get(&(a, b)).copied().unwrap_or(Db(40.0));
+        match self.faders.get_mut(&(a, b)) {
+            Some(f) => base + f.fade_at(now),
+            None => base,
+        }
+    }
+
+    /// Attach a block-fading process to the directed link `a → b`.
+    pub fn set_link_fader(&mut self, a: StationId, b: StationId, fader: powifi_rf::BlockFader) {
+        self.faders.insert((a, b), fader);
+    }
+
+    /// Fault injection: corrupt every frame on `medium` with probability
+    /// `p`, independent of SNR (interference from non-Wi-Fi devices —
+    /// microwave ovens, the "external causes" of §6's home 6 anomaly).
+    pub fn set_corruption(&mut self, medium: MediumId, p: f64) {
+        self.corruption.insert(medium, p.clamp(0.0, 1.0));
+    }
+
+    fn corruption_of(&self, medium: MediumId) -> f64 {
+        self.corruption.get(&medium).copied().unwrap_or(0.0)
+    }
+
+    /// Replace a station's transmit-rate controller.
+    pub fn set_rate_controller(&mut self, sta: StationId, ctl: RateController) {
+        self.stations[sta.0 as usize].rate_ctl = ctl;
+    }
+
+    /// Opt a station into receiving broadcast frames via `deliver`.
+    pub fn set_wants_broadcast(&mut self, sta: StationId, wants: bool) {
+        self.stations[sta.0 as usize].wants_broadcast = wants;
+    }
+
+    /// Cap a station's transmit queue (default 1000 frames).
+    pub fn set_queue_cap(&mut self, sta: StationId, cap: usize) {
+        self.stations[sta.0 as usize].queue_cap = cap;
+    }
+
+    /// Current transmit-queue depth (all classes) — the quantity PoWiFi's
+    /// `Power_MACshim` hoists from the MAC into the IP layer (§3.2).
+    pub fn queue_depth(&self, sta: StationId) -> usize {
+        let st = &self.stations[sta.0 as usize];
+        st.queues[0].len() + st.queues[1].len()
+    }
+
+    /// The medium a station lives on.
+    pub fn medium_of(&self, sta: StationId) -> MediumId {
+        self.stations[sta.0 as usize].medium
+    }
+
+    /// Station accessor for counters.
+    pub fn station(&self, sta: StationId) -> &Station {
+        &self.stations[sta.0 as usize]
+    }
+
+    /// Occupancy monitor of a channel.
+    pub fn monitor(&self, m: MediumId) -> &OccupancyMonitor {
+        &self.mediums[m.0 as usize].monitor
+    }
+
+    /// Mutable occupancy monitor (to set tracked stations / envelope mode).
+    pub fn monitor_mut(&mut self, m: MediumId) -> &mut Medium {
+        &mut self.mediums[m.0 as usize]
+    }
+
+    /// Start capturing the most recent `capacity` frames on `medium`
+    /// (tcpdump-style; see [`FrameTrace`]).
+    pub fn enable_trace(&mut self, m: MediumId, capacity: usize) {
+        self.mediums[m.0 as usize].trace = Some(FrameTrace::new(capacity));
+    }
+
+    /// The capture ring of a channel, if tracing was enabled.
+    pub fn trace(&self, m: MediumId) -> Option<&FrameTrace> {
+        self.mediums[m.0 as usize].trace.as_ref()
+    }
+
+    /// How long the medium has been continuously idle at `now`
+    /// (`None` while a transmission is in the air). This is the carrier-
+    /// sense primitive a silent-slot power scheduler (§8b) needs.
+    pub fn idle_for(&self, m: MediumId, now: SimTime) -> Option<SimDuration> {
+        let med = &self.mediums[m.0 as usize];
+        if now < med.busy_until || !med.in_flight.is_empty() {
+            None
+        } else {
+            Some(now.duration_since(med.idle_since))
+        }
+    }
+
+    /// Collision count on a channel.
+    pub fn collisions(&self, m: MediumId) -> u64 {
+        self.mediums[m.0 as usize].collisions
+    }
+
+    /// Number of stations.
+    pub fn station_count(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// Number of mediums.
+    pub fn medium_count(&self) -> usize {
+        self.mediums.len()
+    }
+}
+
+impl Medium {
+    /// The channel's occupancy monitor.
+    pub fn monitor(&mut self) -> &mut OccupancyMonitor {
+        &mut self.monitor
+    }
+}
+
+/// Enqueue a frame for transmission. Returns `false` (dropping the frame) if
+/// the station's transmit queue is full.
+pub fn enqueue<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, sta: StationId, mut frame: Frame) -> bool {
+    let now = q.now();
+    let mac = w.mac_mut();
+    frame.id = mac.next_frame_id;
+    mac.next_frame_id += 1;
+    frame.enqueued_at = now;
+    frame.src = sta;
+    let st = &mut mac.stations[sta.0 as usize];
+    let class = frame_class(&frame);
+    if st.queues[class].len() >= st.queue_cap {
+        st.queue_drops += 1;
+        return false;
+    }
+    st.queues[class].push_back(frame);
+    if st.state == StaState::Idle {
+        start_access(w, q, sta);
+    }
+    true
+}
+
+/// Queue class of a frame: power broadcasts are isolated from client data.
+fn frame_class(frame: &Frame) -> usize {
+    match frame.kind {
+        crate::frame::FrameKind::Power => 1,
+        _ => 0,
+    }
+}
+
+impl Station {
+    /// Which class the next transmission should serve (round-robin across
+    /// non-empty classes).
+    fn next_class(&self) -> usize {
+        match (self.queues[0].is_empty(), self.queues[1].is_empty()) {
+            (false, true) => 0,
+            (true, false) => 1,
+            _ => self.rr,
+        }
+    }
+
+    fn queued(&self) -> usize {
+        self.queues[0].len() + self.queues[1].len()
+    }
+}
+
+/// Begin a channel-access attempt for a station with queued traffic.
+fn start_access<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, sta: StationId) {
+    let now = q.now();
+    let medium_id;
+    {
+        let mac = w.mac_mut();
+        let st = &mut mac.stations[sta.0 as usize];
+        debug_assert!(st.state == StaState::Idle);
+        debug_assert!(st.queued() > 0);
+        st.state = StaState::Contending;
+        medium_id = st.medium;
+        let cw = st.cw;
+        let rem = mac.rng.range(0..=cw);
+        mac.mediums[medium_id.0 as usize].contenders.push(Contender {
+            sta,
+            rem,
+            count_start: now,
+        });
+    }
+    rearm(w, q, medium_id);
+}
+
+/// Recompute and (re)schedule the medium's next transmission decision.
+fn rearm<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
+    let now = q.now();
+    let mac = w.mac_mut();
+    let timing = mac.timing;
+    let m = &mut mac.mediums[medium.0 as usize];
+    if let Some(h) = m.arb.take() {
+        q.cancel(h);
+    }
+    if now < m.busy_until || m.contenders.is_empty() {
+        return;
+    }
+    let idle_since = m.idle_since;
+    let earliest = m
+        .contenders
+        .iter()
+        .map(|c| finish_time(c, idle_since, &timing))
+        .min()
+        .expect("non-empty contenders");
+    let at = earliest.max(now);
+    m.arb = Some(q.schedule_at(at, move |w, q| arb_fire(w, q, medium)));
+}
+
+fn finish_time(c: &Contender, idle_since: SimTime, timing: &MacTiming) -> SimTime {
+    let eff_start = c.count_start.max(idle_since);
+    eff_start + timing.difs() + timing.slot * c.rem as u64
+}
+
+/// The arbitration event: the earliest finisher(s) transmit.
+fn arb_fire<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
+    let now = q.now();
+    let mut busy = SimDuration::ZERO;
+    {
+        let mac = w.mac_mut();
+        let timing = mac.timing;
+        let m = &mut mac.mediums[medium.0 as usize];
+        m.arb = None;
+        if m.contenders.is_empty() {
+            return;
+        }
+        let idle_since = m.idle_since;
+        let earliest = m
+            .contenders
+            .iter()
+            .map(|c| finish_time(c, idle_since, &timing))
+            .min()
+            .expect("non-empty contenders");
+        debug_assert!(earliest <= now, "arb fired early");
+        // Partition winners (finish == earliest) and losers.
+        let mut winners = Vec::new();
+        m.contenders.retain(|c| {
+            if finish_time(c, idle_since, &timing) == earliest {
+                winners.push(c.sta);
+                false
+            } else {
+                true
+            }
+        });
+        // Losers bank the slots that elapsed while the medium was idle.
+        for c in &mut m.contenders {
+            let eff_start = c.count_start.max(idle_since);
+            let counted_from = eff_start + timing.difs();
+            if now > counted_from {
+                let elapsed = now.duration_since(counted_from) / timing.slot;
+                c.rem -= (elapsed as u32).min(c.rem);
+            }
+        }
+        let collision = winners.len() > 1;
+        if collision {
+            m.collisions += 1;
+        }
+        // Start every winner's transmission.
+        debug_assert!(m.in_flight.is_empty());
+        for sta in winners {
+            let (rate, bytes, dst, class) = {
+                let st = &mac.stations[sta.0 as usize];
+                let class = st.next_class();
+                let f = st.queues[class].front().expect("winner with empty queue");
+                let rate = f.rate.unwrap_or_else(|| st.rate_ctl.current());
+                (rate, f.bytes, f.dst, class)
+            };
+            let corrupt_p = mac.corruption_of(medium);
+            let corrupted = corrupt_p > 0.0 && mac.rng.chance(corrupt_p);
+            let delivered = match dst {
+                Dest::Broadcast => !collision && !corrupted,
+                Dest::Unicast(peer) => {
+                    let per = packet_error_rate(mac.link_snr(sta, peer, now), rate);
+                    !collision && !corrupted && !mac.rng.chance(per)
+                }
+            };
+            let st = &mut mac.stations[sta.0 as usize];
+            st.state = StaState::Transmitting;
+            st.frames_sent += 1;
+            let mut dur = frame_airtime(bytes, rate);
+            if matches!(dst, Dest::Unicast(_)) && delivered {
+                dur += timing.sifs + ack_airtime(rate);
+            }
+            busy = busy.max(dur);
+            let m = &mut mac.mediums[medium.0 as usize];
+            m.monitor.record(now, sta, bytes, rate);
+            if let Some(tr) = &mut m.trace {
+                let kind = mac.stations[sta.0 as usize].queues[class]
+                    .front()
+                    .map(|f| f.kind)
+                    .unwrap_or(crate::frame::FrameKind::Data);
+                tr.record(FrameRecord {
+                    t: now,
+                    src: sta,
+                    dst,
+                    kind,
+                    bytes,
+                    rate,
+                    collided: collision,
+                });
+            }
+            let m = &mut mac.mediums[medium.0 as usize];
+            m.in_flight.push(InFlight {
+                sta,
+                rate,
+                delivered,
+                class,
+            });
+        }
+        let m = &mut mac.mediums[medium.0 as usize];
+        m.busy_until = now + busy;
+    }
+    q.schedule_in(busy, move |w, q| tx_end(w, q, medium));
+}
+
+/// End of a busy period: resolve outcomes, deliver frames, resume contention.
+fn tx_end<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
+    let now = q.now();
+    // (frame, outcome) for tx_complete; (rx, frame) for deliver.
+    let mut completions: Vec<(Frame, TxOutcome)> = Vec::new();
+    let mut deliveries: Vec<(StationId, Frame)> = Vec::new();
+    let mut resume: Vec<StationId> = Vec::new();
+    {
+        let mac = w.mac_mut();
+        let timing = mac.timing;
+        let m = &mut mac.mediums[medium.0 as usize];
+        let in_flight = std::mem::take(&mut m.in_flight);
+        let collision = in_flight.len() > 1;
+        m.idle_since = now;
+        for fl in in_flight {
+            let sta = fl.sta;
+            let st = &mut mac.stations[sta.0 as usize];
+            st.state = StaState::Idle;
+            let frame = *st.queues[fl.class].front().expect("in-flight with empty queue");
+            match frame.dst {
+                Dest::Broadcast => {
+                    st.queues[fl.class].pop_front();
+                    st.rr = 1 - fl.class;
+                    st.cw = timing.cw_min;
+                    st.retries = 0;
+                    completions.push((frame, TxOutcome::BroadcastDone { collided: collision }));
+                    if fl.delivered {
+                        // Fan out to opted-in listeners on this medium.
+                        let listeners: Vec<StationId> = mac
+                            .stations
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, other)| {
+                                StationId(*i as u32) != sta
+                                    && other.medium == medium
+                                    && other.wants_broadcast
+                            })
+                            .map(|(i, _)| StationId(i as u32))
+                            .collect();
+                        for oid in listeners {
+                            let per = packet_error_rate(mac.link_snr(sta, oid, now), fl.rate);
+                            if !mac.rng.chance(per) {
+                                deliveries.push((oid, frame));
+                            }
+                        }
+                    }
+                }
+                Dest::Unicast(peer) => {
+                    if fl.delivered {
+                        let st = &mut mac.stations[sta.0 as usize];
+                        st.queues[fl.class].pop_front();
+                        st.rr = 1 - fl.class;
+                        st.cw = timing.cw_min;
+                        st.retries = 0;
+                        st.rate_ctl.on_success();
+                        completions.push((frame, TxOutcome::Acked));
+                        deliveries.push((peer, frame));
+                    } else {
+                        let st = &mut mac.stations[sta.0 as usize];
+                        st.retries += 1;
+                        st.retransmissions += 1;
+                        st.rate_ctl.on_failure();
+                        if st.retries > timing.retry_limit {
+                            st.queues[fl.class].pop_front();
+                            st.rr = 1 - fl.class;
+                            st.cw = timing.cw_min;
+                            st.retries = 0;
+                            completions.push((frame, TxOutcome::RetryLimit));
+                        } else {
+                            st.cw = (2 * st.cw + 1).min(timing.cw_max);
+                        }
+                    }
+                }
+            }
+            if mac.stations[sta.0 as usize].queued() > 0 {
+                resume.push(sta);
+            }
+        }
+    }
+    for sta in resume {
+        start_access(w, q, sta);
+    }
+    rearm(w, q, medium);
+    for (frame, outcome) in completions {
+        w.tx_complete(q, &frame, outcome);
+    }
+    for (rx, frame) in deliveries {
+        w.deliver(q, rx, &frame);
+    }
+}
+
+/// Schedule periodic beacons from `sta` (typically an AP interface) every
+/// `interval` at `rate`, starting at `first`.
+pub fn start_beacons<W: MacWorld>(
+    q: &mut EventQueue<W>,
+    sta: StationId,
+    first: SimTime,
+    interval: SimDuration,
+    rate: Bitrate,
+) {
+    q.schedule_repeating(first, interval, move |w, q| {
+        let beacon = Frame::beacon(sta, rate);
+        enqueue(w, q, sta, beacon);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{FrameKind, PayloadTag};
+
+    /// Minimal world: just the MAC plus upcall logs.
+    struct TestWorld {
+        mac: Mac,
+        delivered: Vec<(StationId, u64)>,
+        completed: Vec<(u64, TxOutcome)>,
+    }
+
+    impl MacWorld for TestWorld {
+        fn mac(&self) -> &Mac {
+            &self.mac
+        }
+        fn mac_mut(&mut self) -> &mut Mac {
+            &mut self.mac
+        }
+        fn deliver(&mut self, _q: &mut EventQueue<Self>, rx: StationId, frame: &Frame) {
+            self.delivered.push((rx, frame.id));
+        }
+        fn tx_complete(&mut self, _q: &mut EventQueue<Self>, frame: &Frame, outcome: TxOutcome) {
+            self.completed.push((frame.id, outcome));
+        }
+    }
+
+    fn world() -> (TestWorld, EventQueue<TestWorld>) {
+        (
+            TestWorld {
+                mac: Mac::new(SimRng::from_seed(1)),
+                delivered: Vec::new(),
+                completed: Vec::new(),
+            },
+            EventQueue::new(),
+        )
+    }
+
+    #[test]
+    fn single_broadcast_goes_on_air_once() {
+        let (mut w, mut q) = world();
+        let m = w.mac.add_medium(SimDuration::from_secs(1));
+        let a = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        let f = Frame::power(a, 1500, Bitrate::G54);
+        assert!(enqueue(&mut w, &mut q, a, f));
+        q.run_until(&mut w, SimTime::from_millis(10));
+        assert_eq!(w.mac.station(a).frames_sent, 1);
+        assert_eq!(w.completed.len(), 1);
+        assert_eq!(w.completed[0].1, TxOutcome::BroadcastDone { collided: false });
+        assert!(w.mac.collisions(m) == 0);
+    }
+
+    #[test]
+    fn unicast_is_acked_and_delivered() {
+        let (mut w, mut q) = world();
+        let m = w.mac.add_medium(SimDuration::from_secs(1));
+        let a = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        let b = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        let f = Frame::data(
+            a,
+            Dest::Unicast(b),
+            PayloadTag {
+                flow: 7,
+                seq: 1,
+                bytes: 1000,
+            },
+        );
+        enqueue(&mut w, &mut q, a, f);
+        q.run_until(&mut w, SimTime::from_millis(10));
+        assert_eq!(w.completed, vec![(1, TxOutcome::Acked)]);
+        assert_eq!(w.delivered, vec![(b, 1)]);
+    }
+
+    #[test]
+    fn bad_link_exhausts_retries() {
+        let (mut w, mut q) = world();
+        let m = w.mac.add_medium(SimDuration::from_secs(1));
+        let a = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        let b = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        w.mac.set_link_snr(a, b, Db(0.0)); // hopeless for 54 Mbps
+        let f = Frame::data(
+            a,
+            Dest::Unicast(b),
+            PayloadTag {
+                flow: 1,
+                seq: 1,
+                bytes: 1000,
+            },
+        );
+        enqueue(&mut w, &mut q, a, f);
+        q.run_until(&mut w, SimTime::from_secs(1));
+        assert_eq!(w.completed, vec![(1, TxOutcome::RetryLimit)]);
+        assert!(w.delivered.is_empty());
+        assert_eq!(w.mac.station(a).retransmissions as usize, 8); // 1 + 7 retries
+    }
+
+    #[test]
+    fn two_saturated_stations_share_the_medium_fairly() {
+        let (mut w, mut q) = world();
+        let m = w.mac.add_medium(SimDuration::from_secs(1));
+        let a = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        let b = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        // Keep both queues topped up.
+        for sta in [a, b] {
+            q.schedule_repeating(
+                SimTime::ZERO,
+                SimDuration::from_micros(100),
+                move |w: &mut TestWorld, q| {
+                    if w.mac.queue_depth(sta) < 5 {
+                        let f = Frame::power(sta, 1500, Bitrate::G54);
+                        enqueue(w, q, sta, f);
+                    }
+                },
+            );
+        }
+        q.run_until(&mut w, SimTime::from_secs(2));
+        let sa = w.mac.station(a).frames_sent as f64;
+        let sb = w.mac.station(b).frames_sent as f64;
+        assert!(sa > 1000.0 && sb > 1000.0, "sa {sa} sb {sb}");
+        let ratio = sa / sb;
+        assert!((0.9..=1.1).contains(&ratio), "unfair split {ratio}");
+    }
+
+    #[test]
+    fn saturated_single_station_occupancy_near_theory() {
+        let (mut w, mut q) = world();
+        let m = w.mac.add_medium(SimDuration::from_secs(1));
+        let a = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        q.schedule_repeating(
+            SimTime::ZERO,
+            SimDuration::from_micros(50),
+            move |w: &mut TestWorld, q| {
+                if w.mac.queue_depth(a) < 5 {
+                    let f = Frame::power(a, 1500, Bitrate::G54);
+                    enqueue(w, q, a, f);
+                }
+            },
+        );
+        {
+            let mon = w.mac.monitor_mut(m).monitor();
+            mon.track(a);
+        }
+        let end = SimTime::from_secs(2);
+        q.run_until(&mut w, end);
+        let occ = w.mac.monitor(m).mean_tracked(end);
+        // Cycle = DIFS(28) + mean backoff(7.5×9=67.5) + airtime(248) ≈ 344 µs;
+        // tshark metric counts 8×1536/54 ≈ 227.6 µs → ~0.66.
+        assert!((0.58..=0.72).contains(&occ), "occupancy {occ}");
+    }
+
+    #[test]
+    fn broadcast_fanout_respects_opt_in() {
+        let (mut w, mut q) = world();
+        let m = w.mac.add_medium(SimDuration::from_secs(1));
+        let a = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        let b = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        let c = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        w.mac.set_wants_broadcast(c, true);
+        let f = Frame::power(a, 200, Bitrate::G54);
+        enqueue(&mut w, &mut q, a, f);
+        q.run_until(&mut w, SimTime::from_millis(5));
+        assert_eq!(w.delivered, vec![(c, 1)]);
+        let _ = b;
+    }
+
+    #[test]
+    fn queue_cap_drops_excess() {
+        let (mut w, mut q) = world();
+        let m = w.mac.add_medium(SimDuration::from_secs(1));
+        let a = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        w.mac.set_queue_cap(a, 3);
+        let mut accepted = 0;
+        for _ in 0..10 {
+            if enqueue(&mut w, &mut q, a, Frame::power(a, 1500, Bitrate::G54)) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 3);
+        assert_eq!(w.mac.station(a).queue_drops, 7);
+        q.run_until(&mut w, SimTime::from_secs(1));
+        assert_eq!(w.mac.station(a).frames_sent, 3);
+    }
+
+    #[test]
+    fn beacons_repeat() {
+        let (mut w, mut q) = world();
+        let m = w.mac.add_medium(SimDuration::from_secs(1));
+        let a = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        start_beacons(
+            &mut q,
+            a,
+            SimTime::ZERO,
+            SimDuration::from_micros(102_400),
+            Bitrate::G6,
+        );
+        q.run_until(&mut w, SimTime::from_secs(1));
+        // ~9.77 beacons per second.
+        let sent = w.mac.station(a).frames_sent;
+        assert!((9..=10).contains(&sent), "beacons {sent}");
+        assert!(w
+            .completed
+            .iter()
+            .all(|&(_, o)| o == TxOutcome::BroadcastDone { collided: false }));
+    }
+
+    #[test]
+    fn collisions_happen_under_contention() {
+        let (mut w, mut q) = world();
+        let m = w.mac.add_medium(SimDuration::from_secs(1));
+        let stas: Vec<_> = (0..8)
+            .map(|_| w.mac.add_station(m, RateController::fixed(Bitrate::G54)))
+            .collect();
+        for sta in stas {
+            q.schedule_repeating(
+                SimTime::ZERO,
+                SimDuration::from_micros(200),
+                move |w: &mut TestWorld, q| {
+                    if w.mac.queue_depth(sta) < 3 {
+                        enqueue(w, q, sta, Frame::power(sta, 1500, Bitrate::G54));
+                    }
+                },
+            );
+        }
+        q.run_until(&mut w, SimTime::from_secs(2));
+        assert!(w.mac.collisions(m) > 10, "collisions {}", w.mac.collisions(m));
+        // Collided broadcasts are reported as such.
+        assert!(w
+            .completed
+            .iter()
+            .any(|&(_, o)| o == TxOutcome::BroadcastDone { collided: true }));
+    }
+
+    #[test]
+    fn trace_captures_transmissions() {
+        let (mut w, mut q) = world();
+        let m = w.mac.add_medium(SimDuration::from_secs(1));
+        let a = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        w.mac.enable_trace(m, 16);
+        for _ in 0..5 {
+            enqueue(&mut w, &mut q, a, Frame::power(a, 1500, Bitrate::G54));
+        }
+        q.run_until(&mut w, SimTime::from_millis(50));
+        let tr = w.mac.trace(m).expect("trace enabled");
+        assert_eq!(tr.observed, 5);
+        assert!(tr.dump().contains("Power 1536 B @ 54 Mbps"));
+        // Untraced channels return None.
+        let m2 = w.mac.add_medium(SimDuration::from_secs(1));
+        assert!(w.mac.trace(m2).is_none());
+    }
+
+    #[test]
+    fn mixed_bg_timing_lowers_throughput() {
+        let run = |timing| {
+            let (mut w, mut q) = world();
+            w.mac.timing = timing;
+            let m = w.mac.add_medium(SimDuration::from_secs(1));
+            let a = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+            q.schedule_repeating(
+                SimTime::ZERO,
+                SimDuration::from_micros(100),
+                move |w: &mut TestWorld, q| {
+                    if w.mac.queue_depth(a) < 5 {
+                        enqueue(w, q, a, Frame::power(a, 1500, Bitrate::G54));
+                    }
+                },
+            );
+            q.run_until(&mut w, SimTime::from_secs(2));
+            w.mac.station(a).frames_sent
+        };
+        let g = run(MacTiming::g_only());
+        let bg = run(MacTiming::bg_mixed());
+        // Long slots + bigger CW stretch every cycle by ~40 %.
+        assert!((bg as f64) < 0.85 * g as f64, "g {g} bg {bg}");
+    }
+
+    #[test]
+    fn corruption_injection_causes_retries() {
+        let (mut w, mut q) = world();
+        let m = w.mac.add_medium(SimDuration::from_secs(1));
+        let a = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        let b = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        w.mac.set_corruption(m, 0.4);
+        for i in 0..50 {
+            let f = Frame::data(
+                a,
+                Dest::Unicast(b),
+                PayloadTag {
+                    flow: 1,
+                    seq: i,
+                    bytes: 1000,
+                },
+            );
+            enqueue(&mut w, &mut q, a, f);
+        }
+        q.run_until(&mut w, SimTime::from_secs(2));
+        // ~40 % of attempts fail → plenty of retransmissions, but the link
+        // is not hopeless, so frames still get through.
+        assert!(w.mac.station(a).retransmissions > 10);
+        assert!(w.delivered.len() > 40, "delivered {}", w.delivered.len());
+    }
+
+    #[test]
+    fn fading_link_oscillates_between_good_and_bad() {
+        use powifi_rf::BlockFader;
+        let (mut w, mut q) = world();
+        let m = w.mac.add_medium(SimDuration::from_secs(1));
+        let a = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        let b = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        // Base SNR right at the 54 Mbps threshold: fades flip delivery.
+        w.mac.set_link_snr(a, b, Db(25.0));
+        w.mac
+            .set_link_fader(a, b, BlockFader::indoor_obstructed(SimRng::from_seed(5)));
+        q.schedule_repeating(
+            SimTime::ZERO,
+            SimDuration::from_millis(2),
+            move |w: &mut TestWorld, q| {
+                if w.mac.queue_depth(a) < 3 {
+                    let f = Frame::data(
+                        a,
+                        Dest::Unicast(b),
+                        PayloadTag {
+                            flow: 1,
+                            seq: 0,
+                            bytes: 1000,
+                        },
+                    );
+                    enqueue(w, q, a, f);
+                }
+            },
+        );
+        q.run_until(&mut w, SimTime::from_secs(4));
+        let sent = w.mac.station(a).frames_sent;
+        let retx = w.mac.station(a).retransmissions;
+        // Fading produces a real mix of successes and failures.
+        assert!(retx > sent / 20, "sent {sent} retx {retx}");
+        assert!(!w.delivered.is_empty());
+        assert!(w.completed.iter().any(|&(_, o)| o == TxOutcome::Acked));
+    }
+
+    #[test]
+    fn per_frame_rate_override_beats_controller() {
+        let (mut w, mut q) = world();
+        let m = w.mac.add_medium(SimDuration::from_secs(1));
+        let a = w.mac.add_station(m, RateController::fixed(Bitrate::G6));
+        {
+            let mon = w.mac.monitor_mut(m).monitor();
+            mon.track(a);
+            mon.enable_envelope();
+        }
+        let f = Frame::power(a, 1500, Bitrate::B1); // explicit 1 Mbps
+        enqueue(&mut w, &mut q, a, f);
+        q.run_until(&mut w, SimTime::from_millis(50));
+        // 1536 B at 1 Mbps ≈ 12.3 ms on air (so the envelope is busy at 5 ms).
+        let env = w.mac.monitor(m).envelope().unwrap();
+        assert_eq!(env.level_at(SimTime::from_millis(5)), 1.0);
+        assert_eq!(w.completed.len(), 1);
+        assert_eq!(w.completed[0].0, 1);
+        assert!(matches!(w.completed[0].1, TxOutcome::BroadcastDone { .. }));
+        assert_eq!(w.mac.station(a).frames_sent, 1);
+        assert_eq!(w.mac.queue_depth(a), 0);
+        assert_eq!(FrameKind::Power, FrameKind::Power);
+    }
+}

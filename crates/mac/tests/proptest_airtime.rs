@@ -1,0 +1,68 @@
+//! Property tests for airtime computation and occupancy accounting.
+
+use powifi_mac::{ack_airtime, frame_airtime, tshark_airtime, OccupancyMonitor, StationId};
+use powifi_rf::Bitrate;
+use powifi_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn any_rate() -> impl Strategy<Value = Bitrate> {
+    prop::sample::select(Bitrate::ALL.to_vec())
+}
+
+proptest! {
+    /// Physical airtime always exceeds the tshark (payload-only) metric,
+    /// and both are monotone in frame size (physical airtime only weakly so:
+    /// OFDM pads to whole 4 µs symbols).
+    #[test]
+    fn airtime_orderings(bytes in 14u32..3000, extra in 1u32..500, rate in any_rate()) {
+        prop_assert!(frame_airtime(bytes, rate) > tshark_airtime(bytes, rate));
+        prop_assert!(frame_airtime(bytes + extra, rate) >= frame_airtime(bytes, rate));
+        prop_assert!(tshark_airtime(bytes + extra, rate) > tshark_airtime(bytes, rate));
+        // One extra symbol's worth of bytes strictly increases airtime.
+        let symbol_bytes = (rate.mbps() * 4.0 / 8.0).ceil() as u32 + 1;
+        prop_assert!(frame_airtime(bytes + extra + symbol_bytes, rate) > frame_airtime(bytes, rate));
+    }
+
+    /// Serialization time scales inversely with rate: at double the rate a
+    /// frame never takes longer.
+    #[test]
+    fn faster_is_never_slower(bytes in 14u32..3000) {
+        let mut prev = SimDuration::MAX;
+        for rate in Bitrate::OFDM {
+            let t = frame_airtime(bytes, rate);
+            prop_assert!(t <= prev);
+            prev = t;
+        }
+    }
+
+    /// ACK airtime is shorter than any realistic data frame. (For tiny
+    /// DSSS frames the 1 Mbps long-preamble ACK genuinely is longer — a
+    /// quirk of real 802.11b too — so the bound starts at 300 bytes.)
+    #[test]
+    fn ack_shorter_than_data(bytes in 300u32..3000, rate in any_rate()) {
+        prop_assert!(ack_airtime(rate) < frame_airtime(bytes, rate));
+    }
+
+    /// Occupancy accounting: total tracked occupancy equals the sum of the
+    /// tshark airtimes of recorded frames divided by the horizon, and per-
+    /// station totals partition the whole.
+    #[test]
+    fn occupancy_partitions(frames in prop::collection::vec((0u64..10_000_000, 0u32..3, 100u32..2000), 1..100)) {
+        let mut m = OccupancyMonitor::new(SimDuration::from_millis(100));
+        m.track(StationId(0));
+        m.track(StationId(1));
+        m.track(StationId(2));
+        let mut expect = [0.0f64; 3];
+        for &(t, sta, bytes) in &frames {
+            m.record(SimTime::from_micros(t), StationId(sta), bytes, Bitrate::G54);
+            expect[sta as usize] += tshark_airtime(bytes, Bitrate::G54).as_secs_f64();
+        }
+        let end = SimTime::from_secs(100);
+        let total = m.mean_tracked(end) * end.as_secs_f64();
+        let by_station: f64 = (0..3)
+            .map(|s| m.mean_of_station(StationId(s), end) * end.as_secs_f64())
+            .sum();
+        prop_assert!((total - by_station).abs() < 1e-9);
+        prop_assert!((total - expect.iter().sum::<f64>()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,259 @@
+//! # powifi-net
+//!
+//! Transport and application workloads over the simulated MAC: UDP CBR
+//! (iperf), a compact TCP Reno/NewReno, and the top-10-websites page-load
+//! model — everything §4.1 measures against the PoWiFi schemes.
+//!
+//! A world embedding transport implements [`NetWorld`] and forwards the
+//! MAC's `deliver` upcall to [`on_deliver`].
+
+#![warn(missing_docs)]
+
+pub mod state;
+pub mod tcp;
+pub mod udp;
+pub mod web;
+
+pub use state::{Flow, FlowId, NetState, NetWorld};
+pub use tcp::{start_tcp_flow, tcp_push, TcpFlow, MSS};
+pub use udp::{start_udp_flow, UdpFlowState, UDP_PAYLOAD};
+pub use web::{start_page_load, top10_us, PageState, SiteProfile, WanConfig};
+
+use powifi_mac::{Frame, StationId};
+use powifi_sim::EventQueue;
+
+/// Route a delivered MAC frame to its transport flow. Call this from the
+/// world's `MacWorld::deliver`.
+pub fn on_deliver<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, rx: StationId, frame: &Frame) {
+    let id = frame.payload.flow;
+    if id == 0 {
+        return; // power packets, beacons, junk traffic
+    }
+    match w.net().flows.get(&id) {
+        Some(Flow::Udp(_)) => udp::on_udp_deliver(w, q.now(), frame),
+        Some(Flow::Tcp(_)) => tcp::on_tcp_deliver(w, q, rx, frame),
+        None => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powifi_mac::{Mac, MacWorld, RateController};
+    use powifi_rf::Bitrate;
+    use powifi_sim::{SimDuration, SimRng, SimTime};
+
+    struct W {
+        mac: Mac,
+        net: NetState,
+    }
+    impl MacWorld for W {
+        fn mac(&self) -> &Mac {
+            &self.mac
+        }
+        fn mac_mut(&mut self) -> &mut Mac {
+            &mut self.mac
+        }
+        fn deliver(&mut self, q: &mut EventQueue<Self>, rx: powifi_mac::StationId, frame: &Frame) {
+            on_deliver(self, q, rx, frame);
+        }
+    }
+    impl NetWorld for W {
+        fn net(&self) -> &NetState {
+            &self.net
+        }
+        fn net_mut(&mut self) -> &mut NetState {
+            &mut self.net
+        }
+    }
+
+    fn world() -> (W, EventQueue<W>, powifi_mac::StationId, powifi_mac::StationId) {
+        let mut w = W {
+            mac: Mac::new(SimRng::from_seed(1)),
+            net: NetState::new(),
+        };
+        let m = w.mac.add_medium(SimDuration::from_secs(1));
+        let ap = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        let client = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        (w, EventQueue::new(), ap, client)
+    }
+
+    #[test]
+    fn udp_flow_delivers_at_offered_rate() {
+        let (mut w, mut q, ap, client) = world();
+        let flow = start_udp_flow(
+            &mut w,
+            &mut q,
+            ap,
+            client,
+            10.0,
+            SimTime::ZERO,
+            SimTime::from_secs(4),
+        );
+        q.run_until(&mut w, SimTime::from_secs(4));
+        let Flow::Udp(u) = &w.net.flows[&flow] else {
+            unreachable!()
+        };
+        let got = u.mean_mbps();
+        assert!((9.0..=10.5).contains(&got), "throughput {got}");
+        assert!(u.loss() < 0.01, "loss {}", u.loss());
+    }
+
+    #[test]
+    fn udp_overload_caps_at_channel_capacity() {
+        let (mut w, mut q, ap, client) = world();
+        let flow = start_udp_flow(
+            &mut w,
+            &mut q,
+            ap,
+            client,
+            50.0,
+            SimTime::ZERO,
+            SimTime::from_secs(4),
+        );
+        q.run_until(&mut w, SimTime::from_secs(4));
+        let Flow::Udp(u) = &w.net.flows[&flow] else {
+            unreachable!()
+        };
+        let got = u.mean_mbps();
+        // 54 Mbps g-only MAC tops out at ≈31 Mbps of UDP goodput
+        // (28 µs DIFS + 67.5 µs mean backoff + 244 µs data + SIFS + ACK
+        // per 1470-byte datagram → 31.2 Mbps theoretical).
+        assert!((28.0..=33.0).contains(&got), "throughput {got}");
+    }
+
+    #[test]
+    fn udp_flow_stops_at_stop_time() {
+        let (mut w, mut q, ap, client) = world();
+        let flow = start_udp_flow(
+            &mut w,
+            &mut q,
+            ap,
+            client,
+            5.0,
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+        );
+        q.run_until(&mut w, SimTime::from_secs(3));
+        let Flow::Udp(u) = &w.net.flows[&flow] else {
+            unreachable!()
+        };
+        let bins = u.delivered.mbps_per_bin();
+        // Bins past t=1 s are empty.
+        assert!(bins.len() <= 3, "bins {}", bins.len());
+    }
+
+    #[test]
+    fn tcp_bulk_flow_fills_the_pipe() {
+        let (mut w, mut q, ap, client) = world();
+        let flow = start_tcp_flow(&mut w, ap, client);
+        // Seed inside the event loop so `now` is defined.
+        q.schedule_at(SimTime::ZERO, move |w: &mut W, q| {
+            tcp_push(w, q, flow, 100_000_000);
+        });
+        q.run_until(&mut w, SimTime::from_secs(5));
+        let f = w.net.tcp(flow);
+        let got = f.mean_mbps();
+        // TCP over a clean 54 Mbps link: high teens to mid-20s Mbit/s.
+        assert!((15.0..=28.0).contains(&got), "throughput {got}");
+        assert!(f.srtt().is_some());
+    }
+
+    #[test]
+    fn tcp_transfer_completes_and_reports() {
+        let (mut w, mut q, ap, client) = world();
+        let flow = start_tcp_flow(&mut w, ap, client);
+        q.schedule_at(SimTime::ZERO, move |w: &mut W, q| {
+            tcp_push(w, q, flow, 500_000); // 500 kB
+        });
+        q.run_until(&mut w, SimTime::from_secs(10));
+        let f = w.net.tcp(flow);
+        let done = f.completed_at.expect("transfer should finish");
+        // 500 kB at ~20 Mbps ≈ 0.2 s (+slow start).
+        assert!(done < SimTime::from_secs(2), "done at {done}");
+    }
+
+    #[test]
+    fn tcp_recovers_from_lossy_link() {
+        let (mut w, mut q, ap, client) = world();
+        // Marginal SNR for 54 Mbps: substantial PER; fixed rate forces TCP
+        // to wear the loss and recover via retransmission.
+        w.mac.set_link_snr(ap, client, powifi_rf::Db(24.5));
+        w.mac.set_link_snr(client, ap, powifi_rf::Db(35.0));
+        let flow = start_tcp_flow(&mut w, ap, client);
+        q.schedule_at(SimTime::ZERO, move |w: &mut W, q| {
+            tcp_push(w, q, flow, 2_000_000);
+        });
+        q.run_until(&mut w, SimTime::from_secs(30));
+        let f = w.net.tcp(flow);
+        assert!(f.completed_at.is_some(), "did not complete");
+    }
+
+    #[test]
+    fn two_tcp_flows_share_fairly() {
+        let (mut w, mut q, ap, client) = world();
+        let m = w.mac.medium_of(ap);
+        let client2 = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+        let f1 = start_tcp_flow(&mut w, ap, client);
+        let f2 = start_tcp_flow(&mut w, ap, client2);
+        q.schedule_at(SimTime::ZERO, move |w: &mut W, q| {
+            tcp_push(w, q, f1, 100_000_000);
+            tcp_push(w, q, f2, 100_000_000);
+        });
+        q.run_until(&mut w, SimTime::from_secs(6));
+        let a = w.net.tcp(f1).mean_mbps();
+        let b = w.net.tcp(f2).mean_mbps();
+        let ratio = a / b;
+        assert!((0.55..=1.8).contains(&ratio), "a {a} b {b}");
+        assert!(a + b > 14.0, "combined {}", a + b);
+    }
+
+    #[test]
+    fn page_load_completes_with_plausible_plt() {
+        let (mut w, mut q, ap, client) = world();
+        let site = top10_us()[6]; // google.com — the lightest page
+        let page = start_page_load(
+            &mut w,
+            &mut q,
+            ap,
+            client,
+            site,
+            WanConfig::default(),
+            SimTime::ZERO,
+        );
+        q.run_until(&mut w, SimTime::from_secs(30));
+        let plt = w.net.pages[page].plt().expect("page should finish");
+        assert!((0.1..=3.0).contains(&plt), "google PLT {plt}");
+    }
+
+    #[test]
+    fn heavier_pages_take_longer() {
+        let sites = top10_us();
+        let mut plts = Vec::new();
+        for idx in [6usize, 8] {
+            // google (light) vs amazon (heavy)
+            let (mut w, mut q, ap, client) = world();
+            let page = start_page_load(
+                &mut w,
+                &mut q,
+                ap,
+                client,
+                sites[idx],
+                WanConfig::default(),
+                SimTime::ZERO,
+            );
+            q.run_until(&mut w, SimTime::from_secs(60));
+            plts.push(w.net.pages[page].plt().expect("finish"));
+        }
+        assert!(plts[1] > 1.5 * plts[0], "google {} amazon {}", plts[0], plts[1]);
+    }
+
+    #[test]
+    fn top10_matches_paper_list() {
+        let sites = top10_us();
+        assert_eq!(sites.len(), 10);
+        assert_eq!(sites[0].name, "reddit.com");
+        assert_eq!(sites[9].name, "ebay.com");
+        assert!(sites.iter().all(|s| s.connections == 6));
+    }
+}

@@ -1,0 +1,71 @@
+//! Transport-layer state and the world-trait extension.
+//!
+//! The MAC calls the world's `deliver`/`tx_complete`; a world that carries
+//! transport flows implements [`NetWorld`] and forwards those upcalls to
+//! [`on_deliver`](crate::on_deliver) so UDP sinks, TCP machines and page
+//! loads make progress.
+
+use crate::tcp::TcpFlow;
+use crate::udp::UdpFlowState;
+use crate::web::PageState;
+use powifi_mac::MacWorld;
+use std::collections::HashMap;
+
+/// Flow identifier carried in every data frame's payload tag.
+pub type FlowId = u32;
+
+/// A transport flow.
+pub enum Flow {
+    /// UDP constant-bit-rate flow (iperf-style).
+    Udp(UdpFlowState),
+    /// TCP Reno bulk flow (boxed: the TCP state block is much larger than
+    /// the UDP one).
+    Tcp(Box<TcpFlow>),
+}
+
+/// All transport state in a simulation world.
+#[derive(Default)]
+pub struct NetState {
+    /// Flows by id.
+    pub flows: HashMap<FlowId, Flow>,
+    /// In-progress and completed page loads.
+    pub pages: Vec<PageState>,
+    next_flow: FlowId,
+}
+
+impl NetState {
+    /// Fresh state.
+    pub fn new() -> NetState {
+        NetState::default()
+    }
+
+    /// Allocate a flow id (ids start at 1; 0 means "no flow" in payload tags).
+    pub fn alloc_flow(&mut self) -> FlowId {
+        self.next_flow += 1;
+        self.next_flow
+    }
+
+    /// Fetch a TCP flow mutably; panics if the id is not TCP.
+    pub fn tcp_mut(&mut self, id: FlowId) -> &mut TcpFlow {
+        match self.flows.get_mut(&id) {
+            Some(Flow::Tcp(t)) => t,
+            _ => panic!("flow {id} is not TCP"),
+        }
+    }
+
+    /// Fetch a TCP flow; panics if the id is not TCP.
+    pub fn tcp(&self, id: FlowId) -> &TcpFlow {
+        match self.flows.get(&id) {
+            Some(Flow::Tcp(t)) => t,
+            _ => panic!("flow {id} is not TCP"),
+        }
+    }
+}
+
+/// World trait for simulations that carry transport traffic.
+pub trait NetWorld: MacWorld {
+    /// Immutable transport state.
+    fn net(&self) -> &NetState;
+    /// Mutable transport state.
+    fn net_mut(&mut self) -> &mut NetState;
+}

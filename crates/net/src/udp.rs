@@ -1,0 +1,104 @@
+//! UDP constant-bit-rate flows — the iperf UDP workload of §4.1(a).
+
+use crate::state::{Flow, FlowId, NetWorld};
+use powifi_mac::{enqueue, Dest, Frame, PayloadTag, StationId};
+use powifi_sim::{BinnedThroughput, EventQueue, SimDuration, SimTime};
+
+/// Receiver-side state of a UDP flow.
+pub struct UdpFlowState {
+    /// Delivered bytes binned at 500 ms — the paper's measurement interval.
+    pub delivered: BinnedThroughput,
+    /// Packets received.
+    pub packets: u64,
+    /// Highest sequence seen (for loss accounting).
+    pub max_seq: u64,
+    /// Datagrams the sender failed to enqueue (MAC queue full).
+    pub sender_drops: u64,
+}
+
+impl UdpFlowState {
+    fn new() -> UdpFlowState {
+        UdpFlowState {
+            delivered: BinnedThroughput::new(SimDuration::from_millis(500)),
+            packets: 0,
+            max_seq: 0,
+            sender_drops: 0,
+        }
+    }
+
+    /// Loss fraction (lost over sent), by sequence accounting.
+    pub fn loss(&self) -> f64 {
+        if self.max_seq == 0 {
+            return 0.0;
+        }
+        1.0 - self.packets as f64 / self.max_seq as f64
+    }
+
+    /// Mean delivered throughput over the bins observed, Mbit/s.
+    pub fn mean_mbps(&self) -> f64 {
+        self.delivered.mean_mbps()
+    }
+}
+
+/// UDP datagram payload size used by iperf (bytes).
+pub const UDP_PAYLOAD: u32 = 1470;
+
+/// Start a CBR UDP flow of `rate_mbps` from `src` to `dst` over
+/// `[start, stop)`. Returns the flow id; read results from the flow state.
+pub fn start_udp_flow<W: NetWorld>(
+    w: &mut W,
+    q: &mut EventQueue<W>,
+    src: StationId,
+    dst: StationId,
+    rate_mbps: f64,
+    start: SimTime,
+    stop: SimTime,
+) -> FlowId {
+    assert!(rate_mbps > 0.0);
+    let flow = w.net_mut().alloc_flow();
+    w.net_mut().flows.insert(flow, Flow::Udp(UdpFlowState::new()));
+    let interval = SimDuration::from_secs_f64(UDP_PAYLOAD as f64 * 8.0 / (rate_mbps * 1e6));
+    q.schedule_at(start, move |w, q| {
+        udp_tick(w, q, flow, src, dst, interval, stop, 1)
+    });
+    flow
+}
+
+#[allow(clippy::too_many_arguments)]
+fn udp_tick<W: NetWorld>(
+    w: &mut W,
+    q: &mut EventQueue<W>,
+    flow: FlowId,
+    src: StationId,
+    dst: StationId,
+    interval: SimDuration,
+    stop: SimTime,
+    seq: u64,
+) {
+    if q.now() >= stop {
+        return;
+    }
+    let tag = PayloadTag {
+        flow,
+        seq,
+        bytes: UDP_PAYLOAD,
+    };
+    let f = Frame::data(src, Dest::Unicast(dst), tag);
+    if !enqueue(w, q, src, f) {
+        if let Some(Flow::Udp(u)) = w.net_mut().flows.get_mut(&flow) {
+            u.sender_drops += 1;
+        }
+    }
+    q.schedule_in(interval, move |w, q| {
+        udp_tick(w, q, flow, src, dst, interval, stop, seq + 1)
+    });
+}
+
+/// Deliver a UDP data frame at the sink (called from the world's `deliver`).
+pub fn on_udp_deliver<W: NetWorld>(w: &mut W, now: SimTime, frame: &Frame) {
+    if let Some(Flow::Udp(u)) = w.net_mut().flows.get_mut(&frame.payload.flow) {
+        u.packets += 1;
+        u.max_seq = u.max_seq.max(frame.payload.seq);
+        u.delivered.record(now, frame.payload.bytes as u64);
+    }
+}

@@ -1,0 +1,183 @@
+//! Page-load-time (PLT) workload — §4.1(c).
+//!
+//! The paper replays the front pages of the ten most-popular US sites with a
+//! headless browser. We model each page as an inventory of objects fetched
+//! over a pool of persistent TCP connections (browser-style, 6 per host),
+//! each fetch preceded by a WAN round-trip + server think time; the Wi-Fi
+//! hop runs over the simulated MAC, which is where the four schemes differ.
+
+use crate::state::{FlowId, NetWorld};
+use crate::tcp::{start_tcp_flow, tcp_push};
+use powifi_mac::StationId;
+use powifi_sim::{EventQueue, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Static description of a site's front page (2015-era approximations).
+#[derive(Debug, Clone, Copy)]
+pub struct SiteProfile {
+    /// Site name as in Fig. 6(c).
+    pub name: &'static str,
+    /// Number of objects on the page.
+    pub objects: usize,
+    /// Total page weight, bytes.
+    pub total_bytes: u64,
+    /// Parallel persistent connections the browser opens.
+    pub connections: usize,
+}
+
+/// The ten most popular US websites per Fig. 6(c), in the paper's order.
+pub fn top10_us() -> Vec<SiteProfile> {
+    let mk = |name, objects, kb: u64| SiteProfile {
+        name,
+        objects,
+        total_bytes: kb * 1024,
+        connections: 6,
+    };
+    vec![
+        mk("reddit.com", 90, 1200),
+        mk("twitter.com", 50, 900),
+        mk("yahoo.com", 110, 1800),
+        mk("youtube.com", 60, 1500),
+        mk("wikipedia.org", 25, 400),
+        mk("linkedin.com", 55, 900),
+        mk("google.com", 15, 400),
+        mk("facebook.com", 65, 1100),
+        mk("amazon.com", 120, 2000),
+        mk("ebay.com", 95, 1600),
+    ]
+}
+
+/// Network-side constants of the wired path.
+#[derive(Debug, Clone, Copy)]
+pub struct WanConfig {
+    /// DNS resolution latency at page start.
+    pub dns: SimDuration,
+    /// WAN RTT + server think time per object fetch.
+    pub per_object: SimDuration,
+}
+
+impl Default for WanConfig {
+    fn default() -> Self {
+        WanConfig {
+            dns: SimDuration::from_millis(50),
+            per_object: SimDuration::from_millis(50),
+        }
+    }
+}
+
+/// A page load in progress (or finished).
+pub struct PageState {
+    /// The site being loaded.
+    pub site: SiteProfile,
+    /// Load start time.
+    pub started: SimTime,
+    /// Completion time, once every object has been delivered and ACKed.
+    pub finished: Option<SimTime>,
+    /// The persistent connections (TCP flow ids).
+    pub conns: Vec<FlowId>,
+    pending: VecDeque<u64>,
+    active: usize,
+    wan: WanConfig,
+}
+
+impl PageState {
+    /// Page-load time, if finished.
+    pub fn plt(&self) -> Option<f64> {
+        self.finished
+            .map(|f| f.duration_since(self.started).as_secs_f64())
+    }
+}
+
+/// Begin loading `site` from `router` (the AP-side TCP sender) to `client`
+/// at `start`. Returns the page index into `NetState::pages`.
+pub fn start_page_load<W: NetWorld>(
+    w: &mut W,
+    q: &mut EventQueue<W>,
+    router: StationId,
+    client: StationId,
+    site: SiteProfile,
+    wan: WanConfig,
+    start: SimTime,
+) -> usize {
+    // Split the page weight over its objects: the main document is ~4x an
+    // average object, the rest share the remainder evenly.
+    let mut pending = VecDeque::new();
+    let avg = site.total_bytes / site.objects as u64;
+    pending.push_back(avg * 4);
+    let rest = site.total_bytes.saturating_sub(avg * 4);
+    for _ in 1..site.objects {
+        pending.push_back(rest / (site.objects as u64 - 1).max(1));
+    }
+    let page_idx = {
+        let net = w.net_mut();
+        let idx = net.pages.len();
+        net.pages.push(PageState {
+            site,
+            started: start,
+            finished: None,
+            conns: Vec::new(),
+            pending,
+            active: 0,
+            wan,
+        });
+        idx
+    };
+    // Open the persistent connections in the download direction (the
+    // router-side station is the TCP sender) and tag them with the page.
+    let mut conns = Vec::new();
+    for conn_idx in 0..site.connections {
+        let id = start_tcp_flow(w, router, client);
+        w.net_mut().tcp_mut(id).page = Some((page_idx, conn_idx));
+        conns.push(id);
+    }
+    w.net_mut().pages[page_idx].conns = conns;
+    // After DNS, dispatch the first object; remaining connections open as
+    // soon as the main document arrives (simplified: all at DNS + one WAN).
+    q.schedule_at(start + wan.dns, move |w: &mut W, q| {
+        let nconn = w.net().pages[page_idx].conns.len();
+        for conn_idx in 0..nconn {
+            dispatch_next(w, q, page_idx, conn_idx);
+        }
+    });
+    page_idx
+}
+
+/// Give `conn_idx` its next object after the WAN delay, if any remain.
+fn dispatch_next<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, page_idx: usize, conn_idx: usize) {
+    let (bytes, wan) = {
+        let page = &mut w.net_mut().pages[page_idx];
+        let Some(bytes) = page.pending.pop_front() else {
+            return;
+        };
+        page.active += 1;
+        (bytes, page.wan.per_object)
+    };
+    q.schedule_in(wan, move |w: &mut W, q| {
+        let flow = w.net().pages[page_idx].conns[conn_idx];
+        tcp_push(w, q, flow, bytes);
+    });
+}
+
+/// Called by the TCP layer when a connection has delivered and ACKed all
+/// pushed bytes.
+pub fn on_conn_drained<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, page_idx: usize, conn_idx: usize) {
+    let now = q.now();
+    let more = {
+        let page = &mut w.net_mut().pages[page_idx];
+        if page.finished.is_some() {
+            return;
+        }
+        page.active -= 1;
+        if page.pending.is_empty() {
+            if page.active == 0 {
+                page.finished = Some(now);
+            }
+            false
+        } else {
+            true
+        }
+    };
+    if more {
+        dispatch_next(w, q, page_idx, conn_idx);
+    }
+}

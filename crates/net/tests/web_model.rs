@@ -1,0 +1,130 @@
+//! Tests of the page-load model: object splitting, connection fan-out, WAN
+//! pacing and completion semantics.
+
+use powifi_mac::{Mac, MacWorld, RateController, StationId};
+use powifi_net::{
+    on_deliver, start_page_load, top10_us, NetState, NetWorld, SiteProfile, WanConfig,
+};
+use powifi_rf::Bitrate;
+use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
+
+struct W {
+    mac: Mac,
+    net: NetState,
+}
+impl MacWorld for W {
+    fn mac(&self) -> &Mac {
+        &self.mac
+    }
+    fn mac_mut(&mut self) -> &mut Mac {
+        &mut self.mac
+    }
+    fn deliver(&mut self, q: &mut EventQueue<Self>, rx: StationId, frame: &powifi_mac::Frame) {
+        on_deliver(self, q, rx, frame);
+    }
+}
+impl NetWorld for W {
+    fn net(&self) -> &NetState {
+        &self.net
+    }
+    fn net_mut(&mut self) -> &mut NetState {
+        &mut self.net
+    }
+}
+
+fn world() -> (W, EventQueue<W>, StationId, StationId) {
+    let mut w = W {
+        mac: Mac::new(SimRng::from_seed(3)),
+        net: NetState::new(),
+    };
+    let m = w.mac.add_medium(SimDuration::from_secs(1));
+    let ap = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+    let client = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+    (w, EventQueue::new(), ap, client)
+}
+
+#[test]
+fn page_opens_requested_connection_count() {
+    let (mut w, mut q, ap, client) = world();
+    let site = top10_us()[0];
+    let page = start_page_load(&mut w, &mut q, ap, client, site, WanConfig::default(), SimTime::ZERO);
+    assert_eq!(w.net.pages[page].conns.len(), site.connections);
+    // Every connection is tagged back to the page.
+    for (ci, &flow) in w.net.pages[page].conns.iter().enumerate() {
+        assert_eq!(w.net.tcp(flow).page, Some((page, ci)));
+    }
+}
+
+#[test]
+fn plt_is_none_until_done_then_some() {
+    let (mut w, mut q, ap, client) = world();
+    let site = top10_us()[6]; // google: light
+    let page = start_page_load(&mut w, &mut q, ap, client, site, WanConfig::default(), SimTime::ZERO);
+    q.run_until(&mut w, SimTime::from_millis(60));
+    assert!(w.net.pages[page].plt().is_none(), "cannot finish within DNS+WAN");
+    q.run_until(&mut w, SimTime::from_secs(20));
+    let plt = w.net.pages[page].plt().expect("page should finish");
+    assert!(plt > 0.1, "PLT {plt} impossibly fast");
+}
+
+#[test]
+fn dns_latency_is_a_floor_on_plt() {
+    let run = |dns_ms: u64| {
+        let (mut w, mut q, ap, client) = world();
+        let site = top10_us()[6];
+        let wan = WanConfig {
+            dns: SimDuration::from_millis(dns_ms),
+            ..WanConfig::default()
+        };
+        let page = start_page_load(&mut w, &mut q, ap, client, site, wan, SimTime::ZERO);
+        q.run_until(&mut w, SimTime::from_secs(30));
+        w.net.pages[page].plt().expect("finish")
+    };
+    let fast = run(10);
+    let slow = run(800);
+    assert!(slow > fast + 0.6, "fast {fast} slow {slow}");
+    assert!(slow >= 0.8, "slow {slow} below its own DNS latency");
+}
+
+#[test]
+fn per_object_wan_delay_dominates_many_object_pages() {
+    let mk = |objects, kb: u64| SiteProfile {
+        name: "test",
+        objects,
+        total_bytes: kb * 1024,
+        connections: 2,
+    };
+    let run = |site: SiteProfile| {
+        let (mut w, mut q, ap, client) = world();
+        let page = start_page_load(&mut w, &mut q, ap, client, site, WanConfig::default(), SimTime::ZERO);
+        q.run_until(&mut w, SimTime::from_secs(60));
+        w.net.pages[page].plt().expect("finish")
+    };
+    // Same bytes, 8x the objects over 2 connections: many more WAN round
+    // trips → clearly slower.
+    let few = run(mk(8, 400));
+    let many = run(mk(64, 400));
+    assert!(many > 1.5 * few, "few {few} many {many}");
+}
+
+#[test]
+fn two_pages_can_load_back_to_back() {
+    let (mut w, mut q, ap, client) = world();
+    let site = top10_us()[4]; // wikipedia
+    let p1 = start_page_load(&mut w, &mut q, ap, client, site, WanConfig::default(), SimTime::ZERO);
+    let p2 = start_page_load(
+        &mut w,
+        &mut q,
+        ap,
+        client,
+        site,
+        WanConfig::default(),
+        SimTime::from_secs(10),
+    );
+    q.run_until(&mut w, SimTime::from_secs(30));
+    let t1 = w.net.pages[p1].plt().expect("p1");
+    let t2 = w.net.pages[p2].plt().expect("p2");
+    // Neither interferes with the other (sequential, idle channel): similar PLTs.
+    let ratio = t1 / t2;
+    assert!((0.5..=2.0).contains(&ratio), "t1 {t1} t2 {t2}");
+}

@@ -1,0 +1,115 @@
+//! ISM bands beyond 2.4 GHz (§8e: "Future designs would generalize our
+//! multi-channel approach to operate across multiple ISM bands (e.g.,
+//! 900 MHz, 2.4 GHz and 5 GHz)").
+
+use crate::units::{Db, Dbm, Hertz};
+
+/// An unlicensed ISM band usable for power delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IsmBand {
+    /// 902–928 MHz (US ISM; the classic UHF RFID band).
+    Ism900,
+    /// 2400–2483.5 MHz (Wi-Fi b/g/n, Bluetooth, ZigBee).
+    Ism2400,
+    /// 5725–5875 MHz (U-NII-3 / ISM; Wi-Fi a/n/ac channels 149–165).
+    Ism5800,
+}
+
+impl IsmBand {
+    /// All bands, lowest first.
+    pub const ALL: [IsmBand; 3] = [IsmBand::Ism900, IsmBand::Ism2400, IsmBand::Ism5800];
+
+    /// Band edges.
+    pub fn edges(self) -> (Hertz, Hertz) {
+        match self {
+            IsmBand::Ism900 => (Hertz::from_mhz(902.0), Hertz::from_mhz(928.0)),
+            IsmBand::Ism2400 => (Hertz::from_mhz(2400.0), Hertz::from_mhz(2483.5)),
+            IsmBand::Ism5800 => (Hertz::from_mhz(5725.0), Hertz::from_mhz(5875.0)),
+        }
+    }
+
+    /// Band center.
+    pub fn center(self) -> Hertz {
+        let (lo, hi) = self.edges();
+        Hertz((lo.0 + hi.0) / 2.0)
+    }
+
+    /// FCC part-15 EIRP ceiling for point-to-multipoint operation.
+    pub fn fcc_eirp_limit(self) -> Dbm {
+        // 1 W conducted + 6 dBi antenna across all three (with the usual
+        // caveats; the 2.4 GHz reduction rules for >6 dBi antennas don't
+        // apply at 6 dBi).
+        Dbm(36.0)
+    }
+
+    /// Free-space path-loss penalty of this band relative to 2.4 GHz
+    /// (negative = less loss = longer range at equal EIRP).
+    pub fn pathloss_penalty_vs_2g4(self) -> Db {
+        let f = self.center().0;
+        Db(20.0 * (f / IsmBand::Ism2400.center().0).log10())
+    }
+
+    /// Non-overlapping power-delivery channel centers within the band,
+    /// analogous to 1/6/11 in 2.4 GHz.
+    pub fn power_channels(self) -> Vec<Hertz> {
+        match self {
+            // 26 MHz wide: one or two 802.11ah-style channels; use one.
+            IsmBand::Ism900 => vec![Hertz::from_mhz(915.0)],
+            IsmBand::Ism2400 => vec![
+                Hertz::from_mhz(2412.0),
+                Hertz::from_mhz(2437.0),
+                Hertz::from_mhz(2462.0),
+            ],
+            // 802.11a channels 149, 157, 165.
+            IsmBand::Ism5800 => vec![
+                Hertz::from_mhz(5745.0),
+                Hertz::from_mhz(5785.0),
+                Hertz::from_mhz(5825.0),
+            ],
+        }
+    }
+
+    /// The band containing a frequency, if any.
+    pub fn containing(f: Hertz) -> Option<IsmBand> {
+        IsmBand::ALL.into_iter().find(|b| {
+            let (lo, hi) = b.edges();
+            f.0 >= lo.0 && f.0 <= hi.0
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centers_are_inside_edges() {
+        for b in IsmBand::ALL {
+            let (lo, hi) = b.edges();
+            let c = b.center();
+            assert!(c.0 > lo.0 && c.0 < hi.0, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn pathloss_penalties_bracket_2g4() {
+        assert!(IsmBand::Ism900.pathloss_penalty_vs_2g4().0 < -8.0);
+        assert!(IsmBand::Ism2400.pathloss_penalty_vs_2g4().0.abs() < 0.2);
+        assert!(IsmBand::Ism5800.pathloss_penalty_vs_2g4().0 > 7.0);
+    }
+
+    #[test]
+    fn power_channels_live_in_their_band() {
+        for b in IsmBand::ALL {
+            for ch in b.power_channels() {
+                assert_eq!(IsmBand::containing(ch), Some(b), "{ch:?} outside {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn containing_rejects_out_of_band() {
+        assert_eq!(IsmBand::containing(Hertz::from_mhz(1800.0)), None);
+        assert_eq!(IsmBand::containing(Hertz::from_mhz(2437.0)), Some(IsmBand::Ism2400));
+    }
+}

@@ -1,0 +1,116 @@
+//! 2.4 GHz Wi-Fi channel plan.
+//!
+//! PoWiFi transmits power traffic on channels 1, 6 and 11 — the standard
+//! non-overlapping set — and the harvester is matched across the 72 MHz band
+//! they span (2.401–2.473 GHz).
+
+use crate::units::Hertz;
+
+/// A 2.4 GHz ISM-band Wi-Fi channel (1–13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WifiChannel(u8);
+
+impl WifiChannel {
+    /// Channel 1, center 2.412 GHz — the paper's client-serving channel.
+    pub const CH1: WifiChannel = WifiChannel(1);
+    /// Channel 6, center 2.437 GHz.
+    pub const CH6: WifiChannel = WifiChannel(6);
+    /// Channel 11, center 2.462 GHz.
+    pub const CH11: WifiChannel = WifiChannel(11);
+
+    /// The non-overlapping trio PoWiFi injects on.
+    pub const POWER_SET: [WifiChannel; 3] = [Self::CH1, Self::CH6, Self::CH11];
+
+    /// Construct a channel; panics outside 1–13.
+    pub fn new(n: u8) -> WifiChannel {
+        assert!((1..=13).contains(&n), "invalid 2.4 GHz channel {n}");
+        WifiChannel(n)
+    }
+
+    /// The channel number.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Center frequency: 2407 + 5·n MHz.
+    pub fn center(self) -> Hertz {
+        Hertz::from_mhz(2407.0 + 5.0 * self.0 as f64)
+    }
+
+    /// Occupied bandwidth of a 20 MHz OFDM (802.11g) transmission.
+    pub fn bandwidth(self) -> Hertz {
+        Hertz::from_mhz(20.0)
+    }
+
+    /// Lower edge of the occupied band.
+    pub fn low_edge(self) -> Hertz {
+        Hertz(self.center().0 - self.bandwidth().0 / 2.0)
+    }
+
+    /// Upper edge of the occupied band.
+    pub fn high_edge(self) -> Hertz {
+        Hertz(self.center().0 + self.bandwidth().0 / 2.0)
+    }
+
+    /// Whether two channels' occupied bands overlap (co-interference).
+    pub fn overlaps(self, other: WifiChannel) -> bool {
+        self.low_edge().0 < other.high_edge().0 && other.low_edge().0 < self.high_edge().0
+    }
+}
+
+/// Lower edge of the 72 MHz harvesting band (channel 1's low edge).
+pub fn harvest_band_low() -> Hertz {
+    WifiChannel::CH1.low_edge()
+}
+
+/// Upper edge of the 72 MHz harvesting band (channel 11's high edge).
+pub fn harvest_band_high() -> Hertz {
+    WifiChannel::CH11.high_edge()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_frequencies_match_standard() {
+        assert!((WifiChannel::CH1.center().mhz() - 2412.0).abs() < 1e-9);
+        assert!((WifiChannel::CH6.center().mhz() - 2437.0).abs() < 1e-9);
+        assert!((WifiChannel::CH11.center().mhz() - 2462.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_set_is_non_overlapping() {
+        let set = WifiChannel::POWER_SET;
+        for i in 0..set.len() {
+            for j in 0..set.len() {
+                if i != j {
+                    assert!(!set[i].overlaps(set[j]), "{:?} vs {:?}", set[i], set[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_channels_overlap() {
+        assert!(WifiChannel::new(1).overlaps(WifiChannel::new(3)));
+        assert!(WifiChannel::new(6).overlaps(WifiChannel::new(8)));
+    }
+
+    #[test]
+    fn harvest_band_spans_72_mhz() {
+        let span = harvest_band_high().mhz() - harvest_band_low().mhz();
+        // 2402..2472: channels 1..11 with 20 MHz OFDM width = 70 MHz; the
+        // paper quotes 72 MHz using 22 MHz DSSS masks. Either way the
+        // matched band 2.401–2.473 GHz must cover it.
+        assert!((70.0..=72.0).contains(&span), "span {span}");
+        assert!(harvest_band_low().mhz() >= 2401.0);
+        assert!(harvest_band_high().mhz() <= 2473.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid 2.4 GHz channel")]
+    fn channel_zero_rejected() {
+        WifiChannel::new(0);
+    }
+}

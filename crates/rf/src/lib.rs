@@ -1,0 +1,26 @@
+//! # powifi-rf
+//!
+//! RF substrate for the PoWiFi reproduction: typed units (dBm/dB/µW/…), the
+//! 2.4 GHz channel plan, path-loss and wall-penetration models, link budgets
+//! with the FCC EIRP check, and the 802.11b/g rate/PER tables shared by the
+//! MAC simulator and the harvester.
+
+#![warn(missing_docs)]
+
+pub mod band;
+pub mod channel;
+pub mod fading;
+pub mod link;
+pub mod materials;
+pub mod modulation;
+pub mod pathloss;
+pub mod units;
+
+pub use band::IsmBand;
+pub use channel::WifiChannel;
+pub use fading::BlockFader;
+pub use link::{Antenna, Link, Transmitter, FCC_EIRP_LIMIT};
+pub use materials::WallMaterial;
+pub use modulation::{packet_error_rate, snr, Bitrate, NOISE_FLOOR};
+pub use pathloss::{friis_loss, FreeSpace, LogDistance, PathLoss, Shadowed};
+pub use units::{Db, Dbm, Hertz, Joules, Meters, MicroWatts, MilliWatts, Volts};

@@ -1,0 +1,167 @@
+//! Link-budget assembly: transmitter, antennas, path loss, walls → received
+//! power, plus the regulatory check the paper leans on (§7: FCC part 15
+//! point-to-multipoint EIRP limit of 36 dBm in the 2.4 GHz ISM band).
+
+use crate::materials::WallMaterial;
+use crate::pathloss::PathLoss;
+use crate::units::{Db, Dbm, Hertz, Meters};
+
+/// FCC part-15 EIRP ceiling for 2.4 GHz point-to-multipoint links.
+pub const FCC_EIRP_LIMIT: Dbm = Dbm(36.0);
+
+/// An antenna characterized by its gain.
+#[derive(Debug, Clone, Copy)]
+pub struct Antenna {
+    /// Gain over isotropic, dBi.
+    pub gain_dbi: f64,
+}
+
+impl Antenna {
+    /// The paper's router antenna: 6 dBi.
+    pub const ROUTER_6DBI: Antenna = Antenna { gain_dbi: 6.0 };
+    /// The harvester's 2 dBi chip antenna (Pulse W1010).
+    pub const HARVESTER_2DBI: Antenna = Antenna { gain_dbi: 2.0 };
+    /// The Asus stock router's 4.04 dBi antennas (§2 experiment).
+    pub const ASUS_4DBI: Antenna = Antenna { gain_dbi: 4.04 };
+
+    /// Gain as a `Db` ratio.
+    pub fn gain(self) -> Db {
+        Db(self.gain_dbi)
+    }
+}
+
+/// A transmitter: conducted power into an antenna.
+#[derive(Debug, Clone, Copy)]
+pub struct Transmitter {
+    /// Conducted transmit power at the antenna port.
+    pub power: Dbm,
+    /// Transmit antenna.
+    pub antenna: Antenna,
+}
+
+impl Transmitter {
+    /// The PoWiFi prototype: 30 dBm into a 6 dBi antenna (per channel).
+    pub fn powifi_prototype() -> Transmitter {
+        Transmitter {
+            power: Dbm(30.0),
+            antenna: Antenna::ROUTER_6DBI,
+        }
+    }
+
+    /// The §2 stock router: 23 dBm into 4.04 dBi antennas.
+    pub fn asus_stock() -> Transmitter {
+        Transmitter {
+            power: Dbm(23.0),
+            antenna: Antenna::ASUS_4DBI,
+        }
+    }
+
+    /// Equivalent isotropically radiated power.
+    pub fn eirp(&self) -> Dbm {
+        self.power + self.antenna.gain()
+    }
+
+    /// Whether this transmitter complies with the FCC part-15 EIRP limit.
+    pub fn fcc_compliant(&self) -> bool {
+        self.eirp().0 <= FCC_EIRP_LIMIT.0 + 1e-9
+    }
+}
+
+/// A full link: transmitter → (path, walls) → receive antenna.
+#[derive(Debug, Clone)]
+pub struct Link<M> {
+    /// The transmitter end.
+    pub tx: Transmitter,
+    /// Receiving antenna.
+    pub rx_antenna: Antenna,
+    /// Path-loss model.
+    pub path: M,
+    /// Carrier frequency.
+    pub freq: Hertz,
+    /// Walls in the path (one-way losses accumulate).
+    pub walls: Vec<WallMaterial>,
+    /// Any additional per-link loss (shadowing draw, polarization, …).
+    pub extra_loss: Db,
+}
+
+impl<M: PathLoss> Link<M> {
+    /// Received power at distance `d`.
+    pub fn received(&self, d: Meters) -> Dbm {
+        let wall_loss: f64 = self.walls.iter().map(|w| w.attenuation().0).sum();
+        self.tx.eirp() + self.rx_antenna.gain()
+            - self.path.loss(self.freq, d)
+            - Db(wall_loss)
+            - self.extra_loss
+    }
+
+    /// Distance (ft) at which received power first drops below `threshold`,
+    /// scanned in 0.1 ft steps out to `max_ft`. Returns `None` if the link
+    /// stays above threshold everywhere.
+    pub fn range_to_threshold_ft(&self, threshold: Dbm, max_ft: f64) -> Option<f64> {
+        let mut ft = 0.5;
+        while ft <= max_ft {
+            if self.received(Meters::from_feet(ft)).0 < threshold.0 {
+                return Some(ft);
+            }
+            ft += 0.1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathloss::LogDistance;
+
+    #[test]
+    fn prototype_router_is_fcc_compliant() {
+        let tx = Transmitter::powifi_prototype();
+        assert!((tx.eirp().0 - 36.0).abs() < 1e-9);
+        assert!(tx.fcc_compliant());
+    }
+
+    #[test]
+    fn over_limit_transmitter_flagged() {
+        let tx = Transmitter {
+            power: Dbm(33.0),
+            antenna: Antenna::ROUTER_6DBI,
+        };
+        assert!(!tx.fcc_compliant());
+    }
+
+    #[test]
+    fn walls_reduce_received_power() {
+        let base = Link {
+            tx: Transmitter::powifi_prototype(),
+            rx_antenna: Antenna::HARVESTER_2DBI,
+            path: LogDistance::indoor_los(),
+            freq: Hertz::from_ghz(2.437),
+            walls: vec![],
+            extra_loss: Db(0.0),
+        };
+        let mut walled = base.clone();
+        walled.walls.push(WallMaterial::SheetRock7_9In);
+        let d = Meters::from_feet(5.0);
+        let drop = base.received(d).0 - walled.received(d).0;
+        assert!((drop - 6.5).abs() < 1e-9, "drop {drop}");
+    }
+
+    #[test]
+    fn range_scan_finds_threshold_crossing() {
+        let link = Link {
+            tx: Transmitter::powifi_prototype(),
+            rx_antenna: Antenna::HARVESTER_2DBI,
+            path: LogDistance::indoor_los(),
+            freq: Hertz::from_ghz(2.437),
+            walls: vec![],
+            extra_loss: Db(0.0),
+        };
+        let r = link
+            .range_to_threshold_ft(Dbm(-17.8), 100.0)
+            .expect("crossing expected");
+        // Must be a plausible office range; exact calibration happens in the
+        // harvest crate tests against Fig. 11.
+        assert!(r > 5.0 && r < 80.0, "range {r} ft");
+    }
+}

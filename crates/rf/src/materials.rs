@@ -1,0 +1,90 @@
+//! Wall-material penetration losses for the through-the-wall experiments
+//! (Fig. 13): double-pane glass, a wooden door, a hollow wall, and a double
+//! sheet-rock wall with insulation.
+//!
+//! Attenuation values are drawn from published 2.4 GHz building-material
+//! measurements; the paper reports only the resulting inter-frame times, so
+//! these constants are the calibration knob for Fig. 13 (see EXPERIMENTS.md).
+
+use crate::units::Db;
+
+/// A wall material between router and harvester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WallMaterial {
+    /// No wall; free-space reference.
+    FreeSpace,
+    /// Double-pane glass wall, 1 inch.
+    Glass1In,
+    /// Wooden door, 1.8 inches.
+    Wood1_8In,
+    /// Hollow wall, 5.4 inches.
+    HollowWall5_4In,
+    /// Double sheet-rock plus insulation, 7.9 inches.
+    SheetRock7_9In,
+}
+
+impl WallMaterial {
+    /// One-way penetration loss at 2.4 GHz.
+    pub fn attenuation(self) -> Db {
+        match self {
+            WallMaterial::FreeSpace => Db(0.0),
+            WallMaterial::Glass1In => Db(1.2),
+            WallMaterial::Wood1_8In => Db(2.5),
+            WallMaterial::HollowWall5_4In => Db(4.0),
+            WallMaterial::SheetRock7_9In => Db(6.5),
+        }
+    }
+
+    /// Human-readable label matching the paper's Fig. 13 x-axis.
+    pub fn label(self) -> &'static str {
+        match self {
+            WallMaterial::FreeSpace => "Free Space",
+            WallMaterial::Glass1In => "1\" Glass",
+            WallMaterial::Wood1_8In => "1.8\" Wood",
+            WallMaterial::HollowWall5_4In => "5.4\" Wall",
+            WallMaterial::SheetRock7_9In => "7.9\" Wall",
+        }
+    }
+
+    /// The five scenarios of Fig. 13, in the paper's plotting order.
+    pub const FIG13_ORDER: [WallMaterial; 5] = [
+        WallMaterial::FreeSpace,
+        WallMaterial::Wood1_8In,
+        WallMaterial::Glass1In,
+        WallMaterial::HollowWall5_4In,
+        WallMaterial::SheetRock7_9In,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorption_ranks_glass_below_sheetrock() {
+        // §5.2: "as the material absorbs more signals (e.g., double
+        // sheet-rock versus glass), the time between frames increases".
+        assert!(WallMaterial::Glass1In.attenuation().0 < WallMaterial::Wood1_8In.attenuation().0);
+        assert!(
+            WallMaterial::Wood1_8In.attenuation().0 < WallMaterial::HollowWall5_4In.attenuation().0
+        );
+        assert!(
+            WallMaterial::HollowWall5_4In.attenuation().0
+                < WallMaterial::SheetRock7_9In.attenuation().0
+        );
+    }
+
+    #[test]
+    fn free_space_is_lossless() {
+        assert_eq!(WallMaterial::FreeSpace.attenuation().0, 0.0);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: Vec<_> = WallMaterial::FIG13_ORDER.iter().map(|m| m.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

@@ -1,0 +1,191 @@
+//! 802.11b/g PHY rates, receiver sensitivities and a packet-error model.
+//!
+//! The MAC layer uses these for airtime computation and rate adaptation; the
+//! fairness experiments (Fig. 8) sweep the neighbor's bit rate across the
+//! 802.11g set.
+
+use crate::units::{Db, Dbm};
+
+/// An 802.11b (DSSS) or 802.11g (OFDM) bit rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Bitrate {
+    /// 1 Mbps DSSS — the lowest rate; BlindUDP power traffic uses this.
+    B1,
+    /// 2 Mbps DSSS.
+    B2,
+    /// 5.5 Mbps DSSS (CCK).
+    B5_5,
+    /// 11 Mbps DSSS (CCK).
+    B11,
+    /// 6 Mbps OFDM.
+    G6,
+    /// 9 Mbps OFDM.
+    G9,
+    /// 12 Mbps OFDM.
+    G12,
+    /// 18 Mbps OFDM.
+    G18,
+    /// 24 Mbps OFDM.
+    G24,
+    /// 36 Mbps OFDM.
+    G36,
+    /// 48 Mbps OFDM.
+    G48,
+    /// 54 Mbps OFDM — the highest 802.11g rate; PoWiFi power packets use this.
+    G54,
+}
+
+impl Bitrate {
+    /// All rates, slowest first.
+    pub const ALL: [Bitrate; 12] = [
+        Bitrate::B1,
+        Bitrate::B2,
+        Bitrate::B5_5,
+        Bitrate::B11,
+        Bitrate::G6,
+        Bitrate::G9,
+        Bitrate::G12,
+        Bitrate::G18,
+        Bitrate::G24,
+        Bitrate::G36,
+        Bitrate::G48,
+        Bitrate::G54,
+    ];
+
+    /// The OFDM (802.11g) subset, slowest first — the rate-adaptation ladder.
+    pub const OFDM: [Bitrate; 8] = [
+        Bitrate::G6,
+        Bitrate::G9,
+        Bitrate::G12,
+        Bitrate::G18,
+        Bitrate::G24,
+        Bitrate::G36,
+        Bitrate::G48,
+        Bitrate::G54,
+    ];
+
+    /// Data rate in Mbit/s.
+    pub fn mbps(self) -> f64 {
+        match self {
+            Bitrate::B1 => 1.0,
+            Bitrate::B2 => 2.0,
+            Bitrate::B5_5 => 5.5,
+            Bitrate::B11 => 11.0,
+            Bitrate::G6 => 6.0,
+            Bitrate::G9 => 9.0,
+            Bitrate::G12 => 12.0,
+            Bitrate::G18 => 18.0,
+            Bitrate::G24 => 24.0,
+            Bitrate::G36 => 36.0,
+            Bitrate::G48 => 48.0,
+            Bitrate::G54 => 54.0,
+        }
+    }
+
+    /// True for DSSS/CCK (802.11b) rates.
+    pub fn is_dsss(self) -> bool {
+        matches!(self, Bitrate::B1 | Bitrate::B2 | Bitrate::B5_5 | Bitrate::B11)
+    }
+
+    /// Minimum SNR (dB) for reliable reception, per-rate. Derived from
+    /// typical 802.11g receiver sensitivity specs over a −95 dBm noise floor.
+    pub fn required_snr(self) -> Db {
+        Db(match self {
+            Bitrate::B1 => 3.0,
+            Bitrate::B2 => 5.0,
+            Bitrate::B5_5 => 7.0,
+            Bitrate::B11 => 9.0,
+            Bitrate::G6 => 6.0,
+            Bitrate::G9 => 7.5,
+            Bitrate::G12 => 9.0,
+            Bitrate::G18 => 11.0,
+            Bitrate::G24 => 14.0,
+            Bitrate::G36 => 18.0,
+            Bitrate::G48 => 22.0,
+            Bitrate::G54 => 25.0,
+        })
+    }
+
+    /// Next faster rate on the ladder, if any.
+    pub fn step_up(self) -> Option<Bitrate> {
+        let all = Bitrate::OFDM;
+        let i = all.iter().position(|&r| r == self)?;
+        all.get(i + 1).copied()
+    }
+
+    /// Next slower OFDM rate, if any.
+    pub fn step_down(self) -> Option<Bitrate> {
+        let all = Bitrate::OFDM;
+        let i = all.iter().position(|&r| r == self)?;
+        i.checked_sub(1).map(|j| all[j])
+    }
+}
+
+/// Thermal-plus-implementation noise floor for a 20 MHz 2.4 GHz receiver.
+pub const NOISE_FLOOR: Dbm = Dbm(-95.0);
+
+/// Packet-error probability for a given received SNR at a rate. A smooth
+/// logistic around the rate's SNR requirement: ~50 % PER at the threshold,
+/// negligible 3 dB above, near-certain loss 3 dB below. The exact slope is
+/// not critical — rate adaptation and throughput cliffs only need a sharp,
+/// monotone transition.
+pub fn packet_error_rate(snr: Db, rate: Bitrate) -> f64 {
+    let margin = snr.0 - rate.required_snr().0;
+    1.0 / (1.0 + (1.6 * margin).exp())
+}
+
+/// SNR at a receiver given received signal power.
+pub fn snr(received: Dbm) -> Db {
+    received - NOISE_FLOOR
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_sorted_ascending_within_family() {
+        for family in [&Bitrate::ALL[..4], &Bitrate::OFDM[..]] {
+            let mut prev = 0.0;
+            for &r in family {
+                assert!(r.mbps() > prev, "{r:?}");
+                prev = r.mbps();
+            }
+        }
+    }
+
+    #[test]
+    fn snr_requirements_increase_with_ofdm_rate() {
+        let mut prev = Db(f64::NEG_INFINITY);
+        for r in Bitrate::OFDM {
+            assert!(r.required_snr().0 > prev.0);
+            prev = r.required_snr();
+        }
+    }
+
+    #[test]
+    fn per_transitions_around_threshold() {
+        let r = Bitrate::G54;
+        let th = r.required_snr();
+        assert!((packet_error_rate(th, r) - 0.5).abs() < 1e-9);
+        assert!(packet_error_rate(Db(th.0 + 5.0), r) < 0.01);
+        assert!(packet_error_rate(Db(th.0 - 5.0), r) > 0.99);
+    }
+
+    #[test]
+    fn ladder_stepping() {
+        assert_eq!(Bitrate::G6.step_down(), None);
+        assert_eq!(Bitrate::G54.step_up(), None);
+        assert_eq!(Bitrate::G24.step_up(), Some(Bitrate::G36));
+        assert_eq!(Bitrate::G24.step_down(), Some(Bitrate::G18));
+        // DSSS rates are off the OFDM ladder.
+        assert_eq!(Bitrate::B1.step_up(), None);
+    }
+
+    #[test]
+    fn strong_signal_has_high_snr() {
+        let s = snr(Dbm(-40.0));
+        assert!((s.0 - 55.0).abs() < 1e-9);
+        assert!(packet_error_rate(s, Bitrate::G54) < 1e-6);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for RF units and propagation.
+
+use powifi_rf::{friis_loss, packet_error_rate, Bitrate, Db, Dbm, Hertz, LogDistance, Meters, MilliWatts, PathLoss};
+use proptest::prelude::*;
+
+proptest! {
+    /// dBm ↔ mW roundtrips within floating-point tolerance.
+    #[test]
+    fn dbm_mw_roundtrip(dbm in -120f64..60.0) {
+        let back = Dbm(dbm).to_mw().to_dbm();
+        prop_assert!((back.0 - dbm).abs() < 1e-9);
+    }
+
+    /// Adding X dB multiplies linear power by 10^(X/10).
+    #[test]
+    fn db_addition_is_linear_multiplication(dbm in -80f64..30.0, db in -40f64..40.0) {
+        let lhs = (Dbm(dbm) + Db(db)).to_mw().0;
+        let rhs = Dbm(dbm).to_mw().0 * Db(db).linear();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * rhs.max(1e-12));
+    }
+
+    /// Linear power sums commute with dBm conversion.
+    #[test]
+    fn power_sum_commutes(a in 0f64..1e3, b in 0f64..1e3) {
+        let sum = (MilliWatts(a) + MilliWatts(b)).0;
+        prop_assert!((sum - (a + b)).abs() < 1e-12);
+    }
+
+    /// Friis loss is monotone in distance and frequency.
+    #[test]
+    fn friis_monotone(d1 in 0.06f64..50.0, scale in 1.01f64..4.0, f in 1e9f64..6e9) {
+        let near = friis_loss(Hertz(f), Meters(d1)).0;
+        let far = friis_loss(Hertz(f), Meters(d1 * scale)).0;
+        prop_assert!(far > near);
+        let low = friis_loss(Hertz(f), Meters(d1)).0;
+        let high = friis_loss(Hertz(f * scale), Meters(d1)).0;
+        prop_assert!(high > low);
+    }
+
+    /// Log-distance loss is continuous at the reference distance.
+    #[test]
+    fn log_distance_continuous_at_d0(n in 1.5f64..4.0, fixed in 0f64..10.0) {
+        let m = LogDistance { d0: Meters(1.0), exponent: n, fixed_loss: Db(fixed) };
+        let f = Hertz::from_ghz(2.437);
+        let below = m.loss(f, Meters(0.999)).0;
+        let above = m.loss(f, Meters(1.001)).0;
+        prop_assert!((below - above).abs() < 0.1, "jump {below} vs {above}");
+    }
+
+    /// PER is within [0,1] and monotone non-increasing in SNR.
+    #[test]
+    fn per_bounded_and_monotone(snr in -20f64..60.0, delta in 0.1f64..20.0) {
+        for rate in Bitrate::ALL {
+            let lo = packet_error_rate(Db(snr), rate);
+            let hi = packet_error_rate(Db(snr + delta), rate);
+            prop_assert!((0.0..=1.0).contains(&lo));
+            prop_assert!(hi <= lo);
+        }
+    }
+
+    /// Faster OFDM rates never have lower PER at equal SNR.
+    #[test]
+    fn faster_rates_need_more_snr(snr in -5f64..40.0) {
+        let mut prev = 0.0f64;
+        for rate in Bitrate::OFDM {
+            let per = packet_error_rate(Db(snr), rate);
+            prop_assert!(per >= prev - 1e-12);
+            prev = per;
+        }
+    }
+}

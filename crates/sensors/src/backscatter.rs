@@ -1,0 +1,176 @@
+//! Wi-Fi backscatter uplink for PoWiFi-powered tags.
+//!
+//! §7 notes PoWiFi is complementary to Wi-Fi Backscatter (Kellogg et al.,
+//! SIGCOMM 2014) and that the two "can in principle be combined to achieve
+//! both power delivery and low-power connectivity using Wi-Fi devices".
+//! This module models that combination: a tag harvests the router's power
+//! packets *and* communicates by modulating its antenna impedance, encoding
+//! one bit per ambient Wi-Fi packet that a nearby receiver detects as an
+//! RSSI perturbation.
+//!
+//! Model anchors (from the backscatter paper): ~µW-scale switching energy,
+//! ~1 bit per packet, ≈100 bps–1 kbps achievable rates, uplink ranges of a
+//! couple of meters set by the detectability of the reflected signal.
+
+use powifi_harvest::Harvester;
+use powifi_rf::{friis_loss, Db, Dbm, Hertz, Meters, MicroWatts};
+
+/// A backscatter-capable, Wi-Fi-powered tag.
+pub struct BackscatterTag {
+    /// The tag's harvesting front end (powers the switching logic).
+    pub harvester: Harvester,
+    /// Power the modulation logic draws while transmitting, W.
+    pub switch_power_w: f64,
+    /// Reflection efficiency of the antenna-impedance switch, dB loss
+    /// between incident and re-radiated power.
+    pub reflection_loss: Db,
+    /// Fraction of channel packets consumed by sync/coding overhead.
+    pub coding_overhead: f64,
+    /// Upper bound from the tag's logic speed, bits/s.
+    pub max_bitrate: f64,
+}
+
+impl BackscatterTag {
+    /// A tag per the SIGCOMM'14 prototype: ~0.65 µW switching power,
+    /// ≈6 dB reflection loss, half the packets spent on preamble/coding,
+    /// 1 kbps ceiling.
+    pub fn prototype() -> BackscatterTag {
+        BackscatterTag {
+            harvester: Harvester::battery_free_sensor(),
+            switch_power_w: 0.65e-6,
+            reflection_loss: Db(6.0),
+            coding_overhead: 0.5,
+            max_bitrate: 1000.0,
+        }
+    }
+
+    /// Minimum backscatter-to-direct power ratio a commodity receiver can
+    /// detect, dB. Single-packet RSSI deltas would need ratios near 0 dB;
+    /// the SIGCOMM'14 receiver averages CSI over bursts of packets, pulling
+    /// detectable perturbations down to ≈−50 dB relative — which is what
+    /// bounds its ~2 m uplink range.
+    pub const DETECTION_RATIO_DB: f64 = -52.0;
+
+    /// Strength of the backscattered signal at a receiver: incident power
+    /// at the tag, minus reflection loss, minus the tag→receiver path.
+    pub fn backscatter_power(
+        &self,
+        incident_at_tag: Dbm,
+        f: Hertz,
+        tag_to_rx: Meters,
+    ) -> Dbm {
+        incident_at_tag - self.reflection_loss - friis_loss(f, tag_to_rx)
+    }
+
+    /// Backscatter-to-direct power ratio at the receiver, dB — the quantity
+    /// burst-averaged CSI detection thresholds on.
+    pub fn detection_ratio_db(&self, backscatter: Dbm, direct: Dbm) -> f64 {
+        (backscatter - direct).0
+    }
+
+    /// Achievable uplink bit rate, if any, given:
+    /// * `exposure` — per-channel `(freq, power, duty)` at the tag (powers it),
+    /// * `packet_rate` — ambient Wi-Fi packets/s the tag can modulate
+    ///   (PoWiFi's power traffic itself: ~2 900/s/channel),
+    /// * `direct_at_rx` — the router's direct signal strength at the receiver,
+    /// * `tag_to_rx` — tag→receiver distance.
+    ///
+    /// Returns `None` when the tag cannot power its switch or the receiver
+    /// cannot detect the perturbation.
+    pub fn uplink_bitrate(
+        &self,
+        exposure: &[(Hertz, Dbm, f64)],
+        packet_rate: f64,
+        direct_at_rx: Dbm,
+        tag_to_rx: Meters,
+    ) -> Option<f64> {
+        // Power budget: harvested DC must cover the switching logic.
+        let mut harvested_uw = 0.0;
+        for &(f, p, duty) in exposure {
+            harvested_uw += self.harvester.dc_power(&[(f, p)]).0 * duty.clamp(0.0, 1.0);
+        }
+        if MicroWatts(harvested_uw).0 * 1e-6 < self.switch_power_w {
+            return None;
+        }
+        // Detectability: strongest channel's incident power, reflected.
+        let strongest = exposure
+            .iter()
+            .map(|&(f, p, _)| (f, p))
+            .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap())?;
+        let bs = self.backscatter_power(strongest.1, strongest.0, tag_to_rx);
+        if self.detection_ratio_db(bs, direct_at_rx) < Self::DETECTION_RATIO_DB {
+            return None;
+        }
+        // One bit per detectable packet, minus coding overhead.
+        Some((packet_rate * (1.0 - self.coding_overhead)).min(self.max_bitrate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exposure::{exposure_at, BENCH_DUTY};
+
+    /// Direct router signal at a receiver sitting next to the tag.
+    fn direct_at(feet: f64) -> Dbm {
+        exposure_at(feet, BENCH_DUTY, &[])[1].1
+    }
+
+    #[test]
+    fn tag_near_router_gets_kilobit_uplink() {
+        let tag = BackscatterTag::prototype();
+        let exposure = exposure_at(6.0, BENCH_DUTY, &[]);
+        let rate = tag
+            .uplink_bitrate(&exposure, 2900.0, direct_at(6.0), Meters(1.0))
+            .expect("uplink should work at 6 ft / 1 m");
+        assert!((100.0..=1000.0).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn uplink_range_is_meters_not_tens() {
+        // The SIGCOMM'14 prototype managed ~2.1 m to a commodity receiver.
+        let tag = BackscatterTag::prototype();
+        let exposure = exposure_at(6.0, BENCH_DUTY, &[]);
+        assert!(tag
+            .uplink_bitrate(&exposure, 2900.0, direct_at(6.0), Meters(1.5))
+            .is_some());
+        assert!(tag
+            .uplink_bitrate(&exposure, 2900.0, direct_at(6.0), Meters(30.0))
+            .is_none());
+    }
+
+    #[test]
+    fn unpowered_tag_cannot_talk() {
+        // 35 ft: past the harvester's range → no switching power.
+        let tag = BackscatterTag::prototype();
+        let exposure = exposure_at(35.0, BENCH_DUTY, &[]);
+        assert!(tag
+            .uplink_bitrate(&exposure, 2900.0, direct_at(35.0), Meters(0.5))
+            .is_none());
+    }
+
+    #[test]
+    fn more_ambient_packets_mean_more_bits() {
+        let tag = BackscatterTag::prototype();
+        let exposure = exposure_at(6.0, BENCH_DUTY, &[]);
+        let slow = tag
+            .uplink_bitrate(&exposure, 200.0, direct_at(6.0), Meters(1.0))
+            .unwrap();
+        let fast = tag
+            .uplink_bitrate(&exposure, 1500.0, direct_at(6.0), Meters(1.0))
+            .unwrap();
+        assert!(fast > 3.0 * slow, "slow {slow} fast {fast}");
+    }
+
+    #[test]
+    fn detection_ratio_shrinks_with_distance() {
+        let tag = BackscatterTag::prototype();
+        let f = powifi_rf::WifiChannel::CH6.center();
+        let incident = Dbm(-10.0);
+        let direct = Dbm(-40.0);
+        let near = tag.detection_ratio_db(tag.backscatter_power(incident, f, Meters(0.5)), direct);
+        let far = tag.detection_ratio_db(tag.backscatter_power(incident, f, Meters(5.0)), direct);
+        // 20 dB per decade of tag→receiver distance.
+        assert!((near - far - 20.0).abs() < 0.5, "near {near} far {far}");
+    }
+}

@@ -1,0 +1,159 @@
+//! The Wi-Fi-powered camera (§5.2, Figs. 12–13).
+//!
+//! An OV7670 VGA sensor in gray-scale QCIF mode + MSP430FR5969: one image
+//! capture costs 10.4 mJ. The battery-free version banks energy in a 6.8 mF
+//! super-capacitor cycled between 3.1 V (buck engage) and 2.4 V; the
+//! recharging version captures energy-neutrally off a 1 mAh Li-Ion coin
+//! cell.
+
+use powifi_harvest::{Battery, Harvester, Store};
+use powifi_rf::{Dbm, Hertz, Joules};
+
+/// Energy per image capture (§5.2).
+pub const FRAME_ENERGY: Joules = Joules(10.4e-3);
+
+/// A camera node built around a harvester.
+pub struct Camera {
+    /// RF front end + storage.
+    pub harvester: Harvester,
+    /// Per-frame energy.
+    pub frame_energy: Joules,
+}
+
+impl Camera {
+    /// Battery-free prototype: bq25570 + 6.8 mF BestCap (Fig. 2a).
+    pub fn battery_free() -> Camera {
+        Camera {
+            harvester: Harvester::battery_free_camera(),
+            frame_energy: FRAME_ENERGY,
+        }
+    }
+
+    /// Battery-recharging prototype: 1 mAh Li-Ion coin cell (Fig. 2c).
+    pub fn battery_recharging() -> Camera {
+        Camera {
+            harvester: Harvester::recharging(Battery::liion_coin()),
+            frame_energy: FRAME_ENERGY,
+        }
+    }
+
+    /// Net charging power (µW) under the given exposure, after storage
+    /// leakage.
+    pub fn net_power_uw(&self, inputs: &[(Hertz, Dbm, f64)]) -> f64 {
+        let mut uw = 0.0;
+        for &(f, p, duty) in inputs {
+            uw += self.harvester.dc_power(&[(f, p)]).0 * duty.clamp(0.0, 1.0);
+        }
+        let leak_uw = match self.harvester.store() {
+            // Mid-cycle supercap voltage ≈ 2.75 V.
+            Store::Cap(c) => 2.75 * 2.75 / c.leak_ohms * 1e6,
+            Store::Batt(_) => 0.0,
+        };
+        uw - leak_uw
+    }
+
+    /// Time between captured frames (seconds) under the exposure, or `None`
+    /// when the harvester cannot net positive energy (out of range).
+    ///
+    /// Battery-free: one cycle banks the super-capacitor from 2.4 → 3.1 V
+    /// (½·C·ΔV² ≈ 13.1 mJ, of which the 10.4 mJ capture plus buck losses is
+    /// spent). Recharging: energy-neutral pacing at `frame_energy` per
+    /// frame.
+    pub fn inter_frame_secs(&self, inputs: &[(Hertz, Dbm, f64)]) -> Option<f64> {
+        let net_uw = self.net_power_uw(inputs);
+        if net_uw <= 0.0 {
+            return None;
+        }
+        let cycle_energy = match self.harvester.store() {
+            Store::Cap(c) => 0.5 * c.farads * (3.1f64.powi(2) - 2.4f64.powi(2)),
+            Store::Batt(_) => self.frame_energy.0,
+        };
+        Some(cycle_energy / (net_uw * 1e-6))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exposure::{exposure_at, BENCH_DUTY};
+    use powifi_rf::WallMaterial;
+
+    #[test]
+    fn inter_frame_grows_with_distance() {
+        let c = Camera::battery_free();
+        let mut prev = 0.0;
+        for feet in [5.0, 8.0, 11.0, 14.0] {
+            let t = c
+                .inter_frame_secs(&exposure_at(feet, BENCH_DUTY, &[]))
+                .expect("in range");
+            assert!(t > prev, "not monotone at {feet} ft");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn battery_free_camera_dies_before_the_temperature_sensor() {
+        // Fig. 12: the camera's range (~17 ft) is shorter than the
+        // temperature sensor's (~20 ft) because super-capacitor leakage
+        // eats the trickle.
+        let c = Camera::battery_free();
+        assert!(c.inter_frame_secs(&exposure_at(15.0, BENCH_DUTY, &[])).is_some());
+        assert!(
+            c.inter_frame_secs(&exposure_at(26.0, BENCH_DUTY, &[])).is_none(),
+            "battery-free camera alive at 26 ft"
+        );
+    }
+
+    #[test]
+    fn recharging_camera_outranges_battery_free() {
+        let bf = Camera::battery_free();
+        let bc = Camera::battery_recharging();
+        // Find each variant's last working distance on a 0.5 ft grid.
+        let range = |cam: &Camera| {
+            let mut last = 0.0;
+            let mut ft = 4.0;
+            while ft <= 40.0 {
+                if cam.inter_frame_secs(&exposure_at(ft, BENCH_DUTY, &[])).is_some() {
+                    last = ft;
+                }
+                ft += 0.5;
+            }
+            last
+        };
+        let r_bf = range(&bf);
+        let r_bc = range(&bc);
+        assert!(r_bc > r_bf + 2.0, "bf {r_bf} ft, bc {r_bc} ft");
+        assert!((14.0..=22.0).contains(&r_bf), "battery-free range {r_bf} ft");
+        assert!((22.0..=34.0).contains(&r_bc), "recharging range {r_bc} ft");
+    }
+
+    #[test]
+    fn through_wall_ordering_matches_fig13() {
+        // Fig. 13 at 5 ft: inter-frame time grows with wall absorption.
+        let c = Camera::battery_free();
+        let mut prev = 0.0;
+        for walls in [
+            vec![],
+            vec![WallMaterial::Glass1In],
+            vec![WallMaterial::Wood1_8In],
+            vec![WallMaterial::HollowWall5_4In],
+            vec![WallMaterial::SheetRock7_9In],
+        ] {
+            let t = c
+                .inter_frame_secs(&exposure_at(5.0, BENCH_DUTY, &walls))
+                .expect("all walls workable at 5 ft");
+            assert!(t > prev, "ordering broken at {walls:?}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn supercap_cycle_banks_more_than_frame_energy() {
+        let c = Camera::battery_free();
+        let Store::Cap(cap) = c.harvester.store() else {
+            panic!("battery-free camera must use a capacitor")
+        };
+        let cycle = 0.5 * cap.farads * (3.1f64.powi(2) - 2.4f64.powi(2));
+        assert!(cycle > FRAME_ENERGY.0, "cycle {cycle} J");
+    }
+}

@@ -1,0 +1,111 @@
+//! The Wi-Fi power USB charger (§8a, Fig. 16).
+//!
+//! A 2 dBi antenna + a harvester re-optimized for *high* input powers,
+//! placed 5–7 cm from the PoWiFi router, trickle-charges a Jawbone UP24:
+//! the paper measured ≈2.3 mA average and 0 → 41 % charge in 2.5 h.
+//!
+//! At centimeter range the far-field link budget no longer applies; we model
+//! the coupling as the Friis value clamped to a near-field ceiling.
+
+use powifi_harvest::{Battery, Store};
+use powifi_rf::{friis_loss, Db, Dbm, Hertz, Joules, Meters, Transmitter, WifiChannel};
+use powifi_sim::SimDuration;
+
+/// Near-field input-power ceiling at the charger's antenna (per channel).
+pub const NEAR_FIELD_CAP: Dbm = Dbm(18.0);
+
+/// A high-input-power rectifier + charger: flat conversion efficiency in
+/// its design regime (well above the sensing harvesters' operating points).
+#[derive(Debug, Clone, Copy)]
+pub struct UsbCharger {
+    /// End-to-end RF→battery conversion efficiency at high input power.
+    pub efficiency: f64,
+    /// The battery being charged.
+    pub battery: Battery,
+}
+
+impl UsbCharger {
+    /// The Fig. 16 demo charger with a Jawbone UP24 attached.
+    pub fn jawbone_demo() -> UsbCharger {
+        UsbCharger {
+            efficiency: 0.155,
+            battery: Battery::jawbone_up24(),
+        }
+    }
+
+    /// Per-channel received power at `cm` from the router (near-field
+    /// clamped).
+    pub fn received_per_channel(cm: f64) -> Vec<(Hertz, Dbm)> {
+        let tx = Transmitter::powifi_prototype();
+        WifiChannel::POWER_SET
+            .iter()
+            .map(|ch| {
+                let p = tx.eirp() + Db(2.0) - friis_loss(ch.center(), Meters::from_cm(cm));
+                (ch.center(), Dbm(p.0.min(NEAR_FIELD_CAP.0)))
+            })
+            .collect()
+    }
+
+    /// Average charging current (mA) at distance `cm` with per-channel duty
+    /// `duty`.
+    pub fn charge_current_ma(&self, cm: f64, duty: f64) -> f64 {
+        let mut mw = 0.0;
+        for (_, p) in Self::received_per_channel(cm) {
+            mw += p.to_mw().0 * duty.clamp(0.0, 1.0);
+        }
+        let dc_mw = mw * self.efficiency;
+        dc_mw / self.battery.volts
+    }
+
+    /// Charge the battery for `dt` at distance `cm` with duty `duty`.
+    pub fn charge_for(&mut self, dt: SimDuration, cm: f64, duty: f64) {
+        let ma = self.charge_current_ma(cm, duty);
+        let energy = Joules(ma * 1e-3 * self.battery.volts * dt.as_secs_f64());
+        self.battery.charge_energy(energy);
+    }
+
+    /// State of charge, 0–1.
+    pub fn soc(&self) -> f64 {
+        self.battery.soc()
+    }
+}
+
+/// The sensing-harvester store types, re-exported to keep bench code tidy.
+pub type ChargerStore = Store;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_current_near_paper_value() {
+        // §8a: ≈2.3 mA average at 5–7 cm.
+        let c = UsbCharger::jawbone_demo();
+        let ma = c.charge_current_ma(6.0, 0.3);
+        assert!((1.8..=2.9).contains(&ma), "current {ma} mA");
+    }
+
+    #[test]
+    fn jawbone_reaches_41_percent_in_2_5_hours() {
+        let mut c = UsbCharger::jawbone_demo();
+        for _ in 0..150 {
+            c.charge_for(SimDuration::from_secs(60), 6.0, 0.3);
+        }
+        let soc = c.soc();
+        assert!((0.33..=0.50).contains(&soc), "soc {soc}");
+    }
+
+    #[test]
+    fn near_field_cap_limits_close_range() {
+        let at_1cm = UsbCharger::received_per_channel(1.0);
+        assert!(at_1cm.iter().all(|&(_, p)| p.0 <= NEAR_FIELD_CAP.0 + 1e-9));
+    }
+
+    #[test]
+    fn current_falls_with_distance() {
+        let c = UsbCharger::jawbone_demo();
+        let near = c.charge_current_ma(6.0, 0.3);
+        let far = c.charge_current_ma(60.0, 0.3);
+        assert!(near > 5.0 * far, "near {near} far {far}");
+    }
+}

@@ -1,0 +1,89 @@
+//! RF exposure helpers: the received per-channel power and duty at a sensor
+//! placed some distance from a PoWiFi router.
+//!
+//! Calibration: the sensor benchmarks (§4.2/§5) use a corridor-like
+//! log-distance model (`n = 1.7`, +2 dB fixed loss) chosen so the
+//! battery-free harvester's −17.8 dBm sensitivity lands near the paper's
+//! 20 ft range endpoint and the recharging harvester's −19.3 dBm near 28 ft
+//! (see EXPERIMENTS.md §calibration).
+
+use powifi_rf::{Db, Dbm, Hertz, LogDistance, Meters, PathLoss, Transmitter, WallMaterial, WifiChannel};
+
+/// Path-loss model for the sensor-range benchmarks.
+pub fn sensor_pathloss() -> LogDistance {
+    LogDistance {
+        d0: Meters(1.0),
+        exponent: 1.7,
+        fixed_loss: Db(2.0),
+    }
+}
+
+/// Per-channel exposure of a harvester `feet` from a PoWiFi prototype
+/// router whose channels each carry `duty` physical duty factor, through
+/// optional walls.
+pub fn exposure_at(
+    feet: f64,
+    duty_per_channel: f64,
+    walls: &[WallMaterial],
+) -> Vec<(Hertz, Dbm, f64)> {
+    let model = sensor_pathloss();
+    let tx = Transmitter::powifi_prototype();
+    let wall_loss: f64 = walls.iter().map(|w| w.attenuation().0).sum();
+    WifiChannel::POWER_SET
+        .iter()
+        .map(|ch| {
+            let p = model.received(tx.eirp(), Db(2.0), ch.center(), Meters::from_feet(feet))
+                - Db(wall_loss);
+            (ch.center(), p, duty_per_channel)
+        })
+        .collect()
+}
+
+/// The default per-channel duty in the paper's sensor benchmarks: ≈90 %
+/// cumulative occupancy over three channels.
+pub const BENCH_DUTY: f64 = 0.3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposure_covers_three_channels() {
+        let e = exposure_at(10.0, BENCH_DUTY, &[]);
+        assert_eq!(e.len(), 3);
+        assert!(e.iter().all(|&(_, _, d)| d == BENCH_DUTY));
+    }
+
+    #[test]
+    fn walls_attenuate_exposure() {
+        let clear = exposure_at(5.0, BENCH_DUTY, &[]);
+        let walled = exposure_at(5.0, BENCH_DUTY, &[WallMaterial::SheetRock7_9In]);
+        assert!((clear[0].1 .0 - walled[0].1 .0 - 6.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensitivity_ranges_match_paper_endpoints() {
+        // −17.8 dBm should be crossed near 20 ft, −19.3 dBm near 28 ft.
+        let model = sensor_pathloss();
+        let tx = Transmitter::powifi_prototype();
+        let rx = |feet: f64| {
+            model.received(
+                tx.eirp(),
+                Db(2.0),
+                WifiChannel::CH6.center(),
+                Meters::from_feet(feet),
+            )
+        };
+        let cross = |threshold: f64| {
+            let mut ft = 1.0;
+            while rx(ft).0 > threshold && ft < 60.0 {
+                ft += 0.1;
+            }
+            ft
+        };
+        let bf = cross(-17.8);
+        let bc = cross(-19.3);
+        assert!((18.0..=23.0).contains(&bf), "battery-free range {bf} ft");
+        assert!((23.0..=31.0).contains(&bc), "recharging range {bc} ft");
+    }
+}

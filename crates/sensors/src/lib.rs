@@ -1,0 +1,25 @@
+//! # powifi-sensors
+//!
+//! The Wi-Fi-powered end devices of §5 and §8a: the 2.77 µJ/reading
+//! temperature sensor, the 10.4 mJ/frame QCIF camera (battery-free and
+//! battery-recharging variants of each), the USB trickle charger, the
+//! MSP430 MCU model, and the calibrated RF-exposure helpers that place a
+//! device at a distance (and behind walls) from a PoWiFi router.
+
+#![warn(missing_docs)]
+
+pub mod backscatter;
+pub mod camera;
+pub mod duty_cycle;
+pub mod charger;
+pub mod exposure;
+pub mod mcu;
+pub mod temperature;
+
+pub use backscatter::BackscatterTag;
+pub use camera::{Camera, FRAME_ENERGY};
+pub use duty_cycle::DutyCycledNode;
+pub use charger::UsbCharger;
+pub use exposure::{exposure_at, sensor_pathloss, BENCH_DUTY};
+pub use mcu::{Msp430, QCIF_FRAME_BYTES};
+pub use temperature::{TemperatureSensor, READ_ENERGY};

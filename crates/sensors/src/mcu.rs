@@ -1,0 +1,66 @@
+//! The MSP430FR5969 microcontroller model (§5.1).
+
+use powifi_rf::Joules;
+use powifi_sim::SimDuration;
+
+/// MSP430FR5969 operating characteristics used by both sensor prototypes.
+#[derive(Debug, Clone, Copy)]
+pub struct Msp430 {
+    /// Boot time from power-up (< 2 ms per §5.1).
+    pub boot_time: SimDuration,
+    /// Minimum supply voltage at 1 MHz.
+    pub min_volts: f64,
+    /// Active power at 1 MHz (≈100 µA × 3 V).
+    pub active_watts: f64,
+    /// Non-volatile FRAM capacity, bytes (64 KB — holds one QCIF frame).
+    pub fram_bytes: u32,
+}
+
+impl Msp430 {
+    /// Datasheet-derived defaults.
+    pub fn new() -> Msp430 {
+        Msp430 {
+            boot_time: SimDuration::from_millis(2),
+            min_volts: 1.9,
+            active_watts: 300e-6,
+            fram_bytes: 64 * 1024,
+        }
+    }
+
+    /// Energy to boot (active power over the boot window).
+    pub fn boot_energy(&self) -> Joules {
+        Joules(self.active_watts * self.boot_time.as_secs_f64())
+    }
+}
+
+impl Default for Msp430 {
+    fn default() -> Self {
+        Msp430::new()
+    }
+}
+
+/// A QCIF gray-scale frame from the OV7670 (176 × 144 × 1 byte).
+pub const QCIF_FRAME_BYTES: u32 = 176 * 144;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_energy_is_sub_microjoule() {
+        let m = Msp430::new();
+        assert!(m.boot_energy().uj() < 1.0);
+    }
+
+    #[test]
+    fn fram_holds_one_qcif_frame() {
+        // §5.2: the 64 KB FRAM stores the 176×144 image (25 344 B).
+        let m = Msp430::new();
+        assert!(QCIF_FRAME_BYTES < m.fram_bytes);
+    }
+
+    #[test]
+    fn min_voltage_matches_datasheet() {
+        assert_eq!(Msp430::new().min_volts, 1.9);
+    }
+}

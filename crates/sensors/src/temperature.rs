@@ -1,0 +1,132 @@
+//! The Wi-Fi-powered temperature sensor (§5.1, Fig. 11, Fig. 15).
+//!
+//! An LMT84 + MSP430FR5969 pair: one measurement-plus-UART-transmission
+//! costs 2.77 µJ. The battery-free version duty-cycles off the S-882Z's
+//! 2.4 V storage; the recharging version runs energy-neutral at the rate
+//! the bq25570 charges its NiMH pack (the paper computes update rate as
+//! harvested power / 2.77 µJ — we do the same).
+
+use powifi_harvest::{Battery, Harvester};
+use powifi_rf::{Dbm, Hertz, Joules};
+
+/// Energy per temperature reading + UART transmission (§5.1).
+pub const READ_ENERGY: Joules = Joules(2.77e-6);
+
+/// A temperature sensor node built around a harvester.
+pub struct TemperatureSensor {
+    /// The RF harvesting front end + storage.
+    pub harvester: Harvester,
+    /// Per-reading energy.
+    pub read_energy: Joules,
+}
+
+impl TemperatureSensor {
+    /// Battery-free prototype (Fig. 2b).
+    pub fn battery_free() -> TemperatureSensor {
+        TemperatureSensor {
+            harvester: Harvester::battery_free_sensor(),
+            read_energy: READ_ENERGY,
+        }
+    }
+
+    /// Battery-recharging prototype (2×AAA NiMH, Fig. 2d).
+    pub fn battery_recharging() -> TemperatureSensor {
+        TemperatureSensor {
+            harvester: Harvester::recharging(Battery::nimh_aaa()),
+            read_energy: READ_ENERGY,
+        }
+    }
+
+    /// Energy-neutral update rate (readings/second) under the given
+    /// per-channel `(freq, received power, duty factor)` exposure — the
+    /// paper's §5.1 metric: harvested power divided by 2.77 µJ.
+    pub fn update_rate(&self, inputs: &[(Hertz, Dbm, f64)]) -> f64 {
+        let mut uw = 0.0;
+        for &(f, p, duty) in inputs {
+            uw += self.harvester.dc_power(&[(f, p)]).0 * duty.clamp(0.0, 1.0);
+        }
+        (uw * 1e-6) / self.read_energy.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powifi_rf::{Db, LogDistance, Meters, PathLoss, Transmitter, WifiChannel};
+
+    /// Received power at the sensor from the PoWiFi prototype router at a
+    /// distance, per channel, with the calibrated sensor-benchmark path
+    /// loss (see EXPERIMENTS.md).
+    pub fn rx_at(feet: f64) -> Vec<(Hertz, Dbm, f64)> {
+        let model = LogDistance {
+            d0: Meters(1.0),
+            exponent: 1.7,
+            fixed_loss: Db(2.0),
+        };
+        let tx = Transmitter::powifi_prototype();
+        WifiChannel::POWER_SET
+            .iter()
+            .map(|ch| {
+                let p = model.received(tx.eirp(), Db(2.0), ch.center(), Meters::from_feet(feet));
+                (ch.center(), p, 0.3) // ~90 % cumulative over three channels
+            })
+            .collect()
+    }
+
+    #[test]
+    fn update_rate_decreases_with_distance() {
+        let s = TemperatureSensor::battery_free();
+        let mut prev = f64::INFINITY;
+        for feet in [5.0, 10.0, 15.0, 20.0] {
+            let r = s.update_rate(&rx_at(feet));
+            assert!(r <= prev, "rate not monotone at {feet} ft");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn battery_free_range_is_about_20_feet() {
+        // Fig. 11: the battery-free sensor works up to ≈20 ft.
+        let s = TemperatureSensor::battery_free();
+        assert!(s.update_rate(&rx_at(18.0)) > 0.05, "dead at 18 ft");
+        assert!(
+            s.update_rate(&rx_at(26.0)) < 0.02,
+            "alive at 26 ft: {}",
+            s.update_rate(&rx_at(26.0))
+        );
+    }
+
+    #[test]
+    fn recharging_extends_range_toward_28_feet() {
+        // Fig. 11: the recharging sensor is energy-neutral out to ≈28 ft.
+        let bf = TemperatureSensor::battery_free();
+        let bc = TemperatureSensor::battery_recharging();
+        // Beyond the battery-free cliff the recharging variant still nets
+        // positive energy.
+        let d = 24.0;
+        assert!(bc.update_rate(&rx_at(d)) > 4.0 * bf.update_rate(&rx_at(d)).max(1e-6));
+        assert!(bc.update_rate(&rx_at(27.0)) > 0.02, "recharging dead at 27 ft");
+    }
+
+    #[test]
+    fn rates_similar_at_close_range() {
+        // Fig. 11: "At closer distances, both harvesters have similar
+        // update rates."
+        let bf = TemperatureSensor::battery_free();
+        let bc = TemperatureSensor::battery_recharging();
+        let a = bf.update_rate(&rx_at(6.0));
+        let b = bc.update_rate(&rx_at(6.0));
+        let ratio = a / b;
+        assert!((0.4..=2.5).contains(&ratio), "bf {a} bc {b}");
+    }
+
+    #[test]
+    fn occupancy_scales_update_rate() {
+        let s = TemperatureSensor::battery_recharging();
+        let full: Vec<_> = rx_at(10.0).iter().map(|&(f, p, _)| (f, p, 0.3)).collect();
+        let half: Vec<_> = rx_at(10.0).iter().map(|&(f, p, _)| (f, p, 0.15)).collect();
+        let r_full = s.update_rate(&full);
+        let r_half = s.update_rate(&half);
+        assert!((r_full / r_half - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,28 @@
+//! # powifi-sim
+//!
+//! Deterministic discrete-event simulation substrate for the PoWiFi
+//! reproduction: integer simulation time, a cancellable closure-based event
+//! calendar, seeded splittable randomness, and the measurement primitives
+//! (CDFs, time-weighted means, binned throughput, power envelopes) that the
+//! paper's figures are built from.
+//!
+//! Design notes:
+//! * Single-threaded and allocation-light; determinism beats parallelism for
+//!   a reproduction (parallelism lives one level up, across *experiments*).
+//! * `EventQueue<W>` is generic over a world type so each layer (MAC,
+//!   transport, deployment) composes its own world without dynamic dispatch
+//!   at the hot edges.
+
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use queue::{EventFn, EventHandle, EventQueue};
+pub use rng::SimRng;
+pub use series::{PowerEnvelope, TimeSeries};
+pub use stats::{BinnedThroughput, Cdf, TimeWeighted, Welford};
+pub use time::{SimDuration, SimTime};

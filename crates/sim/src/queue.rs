@@ -1,0 +1,314 @@
+//! The discrete-event queue.
+//!
+//! `EventQueue<W>` is a deterministic, single-threaded calendar of boxed
+//! closures over a world state `W`. Handlers receive `&mut W` and
+//! `&mut EventQueue<W>` so they can mutate state and schedule further events.
+//! Two events at the same instant fire in scheduling order (FIFO), which —
+//! together with integer [`SimTime`] — makes every run bit-reproducible for a
+//! given seed.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// An event handler: consumes itself, mutating the world and the queue.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut EventQueue<W>)>;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+struct Entry<W> {
+    time: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    // Reverse ordering: BinaryHeap is a max-heap, we want the earliest event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic discrete-event calendar over world state `W`.
+pub struct EventQueue<W> {
+    heap: BinaryHeap<Entry<W>>,
+    cancelled: HashSet<u64>,
+    now: SimTime,
+    next_seq: u64,
+    executed: u64,
+}
+
+impl<W> Default for EventQueue<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> EventQueue<W> {
+    /// An empty queue at `t = 0`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Schedule `f` at the absolute instant `at`. Panics if `at` is in the past.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut W, &mut EventQueue<W>) + 'static,
+    ) -> EventHandle {
+        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            f: Box::new(f),
+        });
+        EventHandle(seq)
+    }
+
+    /// Schedule `f` after a relative delay.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut W, &mut EventQueue<W>) + 'static,
+    ) -> EventHandle {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Schedule a repeating event: `f` fires first at `first`, then every
+    /// `period` thereafter, until the run horizon is reached or the world
+    /// stops the simulation. Returns the handle of the *first* firing only;
+    /// stopping a repetition chain is done from inside `f` by returning
+    /// control — use [`EventQueue::schedule_repeating_while`] for a
+    /// self-terminating variant.
+    pub fn schedule_repeating(
+        &mut self,
+        first: SimTime,
+        period: SimDuration,
+        f: impl FnMut(&mut W, &mut EventQueue<W>) + 'static,
+    ) -> EventHandle {
+        self.schedule_repeating_while(first, period, f, |_| true)
+    }
+
+    /// Like [`EventQueue::schedule_repeating`] but re-arms only while
+    /// `keep_going(world)` holds after each firing.
+    pub fn schedule_repeating_while(
+        &mut self,
+        first: SimTime,
+        period: SimDuration,
+        f: impl FnMut(&mut W, &mut EventQueue<W>) + 'static,
+        keep_going: impl Fn(&W) -> bool + 'static,
+    ) -> EventHandle {
+        assert!(!period.is_zero(), "zero-period repeating event");
+        fn arm<W, F, K>(q: &mut EventQueue<W>, at: SimTime, period: SimDuration, mut f: F, keep: K) -> EventHandle
+        where
+            F: FnMut(&mut W, &mut EventQueue<W>) + 'static,
+            K: Fn(&W) -> bool + 'static,
+        {
+            q.schedule_at(at, move |w, q| {
+                f(w, q);
+                if keep(w) {
+                    arm(q, q.now() + period, period, f, keep);
+                }
+            })
+        }
+        arm(self, first, period, f, keep_going)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that already
+    /// fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, h: EventHandle) {
+        self.cancelled.insert(h.0);
+    }
+
+    /// Run events in order until the queue is empty or `end` is reached.
+    /// Events scheduled exactly at `end` *do* run; afterwards `now == end`
+    /// if any event remains pending past it, else the time of the last event.
+    pub fn run_until(&mut self, world: &mut W, end: SimTime) {
+        while let Some(top) = self.heap.peek() {
+            if top.time > end {
+                break;
+            }
+            let entry = self.heap.pop().expect("peeked entry");
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now, "event queue time went backwards");
+            self.now = entry.time;
+            self.executed += 1;
+            (entry.f)(world, self);
+        }
+        if self.now < end {
+            self.now = end;
+        }
+    }
+
+    /// Run until the queue is fully drained (use with care: repeating events
+    /// never drain). Mostly useful in tests.
+    pub fn run_to_completion(&mut self, world: &mut W) {
+        self.run_until(world, SimTime::MAX);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut q = EventQueue::<World>::new();
+        let mut w = World::default();
+        q.schedule_at(SimTime::from_micros(20), |w, q| {
+            w.log.push((q.now().as_micros(), "b"))
+        });
+        q.schedule_at(SimTime::from_micros(10), |w, q| {
+            w.log.push((q.now().as_micros(), "a"))
+        });
+        q.schedule_at(SimTime::from_micros(30), |w, q| {
+            w.log.push((q.now().as_micros(), "c"))
+        });
+        q.run_to_completion(&mut w);
+        assert_eq!(w.log, vec![(10, "a"), (20, "b"), (30, "c")]);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::<World>::new();
+        let mut w = World::default();
+        for name in ["first", "second", "third"] {
+            q.schedule_at(SimTime::from_micros(5), move |w, q| {
+                w.log.push((q.now().as_micros(), name))
+            });
+        }
+        q.run_to_completion(&mut w);
+        assert_eq!(w.log, vec![(5, "first"), (5, "second"), (5, "third")]);
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut q = EventQueue::<World>::new();
+        let mut w = World::default();
+        q.schedule_at(SimTime::from_micros(1), |_, q| {
+            q.schedule_in(SimDuration::from_micros(4), |w, q| {
+                w.log.push((q.now().as_micros(), "nested"));
+            });
+        });
+        q.run_to_completion(&mut w);
+        assert_eq!(w.log, vec![(5, "nested")]);
+    }
+
+    #[test]
+    fn cancellation_suppresses_event() {
+        let mut q = EventQueue::<World>::new();
+        let mut w = World::default();
+        let h = q.schedule_at(SimTime::from_micros(10), |w, _| w.log.push((0, "no")));
+        q.schedule_at(SimTime::from_micros(20), |w, _| w.log.push((0, "yes")));
+        q.cancel(h);
+        q.run_to_completion(&mut w);
+        assert_eq!(w.log, vec![(0, "yes")]);
+        // Double-cancel and cancel-after-fire are no-ops.
+        q.cancel(h);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut q = EventQueue::<World>::new();
+        let mut w = World::default();
+        q.schedule_at(SimTime::from_micros(10), |w, _| w.log.push((10, "in")));
+        q.schedule_at(SimTime::from_micros(100), |w, _| w.log.push((100, "out")));
+        q.run_until(&mut w, SimTime::from_micros(50));
+        assert_eq!(w.log, vec![(10, "in")]);
+        assert_eq!(q.now(), SimTime::from_micros(50));
+        assert_eq!(q.pending(), 1);
+        q.run_until(&mut w, SimTime::from_micros(100));
+        assert_eq!(w.log.len(), 2);
+    }
+
+    #[test]
+    fn repeating_event_fires_on_period() {
+        let mut q = EventQueue::<World>::new();
+        let mut w = World::default();
+        let count = Rc::new(RefCell::new(0u64));
+        let c2 = count.clone();
+        q.schedule_repeating(
+            SimTime::from_micros(10),
+            SimDuration::from_micros(10),
+            move |_, _| *c2.borrow_mut() += 1,
+        );
+        q.run_until(&mut w, SimTime::from_micros(55));
+        assert_eq!(*count.borrow(), 5); // t = 10,20,30,40,50
+    }
+
+    #[test]
+    fn repeating_while_stops_on_predicate() {
+        struct W2 {
+            n: u32,
+        }
+        let mut q = EventQueue::<W2>::new();
+        let mut w = W2 { n: 0 };
+        q.schedule_repeating_while(
+            SimTime::from_micros(1),
+            SimDuration::from_micros(1),
+            |w, _| w.n += 1,
+            |w| w.n < 3,
+        );
+        q.run_until(&mut w, SimTime::from_secs(1));
+        assert_eq!(w.n, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::<World>::new();
+        let mut w = World::default();
+        q.schedule_at(SimTime::from_micros(10), |_, q| {
+            q.schedule_at(SimTime::from_micros(5), |_, _| {});
+        });
+        q.run_to_completion(&mut w);
+    }
+}

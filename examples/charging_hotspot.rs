@@ -1,0 +1,55 @@
+//! Charging hotspot (§8a, Fig. 16): the router's desk becomes a wireless
+//! charging pad. Trickle-charge a Jawbone UP24 through the USB harvester and
+//! recharge the NiMH and Li-Ion cells of the sensor prototypes.
+//!
+//! Run with: `cargo run --release --example charging_hotspot`
+
+use powifi::harvest::{Battery, Harvester, Store};
+use powifi::rf::{Dbm, Hertz};
+use powifi::sensors::UsbCharger;
+use powifi::sim::SimDuration;
+
+fn main() {
+    // --- The Fig. 16 demo: Jawbone UP24 on the desk, 6 cm from the router.
+    let mut charger = UsbCharger::jawbone_demo();
+    let duty = 0.3; // per channel → ~90 % cumulative occupancy
+    println!(
+        "Jawbone UP24 at 6 cm: {:.2} mA average charging current",
+        charger.charge_current_ma(6.0, duty)
+    );
+    println!(" time    charge");
+    for half_hour in 0..=5 {
+        if half_hour > 0 {
+            charger.charge_for(SimDuration::from_secs(30 * 60), 6.0, duty);
+        }
+        println!("{:>4} min  {:>5.1} %", half_hour * 30, charger.soc() * 100.0);
+    }
+    println!("(paper: 0 → 41 % in 2.5 h)\n");
+
+    // --- Recharging the sensor batteries across the room (§5).
+    // Exposure at 8 ft from the prototype router.
+    let inputs: Vec<(Hertz, Dbm, f64)> = powifi::sensors::exposure_at(8.0, duty, &[]);
+    for (name, battery) in [
+        ("2×AAA NiMH (750 mAh, 2.4 V)", Battery::nimh_aaa()),
+        ("Li-Ion coin cell (1 mAh, 3.0 V)", Battery::liion_coin()),
+    ] {
+        let mut h = Harvester::recharging(battery);
+        // Drain to empty first, then charge for 24 h.
+        if let Store::Batt(b) = &mut h.store {
+            b.charge_mah = 0.0;
+        }
+        for _ in 0..24 * 60 {
+            h.advance_duty(SimDuration::from_secs(60), &inputs);
+        }
+        let Store::Batt(b) = h.store() else { unreachable!() };
+        println!(
+            "{name}: +{:.3} mAh in 24 h at 8 ft ({:.1} % of capacity, {:.1} µW harvested avg)",
+            b.charge_mah,
+            b.soc() * 100.0,
+            h.harvested.0 / (24.0 * 3600.0) * 1e6,
+        );
+    }
+    println!("\nAt 8 ft the harvest (~6 µW) matches the temperature sensor's draw at");
+    println!("~2 reads/s (2.77 µJ each) — exactly the paper's energy-neutral budget;");
+    println!("full battery recharges belong on the desk next to the router.");
+}

@@ -1,0 +1,41 @@
+//! Neighbor fairness (§4.1(d), Fig. 8): how much throughput does the
+//! apartment next door lose when your router starts delivering power?
+//!
+//! Compares BlindUDP (the naive 1 Mbps blaster), EqualShare, and PoWiFi
+//! against the no-power-traffic baseline, across the neighbor's bit rates.
+//!
+//! Run with: `cargo run --release --example neighbor_fairness`
+
+use powifi::core::Scheme;
+use powifi::deploy::neighbor_experiment;
+use powifi::rf::Bitrate;
+
+fn main() {
+    let rates = [Bitrate::G6, Bitrate::G18, Bitrate::G36, Bitrate::G54];
+    let secs = 5;
+    println!("Neighbor pair's achieved UDP throughput (Mbps) by our router's scheme:\n");
+    print!("{:<22}", "neighbor bit rate");
+    for r in rates {
+        print!("{:>10.0}", r.mbps());
+    }
+    println!("\n{}", "-".repeat(62));
+    for (label, scheme) in [
+        ("no power traffic", Some(Scheme::Baseline)),
+        ("PoWiFi", Some(Scheme::PoWiFi)),
+        ("EqualShare", None), // per-rate
+        ("BlindUDP", Some(Scheme::BlindUdp)),
+    ] {
+        print!("{label:<22}");
+        for r in rates {
+            let scheme = scheme.unwrap_or(Scheme::EqualShare(r));
+            let tput = neighbor_experiment(scheme, r, 42, secs);
+            print!("{tput:>10.1}");
+        }
+        println!();
+    }
+    println!(
+        "\nPoWiFi's 54 Mbps power packets occupy the channel briefly, so the neighbor\n\
+         keeps more than an equal share (§3.2(iii)) — while BlindUDP's 12.5 ms frames\n\
+         starve everyone. That asymmetry is the fairness argument of the paper."
+    );
+}

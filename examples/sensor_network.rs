@@ -1,0 +1,78 @@
+//! A battery-free sensor network: PoWiFi powers a set of duty-cycled nodes
+//! placed on a floor plan, and the nodes report their readings over Wi-Fi
+//! backscatter riding the very power packets that feed them (§7).
+//!
+//! Run with: `cargo run --release --example sensor_network`
+
+use powifi::core::{Router, RouterConfig};
+use powifi::deploy::{three_channel_world, FloorPlan, Pos, Wall};
+use powifi::harvest::Harvester;
+use powifi::mac::MacWorld;
+use powifi::rf::{Meters, WallMaterial};
+use powifi::sensors::{exposure_at, BackscatterTag, DutyCycledNode, READ_ENERGY};
+use powifi::sim::{SimDuration, SimRng, SimTime};
+
+fn main() {
+    // The apartment: router in the living room, nodes scattered around,
+    // one wall between the router and the bedroom.
+    let (mut w, mut q, channels) = three_channel_world(42, SimDuration::from_secs(1));
+    let rng = SimRng::from_seed(42);
+    let router = Router::install(&mut w, &mut q, &channels, RouterConfig::powifi(), &rng);
+
+    let mut plan = FloorPlan::new(rng.derive("floorplan"));
+    plan.place(router.client_iface().sta, Pos::from_feet(0.0, 0.0));
+    plan.add_wall(Wall {
+        a: Pos::from_feet(8.0, -10.0),
+        b: Pos::from_feet(8.0, 10.0),
+        material: WallMaterial::HollowWall5_4In,
+    });
+
+    // Let the router run for ten seconds to measure its real duty factor.
+    let end = SimTime::from_secs(10);
+    q.run_until(&mut w, end);
+    let duty = router.duty_series(&w.mac, end);
+    let mean_duty: f64 =
+        duty.iter().map(|d| d.iter().sum::<f64>() / d.len() as f64).sum::<f64>() / 3.0;
+    let pkt_rate = w.mac().station(router.client_iface().sta).frames_sent as f64 / 10.0;
+    println!(
+        "router: per-channel duty {:.2}, {:.0} modulable packets/s on ch1\n",
+        mean_duty, pkt_rate
+    );
+
+    // Nodes at various spots; bedroom nodes sit behind the wall.
+    let spots: [(&str, f64, bool); 5] = [
+        ("kitchen shelf", 6.0, false),
+        ("living room corner", 12.0, false),
+        ("bedroom nightstand", 14.0, true),
+        ("hallway", 18.0, false),
+        ("garage", 26.0, true),
+    ];
+
+    println!("{:<22}{:>12}{:>14}{:>16}", "node", "reads/s", "1st read (s)", "uplink (bps)");
+    for (name, feet, walled) in spots {
+        let walls: Vec<WallMaterial> = if walled {
+            vec![WallMaterial::HollowWall5_4In]
+        } else {
+            vec![]
+        };
+        let exposure = exposure_at(feet, mean_duty, &walls);
+        // Duty-cycled node: simulate five minutes of life.
+        let mut node = DutyCycledNode::new(Harvester::battery_free_sensor(), READ_ENERGY);
+        for _ in 0..300_000 {
+            node.advance(SimDuration::from_millis(1), &exposure);
+        }
+        // Backscatter uplink to a receiver 1.5 m from the node.
+        let tag = BackscatterTag::prototype();
+        let uplink = tag.uplink_bitrate(&exposure, pkt_rate, exposure[1].1, Meters(1.5));
+        println!(
+            "{name:<22}{:>12.2}{:>14}{:>16}",
+            node.mean_rate(),
+            node.first_completion()
+                .map(|t| format!("{:.1}", t.as_secs_f64()))
+                .unwrap_or_else(|| "-".into()),
+            uplink.map(|b| format!("{b:.0}")).unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!("\nEvery powered node also has a data path: the power packets double as");
+    println!("the backscatter carrier (§7) — no radio, no battery, no wires.");
+}

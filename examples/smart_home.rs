@@ -1,0 +1,62 @@
+//! Smart home: replay one of the paper's §6 home deployments (Table 1) and
+//! place battery-free sensors around the house — a temperature sensor in
+//! the same room, one across a wall, and a camera in the attic.
+//!
+//! Run with: `cargo run --release --example smart_home [home 1-6]`
+
+use powifi::deploy::{run_home, sensor_rates_from_home, table1};
+use powifi::rf::WallMaterial;
+use powifi::sensors::{exposure_at, Camera};
+
+fn main() {
+    let home_idx: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let cfg = table1()[home_idx.clamp(1, 6) - 1];
+    println!(
+        "Home {}: {} users, {} devices, {} neighboring APs (starts {:02}:00)",
+        cfg.id, cfg.users, cfg.devices, cfg.neighbor_aps, cfg.start_hour as u32
+    );
+
+    // One compressed day: every 60 s occupancy bin simulated as 2 s.
+    println!("simulating 24 h of home Wi-Fi life…");
+    let run = run_home(cfg, 42, 2_880);
+    println!(
+        "mean cumulative occupancy: {:.0} % (paper band: 78-127 %)",
+        run.mean_cumulative * 100.0
+    );
+
+    // Occupancy through the day (4-hour strides).
+    println!("\n hour   ch1%   ch6%  ch11%   cum%");
+    for b in (0..run.cumulative.len()).step_by(240) {
+        println!(
+            "{:>5.0}  {:>5.1}  {:>5.1}  {:>5.1}  {:>5.1}",
+            run.hours[b],
+            run.per_channel[0][b] * 100.0,
+            run.per_channel[1][b] * 100.0,
+            run.per_channel[2][b] * 100.0,
+            run.cumulative[b] * 100.0
+        );
+    }
+
+    // The temperature sensor ten feet from the router, per §6/Fig. 15.
+    let rates = sensor_rates_from_home(&run, 10.0);
+    let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+    let worst = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("\ntemperature sensor at 10 ft: mean {mean:.2} reads/s, worst minute {worst:.2} reads/s");
+
+    // A camera in the attic: 8 ft away through the double sheet-rock.
+    let mean_duty: f64 = run
+        .duty
+        .iter()
+        .map(|d| d.iter().sum::<f64>() / d.len() as f64)
+        .sum::<f64>()
+        / 3.0;
+    let cam = Camera::battery_free();
+    let attic = exposure_at(8.0, mean_duty, &[WallMaterial::SheetRock7_9In]);
+    match cam.inter_frame_secs(&attic) {
+        Some(s) => println!("attic camera (8 ft, through 7.9\" wall): a frame every {:.0} min", s / 60.0),
+        None => println!("attic camera (8 ft, through 7.9\" wall): not enough power"),
+    }
+}

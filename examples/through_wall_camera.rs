@@ -1,0 +1,54 @@
+//! Through-the-wall camera survey (§5.2, Fig. 13): sweep wall materials and
+//! distances to find where a battery-free leak-detection camera can live —
+//! walls, attics, pipes and sewers, without ever changing a battery.
+//!
+//! Run with: `cargo run --release --example through_wall_camera`
+
+use powifi::rf::WallMaterial;
+use powifi::sensors::{exposure_at, Camera, BENCH_DUTY};
+
+fn main() {
+    let cam = Camera::battery_free();
+    println!("Battery-free camera behind walls, PoWiFi router at ~90 % cumulative occupancy.");
+    println!("Entries are minutes per frame; '-' means not enough power.\n");
+
+    print!("{:<14}", "distance(ft)");
+    for m in WallMaterial::FIG13_ORDER {
+        print!("{:>12}", m.label());
+    }
+    println!();
+
+    for feet in [3.0, 5.0, 8.0, 12.0, 16.0] {
+        print!("{feet:<14}");
+        for m in WallMaterial::FIG13_ORDER {
+            let walls: Vec<WallMaterial> = if m == WallMaterial::FreeSpace {
+                vec![]
+            } else {
+                vec![m]
+            };
+            let exposure = exposure_at(feet, BENCH_DUTY, &walls);
+            match cam.inter_frame_secs(&exposure) {
+                Some(s) => print!("{:>12.1}", s / 60.0),
+                None => print!("{:>12}", "-"),
+            }
+        }
+        println!();
+    }
+
+    // Leak-detection duty: is one frame every 30 minutes achievable?
+    println!("\nplacement advisor — deepest wall at each distance for a 30-min frame budget:");
+    for feet in [3.0, 5.0, 8.0, 12.0] {
+        let best = WallMaterial::FIG13_ORDER
+            .iter()
+            .filter(|&&m| {
+                let walls: Vec<_> = if m == WallMaterial::FreeSpace { vec![] } else { vec![m] };
+                cam.inter_frame_secs(&exposure_at(feet, BENCH_DUTY, &walls))
+                    .is_some_and(|s| s <= 30.0 * 60.0)
+            })
+            .max_by(|a, b| a.attenuation().0.partial_cmp(&b.attenuation().0).unwrap());
+        match best {
+            Some(m) => println!("  {feet:>4} ft: up to {}", m.label()),
+            None => println!("  {feet:>4} ft: none (move the router closer)"),
+        }
+    }
+}

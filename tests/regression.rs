@@ -1,0 +1,97 @@
+//! Golden-value regression pins at seed 42.
+//!
+//! These pin the *calibrated* behaviour the EXPERIMENTS.md numbers were
+//! recorded against, with tolerances wide enough to survive harmless
+//! refactors but tight enough to catch silent model drift (a change to
+//! airtime, backoff, the injector, path loss or the rectifier lands here).
+
+use powifi::core::{Router, RouterConfig, Scheme};
+use powifi::deploy::{run_home, table1, three_channel_world, udp_experiment};
+use powifi::harvest::{MatchingNetwork, Rectifier};
+use powifi::rf::{Dbm, Hertz};
+use powifi::sensors::{exposure_at, Camera, TemperatureSensor, UsbCharger, BENCH_DUTY};
+use powifi::sim::{SimDuration, SimRng, SimTime};
+
+/// Idle-network router ceiling: the calibration anchor behind Figs. 5/14.
+#[test]
+fn pin_idle_router_cumulative_occupancy() {
+    let (mut w, mut q, channels) = three_channel_world(42, SimDuration::from_secs(1));
+    let rng = SimRng::from_seed(42);
+    let r = Router::install(&mut w, &mut q, &channels, RouterConfig::powifi(), &rng);
+    let end = SimTime::from_secs(5);
+    q.run_until(&mut w, end);
+    let (_, cum) = r.occupancy(&w.mac, end);
+    assert!((1.15..=1.60).contains(&cum), "idle ceiling drifted: {cum}");
+}
+
+/// Fig. 6(a) anchors: saturated baseline throughput and the scheme ratios.
+#[test]
+fn pin_fig6a_anchors() {
+    let base = udp_experiment(Scheme::Baseline, 40.0, 42, 5).throughput_mbps;
+    let powifi = udp_experiment(Scheme::PoWiFi, 40.0, 42, 5).throughput_mbps;
+    let noqueue = udp_experiment(Scheme::NoQueue, 40.0, 42, 5).throughput_mbps;
+    assert!((14.0..=20.0).contains(&base), "baseline {base}");
+    assert!((powifi / base) > 0.90, "powifi/base {}", powifi / base);
+    let r = noqueue / base;
+    assert!((0.40..=0.70).contains(&r), "noqueue ratio {r}");
+}
+
+/// Fig. 9/10 anchors: matching band and the rectifier curve endpoints.
+#[test]
+fn pin_harvester_anchors() {
+    let n = MatchingNetwork::battery_free();
+    assert!(n.return_loss(Hertz::from_mhz(2437.0)).0 < -15.0);
+    let r = Rectifier::battery_free();
+    let at4 = r.output_power(Dbm(4.0)).0;
+    assert!((140.0..=180.0).contains(&at4), "P_out(+4dBm) {at4} µW");
+    assert_eq!(r.sensitivity.0, -17.8);
+    assert_eq!(Rectifier::battery_charging().sensitivity.0, -19.3);
+}
+
+/// Figs. 11–12 anchors: the four operational ranges.
+#[test]
+fn pin_device_ranges() {
+    let range = |alive: &dyn Fn(f64) -> bool| {
+        let mut last = 0.0;
+        let mut ft = 2.0;
+        while ft <= 40.0 {
+            if alive(ft) {
+                last = ft;
+            }
+            ft += 0.5;
+        }
+        last
+    };
+    let temp_bf = TemperatureSensor::battery_free();
+    let temp_bc = TemperatureSensor::battery_recharging();
+    let cam_bf = Camera::battery_free();
+    let r1 = range(&|ft| temp_bf.update_rate(&exposure_at(ft, BENCH_DUTY, &[])) > 0.01);
+    let r2 = range(&|ft| temp_bc.update_rate(&exposure_at(ft, BENCH_DUTY, &[])) > 0.01);
+    let r3 = range(&|ft| cam_bf.inter_frame_secs(&exposure_at(ft, BENCH_DUTY, &[])).is_some());
+    assert!((20.0..=26.0).contains(&r1), "battery-free sensor range {r1}");
+    assert!((26.0..=32.0).contains(&r2), "recharging sensor range {r2}");
+    assert!((15.0..=19.0).contains(&r3), "battery-free camera range {r3}");
+    assert!(r2 > r1 && r1 > r3, "range ordering broken: {r3} {r1} {r2}");
+}
+
+/// Fig. 16 anchor: the Jawbone numbers.
+#[test]
+fn pin_jawbone_charging() {
+    let mut c = UsbCharger::jawbone_demo();
+    let ma = c.charge_current_ma(6.0, 0.3);
+    assert!((2.0..=2.7).contains(&ma), "current {ma} mA");
+    for _ in 0..150 {
+        c.charge_for(SimDuration::from_secs(60), 6.0, 0.3);
+    }
+    assert!((0.36..=0.47).contains(&c.soc()), "soc {}", c.soc());
+}
+
+/// Fig. 14 anchor: the quiet home exceeds the busy home, both in the band.
+#[test]
+fn pin_home_band() {
+    let quiet = run_home(table1()[1], 42, 1440).mean_cumulative;
+    let busy = run_home(table1()[4], 42, 1440).mean_cumulative;
+    assert!(quiet > busy, "quiet {quiet} <= busy {busy}");
+    assert!((0.75..=1.45).contains(&quiet), "quiet home {quiet}");
+    assert!((0.6..=1.2).contains(&busy), "busy home {busy}");
+}
