@@ -3,7 +3,7 @@
 //! modulable packets/s where a stock router's bursty traffic offers far
 //! fewer — so the same traffic that powers the tag also gives it an uplink.
 
-use powifi_bench::{banner, row, BenchArgs};
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_core::{Router, RouterConfig, Scheme};
 use powifi_deploy::three_channel_world;
 use powifi_rf::Meters;
@@ -20,13 +20,68 @@ struct Out {
     baseline_packet_rate: f64,
 }
 
-/// Packets/s the router's channel-1 interface puts on the air.
-fn packet_rate(seed: u64, scheme: Scheme, secs: u64) -> f64 {
-    let (mut w, mut q, channels) = three_channel_world(seed, SimDuration::from_secs(1));
-    let rng = SimRng::from_seed(seed);
-    let r = Router::install(&mut w, &mut q, &channels, RouterConfig::with_scheme(scheme), &rng);
-    q.run_until(&mut w, SimTime::from_secs(secs));
-    w.mac.station(r.client_iface().sta).frames_sent as f64 / secs as f64
+const DISTANCES_M: [f64; 6] = [0.5, 1.0, 1.5, 2.0, 3.0, 5.0];
+
+#[derive(Clone)]
+struct Pt {
+    scheme: Scheme,
+    secs: u64,
+}
+
+#[derive(Serialize)]
+struct PointOut {
+    /// Modulable packets/s on the router's channel-1 interface.
+    packet_rate: f64,
+    /// Tag uplink bit rate per [`DISTANCES_M`] entry; `None` = no link.
+    bps: Vec<Option<f64>>,
+}
+
+struct Backscatter {
+    secs: u64,
+}
+
+impl Experiment for Backscatter {
+    type Point = Pt;
+    type Output = PointOut;
+
+    fn name(&self) -> &'static str {
+        "abl_backscatter"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        [Scheme::PoWiFi, Scheme::Baseline]
+            .into_iter()
+            .map(|scheme| Pt { scheme, secs: self.secs })
+            .collect()
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        pt.scheme.label().into()
+    }
+
+    fn run(&self, pt: &Pt, seed: u64) -> PointOut {
+        let (mut w, mut q, channels) = three_channel_world(seed, SimDuration::from_secs(1));
+        let rng = SimRng::from_seed(seed);
+        let r = Router::install(
+            &mut w,
+            &mut q,
+            &channels,
+            RouterConfig::with_scheme(pt.scheme),
+            &rng,
+        );
+        q.run_until(&mut w, SimTime::from_secs(pt.secs));
+        let packet_rate =
+            w.mac.station(r.client_iface().sta).frames_sent as f64 / pt.secs as f64;
+
+        let tag = BackscatterTag::prototype();
+        let exposure = exposure_at(6.0, BENCH_DUTY, &[]);
+        let direct = exposure[1].1;
+        let bps = DISTANCES_M
+            .iter()
+            .map(|&d| tag.uplink_bitrate(&exposure, packet_rate, direct, Meters(d)))
+            .collect();
+        PointOut { packet_rate, bps }
+    }
 }
 
 fn main() {
@@ -36,33 +91,27 @@ fn main() {
         "PoWiFi's traffic is both the power source and the carrier",
     );
     let secs = if args.full { 10 } else { 3 };
-    let powifi_rate = packet_rate(args.seed, Scheme::PoWiFi, secs);
-    let baseline_rate = packet_rate(args.seed, Scheme::Baseline, secs);
-    println!(
-        "modulable packets/s on channel 1: PoWiFi {powifi_rate:.0}, stock router {baseline_rate:.0}"
-    );
-    let tag = BackscatterTag::prototype();
-    let exposure = exposure_at(6.0, BENCH_DUTY, &[]);
-    let direct = exposure[1].1;
+    let runs = Sweep::new(&args).run(&Backscatter { secs });
+
     let mut out = Out {
-        tag_to_rx_m: Vec::new(),
+        tag_to_rx_m: DISTANCES_M.to_vec(),
         powifi_bps: Vec::new(),
         baseline_bps: Vec::new(),
-        powifi_packet_rate: powifi_rate,
-        baseline_packet_rate: baseline_rate,
+        powifi_packet_rate: f64::NAN,
+        baseline_packet_rate: f64::NAN,
     };
-    println!("\n{:<22}{:>12} {:>12}", "tag->rx (m)", "PoWiFi bps", "stock bps");
-    for d in [0.5, 1.0, 1.5, 2.0, 3.0, 5.0] {
-        let p = tag.uplink_bitrate(&exposure, powifi_rate, direct, Meters(d));
-        let b = tag.uplink_bitrate(&exposure, baseline_rate, direct, Meters(d));
-        row(
-            &format!("{d:.1}"),
-            &[p.unwrap_or(f64::NAN), b.unwrap_or(f64::NAN)],
-            0,
-        );
-        out.tag_to_rx_m.push(d);
-        out.powifi_bps.push(p);
-        out.baseline_bps.push(b);
+    println!("{:<22}{:>12} bps at 0.5/1/1.5/2/3/5 m", "scheme", "packets/s");
+    for r in &runs {
+        let vals: Vec<f64> = r.output.bps.iter().map(|b| b.unwrap_or(f64::NAN)).collect();
+        println!("{:<22}{:>12.0}", r.label, r.output.packet_rate);
+        row("", &vals, 0);
+        if r.point.scheme == Scheme::PoWiFi {
+            out.powifi_packet_rate = r.output.packet_rate;
+            out.powifi_bps = r.output.bps.clone();
+        } else {
+            out.baseline_packet_rate = r.output.packet_rate;
+            out.baseline_bps = r.output.bps.clone();
+        }
     }
     args.emit("abl_backscatter", &out);
 }

@@ -4,9 +4,9 @@
 //! throughput drop, while the *relative* PoWiFi-vs-Baseline story is
 //! unchanged.
 
-use powifi_bench::{banner, row, BenchArgs};
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_core::{Router, RouterConfig, Scheme};
-use powifi_deploy::{three_channel_world, SimWorld};
+use powifi_deploy::three_channel_world;
 use powifi_mac::{MacTiming, RateController};
 use powifi_net::{start_udp_flow, Flow};
 use powifi_rf::Bitrate;
@@ -20,35 +20,68 @@ struct Out {
     cumulative_occupancy: Vec<f64>,
 }
 
-fn run(seed: u64, secs: u64, timing: MacTiming) -> (f64, f64) {
-    let (mut w, mut q, channels) = three_channel_world(seed, powifi_sim::SimDuration::from_secs(1));
-    w.mac.timing = timing;
-    let rng = SimRng::from_seed(seed);
-    let r = Router::install(
-        &mut w,
-        &mut q,
-        &channels,
-        RouterConfig::with_scheme(Scheme::PoWiFi),
-        &rng,
-    );
-    let client = w.mac.add_station(channels[0].1, RateController::fixed(Bitrate::G54));
-    let end = SimTime::from_secs(secs);
-    let flow = start_udp_flow(
-        &mut w,
-        &mut q,
-        r.client_iface().sta,
-        client,
-        30.0,
-        SimTime::from_millis(50),
-        end,
-    );
-    q.run_until(&mut w, end);
-    let Some(Flow::Udp(u)) = w.net.flows.get(&flow) else {
-        unreachable!()
-    };
-    let (_, cum) = r.occupancy(&w.mac, end);
-    let _: &SimWorld = &w;
-    (u.mean_mbps(), cum)
+const TIMINGS: [&str; 2] = ["g-only", "b/g-mixed"];
+
+#[derive(Clone)]
+struct Pt {
+    timing: &'static str,
+    secs: u64,
+}
+
+struct BgTiming {
+    secs: u64,
+}
+
+impl Experiment for BgTiming {
+    type Point = Pt;
+    /// `(client_mbps, cumulative_occupancy)`.
+    type Output = (f64, f64);
+
+    fn name(&self) -> &'static str {
+        "abl_bg_timing"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        TIMINGS.iter().map(|&timing| Pt { timing, secs: self.secs }).collect()
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        pt.timing.into()
+    }
+
+    fn run(&self, pt: &Pt, seed: u64) -> (f64, f64) {
+        let (mut w, mut q, channels) =
+            three_channel_world(seed, powifi_sim::SimDuration::from_secs(1));
+        w.mac.timing = match pt.timing {
+            "g-only" => MacTiming::g_only(),
+            _ => MacTiming::bg_mixed(),
+        };
+        let rng = SimRng::from_seed(seed);
+        let r = Router::install(
+            &mut w,
+            &mut q,
+            &channels,
+            RouterConfig::with_scheme(Scheme::PoWiFi),
+            &rng,
+        );
+        let client = w.mac.add_station(channels[0].1, RateController::fixed(Bitrate::G54));
+        let end = SimTime::from_secs(pt.secs);
+        let flow = start_udp_flow(
+            &mut w,
+            &mut q,
+            r.client_iface().sta,
+            client,
+            30.0,
+            SimTime::from_millis(50),
+            end,
+        );
+        q.run_until(&mut w, end);
+        let Some(Flow::Udp(u)) = w.net.flows.get(&flow) else {
+            unreachable!()
+        };
+        let (_, cum) = r.occupancy(&w.mac, end);
+        (u.mean_mbps(), cum)
+    }
 }
 
 fn main() {
@@ -58,16 +91,17 @@ fn main() {
         "legacy clients slow the whole BSS; PoWiFi's design point survives",
     );
     let secs = if args.full { 20 } else { 6 };
+    let runs = Sweep::new(&args).run(&BgTiming { secs });
     let mut out = Out {
         timings: Vec::new(),
         client_mbps: Vec::new(),
         cumulative_occupancy: Vec::new(),
     };
     println!("{:<22}{:>12} {:>12}", "timing", "client Mbps", "cum occ %");
-    for (label, timing) in [("g-only", MacTiming::g_only()), ("b/g-mixed", MacTiming::bg_mixed())] {
-        let (mbps, cum) = run(args.seed, secs, timing);
-        row(label, &[mbps, cum * 100.0], 1);
-        out.timings.push(label.to_string());
+    for r in &runs {
+        let (mbps, cum) = r.output;
+        row(r.point.timing, &[mbps, cum * 100.0], 1);
+        out.timings.push(r.point.timing.to_string());
         out.client_mbps.push(mbps);
         out.cumulative_occupancy.push(cum);
     }

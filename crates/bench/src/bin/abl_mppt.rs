@@ -2,7 +2,7 @@
 //! to 200 mV as part of the rectifier/DC-DC co-design; sweeping it shows
 //! how much a mis-tuned operating point costs the recharging harvester.
 
-use powifi_bench::{banner, row, BenchArgs};
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_harvest::mppt_factor;
 use powifi_sensors::{exposure_at, TemperatureSensor, BENCH_DUTY};
 use serde::Serialize;
@@ -14,34 +14,65 @@ struct Out {
     update_rate_at_10ft: Vec<f64>,
 }
 
+#[derive(Clone)]
+struct Pt {
+    vref_mv: u64,
+}
+
+struct Mppt;
+
+impl Experiment for Mppt {
+    type Point = Pt;
+    /// `(relative_efficiency, update_rate_at_10ft)`.
+    type Output = (f64, f64);
+
+    fn name(&self) -> &'static str {
+        "abl_mppt"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        (50..=400).step_by(25).map(|vref_mv| Pt { vref_mv }).collect()
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("{}mv", pt.vref_mv)
+    }
+
+    fn run(&self, pt: &Pt, _seed: u64) -> (f64, f64) {
+        let sensor = TemperatureSensor::battery_recharging();
+        let base_rate = sensor.update_rate(&exposure_at(10.0, BENCH_DUTY, &[]));
+        let factor = mppt_factor(pt.vref_mv as f64 / 1000.0);
+        (factor, base_rate * factor)
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     banner(
         "Ablation — bq25570 MPPT reference voltage (§3.1 co-design knob)",
         "the paper's 200 mV reference sits at the rectifier's max-power point",
     );
-    let sensor = TemperatureSensor::battery_recharging();
-    let base_rate = sensor.update_rate(&exposure_at(10.0, BENCH_DUTY, &[]));
+    let runs = Sweep::new(&args).run(&Mppt);
     let mut out = Out {
         vref_mv: Vec::new(),
         relative_efficiency: Vec::new(),
         update_rate_at_10ft: Vec::new(),
     };
     println!("{:<22}{:>12} {:>14}", "vref (mV)", "rel. eff.", "reads/s @10ft");
-    for mv in (50..=400).step_by(25) {
-        let factor = mppt_factor(mv as f64 / 1000.0);
-        let rate = base_rate * factor;
-        row(&format!("{mv}"), &[factor, rate], 2);
-        out.vref_mv.push(mv as f64);
+    for r in &runs {
+        let (factor, rate) = r.output;
+        row(&format!("{}", r.point.vref_mv), &[factor, rate], 2);
+        out.vref_mv.push(r.point.vref_mv as f64);
         out.relative_efficiency.push(factor);
         out.update_rate_at_10ft.push(rate);
     }
-    let best = out
+    if let Some(best) = out
         .vref_mv
         .iter()
         .zip(&out.relative_efficiency)
         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .unwrap();
-    println!("optimum reference: {} mV (paper: 200 mV)", best.0);
+    {
+        println!("optimum reference: {} mV (paper: 200 mV)", best.0);
+    }
     args.emit("abl_mppt", &out);
 }

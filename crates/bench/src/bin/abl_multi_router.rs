@@ -3,7 +3,7 @@
 //! with zero coordination, at the cost of power-packet collisions nobody
 //! needs to decode.
 
-use powifi_bench::{banner, row, BenchArgs};
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_core::{install_fleet, FleetMode, RouterConfig};
 use powifi_deploy::three_channel_world;
 use powifi_mac::MediumId;
@@ -19,15 +19,61 @@ struct Out {
     collisions: Vec<Vec<u64>>,
 }
 
-fn run(seed: u64, n: usize, mode: FleetMode, secs: u64) -> (f64, u64) {
-    let (mut w, mut q, channels) = three_channel_world(seed, SimDuration::from_secs(1));
-    let rng = SimRng::from_seed(seed).derive("fleet");
-    let routers = install_fleet(&mut w, &mut q, &channels, n, RouterConfig::powifi(), mode, &rng);
-    let end = SimTime::from_secs(secs);
-    q.run_until(&mut w, end);
-    let combined: f64 = routers.iter().map(|r| r.occupancy(&w.mac, end).1).sum::<f64>() / 3.0;
-    let collisions: u64 = (0..3).map(|i| w.mac.collisions(MediumId(i))).sum();
-    (combined, collisions)
+const COUNTS: [usize; 4] = [1, 2, 3, 4];
+const MODES: [(&str, FleetMode); 2] = [
+    ("concurrent", FleetMode::Concurrent),
+    ("tdm-100ms", FleetMode::TimeDivision { slot_ms: 100 }),
+];
+
+#[derive(Clone)]
+struct Pt {
+    mode_idx: usize,
+    mode: FleetMode,
+    mode_label: &'static str,
+    n_idx: usize,
+    n: usize,
+    secs: u64,
+}
+
+struct MultiRouter {
+    secs: u64,
+}
+
+impl Experiment for MultiRouter {
+    type Point = Pt;
+    /// `(combined_occupancy, collisions)`.
+    type Output = (f64, u64);
+
+    fn name(&self) -> &'static str {
+        "abl_multi_router"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        let mut pts = Vec::new();
+        for (mode_idx, &(mode_label, mode)) in MODES.iter().enumerate() {
+            for (n_idx, &n) in COUNTS.iter().enumerate() {
+                pts.push(Pt { mode_idx, mode, mode_label, n_idx, n, secs: self.secs });
+            }
+        }
+        pts
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("{}/{}routers", pt.mode_label, pt.n)
+    }
+
+    fn run(&self, pt: &Pt, seed: u64) -> (f64, u64) {
+        let (mut w, mut q, channels) = three_channel_world(seed, SimDuration::from_secs(1));
+        let rng = SimRng::from_seed(seed).derive("fleet");
+        let routers =
+            install_fleet(&mut w, &mut q, &channels, pt.n, RouterConfig::powifi(), pt.mode, &rng);
+        let end = SimTime::from_secs(pt.secs);
+        q.run_until(&mut w, end);
+        let combined: f64 =
+            routers.iter().map(|r| r.occupancy(&w.mac, end).1).sum::<f64>() / 3.0;
+        let collisions: u64 = (0..3).map(|i| w.mac.collisions(MediumId(i))).sum();
+        (combined, collisions)
+    }
 }
 
 fn main() {
@@ -37,32 +83,29 @@ fn main() {
         "per-channel combined occupancy stays high under concurrent injection",
     );
     let secs = if args.full { 20 } else { 6 };
-    let counts = [1usize, 2, 3, 4];
+    let runs = Sweep::new(&args).run(&MultiRouter { secs });
+
     let mut out = Out {
-        router_counts: counts.to_vec(),
-        combined: Vec::new(),
-        collisions: Vec::new(),
+        router_counts: COUNTS.to_vec(),
+        combined: vec![vec![f64::NAN; COUNTS.len()]; MODES.len()],
+        collisions: vec![vec![0; COUNTS.len()]; MODES.len()],
     };
+    for r in &runs {
+        let (c, k) = r.output;
+        out.combined[r.point.mode_idx][r.point.n_idx] = c * 100.0;
+        out.collisions[r.point.mode_idx][r.point.n_idx] = k;
+    }
     println!("{:<22}{:>10} {:>10} {:>10} {:>10}", "mode \\ routers", "1", "2", "3", "4");
-    for (label, mode) in [
-        ("concurrent", FleetMode::Concurrent),
-        ("tdm-100ms", FleetMode::TimeDivision { slot_ms: 100 }),
-    ] {
-        let mut occ = Vec::new();
-        let mut cols = Vec::new();
-        for &n in &counts {
-            let (c, k) = run(args.seed, n, mode, secs);
-            occ.push(c * 100.0);
-            cols.push(k);
-        }
-        row(label, &occ, 1);
+    for (mode_idx, &(label, _)) in MODES.iter().enumerate() {
+        row(label, &out.combined[mode_idx], 1);
         println!(
             "{:<22}{}",
             format!("{label} collisions"),
-            cols.iter().map(|c| format!("{c:>10}")).collect::<String>()
+            out.collisions[mode_idx]
+                .iter()
+                .map(|c| format!("{c:>10}"))
+                .collect::<String>()
         );
-        out.combined.push(occ);
-        out.collisions.push(cols);
     }
     args.emit("abl_multi_router", &out);
 }

@@ -3,7 +3,7 @@
 //! design: 900 MHz buys range (8.5 dB less path loss), 5.8 GHz buys
 //! close-in power density (three more channels at the FCC limit).
 
-use powifi_bench::{banner, row, BenchArgs};
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_harvest::MultibandHarvester;
 use powifi_rf::{Db, Dbm, Hertz, IsmBand, LogDistance, Meters, PathLoss};
 use powifi_sensors::READ_ENERGY;
@@ -15,6 +15,17 @@ struct Out {
     /// `[config][distance]` update rate (reads/s).
     rates: Vec<Vec<f64>>,
     configs: Vec<String>,
+}
+
+const FEET: [f64; 8] = [4.0, 8.0, 12.0, 16.0, 20.0, 25.0, 30.0, 35.0];
+
+fn configs() -> Vec<(&'static str, Vec<IsmBand>)> {
+    vec![
+        ("2.4 GHz only", vec![IsmBand::Ism2400]),
+        ("2.4 + 5.8 GHz", vec![IsmBand::Ism2400, IsmBand::Ism5800]),
+        ("2.4 + 900 MHz", vec![IsmBand::Ism2400, IsmBand::Ism900]),
+        ("all three bands", IsmBand::ALL.to_vec()),
+    ]
 }
 
 /// Per-channel exposure for a band set at `feet`, assuming the paper's
@@ -35,33 +46,65 @@ fn exposure(bands: &[IsmBand], feet: f64) -> Vec<(Hertz, Dbm, f64)> {
     out
 }
 
+#[derive(Clone)]
+struct Pt {
+    c_idx: usize,
+    config: &'static str,
+    f_idx: usize,
+    feet: f64,
+}
+
+struct Multiband;
+
+impl Experiment for Multiband {
+    type Point = Pt;
+    type Output = f64;
+
+    fn name(&self) -> &'static str {
+        "abl_multiband"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        let mut pts = Vec::new();
+        for (c_idx, (config, _)) in configs().into_iter().enumerate() {
+            for (f_idx, &feet) in FEET.iter().enumerate() {
+                pts.push(Pt { c_idx, config, f_idx, feet });
+            }
+        }
+        pts
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("{}/{:.0}ft", pt.config, pt.feet)
+    }
+
+    fn run(&self, pt: &Pt, _seed: u64) -> f64 {
+        let bands = &configs()[pt.c_idx].1;
+        let h = MultibandHarvester::covering(bands);
+        h.dc_power(&exposure(bands, pt.feet)).0 * 1e-6 / READ_ENERGY.0
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     banner(
         "Ablation — multi-band power delivery (§8e), update rate vs distance",
         "900 MHz extends range; 5.8 GHz adds close-in power; both beat 2.4-only",
     );
-    let configs: Vec<(&str, Vec<IsmBand>)> = vec![
-        ("2.4 GHz only", vec![IsmBand::Ism2400]),
-        ("2.4 + 5.8 GHz", vec![IsmBand::Ism2400, IsmBand::Ism5800]),
-        ("2.4 + 900 MHz", vec![IsmBand::Ism2400, IsmBand::Ism900]),
-        ("all three bands", IsmBand::ALL.to_vec()),
-    ];
-    let feet: Vec<f64> = vec![4.0, 8.0, 12.0, 16.0, 20.0, 25.0, 30.0, 35.0];
+    let runs = Sweep::new(&args).run(&Multiband);
+
+    let cfgs = configs();
     let mut out = Out {
-        feet: feet.clone(),
-        rates: Vec::new(),
-        configs: configs.iter().map(|(n, _)| n.to_string()).collect(),
+        feet: FEET.to_vec(),
+        rates: vec![vec![f64::NAN; FEET.len()]; cfgs.len()],
+        configs: cfgs.iter().map(|(n, _)| n.to_string()).collect(),
     };
-    row("distance (ft) →", &feet, 0);
-    for (name, bands) in &configs {
-        let h = MultibandHarvester::covering(bands);
-        let rates: Vec<f64> = feet
-            .iter()
-            .map(|&ft| h.dc_power(&exposure(bands, ft)).0 * 1e-6 / READ_ENERGY.0)
-            .collect();
-        row(name, &rates, 2);
-        out.rates.push(rates);
+    for r in &runs {
+        out.rates[r.point.c_idx][r.point.f_idx] = r.output;
+    }
+    row("distance (ft) →", &out.feet, 0);
+    for ((name, _), rates) in cfgs.iter().zip(&out.rates) {
+        row(name, rates, 2);
     }
     println!(
         "\n(900 MHz: {:+.1} dB path loss vs 2.4 GHz; 5.8 GHz: {:+.1} dB)",

@@ -2,7 +2,7 @@
 //! channel of a three-channel PoWiFi router forfeits two thirds of the
 //! delivered power; the sensor's range shrinks accordingly.
 
-use powifi_bench::{banner, row, BenchArgs};
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_sensors::{exposure_at, TemperatureSensor, BENCH_DUTY};
 use serde::Serialize;
 
@@ -14,13 +14,44 @@ struct Out {
     three_channels: Vec<f64>,
 }
 
+#[derive(Clone)]
+struct Pt {
+    feet: f64,
+}
+
+struct Multichannel;
+
+impl Experiment for Multichannel {
+    type Point = Pt;
+    /// Update rate harvesting 1, 2, or all 3 channels.
+    type Output = (f64, f64, f64);
+
+    fn name(&self) -> &'static str {
+        "abl_multichannel"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        [4.0, 8.0, 12.0, 16.0, 20.0].into_iter().map(|feet| Pt { feet }).collect()
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("{:.0}ft", pt.feet)
+    }
+
+    fn run(&self, pt: &Pt, _seed: u64) -> (f64, f64, f64) {
+        let s = TemperatureSensor::battery_free();
+        let e = exposure_at(pt.feet, BENCH_DUTY, &[]);
+        (s.update_rate(&e[..1]), s.update_rate(&e[..2]), s.update_rate(&e))
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     banner(
         "Ablation — harvester channel count vs sensor update rate",
         "multi-channel harvesting is what makes cumulative occupancy usable",
     );
-    let s = TemperatureSensor::battery_free();
+    let runs = Sweep::new(&args).run(&Multichannel);
     let mut out = Out {
         feet: Vec::new(),
         one_channel: Vec::new(),
@@ -28,13 +59,10 @@ fn main() {
         three_channels: Vec::new(),
     };
     println!("{:<22}{:>10} {:>10} {:>10}", "distance (ft)", "1 ch", "2 ch", "3 ch");
-    for ft in [4.0, 8.0, 12.0, 16.0, 20.0] {
-        let e = exposure_at(ft, BENCH_DUTY, &[]);
-        let r1 = s.update_rate(&e[..1]);
-        let r2 = s.update_rate(&e[..2]);
-        let r3 = s.update_rate(&e);
-        row(&format!("{ft:.0}"), &[r1, r2, r3], 2);
-        out.feet.push(ft);
+    for r in &runs {
+        let (r1, r2, r3) = r.output;
+        row(&format!("{:.0}", r.point.feet), &[r1, r2, r3], 2);
+        out.feet.push(r.point.feet);
         out.one_channel.push(r1);
         out.two_channels.push(r2);
         out.three_channels.push(r3);

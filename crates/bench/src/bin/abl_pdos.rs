@@ -2,7 +2,7 @@
 //! device holding the channel with slow junk broadcasts starves the
 //! router's power delivery in proportion to its airtime.
 
-use powifi_bench::{banner, row, BenchArgs};
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_core::{spawn_attacker, AttackConfig, Router, RouterConfig};
 use powifi_deploy::three_channel_world;
 use powifi_sim::{SimDuration, SimRng, SimTime};
@@ -14,6 +14,56 @@ struct Out {
     router_cumulative: Vec<f64>,
 }
 
+#[derive(Clone)]
+struct Pt {
+    period_ms: f64,
+    secs: u64,
+}
+
+struct PowerDos {
+    secs: u64,
+}
+
+impl Experiment for PowerDos {
+    type Point = Pt;
+    type Output = f64;
+
+    fn name(&self) -> &'static str {
+        "abl_pdos"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        // Period ∞ = no attack; smaller periods = fiercer attack.
+        [f64::INFINITY, 500.0, 100.0, 20.0, 2.0]
+            .into_iter()
+            .map(|period_ms| Pt { period_ms, secs: self.secs })
+            .collect()
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        if pt.period_ms.is_finite() {
+            format!("p{:.0}ms", pt.period_ms)
+        } else {
+            "no-attack".into()
+        }
+    }
+
+    fn run(&self, pt: &Pt, seed: u64) -> f64 {
+        let (mut w, mut q, channels) = three_channel_world(seed, SimDuration::from_secs(1));
+        let rng = SimRng::from_seed(seed).derive("pdos");
+        let r = Router::install(&mut w, &mut q, &channels, RouterConfig::powifi(), &rng);
+        if pt.period_ms.is_finite() {
+            let cfg = AttackConfig::duty_cycled(SimDuration::from_secs_f64(pt.period_ms / 1000.0));
+            for &(_, m) in &channels {
+                spawn_attacker(&mut w, &mut q, m, cfg, &rng);
+            }
+        }
+        let end = SimTime::from_secs(pt.secs);
+        q.run_until(&mut w, end);
+        r.occupancy(&w.mac, end).1
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     banner(
@@ -21,36 +71,25 @@ fn main() {
         "a saturating 1 Mbps broadcaster collapses power delivery via carrier sense",
     );
     let secs = if args.full { 20 } else { 6 };
-    // Period ∞ = no attack; smaller periods = fiercer attack.
-    let periods_ms = [f64::INFINITY, 500.0, 100.0, 20.0, 2.0];
+    let runs = Sweep::new(&args).run(&PowerDos { secs });
+
     let mut out = Out {
-        attack_period_ms: periods_ms.to_vec(),
+        attack_period_ms: Vec::new(),
         router_cumulative: Vec::new(),
     };
     println!("{:<22}{:>10}", "attack period", "cum occ %");
-    for &p in &periods_ms {
-        let (mut w, mut q, channels) = three_channel_world(args.seed, SimDuration::from_secs(1));
-        let rng = SimRng::from_seed(args.seed).derive("pdos");
-        let r = Router::install(&mut w, &mut q, &channels, RouterConfig::powifi(), &rng);
-        if p.is_finite() {
-            let cfg = AttackConfig::duty_cycled(SimDuration::from_secs_f64(p / 1000.0));
-            for &(_, m) in &channels {
-                spawn_attacker(&mut w, &mut q, m, cfg, &rng);
-            }
-        }
-        let end = SimTime::from_secs(secs);
-        q.run_until(&mut w, end);
-        let (_, cum) = r.occupancy(&w.mac, end);
+    for r in &runs {
         row(
-            &(if p.is_finite() {
-                format!("{p:.0} ms")
+            &(if r.point.period_ms.is_finite() {
+                format!("{:.0} ms", r.point.period_ms)
             } else {
                 "no attack".into()
             }),
-            &[cum * 100.0],
+            &[r.output * 100.0],
             1,
         );
-        out.router_cumulative.push(cum);
+        out.attack_period_ms.push(r.point.period_ms);
+        out.router_cumulative.push(r.output);
     }
     args.emit("abl_pdos", &out);
 }

@@ -2,7 +2,7 @@
 //! 54 Mbps so power frames hold the channel briefly; lower rates raise the
 //! injector's occupancy but strangle clients and neighbors.
 
-use powifi_bench::{banner, row, BenchArgs};
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_core::{PowerTrafficConfig, Scheme};
 use powifi_deploy::{build_office, OfficeConfig};
 use powifi_net::{start_udp_flow, Flow};
@@ -18,31 +18,42 @@ struct Out {
     duty_per_channel: Vec<f64>,
 }
 
-fn main() {
-    let args = BenchArgs::parse();
-    banner(
-        "Ablation — power-packet bit rate vs client impact and RF duty",
-        "low rates buy duty cycle at the clients' expense; 54 Mbps is gentle",
-    );
-    let secs = if args.full { 15 } else { 5 };
-    let rates = [Bitrate::B1, Bitrate::G6, Bitrate::G12, Bitrate::G24, Bitrate::G54];
-    let mut out = Out {
-        bitrates_mbps: rates.iter().map(|r| r.mbps()).collect(),
-        client_mbps: Vec::new(),
-        cumulative_occupancy: Vec::new(),
-        duty_per_channel: Vec::new(),
-    };
-    println!(
-        "{:<22}{:>10} {:>10} {:>10}",
-        "power bitrate", "client Mbps", "cum occ %", "duty %"
-    );
-    for &rate in &rates {
-        let (mut w, mut q, s) = build_office(args.seed, Scheme::PoWiFi, OfficeConfig::default());
+const RATES: [Bitrate; 5] = [Bitrate::B1, Bitrate::G6, Bitrate::G12, Bitrate::G24, Bitrate::G54];
+
+#[derive(Clone)]
+struct Pt {
+    rate: Bitrate,
+    secs: u64,
+}
+
+struct PowerBitrate {
+    secs: u64,
+}
+
+impl Experiment for PowerBitrate {
+    type Point = Pt;
+    /// `(client_mbps, cumulative_occupancy, ch6_duty)`.
+    type Output = (f64, f64, f64);
+
+    fn name(&self) -> &'static str {
+        "abl_power_bitrate"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        RATES.into_iter().map(|rate| Pt { rate, secs: self.secs }).collect()
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("{}mbps", pt.rate.mbps())
+    }
+
+    fn run(&self, pt: &Pt, seed: u64) -> (f64, f64, f64) {
+        let (mut w, mut q, s) = build_office(seed, Scheme::PoWiFi, OfficeConfig::default());
         for inj in &s.router.injectors {
             inj.borrow_mut().enabled = false;
         }
         let cfg = PowerTrafficConfig {
-            bitrate: rate,
+            bitrate: pt.rate,
             ..PowerTrafficConfig::powifi_default()
         };
         for (i, iface) in s.router.ifaces.iter().enumerate() {
@@ -50,11 +61,11 @@ fn main() {
                 &mut q,
                 iface.sta,
                 cfg,
-                SimRng::from_seed(args.seed).derive_idx("abl-rate", i),
+                SimRng::from_seed(seed).derive_idx("abl-rate", i),
                 SimTime::ZERO,
             );
         }
-        let end = SimTime::from_secs(secs);
+        let end = SimTime::from_secs(pt.secs);
         let flow = start_udp_flow(
             &mut w,
             &mut q,
@@ -70,12 +81,38 @@ fn main() {
         };
         let (_, cum) = s.router.occupancy(&w.mac, end);
         let duty = w.mac.monitor(s.channels[1].1).mean_duty(end);
+        (u.mean_mbps(), cum, duty)
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Ablation — power-packet bit rate vs client impact and RF duty",
+        "low rates buy duty cycle at the clients' expense; 54 Mbps is gentle",
+    );
+    let secs = if args.full { 15 } else { 5 };
+    let runs = Sweep::new(&args).run(&PowerBitrate { secs });
+
+    let mut out = Out {
+        bitrates_mbps: Vec::new(),
+        client_mbps: Vec::new(),
+        cumulative_occupancy: Vec::new(),
+        duty_per_channel: Vec::new(),
+    };
+    println!(
+        "{:<22}{:>10} {:>10} {:>10}",
+        "power bitrate", "client Mbps", "cum occ %", "duty %"
+    );
+    for r in &runs {
+        let (mbps, cum, duty) = r.output;
         row(
-            &format!("{} Mbps", rate.mbps()),
-            &[u.mean_mbps(), cum * 100.0, duty * 100.0],
+            &format!("{} Mbps", r.point.rate.mbps()),
+            &[mbps, cum * 100.0, duty * 100.0],
             1,
         );
-        out.client_mbps.push(u.mean_mbps());
+        out.bitrates_mbps.push(r.point.rate.mbps());
+        out.client_mbps.push(mbps);
         out.cumulative_occupancy.push(cum);
         out.duty_per_channel.push(duty);
     }

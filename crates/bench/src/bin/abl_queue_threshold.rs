@@ -2,7 +2,7 @@
 //! The paper settled on 5: below it the user-space sender starves the
 //! queue; above it client packets queue behind more power packets.
 
-use powifi_bench::{banner, BenchArgs};
+use powifi_bench::{banner, BenchArgs, Experiment, Sweep};
 use powifi_core::{PowerTrafficConfig, Scheme};
 use powifi_deploy::{build_office, OfficeConfig};
 use powifi_net::{start_udp_flow, Flow};
@@ -16,32 +16,45 @@ struct Out {
     cumulative_occupancy: Vec<f64>,
 }
 
-fn main() {
-    let args = BenchArgs::parse();
-    banner(
-        "Ablation — qdepth threshold vs client throughput and occupancy",
-        "paper picks 5: occupancy saturates there; larger thresholds only slow clients",
-    );
-    let secs = if args.full { 15 } else { 5 };
-    let thresholds = [1usize, 2, 5, 10, 50, 100];
-    let mut out = Out {
-        thresholds: thresholds.to_vec(),
-        client_mbps: Vec::new(),
-        cumulative_occupancy: Vec::new(),
-    };
-    println!("{:<22}{:>10} {:>10}", "threshold", "client Mbps", "cum occ %");
-    for &t in &thresholds {
-        // Run the office UDP experiment with a custom-threshold injector by
-        // building a scheme equal to PoWiFi then overriding the config via
-        // the injector handles.
-        let (mut w, mut q, s) = build_office(args.seed, Scheme::PoWiFi, OfficeConfig::default());
-        // Re-spawn injectors with the new threshold: simplest is to disable
-        // the built-ins and add fresh ones.
+#[derive(Clone)]
+struct Pt {
+    threshold: usize,
+    secs: u64,
+}
+
+struct QueueThreshold {
+    secs: u64,
+}
+
+impl Experiment for QueueThreshold {
+    type Point = Pt;
+    /// `(client_mbps, cumulative_occupancy)`.
+    type Output = (f64, f64);
+
+    fn name(&self) -> &'static str {
+        "abl_queue_threshold"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        [1usize, 2, 5, 10, 50, 100]
+            .into_iter()
+            .map(|threshold| Pt { threshold, secs: self.secs })
+            .collect()
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("t{}", pt.threshold)
+    }
+
+    fn run(&self, pt: &Pt, seed: u64) -> (f64, f64) {
+        // Run the office UDP experiment with a custom-threshold injector:
+        // disable the built-ins and spawn fresh ones with the new config.
+        let (mut w, mut q, s) = build_office(seed, Scheme::PoWiFi, OfficeConfig::default());
         for inj in &s.router.injectors {
             inj.borrow_mut().enabled = false;
         }
         let cfg = PowerTrafficConfig {
-            qdepth_threshold: Some(t),
+            qdepth_threshold: Some(pt.threshold),
             ..PowerTrafficConfig::powifi_default()
         };
         for (i, iface) in s.router.ifaces.iter().enumerate() {
@@ -49,11 +62,11 @@ fn main() {
                 &mut q,
                 iface.sta,
                 cfg,
-                powifi_sim::SimRng::from_seed(args.seed).derive_idx("abl-inj", i),
+                powifi_sim::SimRng::from_seed(seed).derive_idx("abl-inj", i),
                 SimTime::ZERO,
             );
         }
-        let end = SimTime::from_secs(secs);
+        let end = SimTime::from_secs(pt.secs);
         let flow = start_udp_flow(
             &mut w,
             &mut q,
@@ -68,8 +81,30 @@ fn main() {
             unreachable!()
         };
         let (_, cum) = s.router.occupancy(&w.mac, end);
-        println!("{t:<22}{:>10.1} {:>10.1}", u.mean_mbps(), cum * 100.0);
-        out.client_mbps.push(u.mean_mbps());
+        (u.mean_mbps(), cum)
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Ablation — qdepth threshold vs client throughput and occupancy",
+        "paper picks 5: occupancy saturates there; larger thresholds only slow clients",
+    );
+    let secs = if args.full { 15 } else { 5 };
+    let runs = Sweep::new(&args).run(&QueueThreshold { secs });
+
+    let mut out = Out {
+        thresholds: Vec::new(),
+        client_mbps: Vec::new(),
+        cumulative_occupancy: Vec::new(),
+    };
+    println!("{:<22}{:>10} {:>10}", "threshold", "client Mbps", "cum occ %");
+    for r in &runs {
+        let (mbps, cum) = r.output;
+        println!("{:<22}{:>10.1} {:>10.1}", r.point.threshold, mbps, cum * 100.0);
+        out.thresholds.push(r.point.threshold);
+        out.client_mbps.push(mbps);
         out.cumulative_occupancy.push(cum);
     }
     args.emit("abl_queue_threshold", &out);

@@ -4,7 +4,7 @@
 //! queue-threshold design pressurizes the DCF arbiter and wins more air
 //! at nearly the same client cost.
 
-use powifi_bench::{banner, row, BenchArgs};
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_core::{spawn_silent_injector, Scheme, SilentSlotConfig};
 use powifi_deploy::{build_office, OfficeConfig};
 use powifi_net::{start_udp_flow, Flow};
@@ -18,34 +18,64 @@ struct Out {
     cumulative_occupancy: Vec<f64>,
 }
 
-fn run(seed: u64, secs: u64, policy: &str) -> (f64, f64) {
-    let scheme = match policy {
-        "baseline" => Scheme::Baseline,
-        "queue-threshold" => Scheme::PoWiFi,
-        _ => Scheme::Baseline, // silent-slot installs its own injectors
-    };
-    let (mut w, mut q, s) = build_office(seed, scheme, OfficeConfig::default());
-    if policy == "silent-slot" {
-        for iface in &s.router.ifaces {
-            spawn_silent_injector(&mut q, iface.sta, SilentSlotConfig::default(), SimTime::ZERO);
-        }
+const POLICIES: [&str; 3] = ["baseline", "queue-threshold", "silent-slot"];
+
+#[derive(Clone)]
+struct Pt {
+    policy: &'static str,
+    secs: u64,
+}
+
+struct SilentSlot {
+    secs: u64,
+}
+
+impl Experiment for SilentSlot {
+    type Point = Pt;
+    /// `(client_mbps, cumulative_occupancy)`.
+    type Output = (f64, f64);
+
+    fn name(&self) -> &'static str {
+        "abl_silent_slot"
     }
-    let end = SimTime::from_secs(secs);
-    let flow = start_udp_flow(
-        &mut w,
-        &mut q,
-        s.router.client_iface().sta,
-        s.client,
-        25.0,
-        SimTime::from_millis(100),
-        end,
-    );
-    q.run_until(&mut w, end);
-    let Some(Flow::Udp(u)) = w.net.flows.get(&flow) else {
-        unreachable!()
-    };
-    let (_, cum) = s.router.occupancy(&w.mac, end);
-    (u.mean_mbps(), cum)
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        POLICIES.iter().map(|&policy| Pt { policy, secs: self.secs }).collect()
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        pt.policy.into()
+    }
+
+    fn run(&self, pt: &Pt, seed: u64) -> (f64, f64) {
+        let scheme = match pt.policy {
+            "queue-threshold" => Scheme::PoWiFi,
+            // silent-slot installs its own injectors on top of Baseline
+            _ => Scheme::Baseline,
+        };
+        let (mut w, mut q, s) = build_office(seed, scheme, OfficeConfig::default());
+        if pt.policy == "silent-slot" {
+            for iface in &s.router.ifaces {
+                spawn_silent_injector(&mut q, iface.sta, SilentSlotConfig::default(), SimTime::ZERO);
+            }
+        }
+        let end = SimTime::from_secs(pt.secs);
+        let flow = start_udp_flow(
+            &mut w,
+            &mut q,
+            s.router.client_iface().sta,
+            s.client,
+            25.0,
+            SimTime::from_millis(100),
+            end,
+        );
+        q.run_until(&mut w, end);
+        let Some(Flow::Udp(u)) = w.net.flows.get(&flow) else {
+            unreachable!()
+        };
+        let (_, cum) = s.router.occupancy(&w.mac, end);
+        (u.mean_mbps(), cum)
+    }
 }
 
 fn main() {
@@ -55,16 +85,18 @@ fn main() {
         "silent-slot never contends with anyone; queue-threshold wins more air",
     );
     let secs = if args.full { 20 } else { 6 };
+    let runs = Sweep::new(&args).run(&SilentSlot { secs });
+
     let mut out = Out {
         policies: Vec::new(),
         client_mbps: Vec::new(),
         cumulative_occupancy: Vec::new(),
     };
     println!("{:<22}{:>12} {:>12}", "policy", "client Mbps", "cum occ %");
-    for policy in ["baseline", "queue-threshold", "silent-slot"] {
-        let (mbps, cum) = run(args.seed, secs, policy);
-        row(policy, &[mbps, cum * 100.0], 1);
-        out.policies.push(policy.to_string());
+    for r in &runs {
+        let (mbps, cum) = r.output;
+        row(r.point.policy, &[mbps, cum * 100.0], 1);
+        out.policies.push(r.point.policy.to_string());
         out.client_mbps.push(mbps);
         out.cumulative_occupancy.push(cum);
     }

@@ -4,7 +4,7 @@
 //! falling thereafter; threshold 1 lags because user-space jitter lets the
 //! queue drain (§3.2(i)).
 
-use powifi_bench::{banner, row, BenchArgs};
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_core::{spawn_injector, PowerTrafficConfig, Scheme};
 use powifi_deploy::{constant_intensity, install_background, BackgroundConfig, SimWorld};
 use powifi_mac::{Mac, MacWorld, RateController};
@@ -21,37 +21,76 @@ struct Out {
     occupancy: Vec<Vec<f64>>,
 }
 
-fn occupancy_for(seed: u64, delay_us: u64, threshold: usize, secs: u64) -> f64 {
-    let rng = SimRng::from_seed(seed);
-    let mut w = SimWorld {
-        mac: Mac::new(rng.derive("mac")),
-        net: NetState::new(),
-    };
-    let mut q = EventQueue::new();
-    let medium = w.mac.add_medium(SimDuration::from_secs(1));
-    let iface = w.mac.add_station(medium, RateController::fixed(Bitrate::G54));
-    {
-        let mon = w.mac.monitor_mut(medium).monitor();
-        mon.track(iface);
+const THRESHOLDS: [usize; 4] = [1, 5, 50, 100];
+
+#[derive(Clone)]
+struct Pt {
+    t_idx: usize,
+    threshold: usize,
+    d_idx: usize,
+    delay_us: u64,
+    secs: u64,
+}
+
+struct OccupancyVsDelay {
+    delays: Vec<u64>,
+    secs: u64,
+}
+
+impl Experiment for OccupancyVsDelay {
+    type Point = Pt;
+    type Output = f64;
+
+    fn name(&self) -> &'static str {
+        "fig05"
     }
-    // Busy-office backdrop (other networks, not our clients).
-    install_background(
-        &mut w,
-        &mut q,
-        medium,
-        BackgroundConfig::neighbor(0.30, Bitrate::G24),
-        constant_intensity(),
-        rng.derive("office"),
-    );
-    let cfg = PowerTrafficConfig {
-        inter_packet_delay: SimDuration::from_micros(delay_us),
-        qdepth_threshold: Some(threshold),
-        ..Scheme::PoWiFi.power_config().unwrap()
-    };
-    spawn_injector(&mut q, iface, cfg, rng.derive("inj"), SimTime::ZERO);
-    let end = SimTime::from_secs(secs);
-    q.run_until(&mut w, end);
-    w.mac().monitor(medium).mean_tracked(end)
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        let mut pts = Vec::new();
+        for (t_idx, &threshold) in THRESHOLDS.iter().enumerate() {
+            for (d_idx, &delay_us) in self.delays.iter().enumerate() {
+                pts.push(Pt { t_idx, threshold, d_idx, delay_us, secs: self.secs });
+            }
+        }
+        pts
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("qdepth{}/delay{}us", pt.threshold, pt.delay_us)
+    }
+
+    fn run(&self, pt: &Pt, seed: u64) -> f64 {
+        let rng = SimRng::from_seed(seed);
+        let mut w = SimWorld {
+            mac: Mac::new(rng.derive("mac")),
+            net: NetState::new(),
+        };
+        let mut q = EventQueue::new();
+        let medium = w.mac.add_medium(SimDuration::from_secs(1));
+        let iface = w.mac.add_station(medium, RateController::fixed(Bitrate::G54));
+        {
+            let mon = w.mac.monitor_mut(medium).monitor();
+            mon.track(iface);
+        }
+        // Busy-office backdrop (other networks, not our clients).
+        install_background(
+            &mut w,
+            &mut q,
+            medium,
+            BackgroundConfig::neighbor(0.30, Bitrate::G24),
+            constant_intensity(),
+            rng.derive("office"),
+        );
+        let cfg = PowerTrafficConfig {
+            inter_packet_delay: SimDuration::from_micros(pt.delay_us),
+            qdepth_threshold: Some(pt.threshold),
+            ..Scheme::PoWiFi.power_config().unwrap()
+        };
+        spawn_injector(&mut q, iface, cfg, rng.derive("inj"), SimTime::ZERO);
+        let end = SimTime::from_secs(pt.secs);
+        q.run_until(&mut w, end);
+        w.mac().monitor(medium).mean_tracked(end)
+    }
 }
 
 fn main() {
@@ -62,21 +101,21 @@ fn main() {
     );
     let secs = if args.full { 20 } else { 4 };
     let delays: Vec<u64> = (1..=8).map(|i| i * 50).collect();
-    let thresholds = [1usize, 5, 50, 100];
+    let exp = OccupancyVsDelay { delays: delays.clone(), secs };
+    let runs = Sweep::new(&args).run(&exp);
+
     let mut out = Out {
         delays_us: delays.clone(),
-        thresholds: thresholds.to_vec(),
-        occupancy: Vec::new(),
+        thresholds: THRESHOLDS.to_vec(),
+        occupancy: vec![vec![f64::NAN; delays.len()]; THRESHOLDS.len()],
     };
+    for r in &runs {
+        out.occupancy[r.point.t_idx][r.point.d_idx] = r.output * 100.0;
+    }
     let header: Vec<f64> = delays.iter().map(|&d| d as f64).collect();
     row("delay (µs) →", &header, 0);
-    for &t in &thresholds {
-        let occ: Vec<f64> = delays
-            .iter()
-            .map(|&d| occupancy_for(args.seed, d, t, secs) * 100.0)
-            .collect();
-        row(&format!("qdepth-threshold={t}"), &occ, 1);
-        out.occupancy.push(occ);
+    for (t, occ) in THRESHOLDS.iter().zip(&out.occupancy) {
+        row(&format!("qdepth-threshold={t}"), occ, 1);
     }
     args.emit("fig05", &out);
 }

@@ -1,7 +1,7 @@
 //! Figure 6(a): achieved UDP throughput vs offered rate for the four
 //! schemes. Expect: PoWiFi ≈ Baseline; NoQueue ≈ half; BlindUDP collapses.
 
-use powifi_bench::{banner, row, BenchArgs};
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_core::Scheme;
 use powifi_deploy::udp_experiment;
 use serde::Serialize;
@@ -13,6 +13,64 @@ struct Out {
     /// `[scheme][rate]` achieved Mbit/s.
     achieved: Vec<Vec<f64>>,
     powifi_cumulative_occupancy: Vec<f64>,
+}
+
+const SCHEMES: [Scheme; 4] = [
+    Scheme::Baseline,
+    Scheme::PoWiFi,
+    Scheme::NoQueue,
+    Scheme::BlindUdp,
+];
+
+#[derive(Clone)]
+struct Pt {
+    scheme_idx: usize,
+    scheme: Scheme,
+    rate_idx: usize,
+    rate_mbps: f64,
+    secs: u64,
+}
+
+#[derive(Serialize)]
+struct PointOut {
+    throughput_mbps: f64,
+    cumulative_occupancy: f64,
+}
+
+struct UdpThroughput {
+    rates: Vec<f64>,
+    secs: u64,
+}
+
+impl Experiment for UdpThroughput {
+    type Point = Pt;
+    type Output = PointOut;
+
+    fn name(&self) -> &'static str {
+        "fig06a"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        let mut pts = Vec::new();
+        for (scheme_idx, &scheme) in SCHEMES.iter().enumerate() {
+            for (rate_idx, &rate_mbps) in self.rates.iter().enumerate() {
+                pts.push(Pt { scheme_idx, scheme, rate_idx, rate_mbps, secs: self.secs });
+            }
+        }
+        pts
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("{}/{}mbps", pt.scheme.label(), pt.rate_mbps)
+    }
+
+    fn run(&self, pt: &Pt, seed: u64) -> PointOut {
+        let res = udp_experiment(pt.scheme, pt.rate_mbps, seed, pt.secs);
+        PointOut {
+            throughput_mbps: res.throughput_mbps,
+            cumulative_occupancy: res.cumulative_occupancy,
+        }
+    }
 }
 
 fn main() {
@@ -27,36 +85,32 @@ fn main() {
     } else {
         vec![1.0, 10.0, 20.0, 30.0, 40.0, 50.0]
     };
-    let schemes = [
-        Scheme::Baseline,
-        Scheme::PoWiFi,
-        Scheme::NoQueue,
-        Scheme::BlindUdp,
-    ];
+    let exp = UdpThroughput { rates: rates.clone(), secs };
+    let runs = Sweep::new(&args).run(&exp);
+
     row("offered (Mbps) →", &rates, 0);
     let mut out = Out {
         offered_mbps: rates.clone(),
-        schemes: schemes.iter().map(|s| s.label().to_string()).collect(),
-        achieved: Vec::new(),
+        schemes: SCHEMES.iter().map(|s| s.label().to_string()).collect(),
+        achieved: vec![vec![f64::NAN; rates.len()]; SCHEMES.len()],
         powifi_cumulative_occupancy: Vec::new(),
     };
-    for scheme in schemes {
-        let mut achieved = Vec::new();
-        for &r in &rates {
-            let res = udp_experiment(scheme, r, args.seed, secs);
-            if scheme == Scheme::PoWiFi {
-                out.powifi_cumulative_occupancy.push(res.cumulative_occupancy);
-            }
-            achieved.push(res.throughput_mbps);
+    for r in &runs {
+        out.achieved[r.point.scheme_idx][r.point.rate_idx] = r.output.throughput_mbps;
+        if r.point.scheme == Scheme::PoWiFi {
+            out.powifi_cumulative_occupancy.push(r.output.cumulative_occupancy);
         }
-        row(scheme.label(), &achieved, 1);
-        out.achieved.push(achieved);
     }
-    let mean_occ = out.powifi_cumulative_occupancy.iter().sum::<f64>()
-        / out.powifi_cumulative_occupancy.len() as f64;
-    println!(
-        "PoWiFi mean cumulative occupancy across runs: {:.1} % (paper: 97.6 %)",
-        mean_occ * 100.0
-    );
+    for (scheme, achieved) in SCHEMES.iter().zip(&out.achieved) {
+        row(scheme.label(), achieved, 1);
+    }
+    if !out.powifi_cumulative_occupancy.is_empty() {
+        let mean_occ = out.powifi_cumulative_occupancy.iter().sum::<f64>()
+            / out.powifi_cumulative_occupancy.len() as f64;
+        println!(
+            "PoWiFi mean cumulative occupancy across runs: {:.1} % (paper: 97.6 %)",
+            mean_occ * 100.0
+        );
+    }
     args.emit("fig06a", &out);
 }

@@ -1,9 +1,9 @@
 //! Figure 6(b): CDFs of TCP throughput (500 ms bins) under the four schemes.
 //! Expect: PoWiFi ≈ Baseline; NoQueue ≈ half; BlindUDP collapses.
 
-use powifi_bench::{banner, row, summarize, BenchArgs};
+use powifi_bench::{banner, row, summarize, BenchArgs, Experiment, Sweep};
 use powifi_core::Scheme;
-use powifi_deploy::tcp_experiment;
+use powifi_deploy::{tcp_experiment, TcpResult};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -14,39 +14,90 @@ struct Out {
     powifi_cumulative_occupancy: f64,
 }
 
+const SCHEMES: [Scheme; 4] = [
+    Scheme::Baseline,
+    Scheme::PoWiFi,
+    Scheme::NoQueue,
+    Scheme::BlindUdp,
+];
+
+#[derive(Clone)]
+struct Pt {
+    scheme_idx: usize,
+    scheme: Scheme,
+    rep: usize,
+    secs: u64,
+}
+
+#[derive(Serialize)]
+struct PointOut {
+    bins: Vec<f64>,
+    cumulative_occupancy: f64,
+}
+
+struct TcpCdf {
+    reps: usize,
+    secs: u64,
+}
+
+impl Experiment for TcpCdf {
+    type Point = Pt;
+    type Output = PointOut;
+
+    fn name(&self) -> &'static str {
+        "fig06b"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        let mut pts = Vec::new();
+        for (scheme_idx, &scheme) in SCHEMES.iter().enumerate() {
+            for rep in 0..self.reps {
+                pts.push(Pt { scheme_idx, scheme, rep, secs: self.secs });
+            }
+        }
+        pts
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("{}/run{}", pt.scheme.label(), pt.rep)
+    }
+
+    fn run(&self, pt: &Pt, seed: u64) -> PointOut {
+        let TcpResult { bins, cumulative_occupancy, .. } =
+            tcp_experiment(pt.scheme, seed, pt.secs);
+        PointOut { bins, cumulative_occupancy }
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     banner(
         "Figure 6(b) — TCP throughput CDFs (Mbps, 500 ms bins)",
         "expect: PoWiFi ~ Baseline; NoQueue ~ half; BlindUDP ~ collapse",
     );
-    let (runs, secs) = if args.full { (10, 12) } else { (3, 6) };
-    let schemes = [
-        Scheme::Baseline,
-        Scheme::PoWiFi,
-        Scheme::NoQueue,
-        Scheme::BlindUdp,
-    ];
+    let (reps, secs) = if args.full { (10, 12) } else { (3, 6) };
+    let runs = Sweep::new(&args).run(&TcpCdf { reps, secs });
+
     let mut out = Out {
-        schemes: schemes.iter().map(|s| s.label().to_string()).collect(),
-        samples: Vec::new(),
+        schemes: SCHEMES.iter().map(|s| s.label().to_string()).collect(),
+        samples: vec![Vec::new(); SCHEMES.len()],
         powifi_cumulative_occupancy: 0.0,
     };
+    for r in &runs {
+        // Skip the slow-start warmup bin.
+        out.samples[r.point.scheme_idx].extend(r.output.bins.iter().skip(1));
+        if r.point.scheme == Scheme::PoWiFi {
+            out.powifi_cumulative_occupancy = r.output.cumulative_occupancy;
+        }
+    }
     println!("{:<22}{:>10} {:>10} {:>10} {:>10}", "scheme", "mean", "p10", "p50", "p90");
-    for scheme in schemes {
-        let mut samples = Vec::new();
-        for run in 0..runs {
-            let (bins, occ) = tcp_experiment(scheme, args.seed + run as u64 * 131, secs);
-            // Skip the slow-start warmup bin.
-            samples.extend(bins.into_iter().skip(1));
-            if scheme == Scheme::PoWiFi {
-                out.powifi_cumulative_occupancy = occ;
-            }
+    for (scheme, samples) in SCHEMES.iter().zip(&mut out.samples) {
+        if samples.is_empty() {
+            continue;
         }
         let (mean, p10, p50, p90) = summarize(samples.clone());
         row(scheme.label(), &[mean, p10, p50, p90], 1);
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        out.samples.push(samples);
     }
     println!(
         "PoWiFi cumulative occupancy (last run): {:.1} % (paper mean: 100.9 %)",

@@ -2,10 +2,10 @@
 //! schemes. Expect: PoWiFi adds ~100 ms over Baseline; NoQueue ~300 ms;
 //! BlindUDP multiplies PLTs.
 
-use powifi_bench::{banner, row, BenchArgs};
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_core::Scheme;
 use powifi_deploy::plt_experiment;
-use powifi_net::top10_us;
+use powifi_net::{top10_us, SiteProfile};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -17,6 +17,53 @@ struct Out {
     added_delay_ms: Vec<f64>,
 }
 
+const SCHEMES: [Scheme; 4] = [
+    Scheme::Baseline,
+    Scheme::PoWiFi,
+    Scheme::NoQueue,
+    Scheme::BlindUdp,
+];
+
+#[derive(Clone)]
+struct Pt {
+    site_idx: usize,
+    site: SiteProfile,
+    scheme_idx: usize,
+    scheme: Scheme,
+    loads: usize,
+}
+
+struct Plt {
+    loads: usize,
+}
+
+impl Experiment for Plt {
+    type Point = Pt;
+    type Output = Vec<f64>;
+
+    fn name(&self) -> &'static str {
+        "fig06c"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        let mut pts = Vec::new();
+        for (site_idx, site) in top10_us().into_iter().enumerate() {
+            for (scheme_idx, &scheme) in SCHEMES.iter().enumerate() {
+                pts.push(Pt { site_idx, site, scheme_idx, scheme, loads: self.loads });
+            }
+        }
+        pts
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("{}/{}", pt.site.name, pt.scheme.label())
+    }
+
+    fn run(&self, pt: &Pt, seed: u64) -> Vec<f64> {
+        plt_experiment(pt.scheme, pt.site, pt.loads, seed)
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     banner(
@@ -24,43 +71,37 @@ fn main() {
         "expect: PoWiFi ~ Baseline (+~0.1 s); NoQueue +~0.3 s; BlindUDP blows up",
     );
     let loads = if args.full { 20 } else { 6 };
-    let schemes = [
-        Scheme::Baseline,
-        Scheme::PoWiFi,
-        Scheme::NoQueue,
-        Scheme::BlindUdp,
-    ];
+    let runs = Sweep::new(&args).run(&Plt { loads });
+
     println!(
         "{:<22}{:>10} {:>10} {:>10} {:>10}",
         "site", "Baseline", "PoWiFi", "NoQueue", "BlindUDP"
     );
+    let sites = top10_us();
     let mut out = Out {
-        sites: Vec::new(),
-        schemes: schemes.iter().map(|s| s.label().to_string()).collect(),
-        plt: Vec::new(),
+        sites: sites.iter().map(|s| s.name.to_string()).collect(),
+        schemes: SCHEMES.iter().map(|s| s.label().to_string()).collect(),
+        plt: vec![vec![f64::NAN; SCHEMES.len()]; sites.len()],
         added_delay_ms: Vec::new(),
     };
+    for r in &runs {
+        let mean = if r.output.is_empty() {
+            f64::NAN
+        } else {
+            r.output.iter().sum::<f64>() / r.output.len() as f64
+        };
+        out.plt[r.point.site_idx][r.point.scheme_idx] = mean;
+    }
     let mut sums = [0.0f64; 4];
-    for site in top10_us() {
-        let mut means = Vec::new();
-        for (i, &scheme) in schemes.iter().enumerate() {
-            let plts = plt_experiment(scheme, site, loads, args.seed);
-            let mean = if plts.is_empty() {
-                f64::NAN
-            } else {
-                plts.iter().sum::<f64>() / plts.len() as f64
-            };
-            sums[i] += mean;
-            means.push(mean);
+    for (site, means) in sites.iter().zip(&out.plt) {
+        row(site.name, means, 2);
+        for (s, m) in sums.iter_mut().zip(means) {
+            *s += m;
         }
-        row(site.name, &means, 2);
-        out.sites.push(site.name.to_string());
-        out.plt.push(means);
     }
     let n = out.sites.len() as f64;
     for i in 1..4 {
-        out.added_delay_ms
-            .push((sums[i] - sums[0]) / n * 1000.0);
+        out.added_delay_ms.push((sums[i] - sums[0]) / n * 1000.0);
     }
     println!(
         "added delay vs Baseline: PoWiFi {:+.0} ms (paper 101), NoQueue {:+.0} ms (paper 294), BlindUDP {:+.0} ms",

@@ -3,7 +3,7 @@
 //! Expect: PoWiFi > EqualShare everywhere (54 Mbps power packets hold the
 //! channel briefly); BlindUDP crushes the neighbor, worst at high rates.
 
-use powifi_bench::{banner, row, BenchArgs};
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_core::Scheme;
 use powifi_deploy::neighbor_experiment;
 use powifi_rf::Bitrate;
@@ -17,6 +17,65 @@ struct Out {
     throughput: Vec<Vec<f64>>,
 }
 
+const RATES: [Bitrate; 7] = [
+    Bitrate::G6,
+    Bitrate::G12,
+    Bitrate::G18,
+    Bitrate::G24,
+    Bitrate::G36,
+    Bitrate::G48,
+    Bitrate::G54,
+];
+
+/// Row labels; `EqualShare` resolves to `Scheme::EqualShare(rate)` per point.
+const SCHEME_ROWS: [(&str, Option<Scheme>); 3] = [
+    ("EqualShare", None),
+    ("PoWiFi", Some(Scheme::PoWiFi)),
+    ("BlindUDP", Some(Scheme::BlindUdp)),
+];
+
+#[derive(Clone)]
+struct Pt {
+    row_idx: usize,
+    row_label: &'static str,
+    rate_idx: usize,
+    scheme: Scheme,
+    rate: Bitrate,
+    secs: u64,
+}
+
+struct NeighborFairness {
+    secs: u64,
+}
+
+impl Experiment for NeighborFairness {
+    type Point = Pt;
+    type Output = f64;
+
+    fn name(&self) -> &'static str {
+        "fig08"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        let mut pts = Vec::new();
+        for (row_idx, &(row_label, scheme_of)) in SCHEME_ROWS.iter().enumerate() {
+            for (rate_idx, &rate) in RATES.iter().enumerate() {
+                let scheme = scheme_of.unwrap_or(Scheme::EqualShare(rate));
+                pts.push(Pt { row_idx, row_label, rate_idx, scheme, rate, secs: self.secs });
+            }
+        }
+        pts
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("{}/{}mbps", pt.row_label, pt.rate.mbps())
+    }
+
+    fn run(&self, pt: &Pt, seed: u64) -> f64 {
+        neighbor_experiment(pt.scheme, pt.rate, seed, pt.secs)
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     banner(
@@ -24,35 +83,19 @@ fn main() {
         "expect: PoWiFi >= EqualShare > BlindUDP at every neighbor rate",
     );
     let secs = if args.full { 15 } else { 5 };
-    let rates = [
-        Bitrate::G6,
-        Bitrate::G12,
-        Bitrate::G18,
-        Bitrate::G24,
-        Bitrate::G36,
-        Bitrate::G48,
-        Bitrate::G54,
-    ];
+    let runs = Sweep::new(&args).run(&NeighborFairness { secs });
+
     let mut out = Out {
-        neighbor_rate_mbps: rates.iter().map(|r| r.mbps()).collect(),
-        schemes: vec!["EqualShare".into(), "PoWiFi".into(), "BlindUDP".into()],
-        throughput: Vec::new(),
+        neighbor_rate_mbps: RATES.iter().map(|r| r.mbps()).collect(),
+        schemes: SCHEME_ROWS.iter().map(|(l, _)| l.to_string()).collect(),
+        throughput: vec![vec![f64::NAN; RATES.len()]; SCHEME_ROWS.len()],
     };
+    for r in &runs {
+        out.throughput[r.point.row_idx][r.point.rate_idx] = r.output;
+    }
     row("neighbor rate →", &out.neighbor_rate_mbps, 0);
-    for (label, scheme_of) in [
-        ("EqualShare", None),
-        ("PoWiFi", Some(Scheme::PoWiFi)),
-        ("BlindUDP", Some(Scheme::BlindUdp)),
-    ] {
-        let tput: Vec<f64> = rates
-            .iter()
-            .map(|&r| {
-                let scheme = scheme_of.unwrap_or(Scheme::EqualShare(r));
-                neighbor_experiment(scheme, r, args.seed, secs)
-            })
-            .collect();
-        row(label, &tput, 1);
-        out.throughput.push(tput);
+    for ((label, _), tput) in SCHEME_ROWS.iter().zip(&out.throughput) {
+        row(label, tput, 1);
     }
     args.emit("fig08", &out);
 }

@@ -1,7 +1,7 @@
 //! Figure 9: harvester return loss vs frequency for both variants.
 //! Expect < −10 dB across 2.401–2.473 GHz (≤ 0.5 dB of lost power).
 
-use powifi_bench::{banner, row, BenchArgs};
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_harvest::MatchingNetwork;
 use powifi_rf::Hertz;
 use serde::Serialize;
@@ -13,31 +13,60 @@ struct Out {
     battery_charging_db: Vec<f64>,
 }
 
+#[derive(Clone)]
+struct Pt {
+    freq_mhz: f64,
+}
+
+struct ReturnLoss;
+
+impl Experiment for ReturnLoss {
+    type Point = Pt;
+    /// `(battery_free_db, battery_charging_db)`.
+    type Output = (f64, f64);
+
+    fn name(&self) -> &'static str {
+        "fig09"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        (2400..=2480).map(|f| Pt { freq_mhz: f as f64 }).collect()
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("{:.0}mhz", pt.freq_mhz)
+    }
+
+    fn run(&self, pt: &Pt, _seed: u64) -> (f64, f64) {
+        let f = Hertz::from_mhz(pt.freq_mhz);
+        (
+            MatchingNetwork::battery_free().return_loss(f).0,
+            MatchingNetwork::battery_charging().return_loss(f).0,
+        )
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     banner(
         "Figure 9 — harvester return loss (dB) vs frequency (MHz)",
         "expect: below -10 dB across the 2401-2473 MHz band, deep in-band dip",
     );
-    let bf = MatchingNetwork::battery_free();
-    let bc = MatchingNetwork::battery_charging();
+    let runs = Sweep::new(&args).run(&ReturnLoss);
     let mut out = Out {
         freqs_mhz: Vec::new(),
         battery_free_db: Vec::new(),
         battery_charging_db: Vec::new(),
     };
     println!("{:<22}{:>10} {:>10}", "freq (MHz)", "batt-free", "recharging");
-    let mut f = 2400.0;
-    while f <= 2480.0 {
-        let a = bf.return_loss(Hertz::from_mhz(f)).0;
-        let b = bc.return_loss(Hertz::from_mhz(f)).0;
-        if (f as u64).is_multiple_of(5) {
-            row(&format!("{f:.0}"), &[a, b], 1);
+    for r in &runs {
+        let (a, b) = r.output;
+        if (r.point.freq_mhz as u64).is_multiple_of(5) {
+            row(&format!("{:.0}", r.point.freq_mhz), &[a, b], 1);
         }
-        out.freqs_mhz.push(f);
+        out.freqs_mhz.push(r.point.freq_mhz);
         out.battery_free_db.push(a);
         out.battery_charging_db.push(b);
-        f += 1.0;
     }
     let worst_bf = out.battery_free_db.iter().cloned().fold(f64::MIN, f64::max);
     let worst_bc = out.battery_charging_db.iter().cloned().fold(f64::MIN, f64::max);

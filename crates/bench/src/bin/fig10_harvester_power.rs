@@ -3,7 +3,7 @@
 //! Expect: sensitivities ≈ −17.8 dBm (battery-free) / −19.3 dBm
 //! (recharging); ≈150 µW at +4 dBm; mild per-channel spread from the match.
 
-use powifi_bench::{banner, row, BenchArgs};
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_harvest::{MatchingNetwork, Rectifier};
 use powifi_rf::{Dbm, WifiChannel};
 use serde::Serialize;
@@ -16,43 +16,90 @@ struct Out {
     sensitivity_dbm: Vec<f64>,
 }
 
+const VARIANTS: [&str; 2] = ["battery-free", "recharging"];
+
+#[derive(Clone)]
+struct Pt {
+    v_idx: usize,
+    variant: &'static str,
+    in_idx: usize,
+    input_dbm: f64,
+}
+
+struct HarvesterPower {
+    inputs: Vec<f64>,
+}
+
+impl Experiment for HarvesterPower {
+    type Point = Pt;
+    /// Output µW on CH1/CH6/CH11.
+    type Output = Vec<f64>;
+
+    fn name(&self) -> &'static str {
+        "fig10"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        let mut pts = Vec::new();
+        for (v_idx, &variant) in VARIANTS.iter().enumerate() {
+            for (in_idx, &input_dbm) in self.inputs.iter().enumerate() {
+                pts.push(Pt { v_idx, variant, in_idx, input_dbm });
+            }
+        }
+        pts
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("{}/{:.0}dbm", pt.variant, pt.input_dbm)
+    }
+
+    fn run(&self, pt: &Pt, _seed: u64) -> Vec<f64> {
+        let (matching, rect) = if pt.v_idx == 0 {
+            (MatchingNetwork::battery_free(), Rectifier::battery_free())
+        } else {
+            (MatchingNetwork::battery_charging(), Rectifier::battery_charging())
+        };
+        WifiChannel::POWER_SET
+            .iter()
+            .map(|ch| {
+                let accepted_uw =
+                    Dbm(pt.input_dbm).to_uw().0 * matching.mismatch_factor(ch.center());
+                rect.output_power(powifi_rf::MicroWatts(accepted_uw).to_dbm()).0
+            })
+            .collect()
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     banner(
         "Figure 10 — rectifier output power (µW) vs input power (dBm)",
         "expect: recharging operates ~1.5 dB deeper; ~150 µW at +4 dBm",
     );
-    let variants = [
-        ("battery-free", MatchingNetwork::battery_free(), Rectifier::battery_free()),
-        ("recharging", MatchingNetwork::battery_charging(), Rectifier::battery_charging()),
-    ];
     let inputs: Vec<f64> = (-20..=4).map(|d| d as f64).collect();
+    let exp = HarvesterPower { inputs: inputs.clone() };
+    let runs = Sweep::new(&args).run(&exp);
+
     let mut out = Out {
         input_dbm: inputs.clone(),
-        output_uw: Vec::new(),
+        output_uw: vec![vec![vec![f64::NAN; inputs.len()]; 3]; VARIANTS.len()],
         sensitivity_dbm: vec![
             Rectifier::battery_free().sensitivity.0,
             Rectifier::battery_charging().sensitivity.0,
         ],
     };
-    for (name, matching, rect) in &variants {
+    for r in &runs {
+        for (ci, &p) in r.output.iter().enumerate() {
+            out.output_uw[r.point.v_idx][ci][r.point.in_idx] = p;
+        }
+    }
+    for (v_idx, name) in VARIANTS.iter().enumerate() {
         println!("-- {name} harvester --");
         println!("{:<22}{:>10} {:>10} {:>10}", "input (dBm)", "CH1", "CH6", "CH11");
-        let mut per_channel: Vec<Vec<f64>> = vec![Vec::new(); 3];
-        for &dbm in &inputs {
-            let mut vals = Vec::new();
-            for (ci, ch) in WifiChannel::POWER_SET.iter().enumerate() {
-                let accepted_uw =
-                    Dbm(dbm).to_uw().0 * matching.mismatch_factor(ch.center());
-                let p = rect
-                    .output_power(powifi_rf::MicroWatts(accepted_uw).to_dbm())
-                    .0;
-                vals.push(p);
-                per_channel[ci].push(p);
-            }
+        for (in_idx, &dbm) in inputs.iter().enumerate() {
+            let vals: Vec<f64> = (0..3).map(|ci| out.output_uw[v_idx][ci][in_idx]).collect();
             row(&format!("{dbm:.0}"), &vals, 2);
         }
-        out.output_uw.push(per_channel);
     }
     args.emit("fig10", &out);
 }

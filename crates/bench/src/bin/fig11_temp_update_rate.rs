@@ -2,7 +2,7 @@
 //! Expect: rates fall with distance; battery-free dies ≈20 ft; recharging
 //! stays energy-neutral to ≈28 ft; similar rates at close range.
 
-use powifi_bench::{banner, row, BenchArgs};
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_sensors::{exposure_at, TemperatureSensor, BENCH_DUTY};
 use serde::Serialize;
 
@@ -15,14 +15,46 @@ struct Out {
     recharging_range_ft: f64,
 }
 
+#[derive(Clone)]
+struct Pt {
+    feet: f64,
+}
+
+struct TempUpdateRate;
+
+impl Experiment for TempUpdateRate {
+    type Point = Pt;
+    /// `(battery_free, recharging)` reads/s.
+    type Output = (f64, f64);
+
+    fn name(&self) -> &'static str {
+        "fig11"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        (2..=64).map(|half_ft| Pt { feet: half_ft as f64 * 0.5 }).collect()
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("{:.1}ft", pt.feet)
+    }
+
+    fn run(&self, pt: &Pt, _seed: u64) -> (f64, f64) {
+        let e = exposure_at(pt.feet, BENCH_DUTY, &[]);
+        (
+            TemperatureSensor::battery_free().update_rate(&e),
+            TemperatureSensor::battery_recharging().update_rate(&e),
+        )
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     banner(
         "Figure 11 — temperature sensor update rate (reads/s) vs distance (ft)",
         "paper: battery-free range 20 ft; recharging energy-neutral to 28 ft (91.3 % occupancy)",
     );
-    let bf = TemperatureSensor::battery_free();
-    let bc = TemperatureSensor::battery_recharging();
+    let runs = Sweep::new(&args).run(&TempUpdateRate);
     let mut out = Out {
         feet: Vec::new(),
         battery_free: Vec::new(),
@@ -31,11 +63,9 @@ fn main() {
         recharging_range_ft: 0.0,
     };
     println!("{:<22}{:>10} {:>10}", "distance (ft)", "batt-free", "recharging");
-    let mut ft = 1.0;
-    while ft <= 32.0 {
-        let e = exposure_at(ft, BENCH_DUTY, &[]);
-        let a = bf.update_rate(&e);
-        let b = bc.update_rate(&e);
+    for r in &runs {
+        let ft = r.point.feet;
+        let (a, b) = r.output;
         if (ft * 2.0).round() % 4.0 == 0.0 {
             row(&format!("{ft:.0}"), &[a, b], 2);
         }
@@ -48,7 +78,6 @@ fn main() {
         out.feet.push(ft);
         out.battery_free.push(a);
         out.recharging.push(b);
-        ft += 0.5;
     }
     println!(
         "operational range: battery-free {:.1} ft (paper 20), recharging {:.1} ft (paper 28)",

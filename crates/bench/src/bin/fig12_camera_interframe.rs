@@ -2,7 +2,7 @@
 //! Expect: battery-free to ≈17 ft (≈35 min there); recharging to ≈23 ft
 //! energy-neutral, degrading gracefully beyond.
 
-use powifi_bench::{banner, row, BenchArgs};
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_sensors::{exposure_at, Camera, BENCH_DUTY};
 use serde::Serialize;
 
@@ -15,14 +15,46 @@ struct Out {
     recharging_range_ft: f64,
 }
 
+#[derive(Clone)]
+struct Pt {
+    feet: f64,
+}
+
+struct CameraInterframe;
+
+impl Experiment for CameraInterframe {
+    type Point = Pt;
+    /// `(battery_free, recharging)` minutes per frame; `None` = dead.
+    type Output = (Option<f64>, Option<f64>);
+
+    fn name(&self) -> &'static str {
+        "fig12"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        (4..=60).map(|half_ft| Pt { feet: half_ft as f64 * 0.5 }).collect()
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("{:.1}ft", pt.feet)
+    }
+
+    fn run(&self, pt: &Pt, _seed: u64) -> (Option<f64>, Option<f64>) {
+        let e = exposure_at(pt.feet, BENCH_DUTY, &[]);
+        (
+            Camera::battery_free().inter_frame_secs(&e).map(|s| s / 60.0),
+            Camera::battery_recharging().inter_frame_secs(&e).map(|s| s / 60.0),
+        )
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     banner(
         "Figure 12 — camera inter-frame time (minutes) vs distance (ft)",
         "paper: battery-free to 17 ft; recharging to 23 ft (90.9 % occupancy)",
     );
-    let bf = Camera::battery_free();
-    let bc = Camera::battery_recharging();
+    let runs = Sweep::new(&args).run(&CameraInterframe);
     let mut out = Out {
         feet: Vec::new(),
         battery_free_min: Vec::new(),
@@ -31,11 +63,9 @@ fn main() {
         recharging_range_ft: 0.0,
     };
     println!("{:<22}{:>10} {:>10}", "distance (ft)", "batt-free", "recharging");
-    let mut ft = 2.0;
-    while ft <= 30.0 {
-        let e = exposure_at(ft, BENCH_DUTY, &[]);
-        let a = bf.inter_frame_secs(&e).map(|s| s / 60.0);
-        let b = bc.inter_frame_secs(&e).map(|s| s / 60.0);
+    for r in &runs {
+        let ft = r.point.feet;
+        let (a, b) = r.output;
         if ft.fract() == 0.0 && (ft as u64).is_multiple_of(2) {
             row(
                 &format!("{ft:.0}"),
@@ -52,7 +82,6 @@ fn main() {
         out.feet.push(ft);
         out.battery_free_min.push(a);
         out.recharging_min.push(b);
-        ft += 0.5;
     }
     println!(
         "operational range: battery-free {:.1} ft (paper 17), recharging {:.1} ft (paper 23-26.5)",

@@ -2,7 +2,7 @@
 //! Expect: inter-frame time grows with wall absorption
 //! (free space < glass < wood < hollow wall < sheet-rock).
 
-use powifi_bench::{banner, row, BenchArgs};
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_rf::WallMaterial;
 use powifi_sensors::{exposure_at, Camera, BENCH_DUTY};
 use serde::Serialize;
@@ -14,29 +14,60 @@ struct Out {
     inter_frame_min: Vec<Option<f64>>,
 }
 
+#[derive(Clone)]
+struct Pt {
+    material: WallMaterial,
+}
+
+struct ThroughWall;
+
+impl Experiment for ThroughWall {
+    type Point = Pt;
+    /// `(attenuation_db, inter_frame_min)`.
+    type Output = (f64, Option<f64>);
+
+    fn name(&self) -> &'static str {
+        "fig13"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        WallMaterial::FIG13_ORDER
+            .iter()
+            .map(|&material| Pt { material })
+            .collect()
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        pt.material.label().into()
+    }
+
+    fn run(&self, pt: &Pt, _seed: u64) -> (f64, Option<f64>) {
+        let e = exposure_at(5.0, BENCH_DUTY, &[pt.material]);
+        (
+            pt.material.attenuation().0,
+            Camera::battery_free().inter_frame_secs(&e).map(|s| s / 60.0),
+        )
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     banner(
         "Figure 13 — battery-free camera through walls at 5 ft",
         "paper order: Free Space, 1.8\" Wood, 1\" Glass, 5.4\" Wall, 7.9\" Wall",
     );
-    let cam = Camera::battery_free();
+    let runs = Sweep::new(&args).run(&ThroughWall);
     let mut out = Out {
         materials: Vec::new(),
         attenuation_db: Vec::new(),
         inter_frame_min: Vec::new(),
     };
     println!("{:<22}{:>10} {:>10}", "material", "atten(dB)", "min/frame");
-    for m in WallMaterial::FIG13_ORDER {
-        let e = exposure_at(5.0, BENCH_DUTY, &[m]);
-        let t = cam.inter_frame_secs(&e).map(|s| s / 60.0);
-        row(
-            m.label(),
-            &[m.attenuation().0, t.unwrap_or(f64::NAN)],
-            2,
-        );
-        out.materials.push(m.label().to_string());
-        out.attenuation_db.push(m.attenuation().0);
+    for r in &runs {
+        let (atten, t) = r.output;
+        row(r.point.material.label(), &[atten, t.unwrap_or(f64::NAN)], 2);
+        out.materials.push(r.point.material.label().to_string());
+        out.attenuation_db.push(atten);
         out.inter_frame_min.push(t);
     }
     args.emit("fig13", &out);

@@ -2,12 +2,11 @@
 //! deployments (60 s bins). Expect: per-channel variation tracking
 //! (inverted) neighbor load; cumulative high throughout; means 78–127 %.
 //!
-//! Homes run in parallel worker threads (each simulation is single-threaded
-//! and deterministic; crossbeam only fans the independent runs out).
+//! Homes run as independent sweep points: `--jobs` fans them out across
+//! worker threads (each simulation is single-threaded and deterministic).
 
-use powifi_bench::{banner, row, BenchArgs};
-use powifi_deploy::{run_home, table1, HomeRun};
-use parking_lot::Mutex;
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
+use powifi_deploy::{run_home, table1, HomeConfig};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -25,60 +24,80 @@ struct Out {
     homes: Vec<HomeOut>,
 }
 
+#[derive(Clone)]
+struct Pt {
+    home: HomeConfig,
+    spd: u64,
+}
+
+struct HomeOccupancy;
+
+impl Experiment for HomeOccupancy {
+    type Point = Pt;
+    type Output = HomeOut;
+
+    fn name(&self) -> &'static str {
+        "fig14"
+    }
+
+    fn points(&self, full: bool) -> Vec<Pt> {
+        // Time compression: each 60 s bin simulated as 2 s (or 10 s --full).
+        let spd = if full { 14_400 } else { 2_880 };
+        table1().into_iter().map(|home| Pt { home, spd }).collect()
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("home{}", pt.home.id)
+    }
+
+    fn run(&self, pt: &Pt, seed: u64) -> HomeOut {
+        let run = run_home(pt.home, seed, pt.spd);
+        HomeOut {
+            id: run.config.id,
+            mean_cumulative: run.mean_cumulative,
+            hours: run.hours,
+            per_channel: run.per_channel,
+            cumulative: run.cumulative,
+        }
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     banner(
         "Figure 14 — 24 h home-deployment occupancy (60 s bins)",
         "expect: mean cumulative occupancy in the 78-127 % band across homes",
     );
-    // Time compression: each 60 s bin simulated as 2 s (or 10 s with --full).
-    let spd = if args.full { 14_400 } else { 2_880 };
-    let results: Mutex<Vec<HomeRun>> = Mutex::new(Vec::new());
-    crossbeam::scope(|scope| {
-        for cfg in table1() {
-            let results = &results;
-            let seed = args.seed;
-            scope.spawn(move |_| {
-                let run = run_home(cfg, seed, spd);
-                results.lock().push(run);
-            });
-        }
-    })
-    .expect("home workers");
-    let mut runs = results.into_inner();
-    runs.sort_by_key(|r| r.config.id);
+    let runs = Sweep::new(&args).run(&HomeOccupancy);
 
     println!(
         "{:<22}{:>10} {:>10} {:>10} {:>10}",
         "home", "mean ch1", "mean ch6", "mean ch11", "mean cum"
     );
     let mut out = Out {
-        sim_seconds_per_day: spd,
+        sim_seconds_per_day: if args.full { 14_400 } else { 2_880 },
         homes: Vec::new(),
     };
-    for run in &runs {
-        let bins = run.cumulative.len() as f64;
-        let means: Vec<f64> = run
+    for r in runs {
+        let h = r.output;
+        let bins = h.cumulative.len() as f64;
+        let means: Vec<f64> = h
             .per_channel
             .iter()
             .map(|c| c.iter().sum::<f64>() / bins * 100.0)
-            .chain([run.mean_cumulative * 100.0])
+            .chain([h.mean_cumulative * 100.0])
             .collect();
-        row(&format!("home {}", run.config.id), &means, 1);
-        out.homes.push(HomeOut {
-            id: run.config.id,
-            mean_cumulative: run.mean_cumulative,
-            hours: run.hours.clone(),
-            per_channel: run.per_channel.clone(),
-            cumulative: run.cumulative.clone(),
-        });
+        row(&format!("home {}", h.id), &means, 1);
+        out.homes.push(h);
     }
-    let lo = out.homes.iter().map(|h| h.mean_cumulative).fold(f64::MAX, f64::min);
-    let hi = out.homes.iter().map(|h| h.mean_cumulative).fold(f64::MIN, f64::max);
-    println!(
-        "mean cumulative range across homes: {:.0}-{:.0} % (paper: 78-127 %)",
-        lo * 100.0,
-        hi * 100.0
-    );
+    if !out.homes.is_empty() {
+        let lo = out.homes.iter().map(|h| h.mean_cumulative).fold(f64::MAX, f64::min);
+        let hi = out.homes.iter().map(|h| h.mean_cumulative).fold(f64::MIN, f64::max);
+        println!(
+            "mean cumulative range across homes: {:.0}-{:.0} % (paper: 78-127 %)",
+            lo * 100.0,
+            hi * 100.0
+        );
+    }
     args.emit("fig14", &out);
 }

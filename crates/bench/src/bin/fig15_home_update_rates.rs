@@ -2,9 +2,8 @@
 //! 10 ft from the router across the six homes.
 //! Expect: positive rates nearly everywhere; busier homes shift left.
 
-use powifi_bench::{banner, row, summarize, BenchArgs};
-use powifi_deploy::{run_home, sensor_rates_from_home, table1};
-use parking_lot::Mutex;
+use powifi_bench::{banner, row, summarize, BenchArgs, Experiment, Sweep};
+use powifi_deploy::{run_home, sensor_rates_from_home, table1, HomeConfig};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -13,36 +12,53 @@ struct Out {
     rates: Vec<Vec<f64>>,
 }
 
+#[derive(Clone)]
+struct Pt {
+    home: HomeConfig,
+    spd: u64,
+}
+
+struct HomeUpdateRates;
+
+impl Experiment for HomeUpdateRates {
+    type Point = Pt;
+    type Output = Vec<f64>;
+
+    fn name(&self) -> &'static str {
+        "fig15"
+    }
+
+    fn points(&self, full: bool) -> Vec<Pt> {
+        let spd = if full { 14_400 } else { 2_880 };
+        table1().into_iter().map(|home| Pt { home, spd }).collect()
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("home{}", pt.home.id)
+    }
+
+    fn run(&self, pt: &Pt, seed: u64) -> Vec<f64> {
+        let run = run_home(pt.home, seed, pt.spd);
+        sensor_rates_from_home(&run, 10.0)
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     banner(
         "Figure 15 — temperature-sensor update rate CDFs at 10 ft, per home",
         "expect: power delivered in every home; medians around 1 read/s",
     );
-    let spd = if args.full { 14_400 } else { 2_880 };
-    let results: Mutex<Vec<(usize, Vec<f64>)>> = Mutex::new(Vec::new());
-    crossbeam::scope(|scope| {
-        for cfg in table1() {
-            let results = &results;
-            let seed = args.seed;
-            scope.spawn(move |_| {
-                let run = run_home(cfg, seed, spd);
-                let rates = sensor_rates_from_home(&run, 10.0);
-                results.lock().push((cfg.id, rates));
-            });
-        }
-    })
-    .expect("home workers");
-    let mut all = results.into_inner();
-    all.sort_by_key(|(id, _)| *id);
+    let runs = Sweep::new(&args).run(&HomeUpdateRates);
     println!(
         "{:<22}{:>10} {:>10} {:>10} {:>10}",
         "home", "mean", "p10", "p50", "p90"
     );
     let mut out = Out { rates: Vec::new() };
-    for (id, mut rates) in all {
+    for r in runs {
+        let mut rates = r.output;
         let (mean, p10, p50, p90) = summarize(rates.clone());
-        row(&format!("home {id}"), &[mean, p10, p50, p90], 2);
+        row(&format!("home {}", r.point.home.id), &[mean, p10, p50, p90], 2);
         rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
         out.rates.push(rates);
     }

@@ -1,7 +1,7 @@
 //! Figure 16 / §8a: the Wi-Fi USB charger trickle-charging a Jawbone UP24
 //! 5–7 cm from the router. Paper: ≈2.3 mA average, 0 → 41 % in 2.5 h.
 
-use powifi_bench::{banner, row, BenchArgs};
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_sensors::UsbCharger;
 use powifi_sim::SimDuration;
 use serde::Serialize;
@@ -13,32 +13,68 @@ struct Out {
     soc_at_2_5h: f64,
 }
 
+#[derive(Clone)]
+struct Pt {
+    distance_cm: f64,
+    duty: f64,
+}
+
+struct UsbChargerFig;
+
+impl Experiment for UsbChargerFig {
+    type Point = Pt;
+    type Output = Out;
+
+    fn name(&self) -> &'static str {
+        "fig16"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        // Paper setup: 6 cm, ~0.3 duty per channel (~90 % cumulative).
+        vec![Pt { distance_cm: 6.0, duty: 0.3 }]
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("{:.0}cm", pt.distance_cm)
+    }
+
+    fn run(&self, pt: &Pt, _seed: u64) -> Out {
+        let mut charger = UsbCharger::jawbone_demo();
+        let ma = charger.charge_current_ma(pt.distance_cm, pt.duty);
+        let mut out = Out {
+            current_ma_at_6cm: ma,
+            soc_curve: Vec::new(),
+            soc_at_2_5h: 0.0,
+        };
+        for minute in 0..=150 {
+            if minute > 0 {
+                charger.charge_for(SimDuration::from_secs(60), pt.distance_cm, pt.duty);
+            }
+            out.soc_curve.push((minute as f64, charger.soc()));
+        }
+        out.soc_at_2_5h = charger.soc();
+        out
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     banner(
         "Figure 16 — Wi-Fi USB charger: Jawbone UP24 at 6 cm",
         "paper: ~2.3 mA average; 0 -> 41 % charge in 2.5 h",
     );
-    let mut charger = UsbCharger::jawbone_demo();
-    let duty = 0.3; // per channel; ~90 % cumulative
-    let ma = charger.charge_current_ma(6.0, duty);
-    println!("average charge current: {ma:.2} mA");
-    println!("\n{:<22}{:>10}", "time (min)", "charge %");
-    let mut out = Out {
-        current_ma_at_6cm: ma,
-        soc_curve: Vec::new(),
-        soc_at_2_5h: 0.0,
+    let runs = Sweep::new(&args).run(&UsbChargerFig);
+    let Some(run) = runs.into_iter().next() else {
+        return;
     };
-    for minute in 0..=150 {
-        if minute > 0 {
-            charger.charge_for(SimDuration::from_secs(60), 6.0, duty);
+    let out = run.output;
+    println!("average charge current: {:.2} mA", out.current_ma_at_6cm);
+    println!("\n{:<22}{:>10}", "time (min)", "charge %");
+    for &(minute, soc) in &out.soc_curve {
+        if (minute as u64).is_multiple_of(15) {
+            row(&format!("{minute:.0}"), &[soc * 100.0], 1);
         }
-        if minute % 15 == 0 {
-            row(&format!("{minute}"), &[charger.soc() * 100.0], 1);
-        }
-        out.soc_curve.push((minute as f64, charger.soc()));
     }
-    out.soc_at_2_5h = charger.soc();
     println!("state of charge after 2.5 h: {:.1} % (paper: 41 %)", out.soc_at_2_5h * 100.0);
     args.emit("fig16", &out);
 }

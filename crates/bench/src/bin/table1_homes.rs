@@ -1,7 +1,7 @@
 //! Table 1: the home-deployment summary (configuration of the §6 study).
 
-use powifi_bench::{banner, BenchArgs};
-use powifi_deploy::table1;
+use powifi_bench::{banner, BenchArgs, Experiment, Sweep};
+use powifi_deploy::{table1, HomeConfig};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -9,17 +9,46 @@ struct Out {
     homes: Vec<(usize, u32, u32, u32)>,
 }
 
+#[derive(Clone)]
+struct Pt {
+    home: HomeConfig,
+}
+
+struct Table1;
+
+impl Experiment for Table1 {
+    type Point = Pt;
+    /// `(id, users, devices, neighbor_aps)`.
+    type Output = (usize, u32, u32, u32);
+
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        table1().into_iter().map(|home| Pt { home }).collect()
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("home{}", pt.home.id)
+    }
+
+    fn run(&self, pt: &Pt, _seed: u64) -> (usize, u32, u32, u32) {
+        let h = pt.home;
+        (h.id, h.users, h.devices, h.neighbor_aps)
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     banner("Table 1 — summary of the home deployment", "");
+    let runs = Sweep::new(&args).run(&Table1);
     println!("{:<10}{:>8}{:>10}{:>16}", "Home #", "Users", "Devices", "Neighbor APs");
     let mut out = Out { homes: Vec::new() };
-    for h in table1() {
-        println!(
-            "{:<10}{:>8}{:>10}{:>16}",
-            h.id, h.users, h.devices, h.neighbor_aps
-        );
-        out.homes.push((h.id, h.users, h.devices, h.neighbor_aps));
+    for r in &runs {
+        let (id, users, devices, aps) = r.output;
+        println!("{id:<10}{users:>8}{devices:>10}{aps:>16}");
+        out.homes.push(r.output);
     }
     args.emit("table1", &out);
 }

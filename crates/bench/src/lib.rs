@@ -3,69 +3,14 @@
 //! The figure/table regeneration harness. Every table and figure of the
 //! paper's evaluation has a binary (`fig01_…` … `fig16_…`, `table1_homes`)
 //! plus ablation binaries for the design choices called out in DESIGN.md.
-//! Binaries print the paper's rows/series to stdout and, with `--json DIR`,
-//! write machine-readable results for EXPERIMENTS.md.
+//! Each binary declares its parameter grid as an [`Experiment`] and hands
+//! it to the [`Sweep`] driver, which executes points in parallel
+//! (`--jobs`), derives a deterministic per-point seed, and — with
+//! `--json DIR` — writes machine-readable artifacts for EXPERIMENTS.md.
 
-use serde::Serialize;
-use std::fs;
-use std::path::PathBuf;
+pub mod runner;
 
-/// Common CLI arguments for all bench binaries.
-#[derive(Debug, Clone)]
-pub struct BenchArgs {
-    /// Experiment RNG seed (default 42; every run is deterministic in it).
-    pub seed: u64,
-    /// Run the full-length configuration (paper-scale durations/repeats).
-    pub full: bool,
-    /// Directory to write `<name>.json` result files into.
-    pub json_dir: Option<PathBuf>,
-}
-
-impl BenchArgs {
-    /// Parse `--seed N`, `--full`, `--json DIR` from `std::env::args`.
-    pub fn parse() -> BenchArgs {
-        let mut args = BenchArgs {
-            seed: 42,
-            full: false,
-            json_dir: None,
-        };
-        let mut it = std::env::args().skip(1);
-        while let Some(a) = it.next() {
-            match a.as_str() {
-                "--seed" => {
-                    args.seed = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--seed needs an integer");
-                }
-                "--full" => args.full = true,
-                "--json" => {
-                    args.json_dir = Some(PathBuf::from(it.next().expect("--json needs a dir")));
-                }
-                "--help" | "-h" => {
-                    eprintln!("usage: [--seed N] [--full] [--json DIR]");
-                    std::process::exit(0);
-                }
-                other => {
-                    eprintln!("unknown argument {other}");
-                    std::process::exit(2);
-                }
-            }
-        }
-        args
-    }
-
-    /// Write a serializable result as `<name>.json` when `--json` was given.
-    pub fn emit<T: Serialize>(&self, name: &str, value: &T) {
-        if let Some(dir) = &self.json_dir {
-            fs::create_dir_all(dir).expect("create json dir");
-            let path = dir.join(format!("{name}.json"));
-            fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-                .expect("write json");
-            eprintln!("wrote {}", path.display());
-        }
-    }
-}
+pub use runner::{BenchArgs, Experiment, PointRun, Sweep};
 
 /// Print a header line for a figure/table.
 pub fn banner(title: &str, note: &str) {

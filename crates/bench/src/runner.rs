@@ -1,0 +1,489 @@
+//! The sweep-execution engine behind every bench binary.
+//!
+//! A figure or table is a *grid* of experiment points (scheme × rate ×
+//! distance × …). Each binary used to hand-roll nested loops, ad-hoc
+//! threading and its own CLI parsing; the [`Experiment`] trait plus the
+//! [`Sweep`] driver replace all of that:
+//!
+//! * **Deterministic parallelism.** Points run on a scoped worker pool
+//!   (`--jobs N`), each with a private seed derived from the experiment
+//!   seed, the experiment name and the point's position in the *full*
+//!   grid via [`SimRng`] splitting. Results are collected in submission
+//!   order, so every artifact is bit-identical regardless of `--jobs`,
+//!   and `--filter` never changes the seed of a surviving point.
+//! * **Observability.** With `--json DIR`, the driver writes
+//!   `<name>.points.json` (per-point parameters, seed, output, events
+//!   executed, MAC frames, occupancy — fully deterministic) and
+//!   `<name>.manifest.json` (engine version, CLI, wall-clock per point —
+//!   the only place timing appears, so artifact diffs stay meaningful).
+//! * **One CLI.** [`BenchArgs::parse`] handles `--seed/--full/--json/
+//!   --jobs/--filter` for every binary, rejecting malformed input with a
+//!   usage message and exit code 2.
+
+use powifi_sim::{telemetry, RunTelemetry, SimRng};
+use serde::{Serialize, Value};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Common CLI arguments for all bench binaries.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Experiment RNG seed (default 42; every run is deterministic in it).
+    pub seed: u64,
+    /// Run the full-length configuration (paper-scale durations/repeats).
+    pub full: bool,
+    /// Directory to write `<name>.json` result files into.
+    pub json_dir: Option<PathBuf>,
+    /// Worker threads for sweep execution (default: available cores).
+    pub jobs: usize,
+    /// Only run grid points whose label contains this substring.
+    pub filter: Option<String>,
+}
+
+const USAGE: &str = "usage: [--seed N] [--full] [--json DIR] [--jobs N] [--filter SUBSTR]";
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            seed: 42,
+            full: false,
+            json_dir: None,
+            jobs: default_jobs(),
+            filter: None,
+        }
+    }
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+impl BenchArgs {
+    /// Parse the shared CLI from `std::env::args`. Malformed input prints
+    /// the usage line to stderr and exits with code 2.
+    pub fn parse() -> BenchArgs {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse from an explicit argument list (testable core of [`parse`]).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<BenchArgs, String> {
+        let mut out = BenchArgs::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs an integer")?;
+                    out.seed = v
+                        .parse()
+                        .map_err(|_| format!("--seed needs an integer, got `{v}`"))?;
+                }
+                "--full" => out.full = true,
+                "--json" => {
+                    out.json_dir = Some(PathBuf::from(it.next().ok_or("--json needs a dir")?));
+                }
+                "--jobs" => {
+                    let v = it.next().ok_or("--jobs needs a positive integer")?;
+                    out.jobs = v
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n >= 1)
+                        .ok_or_else(|| format!("--jobs needs a positive integer, got `{v}`"))?;
+                }
+                "--filter" => {
+                    out.filter = Some(it.next().ok_or("--filter needs a substring")?);
+                }
+                "--help" | "-h" => {
+                    eprintln!("{USAGE}");
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Write a serializable result as `<name>.json` when `--json` was given.
+    pub fn emit<T: Serialize>(&self, name: &str, value: &T) {
+        if let Some(dir) = &self.json_dir {
+            fs::create_dir_all(dir).expect("create json dir");
+            let path = dir.join(format!("{name}.json"));
+            fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+                .expect("write json");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+/// One table/figure experiment: a grid of points, each runnable in
+/// isolation from a plain seed. Implementations must be pure functions of
+/// `(point, seed)` — the driver may run points on any thread in any order.
+pub trait Experiment: Sync {
+    /// One grid point (a parameter combination).
+    type Point: Clone + Send + Sync;
+    /// Result of running one point.
+    type Output: Serialize + Send;
+
+    /// Artifact base name, e.g. `"fig06a_udp"`. Also salts per-point seeds.
+    fn name(&self) -> &'static str;
+
+    /// The parameter grid; `full` selects the paper-scale configuration.
+    /// Must be deterministic: seeds are derived from positions in this list.
+    fn points(&self, full: bool) -> Vec<Self::Point>;
+
+    /// Human-readable point label, used in artifacts and by `--filter`.
+    fn label(&self, pt: &Self::Point) -> String;
+
+    /// Run one point with its derived seed.
+    fn run(&self, pt: &Self::Point, seed: u64) -> Self::Output;
+}
+
+/// Result of one executed grid point.
+#[derive(Debug, Clone)]
+pub struct PointRun<P, O> {
+    /// Position in the full (unfiltered) grid.
+    pub index: usize,
+    /// The point's parameters.
+    pub point: P,
+    /// [`Experiment::label`] of the point.
+    pub label: String,
+    /// The derived seed the point ran with.
+    pub seed: u64,
+    /// The experiment's output.
+    pub output: O,
+    /// Simulation-work counters observed while running the point.
+    pub telemetry: RunTelemetry,
+    /// Wall-clock runtime of this point, milliseconds (nondeterministic;
+    /// reported only in the manifest, never in deterministic artifacts).
+    pub wall_ms: f64,
+}
+
+/// The sweep driver: executes an [`Experiment`]'s grid under the shared
+/// CLI settings and writes the observability artifacts.
+pub struct Sweep<'a> {
+    args: &'a BenchArgs,
+}
+
+struct Item<P> {
+    index: usize,
+    label: String,
+    seed: u64,
+    point: P,
+}
+
+impl<'a> Sweep<'a> {
+    /// A driver bound to parsed CLI settings.
+    pub fn new(args: &'a BenchArgs) -> Self {
+        Sweep { args }
+    }
+
+    /// Execute the experiment's grid (honoring `--full`, `--filter`,
+    /// `--jobs`) and return one [`PointRun`] per executed point, in grid
+    /// order. With `--json`, also writes `<name>.points.json` and
+    /// `<name>.manifest.json`.
+    pub fn run<E: Experiment>(&self, exp: &E) -> Vec<PointRun<E::Point, E::Output>> {
+        let root = SimRng::from_seed(self.args.seed);
+        let grid = exp.points(self.args.full);
+        let grid_len = grid.len();
+        let items: Vec<Item<E::Point>> = grid
+            .into_iter()
+            .enumerate()
+            .map(|(index, point)| {
+                let label = exp.label(&point);
+                // Seed from the *unfiltered* grid position and label, so
+                // `--filter` re-runs a subset with identical seeds.
+                let seed = root.derive_seed(&format!("{}/{label}#{index}", exp.name()));
+                Item {
+                    index,
+                    label,
+                    seed,
+                    point,
+                }
+            })
+            .filter(|it| match &self.args.filter {
+                Some(f) => it.label.contains(f.as_str()),
+                None => true,
+            })
+            .collect();
+        let started = Instant::now();
+        let runs = self.execute(exp, items);
+        self.write_artifacts(exp, grid_len, &runs, started.elapsed().as_secs_f64() * 1e3);
+        runs
+    }
+
+    fn execute<E: Experiment>(
+        &self,
+        exp: &E,
+        items: Vec<Item<E::Point>>,
+    ) -> Vec<PointRun<E::Point, E::Output>> {
+        let jobs = self.args.jobs.clamp(1, items.len().max(1));
+        if jobs == 1 {
+            return items.into_iter().map(|it| run_point(exp, it)).collect();
+        }
+        let n = items.len();
+        let slots = parking_lot::Mutex::new(
+            (0..n).map(|_| None::<PointRun<E::Point, E::Output>>).collect::<Vec<_>>(),
+        );
+        let next = AtomicUsize::new(0);
+        crossbeam::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|_| loop {
+                    // Work-stealing by atomic index; slot `i` pins the
+                    // result to submission order regardless of which
+                    // worker claims it or when it finishes.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = &items[i];
+                    let run = run_point(
+                        exp,
+                        Item {
+                            index: item.index,
+                            label: item.label.clone(),
+                            seed: item.seed,
+                            point: item.point.clone(),
+                        },
+                    );
+                    slots.lock()[i] = Some(run);
+                });
+            }
+        })
+        .expect("sweep workers");
+        slots
+            .into_inner()
+            .into_iter()
+            .map(|slot| slot.expect("every claimed point stores a result"))
+            .collect()
+    }
+
+    fn write_artifacts<E: Experiment>(
+        &self,
+        exp: &E,
+        grid_len: usize,
+        runs: &[PointRun<E::Point, E::Output>],
+        total_wall_ms: f64,
+    ) {
+        let Some(dir) = &self.args.json_dir else {
+            return;
+        };
+        fs::create_dir_all(dir).expect("create json dir");
+        let points = Value::Array(runs.iter().map(point_value).collect());
+        let name = exp.name();
+        let points_path = dir.join(format!("{name}.points.json"));
+        fs::write(
+            &points_path,
+            serde_json::to_string_pretty(&points).expect("serialize points"),
+        )
+        .expect("write points json");
+        eprintln!("wrote {}", points_path.display());
+
+        let manifest = Value::Object(vec![
+            ("experiment".into(), Value::Str(name.into())),
+            (
+                "engine".into(),
+                Value::Object(vec![
+                    (
+                        "package".into(),
+                        Value::Str(env!("CARGO_PKG_NAME").into()),
+                    ),
+                    (
+                        "version".into(),
+                        Value::Str(env!("CARGO_PKG_VERSION").into()),
+                    ),
+                ]),
+            ),
+            ("seed".into(), Value::UInt(self.args.seed)),
+            ("full".into(), Value::Bool(self.args.full)),
+            ("jobs".into(), Value::UInt(self.args.jobs as u64)),
+            (
+                "filter".into(),
+                match &self.args.filter {
+                    Some(f) => Value::Str(f.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("grid_points".into(), Value::UInt(grid_len as u64)),
+            ("run_points".into(), Value::UInt(runs.len() as u64)),
+            ("total_wall_ms".into(), Value::Float(total_wall_ms)),
+            (
+                "points".into(),
+                Value::Array(
+                    runs.iter()
+                        .map(|r| {
+                            Value::Object(vec![
+                                ("label".into(), Value::Str(r.label.clone())),
+                                ("seed".into(), Value::UInt(r.seed)),
+                                ("wall_ms".into(), Value::Float(r.wall_ms)),
+                                ("events".into(), Value::UInt(r.telemetry.events)),
+                                ("frames".into(), Value::UInt(r.telemetry.frames)),
+                                (
+                                    "occupancy".into(),
+                                    Value::Float(r.telemetry.occupancy),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        let manifest_path = dir.join(format!("{name}.manifest.json"));
+        fs::write(
+            &manifest_path,
+            serde_json::to_string_pretty(&manifest).expect("serialize manifest"),
+        )
+        .expect("write manifest json");
+        eprintln!("wrote {}", manifest_path.display());
+    }
+}
+
+fn run_point<E: Experiment>(exp: &E, item: Item<E::Point>) -> PointRun<E::Point, E::Output> {
+    telemetry::reset();
+    let started = Instant::now();
+    let output = exp.run(&item.point, item.seed);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    PointRun {
+        index: item.index,
+        point: item.point,
+        label: item.label,
+        seed: item.seed,
+        output,
+        telemetry: telemetry::snapshot(),
+        wall_ms,
+    }
+}
+
+/// The deterministic artifact entry for one point: everything except
+/// wall-clock time.
+fn point_value<P, O: Serialize>(run: &PointRun<P, O>) -> Value {
+    Value::Object(vec![
+        ("index".into(), Value::UInt(run.index as u64)),
+        ("label".into(), Value::Str(run.label.clone())),
+        ("seed".into(), Value::UInt(run.seed)),
+        ("events".into(), Value::UInt(run.telemetry.events)),
+        ("frames".into(), Value::UInt(run.telemetry.frames)),
+        ("occupancy".into(), Value::Float(run.telemetry.occupancy)),
+        ("output".into(), run.output.to_value()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Square;
+
+    impl Experiment for Square {
+        type Point = u64;
+        type Output = u64;
+
+        fn name(&self) -> &'static str {
+            "square"
+        }
+
+        fn points(&self, full: bool) -> Vec<u64> {
+            if full {
+                (0..16).collect()
+            } else {
+                (0..8).collect()
+            }
+        }
+
+        fn label(&self, pt: &u64) -> String {
+            format!("x={pt}")
+        }
+
+        fn run(&self, pt: &u64, seed: u64) -> u64 {
+            // Depends on the seed so determinism tests are meaningful.
+            pt * pt + seed % 7
+        }
+    }
+
+    fn args_with(jobs: usize, filter: Option<&str>) -> BenchArgs {
+        BenchArgs {
+            jobs,
+            filter: filter.map(String::from),
+            ..BenchArgs::default()
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_in_order() {
+        let serial = Sweep::new(&args_with(1, None)).run(&Square);
+        let parallel = Sweep::new(&args_with(8, None)).run(&Square);
+        assert_eq!(serial.len(), 8);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.output, b.output);
+            assert_eq!(a.label, b.label);
+        }
+    }
+
+    #[test]
+    fn filter_preserves_seeds() {
+        let all = Sweep::new(&args_with(2, None)).run(&Square);
+        let some = Sweep::new(&args_with(2, Some("x=5"))).run(&Square);
+        assert_eq!(some.len(), 1);
+        let full_run = all.iter().find(|r| r.label == "x=5").unwrap();
+        assert_eq!(some[0].seed, full_run.seed);
+        assert_eq!(some[0].output, full_run.output);
+        assert_eq!(some[0].index, 5);
+    }
+
+    #[test]
+    fn seeds_are_distinct_and_deterministic() {
+        let a = Sweep::new(&args_with(1, None)).run(&Square);
+        let b = Sweep::new(&args_with(3, None)).run(&Square);
+        let mut seeds: Vec<u64> = a.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds, b.iter().map(|r| r.seed).collect::<Vec<_>>());
+        seeds.sort();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 8, "per-point seeds must be distinct");
+    }
+
+    #[test]
+    fn full_grid_extends_quick_grid() {
+        let exp = Square;
+        assert_eq!(exp.points(false).len(), 8);
+        assert_eq!(exp.points(true).len(), 16);
+    }
+
+    #[test]
+    fn parse_from_accepts_all_flags() {
+        let args = BenchArgs::parse_from(
+            ["--seed", "7", "--full", "--json", "/tmp/x", "--jobs", "3", "--filter", "powifi"]
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(args.seed, 7);
+        assert!(args.full);
+        assert_eq!(args.json_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert_eq!(args.jobs, 3);
+        assert_eq!(args.filter.as_deref(), Some("powifi"));
+    }
+
+    #[test]
+    fn parse_from_rejects_malformed_input() {
+        for bad in [
+            &["--seed", "abc"][..],
+            &["--seed"][..],
+            &["--jobs", "0"][..],
+            &["--jobs", "-1"][..],
+            &["--frobnicate"][..],
+        ] {
+            let r = BenchArgs::parse_from(bad.iter().map(|s| s.to_string()));
+            assert!(r.is_err(), "{bad:?} should be rejected");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The sweep engine's headline guarantee: the deterministic artifact
+//! (`<name>.points.json`) is byte-identical no matter how many worker
+//! threads execute the grid, and `--filter` re-runs points with the seeds
+//! they had in the full sweep.
+
+use powifi_bench::{BenchArgs, Experiment, Sweep};
+use powifi_core::{Router, RouterConfig, Scheme};
+use powifi_deploy::three_channel_world;
+use powifi_sim::{SimDuration, SimRng, SimTime};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A small but real sweep: an 8-point scheme × duration grid, each point a
+/// full event-driven MAC simulation (so events/frames telemetry is live).
+struct MiniOccupancy;
+
+#[derive(Clone)]
+struct Pt {
+    scheme: Scheme,
+    secs: u64,
+}
+
+impl Experiment for MiniOccupancy {
+    type Point = Pt;
+    /// `(cumulative_occupancy, frames_sent)`.
+    type Output = (f64, u64);
+
+    fn name(&self) -> &'static str {
+        "mini_occupancy"
+    }
+
+    fn points(&self, _full: bool) -> Vec<Pt> {
+        let mut pts = Vec::new();
+        for scheme in [Scheme::Baseline, Scheme::PoWiFi, Scheme::NoQueue, Scheme::BlindUdp] {
+            for secs in [1u64, 2] {
+                pts.push(Pt { scheme, secs });
+            }
+        }
+        pts
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        format!("{}/{}s", pt.scheme.label(), pt.secs)
+    }
+
+    fn run(&self, pt: &Pt, seed: u64) -> (f64, u64) {
+        let (mut w, mut q, channels) = three_channel_world(seed, SimDuration::from_secs(1));
+        let rng = SimRng::from_seed(seed);
+        let r = Router::install(
+            &mut w,
+            &mut q,
+            &channels,
+            RouterConfig::with_scheme(pt.scheme),
+            &rng,
+        );
+        let end = SimTime::from_secs(pt.secs);
+        q.run_until(&mut w, end);
+        (r.occupancy(&w.mac, end).1, w.mac.total_frames_sent())
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "powifi-runner-determinism-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sweep_artifacts(dir: &Path, jobs: usize, filter: Option<&str>) -> (String, String) {
+    let args = BenchArgs {
+        seed: 42,
+        full: false,
+        json_dir: Some(dir.to_path_buf()),
+        jobs,
+        filter: filter.map(String::from),
+    };
+    Sweep::new(&args).run(&MiniOccupancy);
+    let points = fs::read_to_string(dir.join("mini_occupancy.points.json")).unwrap();
+    let manifest = fs::read_to_string(dir.join("mini_occupancy.manifest.json")).unwrap();
+    (points, manifest)
+}
+
+#[test]
+fn points_artifact_is_bit_identical_across_job_counts() {
+    let d1 = scratch_dir("jobs1");
+    let d8 = scratch_dir("jobs8");
+    let (p1, m1) = sweep_artifacts(&d1, 1, None);
+    let (p8, m8) = sweep_artifacts(&d8, 8, None);
+
+    assert_eq!(p1, p8, "points artifact must not depend on --jobs");
+    assert!(p1.contains("\"events\""), "telemetry missing from artifact");
+    assert!(p1.contains("\"frames\""), "telemetry missing from artifact");
+
+    // The manifest carries wall-clock, so only its deterministic fields
+    // should match; it must record the jobs that actually ran.
+    assert!(m1.contains("\"jobs\": 1"));
+    assert!(m8.contains("\"jobs\": 8"));
+
+    let _ = fs::remove_dir_all(&d1);
+    let _ = fs::remove_dir_all(&d8);
+}
+
+#[test]
+fn filtered_sweep_reuses_full_grid_seeds() {
+    let full = Sweep::new(&BenchArgs {
+        seed: 42,
+        full: false,
+        json_dir: None,
+        jobs: 2,
+        filter: None,
+    })
+    .run(&MiniOccupancy);
+    let subset = Sweep::new(&BenchArgs {
+        seed: 42,
+        full: false,
+        json_dir: None,
+        jobs: 2,
+        filter: Some("PoWiFi".into()),
+    })
+    .run(&MiniOccupancy);
+
+    assert!(!subset.is_empty(), "filter matched nothing");
+    assert!(subset.len() < full.len(), "filter should prune the grid");
+    for run in &subset {
+        let twin = full.iter().find(|r| r.label == run.label).unwrap();
+        assert_eq!(run.seed, twin.seed, "{}: seed changed under --filter", run.label);
+        assert_eq!(run.index, twin.index);
+        assert_eq!(run.output, twin.output);
+    }
+}

@@ -9,7 +9,7 @@ use powifi_mac::RateController;
 use powifi_net::{start_page_load, start_tcp_flow, start_udp_flow, tcp_push, Flow, SiteProfile, WanConfig};
 use powifi_rf::{Bitrate, Dbm, Hertz, Meters, PathLoss, Transmitter, WifiChannel};
 use powifi_sensors::{sensor_pathloss, TemperatureSensor};
-use powifi_sim::{SimDuration, SimTime};
+use powifi_sim::{telemetry, SimDuration, SimTime};
 
 /// Result of one §4.1(a) UDP run.
 #[derive(Debug, Clone)]
@@ -24,9 +24,32 @@ pub struct UdpResult {
     pub per_channel_occupancy: Vec<f64>,
 }
 
-/// §4.1(a): iperf UDP at `rate_mbps` to a client 7 ft away, under `scheme`.
+/// Result of one §4.1(b) TCP run.
+#[derive(Debug, Clone)]
+pub struct TcpResult {
+    /// Mean achieved throughput, Mbit/s.
+    pub throughput_mbps: f64,
+    /// Per-500 ms-bin throughputs.
+    pub bins: Vec<f64>,
+    /// Router cumulative occupancy over the run.
+    pub cumulative_occupancy: f64,
+}
+
+/// §4.1(a): iperf UDP at `rate_mbps` to a client 7 ft away, under `scheme`,
+/// in the default busy office.
 pub fn udp_experiment(scheme: Scheme, rate_mbps: f64, seed: u64, secs: u64) -> UdpResult {
-    let (mut w, mut q, s) = build_office(seed, scheme, OfficeConfig::default());
+    udp_experiment_in(OfficeConfig::default(), scheme, rate_mbps, seed, secs)
+}
+
+/// [`udp_experiment`] in an explicitly configured office.
+pub fn udp_experiment_in(
+    cfg: OfficeConfig,
+    scheme: Scheme,
+    rate_mbps: f64,
+    seed: u64,
+    secs: u64,
+) -> UdpResult {
+    let (mut w, mut q, s) = build_office(seed, scheme, cfg);
     // §4.1(a): "The client sets its Wi-Fi bitrate to 54 Mbps" — pin the
     // data rate rather than letting AARF misread collision losses.
     w.mac.set_rate_controller(
@@ -48,6 +71,7 @@ pub fn udp_experiment(scheme: Scheme, rate_mbps: f64, seed: u64, secs: u64) -> U
         unreachable!()
     };
     let (per, cum) = s.router.occupancy(&w.mac, end);
+    record_run_telemetry(&w, cum);
     UdpResult {
         throughput_mbps: u.mean_mbps(),
         bins: u.delivered.mbps_per_bin(),
@@ -56,24 +80,45 @@ pub fn udp_experiment(scheme: Scheme, rate_mbps: f64, seed: u64, secs: u64) -> U
     }
 }
 
-/// §4.1(b): one iperf TCP run; returns per-500 ms-bin throughputs plus the
-/// router's occupancy.
-pub fn tcp_experiment(scheme: Scheme, seed: u64, secs: u64) -> (Vec<f64>, f64) {
-    let (mut w, mut q, s) = build_office(seed, scheme, OfficeConfig::default());
+/// §4.1(b): one iperf TCP run in the default busy office.
+pub fn tcp_experiment(scheme: Scheme, seed: u64, secs: u64) -> TcpResult {
+    tcp_experiment_in(OfficeConfig::default(), scheme, seed, secs)
+}
+
+/// [`tcp_experiment`] in an explicitly configured office.
+pub fn tcp_experiment_in(cfg: OfficeConfig, scheme: Scheme, seed: u64, secs: u64) -> TcpResult {
+    let (mut w, mut q, s) = build_office(seed, scheme, cfg);
     let end = SimTime::from_secs(secs);
     let flow = start_tcp_flow(&mut w, s.router.client_iface().sta, s.client);
     q.schedule_at(SimTime::from_millis(100), move |w: &mut SimWorld, q| {
         tcp_push(w, q, flow, u64::MAX / 4);
     });
     q.run_until(&mut w, end);
-    let bins = w.net.tcp(flow).delivered.mbps_per_bin();
+    let tcp = w.net.tcp(flow);
     let (_, cum) = s.router.occupancy(&w.mac, end);
-    (bins, cum)
+    record_run_telemetry(&w, cum);
+    TcpResult {
+        throughput_mbps: tcp.mean_mbps(),
+        bins: tcp.delivered.mbps_per_bin(),
+        cumulative_occupancy: cum,
+    }
 }
 
-/// §4.1(c): load `site` `loads` times under `scheme`; returns the PLTs (s).
+/// §4.1(c): load `site` `loads` times under `scheme` in the default busy
+/// office; returns the PLTs (s).
 pub fn plt_experiment(scheme: Scheme, site: SiteProfile, loads: usize, seed: u64) -> Vec<f64> {
-    let (mut w, mut q, s) = build_office(seed, scheme, OfficeConfig::default());
+    plt_experiment_in(OfficeConfig::default(), scheme, site, loads, seed)
+}
+
+/// [`plt_experiment`] in an explicitly configured office.
+pub fn plt_experiment_in(
+    cfg: OfficeConfig,
+    scheme: Scheme,
+    site: SiteProfile,
+    loads: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let (mut w, mut q, s) = build_office(seed, scheme, cfg);
     let router_sta = s.router.client_iface().sta;
     let client = s.client;
     // Pages are loaded sequentially with a 1 s pause, as in the paper.
@@ -87,6 +132,8 @@ pub fn plt_experiment(scheme: Scheme, site: SiteProfile, loads: usize, seed: u64
         t += SimDuration::from_secs(12);
     }
     q.run_until(&mut w, t + SimDuration::from_secs(30));
+    let end_occ = s.router.occupancy(&w.mac, q.now()).1;
+    record_run_telemetry(&w, end_occ);
     pages
         .iter()
         .filter_map(|&p| w.net.pages[p].plt())
@@ -95,18 +142,32 @@ pub fn plt_experiment(scheme: Scheme, site: SiteProfile, loads: usize, seed: u64
 
 /// Fig. 8: a neighbor router–client pair on channel 1 runs saturating UDP
 /// at `neighbor_rate` while our router runs `scheme`. Returns the
-/// neighbor's achieved throughput (Mbit/s).
+/// neighbor's achieved throughput (Mbit/s). Uses the Fig. 8 office (no
+/// extra background noise).
 pub fn neighbor_experiment(scheme: Scheme, neighbor_rate: Bitrate, seed: u64, secs: u64) -> f64 {
-    let (mut w, mut q, s) = build_office(
-        seed,
-        scheme,
+    neighbor_experiment_in(
         OfficeConfig {
             // Fig. 8 isolates the interaction: no extra office noise.
             neighbors_per_channel: 0,
             load_per_channel: 0.0,
             ..OfficeConfig::default()
         },
-    );
+        scheme,
+        neighbor_rate,
+        seed,
+        secs,
+    )
+}
+
+/// [`neighbor_experiment`] in an explicitly configured office.
+pub fn neighbor_experiment_in(
+    cfg: OfficeConfig,
+    scheme: Scheme,
+    neighbor_rate: Bitrate,
+    seed: u64,
+    secs: u64,
+) -> f64 {
+    let (mut w, mut q, s) = build_office(seed, scheme, cfg);
     let ch1 = s.channels[0].1;
     let n_ap = w.mac.add_station(ch1, RateController::fixed(neighbor_rate));
     let n_client = w.mac.add_station(ch1, RateController::fixed(neighbor_rate));
@@ -125,7 +186,16 @@ pub fn neighbor_experiment(scheme: Scheme, neighbor_rate: Bitrate, seed: u64, se
     let Some(Flow::Udp(u)) = w.net.flows.get(&flow) else {
         unreachable!()
     };
+    let cum = s.router.occupancy(&w.mac, end).1;
+    record_run_telemetry(&w, cum);
     u.mean_mbps()
+}
+
+/// Report a finished run's simulation-work counters to the bench engine's
+/// per-thread telemetry (observability only; see `powifi_sim::telemetry`).
+fn record_run_telemetry(w: &SimWorld, cumulative_occupancy: f64) {
+    telemetry::record_frames(w.mac.total_frames_sent());
+    telemetry::record_occupancy(cumulative_occupancy);
 }
 
 /// Fig. 15: battery-free temperature-sensor update rates at `feet` from the

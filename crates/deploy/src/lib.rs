@@ -19,8 +19,9 @@ pub use background::{constant_intensity, install_background, install_traffic_sou
 pub use diurnal::diurnal_intensity;
 pub use geometry::{FloorPlan, Pos, Wall};
 pub use experiment::{
-    neighbor_experiment, plt_experiment, sensor_rates_from_home, tcp_experiment, udp_experiment,
-    UdpResult,
+    neighbor_experiment, neighbor_experiment_in, plt_experiment, plt_experiment_in,
+    sensor_rates_from_home, tcp_experiment, tcp_experiment_in, udp_experiment, udp_experiment_in,
+    TcpResult, UdpResult,
 };
 pub use home::{build_home, run_home, table1, HomeConfig, HomeDeployment, HomeRun};
 pub use office::{build_office, OfficeConfig, OfficeScenario};

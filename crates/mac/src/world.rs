@@ -272,6 +272,12 @@ impl Mac {
         self.stations.len()
     }
 
+    /// Total frames sent across all stations — the scenario-wide activity
+    /// counter the bench sweep engine reports per experiment point.
+    pub fn total_frames_sent(&self) -> u64 {
+        self.stations.iter().map(|s| s.frames_sent).sum()
+    }
+
     /// Number of mediums.
     pub fn medium_count(&self) -> usize {
         self.mediums.len()

@@ -19,10 +19,12 @@ pub mod queue;
 pub mod rng;
 pub mod series;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use queue::{EventFn, EventHandle, EventQueue};
 pub use rng::SimRng;
+pub use telemetry::RunTelemetry;
 pub use series::{PowerEnvelope, TimeSeries};
 pub use stats::{BinnedThroughput, Cdf, TimeWeighted, Welford};
 pub use time::{SimDuration, SimTime};

@@ -163,6 +163,7 @@ impl<W> EventQueue<W> {
     /// Events scheduled exactly at `end` *do* run; afterwards `now == end`
     /// if any event remains pending past it, else the time of the last event.
     pub fn run_until(&mut self, world: &mut W, end: SimTime) {
+        let executed_before = self.executed;
         while let Some(top) = self.heap.peek() {
             if top.time > end {
                 break;
@@ -179,6 +180,7 @@ impl<W> EventQueue<W> {
         if self.now < end {
             self.now = end;
         }
+        crate::telemetry::add_events(self.executed - executed_before);
     }
 
     /// Run until the queue is fully drained (use with care: repeating events

@@ -29,14 +29,7 @@ impl SimRng {
     /// Derive an independent child stream identified by `label`.
     /// Identical `(seed, label)` pairs always produce identical streams.
     pub fn derive(&self, label: &str) -> SimRng {
-        // Mix the label into the parent's seed material via FNV-1a, then
-        // scramble with splitmix so adjacent labels decorrelate.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in label.as_bytes() {
-            h ^= *b as u64;
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
-        let base = splitmix(self.base ^ h);
+        let base = self.derive_seed(label);
         SimRng {
             base,
             inner: StdRng::seed_from_u64(base),
@@ -46,6 +39,21 @@ impl SimRng {
     /// Derive an independent child stream identified by an index.
     pub fn derive_idx(&self, label: &str, idx: usize) -> SimRng {
         self.derive(&format!("{label}#{idx}"))
+    }
+
+    /// The seed material a [`SimRng::derive`] child for `label` would be
+    /// built from. Useful when a child *seed* (not a stream) must cross an
+    /// API boundary — e.g. the bench sweep engine hands each experiment point
+    /// a plain `u64` derived from the root seed and the point's label.
+    pub fn derive_seed(&self, label: &str) -> u64 {
+        // Mix the label into the parent's seed material via FNV-1a, then
+        // scramble with splitmix so adjacent labels decorrelate.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        splitmix(self.base ^ h)
     }
 
     /// Uniform sample from a range.

@@ -1,0 +1,114 @@
+//! Per-run observability counters.
+//!
+//! The bench sweep engine runs experiment points on worker threads and wants
+//! to report, for every point, how much simulation work happened: events
+//! executed, MAC frames sent, final cumulative occupancy. Threading those
+//! counters through every experiment signature would contaminate the whole
+//! API for a purely observational concern, so they live in a thread-local
+//! accumulator instead: the engine calls [`reset`] before and [`snapshot`]
+//! after each point (both on the worker thread that runs it), and the
+//! simulation layers record into the current thread's counters as they go.
+//! [`crate::EventQueue::run_until`] records executed events automatically;
+//! the deployment entry points record frames and occupancy.
+//!
+//! The counters are *observability only*: nothing in the simulation reads
+//! them back, so they cannot affect results or determinism.
+
+use std::cell::Cell;
+
+/// Snapshot of one run's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunTelemetry {
+    /// Events executed by [`crate::EventQueue::run_until`] since [`reset`].
+    pub events: u64,
+    /// MAC frames sent (as recorded by [`record_frames`]) since [`reset`].
+    pub frames: u64,
+    /// Last cumulative occupancy recorded by [`record_occupancy`].
+    pub occupancy: f64,
+}
+
+thread_local! {
+    static EVENTS: Cell<u64> = const { Cell::new(0) };
+    static FRAMES: Cell<u64> = const { Cell::new(0) };
+    static OCCUPANCY: Cell<f64> = const { Cell::new(0.0) };
+}
+
+/// Zero this thread's counters. Call before running an experiment point.
+pub fn reset() {
+    EVENTS.with(|c| c.set(0));
+    FRAMES.with(|c| c.set(0));
+    OCCUPANCY.with(|c| c.set(0.0));
+}
+
+/// Add `n` executed events to this thread's counter.
+pub fn add_events(n: u64) {
+    EVENTS.with(|c| c.set(c.get().saturating_add(n)));
+}
+
+/// Add `n` sent frames to this thread's counter.
+pub fn record_frames(n: u64) {
+    FRAMES.with(|c| c.set(c.get().saturating_add(n)));
+}
+
+/// Record a run's cumulative occupancy (last write wins).
+pub fn record_occupancy(occupancy: f64) {
+    OCCUPANCY.with(|c| c.set(occupancy));
+}
+
+/// Read this thread's counters without clearing them.
+pub fn snapshot() -> RunTelemetry {
+    RunTelemetry {
+        events: EVENTS.with(Cell::get),
+        frames: FRAMES.with(Cell::get),
+        occupancy: OCCUPANCY.with(Cell::get),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        reset();
+        add_events(3);
+        add_events(4);
+        record_frames(10);
+        record_occupancy(0.5);
+        record_occupancy(0.9);
+        let t = snapshot();
+        assert_eq!(t.events, 7);
+        assert_eq!(t.frames, 10);
+        assert_eq!(t.occupancy, 0.9);
+        reset();
+        assert_eq!(snapshot(), RunTelemetry::default());
+    }
+
+    #[test]
+    fn counters_are_per_thread() {
+        reset();
+        add_events(5);
+        std::thread::spawn(|| {
+            // A fresh thread starts from zero and cannot see the parent's.
+            assert_eq!(snapshot().events, 0);
+            add_events(1);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(snapshot().events, 5);
+    }
+
+    #[test]
+    fn run_until_records_events() {
+        use crate::{EventQueue, SimTime};
+        reset();
+        let mut q = EventQueue::<u32>::new();
+        let mut w = 0u32;
+        for i in 0..5u64 {
+            q.schedule_at(SimTime::from_micros(i), |w, _| *w += 1);
+        }
+        q.run_until(&mut w, SimTime::from_secs(1));
+        assert_eq!(w, 5);
+        assert_eq!(snapshot().events, 5);
+    }
+}

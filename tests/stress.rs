@@ -7,7 +7,7 @@ use powifi::deploy::{three_channel_world, SimWorld};
 use powifi::mac::{MacWorld, RateController, StationId};
 use powifi::net::{start_tcp_flow, start_udp_flow, tcp_push, Flow};
 use powifi::rf::{Bitrate, Db};
-use powifi::sim::{EventQueue, SimDuration, SimRng, SimTime};
+use powifi::sim::{SimDuration, SimRng, SimTime};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]

@@ -1,0 +1,188 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`): a minimal
+//! wall-clock bench harness with the upstream calling convention
+//! (`bench_function`, `iter`, `iter_batched`, groups, the
+//! `criterion_group!`/`criterion_main!` macros). It runs each benchmark for
+//! a handful of timed samples and prints the median — enough to spot
+//! order-of-magnitude regressions, without upstream's statistical engine.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark (upstream default: 100). Kept
+/// small so `cargo bench` stays cheap on constrained machines.
+const DEFAULT_SAMPLES: usize = 5;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// Hint for how to amortize setup cost in [`Bencher::iter_batched`].
+/// The stub runs one batch per sample regardless; the variants exist for
+/// API parity.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; collects timed samples.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.times.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.times.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(samples: usize, name: &str, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        times: Vec::new(),
+    };
+    f(&mut b);
+    b.times.sort();
+    let median = b
+        .times
+        .get(b.times.len() / 2)
+        .copied()
+        .unwrap_or(Duration::ZERO);
+    println!("bench: {name:<40} median {median:>12.3?} ({} samples)", b.times.len());
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self.samples, name, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            samples: self.samples,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self.samples, &format!("{}/{}", self.prefix, name), f);
+        self
+    }
+
+    /// Finish the group (upstream flushes reports here; the stub prints
+    /// eagerly, so this is a no-op kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runner function named `$name`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut n = 0u32;
+        Criterion::default().bench_function("t", |b| b.iter(|| n += 1));
+        assert_eq!(n, DEFAULT_SAMPLES as u32);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut seen = Vec::new();
+        let mut next = 0u32;
+        Criterion::default().bench_function("t", |b| {
+            b.iter_batched(
+                || {
+                    next += 1;
+                    next
+                },
+                |v| seen.push(v),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(seen, (1..=DEFAULT_SAMPLES as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn groups_prefix_and_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        let mut n = 0;
+        g.sample_size(3).bench_function("inner", |b| b.iter(|| n += 1));
+        g.finish();
+        assert_eq!(n, 3);
+    }
+}

@@ -1,0 +1,363 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`): random-input
+//! property testing over the strategy combinators this workspace uses —
+//! integer/float ranges, tuples, `prop_map`, `collection::vec`,
+//! `sample::select` and `bool::ANY` — driven by a deterministic per-test
+//! RNG. Unlike upstream there is no shrinking: a failing case panics with
+//! the standard assertion message, and because the input stream is a pure
+//! function of the test name, failures reproduce exactly on re-run.
+
+pub mod test_runner {
+    //! Test execution config and RNG.
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to execute per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; the single-core CI budget calls
+            // for fewer, still enough to exercise each property widely.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic RNG driving strategy sampling. Seeded from the test
+    /// name so every property has an independent, reproducible stream.
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// Build the RNG for the named test.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+    use super::test_runner::TestRng;
+    use rand::distributions::uniform::SampleUniform;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for Range<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.0.gen_range(self.clone())
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.0.gen_range(self.clone())
+        }
+    }
+
+    /// A strategy yielding one fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident / $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A/0);
+    impl_tuple_strategy!(A/0, B/1);
+    impl_tuple_strategy!(A/0, B/1, C/2);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7);
+}
+
+pub mod sample {
+    //! Sampling from explicit value sets.
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy choosing uniformly among the given values.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Choose uniformly from `values` (must be non-empty).
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select() needs at least one value");
+        Select(values)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0[rng.0.gen_range(0..self.0.len())].clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with random length and elements.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `size.start..size.end` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "vec() size range is empty");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.0.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for a fair coin flip.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.0.gen::<u64>() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test needs: `use proptest::prelude::*;`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    pub mod prop {
+        //! The `prop::` namespace (`prop::collection::vec`, `prop::bool::ANY`, …).
+        pub use crate::{bool, collection, sample};
+    }
+}
+
+/// Assert inside a property; on failure the case's inputs are part of the
+/// panic because the harness prints the deterministic case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Define property tests. Mirrors upstream syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn prop(x in 0u32..10, flip in prop::bool::ANY) { prop_assert!(x < 10 || flip); }
+/// }
+/// ```
+///
+/// Each function runs `cases` times with inputs drawn from its strategies;
+/// the input stream is a pure function of the function name, so failures
+/// reproduce exactly.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            @cfg(<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; the two-arm dispatch above binds
+/// the config at metavariable depth 0 so it can be referenced inside the
+/// per-function repetition here.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let strats = ($($strat,)+);
+                #[allow(non_snake_case)]
+                let ($($arg,)+) = {
+                    // Destructure the strategy tuple under the argument
+                    // names; shadowed immediately below by sampled values.
+                    let ($($arg,)+) = &strats;
+                    ($($arg,)+)
+                };
+                for case in 0..config.cases {
+                    let ($($arg,)+) =
+                        ($($crate::strategy::Strategy::sample($arg, &mut rng),)+);
+                    let run = move || $body;
+                    if let Err(e) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "proptest case {}/{} of `{}` failed",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_cover_their_domains() {
+        let mut rng = crate::test_runner::TestRng::for_test("domains");
+        let tuple = (0u32..4, -1.0f64..1.0, prop::bool::ANY);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            let (i, x, _b) = Strategy::sample(&tuple, &mut rng);
+            assert!(i < 4);
+            assert!((-1.0..1.0).contains(&x));
+            seen[i as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn vec_and_select_and_map() {
+        let mut rng = crate::test_runner::TestRng::for_test("combinators");
+        let strat = prop::collection::vec(
+            prop::sample::select(vec![2u8, 3, 5]).prop_map(|p| p * 2),
+            1..9,
+        );
+        for _ in 0..64 {
+            let v = Strategy::sample(&strat, &mut rng);
+            assert!((1..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| [4, 6, 10].contains(&x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_with_config(x in 1u64..100, y in 1u64..100) {
+            prop_assert!(x + y >= 2);
+            prop_assert_eq!(x + y, y + x);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(sign in prop::bool::ANY, mag in 0.0f64..10.0) {
+            let v = if sign { mag } else { -mag };
+            prop_assert!(v.abs() < 10.0);
+        }
+    }
+}

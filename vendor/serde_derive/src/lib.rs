@@ -1,0 +1,222 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` for the
+//! struct and enum shapes this workspace actually uses. Implemented with a
+//! hand-rolled token walk (no `syn`/`quote` available offline); generates an
+//! impl of the vendored `serde::Serialize` trait (see `vendor/serde`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the vendored `serde::Serialize` for a struct or fieldless enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => render(&item).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+enum Item {
+    /// `struct Name { a: T, b: U }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(T, U);`
+    TupleStruct { name: String, arity: usize },
+    /// `struct Name;`
+    UnitStruct { name: String },
+    /// `enum Name { A, B }` — fieldless variants only.
+    FieldlessEnum { name: String, variants: Vec<String> },
+}
+
+fn parse(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    let kind = loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub`, `pub(crate)` etc. — the `(crate)` group is consumed
+                // by the next loop turn as a non-ident and skipped below.
+            }
+            Some(TokenTree::Group(_)) => {} // visibility scope group
+            Some(_) => {}
+            None => return Err("derive(Serialize): empty input".into()),
+        }
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("derive(Serialize): expected type name".into()),
+    };
+    // Generics are not supported by the offline stub.
+    if matches!(&toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive(Serialize) stub does not support generics on `{name}`"
+        ));
+    }
+    if kind == "enum" {
+        let body = match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            _ => return Err(format!("derive(Serialize): expected enum body for `{name}`")),
+        };
+        let mut variants = Vec::new();
+        let mut inner = body.stream().into_iter().peekable();
+        while let Some(t) = inner.next() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    inner.next();
+                }
+                TokenTree::Ident(id) => {
+                    variants.push(id.to_string());
+                    // Reject payload-carrying variants.
+                    if matches!(inner.peek(), Some(TokenTree::Group(_))) {
+                        return Err(format!(
+                            "derive(Serialize) stub supports only fieldless variants (enum `{name}`)"
+                        ));
+                    }
+                    // Skip to past the next comma (covers `= expr` discriminants).
+                    for t in inner.by_ref() {
+                        if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        return Ok(Item::FieldlessEnum { name, variants });
+    }
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::NamedStruct {
+                name,
+                fields: named_fields(g.stream())?,
+            })
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Item::TupleStruct {
+                name,
+                arity: tuple_arity(g.stream()),
+            })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+        _ => Err(format!("derive(Serialize): unsupported body for `{name}`")),
+    }
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let ident = loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if matches!(toks.peek(), Some(TokenTree::Group(_))) {
+                        toks.next(); // pub(crate) scope
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(_) => {}
+                None => return Ok(fields),
+            }
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("derive(Serialize): expected `:` after field `{ident}`")),
+        }
+        fields.push(ident);
+        // Consume the type up to the next top-level comma. Commas inside
+        // angle brackets (e.g. `HashMap<K, V>`) are not field separators.
+        let mut angle = 0i32;
+        for t in toks.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Number of fields in a tuple-struct body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let (mut arity, mut angle, mut any) = (0usize, 0i32, false);
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => arity += 1,
+            _ => any = true,
+        }
+    }
+    if any {
+        arity + 1
+    } else {
+        arity
+    }
+}
+
+fn render(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let entries: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::FieldlessEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
