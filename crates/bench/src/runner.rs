@@ -17,10 +17,14 @@
 //!   `<name>.manifest.json` (engine version, CLI, wall-clock per point —
 //!   the only place timing appears, so artifact diffs stay meaningful).
 //! * **One CLI.** [`BenchArgs::parse`] handles `--seed/--full/--json/
-//!   --jobs/--filter` for every binary, rejecting malformed input with a
-//!   usage message and exit code 2.
+//!   --jobs/--filter/--check` for every binary, rejecting malformed input
+//!   with a usage message and exit code 2.
+//! * **Conformance.** With `--check`, every point runs under the runtime
+//!   invariant checker (`powifi_sim::conformance`): the world installs its
+//!   periodic audits, violations are counted per point, and the sweep
+//!   panics after reporting if any point violated an invariant.
 
-use powifi_sim::{telemetry, RunTelemetry, SimRng};
+use powifi_sim::{conformance, telemetry, RunTelemetry, SimRng};
 use serde::{Serialize, Value};
 use std::fs;
 use std::path::PathBuf;
@@ -40,9 +44,12 @@ pub struct BenchArgs {
     pub jobs: usize,
     /// Only run grid points whose label contains this substring.
     pub filter: Option<String>,
+    /// Run every point under the runtime invariant checker.
+    pub check: bool,
 }
 
-const USAGE: &str = "usage: [--seed N] [--full] [--json DIR] [--jobs N] [--filter SUBSTR]";
+const USAGE: &str =
+    "usage: [--seed N] [--full] [--json DIR] [--jobs N] [--filter SUBSTR] [--check]";
 
 impl Default for BenchArgs {
     fn default() -> Self {
@@ -52,6 +59,7 @@ impl Default for BenchArgs {
             json_dir: None,
             jobs: default_jobs(),
             filter: None,
+            check: false,
         }
     }
 }
@@ -103,6 +111,7 @@ impl BenchArgs {
                 "--filter" => {
                     out.filter = Some(it.next().ok_or("--filter needs a substring")?);
                 }
+                "--check" => out.check = true,
                 "--help" | "-h" => {
                     eprintln!("{USAGE}");
                     std::process::exit(0);
@@ -166,6 +175,9 @@ pub struct PointRun<P, O> {
     /// Wall-clock runtime of this point, milliseconds (nondeterministic;
     /// reported only in the manifest, never in deterministic artifacts).
     pub wall_ms: f64,
+    /// Invariant violations observed while running the point (always 0
+    /// unless `--check`; deterministic, so it appears in artifacts).
+    pub violations: u64,
 }
 
 /// The sweep driver: executes an [`Experiment`]'s grid under the shared
@@ -218,6 +230,20 @@ impl<'a> Sweep<'a> {
         let started = Instant::now();
         let runs = self.execute(exp, items);
         self.write_artifacts(exp, grid_len, &runs, started.elapsed().as_secs_f64() * 1e3);
+        if self.args.check {
+            let total: u64 = runs.iter().map(|r| r.violations).sum();
+            if total > 0 {
+                let bad: Vec<&str> = runs
+                    .iter()
+                    .filter(|r| r.violations > 0)
+                    .map(|r| r.label.as_str())
+                    .collect();
+                panic!(
+                    "--check: {total} conformance violation(s) across {} point(s): {bad:?} (details on stderr)",
+                    bad.len()
+                );
+            }
+        }
         runs
     }
 
@@ -227,8 +253,9 @@ impl<'a> Sweep<'a> {
         items: Vec<Item<E::Point>>,
     ) -> Vec<PointRun<E::Point, E::Output>> {
         let jobs = self.args.jobs.clamp(1, items.len().max(1));
+        let check = self.args.check;
         if jobs == 1 {
-            return items.into_iter().map(|it| run_point(exp, it)).collect();
+            return items.into_iter().map(|it| run_point(exp, it, check)).collect();
         }
         let n = items.len();
         let slots = parking_lot::Mutex::new(
@@ -254,6 +281,7 @@ impl<'a> Sweep<'a> {
                             seed: item.seed,
                             point: item.point.clone(),
                         },
+                        check,
                     );
                     slots.lock()[i] = Some(run);
                 });
@@ -347,11 +375,31 @@ impl<'a> Sweep<'a> {
     }
 }
 
-fn run_point<E: Experiment>(exp: &E, item: Item<E::Point>) -> PointRun<E::Point, E::Output> {
+fn run_point<E: Experiment>(
+    exp: &E,
+    item: Item<E::Point>,
+    check: bool,
+) -> PointRun<E::Point, E::Output> {
     telemetry::reset();
+    if check {
+        // Per worker thread: the conformance sink is thread-local, exactly
+        // like the telemetry counters.
+        conformance::reset();
+        conformance::set_enabled(true);
+    }
     let started = Instant::now();
     let output = exp.run(&item.point, item.seed);
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let violations = if check {
+        conformance::set_enabled(false);
+        let (count, retained) = conformance::take();
+        for v in &retained {
+            eprintln!("conformance[{}]: {v}", item.label);
+        }
+        count
+    } else {
+        0
+    };
     PointRun {
         index: item.index,
         point: item.point,
@@ -360,6 +408,7 @@ fn run_point<E: Experiment>(exp: &E, item: Item<E::Point>) -> PointRun<E::Point,
         output,
         telemetry: telemetry::snapshot(),
         wall_ms,
+        violations,
     }
 }
 
@@ -373,6 +422,7 @@ fn point_value<P, O: Serialize>(run: &PointRun<P, O>) -> Value {
         ("events".into(), Value::UInt(run.telemetry.events)),
         ("frames".into(), Value::UInt(run.telemetry.frames)),
         ("occupancy".into(), Value::Float(run.telemetry.occupancy)),
+        ("violations".into(), Value::UInt(run.violations)),
         ("output".into(), run.output.to_value()),
     ])
 }
@@ -471,6 +521,68 @@ mod tests {
         assert_eq!(args.json_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
         assert_eq!(args.jobs, 3);
         assert_eq!(args.filter.as_deref(), Some("powifi"));
+    }
+
+    #[test]
+    fn parse_from_accepts_check() {
+        assert!(!BenchArgs::default().check);
+        let args = BenchArgs::parse_from(["--check"].map(String::from)).unwrap();
+        assert!(args.check);
+    }
+
+    #[test]
+    fn checked_sweep_runs_clean_for_pure_experiment() {
+        let args = BenchArgs {
+            check: true,
+            ..args_with(2, None)
+        };
+        let runs = Sweep::new(&args).run(&Square);
+        assert_eq!(runs.len(), 8);
+        assert!(runs.iter().all(|r| r.violations == 0));
+    }
+
+    struct Violator;
+
+    impl Experiment for Violator {
+        type Point = u64;
+        type Output = u64;
+
+        fn name(&self) -> &'static str {
+            "violator"
+        }
+
+        fn points(&self, _full: bool) -> Vec<u64> {
+            vec![1]
+        }
+
+        fn label(&self, pt: &u64) -> String {
+            format!("v={pt}")
+        }
+
+        fn run(&self, pt: &u64, _seed: u64) -> u64 {
+            conformance::report(
+                "test/violator",
+                powifi_sim::SimTime::ZERO,
+                "deliberate".into(),
+            );
+            *pt
+        }
+    }
+
+    #[test]
+    fn checked_sweep_panics_on_violation() {
+        let args = BenchArgs {
+            check: true,
+            ..args_with(1, None)
+        };
+        let r = std::panic::catch_unwind(|| Sweep::new(&args).run(&Violator));
+        let err = r.expect_err("violating sweep must panic");
+        let msg = err.downcast_ref::<String>().expect("panic payload");
+        assert!(msg.contains("conformance violation"), "{msg}");
+        // Without --check the same experiment passes silently.
+        let runs = Sweep::new(&args_with(1, None)).run(&Violator);
+        assert_eq!(runs[0].violations, 0);
+        conformance::reset();
     }
 
     #[test]

@@ -75,6 +75,10 @@ fn sweep_artifacts(dir: &Path, jobs: usize, filter: Option<&str>) -> (String, St
         json_dir: Some(dir.to_path_buf()),
         jobs,
         filter: filter.map(String::from),
+        // The determinism suite doubles as a conformance gate: every point
+        // runs under the invariant checker and the sweep panics on any
+        // violation.
+        check: true,
     };
     Sweep::new(&args).run(&MiniOccupancy);
     let points = fs::read_to_string(dir.join("mini_occupancy.points.json")).unwrap();
@@ -92,6 +96,7 @@ fn points_artifact_is_bit_identical_across_job_counts() {
     assert_eq!(p1, p8, "points artifact must not depend on --jobs");
     assert!(p1.contains("\"events\""), "telemetry missing from artifact");
     assert!(p1.contains("\"frames\""), "telemetry missing from artifact");
+    assert!(p1.contains("\"violations\": 0"), "conformance count missing");
 
     // The manifest carries wall-clock, so only its deterministic fields
     // should match; it must record the jobs that actually ran.
@@ -110,6 +115,7 @@ fn filtered_sweep_reuses_full_grid_seeds() {
         json_dir: None,
         jobs: 2,
         filter: None,
+        check: true,
     })
     .run(&MiniOccupancy);
     let subset = Sweep::new(&BenchArgs {
@@ -118,6 +124,7 @@ fn filtered_sweep_reuses_full_grid_seeds() {
         json_dir: None,
         jobs: 2,
         filter: Some("PoWiFi".into()),
+        check: true,
     })
     .run(&MiniOccupancy);
 

@@ -81,6 +81,22 @@ fn tick<W: MacWorld>(
                 } else {
                     ctl.borrow_mut().queue_full += 1;
                 }
+                if powifi_sim::conformance::enabled() {
+                    // §3.2 contract: admission requires depth < threshold,
+                    // so right after an admission depth ≤ threshold; more
+                    // means the IP_Power check let traffic pile up behind
+                    // the MAC's back.
+                    if let Some(t) = cfg.qdepth_threshold {
+                        let depth = w.mac().queue_depth(iface);
+                        if depth > t {
+                            powifi_sim::conformance::report(
+                                "core/qdepth-threshold",
+                                q.now(),
+                                format!("iface {} queue depth {depth} after admit, threshold {t}", iface.0),
+                            );
+                        }
+                    }
+                }
             }
             IpPowerVerdict::Drop => {
                 ctl.borrow_mut().dropped += 1;

@@ -54,5 +54,13 @@ pub fn three_channel_world(
         .iter()
         .map(|&ch| (ch, w.mac.add_medium(monitor_bin)))
         .collect();
-    (w, EventQueue::new(), channels)
+    let mut q = EventQueue::new();
+    if powifi_sim::conformance::enabled() {
+        // Checked runs (tests, `--check` sweeps, the fuzz driver) get a
+        // periodic whole-world airtime audit for free. The audit only reads
+        // world state and writes the thread-local sink, so installing it
+        // never changes simulation results.
+        powifi_mac::conformance::install_audit(&mut q, SimDuration::from_millis(100));
+    }
+    (w, q, channels)
 }

@@ -16,7 +16,7 @@ use crate::matching::MatchingNetwork;
 use crate::rectifier::{Rectifier, Variant};
 use crate::storage::{Battery, Capacitor};
 use powifi_rf::{Dbm, Hertz, Joules, MicroWatts};
-use powifi_sim::SimDuration;
+use powifi_sim::{conformance, SimDuration, SimTime};
 
 /// What the harvester charges.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +54,11 @@ pub struct Harvester {
     output_on: bool,
     /// Total energy delivered into the store, J (for reporting).
     pub harvested: Joules,
+    /// Total RF energy incident on the antenna, J (energy-conservation
+    /// accounting: `harvested` may never exceed this).
+    pub incident: Joules,
+    /// Total simulated time this harvester has been advanced.
+    elapsed: SimDuration,
 }
 
 impl Harvester {
@@ -67,6 +72,8 @@ impl Harvester {
             store: Store::Cap(Capacitor::sensor_100uf()),
             output_on: false,
             harvested: Joules(0.0),
+            incident: Joules(0.0),
+            elapsed: SimDuration::ZERO,
         }
     }
 
@@ -80,6 +87,8 @@ impl Harvester {
             store: Store::Cap(Capacitor::bestcap_6_8mf()),
             output_on: false,
             harvested: Joules(0.0),
+            incident: Joules(0.0),
+            elapsed: SimDuration::ZERO,
         }
     }
 
@@ -93,6 +102,8 @@ impl Harvester {
             store: Store::Batt(battery),
             output_on: true,
             harvested: Joules(0.0),
+            incident: Joules(0.0),
+            elapsed: SimDuration::ZERO,
         }
     }
 
@@ -122,8 +133,15 @@ impl Harvester {
     /// input powers at the antenna.
     pub fn advance(&mut self, dt: SimDuration, inputs: &[(Hertz, Dbm)]) {
         let p_dc = self.dc_power(inputs);
+        let mut uw_in = 0.0;
+        for &(_, p) in inputs {
+            uw_in += p.to_uw().0;
+        }
+        self.incident = self.incident + Joules(uw_in * 1e-6 * dt.as_secs_f64());
+        self.elapsed += dt;
         self.push_energy(dt, p_dc);
         self.housekeeping(dt);
+        self.conformance_check();
     }
 
     /// Step the harvester by `dt` where each channel is active only a
@@ -135,12 +153,18 @@ impl Harvester {
     /// "an approximation of a continuous transmission".
     pub fn advance_duty(&mut self, dt: SimDuration, inputs: &[(Hertz, Dbm, f64)]) {
         let mut uw = 0.0;
+        let mut uw_in = 0.0;
         for &(f, p, duty) in inputs {
             let single = self.dc_power(&[(f, p)]);
-            uw += single.0 * duty.clamp(0.0, 1.0);
+            let duty = duty.clamp(0.0, 1.0);
+            uw += single.0 * duty;
+            uw_in += p.to_uw().0 * duty;
         }
+        self.incident = self.incident + Joules(uw_in * 1e-6 * dt.as_secs_f64());
+        self.elapsed += dt;
         self.push_energy(dt, MicroWatts(uw));
         self.housekeeping(dt);
+        self.conformance_check();
     }
 
     fn push_energy(&mut self, dt: SimDuration, p: MicroWatts) {
@@ -189,6 +213,42 @@ impl Harvester {
     /// The store, for inspection.
     pub fn store(&self) -> &Store {
         &self.store
+    }
+
+    /// Energy-conservation self-check, run after every integration step when
+    /// conformance checking is enabled: the chain is lossy end to end
+    /// (mismatch ≤ 1, rectifier sub-unity above its floor, converter
+    /// efficiency < 1), storage voltage stays finite and non-negative, and a
+    /// battery's charge stays within its capacity.
+    fn conformance_check(&self) {
+        if !conformance::enabled() {
+            return;
+        }
+        let at = SimTime::ZERO + self.elapsed;
+        // One f64 rounding error per step accumulates over hour-scale runs.
+        if self.harvested.0 > self.incident.0 * (1.0 + 1e-9) + 1e-15 {
+            conformance::report(
+                "harvest/energy-conservation",
+                at,
+                format!(
+                    "harvested {:.3e} J exceeds incident {:.3e} J",
+                    self.harvested.0, self.incident.0
+                ),
+            );
+        }
+        let v = self.store.volts();
+        if !v.is_finite() || v < 0.0 {
+            conformance::report("harvest/storage-voltage", at, format!("store at {v} V"));
+        }
+        if let Store::Batt(b) = &self.store {
+            if b.charge_mah < 0.0 || b.charge_mah > b.capacity_mah * (1.0 + 1e-9) {
+                conformance::report(
+                    "harvest/battery-charge",
+                    at,
+                    format!("charge {} mAh outside [0, {}]", b.charge_mah, b.capacity_mah),
+                );
+            }
+        }
     }
 }
 
@@ -280,6 +340,32 @@ mod tests {
         a.advance_duty(SimDuration::from_secs(100), &[(ch, Dbm(-10.0), 0.9)]);
         b.advance_duty(SimDuration::from_secs(100), &[(ch, Dbm(-10.0), 0.45)]);
         assert!((a.harvested.0 / b.harvested.0 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conformance_energy_conservation_holds() {
+        let _g = conformance::check();
+        let mut h = Harvester::battery_free_sensor();
+        for _ in 0..1000 {
+            h.advance(SimDuration::from_millis(10), &three_channels(Dbm(-6.0)));
+        }
+        assert!(h.harvested.0 > 0.0);
+        assert!(h.harvested.0 <= h.incident.0);
+        conformance::assert_clean("conformance_energy_conservation_holds");
+    }
+
+    #[test]
+    fn conformance_flags_rigged_bookkeeping() {
+        let _g = conformance::check();
+        let ch6 = [(WifiChannel::CH6.center(), Dbm(-10.0))];
+        let mut h = Harvester::recharging(Battery::nimh_aaa());
+        h.advance(SimDuration::from_secs(1), &ch6);
+        conformance::assert_clean("before rigging");
+        h.harvested = Joules(h.incident.0 * 2.0 + 1.0); // corrupt the books
+        h.advance(SimDuration::from_secs(1), &ch6);
+        let (n, v) = conformance::take();
+        assert!(n >= 1);
+        assert!(v.iter().any(|v| v.rule == "harvest/energy-conservation"), "{v:?}");
     }
 
     #[test]

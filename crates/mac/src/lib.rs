@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod airtime;
+pub mod conformance;
 pub mod frame;
 pub mod occupancy;
 pub mod rate_adapt;

@@ -19,6 +19,7 @@ use crate::occupancy::OccupancyMonitor;
 use crate::rate_adapt::RateController;
 use crate::trace::{FrameRecord, FrameTrace};
 use powifi_rf::{packet_error_rate, Bitrate, Db};
+use powifi_sim::conformance;
 use powifi_sim::{EventHandle, EventQueue, SimDuration, SimRng, SimTime};
 use std::collections::{HashMap, VecDeque};
 
@@ -78,6 +79,9 @@ pub struct Station {
 struct Contender {
     sta: StationId,
     rem: u32,
+    /// Backoff drawn when the access attempt began; `rem` may only count
+    /// down from here (checked by the conformance layer).
+    drawn: u32,
     count_start: SimTime,
 }
 
@@ -92,6 +96,10 @@ struct InFlight {
 pub struct Medium {
     idle_since: SimTime,
     busy_until: SimTime,
+    /// Cumulative airtime: the sum of every busy period's duration. Busy
+    /// periods never overlap, so this may not exceed wall time — the
+    /// airtime-conservation invariant.
+    busy_accum: SimDuration,
     contenders: Vec<Contender>,
     in_flight: Vec<InFlight>,
     arb: Option<EventHandle>,
@@ -115,6 +123,7 @@ pub struct Mac {
     corruption: HashMap<MediumId, f64>,
     rng: SimRng,
     next_frame_id: u64,
+    timing_bug: bool,
 }
 
 impl Mac {
@@ -129,7 +138,17 @@ impl Mac {
             corruption: HashMap::new(),
             rng,
             next_frame_id: 1,
+            timing_bug: false,
         }
+    }
+
+    /// Deliberately schedule every transmission one backoff slot early,
+    /// producing intermittent DIFS violations. This exists solely so the
+    /// conformance fuzz driver can prove the invariant checker catches real
+    /// DCF timing bugs; never enable it in an experiment.
+    #[doc(hidden)]
+    pub fn inject_timing_bug(&mut self, on: bool) {
+        self.timing_bug = on;
     }
 
     /// Add a channel with the given occupancy-monitor bin width.
@@ -138,6 +157,7 @@ impl Mac {
         self.mediums.push(Medium {
             idle_since: SimTime::ZERO,
             busy_until: SimTime::ZERO,
+            busy_accum: SimDuration::ZERO,
             contenders: Vec::new(),
             in_flight: Vec::new(),
             arb: None,
@@ -267,6 +287,18 @@ impl Mac {
         self.mediums[m.0 as usize].collisions
     }
 
+    /// Cumulative busy airtime of a channel: the sum of every transmission
+    /// period (longest frame per period, ACK included). Since busy periods
+    /// are serialized, this can never exceed wall time.
+    pub fn busy_time(&self, m: MediumId) -> SimDuration {
+        self.mediums[m.0 as usize].busy_accum
+    }
+
+    /// When the current (or most recent) busy period on a channel ends(/ed).
+    pub fn busy_until(&self, m: MediumId) -> SimTime {
+        self.mediums[m.0 as usize].busy_until
+    }
+
     /// Number of stations.
     pub fn station_count(&self) -> usize {
         self.stations.len()
@@ -307,6 +339,18 @@ pub fn enqueue<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, sta: StationId, mu
         return false;
     }
     st.queues[class].push_back(frame);
+    if conformance::enabled() && st.queues[class].len() > st.queue_cap {
+        conformance::report(
+            "mac/queue-cap",
+            now,
+            format!(
+                "station {} class {class} queue depth {} exceeds cap {}",
+                sta.0,
+                st.queues[class].len(),
+                st.queue_cap
+            ),
+        );
+    }
     if st.state == StaState::Idle {
         start_access(w, q, sta);
     }
@@ -335,6 +379,11 @@ impl Station {
     fn queued(&self) -> usize {
         self.queues[0].len() + self.queues[1].len()
     }
+
+    /// The configured transmit-queue capacity (per class).
+    pub fn queue_cap(&self) -> usize {
+        self.queue_cap
+    }
 }
 
 /// Begin a channel-access attempt for a station with queued traffic.
@@ -353,6 +402,7 @@ fn start_access<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, sta: StationId) {
         mac.mediums[medium_id.0 as usize].contenders.push(Contender {
             sta,
             rem,
+            drawn: rem,
             count_start: now,
         });
     }
@@ -372,19 +422,25 @@ fn rearm<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
         return;
     }
     let idle_since = m.idle_since;
+    let bug = mac.timing_bug;
     let earliest = m
         .contenders
         .iter()
-        .map(|c| finish_time(c, idle_since, &timing))
+        .map(|c| finish_time(c, idle_since, &timing, bug))
         .min()
         .expect("non-empty contenders");
     let at = earliest.max(now);
     m.arb = Some(q.schedule_at(at, move |w, q| arb_fire(w, q, medium)));
 }
 
-fn finish_time(c: &Contender, idle_since: SimTime, timing: &MacTiming) -> SimTime {
+fn finish_time(c: &Contender, idle_since: SimTime, timing: &MacTiming, bug: bool) -> SimTime {
     let eff_start = c.count_start.max(idle_since);
-    eff_start + timing.difs() + timing.slot * c.rem as u64
+    let t = eff_start + timing.difs() + timing.slot * c.rem as u64;
+    if bug {
+        t - timing.slot
+    } else {
+        t
+    }
 }
 
 /// The arbitration event: the earliest finisher(s) transmit.
@@ -400,17 +456,46 @@ fn arb_fire<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
             return;
         }
         let idle_since = m.idle_since;
+        let bug = mac.timing_bug;
         let earliest = m
             .contenders
             .iter()
-            .map(|c| finish_time(c, idle_since, &timing))
+            .map(|c| finish_time(c, idle_since, &timing, bug))
             .min()
             .expect("non-empty contenders");
         debug_assert!(earliest <= now, "arb fired early");
+        if conformance::enabled() {
+            // DCF legality, checked independently of the scheduling math
+            // above: no transmission may start while the channel is busy or
+            // already carrying frames, and the channel must have been idle
+            // for at least DIFS before anyone transmits.
+            if now < m.busy_until {
+                conformance::report(
+                    "dcf/tx-while-busy",
+                    now,
+                    format!("transmission starts while channel busy until {}", m.busy_until),
+                );
+            }
+            if !m.in_flight.is_empty() {
+                conformance::report(
+                    "dcf/overlap",
+                    now,
+                    format!("{} frame(s) still in flight on this channel", m.in_flight.len()),
+                );
+            }
+            let idle = now.duration_since(idle_since);
+            if idle < timing.difs() {
+                conformance::report(
+                    "dcf/difs",
+                    now,
+                    format!("channel idle only {idle} before transmission; DIFS is {}", timing.difs()),
+                );
+            }
+        }
         // Partition winners (finish == earliest) and losers.
         let mut winners = Vec::new();
         m.contenders.retain(|c| {
-            if finish_time(c, idle_since, &timing) == earliest {
+            if finish_time(c, idle_since, &timing, bug) == earliest {
                 winners.push(c.sta);
                 false
             } else {
@@ -424,6 +509,16 @@ fn arb_fire<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
             if now > counted_from {
                 let elapsed = now.duration_since(counted_from) / timing.slot;
                 c.rem -= (elapsed as u32).min(c.rem);
+            }
+            if conformance::enabled() && c.rem > c.drawn {
+                conformance::report(
+                    "dcf/backoff-monotone",
+                    now,
+                    format!(
+                        "station {} residual backoff {} exceeds drawn {}",
+                        c.sta.0, c.rem, c.drawn
+                    ),
+                );
             }
         }
         let collision = winners.len() > 1;
@@ -484,6 +579,7 @@ fn arb_fire<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
         }
         let m = &mut mac.mediums[medium.0 as usize];
         m.busy_until = now + busy;
+        m.busy_accum += busy;
     }
     q.schedule_in(busy, move |w, q| tx_end(w, q, medium));
 }
@@ -501,6 +597,13 @@ fn tx_end<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
         let m = &mut mac.mediums[medium.0 as usize];
         let in_flight = std::mem::take(&mut m.in_flight);
         let collision = in_flight.len() > 1;
+        if conformance::enabled() && now != m.busy_until {
+            conformance::report(
+                "dcf/busy-accounting",
+                now,
+                format!("busy period ended at {now} but busy_until says {}", m.busy_until),
+            );
+        }
         m.idle_since = now;
         for fl in in_flight {
             let sta = fl.sta;

@@ -66,3 +66,35 @@ proptest! {
         prop_assert!((total - expect.iter().sum::<f64>()).abs() < 1e-9);
     }
 }
+
+// Named promotions of the cases in `proptest_airtime.proptest-regressions`:
+// the exact inputs proptest once shrank a failure to, kept as plain unit
+// tests so the boundary they probe is documented and always run, even if
+// the regressions file is lost.
+
+/// Regression `bytes = 1105, extra = 1, rate = G6`: 1105 payload bytes land
+/// exactly on an OFDM symbol boundary at 6 Mbps (3 bytes/µs × 4 µs symbols),
+/// so one extra byte must NOT increase physical airtime (weak monotonicity)
+/// while the tshark payload metric still strictly increases.
+#[test]
+fn regression_g6_symbol_boundary_is_weakly_monotone() {
+    let rate = Bitrate::G6;
+    let (bytes, extra) = (1105u32, 1u32);
+    assert!(frame_airtime(bytes, rate) > tshark_airtime(bytes, rate));
+    assert!(frame_airtime(bytes + extra, rate) >= frame_airtime(bytes, rate));
+    assert!(tshark_airtime(bytes + extra, rate) > tshark_airtime(bytes, rate));
+    // One whole symbol's worth of extra bytes strictly increases airtime.
+    let symbol_bytes = (rate.mbps() * 4.0 / 8.0).ceil() as u32 + 1;
+    assert!(frame_airtime(bytes + extra + symbol_bytes, rate) > frame_airtime(bytes, rate));
+}
+
+/// Regression `bytes = 100, rate = B11`: for a tiny DSSS frame the 1 Mbps
+/// long-preamble ACK genuinely outlasts the data frame — real 802.11b does
+/// this too — which is why `ack_shorter_than_data` only claims the bound
+/// from 300 bytes up. Pin both sides of that boundary.
+#[test]
+fn regression_b11_ack_outlasts_tiny_dsss_frame() {
+    assert!(ack_airtime(Bitrate::B11) > frame_airtime(100, Bitrate::B11));
+    // From the property's lower bound upward the usual ordering holds.
+    assert!(ack_airtime(Bitrate::B11) < frame_airtime(300, Bitrate::B11));
+}

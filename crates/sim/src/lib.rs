@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod conformance;
 pub mod queue;
 pub mod rng;
 pub mod series;

@@ -1,0 +1,80 @@
+//! Deterministic conformance fuzz driver (CLI wrapper around
+//! [`powifi::fuzz`]).
+//!
+//! ```text
+//! powifi-fuzz [--topologies N] [--seed S] [--inject-bug] [--replay SEED]
+//! ```
+//!
+//! Exit codes: 0 = all topologies clean, 1 = failures found, 2 = usage.
+
+use powifi::fuzz;
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: powifi-fuzz [--topologies N] [--seed S] [--inject-bug] [--replay SEED]";
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("powifi-fuzz: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = fuzz::FuzzConfig::default();
+    let mut replay_seed: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--topologies" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => cfg.topologies = n,
+                _ => return usage_err("--topologies needs a positive integer"),
+            },
+            "--seed" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(s)) => cfg.base_seed = s,
+                _ => return usage_err("--seed needs an integer"),
+            },
+            "--inject-bug" => cfg.inject_bug = true,
+            "--replay" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(s)) => replay_seed = Some(s),
+                _ => return usage_err("--replay needs a seed"),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_err(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some(seed) = replay_seed {
+        let spec = fuzz::gen_spec(seed);
+        println!("replaying {}", spec.summary());
+        let res = fuzz::run_spec(&spec, cfg.inject_bug);
+        println!(
+            "frames {} · violations {}",
+            res.frames, res.violations
+        );
+        for v in res.retained.iter().take(10) {
+            println!("  {v}");
+        }
+        return if res.violations == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
+
+    println!(
+        "fuzzing {} topologies from base seed {}{}",
+        cfg.topologies,
+        cfg.base_seed,
+        if cfg.inject_bug { " (timing bug injected)" } else { "" },
+    );
+    let report = fuzz::run(&cfg);
+    print!("{}", report.render());
+    if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,273 @@
+//! Golden-trace corpus: canonical per-seed event/frame traces.
+//!
+//! Six small, fixed scenarios exercise the main MAC behaviours — solo
+//! broadcast, DCF contention, unicast retry, the `IP_Power` queue gate,
+//! beacon/power interleaving, and a corrupted collision-heavy channel. Each
+//! renders to a compact, fully deterministic JSON document (frame-by-frame
+//! trace plus end-of-run counters) that is committed under `tests/golden/`
+//! and byte-compared in CI. Any change to MAC timing, backoff, retry or
+//! trace accounting shows up as a structural diff against the corpus.
+//!
+//! Every scenario runs under the conformance checker
+//! ([`powifi_sim::conformance`](crate::sim::conformance)); the violation
+//! count is part of the rendered document, so a checker regression is a
+//! golden drift too.
+
+use powifi_core::{spawn_injector, JitterModel, PowerTrafficConfig};
+use powifi_mac::{
+    enqueue, Dest, Frame, Mac, MacWorld, PayloadTag, RateController, StationId,
+};
+use powifi_rf::{Bitrate, Db};
+use powifi_sim::conformance;
+use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use serde::Value;
+
+/// Trace-ring capacity; scenarios are sized so nothing is ever evicted.
+const TRACE_CAP: usize = 512;
+
+struct GoldenWorld {
+    mac: Mac,
+}
+
+impl MacWorld for GoldenWorld {
+    fn mac(&self) -> &Mac {
+        &self.mac
+    }
+    fn mac_mut(&mut self) -> &mut Mac {
+        &mut self.mac
+    }
+}
+
+/// One canonical scenario.
+pub struct GoldenScenario {
+    /// Scenario (and golden file) name.
+    pub name: &'static str,
+    /// One-line description, embedded in the rendered JSON.
+    pub about: &'static str,
+    horizon: SimDuration,
+    build: fn(&mut GoldenWorld, &mut EventQueue<GoldenWorld>),
+}
+
+/// The full corpus, in render order.
+pub fn scenarios() -> Vec<GoldenScenario> {
+    vec![
+        GoldenScenario {
+            name: "solo_broadcast",
+            about: "one station saturating an idle channel with power frames",
+            horizon: SimDuration::from_millis(5),
+            build: |w, q| {
+                let m = w.mac.add_medium(SimDuration::from_millis(1));
+                let a = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+                w.mac.enable_trace(m, TRACE_CAP);
+                q.schedule_repeating(
+                    SimTime::ZERO,
+                    SimDuration::from_micros(400),
+                    move |w: &mut GoldenWorld, q| {
+                        if w.mac.queue_depth(a) < 3 {
+                            enqueue(w, q, a, Frame::power(a, 1400, Bitrate::G54));
+                        }
+                    },
+                );
+            },
+        },
+        GoldenScenario {
+            name: "contention_pair",
+            about: "two stations contending for one channel via DCF backoff",
+            horizon: SimDuration::from_millis(5),
+            build: |w, q| {
+                let m = w.mac.add_medium(SimDuration::from_millis(1));
+                for rate in [Bitrate::G54, Bitrate::G24] {
+                    let sta = w.mac.add_station(m, RateController::fixed(rate));
+                    q.schedule_repeating(
+                        SimTime::ZERO,
+                        SimDuration::from_micros(500),
+                        move |w: &mut GoldenWorld, q| {
+                            if w.mac.queue_depth(sta) < 3 {
+                                enqueue(w, q, sta, Frame::power(sta, 1200, rate));
+                            }
+                        },
+                    );
+                }
+                w.mac.enable_trace(powifi_mac::MediumId(0), TRACE_CAP);
+            },
+        },
+        GoldenScenario {
+            name: "unicast_retry",
+            about: "unicast over a dead link: full retry ladder then give-up",
+            horizon: SimDuration::from_millis(20),
+            build: |w, q| {
+                let m = w.mac.add_medium(SimDuration::from_millis(1));
+                let a = w.mac.add_station(m, RateController::fixed(Bitrate::G12));
+                let b = w.mac.add_station(m, RateController::fixed(Bitrate::G12));
+                w.mac.set_link_snr(a, b, Db(0.0));
+                w.mac.enable_trace(m, TRACE_CAP);
+                q.schedule_at(SimTime::ZERO, move |w: &mut GoldenWorld, q| {
+                    let f = Frame::data(
+                        a,
+                        Dest::Unicast(b),
+                        PayloadTag {
+                            flow: 1,
+                            seq: 0,
+                            bytes: 600,
+                        },
+                    );
+                    enqueue(w, q, a, f);
+                });
+            },
+        },
+        GoldenScenario {
+            name: "injector_gated",
+            about: "power injector with IP_Power queue threshold 2 at 150 us",
+            horizon: SimDuration::from_millis(5),
+            build: |w, q| {
+                let m = w.mac.add_medium(SimDuration::from_millis(1));
+                let a = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
+                w.mac.enable_trace(m, TRACE_CAP);
+                let cfg = PowerTrafficConfig {
+                    payload_bytes: 1500,
+                    bitrate: Bitrate::G54,
+                    inter_packet_delay: SimDuration::from_micros(150),
+                    qdepth_threshold: Some(2),
+                    jitter: JitterModel::none(),
+                };
+                spawn_injector(q, a, cfg, SimRng::from_seed(0).derive("golden-injector"), SimTime::ZERO);
+            },
+        },
+        GoldenScenario {
+            name: "beacons_and_power",
+            about: "AP beacons interleaved with a second station's power frames",
+            horizon: SimDuration::from_millis(10),
+            build: |w, q| {
+                let m = w.mac.add_medium(SimDuration::from_millis(1));
+                let ap = w.mac.add_station(m, RateController::fixed(Bitrate::B1));
+                let inj = w.mac.add_station(m, RateController::fixed(Bitrate::G24));
+                w.mac.enable_trace(m, TRACE_CAP);
+                powifi_mac::start_beacons(q, ap, SimTime::ZERO, SimDuration::from_micros(2_000), Bitrate::B1);
+                q.schedule_repeating(
+                    SimTime::ZERO,
+                    SimDuration::from_micros(800),
+                    move |w: &mut GoldenWorld, q| {
+                        if w.mac.queue_depth(inj) < 2 {
+                            enqueue(w, q, inj, Frame::power(inj, 1000, Bitrate::G24));
+                        }
+                    },
+                );
+            },
+        },
+        GoldenScenario {
+            name: "collision_storm",
+            about: "five stations on a channel with 20% external corruption",
+            horizon: SimDuration::from_millis(8),
+            build: |w, q| {
+                let m = w.mac.add_medium(SimDuration::from_millis(1));
+                w.mac.set_corruption(m, 0.2);
+                w.mac.enable_trace(m, TRACE_CAP);
+                for i in 0..5u32 {
+                    let rate = if i % 2 == 0 { Bitrate::G24 } else { Bitrate::G6 };
+                    let sta = w.mac.add_station(m, RateController::fixed(rate));
+                    q.schedule_repeating(
+                        SimTime::from_micros(u64::from(i) * 37),
+                        SimDuration::from_micros(600),
+                        move |w: &mut GoldenWorld, q| {
+                            if w.mac.queue_depth(sta) < 2 {
+                                enqueue(w, q, sta, Frame::power(sta, 900, rate));
+                            }
+                        },
+                    );
+                }
+            },
+        },
+    ]
+}
+
+/// Render a scenario by name to its canonical JSON document (trailing
+/// newline included). Panics on an unknown name.
+pub fn render(name: &str) -> String {
+    let sc = scenarios()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("unknown golden scenario {name:?}"));
+    render_scenario(&sc)
+}
+
+fn render_scenario(sc: &GoldenScenario) -> String {
+    // Run under the checker in an isolated sink; restore the caller's state
+    // so golden rendering composes with an enclosing checked test.
+    let was_enabled = conformance::enabled();
+    let saved = conformance::take();
+    conformance::set_enabled(true);
+
+    let mut w = GoldenWorld {
+        mac: Mac::new(SimRng::from_seed(0).derive(sc.name)),
+    };
+    let mut q = EventQueue::new();
+    (sc.build)(&mut w, &mut q);
+    powifi_mac::conformance::install_audit(&mut q, SimDuration::from_millis(1));
+    let end = SimTime::ZERO + sc.horizon;
+    q.run_until(&mut w, end);
+    powifi_mac::conformance::audit_now(&w, end);
+    let (violations, _) = conformance::take();
+    conformance::set_enabled(was_enabled);
+    for v in saved.1 {
+        conformance::report(v.rule, v.at, v.detail);
+    }
+
+    let mut frames = Vec::new();
+    for mi in 0..w.mac.medium_count() {
+        let m = powifi_mac::MediumId(mi as u32);
+        if let Some(tr) = w.mac.trace(m) {
+            for r in tr.records() {
+                let dst = match r.dst {
+                    Dest::Broadcast => "bcast".to_string(),
+                    Dest::Unicast(s) => format!("sta{}", s.0),
+                };
+                frames.push(Value::Str(format!(
+                    "{} sta{} > {} {:?} {}B @{} {}",
+                    r.t.as_nanos(),
+                    r.src.0,
+                    dst,
+                    r.kind,
+                    r.bytes,
+                    r.rate.mbps(),
+                    if r.collided { "coll" } else { "ok" },
+                )));
+            }
+        }
+    }
+
+    let stations: Vec<Value> = (0..w.mac.station_count())
+        .map(|s| {
+            let st = w.mac.station(StationId(s as u32));
+            Value::Object(vec![
+                ("sta".into(), Value::UInt(s as u64)),
+                ("frames_sent".into(), Value::UInt(st.frames_sent)),
+                ("retransmissions".into(), Value::UInt(st.retransmissions)),
+                ("queue_drops".into(), Value::UInt(st.queue_drops)),
+            ])
+        })
+        .collect();
+    let mediums: Vec<Value> = (0..w.mac.medium_count())
+        .map(|mi| {
+            let m = powifi_mac::MediumId(mi as u32);
+            Value::Object(vec![
+                ("medium".into(), Value::UInt(mi as u64)),
+                ("collisions".into(), Value::UInt(w.mac.collisions(m))),
+                ("busy_ns".into(), Value::UInt(w.mac.busy_time(m).as_nanos())),
+            ])
+        })
+        .collect();
+
+    let doc = Value::Object(vec![
+        ("scenario".into(), Value::Str(sc.name.into())),
+        ("about".into(), Value::Str(sc.about.into())),
+        ("horizon_ns".into(), Value::UInt(sc.horizon.as_nanos())),
+        ("events_executed".into(), Value::UInt(q.executed())),
+        ("conformance_violations".into(), Value::UInt(violations)),
+        ("frames".into(), Value::Array(frames)),
+        ("stations".into(), Value::Array(stations)),
+        ("mediums".into(), Value::Array(mediums)),
+    ]);
+    let mut out = serde_json::to_string_pretty(&doc).expect("golden serialization");
+    out.push('\n');
+    out
+}

@@ -1,4 +1,7 @@
 //! Umbrella crate re-exporting the PoWiFi workspace; hosts examples/ and tests/.
+pub mod fuzz;
+pub mod golden;
+
 pub use powifi_core as core;
 pub use powifi_deploy as deploy;
 pub use powifi_harvest as harvest;

@@ -15,6 +15,7 @@ use powifi::sim::{SimDuration, SimRng, SimTime};
 /// battery-free sensor that a stock (Baseline) router cannot even start.
 #[test]
 fn powifi_powers_what_a_stock_router_cannot() {
+    let _conf = powifi::sim::conformance::check();
     let run = |scheme: Scheme| {
         let (mut w, mut q, channels) = three_channel_world(42, SimDuration::from_millis(500));
         let rng = SimRng::from_seed(42);
@@ -39,11 +40,13 @@ fn powifi_powers_what_a_stock_router_cannot() {
     };
     assert!(!run(Scheme::Baseline), "stock router must NOT boot the sensor (§2)");
     assert!(run(Scheme::PoWiFi), "PoWiFi must boot the sensor at 10 ft (§5.1)");
+    powifi::sim::conformance::assert_clean("powifi_powers_what_a_stock_router_cannot");
 }
 
 /// Same seed ⇒ byte-identical occupancy series; different seed ⇒ different.
 #[test]
 fn simulations_are_deterministic_in_the_seed() {
+    let _conf = powifi::sim::conformance::check();
     let occupancies = |seed: u64| {
         let (mut w, mut q, s) = build_office(seed, Scheme::PoWiFi, OfficeConfig::default());
         let end = SimTime::from_secs(4);
@@ -55,11 +58,13 @@ fn simulations_are_deterministic_in_the_seed() {
     let c = occupancies(8);
     assert_eq!(a, b, "same seed must reproduce exactly");
     assert_ne!(a, c, "different seeds must diverge");
+    powifi::sim::conformance::assert_clean("simulations_are_deterministic_in_the_seed");
 }
 
 /// The four schemes rank as the paper's Fig. 6 requires, end to end.
 #[test]
 fn scheme_ranking_matches_fig6() {
+    let _conf = powifi::sim::conformance::check();
     use powifi::deploy::udp_experiment;
     let t = |s| udp_experiment(s, 25.0, 42, 4).throughput_mbps;
     let baseline = t(Scheme::Baseline);
@@ -69,12 +74,14 @@ fn scheme_ranking_matches_fig6() {
     assert!(powifi > 0.85 * baseline, "PoWiFi {powifi} vs baseline {baseline}");
     assert!(noqueue < 0.8 * baseline && noqueue > 0.3 * baseline, "NoQueue {noqueue}");
     assert!(blind < 0.2 * baseline, "BlindUDP {blind}");
+    powifi::sim::conformance::assert_clean("scheme_ranking_matches_fig6");
 }
 
 /// TCP download completes over a PoWiFi-loaded channel (client experience
 /// is preserved, not just average throughput).
 #[test]
 fn tcp_transfer_completes_under_powifi() {
+    let _conf = powifi::sim::conformance::check();
     use powifi::deploy::SimWorld;
     use powifi::net::{start_tcp_flow, tcp_push};
     let (mut w, mut q, s) = build_office(42, Scheme::PoWiFi, OfficeConfig::default());
@@ -86,12 +93,14 @@ fn tcp_transfer_completes_under_powifi() {
     let f = w.net.tcp(flow);
     assert!(f.completed_at.is_some(), "2 MB transfer did not finish in 15 s");
     assert!(f.mean_mbps() > 2.0, "throughput {}", f.mean_mbps());
+    powifi::sim::conformance::assert_clean("tcp_transfer_completes_under_powifi");
 }
 
 /// The camera's battery-free pipeline banks real frames from router duty:
 /// event-level harvester integration, not the closed-form shortcut.
 #[test]
 fn camera_banks_frames_from_router_duty() {
+    let _conf = powifi::sim::conformance::check();
     let (mut w, mut q, channels) = three_channel_world(42, SimDuration::from_millis(500));
     let rng = SimRng::from_seed(42);
     let r = Router::install(&mut w, &mut q, &channels, RouterConfig::powifi(), &rng);
@@ -106,12 +115,14 @@ fn camera_banks_frames_from_router_duty() {
     let t = cam.inter_frame_secs(&exposure).expect("camera in range at 5 ft");
     // Fig. 13 free-space order of magnitude: minutes to tens of minutes.
     assert!(t > 60.0 && t < 7200.0, "inter-frame {t} s");
+    powifi::sim::conformance::assert_clean("camera_banks_frames_from_router_duty");
 }
 
 /// Link-budget sanity across crates: the calibrated path loss puts the
 /// battery-free sensitivity threshold at the paper's ~20 ft range.
 #[test]
 fn calibrated_range_endpoints_hold() {
+    let _conf = powifi::sim::conformance::check();
     let model = sensor_pathloss();
     let tx = Transmitter::powifi_prototype();
     let rx = |ft: f64| {
@@ -125,12 +136,14 @@ fn calibrated_range_endpoints_hold() {
     assert!(rx(18.0).0 > -17.8, "too weak at 18 ft: {}", rx(18.0).0);
     assert!(rx(24.0).0 < -17.8, "too strong at 24 ft: {}", rx(24.0).0);
     assert!(rx(30.0).0 < -19.3, "recharging threshold extends past 30 ft");
+    powifi::sim::conformance::assert_clean("calibrated_range_endpoints_hold");
 }
 
 /// The temperature sensor's energy book-keeping is consistent between the
 /// closed-form rate and an explicit harvester integration.
 #[test]
 fn closed_form_and_integrated_rates_agree() {
+    let _conf = powifi::sim::conformance::check();
     let exposure = exposure_at(8.0, 0.3, &[]);
     let sensor = TemperatureSensor::battery_recharging();
     let closed = sensor.update_rate(&exposure);
@@ -142,12 +155,14 @@ fn closed_form_and_integrated_rates_agree() {
     let integrated = h.harvested.0 / 3600.0 / powifi::sensors::READ_ENERGY.0;
     let ratio = closed / integrated;
     assert!((0.95..=1.05).contains(&ratio), "closed {closed} integrated {integrated}");
+    powifi::sim::conformance::assert_clean("closed_form_and_integrated_rates_agree");
 }
 
 /// Store accounting: recharging stores accumulate exactly what the
 /// harvester reports having delivered.
 #[test]
 fn battery_bookkeeping_is_consistent() {
+    let _conf = powifi::sim::conformance::check();
     let exposure = exposure_at(6.0, 0.3, &[]);
     let mut h = Harvester::recharging(powifi::harvest::Battery::liion_coin());
     let Store::Batt(before) = *h.store() else { unreachable!() };
@@ -161,12 +176,14 @@ fn battery_bookkeeping_is_consistent() {
         "store gained {gained_j} J vs harvested {} J",
         h.harvested.0
     );
+    powifi::sim::conformance::assert_clean("battery_bookkeeping_is_consistent");
 }
 
 /// Cross-experiment occupancy sanity: the router's reported per-channel
 /// occupancy can never exceed the monitor's all-stations occupancy.
 #[test]
 fn router_occupancy_bounded_by_channel_occupancy() {
+    let _conf = powifi::sim::conformance::check();
     let (mut w, mut q, s) = build_office(11, Scheme::PoWiFi, OfficeConfig::default());
     let end = SimTime::from_secs(5);
     q.run_until(&mut w, end);
@@ -176,12 +193,14 @@ fn router_occupancy_bounded_by_channel_occupancy() {
             / end.as_secs_f64();
         assert!(mine <= all + 1e-9, "router {mine} > channel {all}");
     }
+    powifi::sim::conformance::assert_clean("router_occupancy_bounded_by_channel_occupancy");
 }
 
 /// The §2 voltage-trace result reproduces at the received power our own
 /// path-loss model predicts (not a hand-picked number).
 #[test]
 fn fig1_trace_under_predicted_power_stays_subthreshold() {
+    let _conf = powifi::sim::conformance::check();
     use powifi::harvest::{rectifier_trace, summarize, Rectifier, RectifierNode};
     use powifi::sim::PowerEnvelope;
     let model = sensor_pathloss();
@@ -210,4 +229,5 @@ fn fig1_trace_under_predicted_power_stays_subthreshold() {
     let s = summarize(&trace, 0.30);
     assert!(!s.crossed, "peak {} V at rx {}", s.peak_volts, rx);
     assert!(s.peak_volts > 0.05, "no harvesting at all at rx {rx}");
+    powifi::sim::conformance::assert_clean("fig1_trace_under_predicted_power_stays_subthreshold");
 }

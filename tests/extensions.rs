@@ -14,6 +14,7 @@ use powifi::sim::{SimDuration, SimRng, SimTime};
 
 #[test]
 fn capper_composes_with_fleet() {
+    let _conf = powifi::sim::conformance::check();
     // Two concurrent routers plus a capper on each: the *combined* channel
     // occupancy settles near the per-router targets without oscillating to
     // zero.
@@ -45,10 +46,12 @@ fn capper_composes_with_fleet() {
         assert!(cum > 0.15, "capper killed a router: {cum}");
         assert!(cum < 0.9, "capper failed to bite: {cum}");
     }
+    powifi::sim::conformance::assert_clean("capper_composes_with_fleet");
 }
 
 #[test]
 fn pdos_attack_starves_silent_slot_policy_too() {
+    let _conf = powifi::sim::conformance::check();
     // Silent-slot injection is, by construction, even more vulnerable to a
     // carrier-sense attacker than the queue-threshold design.
     let occupancy = |attack: bool| {
@@ -83,10 +86,12 @@ fn pdos_attack_starves_silent_slot_policy_too() {
     let attacked = occupancy(true);
     assert!(clean > 1.0, "silent slot idle occupancy {clean}");
     assert!(attacked < 0.1 * clean, "clean {clean} attacked {attacked}");
+    powifi::sim::conformance::assert_clean("pdos_attack_starves_silent_slot_policy_too");
 }
 
 #[test]
 fn multiband_harvester_uses_what_its_bands_can_hear() {
+    let _conf = powifi::sim::conformance::check();
     let all = MultibandHarvester::covering(&IsmBand::ALL);
     let only24 = MultibandHarvester::covering(&[IsmBand::Ism2400]);
     // Inputs on all bands at equal strength.
@@ -106,10 +111,12 @@ fn multiband_harvester_uses_what_its_bands_can_hear() {
         .map(|f| (f, Dbm(-11.0), 0.3))
         .collect();
     assert_eq!(only24.dc_power(&foreign).0, 0.0);
+    powifi::sim::conformance::assert_clean("multiband_harvester_uses_what_its_bands_can_hear");
 }
 
 #[test]
 fn powered_tag_has_an_uplink_where_it_has_power() {
+    let _conf = powifi::sim::conformance::check();
     // The §7 synthesis, end to end across crates: anywhere the harvester
     // nets its switching power AND the receiver is close, bits flow.
     let tag = BackscatterTag::prototype();
@@ -128,10 +135,12 @@ fn powered_tag_has_an_uplink_where_it_has_power() {
     }
     assert!(worked >= 3, "uplink should work through mid-range ({worked})");
     assert!(dead >= 1, "uplink must die out of harvesting range ({dead})");
+    powifi::sim::conformance::assert_clean("powered_tag_has_an_uplink_where_it_has_power");
 }
 
 #[test]
 fn fleet_of_four_keeps_every_channel_hot() {
+    let _conf = powifi::sim::conformance::check();
     let (mut w, mut q, channels) = three_channel_world(42, SimDuration::from_secs(1));
     let rng = SimRng::from_seed(42);
     let routers = install_fleet(
@@ -153,4 +162,5 @@ fn fleet_of_four_keeps_every_channel_hot() {
             .sum();
         assert!(combined > 0.5, "channel {ci} combined occupancy {combined}");
     }
+    powifi::sim::conformance::assert_clean("fleet_of_four_keeps_every_channel_hot");
 }

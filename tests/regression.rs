@@ -15,6 +15,7 @@ use powifi::sim::{SimDuration, SimRng, SimTime};
 /// Idle-network router ceiling: the calibration anchor behind Figs. 5/14.
 #[test]
 fn pin_idle_router_cumulative_occupancy() {
+    let _conf = powifi::sim::conformance::check();
     let (mut w, mut q, channels) = three_channel_world(42, SimDuration::from_secs(1));
     let rng = SimRng::from_seed(42);
     let r = Router::install(&mut w, &mut q, &channels, RouterConfig::powifi(), &rng);
@@ -22,11 +23,13 @@ fn pin_idle_router_cumulative_occupancy() {
     q.run_until(&mut w, end);
     let (_, cum) = r.occupancy(&w.mac, end);
     assert!((1.15..=1.60).contains(&cum), "idle ceiling drifted: {cum}");
+    powifi::sim::conformance::assert_clean("pin_idle_router_cumulative_occupancy");
 }
 
 /// Fig. 6(a) anchors: saturated baseline throughput and the scheme ratios.
 #[test]
 fn pin_fig6a_anchors() {
+    let _conf = powifi::sim::conformance::check();
     let base = udp_experiment(Scheme::Baseline, 40.0, 42, 5).throughput_mbps;
     let powifi = udp_experiment(Scheme::PoWiFi, 40.0, 42, 5).throughput_mbps;
     let noqueue = udp_experiment(Scheme::NoQueue, 40.0, 42, 5).throughput_mbps;
@@ -34,11 +37,13 @@ fn pin_fig6a_anchors() {
     assert!((powifi / base) > 0.90, "powifi/base {}", powifi / base);
     let r = noqueue / base;
     assert!((0.40..=0.70).contains(&r), "noqueue ratio {r}");
+    powifi::sim::conformance::assert_clean("pin_fig6a_anchors");
 }
 
 /// Fig. 9/10 anchors: matching band and the rectifier curve endpoints.
 #[test]
 fn pin_harvester_anchors() {
+    let _conf = powifi::sim::conformance::check();
     let n = MatchingNetwork::battery_free();
     assert!(n.return_loss(Hertz::from_mhz(2437.0)).0 < -15.0);
     let r = Rectifier::battery_free();
@@ -46,11 +51,13 @@ fn pin_harvester_anchors() {
     assert!((140.0..=180.0).contains(&at4), "P_out(+4dBm) {at4} µW");
     assert_eq!(r.sensitivity.0, -17.8);
     assert_eq!(Rectifier::battery_charging().sensitivity.0, -19.3);
+    powifi::sim::conformance::assert_clean("pin_harvester_anchors");
 }
 
 /// Figs. 11–12 anchors: the four operational ranges.
 #[test]
 fn pin_device_ranges() {
+    let _conf = powifi::sim::conformance::check();
     let range = |alive: &dyn Fn(f64) -> bool| {
         let mut last = 0.0;
         let mut ft = 2.0;
@@ -72,11 +79,13 @@ fn pin_device_ranges() {
     assert!((26.0..=32.0).contains(&r2), "recharging sensor range {r2}");
     assert!((15.0..=19.0).contains(&r3), "battery-free camera range {r3}");
     assert!(r2 > r1 && r1 > r3, "range ordering broken: {r3} {r1} {r2}");
+    powifi::sim::conformance::assert_clean("pin_device_ranges");
 }
 
 /// Fig. 16 anchor: the Jawbone numbers.
 #[test]
 fn pin_jawbone_charging() {
+    let _conf = powifi::sim::conformance::check();
     let mut c = UsbCharger::jawbone_demo();
     let ma = c.charge_current_ma(6.0, 0.3);
     assert!((2.0..=2.7).contains(&ma), "current {ma} mA");
@@ -84,14 +93,17 @@ fn pin_jawbone_charging() {
         c.charge_for(SimDuration::from_secs(60), 6.0, 0.3);
     }
     assert!((0.36..=0.47).contains(&c.soc()), "soc {}", c.soc());
+    powifi::sim::conformance::assert_clean("pin_jawbone_charging");
 }
 
 /// Fig. 14 anchor: the quiet home exceeds the busy home, both in the band.
 #[test]
 fn pin_home_band() {
+    let _conf = powifi::sim::conformance::check();
     let quiet = run_home(table1()[1], 42, 1440).mean_cumulative;
     let busy = run_home(table1()[4], 42, 1440).mean_cumulative;
     assert!(quiet > busy, "quiet {quiet} <= busy {busy}");
     assert!((0.75..=1.45).contains(&quiet), "quiet home {quiet}");
     assert!((0.6..=1.2).contains(&busy), "busy home {busy}");
+    powifi::sim::conformance::assert_clean("pin_home_band");
 }

@@ -108,6 +108,7 @@ proptest! {
     /// never receive more than was offered.
     #[test]
     fn arbitrary_scenarios_respect_conservation_laws(sc in scenario_strategy()) {
+        let _conf = powifi::sim::conformance::check();
         let (w, router, flows, end) = run_scenario(&sc);
         for iface in &router.ifaces {
             let mon = w.mac().monitor(iface.medium);
@@ -137,15 +138,18 @@ proptest! {
         if sc.scheme == 0 {
             prop_assert_eq!(sent, 0, "Baseline must not inject");
         }
+        powifi::sim::conformance::assert_clean("arbitrary_scenarios_respect_conservation_laws");
     }
 
     /// Every scenario is exactly reproducible from its seed.
     #[test]
     fn arbitrary_scenarios_are_reproducible(sc in scenario_strategy()) {
+        let _conf = powifi::sim::conformance::check();
         let (w1, r1, _, end) = run_scenario(&sc);
         let (w2, r2, _, _) = run_scenario(&sc);
         let occ1 = r1.occupancy(&w1.mac, end);
         let occ2 = r2.occupancy(&w2.mac, end);
         prop_assert_eq!(occ1, occ2);
+        powifi::sim::conformance::assert_clean("arbitrary_scenarios_are_reproducible");
     }
 }
