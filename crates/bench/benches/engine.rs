@@ -16,9 +16,12 @@ fn bench_event_queue(c: &mut Criterion) {
             let mut q = EventQueue::<u64>::new();
             let mut w = 0u64;
             for i in 0..10_000u64 {
-                q.schedule_at(SimTime::from_nanos((i * 2_654_435_761) % 1_000_000), |w, _| {
-                    *w += 1;
-                });
+                q.schedule_at(
+                    SimTime::from_nanos((i * 2_654_435_761) % 1_000_000),
+                    |w, _| {
+                        *w += 1;
+                    },
+                );
             }
             q.run_to_completion(&mut w);
             assert_eq!(w, 10_000);
@@ -60,11 +63,15 @@ fn bench_mac_saturation(c: &mut Criterion) {
             let m = w.mac.add_medium(SimDuration::from_secs(1));
             let sta = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
             let mut q = EventQueue::new();
-            q.schedule_repeating(SimTime::ZERO, SimDuration::from_micros(100), move |w: &mut W, q| {
-                if w.mac.queue_depth(sta) < 5 {
-                    enqueue(w, q, sta, Frame::power(sta, 1500, Bitrate::G54));
-                }
-            });
+            q.schedule_repeating(
+                SimTime::ZERO,
+                SimDuration::from_micros(100),
+                move |w: &mut W, q| {
+                    if w.mac.queue_depth(sta) < 5 {
+                        enqueue(w, q, sta, Frame::power(sta, 1500, Bitrate::G54));
+                    }
+                },
+            );
             q.run_until(&mut w, SimTime::from_secs(1));
             w.mac.station(sta).frames_sent
         })

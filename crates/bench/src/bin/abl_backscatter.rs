@@ -51,7 +51,10 @@ impl Experiment for Backscatter {
     fn points(&self, _full: bool) -> Vec<Pt> {
         [Scheme::PoWiFi, Scheme::Baseline]
             .into_iter()
-            .map(|scheme| Pt { scheme, secs: self.secs })
+            .map(|scheme| Pt {
+                scheme,
+                secs: self.secs,
+            })
             .collect()
     }
 
@@ -70,8 +73,7 @@ impl Experiment for Backscatter {
             &rng,
         );
         q.run_until(&mut w, SimTime::from_secs(pt.secs));
-        let packet_rate =
-            w.mac.station(r.client_iface().sta).frames_sent as f64 / pt.secs as f64;
+        let packet_rate = w.mac.station(r.client_iface().sta).frames_sent as f64 / pt.secs as f64;
 
         let tag = BackscatterTag::prototype();
         let exposure = exposure_at(6.0, BENCH_DUTY, &[]);
@@ -100,7 +102,10 @@ fn main() {
         powifi_packet_rate: f64::NAN,
         baseline_packet_rate: f64::NAN,
     };
-    println!("{:<22}{:>12} bps at 0.5/1/1.5/2/3/5 m", "scheme", "packets/s");
+    println!(
+        "{:<22}{:>12} bps at 0.5/1/1.5/2/3/5 m",
+        "scheme", "packets/s"
+    );
     for r in &runs {
         let vals: Vec<f64> = r.output.bps.iter().map(|b| b.unwrap_or(f64::NAN)).collect();
         println!("{:<22}{:>12.0}", r.label, r.output.packet_rate);

@@ -42,7 +42,13 @@ impl Experiment for BgTiming {
     }
 
     fn points(&self, _full: bool) -> Vec<Pt> {
-        TIMINGS.iter().map(|&timing| Pt { timing, secs: self.secs }).collect()
+        TIMINGS
+            .iter()
+            .map(|&timing| Pt {
+                timing,
+                secs: self.secs,
+            })
+            .collect()
     }
 
     fn label(&self, pt: &Pt) -> String {
@@ -64,7 +70,9 @@ impl Experiment for BgTiming {
             RouterConfig::with_scheme(Scheme::PoWiFi),
             &rng,
         );
-        let client = w.mac.add_station(channels[0].1, RateController::fixed(Bitrate::G54));
+        let client = w
+            .mac
+            .add_station(channels[0].1, RateController::fixed(Bitrate::G54));
         let end = SimTime::from_secs(pt.secs);
         let flow = start_udp_flow(
             &mut w,

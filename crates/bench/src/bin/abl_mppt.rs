@@ -31,7 +31,10 @@ impl Experiment for Mppt {
     }
 
     fn points(&self, _full: bool) -> Vec<Pt> {
-        (50..=400).step_by(25).map(|vref_mv| Pt { vref_mv }).collect()
+        (50..=400)
+            .step_by(25)
+            .map(|vref_mv| Pt { vref_mv })
+            .collect()
     }
 
     fn label(&self, pt: &Pt) -> String {
@@ -58,7 +61,10 @@ fn main() {
         relative_efficiency: Vec::new(),
         update_rate_at_10ft: Vec::new(),
     };
-    println!("{:<22}{:>12} {:>14}", "vref (mV)", "rel. eff.", "reads/s @10ft");
+    println!(
+        "{:<22}{:>12} {:>14}",
+        "vref (mV)", "rel. eff.", "reads/s @10ft"
+    );
     for r in &runs {
         let (factor, rate) = r.output;
         row(&format!("{}", r.point.vref_mv), &[factor, rate], 2);

@@ -52,7 +52,14 @@ impl Experiment for MultiRouter {
         let mut pts = Vec::new();
         for (mode_idx, &(mode_label, mode)) in MODES.iter().enumerate() {
             for (n_idx, &n) in COUNTS.iter().enumerate() {
-                pts.push(Pt { mode_idx, mode, mode_label, n_idx, n, secs: self.secs });
+                pts.push(Pt {
+                    mode_idx,
+                    mode,
+                    mode_label,
+                    n_idx,
+                    n,
+                    secs: self.secs,
+                });
             }
         }
         pts
@@ -65,12 +72,22 @@ impl Experiment for MultiRouter {
     fn run(&self, pt: &Pt, seed: u64) -> (f64, u64) {
         let (mut w, mut q, channels) = three_channel_world(seed, SimDuration::from_secs(1));
         let rng = SimRng::from_seed(seed).derive("fleet");
-        let routers =
-            install_fleet(&mut w, &mut q, &channels, pt.n, RouterConfig::powifi(), pt.mode, &rng);
+        let routers = install_fleet(
+            &mut w,
+            &mut q,
+            &channels,
+            pt.n,
+            RouterConfig::powifi(),
+            pt.mode,
+            &rng,
+        );
         let end = SimTime::from_secs(pt.secs);
         q.run_until(&mut w, end);
-        let combined: f64 =
-            routers.iter().map(|r| r.occupancy(&w.mac, end).1).sum::<f64>() / 3.0;
+        let combined: f64 = routers
+            .iter()
+            .map(|r| r.occupancy(&w.mac, end).1)
+            .sum::<f64>()
+            / 3.0;
         let collisions: u64 = (0..3).map(|i| w.mac.collisions(MediumId(i))).sum();
         (combined, collisions)
     }
@@ -95,7 +112,10 @@ fn main() {
         out.combined[r.point.mode_idx][r.point.n_idx] = c * 100.0;
         out.collisions[r.point.mode_idx][r.point.n_idx] = k;
     }
-    println!("{:<22}{:>10} {:>10} {:>10} {:>10}", "mode \\ routers", "1", "2", "3", "4");
+    println!(
+        "{:<22}{:>10} {:>10} {:>10} {:>10}",
+        "mode \\ routers", "1", "2", "3", "4"
+    );
     for (mode_idx, &(label, _)) in MODES.iter().enumerate() {
         row(label, &out.combined[mode_idx], 1);
         println!(

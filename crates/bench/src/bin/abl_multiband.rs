@@ -68,7 +68,12 @@ impl Experiment for Multiband {
         let mut pts = Vec::new();
         for (c_idx, (config, _)) in configs().into_iter().enumerate() {
             for (f_idx, &feet) in FEET.iter().enumerate() {
-                pts.push(Pt { c_idx, config, f_idx, feet });
+                pts.push(Pt {
+                    c_idx,
+                    config,
+                    f_idx,
+                    feet,
+                });
             }
         }
         pts

@@ -31,7 +31,10 @@ impl Experiment for Multichannel {
     }
 
     fn points(&self, _full: bool) -> Vec<Pt> {
-        [4.0, 8.0, 12.0, 16.0, 20.0].into_iter().map(|feet| Pt { feet }).collect()
+        [4.0, 8.0, 12.0, 16.0, 20.0]
+            .into_iter()
+            .map(|feet| Pt { feet })
+            .collect()
     }
 
     fn label(&self, pt: &Pt) -> String {
@@ -41,7 +44,11 @@ impl Experiment for Multichannel {
     fn run(&self, pt: &Pt, _seed: u64) -> (f64, f64, f64) {
         let s = TemperatureSensor::battery_free();
         let e = exposure_at(pt.feet, BENCH_DUTY, &[]);
-        (s.update_rate(&e[..1]), s.update_rate(&e[..2]), s.update_rate(&e))
+        (
+            s.update_rate(&e[..1]),
+            s.update_rate(&e[..2]),
+            s.update_rate(&e),
+        )
     }
 }
 
@@ -58,7 +65,10 @@ fn main() {
         two_channels: Vec::new(),
         three_channels: Vec::new(),
     };
-    println!("{:<22}{:>10} {:>10} {:>10}", "distance (ft)", "1 ch", "2 ch", "3 ch");
+    println!(
+        "{:<22}{:>10} {:>10} {:>10}",
+        "distance (ft)", "1 ch", "2 ch", "3 ch"
+    );
     for r in &runs {
         let (r1, r2, r3) = r.output;
         row(&format!("{:.0}", r.point.feet), &[r1, r2, r3], 2);

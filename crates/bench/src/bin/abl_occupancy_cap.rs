@@ -38,7 +38,10 @@ impl Experiment for OccupancyCap {
     fn points(&self, _full: bool) -> Vec<Pt> {
         [f64::INFINITY, 1.25, 1.0, 0.75, 0.5]
             .into_iter()
-            .map(|target| Pt { target, secs: self.secs })
+            .map(|target| Pt {
+                target,
+                secs: self.secs,
+            })
             .collect()
     }
 

@@ -36,7 +36,10 @@ impl Experiment for PowerDos {
         // Period ∞ = no attack; smaller periods = fiercer attack.
         [f64::INFINITY, 500.0, 100.0, 20.0, 2.0]
             .into_iter()
-            .map(|period_ms| Pt { period_ms, secs: self.secs })
+            .map(|period_ms| Pt {
+                period_ms,
+                secs: self.secs,
+            })
             .collect()
     }
 

@@ -18,7 +18,13 @@ struct Out {
     duty_per_channel: Vec<f64>,
 }
 
-const RATES: [Bitrate; 5] = [Bitrate::B1, Bitrate::G6, Bitrate::G12, Bitrate::G24, Bitrate::G54];
+const RATES: [Bitrate; 5] = [
+    Bitrate::B1,
+    Bitrate::G6,
+    Bitrate::G12,
+    Bitrate::G24,
+    Bitrate::G54,
+];
 
 #[derive(Clone)]
 struct Pt {
@@ -40,7 +46,13 @@ impl Experiment for PowerBitrate {
     }
 
     fn points(&self, _full: bool) -> Vec<Pt> {
-        RATES.into_iter().map(|rate| Pt { rate, secs: self.secs }).collect()
+        RATES
+            .into_iter()
+            .map(|rate| Pt {
+                rate,
+                secs: self.secs,
+            })
+            .collect()
     }
 
     fn label(&self, pt: &Pt) -> String {

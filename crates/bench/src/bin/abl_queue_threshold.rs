@@ -38,7 +38,10 @@ impl Experiment for QueueThreshold {
     fn points(&self, _full: bool) -> Vec<Pt> {
         [1usize, 2, 5, 10, 50, 100]
             .into_iter()
-            .map(|threshold| Pt { threshold, secs: self.secs })
+            .map(|threshold| Pt {
+                threshold,
+                secs: self.secs,
+            })
             .collect()
     }
 
@@ -99,10 +102,18 @@ fn main() {
         client_mbps: Vec::new(),
         cumulative_occupancy: Vec::new(),
     };
-    println!("{:<22}{:>10} {:>10}", "threshold", "client Mbps", "cum occ %");
+    println!(
+        "{:<22}{:>10} {:>10}",
+        "threshold", "client Mbps", "cum occ %"
+    );
     for r in &runs {
         let (mbps, cum) = r.output;
-        println!("{:<22}{:>10.1} {:>10.1}", r.point.threshold, mbps, cum * 100.0);
+        println!(
+            "{:<22}{:>10.1} {:>10.1}",
+            r.point.threshold,
+            mbps,
+            cum * 100.0
+        );
         out.thresholds.push(r.point.threshold);
         out.client_mbps.push(mbps);
         out.cumulative_occupancy.push(cum);

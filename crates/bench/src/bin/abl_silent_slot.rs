@@ -40,7 +40,13 @@ impl Experiment for SilentSlot {
     }
 
     fn points(&self, _full: bool) -> Vec<Pt> {
-        POLICIES.iter().map(|&policy| Pt { policy, secs: self.secs }).collect()
+        POLICIES
+            .iter()
+            .map(|&policy| Pt {
+                policy,
+                secs: self.secs,
+            })
+            .collect()
     }
 
     fn label(&self, pt: &Pt) -> String {
@@ -56,7 +62,12 @@ impl Experiment for SilentSlot {
         let (mut w, mut q, s) = build_office(seed, scheme, OfficeConfig::default());
         if pt.policy == "silent-slot" {
             for iface in &s.router.ifaces {
-                spawn_silent_injector(&mut q, iface.sta, SilentSlotConfig::default(), SimTime::ZERO);
+                spawn_silent_injector(
+                    &mut q,
+                    iface.sta,
+                    SilentSlotConfig::default(),
+                    SimTime::ZERO,
+                );
             }
         }
         let end = SimTime::from_secs(pt.secs);

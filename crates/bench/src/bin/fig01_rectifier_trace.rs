@@ -4,7 +4,9 @@
 
 use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_core::{Router, RouterConfig, Scheme};
-use powifi_deploy::{constant_intensity, install_background, install_traffic_source, BackgroundConfig, SimWorld};
+use powifi_deploy::{
+    constant_intensity, install_background, install_traffic_source, BackgroundConfig, SimWorld,
+};
 use powifi_harvest::{rectifier_trace, summarize as trace_summary, Rectifier, RectifierNode};
 use powifi_mac::{Mac, MacWorld, RateController};
 use powifi_net::NetState;
@@ -39,7 +41,9 @@ impl Experiment for RectifierFig {
     }
 
     fn points(&self, full: bool) -> Vec<Pt> {
-        vec![Pt { horizon_ms: if full { 200 } else { 20 } }]
+        vec![Pt {
+            horizon_ms: if full { 200 } else { 20 },
+        }]
     }
 
     fn label(&self, _pt: &Pt) -> String {
@@ -68,7 +72,9 @@ impl Experiment for RectifierFig {
             &rng,
         );
         let router_sta = router.client_iface().sta;
-        let client = w.mac.add_station(medium, RateController::fixed(Bitrate::G54));
+        let client = w
+            .mac
+            .add_station(medium, RateController::fixed(Bitrate::G54));
         install_traffic_source(
             &mut q,
             router_sta,
@@ -92,7 +98,12 @@ impl Experiment for RectifierFig {
         // Received power at 10 ft from the stock router.
         let model = sensor_pathloss();
         let eirp = powifi_rf::Transmitter::asus_stock().eirp();
-        let rx = model.received(eirp, Db(2.0), WifiChannel::CH6.center(), Meters::from_feet(10.0));
+        let rx = model.received(
+            eirp,
+            Db(2.0),
+            WifiChannel::CH6.center(),
+            Meters::from_feet(10.0),
+        );
 
         let env = w.mac.monitor(medium).envelope().expect("envelope enabled");
         let trace = rectifier_trace(
@@ -108,7 +119,10 @@ impl Experiment for RectifierFig {
 
         // Print a 2.5 ms window like the paper's figure.
         println!("received power at sensor: {rx}");
-        println!("router occupancy (incl. client traffic): {:.1} %", occ * 100.0);
+        println!(
+            "router occupancy (incl. client traffic): {:.1} %",
+            occ * 100.0
+        );
         println!(
             "peak rectifier voltage: {:.3} V  (threshold 0.300 V, crossed: {})",
             s.peak_volts, s.crossed
@@ -145,5 +159,8 @@ fn main() {
         return;
     };
     args.emit("fig01", &run.output);
-    assert!(!run.output.crossed, "Fig 1 expectation violated: threshold crossed");
+    assert!(
+        !run.output.crossed,
+        "Fig 1 expectation violated: threshold crossed"
+    );
 }

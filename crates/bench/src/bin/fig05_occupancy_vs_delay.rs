@@ -49,7 +49,13 @@ impl Experiment for OccupancyVsDelay {
         let mut pts = Vec::new();
         for (t_idx, &threshold) in THRESHOLDS.iter().enumerate() {
             for (d_idx, &delay_us) in self.delays.iter().enumerate() {
-                pts.push(Pt { t_idx, threshold, d_idx, delay_us, secs: self.secs });
+                pts.push(Pt {
+                    t_idx,
+                    threshold,
+                    d_idx,
+                    delay_us,
+                    secs: self.secs,
+                });
             }
         }
         pts
@@ -67,7 +73,9 @@ impl Experiment for OccupancyVsDelay {
         };
         let mut q = EventQueue::new();
         let medium = w.mac.add_medium(SimDuration::from_secs(1));
-        let iface = w.mac.add_station(medium, RateController::fixed(Bitrate::G54));
+        let iface = w
+            .mac
+            .add_station(medium, RateController::fixed(Bitrate::G54));
         {
             let mon = w.mac.monitor_mut(medium).monitor();
             mon.track(iface);
@@ -101,7 +109,10 @@ fn main() {
     );
     let secs = if args.full { 20 } else { 4 };
     let delays: Vec<u64> = (1..=8).map(|i| i * 50).collect();
-    let exp = OccupancyVsDelay { delays: delays.clone(), secs };
+    let exp = OccupancyVsDelay {
+        delays: delays.clone(),
+        secs,
+    };
     let runs = Sweep::new(&args).run(&exp);
 
     let mut out = Out {

@@ -54,7 +54,13 @@ impl Experiment for UdpThroughput {
         let mut pts = Vec::new();
         for (scheme_idx, &scheme) in SCHEMES.iter().enumerate() {
             for (rate_idx, &rate_mbps) in self.rates.iter().enumerate() {
-                pts.push(Pt { scheme_idx, scheme, rate_idx, rate_mbps, secs: self.secs });
+                pts.push(Pt {
+                    scheme_idx,
+                    scheme,
+                    rate_idx,
+                    rate_mbps,
+                    secs: self.secs,
+                });
             }
         }
         pts
@@ -81,11 +87,16 @@ fn main() {
     );
     let secs = if args.full { 15 } else { 5 };
     let rates: Vec<f64> = if args.full {
-        vec![1.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0]
+        vec![
+            1.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0,
+        ]
     } else {
         vec![1.0, 10.0, 20.0, 30.0, 40.0, 50.0]
     };
-    let exp = UdpThroughput { rates: rates.clone(), secs };
+    let exp = UdpThroughput {
+        rates: rates.clone(),
+        secs,
+    };
     let runs = Sweep::new(&args).run(&exp);
 
     row("offered (Mbps) →", &rates, 0);
@@ -98,7 +109,8 @@ fn main() {
     for r in &runs {
         out.achieved[r.point.scheme_idx][r.point.rate_idx] = r.output.throughput_mbps;
         if r.point.scheme == Scheme::PoWiFi {
-            out.powifi_cumulative_occupancy.push(r.output.cumulative_occupancy);
+            out.powifi_cumulative_occupancy
+                .push(r.output.cumulative_occupancy);
         }
     }
     for (scheme, achieved) in SCHEMES.iter().zip(&out.achieved) {

@@ -52,7 +52,12 @@ impl Experiment for TcpCdf {
         let mut pts = Vec::new();
         for (scheme_idx, &scheme) in SCHEMES.iter().enumerate() {
             for rep in 0..self.reps {
-                pts.push(Pt { scheme_idx, scheme, rep, secs: self.secs });
+                pts.push(Pt {
+                    scheme_idx,
+                    scheme,
+                    rep,
+                    secs: self.secs,
+                });
             }
         }
         pts
@@ -63,9 +68,15 @@ impl Experiment for TcpCdf {
     }
 
     fn run(&self, pt: &Pt, seed: u64) -> PointOut {
-        let TcpResult { bins, cumulative_occupancy, .. } =
-            tcp_experiment(pt.scheme, seed, pt.secs);
-        PointOut { bins, cumulative_occupancy }
+        let TcpResult {
+            bins,
+            cumulative_occupancy,
+            ..
+        } = tcp_experiment(pt.scheme, seed, pt.secs);
+        PointOut {
+            bins,
+            cumulative_occupancy,
+        }
     }
 }
 
@@ -90,7 +101,10 @@ fn main() {
             out.powifi_cumulative_occupancy = r.output.cumulative_occupancy;
         }
     }
-    println!("{:<22}{:>10} {:>10} {:>10} {:>10}", "scheme", "mean", "p10", "p50", "p90");
+    println!(
+        "{:<22}{:>10} {:>10} {:>10} {:>10}",
+        "scheme", "mean", "p10", "p50", "p90"
+    );
     for (scheme, samples) in SCHEMES.iter().zip(&mut out.samples) {
         if samples.is_empty() {
             continue;

@@ -49,7 +49,13 @@ impl Experiment for Plt {
         let mut pts = Vec::new();
         for (site_idx, site) in top10_us().into_iter().enumerate() {
             for (scheme_idx, &scheme) in SCHEMES.iter().enumerate() {
-                pts.push(Pt { site_idx, site, scheme_idx, scheme, loads: self.loads });
+                pts.push(Pt {
+                    site_idx,
+                    site,
+                    scheme_idx,
+                    scheme,
+                    loads: self.loads,
+                });
             }
         }
         pts

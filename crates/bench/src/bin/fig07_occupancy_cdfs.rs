@@ -47,7 +47,10 @@ impl Experiment for OccupancyCdfs {
     fn points(&self, _full: bool) -> Vec<Pt> {
         WORKLOADS
             .iter()
-            .map(|&workload| Pt { workload, secs: self.secs })
+            .map(|&workload| Pt {
+                workload,
+                secs: self.secs,
+            })
             .collect()
     }
 
@@ -62,7 +65,15 @@ impl Experiment for OccupancyCdfs {
         let client = s.client;
         match pt.workload {
             "udp" => {
-                start_udp_flow(&mut w, &mut q, router_sta, client, 20.0, SimTime::from_millis(100), end);
+                start_udp_flow(
+                    &mut w,
+                    &mut q,
+                    router_sta,
+                    client,
+                    20.0,
+                    SimTime::from_millis(100),
+                    end,
+                );
             }
             "tcp" => {
                 let flow = start_tcp_flow(&mut w, router_sta, client);
@@ -75,7 +86,15 @@ impl Experiment for OccupancyCdfs {
                 let sites = top10_us();
                 let mut i = 0;
                 while t < end {
-                    start_page_load(&mut w, &mut q, router_sta, client, sites[i % 10], WanConfig::default(), t);
+                    start_page_load(
+                        &mut w,
+                        &mut q,
+                        router_sta,
+                        client,
+                        sites[i % 10],
+                        WanConfig::default(),
+                        t,
+                    );
                     t += SimDuration::from_secs(5);
                     i += 1;
                 }
@@ -91,7 +110,10 @@ impl Experiment for OccupancyCdfs {
         for c in &mut channels {
             c.sort_by(|a, b| a.partial_cmp(b).unwrap());
         }
-        PointOut { channels, mean_cumulative }
+        PointOut {
+            channels,
+            mean_cumulative,
+        }
     }
 }
 
@@ -115,7 +137,10 @@ fn main() {
     );
     for r in runs {
         let workload = r.point.workload;
-        for (name, series) in ["ch1", "ch6", "ch11", "cumulative"].iter().zip(&r.output.channels) {
+        for (name, series) in ["ch1", "ch6", "ch11", "cumulative"]
+            .iter()
+            .zip(&r.output.channels)
+        {
             let (mean, p10, p50, p90) = summarize(series.clone());
             row(
                 &format!("{workload}:{name}"),

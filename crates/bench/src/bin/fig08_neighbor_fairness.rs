@@ -61,7 +61,14 @@ impl Experiment for NeighborFairness {
         for (row_idx, &(row_label, scheme_of)) in SCHEME_ROWS.iter().enumerate() {
             for (rate_idx, &rate) in RATES.iter().enumerate() {
                 let scheme = scheme_of.unwrap_or(Scheme::EqualShare(rate));
-                pts.push(Pt { row_idx, row_label, rate_idx, scheme, rate, secs: self.secs });
+                pts.push(Pt {
+                    row_idx,
+                    row_label,
+                    rate_idx,
+                    scheme,
+                    rate,
+                    secs: self.secs,
+                });
             }
         }
         pts

@@ -58,7 +58,10 @@ fn main() {
         battery_free_db: Vec::new(),
         battery_charging_db: Vec::new(),
     };
-    println!("{:<22}{:>10} {:>10}", "freq (MHz)", "batt-free", "recharging");
+    println!(
+        "{:<22}{:>10} {:>10}",
+        "freq (MHz)", "batt-free", "recharging"
+    );
     for r in &runs {
         let (a, b) = r.output;
         if (r.point.freq_mhz as u64).is_multiple_of(5) {
@@ -69,8 +72,14 @@ fn main() {
         out.battery_charging_db.push(b);
     }
     let worst_bf = out.battery_free_db.iter().cloned().fold(f64::MIN, f64::max);
-    let worst_bc = out.battery_charging_db.iter().cloned().fold(f64::MIN, f64::max);
-    println!("worst in-band return loss: battery-free {worst_bf:.1} dB, recharging {worst_bc:.1} dB");
+    let worst_bc = out
+        .battery_charging_db
+        .iter()
+        .cloned()
+        .fold(f64::MIN, f64::max);
+    println!(
+        "worst in-band return loss: battery-free {worst_bf:.1} dB, recharging {worst_bc:.1} dB"
+    );
     assert!(worst_bf < -10.0 && worst_bc < -10.0);
     args.emit("fig09", &out);
 }

@@ -43,7 +43,12 @@ impl Experiment for HarvesterPower {
         let mut pts = Vec::new();
         for (v_idx, &variant) in VARIANTS.iter().enumerate() {
             for (in_idx, &input_dbm) in self.inputs.iter().enumerate() {
-                pts.push(Pt { v_idx, variant, in_idx, input_dbm });
+                pts.push(Pt {
+                    v_idx,
+                    variant,
+                    in_idx,
+                    input_dbm,
+                });
             }
         }
         pts
@@ -57,14 +62,18 @@ impl Experiment for HarvesterPower {
         let (matching, rect) = if pt.v_idx == 0 {
             (MatchingNetwork::battery_free(), Rectifier::battery_free())
         } else {
-            (MatchingNetwork::battery_charging(), Rectifier::battery_charging())
+            (
+                MatchingNetwork::battery_charging(),
+                Rectifier::battery_charging(),
+            )
         };
         WifiChannel::POWER_SET
             .iter()
             .map(|ch| {
                 let accepted_uw =
                     Dbm(pt.input_dbm).to_uw().0 * matching.mismatch_factor(ch.center());
-                rect.output_power(powifi_rf::MicroWatts(accepted_uw).to_dbm()).0
+                rect.output_power(powifi_rf::MicroWatts(accepted_uw).to_dbm())
+                    .0
             })
             .collect()
     }
@@ -77,7 +86,9 @@ fn main() {
         "expect: recharging operates ~1.5 dB deeper; ~150 µW at +4 dBm",
     );
     let inputs: Vec<f64> = (-20..=4).map(|d| d as f64).collect();
-    let exp = HarvesterPower { inputs: inputs.clone() };
+    let exp = HarvesterPower {
+        inputs: inputs.clone(),
+    };
     let runs = Sweep::new(&args).run(&exp);
 
     let mut out = Out {
@@ -95,7 +106,10 @@ fn main() {
     }
     for (v_idx, name) in VARIANTS.iter().enumerate() {
         println!("-- {name} harvester --");
-        println!("{:<22}{:>10} {:>10} {:>10}", "input (dBm)", "CH1", "CH6", "CH11");
+        println!(
+            "{:<22}{:>10} {:>10} {:>10}",
+            "input (dBm)", "CH1", "CH6", "CH11"
+        );
         for (in_idx, &dbm) in inputs.iter().enumerate() {
             let vals: Vec<f64> = (0..3).map(|ci| out.output_uw[v_idx][ci][in_idx]).collect();
             row(&format!("{dbm:.0}"), &vals, 2);

@@ -32,7 +32,11 @@ impl Experiment for TempUpdateRate {
     }
 
     fn points(&self, _full: bool) -> Vec<Pt> {
-        (2..=64).map(|half_ft| Pt { feet: half_ft as f64 * 0.5 }).collect()
+        (2..=64)
+            .map(|half_ft| Pt {
+                feet: half_ft as f64 * 0.5,
+            })
+            .collect()
     }
 
     fn label(&self, pt: &Pt) -> String {
@@ -62,7 +66,10 @@ fn main() {
         battery_free_range_ft: 0.0,
         recharging_range_ft: 0.0,
     };
-    println!("{:<22}{:>10} {:>10}", "distance (ft)", "batt-free", "recharging");
+    println!(
+        "{:<22}{:>10} {:>10}",
+        "distance (ft)", "batt-free", "recharging"
+    );
     for r in &runs {
         let ft = r.point.feet;
         let (a, b) = r.output;

@@ -32,7 +32,11 @@ impl Experiment for CameraInterframe {
     }
 
     fn points(&self, _full: bool) -> Vec<Pt> {
-        (4..=60).map(|half_ft| Pt { feet: half_ft as f64 * 0.5 }).collect()
+        (4..=60)
+            .map(|half_ft| Pt {
+                feet: half_ft as f64 * 0.5,
+            })
+            .collect()
     }
 
     fn label(&self, pt: &Pt) -> String {
@@ -42,8 +46,12 @@ impl Experiment for CameraInterframe {
     fn run(&self, pt: &Pt, _seed: u64) -> (Option<f64>, Option<f64>) {
         let e = exposure_at(pt.feet, BENCH_DUTY, &[]);
         (
-            Camera::battery_free().inter_frame_secs(&e).map(|s| s / 60.0),
-            Camera::battery_recharging().inter_frame_secs(&e).map(|s| s / 60.0),
+            Camera::battery_free()
+                .inter_frame_secs(&e)
+                .map(|s| s / 60.0),
+            Camera::battery_recharging()
+                .inter_frame_secs(&e)
+                .map(|s| s / 60.0),
         )
     }
 }
@@ -62,7 +70,10 @@ fn main() {
         battery_free_range_ft: 0.0,
         recharging_range_ft: 0.0,
     };
-    println!("{:<22}{:>10} {:>10}", "distance (ft)", "batt-free", "recharging");
+    println!(
+        "{:<22}{:>10} {:>10}",
+        "distance (ft)", "batt-free", "recharging"
+    );
     for r in &runs {
         let ft = r.point.feet;
         let (a, b) = r.output;

@@ -45,7 +45,9 @@ impl Experiment for ThroughWall {
         let e = exposure_at(5.0, BENCH_DUTY, &[pt.material]);
         (
             pt.material.attenuation().0,
-            Camera::battery_free().inter_frame_secs(&e).map(|s| s / 60.0),
+            Camera::battery_free()
+                .inter_frame_secs(&e)
+                .map(|s| s / 60.0),
         )
     }
 }

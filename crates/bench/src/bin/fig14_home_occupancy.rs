@@ -91,8 +91,16 @@ fn main() {
         out.homes.push(h);
     }
     if !out.homes.is_empty() {
-        let lo = out.homes.iter().map(|h| h.mean_cumulative).fold(f64::MAX, f64::min);
-        let hi = out.homes.iter().map(|h| h.mean_cumulative).fold(f64::MIN, f64::max);
+        let lo = out
+            .homes
+            .iter()
+            .map(|h| h.mean_cumulative)
+            .fold(f64::MAX, f64::min);
+        let hi = out
+            .homes
+            .iter()
+            .map(|h| h.mean_cumulative)
+            .fold(f64::MIN, f64::max);
         println!(
             "mean cumulative range across homes: {:.0}-{:.0} % (paper: 78-127 %)",
             lo * 100.0,

@@ -58,7 +58,11 @@ fn main() {
     for r in runs {
         let mut rates = r.output;
         let (mean, p10, p50, p90) = summarize(rates.clone());
-        row(&format!("home {}", r.point.home.id), &[mean, p10, p50, p90], 2);
+        row(
+            &format!("home {}", r.point.home.id),
+            &[mean, p10, p50, p90],
+            2,
+        );
         rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
         out.rates.push(rates);
     }

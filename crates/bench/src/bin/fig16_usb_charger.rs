@@ -31,7 +31,10 @@ impl Experiment for UsbChargerFig {
 
     fn points(&self, _full: bool) -> Vec<Pt> {
         // Paper setup: 6 cm, ~0.3 duty per channel (~90 % cumulative).
-        vec![Pt { distance_cm: 6.0, duty: 0.3 }]
+        vec![Pt {
+            distance_cm: 6.0,
+            duty: 0.3,
+        }]
     }
 
     fn label(&self, pt: &Pt) -> String {
@@ -75,6 +78,9 @@ fn main() {
             row(&format!("{minute:.0}"), &[soc * 100.0], 1);
         }
     }
-    println!("state of charge after 2.5 h: {:.1} % (paper: 41 %)", out.soc_at_2_5h * 100.0);
+    println!(
+        "state of charge after 2.5 h: {:.1} % (paper: 41 %)",
+        out.soc_at_2_5h * 100.0
+    );
     args.emit("fig16", &out);
 }

@@ -42,12 +42,19 @@ fn parse() -> Plan {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--distance-ft" => {
-                plan.distance_ft = it.next().and_then(|v| v.parse().ok()).expect("--distance-ft N")
+                plan.distance_ft = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--distance-ft N")
             }
-            "--wall" => plan.walls.push(parse_wall(&it.next().expect("--wall NAME"))),
+            "--wall" => plan
+                .walls
+                .push(parse_wall(&it.next().expect("--wall NAME"))),
             "--occupancy" => {
-                plan.cumulative_occupancy =
-                    it.next().and_then(|v| v.parse().ok()).expect("--occupancy PCT")
+                plan.cumulative_occupancy = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--occupancy PCT")
             }
             "--help" | "-h" => {
                 eprintln!("usage: powifi_plan [--distance-ft N] [--wall glass|wood|hollow|sheetrock]... [--occupancy PCT]");
@@ -76,11 +83,11 @@ fn main() {
             println!("  wall: {} ({} dB)", w.label(), w.attenuation().0);
         }
     }
-    println!("  router cumulative occupancy: {} %", plan.cumulative_occupancy);
     println!(
-        "  received power per channel: {:.1} dBm",
-        exposure[1].1 .0
+        "  router cumulative occupancy: {} %",
+        plan.cumulative_occupancy
     );
+    println!("  received power per channel: {:.1} dBm", exposure[1].1 .0);
     println!();
 
     let temp_bf = TemperatureSensor::battery_free();
@@ -124,11 +131,12 @@ fn main() {
         let mut ft = plan.distance_ft;
         while ft > 0.5 {
             ft -= 0.5;
-            if TemperatureSensor::battery_free()
-                .update_rate(&exposure_at(ft, duty, &plan.walls))
+            if TemperatureSensor::battery_free().update_rate(&exposure_at(ft, duty, &plan.walls))
                 >= 0.02
             {
-                println!("\nhint: the battery-free sensor would work at {ft:.1} ft with this wall stack");
+                println!(
+                    "\nhint: the battery-free sensor would work at {ft:.1} ft with this wall stack"
+                );
                 break;
             }
         }

@@ -43,7 +43,10 @@ fn main() {
     let args = BenchArgs::parse();
     banner("Table 1 — summary of the home deployment", "");
     let runs = Sweep::new(&args).run(&Table1);
-    println!("{:<10}{:>8}{:>10}{:>16}", "Home #", "Users", "Devices", "Neighbor APs");
+    println!(
+        "{:<10}{:>8}{:>10}{:>16}",
+        "Home #", "Users", "Devices", "Neighbor APs"
+    );
     let mut out = Out { homes: Vec::new() };
     for r in &runs {
         let (id, users, devices, aps) = r.output;

@@ -127,8 +127,11 @@ impl BenchArgs {
         if let Some(dir) = &self.json_dir {
             fs::create_dir_all(dir).expect("create json dir");
             let path = dir.join(format!("{name}.json"));
-            fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-                .expect("write json");
+            fs::write(
+                &path,
+                serde_json::to_string_pretty(value).expect("serialize"),
+            )
+            .expect("write json");
             eprintln!("wrote {}", path.display());
         }
     }
@@ -255,11 +258,16 @@ impl<'a> Sweep<'a> {
         let jobs = self.args.jobs.clamp(1, items.len().max(1));
         let check = self.args.check;
         if jobs == 1 {
-            return items.into_iter().map(|it| run_point(exp, it, check)).collect();
+            return items
+                .into_iter()
+                .map(|it| run_point(exp, it, check))
+                .collect();
         }
         let n = items.len();
         let slots = parking_lot::Mutex::new(
-            (0..n).map(|_| None::<PointRun<E::Point, E::Output>>).collect::<Vec<_>>(),
+            (0..n)
+                .map(|_| None::<PointRun<E::Point, E::Output>>)
+                .collect::<Vec<_>>(),
         );
         let next = AtomicUsize::new(0);
         crossbeam::scope(|s| {
@@ -321,10 +329,7 @@ impl<'a> Sweep<'a> {
             (
                 "engine".into(),
                 Value::Object(vec![
-                    (
-                        "package".into(),
-                        Value::Str(env!("CARGO_PKG_NAME").into()),
-                    ),
+                    ("package".into(), Value::Str(env!("CARGO_PKG_NAME").into())),
                     (
                         "version".into(),
                         Value::Str(env!("CARGO_PKG_VERSION").into()),
@@ -355,10 +360,7 @@ impl<'a> Sweep<'a> {
                                 ("wall_ms".into(), Value::Float(r.wall_ms)),
                                 ("events".into(), Value::UInt(r.telemetry.events)),
                                 ("frames".into(), Value::UInt(r.telemetry.frames)),
-                                (
-                                    "occupancy".into(),
-                                    Value::Float(r.telemetry.occupancy),
-                                ),
+                                ("occupancy".into(), Value::Float(r.telemetry.occupancy)),
                             ])
                         })
                         .collect(),
@@ -512,13 +514,18 @@ mod tests {
     #[test]
     fn parse_from_accepts_all_flags() {
         let args = BenchArgs::parse_from(
-            ["--seed", "7", "--full", "--json", "/tmp/x", "--jobs", "3", "--filter", "powifi"]
-                .map(String::from),
+            [
+                "--seed", "7", "--full", "--json", "/tmp/x", "--jobs", "3", "--filter", "powifi",
+            ]
+            .map(String::from),
         )
         .unwrap();
         assert_eq!(args.seed, 7);
         assert!(args.full);
-        assert_eq!(args.json_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert_eq!(
+            args.json_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/x"))
+        );
         assert_eq!(args.jobs, 3);
         assert_eq!(args.filter.as_deref(), Some("powifi"));
     }

@@ -31,7 +31,12 @@ impl Experiment for MiniOccupancy {
 
     fn points(&self, _full: bool) -> Vec<Pt> {
         let mut pts = Vec::new();
-        for scheme in [Scheme::Baseline, Scheme::PoWiFi, Scheme::NoQueue, Scheme::BlindUdp] {
+        for scheme in [
+            Scheme::Baseline,
+            Scheme::PoWiFi,
+            Scheme::NoQueue,
+            Scheme::BlindUdp,
+        ] {
             for secs in [1u64, 2] {
                 pts.push(Pt { scheme, secs });
             }
@@ -96,7 +101,10 @@ fn points_artifact_is_bit_identical_across_job_counts() {
     assert_eq!(p1, p8, "points artifact must not depend on --jobs");
     assert!(p1.contains("\"events\""), "telemetry missing from artifact");
     assert!(p1.contains("\"frames\""), "telemetry missing from artifact");
-    assert!(p1.contains("\"violations\": 0"), "conformance count missing");
+    assert!(
+        p1.contains("\"violations\": 0"),
+        "conformance count missing"
+    );
 
     // The manifest carries wall-clock, so only its deterministic fields
     // should match; it must record the jobs that actually ran.
@@ -132,7 +140,11 @@ fn filtered_sweep_reuses_full_grid_seeds() {
     assert!(subset.len() < full.len(), "filter should prune the grid");
     for run in &subset {
         let twin = full.iter().find(|r| r.label == run.label).unwrap();
-        assert_eq!(run.seed, twin.seed, "{}: seed changed under --filter", run.label);
+        assert_eq!(
+            run.seed, twin.seed,
+            "{}: seed changed under --filter",
+            run.label
+        );
         assert_eq!(run.index, twin.index);
         assert_eq!(run.output, twin.output);
     }

@@ -38,11 +38,7 @@ impl Default for CapperConfig {
 }
 
 /// Spawn the capper controlling `router`'s injectors.
-pub fn spawn_capper<W: MacWorld>(
-    q: &mut EventQueue<W>,
-    router: &Router,
-    cfg: CapperConfig,
-) {
+pub fn spawn_capper<W: MacWorld>(q: &mut EventQueue<W>, router: &Router, cfg: CapperConfig) {
     let mediums: Vec<MediumId> = router.ifaces.iter().map(|i| i.medium).collect();
     let injectors: Vec<InjectorHandle> = router.injectors.clone();
     // Previous cumulative on-air seconds, to compute windowed occupancy.

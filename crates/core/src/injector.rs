@@ -92,7 +92,10 @@ fn tick<W: MacWorld>(
                             powifi_sim::conformance::report(
                                 "core/qdepth-threshold",
                                 q.now(),
-                                format!("iface {} queue depth {depth} after admit, threshold {t}", iface.0),
+                                format!(
+                                    "iface {} queue depth {depth} after admit, threshold {t}",
+                                    iface.0
+                                ),
                             );
                         }
                     }
@@ -155,7 +158,13 @@ mod tests {
     #[test]
     fn injector_reaches_high_solo_occupancy() {
         let (mut w, mut q, sta) = setup();
-        spawn_injector(&mut q, sta, cfg(Some(5)), SimRng::from_seed(2), SimTime::ZERO);
+        spawn_injector(
+            &mut q,
+            sta,
+            cfg(Some(5)),
+            SimRng::from_seed(2),
+            SimTime::ZERO,
+        );
         let end = SimTime::from_secs(2);
         q.run_until(&mut w, end);
         let m = w.mac.medium_of(sta);
@@ -168,18 +177,34 @@ mod tests {
     #[test]
     fn threshold_bounds_queue_depth() {
         let (mut w, mut q, sta) = setup();
-        spawn_injector(&mut q, sta, cfg(Some(5)), SimRng::from_seed(2), SimTime::ZERO);
+        spawn_injector(
+            &mut q,
+            sta,
+            cfg(Some(5)),
+            SimRng::from_seed(2),
+            SimTime::ZERO,
+        );
         // Sample the queue depth as the sim runs.
         for step in 1..200 {
             q.run_until(&mut w, SimTime::from_micros(step * 500));
-            assert!(w.mac.queue_depth(sta) <= 5, "depth {}", w.mac.queue_depth(sta));
+            assert!(
+                w.mac.queue_depth(sta) <= 5,
+                "depth {}",
+                w.mac.queue_depth(sta)
+            );
         }
     }
 
     #[test]
     fn drops_are_reported_to_userspace() {
         let (mut w, mut q, sta) = setup();
-        let ctl = spawn_injector(&mut q, sta, cfg(Some(1)), SimRng::from_seed(2), SimTime::ZERO);
+        let ctl = spawn_injector(
+            &mut q,
+            sta,
+            cfg(Some(1)),
+            SimRng::from_seed(2),
+            SimTime::ZERO,
+        );
         q.run_until(&mut w, SimTime::from_secs(1));
         let c = ctl.borrow();
         // With threshold 1 and a 100 µs sender vs ~340 µs service time, most
@@ -195,13 +220,23 @@ mod tests {
         q.run_until(&mut w, SimTime::from_secs(1));
         // Without the check the queue grows far past 5 (arrival every 100 µs,
         // service every ~340 µs).
-        assert!(w.mac.queue_depth(sta) > 100, "depth {}", w.mac.queue_depth(sta));
+        assert!(
+            w.mac.queue_depth(sta) > 100,
+            "depth {}",
+            w.mac.queue_depth(sta)
+        );
     }
 
     #[test]
     fn disabled_injector_sends_nothing() {
         let (mut w, mut q, sta) = setup();
-        let ctl = spawn_injector(&mut q, sta, cfg(Some(5)), SimRng::from_seed(2), SimTime::ZERO);
+        let ctl = spawn_injector(
+            &mut q,
+            sta,
+            cfg(Some(5)),
+            SimRng::from_seed(2),
+            SimTime::ZERO,
+        );
         ctl.borrow_mut().enabled = false;
         q.run_until(&mut w, SimTime::from_secs(1));
         assert_eq!(ctl.borrow().sent, 0);
@@ -211,7 +246,13 @@ mod tests {
     #[test]
     fn delay_scale_throttles_occupancy() {
         let (mut w, mut q, sta) = setup();
-        let ctl = spawn_injector(&mut q, sta, cfg(Some(5)), SimRng::from_seed(2), SimTime::ZERO);
+        let ctl = spawn_injector(
+            &mut q,
+            sta,
+            cfg(Some(5)),
+            SimRng::from_seed(2),
+            SimTime::ZERO,
+        );
         ctl.borrow_mut().delay_scale = 10.0; // 1 ms inter-packet
         let end = SimTime::from_secs(2);
         q.run_until(&mut w, end);

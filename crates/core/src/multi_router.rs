@@ -103,10 +103,7 @@ mod tests {
         );
         let end = SimTime::from_secs(4);
         q.run_until(&mut w, end);
-        routers
-            .iter()
-            .map(|r| r.occupancy(&w.mac, end).1)
-            .collect()
+        routers.iter().map(|r| r.occupancy(&w.mac, end).1).collect()
     }
 
     #[test]

@@ -108,8 +108,7 @@ mod tests {
     #[test]
     fn saturating_attacker_starves_power_delivery() {
         let clean = router_occupancy_under_attack(None);
-        let attacked =
-            router_occupancy_under_attack(Some(AttackConfig::saturating_low_rate()));
+        let attacked = router_occupancy_under_attack(Some(AttackConfig::saturating_low_rate()));
         // A 1 Mbps saturating attacker holds each channel >90 % of the time,
         // so the router's own occupancy collapses.
         assert!(attacked < 0.25 * clean, "clean {clean} attacked {attacked}");

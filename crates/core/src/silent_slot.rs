@@ -133,11 +133,15 @@ mod tests {
         let mut q = EventQueue::new();
         // Saturate the channel with 12.5 ms frames: idle windows stay far
         // below the guard.
-        q.schedule_repeating(SimTime::ZERO, SimDuration::from_millis(2), move |w: &mut W, q| {
-            if w.mac.queue_depth(hog) < 3 {
-                enqueue(w, q, hog, Frame::power(hog, 1500, Bitrate::B1));
-            }
-        });
+        q.schedule_repeating(
+            SimTime::ZERO,
+            SimDuration::from_millis(2),
+            move |w: &mut W, q| {
+                if w.mac.queue_depth(hog) < 3 {
+                    enqueue(w, q, hog, Frame::power(hog, 1500, Bitrate::B1));
+                }
+            },
+        );
         let ctl = spawn_silent_injector(&mut q, iface, SilentSlotConfig::default(), SimTime::ZERO);
         q.run_until(&mut w, SimTime::from_secs(2));
         let c = ctl.borrow();

@@ -3,8 +3,8 @@
 //! the determinism of the whole pipeline.
 
 use powifi_core::{
-    ip_power_check, spawn_capper, spawn_injector, CapperConfig, IpPowerVerdict,
-    PowerTrafficConfig, Router, RouterConfig, Scheme,
+    ip_power_check, spawn_capper, spawn_injector, CapperConfig, IpPowerVerdict, PowerTrafficConfig,
+    Router, RouterConfig, Scheme,
 };
 use powifi_mac::{enqueue, Frame, Mac, MacWorld, MediumId, RateController};
 use powifi_rf::{Bitrate, WifiChannel};

@@ -55,8 +55,12 @@ pub fn install_background(
     intensity: IntensityFn,
     rng: SimRng,
 ) -> (StationId, StationId) {
-    let ap = w.mac.add_station(medium, RateController::fixed(cfg.bitrate));
-    let client = w.mac.add_station(medium, RateController::fixed(cfg.bitrate));
+    let ap = w
+        .mac
+        .add_station(medium, RateController::fixed(cfg.bitrate));
+    let client = w
+        .mac
+        .add_station(medium, RateController::fixed(cfg.bitrate));
     install_traffic_source(q, ap, client, cfg, intensity, rng);
     (ap, client)
 }
@@ -125,8 +129,7 @@ fn schedule_burst(
             let _ = w;
         }
         // Next burst after the OFF gap, stretched by inverse intensity.
-        let gap = rng.exp(cfg.off_mean.as_secs_f64() / scale.max(0.05))
-            + cfg.on_mean.as_secs_f64();
+        let gap = rng.exp(cfg.off_mean.as_secs_f64() / scale.max(0.05)) + cfg.on_mean.as_secs_f64();
         let next = now + SimDuration::from_secs_f64(gap);
         schedule_burst(q, ap, client, cfg, intensity, rng, on_rate, next);
     });

@@ -6,7 +6,9 @@ use crate::office::{build_office, OfficeConfig};
 use crate::world::SimWorld;
 use powifi_core::Scheme;
 use powifi_mac::RateController;
-use powifi_net::{start_page_load, start_tcp_flow, start_udp_flow, tcp_push, Flow, SiteProfile, WanConfig};
+use powifi_net::{
+    start_page_load, start_tcp_flow, start_udp_flow, tcp_push, Flow, SiteProfile, WanConfig,
+};
 use powifi_rf::{Bitrate, Dbm, Hertz, Meters, PathLoss, Transmitter, WifiChannel};
 use powifi_sensors::{sensor_pathloss, TemperatureSensor};
 use powifi_sim::{telemetry, SimDuration, SimTime};
@@ -125,7 +127,15 @@ pub fn plt_experiment_in(
     let mut pages = Vec::new();
     let mut t = SimTime::from_millis(200);
     for _ in 0..loads {
-        let page = start_page_load(&mut w, &mut q, router_sta, client, site, WanConfig::default(), t);
+        let page = start_page_load(
+            &mut w,
+            &mut q,
+            router_sta,
+            client,
+            site,
+            WanConfig::default(),
+            t,
+        );
         pages.push(page);
         // Upper-bound page time by a generous window; the pause is enforced
         // by spacing the starts (PLTs here are « the window).
@@ -134,10 +144,7 @@ pub fn plt_experiment_in(
     q.run_until(&mut w, t + SimDuration::from_secs(30));
     let end_occ = s.router.occupancy(&w.mac, q.now()).1;
     record_run_telemetry(&w, end_occ);
-    pages
-        .iter()
-        .filter_map(|&p| w.net.pages[p].plt())
-        .collect()
+    pages.iter().filter_map(|&p| w.net.pages[p].plt()).collect()
 }
 
 /// Fig. 8: a neighbor router–client pair on channel 1 runs saturating UDP

@@ -4,11 +4,9 @@
 
 use crate::world::SimWorld;
 use powifi_mac::StationId;
-use powifi_rf::{
-    snr, Antenna, Db, Dbm, Hertz, LogDistance, Meters, Shadowed, WallMaterial,
-};
+use powifi_rf::{snr, Antenna, Db, Dbm, Hertz, LogDistance, Meters, Shadowed, WallMaterial};
 use powifi_sim::SimRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A position on the floor plan, meters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,15 +56,15 @@ fn segments_intersect(p1: Pos, p2: Pos, p3: Pos, p4: Pos) -> bool {
 
 /// A floor plan: station positions, transmit characteristics and walls.
 pub struct FloorPlan {
-    positions: HashMap<StationId, Pos>,
-    tx_power: HashMap<StationId, Dbm>,
-    antennas: HashMap<StationId, Antenna>,
+    positions: BTreeMap<StationId, Pos>,
+    tx_power: BTreeMap<StationId, Dbm>,
+    antennas: BTreeMap<StationId, Antenna>,
     walls: Vec<Wall>,
     /// Propagation model (with optional shadowing).
     pub model: Shadowed<LogDistance>,
     /// Default conducted power for unspecified stations (client devices).
     pub default_tx: Dbm,
-    shadow_offsets: HashMap<(StationId, StationId), Db>,
+    shadow_offsets: BTreeMap<(StationId, StationId), Db>,
     rng: SimRng,
 }
 
@@ -74,16 +72,16 @@ impl FloorPlan {
     /// Empty plan over an indoor-obstructed model with 3 dB shadowing.
     pub fn new(rng: SimRng) -> FloorPlan {
         FloorPlan {
-            positions: HashMap::new(),
-            tx_power: HashMap::new(),
-            antennas: HashMap::new(),
+            positions: BTreeMap::new(),
+            tx_power: BTreeMap::new(),
+            antennas: BTreeMap::new(),
             walls: Vec::new(),
             model: Shadowed {
                 inner: LogDistance::indoor_obstructed(),
                 sigma_db: 3.0,
             },
             default_tx: Dbm(15.0),
-            shadow_offsets: HashMap::new(),
+            shadow_offsets: BTreeMap::new(),
             rng,
         }
     }
@@ -195,11 +193,14 @@ mod tests {
         plan.add_wall(wall);
         // Crossing link.
         assert_eq!(
-            plan.walls_between(Pos::new(0.0, 0.0), Pos::new(10.0, 0.0)).len(),
+            plan.walls_between(Pos::new(0.0, 0.0), Pos::new(10.0, 0.0))
+                .len(),
             1
         );
         // Parallel link on one side.
-        assert!(plan.walls_between(Pos::new(0.0, 0.0), Pos::new(4.0, 3.0)).is_empty());
+        assert!(plan
+            .walls_between(Pos::new(0.0, 0.0), Pos::new(4.0, 3.0))
+            .is_empty());
     }
 
     #[test]

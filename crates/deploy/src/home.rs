@@ -12,7 +12,9 @@
 //! occupancy bin shrinks proportionally), preserving the load pattern while
 //! keeping full-workspace test times sane.
 
-use crate::background::{install_background, install_traffic_source, BackgroundConfig, IntensityFn};
+use crate::background::{
+    install_background, install_traffic_source, BackgroundConfig, IntensityFn,
+};
 use crate::diurnal::diurnal_intensity;
 use crate::world::{three_channel_world, SimWorld};
 use powifi_core::{Router, RouterConfig};
@@ -39,12 +41,48 @@ pub struct HomeConfig {
 /// Table 1 of the paper, with start hours read off Fig. 14's axes.
 pub fn table1() -> [HomeConfig; 6] {
     [
-        HomeConfig { id: 1, users: 2, devices: 6, neighbor_aps: 17, start_hour: 20.0 },
-        HomeConfig { id: 2, users: 1, devices: 1, neighbor_aps: 4, start_hour: 16.0 },
-        HomeConfig { id: 3, users: 3, devices: 6, neighbor_aps: 10, start_hour: 16.0 },
-        HomeConfig { id: 4, users: 2, devices: 4, neighbor_aps: 15, start_hour: 20.0 },
-        HomeConfig { id: 5, users: 1, devices: 2, neighbor_aps: 24, start_hour: 0.0 },
-        HomeConfig { id: 6, users: 3, devices: 6, neighbor_aps: 16, start_hour: 20.0 },
+        HomeConfig {
+            id: 1,
+            users: 2,
+            devices: 6,
+            neighbor_aps: 17,
+            start_hour: 20.0,
+        },
+        HomeConfig {
+            id: 2,
+            users: 1,
+            devices: 1,
+            neighbor_aps: 4,
+            start_hour: 16.0,
+        },
+        HomeConfig {
+            id: 3,
+            users: 3,
+            devices: 6,
+            neighbor_aps: 10,
+            start_hour: 16.0,
+        },
+        HomeConfig {
+            id: 4,
+            users: 2,
+            devices: 4,
+            neighbor_aps: 15,
+            start_hour: 20.0,
+        },
+        HomeConfig {
+            id: 5,
+            users: 1,
+            devices: 2,
+            neighbor_aps: 24,
+            start_hour: 0.0,
+        },
+        HomeConfig {
+            id: 6,
+            users: 3,
+            devices: 6,
+            neighbor_aps: 16,
+            start_hour: 20.0,
+        },
     ]
 }
 
@@ -82,7 +120,10 @@ pub fn build_home(
     seed: u64,
     sim_seconds_per_day: u64,
 ) -> (SimWorld, EventQueue<SimWorld>, HomeDeployment) {
-    assert!(sim_seconds_per_day >= 1440, "need at least 1 s per 60 s bin");
+    assert!(
+        sim_seconds_per_day >= 1440,
+        "need at least 1 s per 60 s bin"
+    );
     let bin = SimDuration::from_nanos(sim_seconds_per_day * 1_000_000_000 / 1440);
     let (mut w, mut q, channels) = three_channel_world(seed.wrapping_add(cfg.id as u64), bin);
     let rng = SimRng::from_seed(seed).derive_idx("home", cfg.id);
@@ -99,7 +140,9 @@ pub fn build_home(
     let router_sta = router.client_iface().sta;
     let dev_rng = rng.derive("devices");
     for d in 0..cfg.devices {
-        let sta = w.mac.add_station(ch1, RateController::minstrel(Bitrate::G54));
+        let sta = w
+            .mac
+            .add_station(ch1, RateController::minstrel(Bitrate::G54));
         devices.push(sta);
         // Per-device load share; heavier homes stream more.
         let base = 0.03 + 0.05 * cfg.users as f64 / cfg.devices.max(1) as f64;
@@ -239,16 +282,23 @@ mod tests {
     #[test]
     fn hours_wrap_from_start_hour() {
         let run = run_home(table1()[0], 42, 1440);
-        assert!((run.hours[0] - 20.0).abs() < 0.1, "first hour {}", run.hours[0]);
+        assert!(
+            (run.hours[0] - 20.0).abs() < 0.1,
+            "first hour {}",
+            run.hours[0]
+        );
         // Half the day later: 20 + 12 = 8.
-        assert!((run.hours[720] - 8.0).abs() < 0.1, "mid hour {}", run.hours[720]);
+        assert!(
+            (run.hours[720] - 8.0).abs() < 0.1,
+            "mid hour {}",
+            run.hours[720]
+        );
     }
 
     #[test]
     fn duty_series_is_populated() {
         let run = run_home(table1()[2], 7, 1440);
-        let mean_duty: f64 =
-            run.duty.iter().flat_map(|c| c.iter()).sum::<f64>() / (3.0 * 1440.0);
+        let mean_duty: f64 = run.duty.iter().flat_map(|c| c.iter()).sum::<f64>() / (3.0 * 1440.0);
         assert!(mean_duty > 0.1, "mean duty {mean_duty}");
     }
 }

@@ -15,14 +15,16 @@ pub mod home;
 pub mod office;
 pub mod world;
 
-pub use background::{constant_intensity, install_background, install_traffic_source, BackgroundConfig, IntensityFn};
+pub use background::{
+    constant_intensity, install_background, install_traffic_source, BackgroundConfig, IntensityFn,
+};
 pub use diurnal::diurnal_intensity;
-pub use geometry::{FloorPlan, Pos, Wall};
 pub use experiment::{
     neighbor_experiment, neighbor_experiment_in, plt_experiment, plt_experiment_in,
     sensor_rates_from_home, tcp_experiment, tcp_experiment_in, udp_experiment, udp_experiment_in,
     TcpResult, UdpResult,
 };
+pub use geometry::{FloorPlan, Pos, Wall};
 pub use home::{build_home, run_home, table1, HomeConfig, HomeDeployment, HomeRun};
 pub use office::{build_office, OfficeConfig, OfficeScenario};
 pub use world::{three_channel_world, SimWorld};

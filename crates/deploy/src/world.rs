@@ -40,11 +40,7 @@ impl NetWorld for SimWorld {
 pub fn three_channel_world(
     seed: u64,
     monitor_bin: SimDuration,
-) -> (
-    SimWorld,
-    EventQueue<SimWorld>,
-    Vec<(WifiChannel, MediumId)>,
-) {
+) -> (SimWorld, EventQueue<SimWorld>, Vec<(WifiChannel, MediumId)>) {
     let rng = SimRng::from_seed(seed);
     let mut w = SimWorld {
         mac: Mac::new(rng.derive("mac")),

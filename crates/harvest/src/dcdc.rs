@@ -25,6 +25,8 @@ pub fn mppt_factor(vref_volts: f64) -> f64 {
     (-((vref_volts - OPTIMUM) / WIDTH).powi(2)).exp()
 }
 
+use powifi_rf::Watts;
+
 /// A behavioural DC–DC converter.
 #[derive(Debug, Clone, Copy)]
 pub struct Converter {
@@ -34,8 +36,8 @@ pub struct Converter {
     pub cold_start_volts: f64,
     /// True when a battery pre-biases the chip (no cold-start requirement).
     pub battery_assisted: bool,
-    /// Quiescent drain from the store while operating, W.
-    pub quiescent_w: f64,
+    /// Quiescent drain from the store while operating.
+    pub quiescent: Watts,
     /// Store voltage at which the output switch engages (cap stores only).
     pub output_on_volts: f64,
     /// Store voltage at which the output switch disengages.
@@ -50,7 +52,7 @@ impl Converter {
             efficiency: 0.50,
             cold_start_volts: 0.30,
             battery_assisted: false,
-            quiescent_w: 0.3e-6,
+            quiescent: Watts(0.3e-6),
             output_on_volts: 2.4,
             output_off_volts: 1.8,
         }
@@ -62,7 +64,7 @@ impl Converter {
             efficiency: 0.70,
             cold_start_volts: 0.10,
             battery_assisted: true,
-            quiescent_w: 0.5e-6,
+            quiescent: Watts(0.5e-6),
             output_on_volts: 0.0,
             output_off_volts: 0.0,
         }
@@ -75,7 +77,7 @@ impl Converter {
             efficiency: 0.65,
             cold_start_volts: 0.33,
             battery_assisted: false,
-            quiescent_w: 0.5e-6,
+            quiescent: Watts(0.5e-6),
             output_on_volts: 3.1,
             output_off_volts: 2.4,
         }

@@ -137,7 +137,7 @@ impl Harvester {
         for &(_, p) in inputs {
             uw_in += p.to_uw().0;
         }
-        self.incident = self.incident + Joules(uw_in * 1e-6 * dt.as_secs_f64());
+        self.incident += MicroWatts(uw_in).to_watts() * dt.as_seconds();
         self.elapsed += dt;
         self.push_energy(dt, p_dc);
         self.housekeeping(dt);
@@ -160,7 +160,7 @@ impl Harvester {
             uw += single.0 * duty;
             uw_in += p.to_uw().0 * duty;
         }
-        self.incident = self.incident + Joules(uw_in * 1e-6 * dt.as_secs_f64());
+        self.incident += MicroWatts(uw_in).to_watts() * dt.as_seconds();
         self.elapsed += dt;
         self.push_energy(dt, MicroWatts(uw));
         self.housekeeping(dt);
@@ -168,9 +168,9 @@ impl Harvester {
     }
 
     fn push_energy(&mut self, dt: SimDuration, p: MicroWatts) {
-        let e = Joules(p.0 * 1e-6 * dt.as_secs_f64());
+        let e = p.to_watts() * dt.as_seconds();
         if e.0 > 0.0 {
-            self.harvested = self.harvested + e;
+            self.harvested += e;
             match &mut self.store {
                 Store::Cap(c) => c.charge(e),
                 Store::Batt(b) => b.charge_energy(e),
@@ -182,7 +182,7 @@ impl Harvester {
         if let Store::Cap(c) = &mut self.store {
             c.leak(dt);
             // Quiescent drain while the converter runs.
-            let q = Joules(self.converter.quiescent_w * dt.as_secs_f64());
+            let q = self.converter.quiescent * dt.as_seconds();
             let _ = c.discharge(Joules(q.0.min(c.energy().0)));
             // Output-switch hysteresis.
             if !self.output_on && c.volts >= self.converter.output_on_volts {
@@ -245,7 +245,10 @@ impl Harvester {
                 conformance::report(
                     "harvest/battery-charge",
                     at,
-                    format!("charge {} mAh outside [0, {}]", b.charge_mah, b.capacity_mah),
+                    format!(
+                        "charge {} mAh outside [0, {}]",
+                        b.charge_mah, b.capacity_mah
+                    ),
                 );
             }
         }
@@ -271,7 +274,10 @@ mod tests {
         let h = Harvester::battery_free_sensor();
         let single = h.dc_power(&[(WifiChannel::CH6.center(), Dbm(-12.0))]);
         let triple = h.dc_power(&three_channels(Dbm(-12.0)));
-        assert!(triple.0 > 1.5 * single.0, "single {single:?} triple {triple:?}");
+        assert!(
+            triple.0 > 1.5 * single.0,
+            "single {single:?} triple {triple:?}"
+        );
     }
 
     #[test]
@@ -301,7 +307,11 @@ mod tests {
                 break;
             }
         }
-        assert!(h.output_on(), "store never reached 2.4 V: {} V", h.store.volts());
+        assert!(
+            h.output_on(),
+            "store never reached 2.4 V: {} V",
+            h.store.volts()
+        );
     }
 
     #[test]
@@ -312,7 +322,9 @@ mod tests {
         }
         // Drain below the off threshold.
         let e_above_off = {
-            let Store::Cap(c) = h.store else { unreachable!() };
+            let Store::Cap(c) = h.store else {
+                unreachable!()
+            };
             c.energy().0 - 0.5 * c.farads * 1.7 * 1.7
         };
         assert!(h.draw(Joules(e_above_off)));
@@ -323,11 +335,15 @@ mod tests {
     #[test]
     fn battery_store_accumulates_charge() {
         let mut h = Harvester::recharging(Battery::nimh_aaa());
-        let Store::Batt(b0) = *h.store() else { unreachable!() };
+        let Store::Batt(b0) = *h.store() else {
+            unreachable!()
+        };
         for _ in 0..1000 {
             h.advance(SimDuration::from_secs(1), &three_channels(Dbm(-10.0)));
         }
-        let Store::Batt(b1) = *h.store() else { unreachable!() };
+        let Store::Batt(b1) = *h.store() else {
+            unreachable!()
+        };
         assert!(b1.charge_mah > b0.charge_mah);
         assert!(h.harvested.0 > 0.0);
     }
@@ -365,7 +381,10 @@ mod tests {
         h.advance(SimDuration::from_secs(1), &ch6);
         let (n, v) = conformance::take();
         assert!(n >= 1);
-        assert!(v.iter().any(|v| v.rule == "harvest/energy-conservation"), "{v:?}");
+        assert!(
+            v.iter().any(|v| v.rule == "harvest/energy-conservation"),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -378,6 +397,11 @@ mod tests {
         for _ in 0..3600 {
             h.advance(SimDuration::from_secs(1), &[]);
         }
-        assert!(h.store.volts() < v0, "no leak: {} -> {}", v0, h.store.volts());
+        assert!(
+            h.store.volts() < v0,
+            "no leak: {} -> {}",
+            v0,
+            h.store.volts()
+        );
     }
 }

@@ -165,9 +165,18 @@ mod tests {
     #[test]
     fn band_sensitivities_order_with_frequency() {
         // Lower carrier frequency → friendlier diode physics.
-        let s900 = BandFrontEnd::for_band(IsmBand::Ism900).rectifier.sensitivity.0;
-        let s2400 = BandFrontEnd::for_band(IsmBand::Ism2400).rectifier.sensitivity.0;
-        let s5800 = BandFrontEnd::for_band(IsmBand::Ism5800).rectifier.sensitivity.0;
+        let s900 = BandFrontEnd::for_band(IsmBand::Ism900)
+            .rectifier
+            .sensitivity
+            .0;
+        let s2400 = BandFrontEnd::for_band(IsmBand::Ism2400)
+            .rectifier
+            .sensitivity
+            .0;
+        let s5800 = BandFrontEnd::for_band(IsmBand::Ism5800)
+            .rectifier
+            .sensitivity
+            .0;
         assert!(s900 < s2400 && s2400 < s5800);
     }
 }

@@ -14,8 +14,8 @@
 //! Calibration anchors (see EXPERIMENTS.md): battery-free sensitivity
 //! −17.8 dBm, battery-charging −19.3 dBm, and ≈150 µW output at +4 dBm input.
 
-use powifi_sim::SimDuration;
 use powifi_rf::{Dbm, MicroWatts};
+use powifi_sim::SimDuration;
 
 /// Which harvester front-end variant (they differ in cold-start behaviour
 /// and the DC–DC operating point biasing the diodes).
@@ -220,7 +220,11 @@ mod tests {
         for _ in 0..100 {
             n.step(SimDuration::from_micros(10), 0.0);
         }
-        assert!(n.volts < 0.6 * peak && n.volts > 0.05 * peak, "v {}", n.volts);
+        assert!(
+            n.volts < 0.6 * peak && n.volts > 0.05 * peak,
+            "v {}",
+            n.volts
+        );
     }
 
     #[test]

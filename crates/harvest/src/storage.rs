@@ -2,7 +2,7 @@
 //! super-capacitor of the camera, and the NiMH / Li-Ion cells the paper
 //! recharges.
 
-use powifi_rf::Joules;
+use powifi_rf::{Joules, Watts};
 use powifi_sim::SimDuration;
 
 /// A capacitor with leakage, tracked by terminal voltage.
@@ -69,12 +69,12 @@ impl Capacitor {
         }
     }
 
-    /// Instantaneous leakage power at the present voltage, W.
-    pub fn leak_power(&self) -> f64 {
+    /// Instantaneous leakage power at the present voltage.
+    pub fn leak_power(&self) -> Watts {
         if self.leak_ohms.is_finite() {
-            self.volts * self.volts / self.leak_ohms
+            Watts(self.volts * self.volts / self.leak_ohms)
         } else {
-            0.0
+            Watts::ZERO
         }
     }
 }

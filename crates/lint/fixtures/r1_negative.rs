@@ -1,0 +1,22 @@
+// Fixture: R1 must stay quiet — sorted collections, hash names only in
+// strings/comments/tests.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Registry {
+    by_id: BTreeMap<u32, String>,
+    seen: BTreeSet<u32>,
+}
+
+pub fn describe() -> &'static str {
+    "a HashMap would be nondeterministic" // HashMap in comment is fine
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn hash_ok_in_tests() {
+        let _ = HashSet::<u8>::new();
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: R1 must fire — hash collections in a simulation crate.
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    by_id: HashMap<u32, String>,
+    seen: HashSet<u32>,
+}

@@ -1,0 +1,7 @@
+// Fixture: R2 must stay quiet — simulation time and a seeded RNG.
+use powifi_sim::{SimRng, SimTime};
+
+pub fn stamp(now: SimTime, seed: u64) -> u64 {
+    let mut rng = SimRng::seed_from(seed);
+    now.as_nanos() ^ rng.next_u64()
+}

@@ -1,0 +1,9 @@
+// Fixture: R2 must fire — wall clock and ambient RNG outside crates/bench.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let start = Instant::now();
+    let _ = SystemTime::now();
+    let mut rng = rand::thread_rng();
+    start.elapsed().as_nanos()
+}

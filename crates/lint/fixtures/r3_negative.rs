@@ -1,0 +1,15 @@
+// Fixture: R3 must stay quiet — typed errors, defaults, and test-only
+// unwraps.
+pub fn head(xs: &[u32]) -> Option<u32> {
+    let first = xs.first()?;
+    let last = xs.last().copied().unwrap_or_default();
+    Some(first + last)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_ok_in_tests() {
+        super::head(&[1, 2]).unwrap();
+    }
+}

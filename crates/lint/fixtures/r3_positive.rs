@@ -1,0 +1,6 @@
+// Fixture: R3 must fire — unwrap/expect in library code.
+pub fn head(xs: &[u32]) -> u32 {
+    let first = xs.first().unwrap();
+    let last = xs.last().expect("non-empty");
+    first + last
+}

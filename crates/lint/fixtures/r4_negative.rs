@@ -1,0 +1,4 @@
+// Fixture: R4 must stay quiet — integer comparisons and epsilon checks.
+pub fn depleted(energy_ns: u64, acc: f64) -> bool {
+    energy_ns == 0 || acc.abs() < 1e-12
+}

@@ -1,0 +1,4 @@
+// Fixture: R4 must fire — equality against float literals.
+pub fn depleted(energy_j: f64, acc: f64) -> bool {
+    energy_j == 0.0 || acc != -1.5
+}

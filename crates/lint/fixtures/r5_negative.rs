@@ -1,0 +1,6 @@
+// Fixture: R5 must stay quiet — rounding helpers and int→int casts.
+pub fn to_ns(us: f64, n: u32) -> (u64, u64) {
+    let a = (us * 1_000.0).round() as u64;
+    let b = n as u64;
+    (a, b)
+}

@@ -1,0 +1,7 @@
+// Fixture: R5 must fire — bare float→int casts.
+pub fn to_ns(us: f64, rate_mbps: f64) -> (u64, u32) {
+    let a = (us * 1_000.0) as u64;
+    let b = 2.5 as u32;
+    let _ = a;
+    (us as u64, b)
+}

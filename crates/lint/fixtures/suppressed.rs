@@ -1,0 +1,13 @@
+// Fixture: every violation here carries a justified allow — zero findings.
+use std::collections::HashMap; // powifi-lint: allow(R1) — fixture exercising same-line allow
+
+// powifi-lint: allow(unwrap) — fixture exercising slug + standalone comment
+// spanning multiple lines before the guarded statement.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // powifi-lint: allow(R3) — fixture
+}
+
+pub fn exact(x: f64) -> bool {
+    // powifi-lint: allow(float-eq) — fixture: sentinel compare
+    x == -1.0
+}

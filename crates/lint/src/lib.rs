@@ -1,0 +1,414 @@
+//! # powifi-lint
+//!
+//! In-repo static analyzer enforcing the workspace's determinism and
+//! unit-safety rules (R1–R5, see `docs/STATIC_ANALYSIS.md`). Self-contained:
+//! a hand-written lexer, no external dependencies, so it builds wherever the
+//! workspace builds.
+//!
+//! The flow: walk `crates/*/src` (and sibling trees), lex each file, run the
+//! rule catalogue, drop findings covered by inline
+//! `// powifi-lint: allow(<rule>) — <reason>` suppressions, then split the
+//! rest into *baselined* (grandfathered in `lint-baseline.txt`) and *new*.
+//! `--deny-new` exits non-zero iff any new finding survives.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rules::{FileContext, Rule};
+
+/// A finding after suppression filtering, attached to its file.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// What and why.
+    pub message: String,
+    /// Trimmed source line, used for line-drift-tolerant baseline matching.
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}/{}] {}\n    {}",
+            self.path,
+            self.line,
+            self.col,
+            self.rule.id(),
+            self.rule.slug(),
+            self.message,
+            self.snippet
+        )
+    }
+}
+
+/// Result of a full run: findings partitioned against the baseline.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings not in the baseline — these fail `--deny-new`.
+    pub new: Vec<Finding>,
+    /// Findings matched (and consumed) by baseline entries.
+    pub baselined: Vec<Finding>,
+    /// Baseline entries that matched nothing — stale, should be pruned.
+    pub stale_baseline: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Walk the workspace under `root` and collect every `.rs` file to scan.
+///
+/// Scans `crates/<name>/**.rs`; skips `target/`, the lint crate's own
+/// `fixtures/` tree (test inputs violate rules on purpose), and anything
+/// outside `crates/`. Vendored dependencies are third-party code and out of
+/// scope. Output is sorted for stable reports.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    let mut stack = vec![crates];
+    while let Some(dir) = stack.pop() {
+        let rd = match fs::read_dir(&dir) {
+            Ok(rd) => rd,
+            Err(_) => continue,
+        };
+        for entry in rd {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == "fixtures" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Classify a repo-relative path (`crates/<name>/…`) into a [`FileContext`].
+/// Returns `None` for paths not under `crates/`.
+pub fn classify(rel: &str) -> Option<FileContext> {
+    let mut parts = rel.split('/');
+    if parts.next()? != "crates" {
+        return None;
+    }
+    let crate_name = parts.next()?.to_string();
+    let rest: Vec<&str> = parts.collect();
+    let top = rest.first().copied().unwrap_or("");
+    let is_test_file = matches!(top, "tests" | "benches" | "examples");
+    let is_bin = rest == ["src", "main.rs"] || (top == "src" && rest.get(1) == Some(&"bin"));
+    Some(FileContext {
+        crate_name,
+        is_test_file,
+        is_bin,
+    })
+}
+
+/// Rules allowed on a given line by `// powifi-lint: allow(...)` comments.
+/// A trailing suppression covers its own line; a standalone one covers the
+/// whole statement starting at the first code line below its comment block.
+fn suppressions(lexed: &lexer::Lexed, src: &str) -> BTreeMap<u32, Vec<Rule>> {
+    let mut by_line: BTreeMap<u32, Vec<Rule>> = BTreeMap::new();
+    for c in &lexed.comments {
+        let Some(pos) = c.text.find("powifi-lint:") else {
+            continue;
+        };
+        let after = &c.text[pos + "powifi-lint:".len()..];
+        let Some(open) = after.find("allow(") else {
+            continue;
+        };
+        let args = &after[open + "allow(".len()..];
+        let Some(close) = args.find(')') else {
+            continue;
+        };
+        let rules: Vec<Rule> = args[..close].split(',').filter_map(Rule::parse).collect();
+        if rules.is_empty() {
+            continue;
+        }
+        by_line
+            .entry(c.line)
+            .or_default()
+            .extend(rules.iter().copied());
+        // A comment on a line of its own covers the first code line below
+        // it, skipping the rest of its own comment block — so a multi-line
+        // justification still lands on the statement it guards.
+        let lines: Vec<&str> = src.lines().collect();
+        let own_line = lines
+            .get(c.line as usize - 1)
+            .map(|l| l.trim_start().starts_with("//"))
+            .unwrap_or(false);
+        if own_line {
+            let mut target = c.line as usize; // 0-based index of next line
+            while lines
+                .get(target)
+                .map(|l| l.trim_start().starts_with("//"))
+                .unwrap_or(false)
+            {
+                target += 1;
+            }
+            let first = target as u32 + 1;
+            // Cover the whole statement, not just its first line — rustfmt
+            // is free to split a guarded chain across lines. The statement
+            // ends at the first `;` or block-opening `{` at nesting depth 0.
+            let last = statement_end_line(&lexed.tokens, first);
+            for line in first..=last.max(first) {
+                by_line
+                    .entry(line)
+                    .or_default()
+                    .extend(rules.iter().copied());
+            }
+        }
+    }
+    by_line
+}
+
+/// Line of the token ending the statement that starts at `first_line`: the
+/// first `;` or block-opening `{` at bracket depth zero. Falls back to
+/// `first_line` when the line holds no tokens.
+fn statement_end_line(tokens: &[lexer::Token], first_line: u32) -> u32 {
+    let Some(start) = tokens.iter().position(|t| t.line >= first_line) else {
+        return first_line;
+    };
+    if tokens[start].line != first_line {
+        return first_line;
+    }
+    let mut depth = 0i32;
+    for t in &tokens[start..] {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            ";" | "{" if depth <= 0 => return t.line,
+            _ => {}
+        }
+    }
+    first_line
+}
+
+/// Scan one file (already read) and return surviving findings.
+pub fn scan_source(rel: &str, src: &str) -> Vec<Finding> {
+    let Some(ctx) = classify(rel) else {
+        return Vec::new();
+    };
+    let lexed = lexer::lex(src);
+    let raw = rules::check_file(&ctx, &lexed);
+    if raw.is_empty() {
+        return Vec::new();
+    }
+    let allowed = suppressions(&lexed, src);
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| {
+            !allowed
+                .get(&f.line)
+                .map(|rs| rs.contains(&f.rule))
+                .unwrap_or(false)
+        })
+        .map(|f| Finding {
+            path: rel.to_string(),
+            line: f.line,
+            col: f.col,
+            rule: f.rule,
+            message: f.message,
+            snippet: lines
+                .get(f.line as usize - 1)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default(),
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Baseline entry key: line numbers deliberately excluded so entries survive
+/// unrelated edits above them.
+fn baseline_key(rule: Rule, path: &str, snippet: &str) -> String {
+    format!("{}\t{}\t{}", rule.id(), path, snippet)
+}
+
+/// Parse a baseline file into a multiset of keys.
+pub fn parse_baseline(text: &str) -> BTreeMap<String, u32> {
+    let mut set = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        *set.entry(line.to_string()).or_insert(0) += 1;
+    }
+    set
+}
+
+/// Render findings as baseline file content (header + sorted keys).
+pub fn render_baseline(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# powifi-lint baseline: grandfathered findings, one per line as\n\
+         # <rule>\\t<path>\\t<snippet>. Regenerate with `cargo lint --write-baseline`.\n\
+         # Burn these down; never add to this file to dodge a new finding.\n",
+    );
+    let mut keys: Vec<String> = findings
+        .iter()
+        .map(|f| baseline_key(f.rule, &f.path, &f.snippet))
+        .collect();
+    keys.sort();
+    for k in keys {
+        out.push_str(&k);
+        out.push('\n');
+    }
+    out
+}
+
+/// Run the analyzer over the workspace at `root`.
+///
+/// `baseline` is the parsed content of `lint-baseline.txt` (empty map if the
+/// file is absent). Each baseline entry absorbs at most its multiplicity of
+/// matching findings; leftovers surface in [`Report::stale_baseline`].
+pub fn run(root: &Path, baseline: &BTreeMap<String, u32>) -> std::io::Result<Report> {
+    let files = collect_files(root)?;
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    let mut remaining = baseline.clone();
+    let mut all = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(path)?;
+        all.extend(scan_source(&rel, &src));
+    }
+    all.sort();
+    for f in all {
+        let key = baseline_key(f.rule, &f.path, &f.snippet);
+        match remaining.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                report.baselined.push(f);
+            }
+            _ => report.new.push(f),
+        }
+    }
+    for (key, n) in remaining {
+        for _ in 0..n {
+            report.stale_baseline.push(key.clone());
+        }
+    }
+    Ok(report)
+}
+
+/// Locate the workspace root: walk up from `start` to the first directory
+/// containing a `Cargo.toml` with a `[workspace]` table.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        let c = classify("crates/mac/src/world.rs").unwrap();
+        assert_eq!(c.crate_name, "mac");
+        assert!(!c.is_test_file && !c.is_bin);
+        let c = classify("crates/bench/src/bin/fig05.rs").unwrap();
+        assert!(c.is_bin);
+        let c = classify("crates/sim/tests/determinism.rs").unwrap();
+        assert!(c.is_test_file);
+        let c = classify("crates/core/src/main.rs").unwrap();
+        assert!(c.is_bin);
+        assert!(classify("vendor/rand/src/lib.rs").is_none());
+    }
+
+    #[test]
+    fn suppression_same_line_and_line_above() {
+        let src = "fn f(x: Option<u8>) {\n\
+                   x.unwrap(); // powifi-lint: allow(R3) — invariant: checked above\n\
+                   // powifi-lint: allow(unwrap) — startup only\n\
+                   x.unwrap();\n\
+                   x.unwrap();\n}\n";
+        let f = scan_source("crates/mac/src/lib.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn suppression_covers_a_statement_split_across_lines() {
+        let src = "fn f(x: Option<u8>) {\n\
+                   // powifi-lint: allow(R3) — invariant documented here\n\
+                   let v = x\n\
+                       .map(|v| v + 1)\n\
+                       .unwrap();\n\
+                   let w = x.unwrap();\n}\n";
+        let f = scan_source("crates/mac/src/lib.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn suppression_is_rule_specific() {
+        let src = "// powifi-lint: allow(R1) — wrong rule\nfn f(x: Option<u8>) { x.unwrap(); }\n";
+        let f = scan_source("crates/mac/src/lib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Unwrap);
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_multiplicity() {
+        let src = "fn f(a: Option<u8>, b: Option<u8>) { a.unwrap(); b.unwrap(); }\n";
+        let findings = scan_source("crates/mac/src/lib.rs", src);
+        assert_eq!(findings.len(), 2);
+        let text = render_baseline(&findings);
+        let parsed = parse_baseline(&text);
+        // Same snippet twice → one key with multiplicity 2.
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed.values().copied().sum::<u32>(), 2);
+    }
+
+    #[test]
+    fn baseline_ignores_line_numbers() {
+        let a = scan_source(
+            "crates/mac/src/lib.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); }\n",
+        );
+        let b = scan_source(
+            "crates/mac/src/lib.rs",
+            "// a new comment shifting lines\n\nfn f(x: Option<u8>) { x.unwrap(); }\n",
+        );
+        let key_a = baseline_key(a[0].rule, &a[0].path, &a[0].snippet);
+        let key_b = baseline_key(b[0].rule, &b[0].path, &b[0].snippet);
+        assert_eq!(key_a, key_b);
+        assert_ne!(a[0].line, b[0].line);
+    }
+}

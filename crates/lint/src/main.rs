@@ -1,0 +1,139 @@
+//! CLI for powifi-lint. Usually invoked through the cargo alias:
+//! `cargo lint [--deny-new] [--write-baseline]`.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use powifi_lint::{find_root, parse_baseline, render_baseline, rules::Rule, run};
+
+const USAGE: &str = "\
+powifi-lint: workspace determinism/unit-safety analyzer
+
+USAGE:
+    cargo lint [OPTIONS]
+    cargo run -p powifi-lint -- [OPTIONS]
+
+OPTIONS:
+    --deny-new            Exit 1 if any finding is not in the baseline
+    --write-baseline      Rewrite the baseline from current findings
+    --root <DIR>          Workspace root (default: auto-detected)
+    --baseline <FILE>     Baseline path (default: <root>/lint-baseline.txt)
+    --rules               Print the rule catalogue and exit
+    -h, --help            Show this help
+
+Findings are suppressed inline with:
+    // powifi-lint: allow(<rule>) — <reason>
+where <rule> is an id (R1..R5) or slug. See docs/STATIC_ANALYSIS.md.";
+
+fn main() -> ExitCode {
+    let mut deny_new = false;
+    let mut write_baseline = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut baseline_arg: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny-new" => deny_new = true,
+            "--write-baseline" => write_baseline = true,
+            "--root" => match args.next() {
+                Some(v) => root_arg = Some(PathBuf::from(v)),
+                None => return usage_error("--root needs a value"),
+            },
+            "--baseline" => match args.next() {
+                Some(v) => baseline_arg = Some(PathBuf::from(v)),
+                None => return usage_error("--baseline needs a value"),
+            },
+            "--rules" => {
+                for r in Rule::ALL {
+                    println!("{} ({}): {}", r.id(), r.slug(), r.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown option `{other}`")),
+        }
+    }
+
+    let root = match root_arg.or_else(|| {
+        std::env::var("CARGO_MANIFEST_DIR")
+            .ok()
+            .map(PathBuf::from)
+            .and_then(|p| find_root(&p))
+            .or_else(|| std::env::current_dir().ok().and_then(|p| find_root(&p)))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("powifi-lint: cannot locate workspace root; pass --root");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = baseline_arg.unwrap_or_else(|| root.join("lint-baseline.txt"));
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => parse_baseline(&text),
+        Err(_) => BTreeMap::new(),
+    };
+
+    let report = match run(&root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("powifi-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_baseline {
+        let mut all = report.baselined.clone();
+        all.extend(report.new.iter().cloned());
+        let text = render_baseline(&all);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("powifi-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "powifi-lint: wrote {} entries to {}",
+            all.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    for f in &report.new {
+        println!("{f}");
+    }
+    if !deny_new {
+        for f in &report.baselined {
+            println!("{f}  [baselined]");
+        }
+    }
+    for key in &report.stale_baseline {
+        eprintln!("powifi-lint: stale baseline entry (prune it): {key}");
+    }
+    println!(
+        "powifi-lint: {} files scanned, {} new finding(s), {} baselined, {} stale baseline entr(ies)",
+        report.files_scanned,
+        report.new.len(),
+        report.baselined.len(),
+        report.stale_baseline.len()
+    );
+
+    if deny_new && !report.new.is_empty() {
+        eprintln!(
+            "powifi-lint: {} new finding(s); fix them, add a justified \
+             `// powifi-lint: allow(...)`, or (last resort) extend the baseline",
+            report.new.len()
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("powifi-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

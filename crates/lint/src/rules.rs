@@ -1,0 +1,490 @@
+//! The rule catalogue: R1–R5, each a token-level pass over one lexed file.
+//!
+//! Scope model: every rule declares which crates it patrols and whether it
+//! looks inside test regions. "Simulation crates" are the ones whose
+//! iteration order, clocks, and float handling feed the golden artifacts;
+//! `crates/bench` is the sanctioned boundary where wall clocks and ambient
+//! randomness are allowed (progress bars, run timing), so R2 exempts it.
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// Crates whose behavior feeds simulation results (R1/R3/R4/R5 scope).
+pub const SIM_CRATES: [&str; 8] = [
+    "core", "deploy", "harvest", "mac", "net", "rf", "sensors", "sim",
+];
+
+/// The five rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1: no `HashMap`/`HashSet` in simulation crates.
+    HashIteration,
+    /// R2: no wall clocks or ambient randomness outside `crates/bench`.
+    AmbientNondeterminism,
+    /// R3: no `unwrap()`/`expect()` in non-test library code.
+    Unwrap,
+    /// R4: no `==`/`!=` against float values.
+    FloatEq,
+    /// R5: no bare `as` float→int casts without a rounding helper.
+    BareCast,
+}
+
+impl Rule {
+    /// All rules, in id order.
+    pub const ALL: [Rule; 5] = [
+        Rule::HashIteration,
+        Rule::AmbientNondeterminism,
+        Rule::Unwrap,
+        Rule::FloatEq,
+        Rule::BareCast,
+    ];
+
+    /// Short id (`R1`…`R5`), used in output and baseline entries.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::HashIteration => "R1",
+            Rule::AmbientNondeterminism => "R2",
+            Rule::Unwrap => "R3",
+            Rule::FloatEq => "R4",
+            Rule::BareCast => "R5",
+        }
+    }
+
+    /// Human slug, accepted in `allow(...)` alongside the id.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::HashIteration => "hash-iteration",
+            Rule::AmbientNondeterminism => "ambient-nondeterminism",
+            Rule::Unwrap => "unwrap",
+            Rule::FloatEq => "float-eq",
+            Rule::BareCast => "bare-cast",
+        }
+    }
+
+    /// Parse an id or slug (case-insensitive for ids).
+    pub fn parse(s: &str) -> Option<Rule> {
+        let s = s.trim();
+        Rule::ALL
+            .into_iter()
+            .find(|r| r.id().eq_ignore_ascii_case(s) || r.slug() == s)
+    }
+
+    /// One-line description for `--rules` and reports.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::HashIteration => {
+                "HashMap/HashSet iteration order is seeded per process; use BTreeMap/BTreeSet"
+            }
+            Rule::AmbientNondeterminism => {
+                "wall clocks and ambient RNGs (Instant, SystemTime, thread_rng, …) break replay"
+            }
+            Rule::Unwrap => "unwrap()/expect() in library code; use typed errors or justify",
+            Rule::FloatEq => "==/!= on floats; compare integer ns/tolerances instead",
+            Rule::BareCast => "bare `as` float→int cast; go through .round()/.floor()/.ceil()",
+        }
+    }
+
+    /// Does this rule patrol `crate_name`?
+    pub fn applies_to_crate(self, crate_name: &str) -> bool {
+        match self {
+            Rule::AmbientNondeterminism => crate_name != "bench",
+            _ => SIM_CRATES.contains(&crate_name),
+        }
+    }
+}
+
+/// Where a file sits, as far as rule scoping cares.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Crate directory name under `crates/` (e.g. `mac`).
+    pub crate_name: String,
+    /// Entire file is test/bench/example code (`tests/`, `benches/`,
+    /// `examples/` trees) — R1/R3/R4/R5 skip it wholesale.
+    pub is_test_file: bool,
+    /// File is a binary entry point (`src/bin/`, `src/main.rs`) — R3 skips
+    /// it (CLIs may exit via expect on startup errors).
+    pub is_bin: bool,
+}
+
+/// One raw finding, before suppression/baseline filtering.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RawFinding {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// What and why, with the offending token inline.
+    pub message: String,
+}
+
+/// Token index ranges (half-open) covered by `#[test]` / `#[cfg(test)]`.
+fn test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "#" && i + 1 < toks.len() && toks[i + 1].text == "[" {
+            // Collect the attribute token span.
+            let attr_start = i + 2;
+            let mut depth = 1u32;
+            let mut j = attr_start;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let attr = &toks[attr_start..j.saturating_sub(1)];
+            // `#[test]`, `#[cfg(test)]`, `#[tokio::test]`-style. The
+            // consecutive `cfg ( test` check deliberately rejects
+            // `#[cfg(not(test))]`.
+            let is_test_attr = (attr.len() == 1 && attr[0].text == "test")
+                || attr
+                    .windows(3)
+                    .any(|w| w[0].text == "cfg" && w[1].text == "(" && w[2].text == "test")
+                || (attr.len() >= 3
+                    && attr[attr.len() - 1].text == "test"
+                    && attr[attr.len() - 2].text == "::");
+            if is_test_attr {
+                // Guarded item: from here to the close of the first brace
+                // block after the attribute (skipping further attributes).
+                let mut k = j;
+                while k + 1 < toks.len() && toks[k].text == "#" && toks[k + 1].text == "[" {
+                    let mut d = 1u32;
+                    k += 2;
+                    while k < toks.len() && d > 0 {
+                        match toks[k].text.as_str() {
+                            "[" => d += 1,
+                            "]" => d -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                while k < toks.len() && toks[k].text != "{" && toks[k].text != ";" {
+                    k += 1;
+                }
+                if k < toks.len() && toks[k].text == "{" {
+                    let mut d = 1u32;
+                    let mut e = k + 1;
+                    while e < toks.len() && d > 0 {
+                        match toks[e].text.as_str() {
+                            "{" => d += 1,
+                            "}" => d -= 1,
+                            _ => {}
+                        }
+                        e += 1;
+                    }
+                    regions.push((i, e));
+                    i = e;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], idx: usize) -> bool {
+    regions.iter().any(|&(s, e)| idx >= s && idx < e)
+}
+
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+const ROUNDING_HELPERS: [&str; 4] = ["round", "floor", "ceil", "trunc"];
+
+/// Idents whose mere presence means ambient nondeterminism (R2).
+const AMBIENT_IDENTS: [&str; 5] = [
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+];
+
+/// Run every applicable rule over one lexed file.
+pub fn check_file(ctx: &FileContext, lexed: &Lexed) -> Vec<RawFinding> {
+    let toks = &lexed.tokens;
+    let regions = test_regions(toks);
+    let mut out = Vec::new();
+
+    // Test trees are out of scope for every rule — including R2, since
+    // timing a test harness is not a simulation concern.
+    if ctx.is_test_file {
+        return out;
+    }
+    let active: Vec<Rule> = Rule::ALL
+        .into_iter()
+        .filter(|r| r.applies_to_crate(&ctx.crate_name))
+        .collect();
+    if active.is_empty() {
+        return out;
+    }
+
+    for (i, t) in toks.iter().enumerate() {
+        if in_regions(&regions, i) {
+            continue;
+        }
+        // R1 — hash collections.
+        if active.contains(&Rule::HashIteration)
+            && t.kind == TokKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+        {
+            out.push(RawFinding {
+                line: t.line,
+                col: t.col,
+                rule: Rule::HashIteration,
+                message: format!(
+                    "`{}` has per-process iteration order; use BTree{} (or a sorted Vec)",
+                    t.text,
+                    &t.text[4..]
+                ),
+            });
+        }
+        // R2 — ambient nondeterminism.
+        if active.contains(&Rule::AmbientNondeterminism)
+            && t.kind == TokKind::Ident
+            && AMBIENT_IDENTS.contains(&t.text.as_str())
+        {
+            out.push(RawFinding {
+                line: t.line,
+                col: t.col,
+                rule: Rule::AmbientNondeterminism,
+                message: format!(
+                    "`{}` is ambient nondeterminism; simulations must use SimTime and seeded SimRng",
+                    t.text
+                ),
+            });
+        }
+        // R3 — unwrap/expect in library code.
+        if active.contains(&Rule::Unwrap)
+            && !ctx.is_bin
+            && t.kind == TokKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).map(|n| n.text == "(").unwrap_or(false)
+        {
+            out.push(RawFinding {
+                line: t.line,
+                col: t.col,
+                rule: Rule::Unwrap,
+                message: format!(
+                    "`.{}()` in library code; return a typed error or justify with an allow",
+                    t.text
+                ),
+            });
+        }
+        // R4 — float equality.
+        if active.contains(&Rule::FloatEq)
+            && t.kind == TokKind::Punct
+            && (t.text == "==" || t.text == "!=")
+        {
+            let prev_float = i > 0 && toks[i - 1].kind == TokKind::Float;
+            // Allow a unary minus between the operator and the literal.
+            let next_float = match (toks.get(i + 1), toks.get(i + 2)) {
+                (Some(n), _) if n.kind == TokKind::Float => true,
+                (Some(n), Some(nn)) if n.text == "-" && nn.kind == TokKind::Float => true,
+                _ => false,
+            };
+            if prev_float || next_float {
+                out.push(RawFinding {
+                    line: t.line,
+                    col: t.col,
+                    rule: Rule::FloatEq,
+                    message: format!(
+                        "`{}` against a float literal; accumulated f64 time/energy never \
+                         compares exactly — use integer ns or an epsilon",
+                        t.text
+                    ),
+                });
+            }
+        }
+        // R5 — bare float→int cast.
+        if active.contains(&Rule::BareCast)
+            && t.kind == TokKind::Ident
+            && t.text == "as"
+            && toks
+                .get(i + 1)
+                .map(|n| n.kind == TokKind::Ident && INT_TYPES.contains(&n.text.as_str()))
+                .unwrap_or(false)
+            && i > 0
+        {
+            if let Some(msg) = bare_cast_evidence(toks, i) {
+                out.push(RawFinding {
+                    line: t.line,
+                    col: t.col,
+                    rule: Rule::BareCast,
+                    message: msg,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Decide whether the expression left of `toks[as_idx]` (`as`) is a float
+/// being truncated without a rounding helper. Purely lexical, so this is a
+/// heuristic: it flags float literals, `f64`/`f32` casts, `*_f64()` getters,
+/// and parenthesized groups containing any of those — and accepts anything
+/// that went through `.round()`/`.floor()`/`.ceil()`/`.trunc()`.
+fn bare_cast_evidence(toks: &[Token], as_idx: usize) -> Option<String> {
+    let prev = &toks[as_idx - 1];
+    match prev.kind {
+        TokKind::Float => Some(format!(
+            "float literal `{}` truncated by bare `as`; use .round()/.floor()/.ceil() first \
+             (see SimDuration::from_micros_f64)",
+            prev.text
+        )),
+        TokKind::Ident if prev.text == "f64" || prev.text == "f32" => Some(
+            "float value truncated by bare `as`; use .round()/.floor()/.ceil() first".to_string(),
+        ),
+        TokKind::Punct if prev.text == ")" => {
+            // Walk back to the matching `(`.
+            let mut depth = 1i32;
+            let mut j = as_idx - 1;
+            while j > 0 && depth > 0 {
+                j -= 1;
+                match toks[j].text.as_str() {
+                    ")" => depth += 1,
+                    "(" => depth -= 1,
+                    _ => {}
+                }
+            }
+            if depth != 0 {
+                return None;
+            }
+            // Method/function name directly before the group?
+            if j > 0 && toks[j - 1].kind == TokKind::Ident {
+                let name = toks[j - 1].text.as_str();
+                if ROUNDING_HELPERS.contains(&name) {
+                    return None; // blessed: .round() as u64
+                }
+                if name.ends_with("_f64") || name.ends_with("_f32") || name == "mbps" {
+                    return Some(format!(
+                        "`{name}()` returns a float; bare `as` truncates — \
+                         use .round()/.floor()/.ceil() first"
+                    ));
+                }
+            }
+            let group = &toks[j..as_idx - 1];
+            let floaty = group.iter().any(|g| {
+                g.kind == TokKind::Float
+                    || (g.kind == TokKind::Ident && (g.text == "f64" || g.text == "f32"))
+            });
+            floaty.then(|| {
+                "float expression truncated by bare `as`; \
+                 use .round()/.floor()/.ceil() first"
+                    .to_string()
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx() -> FileContext {
+        FileContext {
+            crate_name: "mac".into(),
+            is_test_file: false,
+            is_bin: false,
+        }
+    }
+
+    fn run(src: &str) -> Vec<RawFinding> {
+        check_file(&ctx(), &lex(src))
+    }
+
+    #[test]
+    fn r1_fires_on_hashmap_not_in_tests() {
+        let f = run("use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32>; }");
+        assert_eq!(
+            f.iter().filter(|f| f.rule == Rule::HashIteration).count(),
+            2
+        );
+        let f = run("#[cfg(test)]\nmod tests { use std::collections::HashSet; }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_checked() {
+        let f = run("#[cfg(not(test))]\nfn f() { let m: std::collections::HashMap<u8, u8>; }");
+        assert_eq!(
+            f.iter().filter(|f| f.rule == Rule::HashIteration).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn r2_fires_on_instant_and_thread_rng() {
+        let f = run("fn f() { let t = std::time::Instant::now(); let r = thread_rng(); }");
+        let r2: Vec<_> = f
+            .iter()
+            .filter(|f| f.rule == Rule::AmbientNondeterminism)
+            .collect();
+        assert_eq!(r2.len(), 2);
+    }
+
+    #[test]
+    fn r3_fires_on_unwrap_not_unwrap_or() {
+        let f = run("fn f(x: Option<u8>) { x.unwrap(); x.unwrap_or(0); x.expect(\"m\"); }");
+        let r3: Vec<_> = f.iter().filter(|f| f.rule == Rule::Unwrap).collect();
+        assert_eq!(r3.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn r3_skips_bins_and_test_fns() {
+        let mut c = ctx();
+        c.is_bin = true;
+        let f = check_file(&c, &lex("fn main() { foo().unwrap(); }"));
+        assert!(f.iter().all(|f| f.rule != Rule::Unwrap));
+        let f = run("#[test]\nfn t() { foo().unwrap(); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn r4_fires_on_float_literal_equality() {
+        let f = run("fn f(x: f64) { if x == 0.0 {} if x != -1.5 {} if 2.0 == x {} }");
+        assert_eq!(f.iter().filter(|f| f.rule == Rule::FloatEq).count(), 3);
+        let f = run("fn f(x: u64) { if x == 0 {} }");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn r5_fires_on_bare_float_casts_and_blesses_round() {
+        let f = run("fn f(x: f64) { let a = 1.5 as u64; let b = (x * 2.0) as u32; }");
+        assert_eq!(f.iter().filter(|f| f.rule == Rule::BareCast).count(), 2);
+        let f = run("fn f(x: f64) { let a = (x * 2.0).round() as u64; let b = 3 as u64; }");
+        assert!(f.iter().all(|f| f.rule != Rule::BareCast), "{f:?}");
+    }
+
+    #[test]
+    fn r5_flags_known_float_getters() {
+        let f = run("fn f(r: Bitrate) { let b = r.mbps() as u64; }");
+        assert_eq!(f.iter().filter(|f| f.rule == Rule::BareCast).count(), 1);
+    }
+
+    #[test]
+    fn scope_respects_crates() {
+        let mut c = ctx();
+        c.crate_name = "bench".into();
+        let lexed = lex("fn f() { let t = Instant::now(); let m: HashMap<u8,u8>; }");
+        let f = check_file(&c, &lexed);
+        assert!(f.is_empty(), "bench is exempt: {f:?}");
+        c.crate_name = "lint".into();
+        let f = check_file(&c, &lexed);
+        assert_eq!(f.len(), 1, "lint gets R2 only: {f:?}");
+        assert_eq!(f[0].rule, Rule::AmbientNondeterminism);
+    }
+}

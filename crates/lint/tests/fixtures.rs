@@ -1,0 +1,221 @@
+//! Fixture-driven conformance tests for powifi-lint: one positive and one
+//! negative fixture per rule, suppression handling, baseline handling, and
+//! output stability across runs.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+use powifi_lint::rules::Rule;
+use powifi_lint::{parse_baseline, render_baseline, run, scan_source};
+
+/// Lex/scan a fixture as if it lived in a simulation crate's src tree.
+fn scan_fixture(src: &str) -> Vec<powifi_lint::Finding> {
+    scan_source("crates/mac/src/fixture.rs", src)
+}
+
+fn rules_fired(src: &str) -> Vec<Rule> {
+    let mut rs: Vec<Rule> = scan_fixture(src).into_iter().map(|f| f.rule).collect();
+    rs.dedup();
+    rs
+}
+
+#[test]
+fn r1_positive_and_negative() {
+    let pos = include_str!("../fixtures/r1_positive.rs");
+    let f = scan_fixture(pos);
+    assert!(f.iter().all(|f| f.rule == Rule::HashIteration), "{f:?}");
+    // `use {HashMap, HashSet}` + two field types = 4 sites.
+    assert_eq!(f.len(), 4, "{f:?}");
+    assert!(rules_fired(include_str!("../fixtures/r1_negative.rs")).is_empty());
+}
+
+#[test]
+fn r2_positive_and_negative() {
+    let f = scan_fixture(include_str!("../fixtures/r2_positive.rs"));
+    assert!(
+        f.iter().all(|f| f.rule == Rule::AmbientNondeterminism),
+        "{f:?}"
+    );
+    // Instant ×2 (use + call), SystemTime ×2, thread_rng ×1.
+    assert_eq!(f.len(), 5, "{f:?}");
+    assert!(rules_fired(include_str!("../fixtures/r2_negative.rs")).is_empty());
+}
+
+#[test]
+fn r2_is_exempt_in_bench() {
+    let pos = include_str!("../fixtures/r2_positive.rs");
+    let f = scan_source("crates/bench/src/progress.rs", pos);
+    assert!(f.is_empty(), "bench may use wall clocks: {f:?}");
+}
+
+#[test]
+fn r3_positive_and_negative() {
+    let f = scan_fixture(include_str!("../fixtures/r3_positive.rs"));
+    assert_eq!(
+        f.iter().filter(|f| f.rule == Rule::Unwrap).count(),
+        2,
+        "{f:?}"
+    );
+    assert!(rules_fired(include_str!("../fixtures/r3_negative.rs")).is_empty());
+}
+
+#[test]
+fn r3_is_exempt_in_bins() {
+    let pos = include_str!("../fixtures/r3_positive.rs");
+    let f = scan_source("crates/mac/src/bin/tool.rs", pos);
+    assert!(f.is_empty(), "bins may expect on startup: {f:?}");
+}
+
+#[test]
+fn r4_positive_and_negative() {
+    let f = scan_fixture(include_str!("../fixtures/r4_positive.rs"));
+    assert_eq!(
+        f.iter().filter(|f| f.rule == Rule::FloatEq).count(),
+        2,
+        "{f:?}"
+    );
+    assert!(rules_fired(include_str!("../fixtures/r4_negative.rs")).is_empty());
+}
+
+#[test]
+fn r5_positive_and_negative() {
+    let f = scan_fixture(include_str!("../fixtures/r5_positive.rs"));
+    assert_eq!(
+        f.iter().filter(|f| f.rule == Rule::BareCast).count(),
+        2,
+        "{f:?}"
+    );
+    assert!(rules_fired(include_str!("../fixtures/r5_negative.rs")).is_empty());
+}
+
+#[test]
+fn suppressions_silence_every_fixture_violation() {
+    let f = scan_fixture(include_str!("../fixtures/suppressed.rs"));
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn test_trees_are_fully_exempt() {
+    let pos = include_str!("../fixtures/r1_positive.rs");
+    assert!(scan_source("crates/mac/tests/golden.rs", pos).is_empty());
+    assert!(scan_source("crates/mac/benches/speed.rs", pos).is_empty());
+}
+
+/// Build a throwaway mini-workspace under the target tmpdir so `run()` can
+/// be exercised end-to-end (walker → rules → baseline partitioning).
+struct MiniRepo {
+    root: PathBuf,
+}
+
+impl MiniRepo {
+    fn new(tag: &str) -> MiniRepo {
+        let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("mini-{tag}"));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/mac/src")).unwrap();
+        fs::create_dir_all(root.join("crates/bench/src")).unwrap();
+        fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+        MiniRepo { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let p = self.root.join(rel);
+        fs::create_dir_all(p.parent().unwrap()).unwrap();
+        fs::write(p, content).unwrap();
+    }
+}
+
+impl Drop for MiniRepo {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn two_runs_produce_identical_findings_in_identical_order() {
+    let repo = MiniRepo::new("stable");
+    repo.write(
+        "crates/mac/src/a.rs",
+        include_str!("../fixtures/r1_positive.rs"),
+    );
+    repo.write(
+        "crates/mac/src/b.rs",
+        include_str!("../fixtures/r3_positive.rs"),
+    );
+    repo.write(
+        "crates/mac/src/c.rs",
+        include_str!("../fixtures/r5_positive.rs"),
+    );
+    let empty = BTreeMap::new();
+    let r1 = run(&repo.root, &empty).unwrap();
+    let r2 = run(&repo.root, &empty).unwrap();
+    let render = |r: &powifi_lint::Report| {
+        r.new
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert!(!r1.new.is_empty());
+    assert_eq!(render(&r1), render(&r2));
+    // Sorted by path, then position.
+    let paths: Vec<&str> = r1.new.iter().map(|f| f.path.as_str()).collect();
+    let mut sorted = paths.clone();
+    sorted.sort();
+    assert_eq!(paths, sorted);
+}
+
+#[test]
+fn baseline_absorbs_old_findings_and_flags_new_ones() {
+    let repo = MiniRepo::new("baseline");
+    repo.write(
+        "crates/mac/src/a.rs",
+        include_str!("../fixtures/r3_positive.rs"),
+    );
+    let empty = BTreeMap::new();
+    let before = run(&repo.root, &empty).unwrap();
+    assert_eq!(before.new.len(), 2);
+
+    // Grandfather everything, then re-run: nothing new, nothing stale.
+    let baseline = parse_baseline(&render_baseline(&before.new));
+    let after = run(&repo.root, &baseline).unwrap();
+    assert!(after.new.is_empty(), "{:?}", after.new);
+    assert_eq!(after.baselined.len(), 2);
+    assert!(after.stale_baseline.is_empty());
+
+    // A fresh violation in another file is still reported as new.
+    repo.write(
+        "crates/mac/src/b.rs",
+        include_str!("../fixtures/r1_positive.rs"),
+    );
+    let grown = run(&repo.root, &baseline).unwrap();
+    assert_eq!(grown.baselined.len(), 2);
+    assert!(grown.new.iter().all(|f| f.rule == Rule::HashIteration));
+    assert!(!grown.new.is_empty());
+
+    // Fixing a grandfathered finding leaves a stale entry to prune.
+    repo.write("crates/mac/src/a.rs", "pub fn ok() {}\n");
+    let shrunk = run(&repo.root, &baseline).unwrap();
+    assert_eq!(shrunk.stale_baseline.len(), 2);
+}
+
+#[test]
+fn bench_crate_wall_clock_is_not_reported_by_run() {
+    let repo = MiniRepo::new("bench");
+    repo.write(
+        "crates/bench/src/timing.rs",
+        include_str!("../fixtures/r2_positive.rs"),
+    );
+    repo.write(
+        "crates/mac/src/timing.rs",
+        include_str!("../fixtures/r2_positive.rs"),
+    );
+    let empty = BTreeMap::new();
+    let r = run(&repo.root, &empty).unwrap();
+    assert!(
+        r.new.iter().all(|f| f.path.starts_with("crates/mac/")),
+        "{:?}",
+        r.new
+    );
+    assert_eq!(r.new.len(), 5);
+}

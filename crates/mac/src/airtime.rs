@@ -68,9 +68,11 @@ pub fn frame_airtime(bytes: u32, rate: Bitrate) -> SimDuration {
     let bits = 8 * bytes as u64;
     if rate.is_dsss() {
         let payload_us = (bits as f64) / rate.mbps();
-        SimDuration::from_nanos(192_000 + (payload_us * 1_000.0).round() as u64)
+        SimDuration::from_micros(192) + SimDuration::from_micros_f64(payload_us)
     } else {
-        let bits_per_symbol = (rate.mbps() * 4.0) as u64; // 4 µs symbols
+        // 4 µs symbols; mbps × 4 is exact for every OFDM rate, so rounding
+        // is a formality that keeps the float→int conversion checked.
+        let bits_per_symbol = (rate.mbps() * 4.0).round() as u64;
         let symbols = (16 + 6 + bits).div_ceil(bits_per_symbol);
         SimDuration::from_micros(20 + 4 * symbols)
     }
@@ -91,7 +93,7 @@ pub fn ack_airtime(data_rate: Bitrate) -> SimDuration {
 /// serialization time *excluding* PHY preamble — exactly what the tshark
 /// post-processing in §4 computes from radiotap size and bitrate fields.
 pub fn tshark_airtime(bytes: u32, rate: Bitrate) -> SimDuration {
-    SimDuration::from_nanos(((8 * bytes as u64) as f64 / rate.mbps() * 1_000.0).round() as u64)
+    SimDuration::from_micros_f64((8 * bytes as u64) as f64 / rate.mbps())
 }
 
 #[cfg(test)]
@@ -152,6 +154,45 @@ mod tests {
     fn ack_airtime_is_small() {
         assert_eq!(ack_airtime(Bitrate::G54), SimDuration::from_micros(28));
         assert!(ack_airtime(Bitrate::B11) > SimDuration::from_micros(192));
+    }
+
+    #[test]
+    fn airtime_matches_pre_units_integer_formulas() {
+        // The typed-units migration must not move a single nanosecond:
+        // golden fig05/fig07/table1 artifacts are byte-compared in CI.
+        // Exhaustively pin both calculators to the original expressions.
+        let all = [
+            Bitrate::B1,
+            Bitrate::B2,
+            Bitrate::B5_5,
+            Bitrate::B11,
+            Bitrate::G6,
+            Bitrate::G9,
+            Bitrate::G12,
+            Bitrate::G18,
+            Bitrate::G24,
+            Bitrate::G36,
+            Bitrate::G48,
+            Bitrate::G54,
+        ];
+        for rate in all {
+            for bytes in 0..=4096u32 {
+                let bits = 8 * bytes as u64;
+                let old_frame = if rate.is_dsss() {
+                    let payload_us = (bits as f64) / rate.mbps();
+                    SimDuration::from_nanos(192_000 + (payload_us * 1_000.0).round() as u64)
+                } else {
+                    let bits_per_symbol = (rate.mbps() * 4.0) as u64;
+                    let symbols = (16 + 6 + bits).div_ceil(bits_per_symbol);
+                    SimDuration::from_micros(20 + 4 * symbols)
+                };
+                assert_eq!(frame_airtime(bytes, rate), old_frame, "{rate:?} {bytes}B");
+                let old_tshark = SimDuration::from_nanos(
+                    ((8 * bytes as u64) as f64 / rate.mbps() * 1_000.0).round() as u64,
+                );
+                assert_eq!(tshark_airtime(bytes, rate), old_tshark, "{rate:?} {bytes}B");
+            }
+        }
     }
 
     #[test]

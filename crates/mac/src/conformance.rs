@@ -159,7 +159,10 @@ mod tests {
         q.run_until(&mut w, SimTime::from_millis(500));
         let (count, retained) = conformance::take();
         assert!(count > 0, "timing bug went undetected");
-        assert!(retained.iter().any(|v| v.rule == "dcf/difs"), "{retained:?}");
+        assert!(
+            retained.iter().any(|v| v.rule == "dcf/difs"),
+            "{retained:?}"
+        );
     }
 
     #[test]

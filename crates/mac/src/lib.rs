@@ -21,7 +21,9 @@ pub mod trace;
 pub mod world;
 
 pub use airtime::{ack_airtime, frame_airtime, tshark_airtime, MacTiming};
-pub use frame::{Dest, Frame, FrameKind, MediumId, PayloadTag, StationId, TxOutcome, MAC_OVERHEAD_BYTES};
+pub use frame::{
+    Dest, Frame, FrameKind, MediumId, PayloadTag, StationId, TxOutcome, MAC_OVERHEAD_BYTES,
+};
 pub use occupancy::OccupancyMonitor;
 pub use rate_adapt::RateController;
 pub use trace::{FrameRecord, FrameTrace};

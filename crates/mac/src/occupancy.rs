@@ -10,26 +10,26 @@
 use crate::airtime::{frame_airtime, tshark_airtime};
 use crate::frame::StationId;
 use powifi_rf::Bitrate;
-use powifi_sim::{PowerEnvelope, SimDuration, SimTime};
-use std::collections::HashSet;
+use powifi_sim::{PowerEnvelope, Seconds, SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-channel occupancy accounting.
 #[derive(Debug)]
 pub struct OccupancyMonitor {
     bin: SimDuration,
-    tracked: HashSet<StationId>,
-    /// Per-bin tshark-metric on-air seconds of tracked stations.
-    tshark_tracked: Vec<f64>,
-    /// Per-bin tshark-metric on-air seconds of everyone.
-    tshark_all: Vec<f64>,
-    /// Per-bin physical on-air seconds (preamble included) of tracked stations.
-    phys_tracked: Vec<f64>,
+    tracked: BTreeSet<StationId>,
+    /// Per-bin tshark-metric on-air time of tracked stations.
+    tshark_tracked: Vec<Seconds>,
+    /// Per-bin tshark-metric on-air time of everyone.
+    tshark_all: Vec<Seconds>,
+    /// Per-bin physical on-air time (preamble included) of tracked stations.
+    phys_tracked: Vec<Seconds>,
     /// Optional fine RF envelope of tracked transmissions (1.0 = on air).
     envelope: Option<PowerEnvelope>,
     envelope_busy_until: SimTime,
-    /// Total tshark-metric on-air seconds per source station (always kept,
+    /// Total tshark-metric on-air time per source station (always kept,
     /// so co-channel routers can be accounted separately).
-    src_totals: std::collections::HashMap<StationId, f64>,
+    src_totals: BTreeMap<StationId, Seconds>,
 }
 
 impl OccupancyMonitor {
@@ -39,13 +39,13 @@ impl OccupancyMonitor {
         assert!(!bin.is_zero());
         OccupancyMonitor {
             bin,
-            tracked: HashSet::new(),
+            tracked: BTreeSet::new(),
             tshark_tracked: Vec::new(),
             tshark_all: Vec::new(),
             phys_tracked: Vec::new(),
             envelope: None,
             envelope_busy_until: SimTime::ZERO,
-            src_totals: std::collections::HashMap::new(),
+            src_totals: BTreeMap::new(),
         }
     }
 
@@ -64,17 +64,17 @@ impl OccupancyMonitor {
     pub fn record(&mut self, t: SimTime, src: StationId, bytes: u32, rate: Bitrate) {
         let idx = (t.as_nanos() / self.bin.as_nanos()) as usize;
         if idx >= self.tshark_all.len() {
-            self.tshark_all.resize(idx + 1, 0.0);
-            self.tshark_tracked.resize(idx + 1, 0.0);
-            self.phys_tracked.resize(idx + 1, 0.0);
+            self.tshark_all.resize(idx + 1, Seconds::ZERO);
+            self.tshark_tracked.resize(idx + 1, Seconds::ZERO);
+            self.phys_tracked.resize(idx + 1, Seconds::ZERO);
         }
-        let tshark = tshark_airtime(bytes, rate).as_secs_f64();
+        let tshark = tshark_airtime(bytes, rate).as_seconds();
         self.tshark_all[idx] += tshark;
-        *self.src_totals.entry(src).or_insert(0.0) += tshark;
+        *self.src_totals.entry(src).or_insert(Seconds::ZERO) += tshark;
         if self.tracked.contains(&src) {
             self.tshark_tracked[idx] += tshark;
             let phys = frame_airtime(bytes, rate);
-            self.phys_tracked[idx] += phys.as_secs_f64();
+            self.phys_tracked[idx] += phys.as_seconds();
             if let Some(env) = &mut self.envelope {
                 let end = t + phys;
                 if t >= self.envelope_busy_until {
@@ -91,8 +91,8 @@ impl OccupancyMonitor {
         }
     }
 
-    fn fraction(bins: &[f64], bin: SimDuration, idx: usize) -> f64 {
-        bins.get(idx).copied().unwrap_or(0.0) / bin.as_secs_f64()
+    fn fraction(bins: &[Seconds], bin: SimDuration, idx: usize) -> f64 {
+        bins.get(idx).copied().unwrap_or(Seconds::ZERO) / bin.as_seconds()
     }
 
     /// Per-bin occupancy (0..~1, tshark metric) of tracked stations over
@@ -114,9 +114,9 @@ impl OccupancyMonitor {
 
     /// Mean tracked occupancy over `[0, end)` — the paper's headline number.
     pub fn mean_tracked(&self, end: SimTime) -> f64 {
-        let total: f64 = self.tshark_tracked.iter().sum();
-        let span = end.as_secs_f64();
-        if span <= 0.0 {
+        let total: Seconds = self.tshark_tracked.iter().copied().sum();
+        let span = end.as_seconds();
+        if span.0 <= 0.0 {
             0.0
         } else {
             total / span
@@ -134,9 +134,9 @@ impl OccupancyMonitor {
 
     /// Mean physical duty factor over `[0, end)`.
     pub fn mean_duty(&self, end: SimTime) -> f64 {
-        let total: f64 = self.phys_tracked.iter().sum();
-        let span = end.as_secs_f64();
-        if span <= 0.0 {
+        let total: Seconds = self.phys_tracked.iter().copied().sum();
+        let span = end.as_seconds();
+        if span.0 <= 0.0 {
             0.0
         } else {
             total / span
@@ -146,11 +146,11 @@ impl OccupancyMonitor {
     /// Mean occupancy of one specific source station over `[0, end)` —
     /// lets co-channel routers be accounted separately.
     pub fn mean_of_station(&self, sta: StationId, end: SimTime) -> f64 {
-        let span = end.as_secs_f64();
-        if span <= 0.0 {
+        let span = end.as_seconds();
+        if span.0 <= 0.0 {
             0.0
         } else {
-            self.src_totals.get(&sta).copied().unwrap_or(0.0) / span
+            self.src_totals.get(&sta).copied().unwrap_or(Seconds::ZERO) / span
         }
     }
 

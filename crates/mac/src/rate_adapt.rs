@@ -94,9 +94,9 @@ impl MinstrelState {
                 .max_by(|&a, &b| {
                     let ta = Bitrate::OFDM[a].mbps() * self.stats[a].ewma_prob;
                     let tb = Bitrate::OFDM[b].mbps() * self.stats[b].ewma_prob;
-                    ta.partial_cmp(&tb).unwrap()
+                    ta.total_cmp(&tb)
                 })
-                .unwrap();
+                .unwrap_or(self.best);
         }
     }
 }

@@ -21,7 +21,7 @@ use crate::trace::{FrameRecord, FrameTrace};
 use powifi_rf::{packet_error_rate, Bitrate, Db};
 use powifi_sim::conformance;
 use powifi_sim::{EventHandle, EventQueue, SimDuration, SimRng, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// The world trait: any simulation embedding the MAC implements this.
 pub trait MacWorld: Sized + 'static {
@@ -116,11 +116,11 @@ pub struct Mac {
     stations: Vec<Station>,
     mediums: Vec<Medium>,
     /// Link SNR table; missing entries default to a strong 40 dB link.
-    links: HashMap<(StationId, StationId), Db>,
+    links: BTreeMap<(StationId, StationId), Db>,
     /// Optional block-fading processes per directed link.
-    faders: HashMap<(StationId, StationId), powifi_rf::BlockFader>,
+    faders: BTreeMap<(StationId, StationId), powifi_rf::BlockFader>,
     /// Per-medium external frame-corruption probability (fault injection).
-    corruption: HashMap<MediumId, f64>,
+    corruption: BTreeMap<MediumId, f64>,
     rng: SimRng,
     next_frame_id: u64,
     timing_bug: bool,
@@ -133,9 +133,9 @@ impl Mac {
             timing: MacTiming::default(),
             stations: Vec::new(),
             mediums: Vec::new(),
-            links: HashMap::new(),
-            faders: HashMap::new(),
-            corruption: HashMap::new(),
+            links: BTreeMap::new(),
+            faders: BTreeMap::new(),
+            corruption: BTreeMap::new(),
             rng,
             next_frame_id: 1,
             timing_bug: false,
@@ -325,7 +325,12 @@ impl Medium {
 
 /// Enqueue a frame for transmission. Returns `false` (dropping the frame) if
 /// the station's transmit queue is full.
-pub fn enqueue<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, sta: StationId, mut frame: Frame) -> bool {
+pub fn enqueue<W: MacWorld>(
+    w: &mut W,
+    q: &mut EventQueue<W>,
+    sta: StationId,
+    mut frame: Frame,
+) -> bool {
     let now = q.now();
     let mac = w.mac_mut();
     frame.id = mac.next_frame_id;
@@ -399,12 +404,14 @@ fn start_access<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, sta: StationId) {
         medium_id = st.medium;
         let cw = st.cw;
         let rem = mac.rng.range(0..=cw);
-        mac.mediums[medium_id.0 as usize].contenders.push(Contender {
-            sta,
-            rem,
-            drawn: rem,
-            count_start: now,
-        });
+        mac.mediums[medium_id.0 as usize]
+            .contenders
+            .push(Contender {
+                sta,
+                rem,
+                drawn: rem,
+                count_start: now,
+            });
     }
     rearm(w, q, medium_id);
 }
@@ -423,12 +430,14 @@ fn rearm<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
     }
     let idle_since = m.idle_since;
     let bug = mac.timing_bug;
-    let earliest = m
+    let Some(earliest) = m
         .contenders
         .iter()
         .map(|c| finish_time(c, idle_since, &timing, bug))
         .min()
-        .expect("non-empty contenders");
+    else {
+        return;
+    };
     let at = earliest.max(now);
     m.arb = Some(q.schedule_at(at, move |w, q| arb_fire(w, q, medium)));
 }
@@ -457,12 +466,14 @@ fn arb_fire<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
         }
         let idle_since = m.idle_since;
         let bug = mac.timing_bug;
-        let earliest = m
+        let Some(earliest) = m
             .contenders
             .iter()
             .map(|c| finish_time(c, idle_since, &timing, bug))
             .min()
-            .expect("non-empty contenders");
+        else {
+            return;
+        };
         debug_assert!(earliest <= now, "arb fired early");
         if conformance::enabled() {
             // DCF legality, checked independently of the scheduling math
@@ -473,14 +484,20 @@ fn arb_fire<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
                 conformance::report(
                     "dcf/tx-while-busy",
                     now,
-                    format!("transmission starts while channel busy until {}", m.busy_until),
+                    format!(
+                        "transmission starts while channel busy until {}",
+                        m.busy_until
+                    ),
                 );
             }
             if !m.in_flight.is_empty() {
                 conformance::report(
                     "dcf/overlap",
                     now,
-                    format!("{} frame(s) still in flight on this channel", m.in_flight.len()),
+                    format!(
+                        "{} frame(s) still in flight on this channel",
+                        m.in_flight.len()
+                    ),
                 );
             }
             let idle = now.duration_since(idle_since);
@@ -488,7 +505,10 @@ fn arb_fire<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
                 conformance::report(
                     "dcf/difs",
                     now,
-                    format!("channel idle only {idle} before transmission; DIFS is {}", timing.difs()),
+                    format!(
+                        "channel idle only {idle} before transmission; DIFS is {}",
+                        timing.difs()
+                    ),
                 );
             }
         }
@@ -531,6 +551,9 @@ fn arb_fire<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
             let (rate, bytes, dst, class) = {
                 let st = &mac.stations[sta.0 as usize];
                 let class = st.next_class();
+                // powifi-lint: allow(R3) — winners are drawn from stations
+                // with queued frames; an empty queue here is a scheduler bug
+                // and a loud panic beats a silently dropped transmission.
                 let f = st.queues[class].front().expect("winner with empty queue");
                 let rate = f.rate.unwrap_or_else(|| st.rate_ctl.current());
                 (rate, f.bytes, f.dst, class)
@@ -601,7 +624,10 @@ fn tx_end<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
             conformance::report(
                 "dcf/busy-accounting",
                 now,
-                format!("busy period ended at {now} but busy_until says {}", m.busy_until),
+                format!(
+                    "busy period ended at {now} but busy_until says {}",
+                    m.busy_until
+                ),
             );
         }
         m.idle_since = now;
@@ -609,14 +635,24 @@ fn tx_end<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
             let sta = fl.sta;
             let st = &mut mac.stations[sta.0 as usize];
             st.state = StaState::Idle;
-            let frame = *st.queues[fl.class].front().expect("in-flight with empty queue");
+            // powifi-lint: allow(R3) — a frame is in flight, so its head
+            // queue slot must still hold it until this completion handler
+            // pops it; anything else is a MAC state-machine bug.
+            let frame = *st.queues[fl.class]
+                .front()
+                .expect("in-flight with empty queue");
             match frame.dst {
                 Dest::Broadcast => {
                     st.queues[fl.class].pop_front();
                     st.rr = 1 - fl.class;
                     st.cw = timing.cw_min;
                     st.retries = 0;
-                    completions.push((frame, TxOutcome::BroadcastDone { collided: collision }));
+                    completions.push((
+                        frame,
+                        TxOutcome::BroadcastDone {
+                            collided: collision,
+                        },
+                    ));
                     if fl.delivered {
                         // Fan out to opted-in listeners on this medium.
                         let listeners: Vec<StationId> = mac
@@ -745,7 +781,10 @@ mod tests {
         q.run_until(&mut w, SimTime::from_millis(10));
         assert_eq!(w.mac.station(a).frames_sent, 1);
         assert_eq!(w.completed.len(), 1);
-        assert_eq!(w.completed[0].1, TxOutcome::BroadcastDone { collided: false });
+        assert_eq!(
+            w.completed[0].1,
+            TxOutcome::BroadcastDone { collided: false }
+        );
         assert!(w.mac.collisions(m) == 0);
     }
 
@@ -921,7 +960,11 @@ mod tests {
             );
         }
         q.run_until(&mut w, SimTime::from_secs(2));
-        assert!(w.mac.collisions(m) > 10, "collisions {}", w.mac.collisions(m));
+        assert!(
+            w.mac.collisions(m) > 10,
+            "collisions {}",
+            w.mac.collisions(m)
+        );
         // Collided broadcasts are reported as such.
         assert!(w
             .completed

@@ -67,7 +67,12 @@ mod tests {
         }
     }
 
-    fn world() -> (W, EventQueue<W>, powifi_mac::StationId, powifi_mac::StationId) {
+    fn world() -> (
+        W,
+        EventQueue<W>,
+        powifi_mac::StationId,
+        powifi_mac::StationId,
+    ) {
         let mut w = W {
             mac: Mac::new(SimRng::from_seed(1)),
             net: NetState::new(),
@@ -245,7 +250,12 @@ mod tests {
             q.run_until(&mut w, SimTime::from_secs(60));
             plts.push(w.net.pages[page].plt().expect("finish"));
         }
-        assert!(plts[1] > 1.5 * plts[0], "google {} amazon {}", plts[0], plts[1]);
+        assert!(
+            plts[1] > 1.5 * plts[0],
+            "google {} amazon {}",
+            plts[0],
+            plts[1]
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::tcp::TcpFlow;
 use crate::udp::UdpFlowState;
 use crate::web::PageState;
 use powifi_mac::MacWorld;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Flow identifier carried in every data frame's payload tag.
 pub type FlowId = u32;
@@ -27,7 +27,7 @@ pub enum Flow {
 #[derive(Default)]
 pub struct NetState {
     /// Flows by id.
-    pub flows: HashMap<FlowId, Flow>,
+    pub flows: BTreeMap<FlowId, Flow>,
     /// In-progress and completed page loads.
     pub pages: Vec<PageState>,
     next_flow: FlowId,

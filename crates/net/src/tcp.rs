@@ -10,7 +10,7 @@
 use crate::state::{Flow, FlowId, NetWorld};
 use powifi_mac::{enqueue, Dest, Frame, PayloadTag, StationId};
 use powifi_sim::{BinnedThroughput, EventQueue, SimDuration, SimTime};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Maximum segment size (bytes of TCP payload per frame).
 pub const MSS: u32 = 1460;
@@ -45,7 +45,7 @@ pub struct TcpFlow {
     srtt: Option<f64>,
     rttvar: f64,
     rto: f64,
-    sent_at: HashMap<u64, (SimTime, bool)>,
+    sent_at: BTreeMap<u64, (SimTime, bool)>,
     timer_epoch: u64,
     // --- receiver ---
     rcv_next: u64,
@@ -78,7 +78,7 @@ impl TcpFlow {
             srtt: None,
             rttvar: 0.0,
             rto: RTO_INIT,
-            sent_at: HashMap::new(),
+            sent_at: BTreeMap::new(),
             timer_epoch: 0,
             rcv_next: 1,
             ooo: BTreeSet::new(),
@@ -113,7 +113,9 @@ impl TcpFlow {
 /// Create a TCP flow (no data authorized yet). Use [`tcp_push`] to send.
 pub fn start_tcp_flow<W: NetWorld>(w: &mut W, src: StationId, dst: StationId) -> FlowId {
     let id = w.net_mut().alloc_flow();
-    w.net_mut().flows.insert(id, Flow::Tcp(Box::new(TcpFlow::new(id, src, dst))));
+    w.net_mut()
+        .flows
+        .insert(id, Flow::Tcp(Box::new(TcpFlow::new(id, src, dst))));
     id
 }
 
@@ -292,17 +294,18 @@ fn sender_ack<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, id: FlowId, ack: u6
             if let Some(&(t, retx)) = f.sent_at.get(&(ack - 1)) {
                 if !retx {
                     let sample = now.duration_since(t).as_secs_f64();
-                    match f.srtt {
+                    let srtt_now = match f.srtt {
                         None => {
-                            f.srtt = Some(sample);
                             f.rttvar = sample / 2.0;
+                            sample
                         }
                         Some(srtt) => {
                             f.rttvar = 0.75 * f.rttvar + 0.25 * (srtt - sample).abs();
-                            f.srtt = Some(0.875 * srtt + 0.125 * sample);
+                            0.875 * srtt + 0.125 * sample
                         }
-                    }
-                    f.rto = (f.srtt.unwrap() + 4.0 * f.rttvar).clamp(RTO_MIN, RTO_MAX);
+                    };
+                    f.srtt = Some(srtt_now);
+                    f.rto = (srtt_now + 4.0 * f.rttvar).clamp(RTO_MIN, RTO_MAX);
                 }
             }
             for s in f.snd_una..ack {

@@ -56,7 +56,9 @@ pub fn start_udp_flow<W: NetWorld>(
 ) -> FlowId {
     assert!(rate_mbps > 0.0);
     let flow = w.net_mut().alloc_flow();
-    w.net_mut().flows.insert(flow, Flow::Udp(UdpFlowState::new()));
+    w.net_mut()
+        .flows
+        .insert(flow, Flow::Udp(UdpFlowState::new()));
     let interval = SimDuration::from_secs_f64(UDP_PAYLOAD as f64 * 8.0 / (rate_mbps * 1e6));
     q.schedule_at(start, move |w, q| {
         udp_tick(w, q, flow, src, dst, interval, stop, 1)

@@ -160,7 +160,12 @@ fn dispatch_next<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, page_idx: usize,
 
 /// Called by the TCP layer when a connection has delivered and ACKed all
 /// pushed bytes.
-pub fn on_conn_drained<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, page_idx: usize, conn_idx: usize) {
+pub fn on_conn_drained<W: NetWorld>(
+    w: &mut W,
+    q: &mut EventQueue<W>,
+    page_idx: usize,
+    conn_idx: usize,
+) {
     let now = q.now();
     let more = {
         let page = &mut w.net_mut().pages[page_idx];

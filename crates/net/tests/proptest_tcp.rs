@@ -22,7 +22,8 @@ impl MacWorld for W {
     }
     fn deliver(&mut self, q: &mut EventQueue<Self>, rx: StationId, frame: &powifi_mac::Frame) {
         if frame.payload.bytes > 0 && frame.payload.flow != 0 {
-            self.delivered_seqs.push((frame.payload.flow, frame.payload.seq));
+            self.delivered_seqs
+                .push((frame.payload.flow, frame.payload.seq));
         }
         on_deliver(self, q, rx, frame);
     }

@@ -17,12 +17,7 @@ impl MacWorld for W {
     fn mac_mut(&mut self) -> &mut Mac {
         &mut self.mac
     }
-    fn deliver(
-        &mut self,
-        q: &mut EventQueue<Self>,
-        rx: StationId,
-        frame: &powifi_mac::Frame,
-    ) {
+    fn deliver(&mut self, q: &mut EventQueue<Self>, rx: StationId, frame: &powifi_mac::Frame) {
         on_deliver(self, q, rx, frame);
     }
 }
@@ -65,7 +60,11 @@ fn rto_backs_off_and_recovers_when_link_heals() {
     });
     q.run_until(&mut w, SimTime::from_secs(30));
     let f = w.net.tcp(flow);
-    assert!(f.timeouts >= 2, "expected repeated RTOs, got {}", f.timeouts);
+    assert!(
+        f.timeouts >= 2,
+        "expected repeated RTOs, got {}",
+        f.timeouts
+    );
     assert!(f.completed_at.is_some(), "flow never completed after heal");
     assert!(
         f.completed_at.unwrap() > SimTime::from_secs(5),
@@ -87,9 +86,15 @@ fn mac_retries_hide_moderate_loss_from_tcp() {
     });
     q.run_until(&mut w, SimTime::from_secs(20));
     let f = w.net.tcp(flow);
-    assert!(f.completed_at.is_some(), "5 MB should finish in 20 s at 8 % FER");
+    assert!(
+        f.completed_at.is_some(),
+        "5 MB should finish in 20 s at 8 % FER"
+    );
     assert_eq!(f.retransmits, 0, "MAC should absorb 8 % FER invisibly");
-    assert!(w.mac.station(ap).retransmissions > 50, "MAC retries expected");
+    assert!(
+        w.mac.station(ap).retransmissions > 50,
+        "MAC retries expected"
+    );
 }
 
 /// Severe corruption finally punches through the MAC retry budget and TCP's
@@ -105,8 +110,14 @@ fn tcp_recovers_when_mac_retries_are_exhausted() {
     });
     q.run_until(&mut w, SimTime::from_secs(40));
     let f = w.net.tcp(flow);
-    assert!(f.completed_at.is_some(), "2 MB should survive 45 % FER in 40 s");
-    assert!(f.retransmits > 0, "0.45^8 per-frame drop rate must surface to TCP");
+    assert!(
+        f.completed_at.is_some(),
+        "2 MB should survive 45 % FER in 40 s"
+    );
+    assert!(
+        f.retransmits > 0,
+        "0.45^8 per-frame drop rate must surface to TCP"
+    );
 }
 
 /// Throughput degrades gracefully (not catastrophically) as loss rises.
@@ -135,20 +146,30 @@ fn goodput_degrades_monotonically_with_loss() {
 fn tcp_rides_out_block_fading() {
     let (mut w, mut q, ap, client) = world(4);
     // Minstrel downshifts through fades the way a real sender would.
-    w.mac.set_rate_controller(ap, RateController::minstrel(Bitrate::G54));
-    w.mac.set_link_snr(ap, client, Db(27.0)); // 2 dB margin at 54 Mbps
     w.mac
-        .set_link_fader(ap, client, BlockFader::indoor_obstructed(SimRng::from_seed(9)));
+        .set_rate_controller(ap, RateController::minstrel(Bitrate::G54));
+    w.mac.set_link_snr(ap, client, Db(27.0)); // 2 dB margin at 54 Mbps
+    w.mac.set_link_fader(
+        ap,
+        client,
+        BlockFader::indoor_obstructed(SimRng::from_seed(9)),
+    );
     let flow = start_tcp_flow(&mut w, ap, client);
     q.schedule_at(SimTime::ZERO, move |w: &mut W, q| {
         tcp_push(w, q, flow, 3_000_000);
     });
     q.run_until(&mut w, SimTime::from_secs(90));
     let f = w.net.tcp(flow);
-    assert!(f.completed_at.is_some(), "3 MB over fading link, 90 s budget");
+    assert!(
+        f.completed_at.is_some(),
+        "3 MB over fading link, 90 s budget"
+    );
     // Deep fade blocks (~120 ms) outlast the MAC retry budget, so some loss
     // must surface to TCP.
-    assert!(f.retransmits > 0, "a fading link with 2 dB margin must lose frames");
+    assert!(
+        f.retransmits > 0,
+        "a fading link with 2 dB margin must lose frames"
+    );
 }
 
 /// Two flows from the same sender share its cwnd-driven queue without
@@ -179,7 +200,10 @@ fn flow_reuse_after_completion() {
         tcp_push(w, q, flow, 100_000);
     });
     q.schedule_at(SimTime::from_secs(3), move |w: &mut W, q| {
-        assert!(w.net.tcp(flow).completed_at.is_some(), "first object unfinished");
+        assert!(
+            w.net.tcp(flow).completed_at.is_some(),
+            "first object unfinished"
+        );
         tcp_push(w, q, flow, 200_000);
     });
     q.run_until(&mut w, SimTime::from_secs(10));
@@ -204,16 +228,15 @@ fn srtt_tracks_congestion() {
     let (mut w2, mut q2, ap2, client2) = world(7);
     let m = w2.mac.medium_of(ap2);
     let hog = w2.mac.add_station(m, RateController::fixed(Bitrate::G12));
-    q2.schedule_repeating(SimTime::ZERO, SimDuration::from_millis(1), move |w: &mut W, q| {
-        if w.mac.queue_depth(hog) < 5 {
-            powifi_mac::enqueue(
-                w,
-                q,
-                hog,
-                powifi_mac::Frame::power(hog, 1500, Bitrate::G12),
-            );
-        }
-    });
+    q2.schedule_repeating(
+        SimTime::ZERO,
+        SimDuration::from_millis(1),
+        move |w: &mut W, q| {
+            if w.mac.queue_depth(hog) < 5 {
+                powifi_mac::enqueue(w, q, hog, powifi_mac::Frame::power(hog, 1500, Bitrate::G12));
+            }
+        },
+    );
     let flow2 = start_tcp_flow(&mut w2, ap2, client2);
     q2.schedule_at(SimTime::ZERO, move |w: &mut W, q| {
         tcp_push(w, q, flow2, u64::MAX / 4);

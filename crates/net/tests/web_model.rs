@@ -47,7 +47,15 @@ fn world() -> (W, EventQueue<W>, StationId, StationId) {
 fn page_opens_requested_connection_count() {
     let (mut w, mut q, ap, client) = world();
     let site = top10_us()[0];
-    let page = start_page_load(&mut w, &mut q, ap, client, site, WanConfig::default(), SimTime::ZERO);
+    let page = start_page_load(
+        &mut w,
+        &mut q,
+        ap,
+        client,
+        site,
+        WanConfig::default(),
+        SimTime::ZERO,
+    );
     assert_eq!(w.net.pages[page].conns.len(), site.connections);
     // Every connection is tagged back to the page.
     for (ci, &flow) in w.net.pages[page].conns.iter().enumerate() {
@@ -59,9 +67,20 @@ fn page_opens_requested_connection_count() {
 fn plt_is_none_until_done_then_some() {
     let (mut w, mut q, ap, client) = world();
     let site = top10_us()[6]; // google: light
-    let page = start_page_load(&mut w, &mut q, ap, client, site, WanConfig::default(), SimTime::ZERO);
+    let page = start_page_load(
+        &mut w,
+        &mut q,
+        ap,
+        client,
+        site,
+        WanConfig::default(),
+        SimTime::ZERO,
+    );
     q.run_until(&mut w, SimTime::from_millis(60));
-    assert!(w.net.pages[page].plt().is_none(), "cannot finish within DNS+WAN");
+    assert!(
+        w.net.pages[page].plt().is_none(),
+        "cannot finish within DNS+WAN"
+    );
     q.run_until(&mut w, SimTime::from_secs(20));
     let plt = w.net.pages[page].plt().expect("page should finish");
     assert!(plt > 0.1, "PLT {plt} impossibly fast");
@@ -96,7 +115,15 @@ fn per_object_wan_delay_dominates_many_object_pages() {
     };
     let run = |site: SiteProfile| {
         let (mut w, mut q, ap, client) = world();
-        let page = start_page_load(&mut w, &mut q, ap, client, site, WanConfig::default(), SimTime::ZERO);
+        let page = start_page_load(
+            &mut w,
+            &mut q,
+            ap,
+            client,
+            site,
+            WanConfig::default(),
+            SimTime::ZERO,
+        );
         q.run_until(&mut w, SimTime::from_secs(60));
         w.net.pages[page].plt().expect("finish")
     };
@@ -111,7 +138,15 @@ fn per_object_wan_delay_dominates_many_object_pages() {
 fn two_pages_can_load_back_to_back() {
     let (mut w, mut q, ap, client) = world();
     let site = top10_us()[4]; // wikipedia
-    let p1 = start_page_load(&mut w, &mut q, ap, client, site, WanConfig::default(), SimTime::ZERO);
+    let p1 = start_page_load(
+        &mut w,
+        &mut q,
+        ap,
+        client,
+        site,
+        WanConfig::default(),
+        SimTime::ZERO,
+    );
     let p2 = start_page_load(
         &mut w,
         &mut q,

@@ -110,6 +110,9 @@ mod tests {
     #[test]
     fn containing_rejects_out_of_band() {
         assert_eq!(IsmBand::containing(Hertz::from_mhz(1800.0)), None);
-        assert_eq!(IsmBand::containing(Hertz::from_mhz(2437.0)), Some(IsmBand::Ism2400));
+        assert_eq!(
+            IsmBand::containing(Hertz::from_mhz(2437.0)),
+            Some(IsmBand::Ism2400)
+        );
     }
 }

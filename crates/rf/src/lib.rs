@@ -23,4 +23,4 @@ pub use link::{Antenna, Link, Transmitter, FCC_EIRP_LIMIT};
 pub use materials::WallMaterial;
 pub use modulation::{packet_error_rate, snr, Bitrate, NOISE_FLOOR};
 pub use pathloss::{friis_loss, FreeSpace, LogDistance, PathLoss, Shadowed};
-pub use units::{Db, Dbm, Hertz, Joules, Meters, MicroWatts, MilliWatts, Volts};
+pub use units::{Db, Dbm, Hertz, Joules, Meters, MicroWatts, MilliWatts, Seconds, Volts, Watts};

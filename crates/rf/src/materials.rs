@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn labels_unique() {
-        let labels: Vec<_> = WallMaterial::FIG13_ORDER.iter().map(|m| m.label()).collect();
+        let labels: Vec<_> = WallMaterial::FIG13_ORDER
+            .iter()
+            .map(|m| m.label())
+            .collect();
         let mut dedup = labels.clone();
         dedup.sort();
         dedup.dedup();

@@ -84,7 +84,10 @@ impl Bitrate {
 
     /// True for DSSS/CCK (802.11b) rates.
     pub fn is_dsss(self) -> bool {
-        matches!(self, Bitrate::B1 | Bitrate::B2 | Bitrate::B5_5 | Bitrate::B11)
+        matches!(
+            self,
+            Bitrate::B1 | Bitrate::B2 | Bitrate::B5_5 | Bitrate::B11
+        )
     }
 
     /// Minimum SNR (dB) for reliable reception, per-rate. Derived from

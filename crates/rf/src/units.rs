@@ -1,338 +1,10 @@
 //! Strongly-typed RF and electrical quantities.
 //!
-//! The harvesting pipeline mixes logarithmic (dBm, dB) and linear (mW, V, J)
-//! quantities; mixing them up silently is the classic RF-budget bug. The
-//! newtypes here make the units part of the signature and centralize the
-//! conversions.
+//! The canonical definitions live in [`powifi_sim::units`] (the bottom of
+//! the crate stack) so the MAC's airtime accounting, the harvester's energy
+//! integrals and the RF link budget all share one vocabulary; this module
+//! re-exports them under the historical `powifi_rf::units` path.
 
-use core::fmt;
-use core::ops::{Add, AddAssign, Mul, Neg, Sub};
-
-/// Power on the decibel-milliwatt scale.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
-pub struct Dbm(pub f64);
-
-/// A power *ratio* in decibels (gains positive, losses negative when added).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
-pub struct Db(pub f64);
-
-/// Linear power in milliwatts.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
-pub struct MilliWatts(pub f64);
-
-/// Linear power in microwatts (the harvester's natural scale).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
-pub struct MicroWatts(pub f64);
-
-/// Frequency in hertz.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
-pub struct Hertz(pub f64);
-
-/// Distance in meters.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
-pub struct Meters(pub f64);
-
-/// Electric potential in volts.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
-pub struct Volts(pub f64);
-
-/// Energy in joules.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
-pub struct Joules(pub f64);
-
-impl Dbm {
-    /// Convert to linear milliwatts.
-    pub fn to_mw(self) -> MilliWatts {
-        MilliWatts(10f64.powf(self.0 / 10.0))
-    }
-
-    /// Convert to linear microwatts.
-    pub fn to_uw(self) -> MicroWatts {
-        MicroWatts(10f64.powf(self.0 / 10.0) * 1e3)
-    }
-
-    /// Convert to watts.
-    pub fn to_watts(self) -> f64 {
-        10f64.powf(self.0 / 10.0) * 1e-3
-    }
-
-    /// Construct from linear milliwatts; `mW <= 0` maps to −∞ dBm.
-    pub fn from_mw(mw: MilliWatts) -> Dbm {
-        if mw.0 <= 0.0 {
-            Dbm(f64::NEG_INFINITY)
-        } else {
-            Dbm(10.0 * mw.0.log10())
-        }
-    }
-
-    /// Construct from watts.
-    pub fn from_watts(w: f64) -> Dbm {
-        Dbm::from_mw(MilliWatts(w * 1e3))
-    }
-}
-
-impl MilliWatts {
-    /// Zero power.
-    pub const ZERO: MilliWatts = MilliWatts(0.0);
-
-    /// To dBm.
-    pub fn to_dbm(self) -> Dbm {
-        Dbm::from_mw(self)
-    }
-
-    /// To microwatts.
-    pub fn to_uw(self) -> MicroWatts {
-        MicroWatts(self.0 * 1e3)
-    }
-
-    /// To watts.
-    pub fn to_watts(self) -> f64 {
-        self.0 * 1e-3
-    }
-}
-
-impl MicroWatts {
-    /// To milliwatts.
-    pub fn to_mw(self) -> MilliWatts {
-        MilliWatts(self.0 * 1e-3)
-    }
-
-    /// To dBm.
-    pub fn to_dbm(self) -> Dbm {
-        self.to_mw().to_dbm()
-    }
-}
-
-impl Hertz {
-    /// Construct from megahertz.
-    pub const fn from_mhz(mhz: f64) -> Hertz {
-        Hertz(mhz * 1e6)
-    }
-
-    /// Construct from gigahertz.
-    pub const fn from_ghz(ghz: f64) -> Hertz {
-        Hertz(ghz * 1e9)
-    }
-
-    /// As megahertz.
-    pub fn mhz(self) -> f64 {
-        self.0 / 1e6
-    }
-
-    /// As gigahertz.
-    pub fn ghz(self) -> f64 {
-        self.0 / 1e9
-    }
-
-    /// Free-space wavelength in meters.
-    pub fn wavelength_m(self) -> f64 {
-        const C: f64 = 299_792_458.0;
-        C / self.0
-    }
-
-    /// Angular frequency ω = 2πf in rad/s.
-    pub fn omega(self) -> f64 {
-        2.0 * std::f64::consts::PI * self.0
-    }
-}
-
-impl Meters {
-    /// Construct from feet (the paper reports all ranges in feet).
-    pub fn from_feet(ft: f64) -> Meters {
-        Meters(ft * 0.3048)
-    }
-
-    /// As feet.
-    pub fn feet(self) -> f64 {
-        self.0 / 0.3048
-    }
-
-    /// Construct from centimeters.
-    pub fn from_cm(cm: f64) -> Meters {
-        Meters(cm / 100.0)
-    }
-}
-
-impl Joules {
-    /// Construct from microjoules.
-    pub fn from_uj(uj: f64) -> Joules {
-        Joules(uj * 1e-6)
-    }
-
-    /// Construct from millijoules.
-    pub fn from_mj(mj: f64) -> Joules {
-        Joules(mj * 1e-3)
-    }
-
-    /// As microjoules.
-    pub fn uj(self) -> f64 {
-        self.0 * 1e6
-    }
-
-    /// As millijoules.
-    pub fn mj(self) -> f64 {
-        self.0 * 1e3
-    }
-}
-
-// dBm ± dB arithmetic (the only legal mixed operations).
-impl Add<Db> for Dbm {
-    type Output = Dbm;
-    fn add(self, rhs: Db) -> Dbm {
-        Dbm(self.0 + rhs.0)
-    }
-}
-impl Sub<Db> for Dbm {
-    type Output = Dbm;
-    fn sub(self, rhs: Db) -> Dbm {
-        Dbm(self.0 - rhs.0)
-    }
-}
-impl Sub<Dbm> for Dbm {
-    type Output = Db;
-    fn sub(self, rhs: Dbm) -> Db {
-        Db(self.0 - rhs.0)
-    }
-}
-impl Add for Db {
-    type Output = Db;
-    fn add(self, rhs: Db) -> Db {
-        Db(self.0 + rhs.0)
-    }
-}
-impl AddAssign for Db {
-    fn add_assign(&mut self, rhs: Db) {
-        self.0 += rhs.0;
-    }
-}
-impl Sub for Db {
-    type Output = Db;
-    fn sub(self, rhs: Db) -> Db {
-        Db(self.0 - rhs.0)
-    }
-}
-impl Neg for Db {
-    type Output = Db;
-    fn neg(self) -> Db {
-        Db(-self.0)
-    }
-}
-impl Db {
-    /// Linear power ratio represented by this value.
-    pub fn linear(self) -> f64 {
-        10f64.powf(self.0 / 10.0)
-    }
-
-    /// dB value of a linear power ratio.
-    pub fn from_linear(r: f64) -> Db {
-        if r <= 0.0 {
-            Db(f64::NEG_INFINITY)
-        } else {
-            Db(10.0 * r.log10())
-        }
-    }
-}
-
-// Linear power arithmetic.
-impl Add for MilliWatts {
-    type Output = MilliWatts;
-    fn add(self, rhs: MilliWatts) -> MilliWatts {
-        MilliWatts(self.0 + rhs.0)
-    }
-}
-impl AddAssign for MilliWatts {
-    fn add_assign(&mut self, rhs: MilliWatts) {
-        self.0 += rhs.0;
-    }
-}
-impl Mul<f64> for MilliWatts {
-    type Output = MilliWatts;
-    fn mul(self, rhs: f64) -> MilliWatts {
-        MilliWatts(self.0 * rhs)
-    }
-}
-impl Add for MicroWatts {
-    type Output = MicroWatts;
-    fn add(self, rhs: MicroWatts) -> MicroWatts {
-        MicroWatts(self.0 + rhs.0)
-    }
-}
-impl Mul<f64> for MicroWatts {
-    type Output = MicroWatts;
-    fn mul(self, rhs: f64) -> MicroWatts {
-        MicroWatts(self.0 * rhs)
-    }
-}
-impl Add for Joules {
-    type Output = Joules;
-    fn add(self, rhs: Joules) -> Joules {
-        Joules(self.0 + rhs.0)
-    }
-}
-impl Sub for Joules {
-    type Output = Joules;
-    fn sub(self, rhs: Joules) -> Joules {
-        Joules(self.0 - rhs.0)
-    }
-}
-
-impl fmt::Display for Dbm {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.1} dBm", self.0)
-    }
-}
-impl fmt::Display for Db {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.1} dB", self.0)
-    }
-}
-impl fmt::Display for MicroWatts {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.2} µW", self.0)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn dbm_mw_roundtrip() {
-        assert!((Dbm(0.0).to_mw().0 - 1.0).abs() < 1e-12);
-        assert!((Dbm(30.0).to_mw().0 - 1000.0).abs() < 1e-9);
-        assert!((Dbm(-30.0).to_uw().0 - 1.0).abs() < 1e-12);
-        let p = Dbm(17.3);
-        assert!((Dbm::from_mw(p.to_mw()).0 - 17.3).abs() < 1e-12);
-    }
-
-    #[test]
-    fn zero_power_is_neg_infinity_dbm() {
-        assert_eq!(Dbm::from_mw(MilliWatts(0.0)).0, f64::NEG_INFINITY);
-    }
-
-    #[test]
-    fn db_arithmetic() {
-        let rx = Dbm(30.0) + Db(6.0) - Db(60.0) + Db(2.0);
-        assert!((rx.0 - (-22.0)).abs() < 1e-12);
-        assert!((Db(3.0103).linear() - 2.0).abs() < 1e-4);
-        assert!((Db::from_linear(100.0).0 - 20.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn wavelength_at_wifi() {
-        let wl = Hertz::from_ghz(2.437).wavelength_m();
-        assert!((wl - 0.123).abs() < 0.001, "wavelength {wl}");
-    }
-
-    #[test]
-    fn feet_conversion() {
-        assert!((Meters::from_feet(10.0).0 - 3.048).abs() < 1e-12);
-        assert!((Meters(3.048).feet() - 10.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn energy_conversions() {
-        assert!((Joules::from_uj(2.77).0 - 2.77e-6).abs() < 1e-18);
-        assert!((Joules::from_mj(10.4).uj() - 10_400.0).abs() < 1e-6);
-    }
-}
+pub use powifi_sim::units::{
+    Db, Dbm, Hertz, Joules, Meters, MicroWatts, MilliWatts, Seconds, Volts, Watts,
+};

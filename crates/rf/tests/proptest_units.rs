@@ -1,6 +1,9 @@
 //! Property tests for RF units and propagation.
 
-use powifi_rf::{friis_loss, packet_error_rate, Bitrate, Db, Dbm, Hertz, LogDistance, Meters, MilliWatts, PathLoss};
+use powifi_rf::{
+    friis_loss, packet_error_rate, Bitrate, Db, Dbm, Hertz, LogDistance, Meters, MilliWatts,
+    PathLoss,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -53,12 +53,7 @@ impl BackscatterTag {
 
     /// Strength of the backscattered signal at a receiver: incident power
     /// at the tag, minus reflection loss, minus the tag→receiver path.
-    pub fn backscatter_power(
-        &self,
-        incident_at_tag: Dbm,
-        f: Hertz,
-        tag_to_rx: Meters,
-    ) -> Dbm {
+    pub fn backscatter_power(&self, incident_at_tag: Dbm, f: Hertz, tag_to_rx: Meters) -> Dbm {
         incident_at_tag - self.reflection_loss - friis_loss(f, tag_to_rx)
     }
 
@@ -96,7 +91,7 @@ impl BackscatterTag {
         let strongest = exposure
             .iter()
             .map(|&(f, p, _)| (f, p))
-            .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap())?;
+            .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))?;
         let bs = self.backscatter_power(strongest.1, strongest.0, tag_to_rx);
         if self.detection_ratio_db(bs, direct_at_rx) < Self::DETECTION_RATIO_DB {
             return None;

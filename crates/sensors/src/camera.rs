@@ -97,9 +97,12 @@ mod tests {
         // temperature sensor's (~20 ft) because super-capacitor leakage
         // eats the trickle.
         let c = Camera::battery_free();
-        assert!(c.inter_frame_secs(&exposure_at(15.0, BENCH_DUTY, &[])).is_some());
+        assert!(c
+            .inter_frame_secs(&exposure_at(15.0, BENCH_DUTY, &[]))
+            .is_some());
         assert!(
-            c.inter_frame_secs(&exposure_at(26.0, BENCH_DUTY, &[])).is_none(),
+            c.inter_frame_secs(&exposure_at(26.0, BENCH_DUTY, &[]))
+                .is_none(),
             "battery-free camera alive at 26 ft"
         );
     }
@@ -113,7 +116,10 @@ mod tests {
             let mut last = 0.0;
             let mut ft = 4.0;
             while ft <= 40.0 {
-                if cam.inter_frame_secs(&exposure_at(ft, BENCH_DUTY, &[])).is_some() {
+                if cam
+                    .inter_frame_secs(&exposure_at(ft, BENCH_DUTY, &[]))
+                    .is_some()
+                {
                     last = ft;
                 }
                 ft += 0.5;
@@ -123,7 +129,10 @@ mod tests {
         let r_bf = range(&bf);
         let r_bc = range(&bc);
         assert!(r_bc > r_bf + 2.0, "bf {r_bf} ft, bc {r_bc} ft");
-        assert!((14.0..=22.0).contains(&r_bf), "battery-free range {r_bf} ft");
+        assert!(
+            (14.0..=22.0).contains(&r_bf),
+            "battery-free range {r_bf} ft"
+        );
         assert!((22.0..=34.0).contains(&r_bc), "recharging range {r_bc} ft");
     }
 

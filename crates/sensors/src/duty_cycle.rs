@@ -120,12 +120,18 @@ mod tests {
     #[test]
     fn node_cold_starts_then_cycles() {
         let node = run_node(8.0, 300);
-        let first = node.first_completion().expect("no reading in 5 min at 8 ft");
+        let first = node
+            .first_completion()
+            .expect("no reading in 5 min at 8 ft");
         // Cold start takes tens of seconds at 8 ft (charging 100 µF to 2.4 V
         // at ~10 µW), then readings flow.
         assert!(first > SimTime::from_secs(2), "implausibly fast: {first}");
         assert!(first < SimTime::from_secs(120), "too slow: {first}");
-        assert!(node.completions.len() > 100, "{} readings", node.completions.len());
+        assert!(
+            node.completions.len() > 100,
+            "{} readings",
+            node.completions.len()
+        );
     }
 
     #[test]
@@ -159,7 +165,11 @@ mod tests {
     #[test]
     fn out_of_range_node_never_boots() {
         let node = run_node(28.0, 120);
-        assert!(node.completions.is_empty(), "{} readings", node.completions.len());
+        assert!(
+            node.completions.is_empty(),
+            "{} readings",
+            node.completions.len()
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! 20 ft range endpoint and the recharging harvester's −19.3 dBm near 28 ft
 //! (see EXPERIMENTS.md §calibration).
 
-use powifi_rf::{Db, Dbm, Hertz, LogDistance, Meters, PathLoss, Transmitter, WallMaterial, WifiChannel};
+use powifi_rf::{
+    Db, Dbm, Hertz, LogDistance, Meters, PathLoss, Transmitter, WallMaterial, WifiChannel,
+};
 
 /// Path-loss model for the sensor-range benchmarks.
 pub fn sensor_pathloss() -> LogDistance {

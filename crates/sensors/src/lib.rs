@@ -10,16 +10,16 @@
 
 pub mod backscatter;
 pub mod camera;
-pub mod duty_cycle;
 pub mod charger;
+pub mod duty_cycle;
 pub mod exposure;
 pub mod mcu;
 pub mod temperature;
 
 pub use backscatter::BackscatterTag;
 pub use camera::{Camera, FRAME_ENERGY};
-pub use duty_cycle::DutyCycledNode;
 pub use charger::UsbCharger;
+pub use duty_cycle::DutyCycledNode;
 pub use exposure::{exposure_at, sensor_pathloss, BENCH_DUTY};
 pub use mcu::{Msp430, QCIF_FRAME_BYTES};
 pub use temperature::{TemperatureSensor, READ_ENERGY};

@@ -105,7 +105,10 @@ mod tests {
         // positive energy.
         let d = 24.0;
         assert!(bc.update_rate(&rx_at(d)) > 4.0 * bf.update_rate(&rx_at(d)).max(1e-6));
-        assert!(bc.update_rate(&rx_at(27.0)) > 0.02, "recharging dead at 27 ft");
+        assert!(
+            bc.update_rate(&rx_at(27.0)) > 0.02,
+            "recharging dead at 27 ft"
+        );
     }
 
     #[test]

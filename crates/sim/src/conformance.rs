@@ -114,7 +114,10 @@ pub fn assert_clean(context: &str) {
             msg.push_str(&format!("  {v}\n"));
         }
         if count as usize > retained.len() {
-            msg.push_str(&format!("  … and {} more\n", count as usize - retained.len()));
+            msg.push_str(&format!(
+                "  … and {} more\n",
+                count as usize - retained.len()
+            ));
         }
         panic!("{msg}");
     }

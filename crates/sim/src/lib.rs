@@ -22,10 +22,12 @@ pub mod series;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
+pub mod units;
 
 pub use queue::{EventFn, EventHandle, EventQueue};
 pub use rng::SimRng;
-pub use telemetry::RunTelemetry;
 pub use series::{PowerEnvelope, TimeSeries};
 pub use stats::{BinnedThroughput, Cdf, TimeWeighted, Welford};
+pub use telemetry::RunTelemetry;
 pub use time::{SimDuration, SimTime};
+pub use units::{Db, Dbm, Hertz, Joules, Meters, MicroWatts, MilliWatts, Seconds, Volts, Watts};

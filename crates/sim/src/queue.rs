@@ -9,7 +9,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// An event handler: consumes itself, mutating the world and the queue.
 pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut EventQueue<W>)>;
@@ -48,7 +48,7 @@ impl<W> Ord for Entry<W> {
 /// Deterministic discrete-event calendar over world state `W`.
 pub struct EventQueue<W> {
     heap: BinaryHeap<Entry<W>>,
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     now: SimTime,
     next_seq: u64,
     executed: u64,
@@ -65,7 +65,7 @@ impl<W> EventQueue<W> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             executed: 0,
@@ -93,7 +93,11 @@ impl<W> EventQueue<W> {
         at: SimTime,
         f: impl FnOnce(&mut W, &mut EventQueue<W>) + 'static,
     ) -> EventHandle {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry {
@@ -138,7 +142,13 @@ impl<W> EventQueue<W> {
         keep_going: impl Fn(&W) -> bool + 'static,
     ) -> EventHandle {
         assert!(!period.is_zero(), "zero-period repeating event");
-        fn arm<W, F, K>(q: &mut EventQueue<W>, at: SimTime, period: SimDuration, mut f: F, keep: K) -> EventHandle
+        fn arm<W, F, K>(
+            q: &mut EventQueue<W>,
+            at: SimTime,
+            period: SimDuration,
+            mut f: F,
+            keep: K,
+        ) -> EventHandle
         where
             F: FnMut(&mut W, &mut EventQueue<W>) + 'static,
             K: Fn(&W) -> bool + 'static,
@@ -164,11 +174,12 @@ impl<W> EventQueue<W> {
     /// if any event remains pending past it, else the time of the last event.
     pub fn run_until(&mut self, world: &mut W, end: SimTime) {
         let executed_before = self.executed;
-        while let Some(top) = self.heap.peek() {
-            if top.time > end {
-                break;
+        loop {
+            match self.heap.peek() {
+                Some(top) if top.time <= end => {}
+                _ => break,
             }
-            let entry = self.heap.pop().expect("peeked entry");
+            let Some(entry) = self.heap.pop() else { break };
             if self.cancelled.remove(&entry.seq) {
                 continue;
             }

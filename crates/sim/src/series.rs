@@ -103,7 +103,9 @@ impl PowerEnvelope {
 
     /// Empty envelope (level 0 until the first change point).
     pub fn new() -> Self {
-        PowerEnvelope { changes: Vec::new() }
+        PowerEnvelope {
+            changes: Vec::new(),
+        }
     }
 
     /// Record that the level changed to `level` at `t`. Consecutive identical

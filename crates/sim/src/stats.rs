@@ -114,8 +114,14 @@ impl Cdf {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in CDF"));
+            // A NaN sample means an upstream computation corrupted the
+            // stats; fail loudly instead of letting total_cmp tuck NaNs at
+            // the end and quietly poison every quantile.
+            assert!(
+                !self.samples.iter().any(|s| s.is_nan()),
+                "NaN sample in CDF"
+            );
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }
@@ -238,7 +244,10 @@ impl BinnedThroughput {
     /// Counter with the given bin width.
     pub fn new(bin: SimDuration) -> Self {
         assert!(!bin.is_zero());
-        BinnedThroughput { bin, bins: Vec::new() }
+        BinnedThroughput {
+            bin,
+            bins: Vec::new(),
+        }
     }
 
     /// Record `bytes` delivered at time `t`.

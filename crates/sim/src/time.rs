@@ -68,6 +68,11 @@ impl SimTime {
         self.0 as f64 / 1e9
     }
 
+    /// Seconds since the epoch as a typed span (for unit-checked math).
+    pub fn as_seconds(self) -> crate::units::Seconds {
+        crate::units::Seconds(self.as_secs_f64())
+    }
+
     /// Elapsed duration since `earlier`. Saturates at zero if `earlier` is later.
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
@@ -129,6 +134,20 @@ impl SimDuration {
     /// Seconds as a float.
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9
+    }
+
+    /// Seconds as a typed span (for unit-checked math).
+    pub fn as_seconds(self) -> crate::units::Seconds {
+        crate::units::Seconds(self.as_secs_f64())
+    }
+
+    /// Construct from fractional microseconds, rounding to whole nanoseconds.
+    /// Panics on negative or non-finite input. This is the blessed rounding
+    /// helper for float→integer airtime math (see docs/STATIC_ANALYSIS.md,
+    /// rule R5).
+    pub fn from_micros_f64(us: f64) -> Self {
+        assert!(us.is_finite() && us >= 0.0, "invalid duration {us}us");
+        SimDuration((us * 1_000.0).round() as u64)
     }
 
     /// True if this is the zero span.
@@ -276,7 +295,10 @@ mod tests {
             SimTime::ZERO.duration_since(SimTime::from_secs(1)),
             SimDuration::ZERO
         );
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]

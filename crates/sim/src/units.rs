@@ -1,0 +1,565 @@
+//! Strongly-typed physical quantities.
+//!
+//! The simulation mixes logarithmic (dBm, dB) and linear (W, V, J, s)
+//! quantities; mixing them up silently is the classic RF-budget bug — and
+//! the classic energy-accounting bug: a seconds/joules mix-up in the
+//! occupancy formula (Σ sizeᵢ/rateᵢ / duration) or the harvested-energy
+//! integral would produce plausible-but-wrong numbers without any runtime
+//! invariant firing. The newtypes here make the units part of the signature,
+//! centralize the conversions, and give dimensional arithmetic its only
+//! legal forms (`Watts × Seconds = Joules`, `Joules / Seconds = Watts`,
+//! `dBm ± dB`, …) so the mistake becomes a compile error.
+//!
+//! These types are defined in `powifi-sim` (the bottom of the crate stack)
+//! and re-exported by `powifi-rf`, so every layer shares one vocabulary.
+
+use crate::time::SimDuration;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Power on the decibel-milliwatt scale.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Dbm(pub f64);
+
+/// A power *ratio* in decibels (gains positive, losses negative when added).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Db(pub f64);
+
+/// Linear power in watts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Watts(pub f64);
+
+/// Linear power in milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct MilliWatts(pub f64);
+
+/// Linear power in microwatts (the harvester's natural scale).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct MicroWatts(pub f64);
+
+/// Frequency in hertz.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Hertz(pub f64);
+
+/// Distance in meters.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Meters(pub f64);
+
+/// Electric potential in volts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Volts(pub f64);
+
+/// Energy in joules.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Joules(pub f64);
+
+/// Wall-clock-free physical time in seconds, as a float.
+///
+/// [`crate::SimTime`]/[`SimDuration`] remain the authoritative integer
+/// clock; `Seconds` is the *measurement* type for accumulated airtime,
+/// occupancy numerators and energy integrals, where fractional math is
+/// unavoidable. Convert back with the checked [`Seconds::to_duration`].
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Seconds(pub f64);
+
+impl Dbm {
+    /// Convert to linear milliwatts.
+    pub fn to_mw(self) -> MilliWatts {
+        MilliWatts(10f64.powf(self.0 / 10.0))
+    }
+
+    /// Convert to linear microwatts.
+    pub fn to_uw(self) -> MicroWatts {
+        MicroWatts(10f64.powf(self.0 / 10.0) * 1e3)
+    }
+
+    /// Convert to watts.
+    pub fn to_watts(self) -> Watts {
+        Watts(10f64.powf(self.0 / 10.0) * 1e-3)
+    }
+
+    /// Construct from linear milliwatts; `mW <= 0` maps to −∞ dBm.
+    pub fn from_mw(mw: MilliWatts) -> Dbm {
+        if mw.0 <= 0.0 {
+            Dbm(f64::NEG_INFINITY)
+        } else {
+            Dbm(10.0 * mw.0.log10())
+        }
+    }
+
+    /// Construct from watts.
+    pub fn from_watts(w: Watts) -> Dbm {
+        Dbm::from_mw(MilliWatts(w.0 * 1e3))
+    }
+}
+
+impl Watts {
+    /// Zero power.
+    pub const ZERO: Watts = Watts(0.0);
+
+    /// To milliwatts.
+    pub fn to_mw(self) -> MilliWatts {
+        MilliWatts(self.0 * 1e3)
+    }
+
+    /// To microwatts.
+    pub fn to_uw(self) -> MicroWatts {
+        MicroWatts(self.0 * 1e6)
+    }
+
+    /// To dBm.
+    pub fn to_dbm(self) -> Dbm {
+        Dbm::from_watts(self)
+    }
+}
+
+impl MilliWatts {
+    /// Zero power.
+    pub const ZERO: MilliWatts = MilliWatts(0.0);
+
+    /// To dBm.
+    pub fn to_dbm(self) -> Dbm {
+        Dbm::from_mw(self)
+    }
+
+    /// To microwatts.
+    pub fn to_uw(self) -> MicroWatts {
+        MicroWatts(self.0 * 1e3)
+    }
+
+    /// To watts.
+    pub fn to_watts(self) -> Watts {
+        Watts(self.0 * 1e-3)
+    }
+}
+
+impl MicroWatts {
+    /// To milliwatts.
+    pub fn to_mw(self) -> MilliWatts {
+        MilliWatts(self.0 * 1e-3)
+    }
+
+    /// To watts.
+    pub fn to_watts(self) -> Watts {
+        Watts(self.0 * 1e-6)
+    }
+
+    /// To dBm.
+    pub fn to_dbm(self) -> Dbm {
+        self.to_mw().to_dbm()
+    }
+}
+
+impl Hertz {
+    /// Construct from megahertz.
+    pub const fn from_mhz(mhz: f64) -> Hertz {
+        Hertz(mhz * 1e6)
+    }
+
+    /// Construct from gigahertz.
+    pub const fn from_ghz(ghz: f64) -> Hertz {
+        Hertz(ghz * 1e9)
+    }
+
+    /// As megahertz.
+    pub fn mhz(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// As gigahertz.
+    pub fn ghz(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Free-space wavelength in meters.
+    pub fn wavelength_m(self) -> f64 {
+        const C: f64 = 299_792_458.0;
+        C / self.0
+    }
+
+    /// Angular frequency ω = 2πf in rad/s.
+    pub fn omega(self) -> f64 {
+        2.0 * std::f64::consts::PI * self.0
+    }
+}
+
+impl Meters {
+    /// Construct from feet (the paper reports all ranges in feet).
+    pub fn from_feet(ft: f64) -> Meters {
+        Meters(ft * 0.3048)
+    }
+
+    /// As feet.
+    pub fn feet(self) -> f64 {
+        self.0 / 0.3048
+    }
+
+    /// Construct from centimeters.
+    pub fn from_cm(cm: f64) -> Meters {
+        Meters(cm / 100.0)
+    }
+}
+
+impl Joules {
+    /// Zero energy.
+    pub const ZERO: Joules = Joules(0.0);
+
+    /// Construct from microjoules.
+    pub fn from_uj(uj: f64) -> Joules {
+        Joules(uj * 1e-6)
+    }
+
+    /// Construct from millijoules.
+    pub fn from_mj(mj: f64) -> Joules {
+        Joules(mj * 1e-3)
+    }
+
+    /// As microjoules.
+    pub fn uj(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// As millijoules.
+    pub fn mj(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Seconds {
+    /// Zero-length span.
+    pub const ZERO: Seconds = Seconds(0.0);
+
+    /// Checked conversion back to the integer simulation clock: rounds to
+    /// whole nanoseconds; panics on negative or non-finite input.
+    pub fn to_duration(self) -> SimDuration {
+        SimDuration::from_secs_f64(self.0)
+    }
+
+    /// True if the span is finite and non-negative — a sanity gate before
+    /// dividing occupancy numerators by it.
+    pub fn is_valid_span(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+// dBm ± dB arithmetic (the only legal mixed operations).
+impl Add<Db> for Dbm {
+    type Output = Dbm;
+    fn add(self, rhs: Db) -> Dbm {
+        Dbm(self.0 + rhs.0)
+    }
+}
+impl Sub<Db> for Dbm {
+    type Output = Dbm;
+    fn sub(self, rhs: Db) -> Dbm {
+        Dbm(self.0 - rhs.0)
+    }
+}
+impl Sub<Dbm> for Dbm {
+    type Output = Db;
+    fn sub(self, rhs: Dbm) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+impl Add for Db {
+    type Output = Db;
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Db {
+    fn add_assign(&mut self, rhs: Db) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for Db {
+    type Output = Db;
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+impl Neg for Db {
+    type Output = Db;
+    fn neg(self) -> Db {
+        Db(-self.0)
+    }
+}
+impl Db {
+    /// Linear power ratio represented by this value.
+    pub fn linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// dB value of a linear power ratio.
+    pub fn from_linear(r: f64) -> Db {
+        if r <= 0.0 {
+            Db(f64::NEG_INFINITY)
+        } else {
+            Db(10.0 * r.log10())
+        }
+    }
+}
+
+// Linear power arithmetic.
+impl Add for Watts {
+    type Output = Watts;
+    fn add(self, rhs: Watts) -> Watts {
+        Watts(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Watts {
+    fn add_assign(&mut self, rhs: Watts) {
+        self.0 += rhs.0;
+    }
+}
+impl Mul<f64> for Watts {
+    type Output = Watts;
+    fn mul(self, rhs: f64) -> Watts {
+        Watts(self.0 * rhs)
+    }
+}
+impl Add for MilliWatts {
+    type Output = MilliWatts;
+    fn add(self, rhs: MilliWatts) -> MilliWatts {
+        MilliWatts(self.0 + rhs.0)
+    }
+}
+impl AddAssign for MilliWatts {
+    fn add_assign(&mut self, rhs: MilliWatts) {
+        self.0 += rhs.0;
+    }
+}
+impl Mul<f64> for MilliWatts {
+    type Output = MilliWatts;
+    fn mul(self, rhs: f64) -> MilliWatts {
+        MilliWatts(self.0 * rhs)
+    }
+}
+impl Add for MicroWatts {
+    type Output = MicroWatts;
+    fn add(self, rhs: MicroWatts) -> MicroWatts {
+        MicroWatts(self.0 + rhs.0)
+    }
+}
+impl Mul<f64> for MicroWatts {
+    type Output = MicroWatts;
+    fn mul(self, rhs: f64) -> MicroWatts {
+        MicroWatts(self.0 * rhs)
+    }
+}
+
+// Energy arithmetic.
+impl Add for Joules {
+    type Output = Joules;
+    fn add(self, rhs: Joules) -> Joules {
+        Joules(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Joules {
+    fn add_assign(&mut self, rhs: Joules) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for Joules {
+    type Output = Joules;
+    fn sub(self, rhs: Joules) -> Joules {
+        Joules(self.0 - rhs.0)
+    }
+}
+impl Mul<f64> for Joules {
+    type Output = Joules;
+    fn mul(self, rhs: f64) -> Joules {
+        Joules(self.0 * rhs)
+    }
+}
+
+// Dimensional arithmetic: the only legal power/time/energy bridges.
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(rhs.0 * self.0)
+    }
+}
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+// Time-span arithmetic.
+impl Add for Seconds {
+    type Output = Seconds;
+    fn add(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Seconds {
+    fn add_assign(&mut self, rhs: Seconds) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for Seconds {
+    type Output = Seconds;
+    fn sub(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 - rhs.0)
+    }
+}
+impl SubAssign for Seconds {
+    fn sub_assign(&mut self, rhs: Seconds) {
+        self.0 -= rhs.0;
+    }
+}
+impl Mul<f64> for Seconds {
+    type Output = Seconds;
+    fn mul(self, rhs: f64) -> Seconds {
+        Seconds(self.0 * rhs)
+    }
+}
+impl Div<f64> for Seconds {
+    type Output = Seconds;
+    fn div(self, rhs: f64) -> Seconds {
+        Seconds(self.0 / rhs)
+    }
+}
+/// Ratio of two spans — the occupancy formula's final division.
+impl Div<Seconds> for Seconds {
+    type Output = f64;
+    fn div(self, rhs: Seconds) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl core::iter::Sum for Seconds {
+    fn sum<I: Iterator<Item = Seconds>>(iter: I) -> Seconds {
+        iter.fold(Seconds::ZERO, |a, b| a + b)
+    }
+}
+impl core::iter::Sum for Joules {
+    fn sum<I: Iterator<Item = Joules>>(iter: I) -> Joules {
+        iter.fold(Joules::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} dBm", self.0)
+    }
+}
+impl fmt::Display for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} dB", self.0)
+    }
+}
+impl fmt::Display for MicroWatts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} µW", self.0)
+    }
+}
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6} s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_mw_roundtrip() {
+        assert!((Dbm(0.0).to_mw().0 - 1.0).abs() < 1e-12);
+        assert!((Dbm(30.0).to_mw().0 - 1000.0).abs() < 1e-9);
+        assert!((Dbm(-30.0).to_uw().0 - 1.0).abs() < 1e-12);
+        let p = Dbm(17.3);
+        assert!((Dbm::from_mw(p.to_mw()).0 - 17.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_power_is_neg_infinity_dbm() {
+        assert_eq!(Dbm::from_mw(MilliWatts(0.0)).0, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn db_arithmetic() {
+        let rx = Dbm(30.0) + Db(6.0) - Db(60.0) + Db(2.0);
+        assert!((rx.0 - (-22.0)).abs() < 1e-12);
+        assert!((Db(3.0103).linear() - 2.0).abs() < 1e-4);
+        assert!((Db::from_linear(100.0).0 - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wavelength_at_wifi() {
+        let wl = Hertz::from_ghz(2.437).wavelength_m();
+        assert!((wl - 0.123).abs() < 0.001, "wavelength {wl}");
+    }
+
+    #[test]
+    fn feet_conversion() {
+        assert!((Meters::from_feet(10.0).0 - 3.048).abs() < 1e-12);
+        assert!((Meters(3.048).feet() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_conversions() {
+        assert!((Joules::from_uj(2.77).0 - 2.77e-6).abs() < 1e-18);
+        assert!((Joules::from_mj(10.4).uj() - 10_400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn watts_conversion_chain() {
+        let w = Watts(0.001);
+        assert!((w.to_mw().0 - 1.0).abs() < 1e-12);
+        assert!((w.to_uw().0 - 1000.0).abs() < 1e-9);
+        assert!((w.to_dbm().0 - 0.0).abs() < 1e-12);
+        assert!((Dbm(0.0).to_watts().0 - 0.001).abs() < 1e-15);
+        assert!((MicroWatts(5.0).to_watts().0 - 5e-6).abs() < 1e-18);
+        assert!((MilliWatts(5.0).to_watts().0 - 5e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dimensional_power_time_energy() {
+        // 2 W for 3 s is 6 J, and every rearrangement agrees.
+        let e = Watts(2.0) * Seconds(3.0);
+        assert!((e.0 - 6.0).abs() < 1e-12);
+        assert!(((Seconds(3.0) * Watts(2.0)).0 - 6.0).abs() < 1e-12);
+        assert!(((e / Seconds(3.0)).0 - 2.0).abs() < 1e-12);
+        assert!(((e / Watts(2.0)).0 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_ratio_is_dimensionless() {
+        // Σ airtime / duration — the paper's occupancy division.
+        let occupied = Seconds(0.25) + Seconds(0.35);
+        let window = Seconds(2.0);
+        assert!((occupied / window - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_to_duration_is_checked_and_rounds() {
+        use crate::time::SimDuration;
+        assert_eq!(Seconds(0.25).to_duration(), SimDuration::from_millis(250));
+        assert_eq!(Seconds(1.5e-6).to_duration(), SimDuration::from_nanos(1500));
+        assert!(Seconds(1.0).is_valid_span());
+        assert!(!Seconds(f64::NAN).is_valid_span());
+        assert!(!Seconds(-0.5).is_valid_span());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_seconds_cannot_become_a_duration() {
+        let _ = Seconds(-1.0).to_duration();
+    }
+}

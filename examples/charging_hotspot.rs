@@ -22,7 +22,11 @@ fn main() {
         if half_hour > 0 {
             charger.charge_for(SimDuration::from_secs(30 * 60), 6.0, duty);
         }
-        println!("{:>4} min  {:>5.1} %", half_hour * 30, charger.soc() * 100.0);
+        println!(
+            "{:>4} min  {:>5.1} %",
+            half_hour * 30,
+            charger.soc() * 100.0
+        );
     }
     println!("(paper: 0 → 41 % in 2.5 h)\n");
 
@@ -41,7 +45,9 @@ fn main() {
         for _ in 0..24 * 60 {
             h.advance_duty(SimDuration::from_secs(60), &inputs);
         }
-        let Store::Batt(b) = h.store() else { unreachable!() };
+        let Store::Batt(b) = h.store() else {
+            unreachable!()
+        };
         println!(
             "{name}: +{:.3} mAh in 24 h at 8 ft ({:.1} % of capacity, {:.1} µW harvested avg)",
             b.charge_mah,

@@ -23,7 +23,13 @@ fn main() {
         &mut q,
         channels[1].1,
         BackgroundConfig::neighbor(0.5, Bitrate::G24),
-        Rc::new(|t| if t >= SimTime::from_secs(30) { 1.0 } else { 0.0 }),
+        Rc::new(|t| {
+            if t >= SimTime::from_secs(30) {
+                1.0
+            } else {
+                0.0
+            }
+        }),
         rng.derive("neighbor"),
     );
 

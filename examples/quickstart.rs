@@ -19,7 +19,13 @@ fn main() {
     //    broadcast at 54 Mbps, 100 µs inter-packet delay, queue threshold 5)
     //    plus beacons.
     let rng = SimRng::from_seed(seed);
-    let router = Router::install(&mut world, &mut queue, &channels, RouterConfig::powifi(), &rng);
+    let router = Router::install(
+        &mut world,
+        &mut queue,
+        &channels,
+        RouterConfig::powifi(),
+        &rng,
+    );
 
     // 3. Run five simulated seconds.
     let end = SimTime::from_secs(5);
@@ -35,25 +41,37 @@ fn main() {
             occ * 100.0
         );
     }
-    println!("  cumulative: {:.1} %  (the paper's headline metric)", cumulative * 100.0);
+    println!(
+        "  cumulative: {:.1} %  (the paper's headline metric)",
+        cumulative * 100.0
+    );
     let (sent, dropped) = router.injector_totals();
     println!("  power packets sent {sent}, dropped by IP_Power check {dropped}");
 
     // 5. Power at a sensor ten feet away. The harvester integrates RF duty
     //    across all three channels — it cannot tell power packets from data.
     let duty = router.duty_series(&world.mac, end);
-    let mean_duty: f64 =
-        duty.iter().map(|d| d.iter().sum::<f64>() / d.len() as f64).sum::<f64>() / 3.0;
+    let mean_duty: f64 = duty
+        .iter()
+        .map(|d| d.iter().sum::<f64>() / d.len() as f64)
+        .sum::<f64>()
+        / 3.0;
     let exposure: Vec<(Hertz, Dbm, f64)> = exposure_at(10.0, mean_duty, &[]);
 
     let sensor = TemperatureSensor::battery_free();
     println!("\nBattery-free temperature sensor at 10 ft:");
     println!("  per-channel RF duty factor: {:.2}", mean_duty);
-    println!("  update rate: {:.2} readings/s", sensor.update_rate(&exposure));
+    println!(
+        "  update rate: {:.2} readings/s",
+        sensor.update_rate(&exposure)
+    );
 
     let camera = Camera::battery_free();
     match camera.inter_frame_secs(&exposure) {
-        Some(s) => println!("Battery-free camera at 10 ft: one frame every {:.1} min", s / 60.0),
+        Some(s) => println!(
+            "Battery-free camera at 10 ft: one frame every {:.1} min",
+            s / 60.0
+        ),
         None => println!("Battery-free camera at 10 ft: out of range"),
     }
 }

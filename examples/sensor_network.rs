@@ -31,8 +31,11 @@ fn main() {
     let end = SimTime::from_secs(10);
     q.run_until(&mut w, end);
     let duty = router.duty_series(&w.mac, end);
-    let mean_duty: f64 =
-        duty.iter().map(|d| d.iter().sum::<f64>() / d.len() as f64).sum::<f64>() / 3.0;
+    let mean_duty: f64 = duty
+        .iter()
+        .map(|d| d.iter().sum::<f64>() / d.len() as f64)
+        .sum::<f64>()
+        / 3.0;
     let pkt_rate = w.mac().station(router.client_iface().sta).frames_sent as f64 / 10.0;
     println!(
         "router: per-channel duty {:.2}, {:.0} modulable packets/s on ch1\n",
@@ -48,7 +51,10 @@ fn main() {
         ("garage", 26.0, true),
     ];
 
-    println!("{:<22}{:>12}{:>14}{:>16}", "node", "reads/s", "1st read (s)", "uplink (bps)");
+    println!(
+        "{:<22}{:>12}{:>14}{:>16}",
+        "node", "reads/s", "1st read (s)", "uplink (bps)"
+    );
     for (name, feet, walled) in spots {
         let walls: Vec<WallMaterial> = if walled {
             vec![WallMaterial::HollowWall5_4In]
@@ -70,7 +76,9 @@ fn main() {
             node.first_completion()
                 .map(|t| format!("{:.1}", t.as_secs_f64()))
                 .unwrap_or_else(|| "-".into()),
-            uplink.map(|b| format!("{b:.0}")).unwrap_or_else(|| "-".into()),
+            uplink
+                .map(|b| format!("{b:.0}"))
+                .unwrap_or_else(|| "-".into()),
         );
     }
     println!("\nEvery powered node also has a data path: the power packets double as");

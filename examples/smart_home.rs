@@ -44,7 +44,9 @@ fn main() {
     let rates = sensor_rates_from_home(&run, 10.0);
     let mean = rates.iter().sum::<f64>() / rates.len() as f64;
     let worst = rates.iter().cloned().fold(f64::INFINITY, f64::min);
-    println!("\ntemperature sensor at 10 ft: mean {mean:.2} reads/s, worst minute {worst:.2} reads/s");
+    println!(
+        "\ntemperature sensor at 10 ft: mean {mean:.2} reads/s, worst minute {worst:.2} reads/s"
+    );
 
     // A camera in the attic: 8 ft away through the double sheet-rock.
     let mean_duty: f64 = run
@@ -56,7 +58,10 @@ fn main() {
     let cam = Camera::battery_free();
     let attic = exposure_at(8.0, mean_duty, &[WallMaterial::SheetRock7_9In]);
     match cam.inter_frame_secs(&attic) {
-        Some(s) => println!("attic camera (8 ft, through 7.9\" wall): a frame every {:.0} min", s / 60.0),
+        Some(s) => println!(
+            "attic camera (8 ft, through 7.9\" wall): a frame every {:.0} min",
+            s / 60.0
+        ),
         None => println!("attic camera (8 ft, through 7.9\" wall): not enough power"),
     }
 }

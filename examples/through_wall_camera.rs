@@ -41,7 +41,11 @@ fn main() {
         let best = WallMaterial::FIG13_ORDER
             .iter()
             .filter(|&&m| {
-                let walls: Vec<_> = if m == WallMaterial::FreeSpace { vec![] } else { vec![m] };
+                let walls: Vec<_> = if m == WallMaterial::FreeSpace {
+                    vec![]
+                } else {
+                    vec![m]
+                };
                 cam.inter_frame_secs(&exposure_at(feet, BENCH_DUTY, &walls))
                     .is_some_and(|s| s <= 30.0 * 60.0)
             })

@@ -10,8 +10,7 @@
 use powifi::fuzz;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: powifi-fuzz [--topologies N] [--seed S] [--inject-bug] [--replay SEED]";
+const USAGE: &str = "usage: powifi-fuzz [--topologies N] [--seed S] [--inject-bug] [--replay SEED]";
 
 fn usage_err(msg: &str) -> ExitCode {
     eprintln!("powifi-fuzz: {msg}");
@@ -50,10 +49,7 @@ fn main() -> ExitCode {
         let spec = fuzz::gen_spec(seed);
         println!("replaying {}", spec.summary());
         let res = fuzz::run_spec(&spec, cfg.inject_bug);
-        println!(
-            "frames {} · violations {}",
-            res.frames, res.violations
-        );
+        println!("frames {} · violations {}", res.frames, res.violations);
         for v in res.retained.iter().take(10) {
             println!("  {v}");
         }
@@ -68,7 +64,11 @@ fn main() -> ExitCode {
         "fuzzing {} topologies from base seed {}{}",
         cfg.topologies,
         cfg.base_seed,
-        if cfg.inject_bug { " (timing bug injected)" } else { "" },
+        if cfg.inject_bug {
+            " (timing bug injected)"
+        } else {
+            ""
+        },
     );
     let report = fuzz::run(&cfg);
     print!("{}", report.render());

@@ -14,7 +14,10 @@
 
 use powifi_core::{spawn_injector, JitterModel, PowerTrafficConfig};
 use powifi_mac::world::{enqueue, start_beacons};
-use powifi_mac::{conformance as mac_conformance, Dest, Frame, Mac, MacTiming, MacWorld, PayloadTag, RateController, StationId};
+use powifi_mac::{
+    conformance as mac_conformance, Dest, Frame, Mac, MacTiming, MacWorld, PayloadTag,
+    RateController, StationId,
+};
 use powifi_rf::{Bitrate, Db};
 use powifi_sim::conformance::{self, Violation};
 use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
@@ -209,7 +212,10 @@ pub fn run_spec(spec: &TopologySpec, inject_bug: bool) -> CaseResult {
     let ids: Vec<StationId> = spec
         .stations
         .iter()
-        .map(|st| w.mac.add_station(mediums[st.medium as usize], RateController::fixed(st.rate)))
+        .map(|st| {
+            w.mac
+                .add_station(mediums[st.medium as usize], RateController::fixed(st.rate))
+        })
         .collect();
     for (i, st) in spec.stations.iter().enumerate() {
         let sta = ids[i];
@@ -250,7 +256,13 @@ pub fn run_spec(spec: &TopologySpec, inject_bug: bool) -> CaseResult {
                     .map(|(j, _)| ids[j])
                     .collect();
                 if peers.is_empty() {
-                    start_beacons(&mut q, sta, SimTime::ZERO, SimDuration::from_micros(102_400), st.rate);
+                    start_beacons(
+                        &mut q,
+                        sta,
+                        SimTime::ZERO,
+                        SimDuration::from_micros(102_400),
+                        st.rate,
+                    );
                     continue;
                 }
                 let peer = peers[*peer_rank as usize % peers.len()];
@@ -276,7 +288,13 @@ pub fn run_spec(spec: &TopologySpec, inject_bug: bool) -> CaseResult {
                 );
             }
             Role::Beacon => {
-                start_beacons(&mut q, sta, SimTime::ZERO, SimDuration::from_micros(102_400), st.rate);
+                start_beacons(
+                    &mut q,
+                    sta,
+                    SimTime::ZERO,
+                    SimDuration::from_micros(102_400),
+                    st.rate,
+                );
             }
             Role::Idle => {}
         }

@@ -14,9 +14,7 @@
 //! golden drift too.
 
 use powifi_core::{spawn_injector, JitterModel, PowerTrafficConfig};
-use powifi_mac::{
-    enqueue, Dest, Frame, Mac, MacWorld, PayloadTag, RateController, StationId,
-};
+use powifi_mac::{enqueue, Dest, Frame, Mac, MacWorld, PayloadTag, RateController, StationId};
 use powifi_rf::{Bitrate, Db};
 use powifi_sim::conformance;
 use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
@@ -130,7 +128,13 @@ pub fn scenarios() -> Vec<GoldenScenario> {
                     qdepth_threshold: Some(2),
                     jitter: JitterModel::none(),
                 };
-                spawn_injector(q, a, cfg, SimRng::from_seed(0).derive("golden-injector"), SimTime::ZERO);
+                spawn_injector(
+                    q,
+                    a,
+                    cfg,
+                    SimRng::from_seed(0).derive("golden-injector"),
+                    SimTime::ZERO,
+                );
             },
         },
         GoldenScenario {
@@ -142,7 +146,13 @@ pub fn scenarios() -> Vec<GoldenScenario> {
                 let ap = w.mac.add_station(m, RateController::fixed(Bitrate::B1));
                 let inj = w.mac.add_station(m, RateController::fixed(Bitrate::G24));
                 w.mac.enable_trace(m, TRACE_CAP);
-                powifi_mac::start_beacons(q, ap, SimTime::ZERO, SimDuration::from_micros(2_000), Bitrate::B1);
+                powifi_mac::start_beacons(
+                    q,
+                    ap,
+                    SimTime::ZERO,
+                    SimDuration::from_micros(2_000),
+                    Bitrate::B1,
+                );
                 q.schedule_repeating(
                     SimTime::ZERO,
                     SimDuration::from_micros(800),
@@ -163,7 +173,11 @@ pub fn scenarios() -> Vec<GoldenScenario> {
                 w.mac.set_corruption(m, 0.2);
                 w.mac.enable_trace(m, TRACE_CAP);
                 for i in 0..5u32 {
-                    let rate = if i % 2 == 0 { Bitrate::G24 } else { Bitrate::G6 };
+                    let rate = if i % 2 == 0 {
+                        Bitrate::G24
+                    } else {
+                        Bitrate::G6
+                    };
                     let sta = w.mac.add_station(m, RateController::fixed(rate));
                     q.schedule_repeating(
                         SimTime::from_micros(u64::from(i) * 37),

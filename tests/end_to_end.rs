@@ -19,13 +19,22 @@ fn powifi_powers_what_a_stock_router_cannot() {
     let run = |scheme: Scheme| {
         let (mut w, mut q, channels) = three_channel_world(42, SimDuration::from_millis(500));
         let rng = SimRng::from_seed(42);
-        let r = Router::install(&mut w, &mut q, &channels, RouterConfig::with_scheme(scheme), &rng);
+        let r = Router::install(
+            &mut w,
+            &mut q,
+            &channels,
+            RouterConfig::with_scheme(scheme),
+            &rng,
+        );
         let end = SimTime::from_secs(20);
         q.run_until(&mut w, end);
         // Mean per-channel duty factors drive the harvester.
         let duty = r.duty_series(&w.mac, end);
-        let mean_duty: f64 =
-            duty.iter().map(|d| d.iter().sum::<f64>() / d.len() as f64).sum::<f64>() / 3.0;
+        let mean_duty: f64 = duty
+            .iter()
+            .map(|d| d.iter().sum::<f64>() / d.len() as f64)
+            .sum::<f64>()
+            / 3.0;
         let exposure = exposure_at(10.0, mean_duty, &[]);
         // Charging the 100 µF store to 2.4 V (≈290 µJ) at the ~5 µW the
         // PoWiFi router delivers at 10 ft takes a bit over a minute.
@@ -38,8 +47,14 @@ fn powifi_powers_what_a_stock_router_cannot() {
         }
         h.output_on()
     };
-    assert!(!run(Scheme::Baseline), "stock router must NOT boot the sensor (§2)");
-    assert!(run(Scheme::PoWiFi), "PoWiFi must boot the sensor at 10 ft (§5.1)");
+    assert!(
+        !run(Scheme::Baseline),
+        "stock router must NOT boot the sensor (§2)"
+    );
+    assert!(
+        run(Scheme::PoWiFi),
+        "PoWiFi must boot the sensor at 10 ft (§5.1)"
+    );
     powifi::sim::conformance::assert_clean("powifi_powers_what_a_stock_router_cannot");
 }
 
@@ -71,8 +86,14 @@ fn scheme_ranking_matches_fig6() {
     let powifi = t(Scheme::PoWiFi);
     let noqueue = t(Scheme::NoQueue);
     let blind = t(Scheme::BlindUdp);
-    assert!(powifi > 0.85 * baseline, "PoWiFi {powifi} vs baseline {baseline}");
-    assert!(noqueue < 0.8 * baseline && noqueue > 0.3 * baseline, "NoQueue {noqueue}");
+    assert!(
+        powifi > 0.85 * baseline,
+        "PoWiFi {powifi} vs baseline {baseline}"
+    );
+    assert!(
+        noqueue < 0.8 * baseline && noqueue > 0.3 * baseline,
+        "NoQueue {noqueue}"
+    );
     assert!(blind < 0.2 * baseline, "BlindUDP {blind}");
     powifi::sim::conformance::assert_clean("scheme_ranking_matches_fig6");
 }
@@ -91,7 +112,10 @@ fn tcp_transfer_completes_under_powifi() {
     });
     q.run_until(&mut w, SimTime::from_secs(15));
     let f = w.net.tcp(flow);
-    assert!(f.completed_at.is_some(), "2 MB transfer did not finish in 15 s");
+    assert!(
+        f.completed_at.is_some(),
+        "2 MB transfer did not finish in 15 s"
+    );
     assert!(f.mean_mbps() > 2.0, "throughput {}", f.mean_mbps());
     powifi::sim::conformance::assert_clean("tcp_transfer_completes_under_powifi");
 }
@@ -107,12 +131,17 @@ fn camera_banks_frames_from_router_duty() {
     let end = SimTime::from_secs(10);
     q.run_until(&mut w, end);
     let duty = r.duty_series(&w.mac, end);
-    let mean_duty: f64 =
-        duty.iter().map(|d| d.iter().sum::<f64>() / d.len() as f64).sum::<f64>() / 3.0;
+    let mean_duty: f64 = duty
+        .iter()
+        .map(|d| d.iter().sum::<f64>() / d.len() as f64)
+        .sum::<f64>()
+        / 3.0;
     // 5 ft: strong exposure.
     let exposure = exposure_at(5.0, mean_duty, &[]);
     let cam = Camera::battery_free();
-    let t = cam.inter_frame_secs(&exposure).expect("camera in range at 5 ft");
+    let t = cam
+        .inter_frame_secs(&exposure)
+        .expect("camera in range at 5 ft");
     // Fig. 13 free-space order of magnitude: minutes to tens of minutes.
     assert!(t > 60.0 && t < 7200.0, "inter-frame {t} s");
     powifi::sim::conformance::assert_clean("camera_banks_frames_from_router_duty");
@@ -135,7 +164,10 @@ fn calibrated_range_endpoints_hold() {
     };
     assert!(rx(18.0).0 > -17.8, "too weak at 18 ft: {}", rx(18.0).0);
     assert!(rx(24.0).0 < -17.8, "too strong at 24 ft: {}", rx(24.0).0);
-    assert!(rx(30.0).0 < -19.3, "recharging threshold extends past 30 ft");
+    assert!(
+        rx(30.0).0 < -19.3,
+        "recharging threshold extends past 30 ft"
+    );
     powifi::sim::conformance::assert_clean("calibrated_range_endpoints_hold");
 }
 
@@ -154,7 +186,10 @@ fn closed_form_and_integrated_rates_agree() {
     }
     let integrated = h.harvested.0 / 3600.0 / powifi::sensors::READ_ENERGY.0;
     let ratio = closed / integrated;
-    assert!((0.95..=1.05).contains(&ratio), "closed {closed} integrated {integrated}");
+    assert!(
+        (0.95..=1.05).contains(&ratio),
+        "closed {closed} integrated {integrated}"
+    );
     powifi::sim::conformance::assert_clean("closed_form_and_integrated_rates_agree");
 }
 
@@ -165,11 +200,15 @@ fn battery_bookkeeping_is_consistent() {
     let _conf = powifi::sim::conformance::check();
     let exposure = exposure_at(6.0, 0.3, &[]);
     let mut h = Harvester::recharging(powifi::harvest::Battery::liion_coin());
-    let Store::Batt(before) = *h.store() else { unreachable!() };
+    let Store::Batt(before) = *h.store() else {
+        unreachable!()
+    };
     for _ in 0..600 {
         h.advance_duty(SimDuration::from_secs(1), &exposure);
     }
-    let Store::Batt(after) = *h.store() else { unreachable!() };
+    let Store::Batt(after) = *h.store() else {
+        unreachable!()
+    };
     let gained_j = (after.charge_mah - before.charge_mah) * 3.6 * after.volts / after.charge_eff;
     assert!(
         (gained_j - h.harvested.0).abs() < 1e-9 + 0.01 * h.harvested.0,
@@ -188,8 +227,16 @@ fn router_occupancy_bounded_by_channel_occupancy() {
     let end = SimTime::from_secs(5);
     q.run_until(&mut w, end);
     for iface in &s.router.ifaces {
-        let mine = w.mac().monitor(iface.medium).mean_of_station(iface.sta, end);
-        let all: f64 = w.mac().monitor(iface.medium).all_series(end).iter().sum::<f64>()
+        let mine = w
+            .mac()
+            .monitor(iface.medium)
+            .mean_of_station(iface.sta, end);
+        let all: f64 = w
+            .mac()
+            .monitor(iface.medium)
+            .all_series(end)
+            .iter()
+            .sum::<f64>()
             / end.as_secs_f64();
         assert!(mine <= all + 1e-9, "router {mine} > channel {all}");
     }

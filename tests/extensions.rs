@@ -3,8 +3,8 @@
 //! harvesting, and the backscatter synthesis.
 
 use powifi::core::{
-    install_fleet, spawn_attacker, spawn_capper, spawn_silent_injector, AttackConfig,
-    CapperConfig, FleetMode, Router, RouterConfig, SilentSlotConfig,
+    install_fleet, spawn_attacker, spawn_capper, spawn_silent_injector, AttackConfig, CapperConfig,
+    FleetMode, Router, RouterConfig, SilentSlotConfig,
 };
 use powifi::deploy::three_channel_world;
 use powifi::harvest::MultibandHarvester;
@@ -65,17 +65,16 @@ fn pdos_attack_starves_silent_slot_policy_too() {
             &rng,
         );
         for iface in &r.ifaces {
-            spawn_silent_injector(&mut q, iface.sta, SilentSlotConfig::default(), SimTime::ZERO);
+            spawn_silent_injector(
+                &mut q,
+                iface.sta,
+                SilentSlotConfig::default(),
+                SimTime::ZERO,
+            );
         }
         if attack {
             for &(_, m) in &channels {
-                spawn_attacker(
-                    &mut w,
-                    &mut q,
-                    m,
-                    AttackConfig::saturating_low_rate(),
-                    &rng,
-                );
+                spawn_attacker(&mut w, &mut q, m, AttackConfig::saturating_low_rate(), &rng);
             }
         }
         let end = SimTime::from_secs(4);
@@ -133,8 +132,14 @@ fn powered_tag_has_an_uplink_where_it_has_power() {
             None => dead += 1,
         }
     }
-    assert!(worked >= 3, "uplink should work through mid-range ({worked})");
-    assert!(dead >= 1, "uplink must die out of harvesting range ({dead})");
+    assert!(
+        worked >= 3,
+        "uplink should work through mid-range ({worked})"
+    );
+    assert!(
+        dead >= 1,
+        "uplink must die out of harvesting range ({dead})"
+    );
     powifi::sim::conformance::assert_clean("powered_tag_has_an_uplink_where_it_has_power");
 }
 

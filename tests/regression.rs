@@ -74,10 +74,20 @@ fn pin_device_ranges() {
     let cam_bf = Camera::battery_free();
     let r1 = range(&|ft| temp_bf.update_rate(&exposure_at(ft, BENCH_DUTY, &[])) > 0.01);
     let r2 = range(&|ft| temp_bc.update_rate(&exposure_at(ft, BENCH_DUTY, &[])) > 0.01);
-    let r3 = range(&|ft| cam_bf.inter_frame_secs(&exposure_at(ft, BENCH_DUTY, &[])).is_some());
-    assert!((20.0..=26.0).contains(&r1), "battery-free sensor range {r1}");
+    let r3 = range(&|ft| {
+        cam_bf
+            .inter_frame_secs(&exposure_at(ft, BENCH_DUTY, &[]))
+            .is_some()
+    });
+    assert!(
+        (20.0..=26.0).contains(&r1),
+        "battery-free sensor range {r1}"
+    );
     assert!((26.0..=32.0).contains(&r2), "recharging sensor range {r2}");
-    assert!((15.0..=19.0).contains(&r3), "battery-free camera range {r3}");
+    assert!(
+        (15.0..=19.0).contains(&r3),
+        "battery-free camera range {r3}"
+    );
     assert!(r2 > r1 && r1 > r3, "range ordering broken: {r3} {r1} {r2}");
     powifi::sim::conformance::assert_clean("pin_device_ranges");
 }

@@ -58,7 +58,13 @@ fn run_scenario(sc: &Scenario) -> (SimWorld, Router, Vec<u32>, SimTime) {
         _ => Scheme::EqualShare(Bitrate::G24),
     };
     let rng = SimRng::from_seed(sc.seed);
-    let router = Router::install(&mut w, &mut q, &channels, RouterConfig::with_scheme(scheme), &rng);
+    let router = Router::install(
+        &mut w,
+        &mut q,
+        &channels,
+        RouterConfig::with_scheme(scheme),
+        &rng,
+    );
     let router_sta = router.client_iface().sta;
     let m = channels[0].1;
     if sc.corruption > 0.0 {
