@@ -1,0 +1,178 @@
+//! `cargo bench-report` — wall-clock profile of the tier-1 experiment
+//! roster, written as `BENCH_tier1.json`.
+//!
+//! Runs a small fixed roster of representative experiments (one per major
+//! subsystem path: MAC-only injection, full-office UDP/TCP, neighbor
+//! fairness, a compressed home day) through the sweep engine and records
+//! *our own* runtime per point and per experiment — the perf-trajectory
+//! artifact CI uploads so regressions in simulator throughput are visible
+//! across commits. Simulation outputs in the artifact are deterministic;
+//! wall-clock fields are not and are labelled as such.
+//!
+//! Usage: `cargo bench-report [--seed N] [--jobs N] [--json DIR] [--out FILE]`
+//! (standard [`BenchArgs`] flags; `--out` defaults to `BENCH_tier1.json`).
+
+use powifi_bench::{BenchArgs, Experiment, PointRun, Sweep};
+use powifi_core::Scheme;
+use powifi_deploy::{neighbor_experiment, run_home, table1, tcp_experiment, udp_experiment};
+use powifi_rf::Bitrate;
+use serde::{Serialize, Value};
+
+/// A `(variant, seed) -> events` workload closure.
+type RunFn = Box<dyn Fn(&str, u64) -> f64 + Sync>;
+
+/// One roster entry: a named workload closure plus its variant labels.
+struct Roster {
+    name: &'static str,
+    variants: Vec<String>,
+    run: RunFn,
+}
+
+impl Experiment for Roster {
+    type Point = String;
+    type Output = f64;
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn points(&self, _full: bool) -> Vec<String> {
+        self.variants.clone()
+    }
+
+    fn label(&self, pt: &String) -> String {
+        pt.clone()
+    }
+
+    fn run(&self, pt: &String, seed: u64) -> f64 {
+        (self.run)(pt, seed)
+    }
+}
+
+fn roster() -> Vec<Roster> {
+    vec![
+        Roster {
+            name: "tier1_udp",
+            variants: vec!["baseline".into(), "powifi".into()],
+            run: Box::new(|v, seed| {
+                let scheme = if v == "baseline" {
+                    Scheme::Baseline
+                } else {
+                    Scheme::PoWiFi
+                };
+                udp_experiment(scheme, 10.0, seed, 3).throughput_mbps
+            }),
+        },
+        Roster {
+            name: "tier1_tcp",
+            variants: vec!["powifi".into()],
+            run: Box::new(|_, seed| tcp_experiment(Scheme::PoWiFi, seed, 3).throughput_mbps),
+        },
+        Roster {
+            name: "tier1_neighbor",
+            variants: vec!["powifi".into()],
+            run: Box::new(|_, seed| neighbor_experiment(Scheme::PoWiFi, Bitrate::G12, seed, 3)),
+        },
+        Roster {
+            name: "tier1_home",
+            variants: vec!["home2".into()],
+            run: Box::new(|_, seed| run_home(table1()[1], seed, 1440).mean_cumulative),
+        },
+    ]
+}
+
+/// Wall-clock rollup of one experiment's sweep.
+fn experiment_value<P, O: Serialize>(name: &str, runs: &[PointRun<P, O>]) -> Value {
+    let mut sum = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    let mut events = 0u64;
+    for r in runs {
+        sum += r.wall_ms;
+        min = min.min(r.wall_ms);
+        max = max.max(r.wall_ms);
+        events += r.telemetry.events;
+    }
+    let mean = sum / runs.len().max(1) as f64;
+    // Simulator throughput: events executed per wall-millisecond — the
+    // headline number to watch across commits.
+    let events_per_ms = if sum > 0.0 { events as f64 / sum } else { 0.0 };
+    Value::Object(vec![
+        ("experiment".into(), Value::Str(name.into())),
+        ("points".into(), Value::UInt(runs.len() as u64)),
+        ("events".into(), Value::UInt(events)),
+        ("sum_wall_ms".into(), Value::Float(sum)),
+        ("min_wall_ms".into(), Value::Float(min)),
+        ("max_wall_ms".into(), Value::Float(max)),
+        ("mean_wall_ms".into(), Value::Float(mean)),
+        ("events_per_wall_ms".into(), Value::Float(events_per_ms)),
+    ])
+}
+
+fn main() {
+    // `--out FILE` is specific to this binary; strip it before the shared
+    // parser sees the argument list.
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_tier1.json");
+    if let Some(i) = raw.iter().position(|a| a == "--out") {
+        if i + 1 >= raw.len() {
+            eprintln!("error: --out needs a file path");
+            std::process::exit(2);
+        }
+        out_path = raw.remove(i + 1);
+        raw.remove(i);
+    }
+    let args = match BenchArgs::parse_from(raw) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: bench_report [--seed N] [--jobs N] [--json DIR] [--out FILE]");
+            std::process::exit(2);
+        }
+    };
+
+    let mut experiments = Vec::new();
+    let mut total_ms = 0.0;
+    for exp in roster() {
+        let runs = Sweep::new(&args).run(&exp);
+        let v = experiment_value(exp.name, &runs);
+        if let Value::Object(entries) = &v {
+            if let Some((_, Value::Float(s))) = entries.iter().find(|(k, _)| k == "sum_wall_ms") {
+                total_ms += s;
+            }
+        }
+        experiments.push(v);
+    }
+
+    let report = Value::Object(vec![
+        ("artifact".into(), Value::Str("BENCH_tier1".into())),
+        (
+            "engine".into(),
+            Value::Object(vec![
+                ("package".into(), Value::Str(env!("CARGO_PKG_NAME").into())),
+                (
+                    "version".into(),
+                    Value::Str(env!("CARGO_PKG_VERSION").into()),
+                ),
+            ]),
+        ),
+        (
+            "profile".into(),
+            Value::Str(
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                }
+                .into(),
+            ),
+        ),
+        ("seed".into(), Value::UInt(args.seed)),
+        ("jobs".into(), Value::UInt(args.jobs as u64)),
+        ("total_wall_ms".into(), Value::Float(total_ms)),
+        ("experiments".into(), Value::Array(experiments)),
+    ]);
+    let text = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, text + "\n").expect("write bench report");
+    eprintln!("wrote {out_path}");
+}

@@ -97,7 +97,10 @@ impl Experiment for OccupancyVsDelay {
         spawn_injector(&mut q, iface, cfg, rng.derive("inj"), SimTime::ZERO);
         let end = SimTime::from_secs(pt.secs);
         q.run_until(&mut w, end);
-        w.mac().monitor(medium).mean_tracked(end)
+        let occ = w.mac().monitor(medium).mean_tracked(end);
+        w.mac().record_metrics();
+        powifi_sim::obs::metrics::gauge(powifi_sim::obs::metrics::keys::MAC_OCCUPANCY).set(occ);
+        occ
     }
 }
 

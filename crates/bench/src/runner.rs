@@ -17,14 +17,20 @@
 //!   `<name>.manifest.json` (engine version, CLI, wall-clock per point —
 //!   the only place timing appears, so artifact diffs stay meaningful).
 //! * **One CLI.** [`BenchArgs::parse`] handles `--seed/--full/--json/
-//!   --jobs/--filter/--check` for every binary, rejecting malformed input
-//!   with a usage message and exit code 2.
+//!   --jobs/--filter/--check/--trace/--metrics` for every binary,
+//!   rejecting malformed input with a usage message and exit code 2.
+//! * **Deep observability.** `--trace FILE` captures every point's
+//!   structured trace (`powifi_sim::obs::trace`) into one JSONL file in
+//!   grid order, each point introduced by a header line; `--metrics`
+//!   embeds the full metrics-registry snapshot per point in the points
+//!   artifact and manifest. Both are deterministic in `--jobs`.
 //! * **Conformance.** With `--check`, every point runs under the runtime
 //!   invariant checker (`powifi_sim::conformance`): the world installs its
 //!   periodic audits, violations are counted per point, and the sweep
 //!   panics after reporting if any point violated an invariant.
 
-use powifi_sim::{conformance, telemetry, RunTelemetry, SimRng};
+use powifi_sim::obs::{metrics, trace};
+use powifi_sim::{conformance, RunTelemetry, SimRng};
 use serde::{Serialize, Value};
 use std::fs;
 use std::path::PathBuf;
@@ -46,10 +52,14 @@ pub struct BenchArgs {
     pub filter: Option<String>,
     /// Run every point under the runtime invariant checker.
     pub check: bool,
+    /// Write a structured JSONL trace of every point to this file.
+    pub trace: Option<PathBuf>,
+    /// Include the full metrics-registry snapshot per point in artifacts.
+    pub metrics: bool,
 }
 
-const USAGE: &str =
-    "usage: [--seed N] [--full] [--json DIR] [--jobs N] [--filter SUBSTR] [--check]";
+const USAGE: &str = "usage: [--seed N] [--full] [--json DIR] [--jobs N] [--filter SUBSTR] \
+     [--check] [--trace FILE] [--metrics]";
 
 impl Default for BenchArgs {
     fn default() -> Self {
@@ -60,6 +70,8 @@ impl Default for BenchArgs {
             jobs: default_jobs(),
             filter: None,
             check: false,
+            trace: None,
+            metrics: false,
         }
     }
 }
@@ -112,6 +124,10 @@ impl BenchArgs {
                     out.filter = Some(it.next().ok_or("--filter needs a substring")?);
                 }
                 "--check" => out.check = true,
+                "--trace" => {
+                    out.trace = Some(PathBuf::from(it.next().ok_or("--trace needs a file")?));
+                }
+                "--metrics" => out.metrics = true,
                 "--help" | "-h" => {
                     eprintln!("{USAGE}");
                     std::process::exit(0);
@@ -175,6 +191,12 @@ pub struct PointRun<P, O> {
     pub output: O,
     /// Simulation-work counters observed while running the point.
     pub telemetry: RunTelemetry,
+    /// Full metrics-registry snapshot for the point (`--metrics` only;
+    /// deterministic, so it appears in artifacts when requested).
+    pub metrics: Option<metrics::MetricsSnapshot>,
+    /// The point's structured trace as JSONL (`--trace` only;
+    /// deterministic — captured per point and written in grid order).
+    pub trace_jsonl: Option<String>,
     /// Wall-clock runtime of this point, milliseconds (nondeterministic;
     /// reported only in the manifest, never in deterministic artifacts).
     pub wall_ms: f64,
@@ -232,6 +254,7 @@ impl<'a> Sweep<'a> {
             .collect();
         let started = Instant::now();
         let runs = self.execute(exp, items);
+        self.write_trace(exp, &runs);
         self.write_artifacts(exp, grid_len, &runs, started.elapsed().as_secs_f64() * 1e3);
         if self.args.check {
             let total: u64 = runs.iter().map(|r| r.violations).sum();
@@ -256,11 +279,15 @@ impl<'a> Sweep<'a> {
         items: Vec<Item<E::Point>>,
     ) -> Vec<PointRun<E::Point, E::Output>> {
         let jobs = self.args.jobs.clamp(1, items.len().max(1));
-        let check = self.args.check;
+        let opts = PointOpts {
+            check: self.args.check,
+            trace: self.args.trace.is_some(),
+            metrics: self.args.metrics,
+        };
         if jobs == 1 {
             return items
                 .into_iter()
-                .map(|it| run_point(exp, it, check))
+                .map(|it| run_point(exp, it, opts))
                 .collect();
         }
         let n = items.len();
@@ -289,7 +316,7 @@ impl<'a> Sweep<'a> {
                             seed: item.seed,
                             point: item.point.clone(),
                         },
-                        check,
+                        opts,
                     );
                     slots.lock()[i] = Some(run);
                 });
@@ -301,6 +328,35 @@ impl<'a> Sweep<'a> {
             .into_iter()
             .map(|slot| slot.expect("every claimed point stores a result"))
             .collect()
+    }
+
+    /// Write the `--trace` JSONL file: every point's trace in grid order,
+    /// each introduced by a one-line point header object. Fully
+    /// deterministic — traces are captured per point on worker threads and
+    /// concatenated in submission order here.
+    fn write_trace<E: Experiment>(&self, exp: &E, runs: &[PointRun<E::Point, E::Output>]) {
+        let Some(path) = &self.args.trace else {
+            return;
+        };
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).expect("create trace dir");
+            }
+        }
+        let mut out = String::new();
+        for r in runs {
+            let header = Value::Object(vec![
+                ("experiment".into(), Value::Str(exp.name().into())),
+                ("point".into(), Value::UInt(r.index as u64)),
+                ("label".into(), Value::Str(r.label.clone())),
+                ("seed".into(), Value::UInt(r.seed)),
+            ]);
+            out.push_str(&serde_json::to_string(&header).expect("serialize trace header"));
+            out.push('\n');
+            out.push_str(r.trace_jsonl.as_deref().unwrap_or(""));
+        }
+        fs::write(path, out).expect("write trace jsonl");
+        eprintln!("wrote {}", path.display());
     }
 
     fn write_artifacts<E: Experiment>(
@@ -349,19 +405,24 @@ impl<'a> Sweep<'a> {
             ("grid_points".into(), Value::UInt(grid_len as u64)),
             ("run_points".into(), Value::UInt(runs.len() as u64)),
             ("total_wall_ms".into(), Value::Float(total_wall_ms)),
+            ("wall_stats".into(), wall_stats_value(runs)),
             (
                 "points".into(),
                 Value::Array(
                     runs.iter()
                         .map(|r| {
-                            Value::Object(vec![
+                            let mut row = vec![
                                 ("label".into(), Value::Str(r.label.clone())),
                                 ("seed".into(), Value::UInt(r.seed)),
                                 ("wall_ms".into(), Value::Float(r.wall_ms)),
                                 ("events".into(), Value::UInt(r.telemetry.events)),
                                 ("frames".into(), Value::UInt(r.telemetry.frames)),
                                 ("occupancy".into(), Value::Float(r.telemetry.occupancy)),
-                            ])
+                            ];
+                            if let Some(m) = &r.metrics {
+                                row.push(("metrics".into(), metrics_value(m)));
+                            }
+                            Value::Object(row)
                         })
                         .collect(),
                 ),
@@ -377,22 +438,36 @@ impl<'a> Sweep<'a> {
     }
 }
 
+/// Per-point observability switches, copied out of [`BenchArgs`] so worker
+/// closures don't borrow the args.
+#[derive(Debug, Clone, Copy)]
+struct PointOpts {
+    check: bool,
+    trace: bool,
+    metrics: bool,
+}
+
 fn run_point<E: Experiment>(
     exp: &E,
     item: Item<E::Point>,
-    check: bool,
+    opts: PointOpts,
 ) -> PointRun<E::Point, E::Output> {
-    telemetry::reset();
-    if check {
+    metrics::reset();
+    if opts.check {
         // Per worker thread: the conformance sink is thread-local, exactly
-        // like the telemetry counters.
+        // like the metrics registry and trace sink.
         conformance::reset();
         conformance::set_enabled(true);
     }
     let started = Instant::now();
-    let output = exp.run(&item.point, item.seed);
+    let (output, trace_jsonl) = if opts.trace {
+        let (output, jsonl) = trace::capture_jsonl(|| exp.run(&item.point, item.seed));
+        (output, Some(jsonl))
+    } else {
+        (exp.run(&item.point, item.seed), None)
+    };
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-    let violations = if check {
+    let violations = if opts.check {
         conformance::set_enabled(false);
         let (count, retained) = conformance::take();
         for v in &retained {
@@ -402,13 +477,16 @@ fn run_point<E: Experiment>(
     } else {
         0
     };
+    let snapshot = metrics::snapshot();
     PointRun {
         index: item.index,
         point: item.point,
         label: item.label,
         seed: item.seed,
         output,
-        telemetry: telemetry::snapshot(),
+        telemetry: RunTelemetry::from_snapshot(&snapshot),
+        metrics: opts.metrics.then_some(snapshot),
+        trace_jsonl,
         wall_ms,
         violations,
     }
@@ -417,7 +495,7 @@ fn run_point<E: Experiment>(
 /// The deterministic artifact entry for one point: everything except
 /// wall-clock time.
 fn point_value<P, O: Serialize>(run: &PointRun<P, O>) -> Value {
-    Value::Object(vec![
+    let mut row = vec![
         ("index".into(), Value::UInt(run.index as u64)),
         ("label".into(), Value::Str(run.label.clone())),
         ("seed".into(), Value::UInt(run.seed)),
@@ -425,7 +503,98 @@ fn point_value<P, O: Serialize>(run: &PointRun<P, O>) -> Value {
         ("frames".into(), Value::UInt(run.telemetry.frames)),
         ("occupancy".into(), Value::Float(run.telemetry.occupancy)),
         ("violations".into(), Value::UInt(run.violations)),
-        ("output".into(), run.output.to_value()),
+    ];
+    if let Some(m) = &run.metrics {
+        row.push(("metrics".into(), metrics_value(m)));
+    }
+    row.push(("output".into(), run.output.to_value()));
+    Value::Object(row)
+}
+
+/// Render a [`metrics::MetricsSnapshot`] as an artifact [`Value`] tree
+/// (same shape as [`metrics::MetricsSnapshot::to_json`], embedded so the
+/// points/manifest files stay a single well-formed JSON document).
+fn metrics_value(m: &metrics::MetricsSnapshot) -> Value {
+    Value::Object(vec![
+        (
+            "counters".into(),
+            Value::Object(
+                m.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::UInt(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges".into(),
+            Value::Object(
+                m.gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Float(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms".into(),
+            Value::Object(
+                m.histograms
+                    .iter()
+                    .map(|(k, h)| {
+                        (
+                            k.clone(),
+                            Value::Object(vec![
+                                ("count".into(), Value::UInt(h.count)),
+                                ("sum".into(), Value::Float(h.sum)),
+                                ("min".into(), Value::Float(h.min)),
+                                ("max".into(), Value::Float(h.max)),
+                                (
+                                    "buckets".into(),
+                                    Value::Array(
+                                        h.buckets
+                                            .iter()
+                                            .map(|(bound, n)| {
+                                                Value::Array(vec![
+                                                    Value::Float(*bound),
+                                                    Value::UInt(*n),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Wall-clock summary over a sweep's points. Nondeterministic, so every
+/// key contains `wall_ms` — the token golden-artifact comparisons strip.
+/// `null` fields for an empty sweep.
+fn wall_stats_value<P, O>(runs: &[PointRun<P, O>]) -> Value {
+    if runs.is_empty() {
+        return Value::Object(vec![
+            ("min_wall_ms".into(), Value::Null),
+            ("max_wall_ms".into(), Value::Null),
+            ("mean_wall_ms".into(), Value::Null),
+            ("sum_wall_ms".into(), Value::Float(0.0)),
+        ]);
+    }
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    let mut sum = 0.0;
+    for r in runs {
+        min = min.min(r.wall_ms);
+        max = max.max(r.wall_ms);
+        sum += r.wall_ms;
+    }
+    Value::Object(vec![
+        ("min_wall_ms".into(), Value::Float(min)),
+        ("max_wall_ms".into(), Value::Float(max)),
+        ("mean_wall_ms".into(), Value::Float(sum / runs.len() as f64)),
+        ("sum_wall_ms".into(), Value::Float(sum)),
     ])
 }
 
@@ -535,6 +704,38 @@ mod tests {
         assert!(!BenchArgs::default().check);
         let args = BenchArgs::parse_from(["--check"].map(String::from)).unwrap();
         assert!(args.check);
+    }
+
+    #[test]
+    fn parse_from_accepts_trace_and_metrics() {
+        let d = BenchArgs::default();
+        assert!(d.trace.is_none());
+        assert!(!d.metrics);
+        let args =
+            BenchArgs::parse_from(["--trace", "/tmp/t.jsonl", "--metrics"].map(String::from))
+                .unwrap();
+        assert_eq!(
+            args.trace.as_deref(),
+            Some(std::path::Path::new("/tmp/t.jsonl"))
+        );
+        assert!(args.metrics);
+        assert!(BenchArgs::parse_from(["--trace"].map(String::from)).is_err());
+    }
+
+    #[test]
+    fn traced_sweep_captures_per_point_metrics() {
+        let args = BenchArgs {
+            metrics: true,
+            ..args_with(2, None)
+        };
+        let runs = Sweep::new(&args).run(&Square);
+        for r in &runs {
+            let m = r.metrics.as_ref().expect("--metrics snapshots each point");
+            // A pure-function experiment schedules no events, so the
+            // registry holds only the totals recorded by the queue (none).
+            assert_eq!(m.counter(metrics::keys::MAC_FRAMES), 0);
+            assert!(r.trace_jsonl.is_none(), "no --trace, no capture");
+        }
     }
 
     #[test]

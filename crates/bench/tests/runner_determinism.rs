@@ -60,6 +60,7 @@ impl Experiment for MiniOccupancy {
         );
         let end = SimTime::from_secs(pt.secs);
         q.run_until(&mut w, end);
+        w.mac.record_metrics();
         (r.occupancy(&w.mac, end).1, w.mac.total_frames_sent())
     }
 }
@@ -76,7 +77,6 @@ fn scratch_dir(tag: &str) -> PathBuf {
 fn sweep_artifacts(dir: &Path, jobs: usize, filter: Option<&str>) -> (String, String) {
     let args = BenchArgs {
         seed: 42,
-        full: false,
         json_dir: Some(dir.to_path_buf()),
         jobs,
         filter: filter.map(String::from),
@@ -84,11 +84,30 @@ fn sweep_artifacts(dir: &Path, jobs: usize, filter: Option<&str>) -> (String, St
         // runs under the invariant checker and the sweep panics on any
         // violation.
         check: true,
+        ..BenchArgs::default()
     };
     Sweep::new(&args).run(&MiniOccupancy);
     let points = fs::read_to_string(dir.join("mini_occupancy.points.json")).unwrap();
     let manifest = fs::read_to_string(dir.join("mini_occupancy.manifest.json")).unwrap();
     (points, manifest)
+}
+
+/// Run the mini sweep with `--metrics` and `--trace`, returning the points
+/// artifact (with the embedded metrics column) and the trace JSONL.
+fn observed_artifacts(dir: &Path, jobs: usize) -> (String, String) {
+    let trace_path = dir.join("mini_occupancy.trace.jsonl");
+    let args = BenchArgs {
+        seed: 42,
+        json_dir: Some(dir.to_path_buf()),
+        jobs,
+        metrics: true,
+        trace: Some(trace_path.clone()),
+        ..BenchArgs::default()
+    };
+    Sweep::new(&args).run(&MiniOccupancy);
+    let points = fs::read_to_string(dir.join("mini_occupancy.points.json")).unwrap();
+    let trace = fs::read_to_string(trace_path).unwrap();
+    (points, trace)
 }
 
 #[test]
@@ -116,23 +135,49 @@ fn points_artifact_is_bit_identical_across_job_counts() {
 }
 
 #[test]
+fn metrics_and_trace_are_bit_identical_across_job_counts() {
+    let d1 = scratch_dir("obs-jobs1");
+    let d8 = scratch_dir("obs-jobs8");
+    let (p1, t1) = observed_artifacts(&d1, 1);
+    let (p8, t8) = observed_artifacts(&d8, 8);
+
+    assert_eq!(
+        p1, p8,
+        "metrics column in points artifact must not depend on --jobs"
+    );
+    assert!(
+        p1.contains("\"metrics\"") && p1.contains("\"mac.frames_sent\""),
+        "--metrics must embed the registry snapshot in the points artifact"
+    );
+    assert_eq!(t1, t8, "trace JSONL must not depend on --jobs");
+    assert!(
+        t1.contains("\"experiment\":\"mini_occupancy\""),
+        "trace must carry point headers"
+    );
+    assert!(
+        t1.contains("\"layer\":\"mac\"") && t1.contains("\"kind\":\"tx_start\""),
+        "trace must contain MAC events for a live simulation"
+    );
+
+    let _ = fs::remove_dir_all(&d1);
+    let _ = fs::remove_dir_all(&d8);
+}
+
+#[test]
 fn filtered_sweep_reuses_full_grid_seeds() {
     let full = Sweep::new(&BenchArgs {
         seed: 42,
-        full: false,
-        json_dir: None,
         jobs: 2,
-        filter: None,
         check: true,
+        ..BenchArgs::default()
     })
     .run(&MiniOccupancy);
     let subset = Sweep::new(&BenchArgs {
         seed: 42,
-        full: false,
-        json_dir: None,
         jobs: 2,
         filter: Some("PoWiFi".into()),
         check: true,
+        ..BenchArgs::default()
     })
     .run(&MiniOccupancy);
 

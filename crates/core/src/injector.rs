@@ -28,6 +28,10 @@ pub struct InjectorCtl {
     pub delay_scale: f64,
     /// Master enable (TDM multi-router mode toggles this).
     pub enabled: bool,
+    /// Last `IP_Power` verdict, tracked only while tracing so gate
+    /// open/close *transitions* can be emitted (observational only —
+    /// nothing reads this back into the control loop).
+    gate_open: Option<bool>,
 }
 
 impl Default for InjectorCtl {
@@ -38,7 +42,19 @@ impl Default for InjectorCtl {
             queue_full: 0,
             delay_scale: 1.0,
             enabled: true,
+            gate_open: None,
         }
+    }
+}
+
+impl InjectorCtl {
+    /// Dump this injector's end-of-run totals into the thread's metrics
+    /// registry ([`powifi_sim::obs::metrics`]): admitted and gated power
+    /// packets. Called once at run boundaries.
+    pub fn record_metrics(&self) {
+        use powifi_sim::obs::metrics::{counter, keys};
+        counter(keys::CORE_POWER_SENT).add(self.sent);
+        counter(keys::CORE_POWER_GATED).add(self.dropped);
     }
 }
 
@@ -73,11 +89,34 @@ fn tick<W: MacWorld>(
         (c.enabled, c.delay_scale)
     };
     if enabled {
-        match ip_power_check(w.mac(), iface, cfg.qdepth_threshold) {
+        let verdict = ip_power_check(w.mac(), iface, cfg.qdepth_threshold);
+        if powifi_sim::obs::trace::enabled() {
+            let open = matches!(verdict, IpPowerVerdict::Admit);
+            let mut c = ctl.borrow_mut();
+            if c.gate_open != Some(open) {
+                c.gate_open = Some(open);
+                powifi_sim::obs::trace::emit(
+                    q.now(),
+                    powifi_sim::obs::trace::TraceEvent::InjectorGate {
+                        iface: iface.0,
+                        open,
+                        qdepth: w.mac().queue_depth(iface) as u32,
+                    },
+                );
+            }
+        }
+        match verdict {
             IpPowerVerdict::Admit => {
                 let frame = Frame::power(iface, cfg.payload_bytes, cfg.bitrate);
                 if enqueue(w, q, iface, frame) {
                     ctl.borrow_mut().sent += 1;
+                    powifi_sim::obs::trace::emit(
+                        q.now(),
+                        powifi_sim::obs::trace::TraceEvent::PowerPacket {
+                            iface: iface.0,
+                            bytes: cfg.payload_bytes,
+                        },
+                    );
                 } else {
                     ctl.borrow_mut().queue_full += 1;
                 }

@@ -11,7 +11,8 @@ use powifi_net::{
 };
 use powifi_rf::{Bitrate, Dbm, Hertz, Meters, PathLoss, Transmitter, WifiChannel};
 use powifi_sensors::{sensor_pathloss, TemperatureSensor};
-use powifi_sim::{telemetry, SimDuration, SimTime};
+use powifi_sim::obs::metrics::{gauge, keys};
+use powifi_sim::{SimDuration, SimTime};
 
 /// Result of one §4.1(a) UDP run.
 #[derive(Debug, Clone)]
@@ -73,7 +74,7 @@ pub fn udp_experiment_in(
         unreachable!()
     };
     let (per, cum) = s.router.occupancy(&w.mac, end);
-    record_run_telemetry(&w, cum);
+    record_run_telemetry(&w, &s.router, cum);
     UdpResult {
         throughput_mbps: u.mean_mbps(),
         bins: u.delivered.mbps_per_bin(),
@@ -98,7 +99,7 @@ pub fn tcp_experiment_in(cfg: OfficeConfig, scheme: Scheme, seed: u64, secs: u64
     q.run_until(&mut w, end);
     let tcp = w.net.tcp(flow);
     let (_, cum) = s.router.occupancy(&w.mac, end);
-    record_run_telemetry(&w, cum);
+    record_run_telemetry(&w, &s.router, cum);
     TcpResult {
         throughput_mbps: tcp.mean_mbps(),
         bins: tcp.delivered.mbps_per_bin(),
@@ -143,7 +144,7 @@ pub fn plt_experiment_in(
     }
     q.run_until(&mut w, t + SimDuration::from_secs(30));
     let end_occ = s.router.occupancy(&w.mac, q.now()).1;
-    record_run_telemetry(&w, end_occ);
+    record_run_telemetry(&w, &s.router, end_occ);
     pages.iter().filter_map(|&p| w.net.pages[p].plt()).collect()
 }
 
@@ -194,15 +195,19 @@ pub fn neighbor_experiment_in(
         unreachable!()
     };
     let cum = s.router.occupancy(&w.mac, end).1;
-    record_run_telemetry(&w, cum);
+    record_run_telemetry(&w, &s.router, cum);
     u.mean_mbps()
 }
 
-/// Report a finished run's simulation-work counters to the bench engine's
-/// per-thread telemetry (observability only; see `powifi_sim::telemetry`).
-fn record_run_telemetry(w: &SimWorld, cumulative_occupancy: f64) {
-    telemetry::record_frames(w.mac.total_frames_sent());
-    telemetry::record_occupancy(cumulative_occupancy);
+/// Report a finished run's totals to this thread's metrics registry
+/// (observability only; see `powifi_sim::obs::metrics`): MAC counters,
+/// the run's cumulative occupancy, and the router's injector gate totals.
+fn record_run_telemetry(w: &SimWorld, router: &powifi_core::Router, cumulative_occupancy: f64) {
+    w.mac.record_metrics();
+    gauge(keys::MAC_OCCUPANCY).set(cumulative_occupancy);
+    for inj in &router.injectors {
+        inj.borrow().record_metrics();
+    }
 }
 
 /// Fig. 15: battery-free temperature-sensor update rates at `feet` from the

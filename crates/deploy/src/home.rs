@@ -219,8 +219,12 @@ pub fn run_home(cfg: HomeConfig, seed: u64, sim_seconds_per_day: u64) -> HomeRun
         .map(|b| per_channel.iter().map(|c| c[b]).sum())
         .collect();
     let mean_cumulative = cumulative.iter().sum::<f64>() / bins as f64;
-    powifi_sim::telemetry::record_frames(w.mac.total_frames_sent());
-    powifi_sim::telemetry::record_occupancy(mean_cumulative);
+    w.mac.record_metrics();
+    powifi_sim::obs::metrics::gauge(powifi_sim::obs::metrics::keys::MAC_OCCUPANCY)
+        .set(mean_cumulative);
+    for inj in &home.router.injectors {
+        inj.borrow().record_metrics();
+    }
     let hours = (0..bins)
         .map(|b| {
             home.hour_at(SimTime::from_nanos(

@@ -16,6 +16,8 @@ use crate::matching::MatchingNetwork;
 use crate::rectifier::{Rectifier, Variant};
 use crate::storage::{Battery, Capacitor};
 use powifi_rf::{Dbm, Hertz, Joules, MicroWatts};
+use powifi_sim::obs::metrics as obs_metrics;
+use powifi_sim::obs::trace as obs;
 use powifi_sim::{conformance, SimDuration, SimTime};
 
 /// What the harvester charges.
@@ -59,6 +61,10 @@ pub struct Harvester {
     pub incident: Joules,
     /// Total simulated time this harvester has been advanced.
     elapsed: SimDuration,
+    /// Converter efficiency at the MPPT design point, captured the first
+    /// time [`Harvester::set_mppt_reference`] re-tunes it (so repeated
+    /// re-tuning never compounds).
+    design_efficiency: Option<f64>,
 }
 
 impl Harvester {
@@ -74,6 +80,7 @@ impl Harvester {
             harvested: Joules(0.0),
             incident: Joules(0.0),
             elapsed: SimDuration::ZERO,
+            design_efficiency: None,
         }
     }
 
@@ -89,6 +96,7 @@ impl Harvester {
             harvested: Joules(0.0),
             incident: Joules(0.0),
             elapsed: SimDuration::ZERO,
+            design_efficiency: None,
         }
     }
 
@@ -104,6 +112,7 @@ impl Harvester {
             harvested: Joules(0.0),
             incident: Joules(0.0),
             elapsed: SimDuration::ZERO,
+            design_efficiency: None,
         }
     }
 
@@ -187,9 +196,57 @@ impl Harvester {
             // Output-switch hysteresis.
             if !self.output_on && c.volts >= self.converter.output_on_volts {
                 self.output_on = true;
+                obs_metrics::counter(obs_metrics::keys::HARVEST_COLD_STARTS).inc();
+                if obs::enabled() {
+                    let at = SimTime::ZERO + self.elapsed;
+                    obs::emit(
+                        at,
+                        obs::TraceEvent::StorageCross {
+                            volts: c.volts,
+                            threshold: self.converter.output_on_volts,
+                            rising: true,
+                        },
+                    );
+                    obs::emit(at, obs::TraceEvent::ColdStart { volts: c.volts });
+                }
             } else if self.output_on && c.volts < self.converter.output_off_volts {
                 self.output_on = false;
+                obs_metrics::counter(obs_metrics::keys::HARVEST_BROWNOUTS).inc();
+                if obs::enabled() {
+                    let at = SimTime::ZERO + self.elapsed;
+                    obs::emit(
+                        at,
+                        obs::TraceEvent::StorageCross {
+                            volts: c.volts,
+                            threshold: self.converter.output_off_volts,
+                            rising: false,
+                        },
+                    );
+                    obs::emit(at, obs::TraceEvent::Brownout { volts: c.volts });
+                }
             }
+        }
+    }
+
+    /// Re-tune the converter's MPPT reference voltage. The design point is
+    /// the paper's 200 mV (§3.1); moving off it scales conversion
+    /// efficiency by the relative [`crate::mppt_factor`] and emits an
+    /// `MpptUpdate` trace event at the harvester's current elapsed time.
+    pub fn set_mppt_reference(&mut self, vref_volts: f64) {
+        const DESIGN_VREF: f64 = 0.20;
+        let base = *self
+            .design_efficiency
+            .get_or_insert(self.converter.efficiency);
+        let rel = crate::mppt_factor(vref_volts) / crate::mppt_factor(DESIGN_VREF);
+        self.converter.efficiency = (base * rel).clamp(0.0, 1.0);
+        if obs::enabled() {
+            obs::emit(
+                SimTime::ZERO + self.elapsed,
+                obs::TraceEvent::MpptUpdate {
+                    vref_volts,
+                    factor: rel,
+                },
+            );
         }
     }
 

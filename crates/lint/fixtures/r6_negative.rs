@@ -1,0 +1,19 @@
+// Fixture: R6 must stay quiet — typed emission and unrelated installs.
+use powifi_sim::obs::trace;
+use powifi_sim::SimTime;
+
+pub fn record(now: SimTime, iface: u32, qdepth: u32) {
+    trace::emit(
+        now,
+        trace::TraceEvent::InjectorGate {
+            iface,
+            open: true,
+            qdepth,
+        },
+    );
+    let _on = trace::enabled();
+}
+
+pub fn audit(q: &mut powifi_sim::EventQueue<()>) {
+    conformance::install_audit(q);
+}

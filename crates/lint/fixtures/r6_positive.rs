@@ -1,0 +1,10 @@
+// Fixture: R6 must fire — trace sinks built/installed outside obs/bench.
+use powifi_sim::obs::trace::{JsonlSink, RingSink};
+
+pub fn capture(path: &std::path::Path) {
+    let ring = RingSink::unbounded();
+    let prev = powifi_sim::obs::trace::install(Box::new(ring));
+    let _ = prev;
+    let _file = JsonlSink::create(path);
+    let _quiet = powifi_sim::obs::trace::NullSink;
+}

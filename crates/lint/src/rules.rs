@@ -1,4 +1,4 @@
-//! The rule catalogue: R1–R5, each a token-level pass over one lexed file.
+//! The rule catalogue: R1–R6, each a token-level pass over one lexed file.
 //!
 //! Scope model: every rule declares which crates it patrols and whether it
 //! looks inside test regions. "Simulation crates" are the ones whose
@@ -13,7 +13,7 @@ pub const SIM_CRATES: [&str; 8] = [
     "core", "deploy", "harvest", "mac", "net", "rf", "sensors", "sim",
 ];
 
-/// The five rules.
+/// The six rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// R1: no `HashMap`/`HashSet` in simulation crates.
@@ -26,19 +26,23 @@ pub enum Rule {
     FloatEq,
     /// R5: no bare `as` float→int casts without a rounding helper.
     BareCast,
+    /// R6: no direct `TraceSink` construction/installation outside
+    /// `crates/sim` (the `obs` layer) and `crates/bench` (the runner).
+    SinkConstruction,
 }
 
 impl Rule {
     /// All rules, in id order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::HashIteration,
         Rule::AmbientNondeterminism,
         Rule::Unwrap,
         Rule::FloatEq,
         Rule::BareCast,
+        Rule::SinkConstruction,
     ];
 
-    /// Short id (`R1`…`R5`), used in output and baseline entries.
+    /// Short id (`R1`…`R6`), used in output and baseline entries.
     pub fn id(self) -> &'static str {
         match self {
             Rule::HashIteration => "R1",
@@ -46,6 +50,7 @@ impl Rule {
             Rule::Unwrap => "R3",
             Rule::FloatEq => "R4",
             Rule::BareCast => "R5",
+            Rule::SinkConstruction => "R6",
         }
     }
 
@@ -57,6 +62,7 @@ impl Rule {
             Rule::Unwrap => "unwrap",
             Rule::FloatEq => "float-eq",
             Rule::BareCast => "bare-cast",
+            Rule::SinkConstruction => "sink-construction",
         }
     }
 
@@ -80,6 +86,10 @@ impl Rule {
             Rule::Unwrap => "unwrap()/expect() in library code; use typed errors or justify",
             Rule::FloatEq => "==/!= on floats; compare integer ns/tolerances instead",
             Rule::BareCast => "bare `as` float→int cast; go through .round()/.floor()/.ceil()",
+            Rule::SinkConstruction => {
+                "direct TraceSink construction; simulation layers emit typed events only — \
+                 sinks are wired by obs and the bench runner"
+            }
         }
     }
 
@@ -87,6 +97,9 @@ impl Rule {
     pub fn applies_to_crate(self, crate_name: &str) -> bool {
         match self {
             Rule::AmbientNondeterminism => crate_name != "bench",
+            // Sinks may only be built where they are defined (`sim`, home of
+            // the `obs` layer) or wired (`bench`, the sweep runner).
+            Rule::SinkConstruction => crate_name != "sim" && crate_name != "bench",
             _ => SIM_CRATES.contains(&crate_name),
         }
     }
@@ -209,6 +222,10 @@ const AMBIENT_IDENTS: [&str; 5] = [
     "OsRng",
 ];
 
+/// Trace-sink types whose mere mention outside obs/bench means a simulation
+/// layer is wiring its own observability plumbing (R6).
+const SINK_IDENTS: [&str; 3] = ["NullSink", "RingSink", "JsonlSink"];
+
 /// Run every applicable rule over one lexed file.
 pub fn check_file(ctx: &FileContext, lexed: &Lexed) -> Vec<RawFinding> {
     let toks = &lexed.tokens;
@@ -302,6 +319,38 @@ pub fn check_file(ctx: &FileContext, lexed: &Lexed) -> Vec<RawFinding> {
                     message: format!(
                         "`{}` against a float literal; accumulated f64 time/energy never \
                          compares exactly — use integer ns or an epsilon",
+                        t.text
+                    ),
+                });
+            }
+        }
+        // R6 — trace-sink construction outside obs/bench. Flags the sink
+        // type names themselves plus `trace::install`/`trace::uninstall`
+        // (path-qualified, so unrelated `install_*` helpers stay quiet).
+        if active.contains(&Rule::SinkConstruction) && t.kind == TokKind::Ident {
+            if SINK_IDENTS.contains(&t.text.as_str()) {
+                out.push(RawFinding {
+                    line: t.line,
+                    col: t.col,
+                    rule: Rule::SinkConstruction,
+                    message: format!(
+                        "`{}` constructed outside obs/bench; emit typed events via \
+                         obs::trace::emit and let the runner wire sinks",
+                        t.text
+                    ),
+                });
+            } else if (t.text == "install" || t.text == "uninstall")
+                && i >= 2
+                && toks[i - 1].text == "::"
+                && toks[i - 2].text == "trace"
+            {
+                out.push(RawFinding {
+                    line: t.line,
+                    col: t.col,
+                    rule: Rule::SinkConstruction,
+                    message: format!(
+                        "`trace::{}` outside obs/bench; sink lifecycle belongs to the \
+                         obs layer and the bench runner",
                         t.text
                     ),
                 });
@@ -473,6 +522,43 @@ mod tests {
     fn r5_flags_known_float_getters() {
         let f = run("fn f(r: Bitrate) { let b = r.mbps() as u64; }");
         assert_eq!(f.iter().filter(|f| f.rule == Rule::BareCast).count(), 1);
+    }
+
+    #[test]
+    fn r6_fires_on_sink_types_and_trace_install() {
+        let f =
+            run("fn f() { let r = RingSink::unbounded(); let _ = trace::install(Box::new(r)); }");
+        assert_eq!(
+            f.iter()
+                .filter(|f| f.rule == Rule::SinkConstruction)
+                .count(),
+            2,
+            "{f:?}"
+        );
+        // Unqualified or differently-qualified `install` is not sink wiring.
+        let f = run("fn f(q: &mut Q) { conformance::install_audit(q); installer::install(q); }");
+        assert!(f.iter().all(|f| f.rule != Rule::SinkConstruction), "{f:?}");
+    }
+
+    #[test]
+    fn r6_is_exempt_in_sim_and_bench() {
+        let lexed = lex("fn f() { let s = NullSink; }");
+        for name in ["sim", "bench"] {
+            let mut c = ctx();
+            c.crate_name = name.into();
+            let f = check_file(&c, &lexed);
+            assert!(
+                f.iter().all(|f| f.rule != Rule::SinkConstruction),
+                "{name} may build sinks: {f:?}"
+            );
+        }
+        let f = run("fn f() { let s = NullSink; }");
+        assert_eq!(
+            f.iter()
+                .filter(|f| f.rule == Rule::SinkConstruction)
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -90,6 +90,29 @@ fn r5_positive_and_negative() {
 }
 
 #[test]
+fn r6_positive_and_negative() {
+    let f = scan_fixture(include_str!("../fixtures/r6_positive.rs"));
+    assert!(f.iter().all(|f| f.rule == Rule::SinkConstruction), "{f:?}");
+    // `use {JsonlSink, RingSink}` + RingSink::unbounded + trace::install +
+    // JsonlSink::create + NullSink = 6 sites.
+    assert_eq!(f.len(), 6, "{f:?}");
+    assert!(rules_fired(include_str!("../fixtures/r6_negative.rs")).is_empty());
+}
+
+#[test]
+fn r6_is_exempt_in_sim_and_bench() {
+    let pos = include_str!("../fixtures/r6_positive.rs");
+    assert!(
+        scan_source("crates/sim/src/obs/trace.rs", pos).is_empty(),
+        "obs owns the sinks"
+    );
+    assert!(
+        scan_source("crates/bench/src/runner.rs", pos).is_empty(),
+        "the runner wires sinks"
+    );
+}
+
+#[test]
 fn suppressions_silence_every_fixture_violation() {
     let f = scan_fixture(include_str!("../fixtures/suppressed.rs"));
     assert!(f.is_empty(), "{f:?}");

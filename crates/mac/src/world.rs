@@ -20,6 +20,7 @@ use crate::rate_adapt::RateController;
 use crate::trace::{FrameRecord, FrameTrace};
 use powifi_rf::{packet_error_rate, Bitrate, Db};
 use powifi_sim::conformance;
+use powifi_sim::obs::trace as obs;
 use powifi_sim::{EventHandle, EventQueue, SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -304,6 +305,20 @@ impl Mac {
         self.stations.len()
     }
 
+    /// Dump end-of-run MAC totals into this thread's metrics registry
+    /// ([`powifi_sim::obs::metrics`]): frames sent, collisions,
+    /// retransmissions and queue drops summed over every station and
+    /// medium. Called once at run boundaries so hot paths stay untouched.
+    pub fn record_metrics(&self) {
+        use powifi_sim::obs::metrics::{counter, keys};
+        counter(keys::MAC_FRAMES).add(self.total_frames_sent());
+        counter(keys::MAC_COLLISIONS).add(self.mediums.iter().map(|m| m.collisions).sum::<u64>());
+        counter(keys::MAC_RETRANSMISSIONS)
+            .add(self.stations.iter().map(|s| s.retransmissions).sum::<u64>());
+        counter(keys::MAC_QUEUE_DROPS)
+            .add(self.stations.iter().map(|s| s.queue_drops).sum::<u64>());
+    }
+
     /// Total frames sent across all stations — the scenario-wide activity
     /// counter the bench sweep engine reports per experiment point.
     pub fn total_frames_sent(&self) -> u64 {
@@ -341,6 +356,16 @@ pub fn enqueue<W: MacWorld>(
     let class = frame_class(&frame);
     if st.queues[class].len() >= st.queue_cap {
         st.queue_drops += 1;
+        if obs::enabled() {
+            obs::emit(
+                now,
+                obs::TraceEvent::MacDrop {
+                    medium: st.medium.0,
+                    sta: sta.0,
+                    reason: obs::DropReason::QueueFull,
+                },
+            );
+        }
         return false;
     }
     st.queues[class].push_back(frame);
@@ -360,6 +385,16 @@ pub fn enqueue<W: MacWorld>(
         start_access(w, q, sta);
     }
     true
+}
+
+/// Map a MAC frame kind onto the observability layer's frame class.
+fn obs_frame_class(kind: crate::frame::FrameKind) -> obs::FrameClass {
+    match kind {
+        crate::frame::FrameKind::Data => obs::FrameClass::Data,
+        crate::frame::FrameKind::Power => obs::FrameClass::Power,
+        crate::frame::FrameKind::Beacon => obs::FrameClass::Beacon,
+        crate::frame::FrameKind::Management => obs::FrameClass::Management,
+    }
 }
 
 /// Queue class of a frame: power broadcasts are isolated from client data.
@@ -412,6 +447,26 @@ fn start_access<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, sta: StationId) {
                 drawn: rem,
                 count_start: now,
             });
+        if obs::enabled() {
+            obs::emit(
+                now,
+                obs::TraceEvent::MacBackoffDraw {
+                    medium: medium_id.0,
+                    sta: sta.0,
+                    slots: rem,
+                    cw,
+                },
+            );
+            if now < mac.mediums[medium_id.0 as usize].busy_until {
+                obs::emit(
+                    now,
+                    obs::TraceEvent::MacDifsDefer {
+                        medium: medium_id.0,
+                        sta: sta.0,
+                    },
+                );
+            }
+        }
     }
     rearm(w, q, medium_id);
 }
@@ -548,7 +603,7 @@ fn arb_fire<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
         // Start every winner's transmission.
         debug_assert!(m.in_flight.is_empty());
         for sta in winners {
-            let (rate, bytes, dst, class) = {
+            let (rate, bytes, dst, class, kind) = {
                 let st = &mac.stations[sta.0 as usize];
                 let class = st.next_class();
                 // powifi-lint: allow(R3) — winners are drawn from stations
@@ -556,7 +611,7 @@ fn arb_fire<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
                 // and a loud panic beats a silently dropped transmission.
                 let f = st.queues[class].front().expect("winner with empty queue");
                 let rate = f.rate.unwrap_or_else(|| st.rate_ctl.current());
-                (rate, f.bytes, f.dst, class)
+                (rate, f.bytes, f.dst, class, f.kind)
             };
             let corrupt_p = mac.corruption_of(medium);
             let corrupted = corrupt_p > 0.0 && mac.rng.chance(corrupt_p);
@@ -577,11 +632,20 @@ fn arb_fire<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
             busy = busy.max(dur);
             let m = &mut mac.mediums[medium.0 as usize];
             m.monitor.record(now, sta, bytes, rate);
+            if obs::enabled() {
+                obs::emit(
+                    now,
+                    obs::TraceEvent::MacTxStart {
+                        medium: medium.0,
+                        sta: sta.0,
+                        frame: obs_frame_class(kind),
+                        bytes,
+                        rate_mbps: rate.mbps(),
+                        collided: collision,
+                    },
+                );
+            }
             if let Some(tr) = &mut m.trace {
-                let kind = mac.stations[sta.0 as usize].queues[class]
-                    .front()
-                    .map(|f| f.kind)
-                    .unwrap_or(crate::frame::FrameKind::Data);
                 tr.record(FrameRecord {
                     t: now,
                     src: sta,
@@ -635,6 +699,15 @@ fn tx_end<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
             let sta = fl.sta;
             let st = &mut mac.stations[sta.0 as usize];
             st.state = StaState::Idle;
+            if obs::enabled() {
+                obs::emit(
+                    now,
+                    obs::TraceEvent::MacTxEnd {
+                        medium: medium.0,
+                        sta: sta.0,
+                    },
+                );
+            }
             // powifi-lint: allow(R3) — a frame is in flight, so its head
             // queue slot must still hold it until this completion handler
             // pops it; anything else is a MAC state-machine bug.
@@ -682,6 +755,15 @@ fn tx_end<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
                         st.cw = timing.cw_min;
                         st.retries = 0;
                         st.rate_ctl.on_success();
+                        if obs::enabled() {
+                            obs::emit(
+                                now,
+                                obs::TraceEvent::MacAck {
+                                    medium: medium.0,
+                                    sta: sta.0,
+                                },
+                            );
+                        }
                         completions.push((frame, TxOutcome::Acked));
                         deliveries.push((peer, frame));
                     } else {
@@ -694,9 +776,29 @@ fn tx_end<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
                             st.rr = 1 - fl.class;
                             st.cw = timing.cw_min;
                             st.retries = 0;
+                            if obs::enabled() {
+                                obs::emit(
+                                    now,
+                                    obs::TraceEvent::MacDrop {
+                                        medium: medium.0,
+                                        sta: sta.0,
+                                        reason: obs::DropReason::RetryLimit,
+                                    },
+                                );
+                            }
                             completions.push((frame, TxOutcome::RetryLimit));
                         } else {
                             st.cw = (2 * st.cw + 1).min(timing.cw_max);
+                            if obs::enabled() {
+                                obs::emit(
+                                    now,
+                                    obs::TraceEvent::MacRetry {
+                                        medium: medium.0,
+                                        sta: sta.0,
+                                        retries: u32::from(st.retries),
+                                    },
+                                );
+                            }
                         }
                     }
                 }

@@ -9,6 +9,8 @@
 
 use crate::state::{Flow, FlowId, NetWorld};
 use powifi_mac::{enqueue, Dest, Frame, PayloadTag, StationId};
+use powifi_sim::obs::metrics as obs_metrics;
+use powifi_sim::obs::trace as obs;
 use powifi_sim::{BinnedThroughput, EventQueue, SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -217,11 +219,32 @@ fn rto_fire<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, id: FlowId, epoch: u6
             false
         } else {
             f.timeouts += 1;
+            let rto_expired = f.rto;
             f.ssthresh = (f.cwnd / 2.0).max(2.0);
             f.cwnd = 1.0;
             f.rto = (f.rto * 2.0).min(RTO_MAX);
             f.dup_acks = 0;
             f.recovery_high = None;
+            obs_metrics::counter(obs_metrics::keys::NET_TCP_RTO).inc();
+            if obs::enabled() {
+                obs::emit(
+                    q.now(),
+                    obs::TraceEvent::TcpRto {
+                        flow: id,
+                        rto_s: rto_expired,
+                        cwnd: f.cwnd,
+                    },
+                );
+                obs::emit(
+                    q.now(),
+                    obs::TraceEvent::TcpCwnd {
+                        flow: id,
+                        cwnd: f.cwnd,
+                        ssthresh: f.ssthresh,
+                        cause: obs::CwndCause::Rto,
+                    },
+                );
+            }
             true
         }
     };
@@ -318,6 +341,17 @@ fn sender_ack<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, id: FlowId, ack: u6
                     // Full recovery.
                     f.recovery_high = None;
                     f.cwnd = f.ssthresh;
+                    if obs::enabled() {
+                        obs::emit(
+                            now,
+                            obs::TraceEvent::TcpCwnd {
+                                flow: id,
+                                cwnd: f.cwnd,
+                                ssthresh: f.ssthresh,
+                                cause: obs::CwndCause::Recovered,
+                            },
+                        );
+                    }
                 }
                 Some(_) => {
                     // NewReno partial ACK: retransmit the next hole.
@@ -341,6 +375,18 @@ fn sender_ack<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, id: FlowId, ack: u6
                 f.ssthresh = (f.cwnd / 2.0).max(2.0);
                 f.cwnd = f.ssthresh;
                 f.recovery_high = Some(f.next_seq - 1);
+                obs_metrics::counter(obs_metrics::keys::NET_TCP_FAST_RETRANSMIT).inc();
+                if obs::enabled() {
+                    obs::emit(
+                        now,
+                        obs::TraceEvent::TcpCwnd {
+                            flow: id,
+                            cwnd: f.cwnd,
+                            ssthresh: f.ssthresh,
+                            cause: obs::CwndCause::FastRetransmit,
+                        },
+                    );
+                }
                 action = Action::FastRetransmit(f.snd_una);
             }
         }

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod conformance;
+pub mod obs;
 pub mod queue;
 pub mod rng;
 pub mod series;
@@ -24,10 +25,10 @@ pub mod telemetry;
 pub mod time;
 pub mod units;
 
+pub use obs::metrics::RunTelemetry;
 pub use queue::{EventFn, EventHandle, EventQueue};
 pub use rng::SimRng;
 pub use series::{PowerEnvelope, TimeSeries};
 pub use stats::{BinnedThroughput, Cdf, TimeWeighted, Welford};
-pub use telemetry::RunTelemetry;
 pub use time::{SimDuration, SimTime};
 pub use units::{Db, Dbm, Hertz, Joules, Meters, MicroWatts, MilliWatts, Seconds, Volts, Watts};

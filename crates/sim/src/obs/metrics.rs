@@ -1,0 +1,466 @@
+//! Per-run metrics registry: named counters, gauges and histograms.
+//!
+//! The registry is a thread-local, BTree-backed map from static metric
+//! names to values. Handles ([`Counter`], [`Gauge`], [`Histogram`]) are
+//! plain name wrappers — cheap to construct at the recording site, with no
+//! global registration step — and every write lands in the *current
+//! thread's* registry. The bench sweep engine calls [`reset`] before and
+//! [`snapshot`] after each experiment point (both on the worker thread that
+//! runs it), so per-point metrics are isolated even under work stealing.
+//!
+//! Snapshots render as stable JSON ([`MetricsSnapshot::to_json`]): BTree
+//! ordering plus the same shortest-roundtrip float formatting as the
+//! vendored `serde_json`, so the bytes are identical at any `--jobs` level.
+//!
+//! This module replaces and subsumes the ad-hoc [`crate::telemetry`]
+//! counters: the legacy `events` / `frames` / `occupancy` triple now lives
+//! here under the well-known names in [`keys`], and `telemetry` survives
+//! only as a deprecated shim over this registry.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Well-known metric names recorded by the simulation layers.
+pub mod keys {
+    /// Events executed by [`crate::EventQueue::run_until`] (counter).
+    pub const SIM_EVENTS: &str = "sim.events";
+    /// Total MAC frames sent over the run (counter).
+    pub const MAC_FRAMES: &str = "mac.frames_sent";
+    /// MAC collisions over the run (counter).
+    pub const MAC_COLLISIONS: &str = "mac.collisions";
+    /// MAC retransmissions over the run (counter).
+    pub const MAC_RETRANSMISSIONS: &str = "mac.retransmissions";
+    /// MAC frames dropped at enqueue because the queue was full (counter).
+    pub const MAC_QUEUE_DROPS: &str = "mac.queue_drops";
+    /// Final cumulative tracked-station occupancy, 0..=1 (gauge).
+    pub const MAC_OCCUPANCY: &str = "mac.occupancy";
+    /// Power packets admitted by the injector gate (counter).
+    pub const CORE_POWER_SENT: &str = "core.power_sent";
+    /// Power packets dropped by the injector gate (counter).
+    pub const CORE_POWER_GATED: &str = "core.power_gated";
+    /// Harvester output-switch turn-ons (cold starts) (counter).
+    pub const HARVEST_COLD_STARTS: &str = "harvest.cold_starts";
+    /// Harvester output-switch turn-offs (brownouts) (counter).
+    pub const HARVEST_BROWNOUTS: &str = "harvest.brownouts";
+    /// TCP retransmission timeouts fired (counter).
+    pub const NET_TCP_RTO: &str = "net.tcp_rto";
+    /// TCP fast retransmits triggered (counter).
+    pub const NET_TCP_FAST_RETRANSMIT: &str = "net.tcp_fast_retransmit";
+}
+
+/// Number of power-of-two histogram buckets (see [`bucket_index`]).
+const BUCKET_COUNT: usize = 24;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Hist {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; BUCKET_COUNT],
+}
+
+impl Hist {
+    fn new() -> Hist {
+        Hist {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; BUCKET_COUNT],
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+}
+
+/// Power-of-two bucketing without any libm call (determinism across
+/// builds): bucket 0 holds `v < 1`, bucket `i` holds `2^(i-1) <= v < 2^i`,
+/// and the last bucket absorbs everything from `2^(BUCKET_COUNT-2)` up
+/// (including non-finite values).
+fn bucket_index(v: f64) -> usize {
+    let mut bound = 1.0f64;
+    for i in 0..BUCKET_COUNT - 1 {
+        if v < bound {
+            return i;
+        }
+        bound *= 2.0;
+    }
+    BUCKET_COUNT - 1
+}
+
+/// Inclusive upper bound of bucket `i` rendered in snapshots: `2^i`.
+fn bucket_bound(i: usize) -> f64 {
+    let mut bound = 1.0f64;
+    for _ in 0..i {
+        bound *= 2.0;
+    }
+    bound
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Hist>,
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Registry> = RefCell::new(Registry::default());
+}
+
+/// Handle for a monotonically increasing named counter.
+#[derive(Debug, Clone, Copy)]
+pub struct Counter(&'static str);
+
+impl Counter {
+    /// Add `n` to this thread's counter.
+    pub fn add(&self, n: u64) {
+        REGISTRY.with(|r| {
+            let mut r = r.borrow_mut();
+            let c = r.counters.entry(self.0).or_insert(0);
+            *c = c.saturating_add(n);
+        });
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+}
+
+/// Handle for a last-write-wins named gauge.
+#[derive(Debug, Clone, Copy)]
+pub struct Gauge(&'static str);
+
+impl Gauge {
+    /// Set this thread's gauge to `v`.
+    pub fn set(&self, v: f64) {
+        REGISTRY.with(|r| {
+            r.borrow_mut().gauges.insert(self.0, v);
+        });
+    }
+}
+
+/// Handle for a named histogram with power-of-two buckets.
+#[derive(Debug, Clone, Copy)]
+pub struct Histogram(&'static str);
+
+impl Histogram {
+    /// Record one observation of `v` into this thread's histogram.
+    pub fn observe(&self, v: f64) {
+        REGISTRY.with(|r| {
+            r.borrow_mut()
+                .histograms
+                .entry(self.0)
+                .or_insert_with(Hist::new)
+                .observe(v);
+        });
+    }
+}
+
+/// Handle for the counter named `name`.
+pub fn counter(name: &'static str) -> Counter {
+    Counter(name)
+}
+
+/// Handle for the gauge named `name`.
+pub fn gauge(name: &'static str) -> Gauge {
+    Gauge(name)
+}
+
+/// Handle for the histogram named `name`.
+pub fn histogram(name: &'static str) -> Histogram {
+    Histogram(name)
+}
+
+/// Clear every metric in this thread's registry. The sweep engine calls
+/// this before each experiment point.
+pub fn reset() {
+    REGISTRY.with(|r| {
+        let mut r = r.borrow_mut();
+        r.counters.clear();
+        r.gauges.clear();
+        r.histograms.clear();
+    });
+}
+
+/// Rendered summary of one histogram in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// `(upper_bound, count)` for each non-empty power-of-two bucket,
+    /// in ascending bound order.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// Immutable copy of one thread's registry, stable-ordered for rendering.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Copy this thread's registry without clearing it.
+pub fn snapshot() -> MetricsSnapshot {
+    REGISTRY.with(|r| {
+        let r = r.borrow();
+        MetricsSnapshot {
+            counters: r
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            gauges: r.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            histograms: r
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    let buckets = h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, n)| **n > 0)
+                        .map(|(i, n)| (bucket_bound(i), *n))
+                        .collect();
+                    (
+                        k.to_string(),
+                        HistogramSummary {
+                            count: h.count,
+                            sum: h.sum,
+                            min: h.min,
+                            max: h.max,
+                            buckets,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    })
+}
+
+/// Shortest-roundtrip float rendering matching the vendored `serde_json`
+/// (non-finite values become `null`, mirroring its behaviour).
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl MetricsSnapshot {
+    /// Render the snapshot as one line of stable JSON: BTree key order,
+    /// deterministic float formatting, no whitespace.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str(&mut out, k);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str(&mut out, k);
+            out.push(':');
+            push_f64(&mut out, *v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str(&mut out, k);
+            let _ = write!(out, ":{{\"count\":{},\"sum\":", h.count);
+            push_f64(&mut out, h.sum);
+            out.push_str(",\"min\":");
+            push_f64(&mut out, h.min);
+            out.push_str(",\"max\":");
+            push_f64(&mut out, h.max);
+            out.push_str(",\"buckets\":[");
+            for (j, (bound, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                push_f64(&mut out, *bound);
+                let _ = write!(out, ",{n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Counter value by name, zero when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name, zero when absent.
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+}
+
+/// Snapshot of the legacy per-run counter triple, now derived from the
+/// metrics registry ([`keys::SIM_EVENTS`], [`keys::MAC_FRAMES`],
+/// [`keys::MAC_OCCUPANCY`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunTelemetry {
+    /// Events executed by [`crate::EventQueue::run_until`] since [`reset`].
+    pub events: u64,
+    /// MAC frames sent since [`reset`].
+    pub frames: u64,
+    /// Last cumulative occupancy recorded.
+    pub occupancy: f64,
+}
+
+impl RunTelemetry {
+    /// Extract the legacy triple from a full registry snapshot.
+    pub fn from_snapshot(s: &MetricsSnapshot) -> RunTelemetry {
+        RunTelemetry {
+            events: s.counter(keys::SIM_EVENTS),
+            frames: s.counter(keys::MAC_FRAMES),
+            occupancy: s.gauge(keys::MAC_OCCUPANCY),
+        }
+    }
+}
+
+/// Read the legacy triple for this thread without clearing anything.
+pub fn run_telemetry() -> RunTelemetry {
+    RunTelemetry::from_snapshot(&snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        reset();
+        counter("t.a").add(3);
+        counter("t.a").add(4);
+        counter("t.b").inc();
+        gauge("t.g").set(0.5);
+        gauge("t.g").set(0.9);
+        let s = snapshot();
+        assert_eq!(s.counter("t.a"), 7);
+        assert_eq!(s.counter("t.b"), 1);
+        assert_eq!(s.gauge("t.g"), 0.9);
+        reset();
+        assert_eq!(snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn registry_is_per_thread() {
+        reset();
+        counter("t.events").add(5);
+        std::thread::spawn(|| {
+            assert_eq!(snapshot().counter("t.events"), 0);
+            counter("t.events").inc();
+        })
+        .join()
+        .unwrap();
+        assert_eq!(snapshot().counter("t.events"), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_power_of_two() {
+        reset();
+        let h = histogram("t.h");
+        for v in [0.25, 0.5, 1.0, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        let s = snapshot();
+        let hs = &s.histograms["t.h"];
+        assert_eq!(hs.count, 6);
+        assert_eq!(hs.min, 0.25);
+        assert_eq!(hs.max, 100.0);
+        // v<1 → bound 1; [1,2) → bound 2; [2,4) → bound 4; [64,128) → 128.
+        assert_eq!(hs.buckets, vec![(1.0, 2), (2.0, 2), (4.0, 1), (128.0, 1)]);
+        reset();
+    }
+
+    #[test]
+    fn bucket_index_saturates() {
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(f64::INFINITY), BUCKET_COUNT - 1);
+        assert_eq!(bucket_index(1e300), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn json_is_stable_and_ordered() {
+        reset();
+        counter("z.last").inc();
+        counter("a.first").add(2);
+        gauge("m.g").set(0.125);
+        histogram("h.x").observe(3.0);
+        let j1 = snapshot().to_json();
+        let j2 = snapshot().to_json();
+        assert_eq!(j1, j2);
+        assert_eq!(
+            j1,
+            "{\"counters\":{\"a.first\":2,\"z.last\":1},\
+             \"gauges\":{\"m.g\":0.125},\
+             \"histograms\":{\"h.x\":{\"count\":1,\"sum\":3.0,\"min\":3.0,\
+             \"max\":3.0,\"buckets\":[[4.0,1]]}}}"
+        );
+        reset();
+    }
+
+    #[test]
+    fn run_telemetry_reads_well_known_keys() {
+        reset();
+        counter(keys::SIM_EVENTS).add(10);
+        counter(keys::MAC_FRAMES).add(4);
+        gauge(keys::MAC_OCCUPANCY).set(0.42);
+        let t = run_telemetry();
+        assert_eq!(t.events, 10);
+        assert_eq!(t.frames, 4);
+        assert_eq!(t.occupancy, 0.42);
+        reset();
+    }
+}

@@ -191,7 +191,8 @@ impl<W> EventQueue<W> {
         if self.now < end {
             self.now = end;
         }
-        crate::telemetry::add_events(self.executed - executed_before);
+        crate::obs::metrics::counter(crate::obs::metrics::keys::SIM_EVENTS)
+            .add(self.executed - executed_before);
     }
 
     /// Run until the queue is fully drained (use with care: repeating events

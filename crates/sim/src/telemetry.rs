@@ -1,101 +1,68 @@
-//! Per-run observability counters.
+//! Deprecated shim over [`crate::obs::metrics`].
 //!
-//! The bench sweep engine runs experiment points on worker threads and wants
-//! to report, for every point, how much simulation work happened: events
-//! executed, MAC frames sent, final cumulative occupancy. Threading those
-//! counters through every experiment signature would contaminate the whole
-//! API for a purely observational concern, so they live in a thread-local
-//! accumulator instead: the engine calls [`reset`] before and [`snapshot`]
-//! after each point (both on the worker thread that runs it), and the
-//! simulation layers record into the current thread's counters as they go.
-//! [`crate::EventQueue::run_until`] records executed events automatically;
-//! the deployment entry points record frames and occupancy.
-//!
-//! The counters are *observability only*: nothing in the simulation reads
-//! them back, so they cannot affect results or determinism.
+//! The per-run `events` / `frames` / `occupancy` counter triple this module
+//! used to hold now lives in the general metrics registry under the
+//! well-known names in [`crate::obs::metrics::keys`]. The functions below
+//! forward there so out-of-tree callers keep working; in-tree code has been
+//! migrated and new code should record through `obs::metrics` handles
+//! directly.
 
-use std::cell::Cell;
+use crate::obs::metrics::{self, keys};
 
-/// Snapshot of one run's counters.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct RunTelemetry {
-    /// Events executed by [`crate::EventQueue::run_until`] since [`reset`].
-    pub events: u64,
-    /// MAC frames sent (as recorded by [`record_frames`]) since [`reset`].
-    pub frames: u64,
-    /// Last cumulative occupancy recorded by [`record_occupancy`].
-    pub occupancy: f64,
-}
+pub use crate::obs::metrics::RunTelemetry;
 
-thread_local! {
-    static EVENTS: Cell<u64> = const { Cell::new(0) };
-    static FRAMES: Cell<u64> = const { Cell::new(0) };
-    static OCCUPANCY: Cell<f64> = const { Cell::new(0.0) };
-}
-
-/// Zero this thread's counters. Call before running an experiment point.
+/// Zero this thread's metrics registry. Call before running a point.
+#[deprecated(note = "use powifi_sim::obs::metrics::reset")]
 pub fn reset() {
-    EVENTS.with(|c| c.set(0));
-    FRAMES.with(|c| c.set(0));
-    OCCUPANCY.with(|c| c.set(0.0));
+    metrics::reset();
 }
 
-/// Add `n` executed events to this thread's counter.
+/// Add `n` executed events to this thread's [`keys::SIM_EVENTS`] counter.
+#[deprecated(note = "use obs::metrics::counter(keys::SIM_EVENTS)")]
 pub fn add_events(n: u64) {
-    EVENTS.with(|c| c.set(c.get().saturating_add(n)));
+    metrics::counter(keys::SIM_EVENTS).add(n);
 }
 
-/// Add `n` sent frames to this thread's counter.
+/// Add `n` sent frames to this thread's [`keys::MAC_FRAMES`] counter.
+#[deprecated(note = "use obs::metrics::counter(keys::MAC_FRAMES)")]
 pub fn record_frames(n: u64) {
-    FRAMES.with(|c| c.set(c.get().saturating_add(n)));
+    metrics::counter(keys::MAC_FRAMES).add(n);
 }
 
-/// Record a run's cumulative occupancy (last write wins).
+/// Record a run's cumulative occupancy ([`keys::MAC_OCCUPANCY`] gauge).
+#[deprecated(note = "use obs::metrics::gauge(keys::MAC_OCCUPANCY)")]
 pub fn record_occupancy(occupancy: f64) {
-    OCCUPANCY.with(|c| c.set(occupancy));
+    metrics::gauge(keys::MAC_OCCUPANCY).set(occupancy);
 }
 
-/// Read this thread's counters without clearing them.
+/// Read the legacy counter triple without clearing it.
+#[deprecated(note = "use powifi_sim::obs::metrics::run_telemetry")]
 pub fn snapshot() -> RunTelemetry {
-    RunTelemetry {
-        events: EVENTS.with(Cell::get),
-        frames: FRAMES.with(Cell::get),
-        occupancy: OCCUPANCY.with(Cell::get),
-    }
+    metrics::run_telemetry()
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
     #[test]
-    fn counters_accumulate_and_reset() {
+    fn shim_forwards_to_the_registry() {
         reset();
         add_events(3);
         add_events(4);
         record_frames(10);
-        record_occupancy(0.5);
         record_occupancy(0.9);
         let t = snapshot();
         assert_eq!(t.events, 7);
         assert_eq!(t.frames, 10);
         assert_eq!(t.occupancy, 0.9);
+        assert_eq!(
+            crate::obs::metrics::snapshot().counter(crate::obs::metrics::keys::SIM_EVENTS),
+            7
+        );
         reset();
         assert_eq!(snapshot(), RunTelemetry::default());
-    }
-
-    #[test]
-    fn counters_are_per_thread() {
-        reset();
-        add_events(5);
-        std::thread::spawn(|| {
-            // A fresh thread starts from zero and cannot see the parent's.
-            assert_eq!(snapshot().events, 0);
-            add_events(1);
-        })
-        .join()
-        .unwrap();
-        assert_eq!(snapshot().events, 5);
     }
 
     #[test]

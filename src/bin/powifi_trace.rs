@@ -1,0 +1,183 @@
+//! `powifi-trace` — inspector for `powifi_sim::obs::trace` JSONL files.
+//!
+//! ```text
+//! powifi-trace summary   FILE
+//! powifi-trace filter    FILE [--layer L] [--kind K] [--entity N]
+//!                             [--from SECS] [--to SECS]
+//! powifi-trace occupancy FILE --end SECS [--sta N] [--point IDX]
+//! powifi-trace diff      FILE_A FILE_B
+//! powifi-trace validate  FILE
+//! ```
+//!
+//! `occupancy` recomputes the paper's Σ sizeᵢ/rateᵢ per-channel airtime
+//! metric from `tx_start` records (§4's tshark post-processing) as a
+//! cross-check against the MAC's own accounting. `diff` and `validate`
+//! exit nonzero on divergence / schema violations, so both work as CI
+//! gates.
+
+use powifi::traceinspect::{self, Filter, ParsedTrace};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: powifi-trace <summary|filter|occupancy|diff|validate> FILE [...]
+  summary   FILE                          counts per layer/kind, time span
+  filter    FILE [--layer L] [--kind K] [--entity N] [--from SECS] [--to SECS]
+  occupancy FILE --end SECS [--sta N] [--point IDX]
+  diff      FILE_A FILE_B
+  validate  FILE";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<ParsedTrace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    traceinspect::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return fail("missing subcommand");
+    };
+    match run(cmd, &args[1..]) {
+        Ok(code) => code,
+        Err(msg) => fail(&msg),
+    }
+}
+
+fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, String> {
+    match cmd {
+        "summary" => {
+            let [file] = rest else {
+                return Err("summary takes exactly one FILE".into());
+            };
+            print!("{}", traceinspect::summarize(&load(file)?));
+            Ok(ExitCode::SUCCESS)
+        }
+        "filter" => {
+            let (file, opts) = rest
+                .split_first()
+                .ok_or_else(|| String::from("filter needs a FILE"))?;
+            let mut filter = Filter::default();
+            let mut it = opts.iter();
+            while let Some(flag) = it.next() {
+                let mut val = |what: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs {what}"))
+                };
+                match flag.as_str() {
+                    "--layer" => filter.layer = Some(val("a layer")?),
+                    "--kind" => filter.kind = Some(val("a kind")?),
+                    "--entity" => filter.entity = Some(parse_u64(&val("an id")?, "--entity")?),
+                    "--from" => filter.from_ns = Some(parse_secs(&val("seconds")?, "--from")?),
+                    "--to" => filter.to_ns = Some(parse_secs(&val("seconds")?, "--to")?),
+                    other => return Err(format!("unknown filter flag `{other}`")),
+                }
+            }
+            let trace = load(file)?;
+            for rec in trace.records().filter(|r| filter.matches(r)) {
+                println!("{}", rec.raw);
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "occupancy" => {
+            let (file, opts) = rest
+                .split_first()
+                .ok_or_else(|| String::from("occupancy needs a FILE"))?;
+            let mut end_ns = None;
+            let mut sta = None;
+            let mut point = None;
+            let mut it = opts.iter();
+            while let Some(flag) = it.next() {
+                let mut val = |what: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs {what}"))
+                };
+                match flag.as_str() {
+                    "--end" => end_ns = Some(parse_secs(&val("seconds")?, "--end")?),
+                    "--sta" => sta = Some(parse_u64(&val("an id")?, "--sta")?),
+                    "--point" => point = Some(parse_u64(&val("an index")?, "--point")? as usize),
+                    other => return Err(format!("unknown occupancy flag `{other}`")),
+                }
+            }
+            let end_ns = end_ns.ok_or_else(|| String::from("occupancy needs --end SECS"))?;
+            let trace = load(file)?;
+            for (pi, pt) in trace.points.iter().enumerate() {
+                if point.is_some_and(|want| want != pi) {
+                    continue;
+                }
+                let label = if pt.label.is_empty() {
+                    "<anon>"
+                } else {
+                    &pt.label
+                };
+                println!("point {pi} ({label}):");
+                let occ = traceinspect::occupancy(pt, end_ns, sta);
+                if occ.is_empty() {
+                    println!("  (no matching tx_start records)");
+                }
+                for (medium, frac) in occ {
+                    println!("  medium {medium}: {frac:.6}");
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let [a, b] = rest else {
+                return Err("diff takes exactly two FILEs".into());
+            };
+            match traceinspect::diff(&load(a)?, &load(b)?) {
+                None => {
+                    println!("traces are structurally identical");
+                    Ok(ExitCode::SUCCESS)
+                }
+                Some(msg) => {
+                    println!("{msg}");
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
+        "validate" => {
+            let [file] = rest else {
+                return Err("validate takes exactly one FILE".into());
+            };
+            let trace = load(file)?;
+            let problems = traceinspect::validate(&trace);
+            if problems.is_empty() {
+                let n: usize = trace.points.iter().map(|p| p.records.len()).sum();
+                println!(
+                    "ok: {n} records across {} point(s) conform to the event schema",
+                    trace.points.len()
+                );
+                Ok(ExitCode::SUCCESS)
+            } else {
+                for p in &problems {
+                    eprintln!("{p}");
+                }
+                eprintln!("{} schema violation(s)", problems.len());
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn parse_u64(s: &str, flag: &str) -> Result<u64, String> {
+    s.parse()
+        .map_err(|_| format!("{flag} needs an unsigned integer, got `{s}`"))
+}
+
+/// Parse fractional seconds into nanoseconds.
+fn parse_secs(s: &str, flag: &str) -> Result<u64, String> {
+    let secs: f64 = s
+        .parse()
+        .map_err(|_| format!("{flag} needs seconds, got `{s}`"))?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!("{flag} needs non-negative seconds, got `{s}`"));
+    }
+    Ok((secs * 1e9).round() as u64)
+}

@@ -194,6 +194,27 @@ pub fn scenarios() -> Vec<GoldenScenario> {
     ]
 }
 
+/// Render a scenario's structured observability trace
+/// ([`powifi_sim::obs::trace`](crate::sim::obs::trace)) as JSONL, exactly
+/// as a `--trace` capture of the same simulation would produce it. Fully
+/// deterministic — byte-compared against `tests/golden/<name>.trace.jsonl`
+/// in CI. Panics on an unknown name.
+pub fn render_trace(name: &str) -> String {
+    let sc = scenarios()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("unknown golden scenario {name:?}"));
+    let ((), jsonl) = powifi_sim::obs::trace::capture_jsonl(|| {
+        let mut w = GoldenWorld {
+            mac: Mac::new(SimRng::from_seed(0).derive(sc.name)),
+        };
+        let mut q = EventQueue::new();
+        (sc.build)(&mut w, &mut q);
+        q.run_until(&mut w, SimTime::ZERO + sc.horizon);
+    });
+    jsonl
+}
+
 /// Render a scenario by name to its canonical JSON document (trailing
 /// newline included). Panics on an unknown name.
 pub fn render(name: &str) -> String {

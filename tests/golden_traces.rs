@@ -113,6 +113,59 @@ fn golden_traces_run_conformance_clean() {
     }
 }
 
+/// Byte-compare the structured observability trace (`obs::trace` JSONL)
+/// of one canonical MAC scenario against its committed snapshot. Because
+/// the committed bytes were produced once and are compared under whatever
+/// profile the tests run in, this doubles as the debug/release
+/// byte-identity gate for `--trace` output.
+#[test]
+fn injector_gated_obs_trace_matches_golden() {
+    let actual = powifi::golden::render_trace("injector_gated");
+    let path = golden_path("x")
+        .parent()
+        .unwrap()
+        .join("injector_gated.trace.jsonl");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden trace {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    if expected != actual {
+        panic!(
+            "golden obs-trace drift for injector_gated\n{}\nIf intentional, regenerate \
+             with: UPDATE_GOLDEN=1 cargo test --test golden_traces",
+            first_diff(&expected, &actual)
+        );
+    }
+}
+
+#[test]
+fn obs_traces_are_deterministic_and_schema_clean() {
+    for sc in powifi::golden::scenarios() {
+        let a = powifi::golden::render_trace(sc.name);
+        let b = powifi::golden::render_trace(sc.name);
+        assert_eq!(a, b, "scenario {} trace differs on repeat", sc.name);
+        let parsed = powifi::traceinspect::parse(&a)
+            .unwrap_or_else(|e| panic!("scenario {} trace unparsable: {e}", sc.name));
+        let problems = powifi::traceinspect::validate(&parsed);
+        assert!(
+            problems.is_empty(),
+            "scenario {} trace violates the event schema: {problems:?}",
+            sc.name
+        );
+        assert!(
+            !parsed.points[0].records.is_empty(),
+            "scenario {} produced an empty trace",
+            sc.name
+        );
+    }
+}
+
 #[test]
 fn solo_broadcast_matches_golden() {
     check_scenario("solo_broadcast");

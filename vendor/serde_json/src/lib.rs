@@ -1,16 +1,24 @@
 //! Offline stand-in for `serde_json` (see `vendor/README.md`): renders the
-//! vendored [`serde::Value`] tree as JSON text. Output is deterministic —
-//! object keys keep field declaration order, floats use Rust's shortest
-//! round-trip formatting, non-finite floats print as `null` (as in the real
-//! crate).
+//! vendored [`serde::Value`] tree as JSON text and parses JSON text back
+//! into a [`Value`] tree. Output is deterministic — object keys keep field
+//! declaration order, floats use Rust's shortest round-trip formatting,
+//! non-finite floats print as `null` (as in the real crate). The parser
+//! ([`from_str`]) accepts standard JSON; integers in range keep their
+//! integer representation (`UInt`/`Int`) so round-trips are lossless.
 
 use serde::{Serialize, Value};
 use std::fmt;
 
-/// Serialization error. The stub serializer is total, so this is only ever
-/// constructed by future fallible extensions; it exists for API parity.
+/// Serialization/deserialization error with a short human-readable reason
+/// (parse errors carry a byte offset).
 #[derive(Debug)]
 pub struct Error(String);
+
+impl Error {
+    fn parse(offset: usize, msg: impl Into<String>) -> Error {
+        Error(format!("at byte {offset}: {}", msg.into()))
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -32,6 +40,238 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0);
     Ok(out)
+}
+
+/// Parse a JSON document into a [`Value`]. Trailing whitespace is allowed;
+/// any other trailing content is an error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse(p.pos, "trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(self.pos, format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::parse(self.pos, format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.eat_lit("null", Value::Null),
+            Some(b't') => self.eat_lit("true", Value::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(Error::parse(
+                self.pos,
+                format!("unexpected character `{}`", c as char),
+            )),
+            None => Err(Error::parse(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse(self.pos, "expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::parse(self.pos, "expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::parse(self.pos, "unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\uXXXX` with the low half.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((cp - 0xD800) << 10)
+                                        + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| {
+                                Error::parse(self.pos, "invalid \\u escape")
+                            })?);
+                        }
+                        _ => return Err(Error::parse(self.pos, "invalid escape")),
+                    }
+                }
+                Some(_) => {
+                    // Copy one UTF-8 character verbatim.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::parse(self.pos, "invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(Error::parse(self.pos, "unescaped control character"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::parse(self.pos, "unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::parse(self.pos, "truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::parse(self.pos, "invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16)
+            .map_err(|_| Error::parse(self.pos, "invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(u) = s.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = s.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        s.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::parse(start, format!("invalid number `{s}`")))
+    }
 }
 
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
@@ -157,5 +397,41 @@ mod tests {
         assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
         assert_eq!(to_string(&0.1f64).unwrap(), "0.1");
         assert_eq!(to_string(&1e300f64).unwrap(), "1e300");
+    }
+
+    #[test]
+    fn parse_round_trips_compact_output() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(1)),
+            ("neg".into(), Value::Int(-3)),
+            ("f".into(), Value::Float(0.25)),
+            ("s".into(), Value::Str("x\n\"y\"".into())),
+            (
+                "arr".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true), Value::Object(vec![])]),
+            ),
+        ]);
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str(&text).unwrap(), v);
+        // Pretty output parses back to the same tree too.
+        assert_eq!(from_str(&to_string_pretty(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_handles_numbers_and_escapes() {
+        assert_eq!(from_str("18446744073709551615").unwrap(), Value::UInt(u64::MAX));
+        assert_eq!(from_str("-9223372036854775808").unwrap(), Value::Int(i64::MIN));
+        assert_eq!(from_str("2.5e-3").unwrap(), Value::Float(0.0025));
+        assert_eq!(from_str(r#""Aé""#).unwrap(), Value::Str("Aé".into()));
+        assert_eq!(from_str(r#""😀""#).unwrap(), Value::Str("😀".into()));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "tru", "1 2", "\"unterminated", "{'a':1}", "[01e]",
+        ] {
+            assert!(from_str(bad).is_err(), "`{bad}` should fail");
+        }
     }
 }
