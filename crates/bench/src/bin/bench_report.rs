@@ -1,22 +1,41 @@
 //! `cargo bench-report` — wall-clock profile of the tier-1 experiment
-//! roster, written as `BENCH_tier1.json`.
+//! roster, written as `BENCH_tier1.json`, plus the perf-regression
+//! observatory over `BENCH_history.jsonl`.
 //!
 //! Runs a small fixed roster of representative experiments (one per major
 //! subsystem path: MAC-only injection, full-office UDP/TCP, neighbor
 //! fairness, a compressed home day) through the sweep engine and records
 //! *our own* runtime per point and per experiment — the perf-trajectory
 //! artifact CI uploads so regressions in simulator throughput are visible
-//! across commits. Simulation outputs in the artifact are deterministic;
-//! wall-clock fields are not and are labelled as such.
+//! across commits. Each experiment also runs under the span profiler in
+//! wall mode, so the report attributes wall time to subsystems
+//! (`subsystem_wall_ms`). Simulation outputs in the artifact are
+//! deterministic; wall-clock fields are not and are labelled as such.
 //!
-//! Usage: `cargo bench-report [--seed N] [--jobs N] [--json DIR] [--out FILE]`
-//! (standard [`BenchArgs`] flags; `--out` defaults to `BENCH_tier1.json`).
+//! Observatory flags (on top of the standard [`BenchArgs`] ones):
+//!
+//! * `--out FILE` — report path (default `BENCH_tier1.json`).
+//! * `--history FILE` — append this run as one JSONL entry keyed by git
+//!   SHA + date (default name `BENCH_history.jsonl`; created if missing).
+//! * `--against BASE` — compare against a baseline: a report/history
+//!   *file*, or a git ref (`HEAD~1`, a SHA) looked up in the history file.
+//! * `--gate PCT` — with `--against`: exit non-zero if any experiment's
+//!   events-per-wall-ms throughput dropped by more than PCT percent.
+//! * `--current FILE` — compare-only mode: read the "current" rollups from
+//!   FILE instead of running the roster (used by CI retries and tests).
 
+use powifi_bench::report::{
+    compare, git_head_sha, git_resolve, history_line, parse_stats, regressions, render_comparison,
+    stats_for_sha, subsystem_wall_ms, today_utc,
+};
 use powifi_bench::{BenchArgs, Experiment, PointRun, Sweep};
 use powifi_core::Scheme;
 use powifi_deploy::{neighbor_experiment, run_home, table1, tcp_experiment, udp_experiment};
 use powifi_rf::Bitrate;
 use serde::{Serialize, Value};
+
+const USAGE: &str = "usage: bench_report [--seed N] [--jobs N] [--json DIR] [--out FILE] \
+     [--history FILE] [--against FILE|GITREF [--gate PCT]] [--current FILE]";
 
 /// A `(variant, seed) -> events` workload closure.
 type RunFn = Box<dyn Fn(&str, u64) -> f64 + Sync>;
@@ -81,7 +100,8 @@ fn roster() -> Vec<Roster> {
     ]
 }
 
-/// Wall-clock rollup of one experiment's sweep.
+/// Wall-clock rollup of one experiment's sweep, including per-subsystem
+/// wall attribution folded out of the points' span profiles.
 fn experiment_value<P, O: Serialize>(name: &str, runs: &[PointRun<P, O>]) -> Value {
     let mut sum = 0.0;
     let mut min = f64::INFINITY;
@@ -97,6 +117,8 @@ fn experiment_value<P, O: Serialize>(name: &str, runs: &[PointRun<P, O>]) -> Val
     // Simulator throughput: events executed per wall-millisecond — the
     // headline number to watch across commits.
     let events_per_ms = if sum > 0.0 { events as f64 / sum } else { 0.0 };
+    let profs: Vec<&str> = runs.iter().filter_map(|r| r.prof_json.as_deref()).collect();
+    let subsystems = subsystem_wall_ms(&profs);
     Value::Object(vec![
         ("experiment".into(), Value::Str(name.into())),
         ("points".into(), Value::UInt(runs.len() as u64)),
@@ -106,73 +128,205 @@ fn experiment_value<P, O: Serialize>(name: &str, runs: &[PointRun<P, O>]) -> Val
         ("max_wall_ms".into(), Value::Float(max)),
         ("mean_wall_ms".into(), Value::Float(mean)),
         ("events_per_wall_ms".into(), Value::Float(events_per_ms)),
+        (
+            "subsystem_wall_ms".into(),
+            Value::Object(
+                subsystems
+                    .into_iter()
+                    .map(|(k, v)| (k, Value::Float(v)))
+                    .collect(),
+            ),
+        ),
     ])
 }
 
-fn main() {
-    // `--out FILE` is specific to this binary; strip it before the shared
-    // parser sees the argument list.
-    let mut raw: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = String::from("BENCH_tier1.json");
-    if let Some(i) = raw.iter().position(|a| a == "--out") {
-        if i + 1 >= raw.len() {
-            eprintln!("error: --out needs a file path");
-            std::process::exit(2);
-        }
-        out_path = raw.remove(i + 1);
-        raw.remove(i);
-    }
-    let args = match BenchArgs::parse_from(raw) {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("usage: bench_report [--seed N] [--jobs N] [--json DIR] [--out FILE]");
-            std::process::exit(2);
-        }
-    };
+/// Observatory flags stripped from the argument list before the shared
+/// [`BenchArgs`] parser sees it.
+struct ObsFlags {
+    out: String,
+    history: Option<String>,
+    against: Option<String>,
+    gate: Option<f64>,
+    current: Option<String>,
+}
 
-    let mut experiments = Vec::new();
-    let mut total_ms = 0.0;
-    for exp in roster() {
-        let runs = Sweep::new(&args).run(&exp);
-        let v = experiment_value(exp.name, &runs);
-        if let Value::Object(entries) = &v {
-            if let Some((_, Value::Float(s))) = entries.iter().find(|(k, _)| k == "sum_wall_ms") {
-                total_ms += s;
+fn strip_obs_flags(raw: &mut Vec<String>) -> Result<ObsFlags, String> {
+    let mut flags = ObsFlags {
+        out: String::from("BENCH_tier1.json"),
+        history: None,
+        against: None,
+        gate: None,
+        current: None,
+    };
+    let take = |raw: &mut Vec<String>, name: &str| -> Result<Option<String>, String> {
+        match raw.iter().position(|a| a == name) {
+            None => Ok(None),
+            Some(i) if i + 1 >= raw.len() => Err(format!("{name} needs a value")),
+            Some(i) => {
+                let v = raw.remove(i + 1);
+                raw.remove(i);
+                Ok(Some(v))
             }
         }
-        experiments.push(v);
+    };
+    if let Some(v) = take(raw, "--out")? {
+        flags.out = v;
     }
+    flags.history = take(raw, "--history")?;
+    flags.against = take(raw, "--against")?;
+    flags.current = take(raw, "--current")?;
+    if let Some(v) = take(raw, "--gate")? {
+        let pct: f64 = v
+            .parse()
+            .map_err(|_| format!("--gate needs a percentage, got `{v}`"))?;
+        if !pct.is_finite() || pct < 0.0 {
+            return Err(format!("--gate needs a non-negative percentage, got `{v}`"));
+        }
+        flags.gate = Some(pct);
+    }
+    if flags.gate.is_some() && flags.against.is_none() {
+        return Err("--gate requires --against".into());
+    }
+    if flags.current.is_some() && flags.against.is_none() {
+        return Err("--current requires --against".into());
+    }
+    Ok(flags)
+}
 
-    let report = Value::Object(vec![
-        ("artifact".into(), Value::Str("BENCH_tier1".into())),
-        (
-            "engine".into(),
-            Value::Object(vec![
-                ("package".into(), Value::Str(env!("CARGO_PKG_NAME").into())),
-                (
-                    "version".into(),
-                    Value::Str(env!("CARGO_PKG_VERSION").into()),
-                ),
-            ]),
-        ),
-        (
-            "profile".into(),
-            Value::Str(
-                if cfg!(debug_assertions) {
-                    "debug"
-                } else {
-                    "release"
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// Load baseline rollups: `base` is a report/history file if it exists on
+/// disk, otherwise a git ref resolved against the history file.
+fn load_baseline(
+    base: &str,
+    history_path: &str,
+) -> Result<Vec<powifi_bench::report::ExpStats>, String> {
+    if std::path::Path::new(base).is_file() {
+        let text = std::fs::read_to_string(base).map_err(|e| format!("read {base}: {e}"))?;
+        return parse_stats(&text);
+    }
+    let sha = git_resolve(base)
+        .ok_or_else(|| format!("`{base}` is neither a file nor a resolvable git ref"))?;
+    let text = std::fs::read_to_string(history_path)
+        .map_err(|e| format!("read history {history_path}: {e}"))?;
+    stats_for_sha(&text, &sha)
+}
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let flags = match strip_obs_flags(&mut raw) {
+        Ok(f) => f,
+        Err(msg) => fail(&msg),
+    };
+    let args = match BenchArgs::parse_from(raw) {
+        Ok(a) => BenchArgs {
+            // Wall-mode profiling for subsystem attribution; never a CLI
+            // artifact, so determinism of --prof files is unaffected.
+            prof_wall: true,
+            ..a
+        },
+        Err(msg) => fail(&msg),
+    };
+    let history_path = flags
+        .history
+        .clone()
+        .unwrap_or_else(|| "BENCH_history.jsonl".into());
+
+    // Compare-only mode: read current rollups from a file, skip the roster.
+    let current_stats = if let Some(cur) = &flags.current {
+        let text =
+            std::fs::read_to_string(cur).unwrap_or_else(|e| fail(&format!("read {cur}: {e}")));
+        parse_stats(&text).unwrap_or_else(|e| fail(&format!("parse {cur}: {e}")))
+    } else {
+        let mut experiments = Vec::new();
+        let mut total_ms = 0.0;
+        for exp in roster() {
+            let runs = Sweep::new(&args).run(&exp);
+            let v = experiment_value(exp.name, &runs);
+            if let Value::Object(entries) = &v {
+                if let Some((_, Value::Float(s))) = entries.iter().find(|(k, _)| k == "sum_wall_ms")
+                {
+                    total_ms += s;
                 }
-                .into(),
+            }
+            experiments.push(v);
+        }
+
+        let profile = if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        };
+        let report = Value::Object(vec![
+            ("artifact".into(), Value::Str("BENCH_tier1".into())),
+            (
+                "engine".into(),
+                Value::Object(vec![
+                    ("package".into(), Value::Str(env!("CARGO_PKG_NAME").into())),
+                    (
+                        "version".into(),
+                        Value::Str(env!("CARGO_PKG_VERSION").into()),
+                    ),
+                ]),
             ),
-        ),
-        ("seed".into(), Value::UInt(args.seed)),
-        ("jobs".into(), Value::UInt(args.jobs as u64)),
-        ("total_wall_ms".into(), Value::Float(total_ms)),
-        ("experiments".into(), Value::Array(experiments)),
-    ]);
-    let text = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write(&out_path, text + "\n").expect("write bench report");
-    eprintln!("wrote {out_path}");
+            ("profile".into(), Value::Str(profile.into())),
+            ("seed".into(), Value::UInt(args.seed)),
+            ("jobs".into(), Value::UInt(args.jobs as u64)),
+            ("total_wall_ms".into(), Value::Float(total_ms)),
+            ("experiments".into(), Value::Array(experiments.clone())),
+        ]);
+        let text = serde_json::to_string_pretty(&report).expect("serialize report");
+        std::fs::write(&flags.out, text.clone() + "\n").expect("write bench report");
+        eprintln!("wrote {}", flags.out);
+
+        if flags.history.is_some() {
+            let line = history_line(
+                &git_head_sha(),
+                &today_utc(),
+                profile,
+                args.seed,
+                args.jobs as u64,
+                total_ms,
+                &experiments,
+            );
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&history_path)
+                .unwrap_or_else(|e| fail(&format!("open history {history_path}: {e}")));
+            writeln!(f, "{line}").expect("append history entry");
+            eprintln!("appended {history_path}");
+        }
+        parse_stats(&text).expect("re-parse own report")
+    };
+
+    let Some(base) = &flags.against else {
+        return;
+    };
+    let baseline = load_baseline(base, &history_path).unwrap_or_else(|e| fail(&e));
+    let deltas = compare(&current_stats, &baseline);
+    if deltas.is_empty() {
+        fail("no common experiments between current run and baseline");
+    }
+    print!("{}", render_comparison(&deltas));
+    if let Some(gate) = flags.gate {
+        let slow = regressions(&deltas, gate);
+        if !slow.is_empty() {
+            for d in &slow {
+                eprintln!(
+                    "REGRESSION {}: events/wall-ms dropped {:.1}% (> gate {:.1}%)",
+                    d.name,
+                    d.throughput_drop_pct(),
+                    gate
+                );
+            }
+            std::process::exit(1);
+        }
+        eprintln!("gate ok: no experiment dropped more than {gate:.1}%");
+    }
 }

@@ -8,6 +8,7 @@
 //! (`--jobs`), derives a deterministic per-point seed, and — with
 //! `--json DIR` — writes machine-readable artifacts for EXPERIMENTS.md.
 
+pub mod report;
 pub mod runner;
 
 pub use runner::{BenchArgs, Experiment, PointRun, Sweep};

@@ -17,19 +17,22 @@
 //!   `<name>.manifest.json` (engine version, CLI, wall-clock per point —
 //!   the only place timing appears, so artifact diffs stay meaningful).
 //! * **One CLI.** [`BenchArgs::parse`] handles `--seed/--full/--json/
-//!   --jobs/--filter/--check/--trace/--metrics` for every binary,
+//!   --jobs/--filter/--check/--trace/--metrics/--prof` for every binary,
 //!   rejecting malformed input with a usage message and exit code 2.
 //! * **Deep observability.** `--trace FILE` captures every point's
 //!   structured trace (`powifi_sim::obs::trace`) into one JSONL file in
 //!   grid order, each point introduced by a header line; `--metrics`
 //!   embeds the full metrics-registry snapshot per point in the points
-//!   artifact and manifest. Both are deterministic in `--jobs`.
+//!   artifact and manifest; `--prof FILE` captures every point's sim-time
+//!   span profile (`powifi_sim::obs::prof`, wall timing off) into one
+//!   JSONL file in the same header+payload shape. All are deterministic
+//!   in `--jobs`.
 //! * **Conformance.** With `--check`, every point runs under the runtime
 //!   invariant checker (`powifi_sim::conformance`): the world installs its
 //!   periodic audits, violations are counted per point, and the sweep
 //!   panics after reporting if any point violated an invariant.
 
-use powifi_sim::obs::{metrics, trace};
+use powifi_sim::obs::{metrics, prof, trace};
 use powifi_sim::{conformance, RunTelemetry, SimRng};
 use serde::{Serialize, Value};
 use std::fs;
@@ -56,10 +59,18 @@ pub struct BenchArgs {
     pub trace: Option<PathBuf>,
     /// Include the full metrics-registry snapshot per point in artifacts.
     pub metrics: bool,
+    /// Write a per-point sim-time span profile (JSONL) to this file.
+    /// Captured with wall timing off, so the artifact is deterministic.
+    pub prof: Option<PathBuf>,
+    /// Capture span profiles *with wall timing* per point, exposed through
+    /// [`PointRun::prof_json`]. Not a CLI flag (wall readings are
+    /// nondeterministic, so they never belong in `--prof` artifacts);
+    /// `bench_report` sets this programmatically for subsystem attribution.
+    pub prof_wall: bool,
 }
 
 const USAGE: &str = "usage: [--seed N] [--full] [--json DIR] [--jobs N] [--filter SUBSTR] \
-     [--check] [--trace FILE] [--metrics]";
+     [--check] [--trace FILE] [--metrics] [--prof FILE]";
 
 impl Default for BenchArgs {
     fn default() -> Self {
@@ -72,6 +83,8 @@ impl Default for BenchArgs {
             check: false,
             trace: None,
             metrics: false,
+            prof: None,
+            prof_wall: false,
         }
     }
 }
@@ -128,6 +141,9 @@ impl BenchArgs {
                     out.trace = Some(PathBuf::from(it.next().ok_or("--trace needs a file")?));
                 }
                 "--metrics" => out.metrics = true,
+                "--prof" => {
+                    out.prof = Some(PathBuf::from(it.next().ok_or("--prof needs a file")?));
+                }
                 "--help" | "-h" => {
                     eprintln!("{USAGE}");
                     std::process::exit(0);
@@ -197,6 +213,9 @@ pub struct PointRun<P, O> {
     /// The point's structured trace as JSONL (`--trace` only;
     /// deterministic — captured per point and written in grid order).
     pub trace_jsonl: Option<String>,
+    /// The point's sim-time span profile as one line of JSON (`--prof`
+    /// only; wall timing stays off, so this is deterministic too).
+    pub prof_json: Option<String>,
     /// Wall-clock runtime of this point, milliseconds (nondeterministic;
     /// reported only in the manifest, never in deterministic artifacts).
     pub wall_ms: f64,
@@ -255,6 +274,7 @@ impl<'a> Sweep<'a> {
         let started = Instant::now();
         let runs = self.execute(exp, items);
         self.write_trace(exp, &runs);
+        self.write_prof(exp, &runs);
         self.write_artifacts(exp, grid_len, &runs, started.elapsed().as_secs_f64() * 1e3);
         if self.args.check {
             let total: u64 = runs.iter().map(|r| r.violations).sum();
@@ -283,6 +303,8 @@ impl<'a> Sweep<'a> {
             check: self.args.check,
             trace: self.args.trace.is_some(),
             metrics: self.args.metrics,
+            prof: self.args.prof.is_some() || self.args.prof_wall,
+            prof_wall: self.args.prof_wall,
         };
         if jobs == 1 {
             return items
@@ -356,6 +378,37 @@ impl<'a> Sweep<'a> {
             out.push_str(r.trace_jsonl.as_deref().unwrap_or(""));
         }
         fs::write(path, out).expect("write trace jsonl");
+        eprintln!("wrote {}", path.display());
+    }
+
+    /// Write the `--prof` JSONL file: one point-header line plus one
+    /// span-tree snapshot line per point, in grid order. Wall timing is off
+    /// during capture, so the file is byte-identical at any `--jobs` level.
+    fn write_prof<E: Experiment>(&self, exp: &E, runs: &[PointRun<E::Point, E::Output>]) {
+        let Some(path) = &self.args.prof else {
+            return;
+        };
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).expect("create prof dir");
+            }
+        }
+        let mut out = String::new();
+        for r in runs {
+            let header = Value::Object(vec![
+                ("experiment".into(), Value::Str(exp.name().into())),
+                ("point".into(), Value::UInt(r.index as u64)),
+                ("label".into(), Value::Str(r.label.clone())),
+                ("seed".into(), Value::UInt(r.seed)),
+            ]);
+            out.push_str(&serde_json::to_string(&header).expect("serialize prof header"));
+            out.push('\n');
+            if let Some(p) = &r.prof_json {
+                out.push_str(p);
+                out.push('\n');
+            }
+        }
+        fs::write(path, out).expect("write prof jsonl");
         eprintln!("wrote {}", path.display());
     }
 
@@ -445,6 +498,8 @@ struct PointOpts {
     check: bool,
     trace: bool,
     metrics: bool,
+    prof: bool,
+    prof_wall: bool,
 }
 
 fn run_point<E: Experiment>(
@@ -459,6 +514,12 @@ fn run_point<E: Experiment>(
         conformance::reset();
         conformance::set_enabled(true);
     }
+    if opts.prof {
+        // `--prof` stays sim-time only: wall timing would make the artifact
+        // vary run to run and break --jobs byte-identity. Wall mode exists
+        // solely for the programmatic prof_wall path (bench_report).
+        prof::enable(opts.prof_wall);
+    }
     let started = Instant::now();
     let (output, trace_jsonl) = if opts.trace {
         let (output, jsonl) = trace::capture_jsonl(|| exp.run(&item.point, item.seed));
@@ -467,6 +528,14 @@ fn run_point<E: Experiment>(
         (exp.run(&item.point, item.seed), None)
     };
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let prof_json = if opts.prof {
+        let snap = prof::snapshot();
+        prof::disable();
+        prof::reset();
+        Some(snap.to_json())
+    } else {
+        None
+    };
     let violations = if opts.check {
         conformance::set_enabled(false);
         let (count, retained) = conformance::take();
@@ -487,6 +556,7 @@ fn run_point<E: Experiment>(
         telemetry: RunTelemetry::from_snapshot(&snapshot),
         metrics: opts.metrics.then_some(snapshot),
         trace_jsonl,
+        prof_json,
         wall_ms,
         violations,
     }
@@ -720,6 +790,50 @@ mod tests {
         );
         assert!(args.metrics);
         assert!(BenchArgs::parse_from(["--trace"].map(String::from)).is_err());
+    }
+
+    #[test]
+    fn parse_from_accepts_prof() {
+        assert!(BenchArgs::default().prof.is_none());
+        let args = BenchArgs::parse_from(["--prof", "/tmp/p.jsonl"].map(String::from)).unwrap();
+        assert_eq!(
+            args.prof.as_deref(),
+            Some(std::path::Path::new("/tmp/p.jsonl"))
+        );
+        assert!(BenchArgs::parse_from(["--prof"].map(String::from)).is_err());
+    }
+
+    #[test]
+    fn profiled_sweep_snapshots_each_point_and_stays_off_otherwise() {
+        let args = BenchArgs {
+            prof: None,
+            ..args_with(2, None)
+        };
+        for r in Sweep::new(&args).run(&Square) {
+            assert!(r.prof_json.is_none(), "no --prof, no capture");
+        }
+        let args = BenchArgs {
+            prof: Some(PathBuf::from("/nonexistent-never-written")),
+            ..args_with(1, None)
+        };
+        // Run points directly through execute() via run()? write_prof would
+        // try the bogus path — so exercise run_point through a local sweep
+        // with a writable temp file instead.
+        let dir = std::env::temp_dir().join(format!("powifi-prof-test-{}", std::process::id()));
+        let path = dir.join("square.prof.jsonl");
+        let args = BenchArgs {
+            prof: Some(path.clone()),
+            ..args
+        };
+        let runs = Sweep::new(&args).run(&Square);
+        for r in &runs {
+            let p = r.prof_json.as_ref().expect("--prof snapshots each point");
+            // A pure-function experiment opens no spans.
+            assert_eq!(p, "{\"wall\":false,\"spans\":[]}");
+        }
+        let text = fs::read_to_string(&path).expect("prof file written");
+        assert_eq!(text.lines().count(), 16, "header + snapshot per point");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

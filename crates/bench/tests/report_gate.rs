@@ -1,0 +1,130 @@
+//! Integration tests for the `bench_report` observatory: `--against` +
+//! `--gate` exit codes, driven through `--current` so no roster has to run
+//! (the fixtures are synthetic, deterministic report files).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_bench_report");
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("powifi-report-gate-{tag}-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+/// A minimal report fixture: one experiment with the given wall time for a
+/// fixed 1000-event workload.
+fn report_fixture(sum_wall_ms: f64) -> String {
+    format!(
+        r#"{{
+  "artifact": "BENCH_tier1",
+  "profile": "release",
+  "seed": 42,
+  "jobs": 1,
+  "total_wall_ms": {sum_wall_ms},
+  "experiments": [
+    {{
+      "experiment": "tier1_udp",
+      "points": 2,
+      "events": 1000,
+      "sum_wall_ms": {sum_wall_ms},
+      "min_wall_ms": 1.0,
+      "max_wall_ms": {sum_wall_ms},
+      "mean_wall_ms": {sum_wall_ms},
+      "events_per_wall_ms": {}
+    }}
+  ]
+}}
+"#,
+        1000.0 / sum_wall_ms
+    )
+}
+
+fn run_gate(current: &Path, baseline: &Path, gate: &str) -> std::process::Output {
+    Command::new(BIN)
+        .args([
+            "--current",
+            current.to_str().unwrap(),
+            "--against",
+            baseline.to_str().unwrap(),
+            "--gate",
+            gate,
+        ])
+        .output()
+        .expect("run bench_report")
+}
+
+#[test]
+fn unchanged_run_passes_the_gate() {
+    let dir = tmp_dir("same");
+    let base = dir.join("baseline.json");
+    let cur = dir.join("current.json");
+    fs::write(&base, report_fixture(10.0)).unwrap();
+    fs::write(&cur, report_fixture(10.0)).unwrap();
+    let out = run_gate(&cur, &base, "25");
+    assert!(
+        out.status.success(),
+        "identical runs must pass: stderr={}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("tier1_udp"), "comparison table printed");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn synthetic_2x_slowdown_fails_the_gate() {
+    let dir = tmp_dir("slow");
+    let base = dir.join("baseline.json");
+    let cur = dir.join("current.json");
+    fs::write(&base, report_fixture(10.0)).unwrap();
+    // Same events, double the wall time: 50% throughput drop > 25% gate.
+    fs::write(&cur, report_fixture(20.0)).unwrap();
+    let out = run_gate(&cur, &base, "25");
+    assert_eq!(out.status.code(), Some(1), "2x slowdown must gate");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("REGRESSION tier1_udp"), "{stderr}");
+    // A permissive gate lets the same pair through.
+    let out = run_gate(&cur, &base, "60");
+    assert!(out.status.success());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn baseline_can_be_a_history_file() {
+    let dir = tmp_dir("hist");
+    let hist = dir.join("BENCH_history.jsonl");
+    let cur = dir.join("current.json");
+    // Two history entries; the last one (slower) is the baseline, so a
+    // fast current run shows an improvement and passes any gate.
+    let e1 = r#"{"sha":"aaa","date":"2026-01-01","profile":"release","seed":42,"jobs":1,"total_wall_ms":10.0,"experiments":[{"experiment":"tier1_udp","points":2,"events":1000,"sum_wall_ms":10.0,"events_per_wall_ms":100.0}]}"#;
+    let e2 = r#"{"sha":"bbb","date":"2026-01-02","profile":"release","seed":42,"jobs":1,"total_wall_ms":40.0,"experiments":[{"experiment":"tier1_udp","points":2,"events":1000,"sum_wall_ms":40.0,"events_per_wall_ms":25.0}]}"#;
+    fs::write(&hist, format!("{e1}\n{e2}\n")).unwrap();
+    fs::write(&cur, report_fixture(10.0)).unwrap();
+    let out = run_gate(&cur, &hist, "25");
+    assert!(
+        out.status.success(),
+        "faster than baseline must pass: stderr={}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_observatory_flags_exit_2() {
+    for bad in [
+        &["--gate", "25"][..],                       // --gate without --against
+        &["--current", "x.json"][..],                // --current without --against
+        &["--against"][..],                          // missing value
+        &["--against", "base", "--gate", "abc"][..], // non-numeric gate
+        &["--against", "base", "--gate", "-5"][..],  // negative gate
+    ] {
+        let out = Command::new(BIN)
+            .args(bad)
+            .output()
+            .expect("run bench_report");
+        assert_eq!(out.status.code(), Some(2), "{bad:?} should exit 2");
+    }
+}

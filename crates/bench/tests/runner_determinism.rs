@@ -163,6 +163,63 @@ fn metrics_and_trace_are_bit_identical_across_job_counts() {
     let _ = fs::remove_dir_all(&d8);
 }
 
+/// Run the mini sweep with `--prof`, returning the prof JSONL.
+fn prof_artifact(dir: &Path, jobs: usize) -> String {
+    let prof_path = dir.join("mini_occupancy.prof.jsonl");
+    let args = BenchArgs {
+        seed: 42,
+        jobs,
+        prof: Some(prof_path.clone()),
+        ..BenchArgs::default()
+    };
+    Sweep::new(&args).run(&MiniOccupancy);
+    fs::read_to_string(prof_path).unwrap()
+}
+
+#[test]
+fn prof_jsonl_is_bit_identical_across_job_counts() {
+    let d1 = scratch_dir("prof-jobs1");
+    let d8 = scratch_dir("prof-jobs8");
+    fs::create_dir_all(&d1).unwrap();
+    fs::create_dir_all(&d8).unwrap();
+    let p1 = prof_artifact(&d1, 1);
+    let p8 = prof_artifact(&d8, 8);
+
+    assert_eq!(p1, p8, "prof JSONL must not depend on --jobs");
+    assert!(
+        p1.contains("\"sim.event\"") && p1.contains("\"mac.dcf.tx\""),
+        "profile must contain event and MAC spans for a live simulation"
+    );
+    assert!(
+        !p1.contains("wall_ms"),
+        "--prof captures must carry no wall-clock keys"
+    );
+
+    let _ = fs::remove_dir_all(&d1);
+    let _ = fs::remove_dir_all(&d8);
+}
+
+/// The profiler's disabled path must be a single branch: running a full
+/// live sweep (every instrumented layer exercised) without `--prof` must
+/// leave the span registry completely empty.
+#[test]
+fn profiler_off_records_nothing_during_live_sweep() {
+    use powifi_sim::obs::prof;
+    assert!(!prof::enabled());
+    let runs = Sweep::new(&BenchArgs {
+        seed: 42,
+        jobs: 1,
+        ..BenchArgs::default()
+    })
+    .run(&MiniOccupancy);
+    assert!(!runs.is_empty());
+    assert!(runs.iter().all(|r| r.prof_json.is_none()));
+    assert!(
+        prof::snapshot().is_empty(),
+        "disabled profiler must record no spans"
+    );
+}
+
 #[test]
 fn filtered_sweep_reuses_full_grid_seeds() {
     let full = Sweep::new(&BenchArgs {

@@ -84,12 +84,16 @@ fn tick<W: MacWorld>(
     mut rng: SimRng,
     ctl: InjectorHandle,
 ) {
+    let _prof = powifi_sim::obs::prof::span("core.injector.tick");
     let (enabled, delay_scale) = {
         let c = ctl.borrow();
         (c.enabled, c.delay_scale)
     };
     if enabled {
-        let verdict = ip_power_check(w.mac(), iface, cfg.qdepth_threshold);
+        let verdict = {
+            let _prof = powifi_sim::obs::prof::span("core.injector.qdepth_poll");
+            ip_power_check(w.mac(), iface, cfg.qdepth_threshold)
+        };
         if powifi_sim::obs::trace::enabled() {
             let open = matches!(verdict, IpPowerVerdict::Admit);
             let mut c = ctl.borrow_mut();

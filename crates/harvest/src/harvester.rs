@@ -17,6 +17,7 @@ use crate::rectifier::{Rectifier, Variant};
 use crate::storage::{Battery, Capacitor};
 use powifi_rf::{Dbm, Hertz, Joules, MicroWatts};
 use powifi_sim::obs::metrics as obs_metrics;
+use powifi_sim::obs::prof;
 use powifi_sim::obs::trace as obs;
 use powifi_sim::{conformance, SimDuration, SimTime};
 
@@ -128,6 +129,7 @@ impl Harvester {
     /// DC power the converter would deliver into the store for a given set
     /// of simultaneously active channels (steady-state, no storage effects).
     pub fn dc_power(&self, inputs: &[(Hertz, Dbm)]) -> MicroWatts {
+        let _prof = prof::span("harvest.rectifier");
         let p_in = self.accepted_power(inputs);
         let rect_out = self.rectifier.output_power(p_in);
         let voc = self.rectifier.open_voltage(p_in);
@@ -141,6 +143,8 @@ impl Harvester {
     /// Step the harvester by `dt` with the given instantaneous per-channel
     /// input powers at the antenna.
     pub fn advance(&mut self, dt: SimDuration, inputs: &[(Hertz, Dbm)]) {
+        let _prof = prof::span("harvest.advance");
+        prof::attr(dt);
         let p_dc = self.dc_power(inputs);
         let mut uw_in = 0.0;
         for &(_, p) in inputs {
@@ -161,6 +165,8 @@ impl Harvester {
     /// once), which matches the paper's observation that the harvester sees
     /// "an approximation of a continuous transmission".
     pub fn advance_duty(&mut self, dt: SimDuration, inputs: &[(Hertz, Dbm, f64)]) {
+        let _prof = prof::span("harvest.advance");
+        prof::attr(dt);
         let mut uw = 0.0;
         let mut uw_in = 0.0;
         for &(f, p, duty) in inputs {
@@ -188,6 +194,7 @@ impl Harvester {
     }
 
     fn housekeeping(&mut self, dt: SimDuration) {
+        let _prof = prof::span("harvest.storage");
         if let Store::Cap(c) = &mut self.store {
             c.leak(dt);
             // Quiescent drain while the converter runs.

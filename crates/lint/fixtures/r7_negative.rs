@@ -1,0 +1,10 @@
+// Fixture: R7 must stay quiet — time attribution goes through profiler
+// spans, which cost sim time deterministically and add wall time only when
+// the bench harness opts in.
+use powifi_sim::obs::prof;
+
+pub fn timed_step(world: &mut World, dt: powifi_sim::SimDuration) {
+    let span = prof::span("mac.step");
+    world.step();
+    span.attr(dt);
+}

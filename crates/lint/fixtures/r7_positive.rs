@@ -1,0 +1,8 @@
+// Fixture: R7 must fire — `Instant` wall-clock timing in a simulation crate.
+use std::time::Instant;
+
+pub fn timed_step(world: &mut World) -> u128 {
+    let start = Instant::now();
+    world.step();
+    start.elapsed().as_nanos()
+}

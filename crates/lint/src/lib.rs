@@ -1,7 +1,7 @@
 //! # powifi-lint
 //!
 //! In-repo static analyzer enforcing the workspace's determinism and
-//! unit-safety rules (R1–R5, see `docs/STATIC_ANALYSIS.md`). Self-contained:
+//! unit-safety rules (R1–R7, see `docs/STATIC_ANALYSIS.md`). Self-contained:
 //! a hand-written lexer, no external dependencies, so it builds wherever the
 //! workspace builds.
 //!
@@ -115,10 +115,14 @@ pub fn classify(rel: &str) -> Option<FileContext> {
     let top = rest.first().copied().unwrap_or("");
     let is_test_file = matches!(top, "tests" | "benches" | "examples");
     let is_bin = rest == ["src", "main.rs"] || (top == "src" && rest.get(1) == Some(&"bin"));
+    // The profiler is the one library file sanctioned to read `Instant`
+    // (wall-clock span timing, bench-only) — R7's file-level carve-out.
+    let is_prof_impl = crate_name == "sim" && rest == ["src", "obs", "prof.rs"];
     Some(FileContext {
         crate_name,
         is_test_file,
         is_bin,
+        is_prof_impl,
     })
 }
 
@@ -348,6 +352,13 @@ mod tests {
         assert!(c.is_test_file);
         let c = classify("crates/core/src/main.rs").unwrap();
         assert!(c.is_bin);
+        let c = classify("crates/sim/src/obs/prof.rs").unwrap();
+        assert!(c.is_prof_impl);
+        assert!(
+            !classify("crates/sim/src/obs/metrics.rs")
+                .unwrap()
+                .is_prof_impl
+        );
         assert!(classify("vendor/rand/src/lib.rs").is_none());
     }
 

@@ -24,7 +24,7 @@ OPTIONS:
 
 Findings are suppressed inline with:
     // powifi-lint: allow(<rule>) — <reason>
-where <rule> is an id (R1..R6) or slug. See docs/STATIC_ANALYSIS.md.";
+where <rule> is an id (R1..R7) or slug. See docs/STATIC_ANALYSIS.md.";
 
 fn main() -> ExitCode {
     let mut deny_new = false;

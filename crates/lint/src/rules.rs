@@ -1,10 +1,13 @@
-//! The rule catalogue: R1–R6, each a token-level pass over one lexed file.
+//! The rule catalogue: R1–R7, each a token-level pass over one lexed file.
 //!
 //! Scope model: every rule declares which crates it patrols and whether it
 //! looks inside test regions. "Simulation crates" are the ones whose
 //! iteration order, clocks, and float handling feed the golden artifacts;
 //! `crates/bench` is the sanctioned boundary where wall clocks and ambient
-//! randomness are allowed (progress bars, run timing), so R2 exempts it.
+//! randomness are allowed (progress bars, run timing), so R2 and R7 exempt
+//! it. The profiler implementation (`crates/sim/src/obs/prof.rs`) is the one
+//! other place allowed to read `Instant` — R7 carries a file-level carve-out
+//! for it via [`FileContext::is_prof_impl`].
 
 use crate::lexer::{Lexed, TokKind, Token};
 
@@ -13,12 +16,13 @@ pub const SIM_CRATES: [&str; 8] = [
     "core", "deploy", "harvest", "mac", "net", "rf", "sensors", "sim",
 ];
 
-/// The six rules.
+/// The seven rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// R1: no `HashMap`/`HashSet` in simulation crates.
     HashIteration,
-    /// R2: no wall clocks or ambient randomness outside `crates/bench`.
+    /// R2: no ambient randomness or non-`Instant` wall clocks outside
+    /// `crates/bench`.
     AmbientNondeterminism,
     /// R3: no `unwrap()`/`expect()` in non-test library code.
     Unwrap,
@@ -29,20 +33,24 @@ pub enum Rule {
     /// R6: no direct `TraceSink` construction/installation outside
     /// `crates/sim` (the `obs` layer) and `crates/bench` (the runner).
     SinkConstruction,
+    /// R7: no `std::time::Instant` outside `crates/bench` and the profiler
+    /// implementation (`crates/sim/src/obs/prof.rs`).
+    WallClockScope,
 }
 
 impl Rule {
     /// All rules, in id order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::HashIteration,
         Rule::AmbientNondeterminism,
         Rule::Unwrap,
         Rule::FloatEq,
         Rule::BareCast,
         Rule::SinkConstruction,
+        Rule::WallClockScope,
     ];
 
-    /// Short id (`R1`…`R6`), used in output and baseline entries.
+    /// Short id (`R1`…`R7`), used in output and baseline entries.
     pub fn id(self) -> &'static str {
         match self {
             Rule::HashIteration => "R1",
@@ -51,6 +59,7 @@ impl Rule {
             Rule::FloatEq => "R4",
             Rule::BareCast => "R5",
             Rule::SinkConstruction => "R6",
+            Rule::WallClockScope => "R7",
         }
     }
 
@@ -63,6 +72,7 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::BareCast => "bare-cast",
             Rule::SinkConstruction => "sink-construction",
+            Rule::WallClockScope => "instant-outside-bench",
         }
     }
 
@@ -81,7 +91,7 @@ impl Rule {
                 "HashMap/HashSet iteration order is seeded per process; use BTreeMap/BTreeSet"
             }
             Rule::AmbientNondeterminism => {
-                "wall clocks and ambient RNGs (Instant, SystemTime, thread_rng, …) break replay"
+                "ambient clocks and RNGs (SystemTime, thread_rng, OsRng, …) break replay"
             }
             Rule::Unwrap => "unwrap()/expect() in library code; use typed errors or justify",
             Rule::FloatEq => "==/!= on floats; compare integer ns/tolerances instead",
@@ -90,13 +100,17 @@ impl Rule {
                 "direct TraceSink construction; simulation layers emit typed events only — \
                  sinks are wired by obs and the bench runner"
             }
+            Rule::WallClockScope => {
+                "std::time::Instant outside crates/bench and obs::prof; wall time is a \
+                 harness/profiler concern — instrument with obs::prof spans instead"
+            }
         }
     }
 
     /// Does this rule patrol `crate_name`?
     pub fn applies_to_crate(self, crate_name: &str) -> bool {
         match self {
-            Rule::AmbientNondeterminism => crate_name != "bench",
+            Rule::AmbientNondeterminism | Rule::WallClockScope => crate_name != "bench",
             // Sinks may only be built where they are defined (`sim`, home of
             // the `obs` layer) or wired (`bench`, the sweep runner).
             Rule::SinkConstruction => crate_name != "sim" && crate_name != "bench",
@@ -116,6 +130,10 @@ pub struct FileContext {
     /// File is a binary entry point (`src/bin/`, `src/main.rs`) — R3 skips
     /// it (CLIs may exit via expect on startup errors).
     pub is_bin: bool,
+    /// File is the profiler implementation itself
+    /// (`crates/sim/src/obs/prof.rs`) — the one library file allowed to read
+    /// `Instant`, so R7 skips it.
+    pub is_prof_impl: bool,
 }
 
 /// One raw finding, before suppression/baseline filtering.
@@ -213,14 +231,10 @@ const INT_TYPES: [&str; 12] = [
 
 const ROUNDING_HELPERS: [&str; 4] = ["round", "floor", "ceil", "trunc"];
 
-/// Idents whose mere presence means ambient nondeterminism (R2).
-const AMBIENT_IDENTS: [&str; 5] = [
-    "Instant",
-    "SystemTime",
-    "thread_rng",
-    "from_entropy",
-    "OsRng",
-];
+/// Idents whose mere presence means ambient nondeterminism (R2). `Instant`
+/// is deliberately absent: it has its own rule (R7) with a carve-out for the
+/// profiler implementation.
+const AMBIENT_IDENTS: [&str; 4] = ["SystemTime", "thread_rng", "from_entropy", "OsRng"];
 
 /// Trace-sink types whose mere mention outside obs/bench means a simulation
 /// layer is wiring its own observability plumbing (R6).
@@ -278,6 +292,21 @@ pub fn check_file(ctx: &FileContext, lexed: &Lexed) -> Vec<RawFinding> {
                     "`{}` is ambient nondeterminism; simulations must use SimTime and seeded SimRng",
                     t.text
                 ),
+            });
+        }
+        // R7 — wall-clock `Instant` outside bench and the profiler itself.
+        if active.contains(&Rule::WallClockScope)
+            && !ctx.is_prof_impl
+            && t.kind == TokKind::Ident
+            && t.text == "Instant"
+        {
+            out.push(RawFinding {
+                line: t.line,
+                col: t.col,
+                rule: Rule::WallClockScope,
+                message: "`Instant` is a wall clock; only crates/bench and obs::prof may \
+                          read it — attribute time with obs::prof spans instead"
+                    .to_string(),
             });
         }
         // R3 — unwrap/expect in library code.
@@ -448,6 +477,7 @@ mod tests {
             crate_name: "mac".into(),
             is_test_file: false,
             is_bin: false,
+            is_prof_impl: false,
         }
     }
 
@@ -476,13 +506,34 @@ mod tests {
     }
 
     #[test]
-    fn r2_fires_on_instant_and_thread_rng() {
+    fn r2_and_r7_split_wall_clock_from_ambient_rng() {
         let f = run("fn f() { let t = std::time::Instant::now(); let r = thread_rng(); }");
-        let r2: Vec<_> = f
+        let r2 = f
             .iter()
             .filter(|f| f.rule == Rule::AmbientNondeterminism)
-            .collect();
-        assert_eq!(r2.len(), 2);
+            .count();
+        let r7 = f.iter().filter(|f| f.rule == Rule::WallClockScope).count();
+        assert_eq!((r2, r7), (1, 1), "{f:?}");
+    }
+
+    #[test]
+    fn r7_is_exempt_in_the_profiler_implementation() {
+        let lexed = lex("use std::time::Instant;\nfn f() { let t = Instant::now(); }");
+        let mut c = ctx();
+        c.crate_name = "sim".into();
+        c.is_prof_impl = true;
+        let f = check_file(&c, &lexed);
+        assert!(
+            f.iter().all(|f| f.rule != Rule::WallClockScope),
+            "obs::prof owns the wall clock: {f:?}"
+        );
+        c.is_prof_impl = false;
+        let f = check_file(&c, &lexed);
+        assert_eq!(
+            f.iter().filter(|f| f.rule == Rule::WallClockScope).count(),
+            2,
+            "{f:?}"
+        );
     }
 
     #[test]
@@ -570,7 +621,7 @@ mod tests {
         assert!(f.is_empty(), "bench is exempt: {f:?}");
         c.crate_name = "lint".into();
         let f = check_file(&c, &lexed);
-        assert_eq!(f.len(), 1, "lint gets R2 only: {f:?}");
-        assert_eq!(f[0].rule, Rule::AmbientNondeterminism);
+        assert_eq!(f.len(), 1, "lint gets R7 only: {f:?}");
+        assert_eq!(f[0].rule, Rule::WallClockScope);
     }
 }

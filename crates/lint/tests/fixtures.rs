@@ -33,12 +33,20 @@ fn r1_positive_and_negative() {
 #[test]
 fn r2_positive_and_negative() {
     let f = scan_fixture(include_str!("../fixtures/r2_positive.rs"));
-    assert!(
-        f.iter().all(|f| f.rule == Rule::AmbientNondeterminism),
+    // SystemTime ×2, thread_rng ×1 fire R2; Instant ×2 (use + call) now
+    // fires R7 — same five sites, split across the two rules.
+    assert_eq!(
+        f.iter()
+            .filter(|f| f.rule == Rule::AmbientNondeterminism)
+            .count(),
+        3,
         "{f:?}"
     );
-    // Instant ×2 (use + call), SystemTime ×2, thread_rng ×1.
-    assert_eq!(f.len(), 5, "{f:?}");
+    assert_eq!(
+        f.iter().filter(|f| f.rule == Rule::WallClockScope).count(),
+        2,
+        "{f:?}"
+    );
     assert!(rules_fired(include_str!("../fixtures/r2_negative.rs")).is_empty());
 }
 
@@ -109,6 +117,32 @@ fn r6_is_exempt_in_sim_and_bench() {
     assert!(
         scan_source("crates/bench/src/runner.rs", pos).is_empty(),
         "the runner wires sinks"
+    );
+}
+
+#[test]
+fn r7_positive_and_negative() {
+    let f = scan_fixture(include_str!("../fixtures/r7_positive.rs"));
+    assert!(f.iter().all(|f| f.rule == Rule::WallClockScope), "{f:?}");
+    // `use std::time::Instant` + `Instant::now()` = 2 sites.
+    assert_eq!(f.len(), 2, "{f:?}");
+    assert!(rules_fired(include_str!("../fixtures/r7_negative.rs")).is_empty());
+}
+
+#[test]
+fn r7_is_exempt_in_bench_and_the_profiler() {
+    let pos = include_str!("../fixtures/r7_positive.rs");
+    assert!(
+        scan_source("crates/bench/src/progress.rs", pos).is_empty(),
+        "bench may read wall clocks"
+    );
+    assert!(
+        scan_source("crates/sim/src/obs/prof.rs", pos).is_empty(),
+        "the profiler implementation owns Instant"
+    );
+    assert!(
+        !scan_source("crates/sim/src/obs/metrics.rs", pos).is_empty(),
+        "the carve-out is one file, not the whole obs tree"
     );
 }
 

@@ -20,6 +20,7 @@ use crate::rate_adapt::RateController;
 use crate::trace::{FrameRecord, FrameTrace};
 use powifi_rf::{packet_error_rate, Bitrate, Db};
 use powifi_sim::conformance;
+use powifi_sim::obs::prof;
 use powifi_sim::obs::trace as obs;
 use powifi_sim::{EventHandle, EventQueue, SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, VecDeque};
@@ -346,6 +347,7 @@ pub fn enqueue<W: MacWorld>(
     sta: StationId,
     mut frame: Frame,
 ) -> bool {
+    let _prof = prof::span("mac.enqueue");
     let now = q.now();
     let mac = w.mac_mut();
     frame.id = mac.next_frame_id;
@@ -428,6 +430,7 @@ impl Station {
 
 /// Begin a channel-access attempt for a station with queued traffic.
 fn start_access<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, sta: StationId) {
+    let _prof = prof::span("mac.dcf.backoff");
     let now = q.now();
     let medium_id;
     {
@@ -473,6 +476,7 @@ fn start_access<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, sta: StationId) {
 
 /// Recompute and (re)schedule the medium's next transmission decision.
 fn rearm<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
+    let _prof = prof::span("mac.dcf.carrier_sense");
     let now = q.now();
     let mac = w.mac_mut();
     let timing = mac.timing;
@@ -509,6 +513,7 @@ fn finish_time(c: &Contender, idle_since: SimTime, timing: &MacTiming, bug: bool
 
 /// The arbitration event: the earliest finisher(s) transmit.
 fn arb_fire<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
+    let _prof = prof::span("mac.dcf.tx");
     let now = q.now();
     let mut busy = SimDuration::ZERO;
     {
@@ -668,11 +673,15 @@ fn arb_fire<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
         m.busy_until = now + busy;
         m.busy_accum += busy;
     }
+    // Attribute this busy period's airtime (frames + SIFS + ACKs) to the
+    // transmission span — the Σ sizeᵢ/rateᵢ currency of the paper's Fig. 5.
+    prof::attr(busy);
     q.schedule_in(busy, move |w, q| tx_end(w, q, medium));
 }
 
 /// End of a busy period: resolve outcomes, deliver frames, resume contention.
 fn tx_end<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
+    let _prof = prof::span("mac.dcf.tx_end");
     let now = q.now();
     // (frame, outcome) for tx_complete; (rx, frame) for deliver.
     let mut completions: Vec<(Frame, TxOutcome)> = Vec::new();

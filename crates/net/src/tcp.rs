@@ -10,6 +10,7 @@
 use crate::state::{Flow, FlowId, NetWorld};
 use powifi_mac::{enqueue, Dest, Frame, PayloadTag, StationId};
 use powifi_sim::obs::metrics as obs_metrics;
+use powifi_sim::obs::prof;
 use powifi_sim::obs::trace as obs;
 use powifi_sim::{BinnedThroughput, EventQueue, SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
@@ -211,6 +212,7 @@ fn arm_rto<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, id: FlowId) {
 }
 
 fn rto_fire<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, id: FlowId, epoch: u64) {
+    let _prof = prof::span("net.tcp.rto");
     let expired = {
         let Some(Flow::Tcp(f)) = w.net_mut().flows.get_mut(&id) else {
             return;
@@ -257,6 +259,7 @@ fn rto_fire<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, id: FlowId, epoch: u6
 
 /// Handle a delivered TCP frame (dispatched from [`crate::on_deliver`]).
 pub fn on_tcp_deliver<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, rx: StationId, frame: &Frame) {
+    let _prof = prof::span("net.tcp.deliver");
     let id = frame.payload.flow;
     if frame.payload.bytes > 0 {
         receiver_data(w, q, id, rx, frame.payload.seq);

@@ -7,7 +7,7 @@
 //! simulation runs*, without contaminating any simulation API:
 //!
 //! * A thread-local **violation sink** ([`report`], [`take`],
-//!   [`assert_clean`]) mirrors the [`crate::telemetry`] idiom: the harness
+//!   [`assert_clean`]) mirrors the [`crate::obs::metrics`] idiom: the harness
 //!   (a test, the bench sweep engine, the fuzz driver) enables checking on
 //!   its thread, the instrumented layers report into the sink as they go,
 //!   and the harness collects afterwards. Nothing in the simulation reads

@@ -21,6 +21,9 @@ pub mod queue;
 pub mod rng;
 pub mod series;
 pub mod stats;
+#[deprecated(
+    note = "use powifi_sim::obs::metrics; this compatibility shim will be removed in a future PR"
+)]
 pub mod telemetry;
 pub mod time;
 pub mod units;

@@ -141,8 +141,14 @@ impl Counter {
 pub struct Gauge(&'static str);
 
 impl Gauge {
-    /// Set this thread's gauge to `v`.
+    /// Set this thread's gauge to `v`. Non-finite values (NaN, ±∞) are
+    /// dropped: a gauge feeds deterministic JSON artifacts, where the
+    /// serializer would degrade them to `null` and golden comparisons
+    /// would drift on whichever point produced them first.
     pub fn set(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
         REGISTRY.with(|r| {
             r.borrow_mut().gauges.insert(self.0, v);
         });
@@ -461,6 +467,75 @@ mod tests {
         assert_eq!(t.events, 10);
         assert_eq!(t.frames, 4);
         assert_eq!(t.occupancy, 0.42);
+        reset();
+    }
+
+    #[test]
+    fn empty_registry_snapshot_is_default_and_serializes() {
+        reset();
+        let s = snapshot();
+        assert_eq!(s, MetricsSnapshot::default());
+        assert_eq!(s.counter("never.registered"), 0);
+        assert_eq!(s.gauge("never.registered"), 0.0);
+        assert_eq!(
+            s.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+    }
+
+    #[test]
+    fn histogram_single_sample_has_equal_extremes() {
+        reset();
+        histogram("t.one").observe(7.5);
+        let s = snapshot();
+        let hs = &s.histograms["t.one"];
+        assert_eq!(hs.count, 1);
+        assert_eq!(hs.sum, 7.5);
+        assert_eq!(hs.min, 7.5);
+        assert_eq!(hs.max, 7.5);
+        // [4,8) → bound 8, exactly one occupied bucket.
+        assert_eq!(hs.buckets, vec![(8.0, 1)]);
+        reset();
+    }
+
+    #[test]
+    fn gauge_drops_non_finite_values() {
+        reset();
+        let g = gauge("t.guarded");
+        g.set(1.25);
+        g.set(f64::NAN);
+        g.set(f64::INFINITY);
+        g.set(f64::NEG_INFINITY);
+        assert_eq!(snapshot().gauge("t.guarded"), 1.25, "last finite wins");
+        // A gauge never set with a finite value stays unregistered, so the
+        // JSON artifact carries no null-degrading entry at all.
+        gauge("t.never_finite").set(f64::NAN);
+        let j = snapshot().to_json();
+        assert!(!j.contains("t.never_finite"), "{j}");
+        reset();
+    }
+
+    #[test]
+    fn snapshot_key_order_ignores_registration_order() {
+        reset();
+        counter("t.zz").inc();
+        gauge("t.mid").set(1.0);
+        counter("t.aa").inc();
+        histogram("t.hh").observe(1.0);
+        counter("t.mm").inc();
+        let interleaved = snapshot().to_json();
+        reset();
+        counter("t.aa").inc();
+        counter("t.mm").inc();
+        counter("t.zz").inc();
+        gauge("t.mid").set(1.0);
+        histogram("t.hh").observe(1.0);
+        let sorted_first = snapshot().to_json();
+        assert_eq!(interleaved, sorted_first);
+        let a = interleaved.find("\"t.aa\"").unwrap();
+        let m = interleaved.find("\"t.mm\"").unwrap();
+        let z = interleaved.find("\"t.zz\"").unwrap();
+        assert!(a < m && m < z, "counters must serialize name-sorted");
         reset();
     }
 }

@@ -1,4 +1,5 @@
-//! Deterministic observability: metrics registry + structured trace subsystem.
+//! Deterministic observability: metrics registry, structured traces, and a
+//! hierarchical span profiler ([`prof`]).
 //!
 //! The paper's router *is* an observability loop — it meters per-channel
 //! occupancy with the tshark airtime formula and gates power packets on live
@@ -25,4 +26,5 @@
 //! `powifi-trace` inspector.
 
 pub mod metrics;
+pub mod prof;
 pub mod trace;

@@ -1,0 +1,580 @@
+//! Deterministic hierarchical span profiler.
+//!
+//! Answers "where does time go?" for a simulation run, in two currencies at
+//! once:
+//!
+//! * **Sim time** — how much *simulated* time each subsystem accounts for
+//!   (frame airtime inside the DCF, integration steps inside the harvester,
+//!   …). Instrumented code attributes it explicitly via [`attr`], so the
+//!   numbers are exact, deterministic, and golden-testable: byte-identical
+//!   at any `--jobs` level and across debug/release builds.
+//! * **Wall time** — how long each span took on the host clock. This is the
+//!   only place outside `crates/bench` allowed to touch
+//!   [`std::time::Instant`] (lint rule R7); it is opt-in via
+//!   [`enable`]`(true)`, used by `bench_report` only, and every rendered
+//!   wall field carries the `wall_ms` key token so golden comparisons strip
+//!   it.
+//!
+//! Spans nest: [`span`] returns an RAII guard that pushes a node onto this
+//! thread's call stack and pops it on drop, so the same span name under
+//! different parents is attributed separately (a true call *tree*, not a
+//! flat tag set). The tree lives in a thread-local arena with
+//! `BTreeMap`-ordered children, so snapshots render in stable name order.
+//!
+//! Like [`super::trace`] and [`super::metrics`], the profiler follows the
+//! one-branch-when-off discipline: [`span`] and [`attr`] check a
+//! thread-local [`enabled`] flag first and return inert values when the
+//! profiler is off, so uninstrumented runs pay a single predictable branch
+//! per site. The simulation never reads profiler state back, so enabling it
+//! cannot perturb results.
+//!
+//! See `docs/OBSERVABILITY.md` ("Profiling") for the span catalogue and the
+//! `powifi-prof` inspector.
+
+use crate::time::SimDuration;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One node of the arena call tree (see [`ProfState`]).
+#[derive(Debug)]
+struct Node {
+    name: &'static str,
+    /// Child name → arena index. BTree order gives stable rendering.
+    children: BTreeMap<&'static str, usize>,
+    /// Times this span was entered.
+    count: u64,
+    /// Sim time attributed directly to this span via [`attr`].
+    sim_self_ns: u64,
+    /// Largest single [`attr`] observation.
+    sim_max_ns: u64,
+    /// Wall time from enter to drop, accumulated (inclusive of children).
+    wall_ns: u64,
+    /// Largest single enter-to-drop wall observation.
+    wall_max_ns: u64,
+}
+
+impl Node {
+    fn new(name: &'static str) -> Node {
+        Node {
+            name,
+            children: BTreeMap::new(),
+            count: 0,
+            sim_self_ns: 0,
+            sim_max_ns: 0,
+            wall_ns: 0,
+            wall_max_ns: 0,
+        }
+    }
+}
+
+/// Arena-backed call tree plus the open-span stack. Index 0 is a synthetic
+/// root that is never rendered; the stack always contains at least it.
+#[derive(Debug)]
+struct ProfState {
+    arena: Vec<Node>,
+    stack: Vec<usize>,
+}
+
+impl ProfState {
+    fn new() -> ProfState {
+        ProfState {
+            arena: vec![Node::new("")],
+            stack: vec![0],
+        }
+    }
+
+    fn clear(&mut self) {
+        self.arena.clear();
+        self.arena.push(Node::new(""));
+        self.stack.clear();
+        self.stack.push(0);
+    }
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static WALL: Cell<bool> = const { Cell::new(false) };
+    static STATE: RefCell<ProfState> = RefCell::new(ProfState::new());
+}
+
+/// Is the profiler recording on this thread? Instrumented code checks this
+/// (inside [`span`] / [`attr`]) so the disabled path costs one branch.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Is wall-clock timing on for this thread's profiler?
+pub fn wall_enabled() -> bool {
+    WALL.with(|w| w.get())
+}
+
+/// Start recording on this thread and clear any previous tree. With
+/// `wall = true` each span also accumulates host-clock time (bench-only;
+/// wall fields are nondeterministic and stripped from goldens).
+pub fn enable(wall: bool) {
+    STATE.with(|s| s.borrow_mut().clear());
+    WALL.with(|w| w.set(wall));
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Stop recording on this thread. The tree is kept until [`reset`] or the
+/// next [`enable`], so it can still be snapshotted.
+pub fn disable() {
+    ENABLED.with(|e| e.set(false));
+}
+
+/// Clear this thread's tree and open-span stack without changing the
+/// enabled flags.
+pub fn reset() {
+    STATE.with(|s| s.borrow_mut().clear());
+}
+
+/// RAII guard for one open span; created by [`span`], pops on drop.
+/// Inert (a single dead branch on drop) when the profiler is disabled.
+#[must_use = "a span guard attributes time until it is dropped"]
+pub struct SpanGuard {
+    active: bool,
+    start: Option<Instant>,
+}
+
+/// Enter the span `name` under the innermost open span. Returns a guard
+/// that closes the span when dropped. When the profiler is disabled this is
+/// one branch and no allocation.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            active: false,
+            start: None,
+        };
+    }
+    enter(name)
+}
+
+#[cold]
+fn enter(name: &'static str) -> SpanGuard {
+    STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = *s.stack.last().unwrap_or(&0);
+        let idx = match s.arena[parent].children.get(name).copied() {
+            Some(idx) => idx,
+            None => {
+                let idx = s.arena.len();
+                s.arena.push(Node::new(name));
+                s.arena[parent].children.insert(name, idx);
+                idx
+            }
+        };
+        s.arena[idx].count += 1;
+        s.stack.push(idx);
+    });
+    SpanGuard {
+        active: true,
+        start: if wall_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        },
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let wall_ns = self
+            .start
+            .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        STATE.with(|s| {
+            let mut s = s.borrow_mut();
+            // Never pop the synthetic root, even if guards are dropped out
+            // of order (e.g. across an unwind).
+            if s.stack.len() > 1 {
+                if let Some(idx) = s.stack.pop() {
+                    if let Some(ns) = wall_ns {
+                        let n = &mut s.arena[idx];
+                        n.wall_ns = n.wall_ns.saturating_add(ns);
+                        n.wall_max_ns = n.wall_max_ns.max(ns);
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Attribute `d` of simulated time to the innermost open span. One branch
+/// when the profiler is disabled; a no-op when no span is open.
+#[inline]
+pub fn attr(d: SimDuration) {
+    if !enabled() {
+        return;
+    }
+    attr_slow(d);
+}
+
+#[cold]
+fn attr_slow(d: SimDuration) {
+    STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        let Some(&idx) = s.stack.last() else { return };
+        if idx == 0 {
+            return; // no span open; nowhere meaningful to attribute
+        }
+        let ns = d.as_nanos();
+        let n = &mut s.arena[idx];
+        n.sim_self_ns = n.sim_self_ns.saturating_add(ns);
+        n.sim_max_ns = n.sim_max_ns.max(ns);
+    });
+}
+
+/// One span of a [`ProfSnapshot`]: stats plus name-ordered children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfSpan {
+    /// Span name as passed to [`span`].
+    pub name: String,
+    /// Times the span was entered.
+    pub count: u64,
+    /// Sim time attributed directly to this span (ns).
+    pub sim_self_ns: u64,
+    /// Sim time of this span plus all descendants (ns).
+    pub sim_total_ns: u64,
+    /// Largest single [`attr`] observation (ns).
+    pub sim_max_ns: u64,
+    /// Accumulated wall time, enter to drop (ns); only when wall timing
+    /// was enabled. Rendered as `wall_ms` so golden filters strip it.
+    pub wall_ns: Option<u64>,
+    /// Largest single enter-to-drop wall time (ns); only with wall timing.
+    pub wall_max_ns: Option<u64>,
+    /// Child spans in name order.
+    pub children: Vec<ProfSpan>,
+}
+
+/// Immutable, stable-ordered copy of one thread's span tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProfSnapshot {
+    /// Whether wall-clock timing was on when the tree was recorded.
+    pub wall: bool,
+    /// Top-level spans in name order.
+    pub roots: Vec<ProfSpan>,
+}
+
+/// Copy this thread's span tree without clearing it. Totals are computed
+/// bottom-up (self + descendants) at snapshot time.
+pub fn snapshot() -> ProfSnapshot {
+    STATE.with(|s| {
+        let s = s.borrow();
+        let wall = wall_enabled();
+        ProfSnapshot {
+            wall,
+            roots: s.arena[0]
+                .children
+                .values()
+                .map(|&idx| copy_span(&s.arena, idx, wall))
+                .collect(),
+        }
+    })
+}
+
+fn copy_span(arena: &[Node], idx: usize, wall: bool) -> ProfSpan {
+    let n = &arena[idx];
+    let children: Vec<ProfSpan> = n
+        .children
+        .values()
+        .map(|&c| copy_span(arena, c, wall))
+        .collect();
+    let sim_total_ns = n.sim_self_ns + children.iter().map(|c| c.sim_total_ns).sum::<u64>();
+    ProfSpan {
+        name: n.name.to_string(),
+        count: n.count,
+        sim_self_ns: n.sim_self_ns,
+        sim_total_ns,
+        sim_max_ns: n.sim_max_ns,
+        wall_ns: wall.then_some(n.wall_ns),
+        wall_max_ns: wall.then_some(n.wall_max_ns),
+        children,
+    }
+}
+
+/// Shortest-roundtrip float rendering matching the vendored `serde_json`.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_span_json(out: &mut String, sp: &ProfSpan) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"count\":{},\"sim_self_ns\":{},\"sim_total_ns\":{},\"sim_max_ns\":{}",
+        sp.name, sp.count, sp.sim_self_ns, sp.sim_total_ns, sp.sim_max_ns
+    );
+    if let Some(w) = sp.wall_ns {
+        out.push_str(",\"wall_ms\":");
+        push_f64(out, w as f64 / 1e6);
+    }
+    if let Some(w) = sp.wall_max_ns {
+        out.push_str(",\"max_wall_ms\":");
+        push_f64(out, w as f64 / 1e6);
+    }
+    out.push_str(",\"children\":[");
+    for (i, c) in sp.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_span_json(out, c);
+    }
+    out.push_str("]}");
+}
+
+impl ProfSnapshot {
+    /// Render the tree as one line of stable JSON: fixed field order,
+    /// name-sorted children, wall fields only when wall timing was on
+    /// (and then under `wall_ms`-token keys so golden filters drop them).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"wall\":{},\"spans\":[", self.wall);
+        for (i, sp) in self.roots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_span_json(&mut out, sp);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Render an indented human-readable tree, two spaces per level.
+    pub fn render_tree(&self) -> String {
+        fn walk(out: &mut String, sp: &ProfSpan, depth: usize, wall: bool) {
+            let pad = "  ".repeat(depth);
+            let _ = write!(
+                out,
+                "{pad}{}  count {}  sim_total {}  sim_self {}  sim_max {}",
+                sp.name,
+                sp.count,
+                SimDuration::from_nanos(sp.sim_total_ns),
+                SimDuration::from_nanos(sp.sim_self_ns),
+                SimDuration::from_nanos(sp.sim_max_ns),
+            );
+            if wall {
+                if let Some(w) = sp.wall_ns {
+                    let _ = write!(out, "  wall {:.3}ms", w as f64 / 1e6);
+                }
+            }
+            out.push('\n');
+            for c in &sp.children {
+                walk(out, c, depth + 1, wall);
+            }
+        }
+        let mut out = String::new();
+        for sp in &self.roots {
+            walk(&mut out, sp, 0, self.wall);
+        }
+        out
+    }
+
+    /// Render folded stacks (`parent;child;leaf value`) over sim self time,
+    /// the input format flamegraph tools consume. Spans with zero self time
+    /// still emit a line when they have a nonzero count, so pure-container
+    /// spans remain visible in the profile.
+    pub fn render_folded(&self) -> String {
+        fn walk(out: &mut String, path: &mut Vec<String>, sp: &ProfSpan) {
+            path.push(sp.name.clone());
+            if sp.sim_self_ns > 0 || sp.children.is_empty() {
+                let _ = writeln!(out, "{} {}", path.join(";"), sp.sim_self_ns);
+            }
+            for c in &sp.children {
+                walk(out, path, c);
+            }
+            path.pop();
+        }
+        let mut out = String::new();
+        let mut path = Vec::new();
+        for sp in &self.roots {
+            walk(&mut out, &mut path, sp);
+        }
+        out
+    }
+
+    /// Flatten the tree into `(path, span)` pairs in depth-first order,
+    /// with `path` rendered `a;b;c`. Used by `powifi-prof top`.
+    pub fn flatten(&self) -> Vec<(String, &ProfSpan)> {
+        fn walk<'a>(out: &mut Vec<(String, &'a ProfSpan)>, prefix: &str, sp: &'a ProfSpan) {
+            let path = if prefix.is_empty() {
+                sp.name.clone()
+            } else {
+                format!("{prefix};{}", sp.name)
+            };
+            out.push((path.clone(), sp));
+            for c in &sp.children {
+                walk(out, &path, c);
+            }
+        }
+        let mut out = Vec::new();
+        for sp in &self.roots {
+            walk(&mut out, "", sp);
+        }
+        out
+    }
+
+    /// True when the tree recorded nothing (no spans entered).
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+}
+
+/// Run `f` with the profiler enabled (sim-time only, wall off) on this
+/// thread, returning its result and the final snapshot. Restores the
+/// previous enabled/wall flags afterwards, so captures nest safely.
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, ProfSnapshot) {
+    let prev_enabled = enabled();
+    let prev_wall = wall_enabled();
+    enable(false);
+    let out = f();
+    let snap = snapshot();
+    ENABLED.with(|e| e.set(prev_enabled));
+    WALL.with(|w| w.set(prev_wall));
+    STATE.with(|s| s.borrow_mut().clear());
+    (out, snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        disable();
+        reset();
+        {
+            let _g = span("t.outer");
+            attr(SimDuration::from_micros(5));
+        }
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_build_a_tree_with_totals() {
+        let ((), snap) = capture(|| {
+            let _a = span("t.a");
+            attr(SimDuration::from_nanos(10));
+            {
+                let _b = span("t.b");
+                attr(SimDuration::from_nanos(7));
+                attr(SimDuration::from_nanos(3));
+            }
+            {
+                let _b = span("t.b");
+                attr(SimDuration::from_nanos(1));
+            }
+        });
+        assert_eq!(snap.roots.len(), 1);
+        let a = &snap.roots[0];
+        assert_eq!(a.name, "t.a");
+        assert_eq!(a.count, 1);
+        assert_eq!(a.sim_self_ns, 10);
+        assert_eq!(a.sim_total_ns, 21);
+        assert_eq!(a.children.len(), 1);
+        let b = &a.children[0];
+        assert_eq!(b.count, 2);
+        assert_eq!(b.sim_self_ns, 11);
+        assert_eq!(b.sim_max_ns, 7);
+        assert!(!snap.wall);
+        assert!(a.wall_ns.is_none());
+    }
+
+    #[test]
+    fn same_name_under_different_parents_is_separate() {
+        let ((), snap) = capture(|| {
+            {
+                let _p = span("t.p1");
+                let _l = span("t.leaf");
+                attr(SimDuration::from_nanos(1));
+            }
+            {
+                let _p = span("t.p2");
+                let _l = span("t.leaf");
+                attr(SimDuration::from_nanos(2));
+            }
+        });
+        assert_eq!(snap.roots.len(), 2);
+        assert_eq!(snap.roots[0].children[0].sim_self_ns, 1);
+        assert_eq!(snap.roots[1].children[0].sim_self_ns, 2);
+    }
+
+    #[test]
+    fn attr_outside_any_span_is_dropped() {
+        let ((), snap) = capture(|| {
+            attr(SimDuration::from_secs(1));
+            let _g = span("t.x");
+        });
+        assert_eq!(snap.roots.len(), 1);
+        assert_eq!(snap.roots[0].sim_total_ns, 0);
+    }
+
+    #[test]
+    fn json_is_stable_and_name_ordered() {
+        let ((), snap) = capture(|| {
+            {
+                let _z = span("t.z");
+                attr(SimDuration::from_nanos(2));
+            }
+            let _a = span("t.a");
+            attr(SimDuration::from_nanos(1));
+        });
+        let j = snap.to_json();
+        assert_eq!(
+            j,
+            "{\"wall\":false,\"spans\":[\
+             {\"name\":\"t.a\",\"count\":1,\"sim_self_ns\":1,\"sim_total_ns\":1,\
+             \"sim_max_ns\":1,\"children\":[]},\
+             {\"name\":\"t.z\",\"count\":1,\"sim_self_ns\":2,\"sim_total_ns\":2,\
+             \"sim_max_ns\":2,\"children\":[]}]}"
+        );
+        assert!(!j.contains("wall_ms"), "wall keys must be absent when off");
+    }
+
+    #[test]
+    fn wall_mode_emits_wall_ms_keys_only() {
+        enable(true);
+        {
+            let _g = span("t.w");
+        }
+        let snap = snapshot();
+        disable();
+        reset();
+        WALL.with(|w| w.set(false));
+        assert!(snap.wall);
+        let j = snap.to_json();
+        assert!(j.contains("\"wall_ms\":"));
+        assert!(j.contains("\"max_wall_ms\":"));
+    }
+
+    #[test]
+    fn folded_stacks_cover_leaves_and_self_time() {
+        let ((), snap) = capture(|| {
+            let _a = span("t.a");
+            attr(SimDuration::from_nanos(4));
+            let _b = span("t.b");
+            attr(SimDuration::from_nanos(6));
+        });
+        let folded = snap.render_folded();
+        assert_eq!(folded, "t.a 4\nt.a;t.b 6\n");
+    }
+
+    #[test]
+    fn capture_restores_disabled_state() {
+        disable();
+        let _ = capture(|| {
+            assert!(enabled());
+        });
+        assert!(!enabled());
+        assert!(snapshot().is_empty());
+    }
+}

@@ -186,6 +186,7 @@ impl<W> EventQueue<W> {
             debug_assert!(entry.time >= self.now, "event queue time went backwards");
             self.now = entry.time;
             self.executed += 1;
+            let _prof = crate::obs::prof::span("sim.event");
             (entry.f)(world, self);
         }
         if self.now < end {

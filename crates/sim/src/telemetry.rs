@@ -7,6 +7,10 @@
 //! migrated and new code should record through `obs::metrics` handles
 //! directly.
 
+// The module is itself `#[deprecated]` (see lib.rs), which would otherwise
+// flag its own forwarding bodies and tests.
+#![allow(deprecated)]
+
 use crate::obs::metrics::{self, keys};
 
 pub use crate::obs::metrics::RunTelemetry;
@@ -41,41 +45,6 @@ pub fn snapshot() -> RunTelemetry {
     metrics::run_telemetry()
 }
 
-#[cfg(test)]
-#[allow(deprecated)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn shim_forwards_to_the_registry() {
-        reset();
-        add_events(3);
-        add_events(4);
-        record_frames(10);
-        record_occupancy(0.9);
-        let t = snapshot();
-        assert_eq!(t.events, 7);
-        assert_eq!(t.frames, 10);
-        assert_eq!(t.occupancy, 0.9);
-        assert_eq!(
-            crate::obs::metrics::snapshot().counter(crate::obs::metrics::keys::SIM_EVENTS),
-            7
-        );
-        reset();
-        assert_eq!(snapshot(), RunTelemetry::default());
-    }
-
-    #[test]
-    fn run_until_records_events() {
-        use crate::{EventQueue, SimTime};
-        reset();
-        let mut q = EventQueue::<u32>::new();
-        let mut w = 0u32;
-        for i in 0..5u64 {
-            q.schedule_at(SimTime::from_micros(i), |w, _| *w += 1);
-        }
-        q.run_until(&mut w, SimTime::from_secs(1));
-        assert_eq!(w, 5);
-        assert_eq!(snapshot().events, 5);
-    }
-}
+// The shim's forwarding behavior is covered by
+// `crates/sim/tests/telemetry_shim.rs` — unit tests can't live here because
+// the module-level deprecation would flag the generated test harness.

@@ -1,0 +1,41 @@
+//! The deprecated `telemetry` shim must keep forwarding to `obs::metrics`
+//! until it is removed — out-of-tree callers depend on it.
+
+#![allow(deprecated)]
+
+use powifi_sim::telemetry::{
+    add_events, record_frames, record_occupancy, reset, snapshot, RunTelemetry,
+};
+use powifi_sim::{EventQueue, SimTime};
+
+#[test]
+fn shim_forwards_to_the_registry() {
+    reset();
+    add_events(3);
+    add_events(4);
+    record_frames(10);
+    record_occupancy(0.9);
+    let t = snapshot();
+    assert_eq!(t.events, 7);
+    assert_eq!(t.frames, 10);
+    assert_eq!(t.occupancy, 0.9);
+    assert_eq!(
+        powifi_sim::obs::metrics::snapshot().counter(powifi_sim::obs::metrics::keys::SIM_EVENTS),
+        7
+    );
+    reset();
+    assert_eq!(snapshot(), RunTelemetry::default());
+}
+
+#[test]
+fn run_until_records_events() {
+    reset();
+    let mut q = EventQueue::<u32>::new();
+    let mut w = 0u32;
+    for i in 0..5u64 {
+        q.schedule_at(SimTime::from_micros(i), |w, _| *w += 1);
+    }
+    q.run_until(&mut w, SimTime::from_secs(1));
+    assert_eq!(w, 5);
+    assert_eq!(snapshot().events, 5);
+}

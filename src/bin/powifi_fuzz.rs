@@ -2,15 +2,22 @@
 //! [`powifi::fuzz`]).
 //!
 //! ```text
-//! powifi-fuzz [--topologies N] [--seed S] [--inject-bug] [--replay SEED]
+//! powifi-fuzz [--topologies N] [--seed S] [--inject-bug]
+//!             [--replay SEED [--trace FILE] [--prof]]
 //! ```
+//!
+//! `--trace FILE` writes the replayed topology's structured trace
+//! (`powifi_sim::obs::trace` JSONL, inspectable with `powifi-trace`);
+//! `--prof` prints its sim-time span tree — both replay-only, so a failing
+//! seed can be drilled into with the full observability stack.
 //!
 //! Exit codes: 0 = all topologies clean, 1 = failures found, 2 = usage.
 
 use powifi::fuzz;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: powifi-fuzz [--topologies N] [--seed S] [--inject-bug] [--replay SEED]";
+const USAGE: &str = "usage: powifi-fuzz [--topologies N] [--seed S] [--inject-bug] \
+     [--replay SEED [--trace FILE] [--prof]]";
 
 fn usage_err(msg: &str) -> ExitCode {
     eprintln!("powifi-fuzz: {msg}");
@@ -21,6 +28,8 @@ fn usage_err(msg: &str) -> ExitCode {
 fn main() -> ExitCode {
     let mut cfg = fuzz::FuzzConfig::default();
     let mut replay_seed: Option<u64> = None;
+    let mut trace_path: Option<String> = None;
+    let mut prof = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -37,6 +46,11 @@ fn main() -> ExitCode {
                 Some(Ok(s)) => replay_seed = Some(s),
                 _ => return usage_err("--replay needs a seed"),
             },
+            "--trace" => match args.next() {
+                Some(path) => trace_path = Some(path),
+                None => return usage_err("--trace needs a file"),
+            },
+            "--prof" => prof = true,
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -48,7 +62,29 @@ fn main() -> ExitCode {
     if let Some(seed) = replay_seed {
         let spec = fuzz::gen_spec(seed);
         println!("replaying {}", spec.summary());
-        let res = fuzz::run_spec(&spec, cfg.inject_bug);
+        if prof {
+            powifi::sim::obs::prof::enable(false);
+        }
+        let (res, trace_jsonl) = if trace_path.is_some() {
+            let (res, jsonl) =
+                powifi::sim::obs::trace::capture_jsonl(|| fuzz::run_spec(&spec, cfg.inject_bug));
+            (res, Some(jsonl))
+        } else {
+            (fuzz::run_spec(&spec, cfg.inject_bug), None)
+        };
+        if let (Some(path), Some(jsonl)) = (&trace_path, &trace_jsonl) {
+            if let Err(e) = std::fs::write(path, jsonl) {
+                eprintln!("powifi-fuzz: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!("wrote {path}");
+        }
+        if prof {
+            let snap = powifi::sim::obs::prof::snapshot();
+            powifi::sim::obs::prof::disable();
+            powifi::sim::obs::prof::reset();
+            print!("{}", snap.render_tree());
+        }
         println!("frames {} · violations {}", res.frames, res.violations);
         for v in res.retained.iter().take(10) {
             println!("  {v}");
@@ -58,6 +94,9 @@ fn main() -> ExitCode {
         } else {
             ExitCode::from(1)
         };
+    }
+    if trace_path.is_some() || prof {
+        return usage_err("--trace/--prof only apply to --replay runs");
     }
 
     println!(

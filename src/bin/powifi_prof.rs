@@ -1,0 +1,136 @@
+//! `powifi-prof` — inspector for `--prof` span-profile JSONL files.
+//!
+//! ```text
+//! powifi-prof tree  FILE [--point IDX]
+//! powifi-prof top   FILE [--point IDX] [--by self|total|count] [--limit N]
+//! powifi-prof diff  FILE_A FILE_B
+//! powifi-prof flame FILE [--point IDX]
+//! ```
+//!
+//! `tree` prints the indented call tree, `top` the hottest span paths,
+//! `flame` folded-stacks text for flamegraph tooling. `diff` exits
+//! nonzero on the first sim-time divergence (wall fields are ignored),
+//! so it works as a CI gate exactly like `powifi-trace diff`.
+
+use powifi::profinspect::{self, ParsedProf, TopBy};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: powifi-prof <tree|top|diff|flame> FILE [...]
+  tree  FILE [--point IDX]
+  top   FILE [--point IDX] [--by self|total|count] [--limit N]
+  diff  FILE_A FILE_B
+  flame FILE [--point IDX]";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<ParsedProf, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    profinspect::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return fail("missing subcommand");
+    };
+    match run(cmd, &args[1..]) {
+        Ok(code) => code,
+        Err(msg) => fail(&msg),
+    }
+}
+
+/// Parse the `[--point IDX]`-style option tail shared by tree/top/flame.
+struct ViewOpts {
+    point: Option<usize>,
+    by: TopBy,
+    limit: usize,
+}
+
+fn parse_view_opts(opts: &[String]) -> Result<ViewOpts, String> {
+    let mut out = ViewOpts {
+        point: None,
+        by: TopBy::SelfTime,
+        limit: 20,
+    };
+    let mut it = opts.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs {what}"))
+        };
+        match flag.as_str() {
+            "--point" => {
+                let v = val("an index")?;
+                out.point = Some(
+                    v.parse()
+                        .map_err(|_| format!("--point needs an index, got `{v}`"))?,
+                );
+            }
+            "--by" => out.by = TopBy::from_flag(&val("self|total|count")?)?,
+            "--limit" => {
+                let v = val("a count")?;
+                out.limit = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| format!("--limit needs a positive count, got `{v}`"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, String> {
+    match cmd {
+        "tree" | "top" | "flame" => {
+            let (file, opts) = rest
+                .split_first()
+                .ok_or_else(|| format!("{cmd} needs a FILE"))?;
+            let view = parse_view_opts(opts)?;
+            let prof = load(file)?;
+            for (pi, pt) in prof.points.iter().enumerate() {
+                if view.point.is_some_and(|want| want != pi) {
+                    continue;
+                }
+                match cmd {
+                    "tree" => print!("{}", profinspect::render_tree(pt)),
+                    "top" => {
+                        println!(
+                            "point {pi} ({}):  [self] [total] [count]",
+                            if pt.label.is_empty() {
+                                "<anon>"
+                            } else {
+                                &pt.label
+                            }
+                        );
+                        print!("{}", profinspect::top(pt, view.by, view.limit));
+                    }
+                    _ => print!("{}", profinspect::flame(pt)),
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let [a, b] = rest else {
+                return Err("diff takes exactly two FILEs".into());
+            };
+            match profinspect::diff(&load(a)?, &load(b)?) {
+                None => {
+                    println!("profiles are structurally identical");
+                    Ok(ExitCode::SUCCESS)
+                }
+                Some(msg) => {
+                    println!("{msg}");
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}

@@ -215,6 +215,28 @@ pub fn render_trace(name: &str) -> String {
     jsonl
 }
 
+/// Render a scenario's sim-time span profile
+/// ([`powifi_sim::obs::prof`](crate::sim::obs::prof)) as one line of JSON
+/// plus trailing newline — the snapshot a `--prof` capture of the same
+/// simulation would record. Wall timing stays off, so the output is fully
+/// deterministic and byte-compared against
+/// `tests/golden/<name>.prof.jsonl` in CI. Panics on an unknown name.
+pub fn render_prof(name: &str) -> String {
+    let sc = scenarios()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("unknown golden scenario {name:?}"));
+    let ((), snap) = powifi_sim::obs::prof::capture(|| {
+        let mut w = GoldenWorld {
+            mac: Mac::new(SimRng::from_seed(0).derive(sc.name)),
+        };
+        let mut q = EventQueue::new();
+        (sc.build)(&mut w, &mut q);
+        q.run_until(&mut w, SimTime::ZERO + sc.horizon);
+    });
+    snap.to_json() + "\n"
+}
+
 /// Render a scenario by name to its canonical JSON document (trailing
 /// newline included). Panics on an unknown name.
 pub fn render(name: &str) -> String {

@@ -1,6 +1,7 @@
 //! Umbrella crate re-exporting the PoWiFi workspace; hosts examples/ and tests/.
 pub mod fuzz;
 pub mod golden;
+pub mod profinspect;
 pub mod traceinspect;
 
 pub use powifi_core as core;

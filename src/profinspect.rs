@@ -1,0 +1,442 @@
+//! Offline inspector for `--prof` span-profile JSONL files (the library
+//! behind the `powifi-prof` binary).
+//!
+//! A prof file is a sequence of line pairs in grid order: a point header
+//! (`{"experiment":…,"point":…,"label":…,"seed":…}`) followed by one
+//! span-tree snapshot (`{"wall":…,"spans":[…]}`, the output of
+//! `powifi_sim::obs::prof::ProfSnapshot::to_json`). This module parses
+//! that shape back into a tree and answers the questions the trace
+//! inspector answers for traces:
+//!
+//! * [`render_tree`] — the indented call tree of one point;
+//! * [`top`] — hottest spans across a point, flattened to `a;b;c` paths;
+//! * [`diff`] — first structural divergence between two files, *ignoring
+//!   wall-clock keys* so a release rerun compares clean against a golden;
+//! * [`flame`] — folded-stacks text (`path;leaf self_ns`), the input
+//!   format flamegraph tooling consumes.
+
+use serde::Value;
+
+/// One span node parsed back from a snapshot line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Span name (`mac.dcf.tx`, …).
+    pub name: String,
+    /// Number of times the span was entered.
+    pub count: u64,
+    /// Sim-time attributed directly to this span, nanoseconds.
+    pub sim_self_ns: u64,
+    /// Sim-time including children, nanoseconds.
+    pub sim_total_ns: u64,
+    /// Largest single attribution, nanoseconds.
+    pub sim_max_ns: u64,
+    /// Child spans, in snapshot (name) order.
+    pub children: Vec<Span>,
+}
+
+/// One profiled grid point: its header plus the parsed span roots.
+#[derive(Debug, Clone)]
+pub struct ProfPoint {
+    /// Experiment name from the header line.
+    pub experiment: String,
+    /// Position in the full grid.
+    pub point: u64,
+    /// Point label.
+    pub label: String,
+    /// Derived seed the point ran with.
+    pub seed: u64,
+    /// Whether the snapshot carried wall-clock fields.
+    pub wall: bool,
+    /// Root spans of the point's call tree.
+    pub roots: Vec<Span>,
+}
+
+/// A fully parsed prof file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedProf {
+    /// Points in file (= grid) order.
+    pub points: Vec<ProfPoint>,
+}
+
+fn obj_get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_u64(entries: &[(String, Value)], key: &str) -> Option<u64> {
+    match obj_get(entries, key)? {
+        Value::UInt(u) => Some(*u),
+        Value::Int(i) => u64::try_from(*i).ok(),
+        _ => None,
+    }
+}
+
+fn get_str(entries: &[(String, Value)], key: &str) -> Option<String> {
+    match obj_get(entries, key)? {
+        Value::Str(s) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn parse_span(v: &Value, line: usize) -> Result<Span, String> {
+    let Value::Object(fields) = v else {
+        return Err(format!("line {line}: span is not an object"));
+    };
+    let name =
+        get_str(fields, "name").ok_or_else(|| format!("line {line}: span missing `name`"))?;
+    let need = |key: &str| {
+        get_u64(fields, key)
+            .ok_or_else(|| format!("line {line}: span `{name}` missing unsigned `{key}`"))
+    };
+    let mut children = Vec::new();
+    if let Some(Value::Array(kids)) = obj_get(fields, "children") {
+        for k in kids {
+            children.push(parse_span(k, line)?);
+        }
+    }
+    Ok(Span {
+        count: need("count")?,
+        sim_self_ns: need("sim_self_ns")?,
+        sim_total_ns: need("sim_total_ns")?,
+        sim_max_ns: need("sim_max_ns")?,
+        name,
+        children,
+    })
+}
+
+/// Parse a prof JSONL file. Rejects malformed JSON, missing headers and
+/// snapshot lines that don't match the prof schema, naming the offending
+/// 1-based line.
+pub fn parse(text: &str) -> Result<ParsedProf, String> {
+    let mut out = ParsedProf::default();
+    let mut pending: Option<(ProfPoint, usize)> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let v = serde_json::from_str(raw).map_err(|e| format!("line {line}: {e}"))?;
+        let Value::Object(fields) = &v else {
+            return Err(format!("line {line}: expected a JSON object"));
+        };
+        if obj_get(fields, "experiment").is_some() {
+            // Header line. A dangling previous header (no snapshot) is a
+            // malformed file.
+            if let Some((_, hl)) = pending {
+                return Err(format!("line {hl}: point header has no snapshot line"));
+            }
+            pending = Some((
+                ProfPoint {
+                    experiment: get_str(fields, "experiment")
+                        .ok_or_else(|| format!("line {line}: header `experiment` not a string"))?,
+                    point: get_u64(fields, "point")
+                        .ok_or_else(|| format!("line {line}: header missing `point`"))?,
+                    label: get_str(fields, "label")
+                        .ok_or_else(|| format!("line {line}: header missing `label`"))?,
+                    seed: get_u64(fields, "seed")
+                        .ok_or_else(|| format!("line {line}: header missing `seed`"))?,
+                    wall: false,
+                    roots: Vec::new(),
+                },
+                line,
+            ));
+        } else if obj_get(fields, "spans").is_some() {
+            let (mut pt, _) = pending
+                .take()
+                .ok_or_else(|| format!("line {line}: snapshot with no preceding header"))?;
+            pt.wall = matches!(obj_get(fields, "wall"), Some(Value::Bool(true)));
+            let Some(Value::Array(spans)) = obj_get(fields, "spans") else {
+                return Err(format!("line {line}: `spans` is not an array"));
+            };
+            for s in spans {
+                pt.roots.push(parse_span(s, line)?);
+            }
+            out.points.push(pt);
+        } else {
+            return Err(format!(
+                "line {line}: neither a point header nor a snapshot"
+            ));
+        }
+    }
+    if let Some((_, hl)) = pending {
+        return Err(format!("line {hl}: point header has no snapshot line"));
+    }
+    Ok(out)
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3}s", ns as f64 / 1e9)
+    }
+}
+
+fn render_span(out: &mut String, span: &Span, depth: usize) {
+    out.push_str(&format!(
+        "{:indent$}{} count={} total={} self={} max={}\n",
+        "",
+        span.name,
+        span.count,
+        fmt_ns(span.sim_total_ns),
+        fmt_ns(span.sim_self_ns),
+        fmt_ns(span.sim_max_ns),
+        indent = depth * 2
+    ));
+    for c in &span.children {
+        render_span(out, c, depth + 1);
+    }
+}
+
+/// Indented call tree of one point.
+pub fn render_tree(pt: &ProfPoint) -> String {
+    let mut out = format!(
+        "point {} ({}) seed={}\n",
+        pt.point,
+        if pt.label.is_empty() {
+            "<anon>"
+        } else {
+            &pt.label
+        },
+        pt.seed
+    );
+    if pt.roots.is_empty() {
+        out.push_str("  (no spans)\n");
+    }
+    for r in &pt.roots {
+        render_span(&mut out, r, 1);
+    }
+    out
+}
+
+fn flatten_into<'a>(prefix: &str, span: &'a Span, out: &mut Vec<(String, &'a Span)>) {
+    let path = if prefix.is_empty() {
+        span.name.clone()
+    } else {
+        format!("{prefix};{}", span.name)
+    };
+    out.push((path.clone(), span));
+    for c in &span.children {
+        flatten_into(&path, c, out);
+    }
+}
+
+/// All spans of a point as `(path, span)` pairs, `a;b;c` path syntax.
+pub fn flatten(pt: &ProfPoint) -> Vec<(String, &Span)> {
+    let mut out = Vec::new();
+    for r in &pt.roots {
+        flatten_into("", r, &mut out);
+    }
+    out
+}
+
+/// Sort key for [`top`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopBy {
+    /// Self sim-time (default — where the simulated time actually went).
+    SelfTime,
+    /// Inclusive sim-time.
+    Total,
+    /// Entry count.
+    Count,
+}
+
+impl TopBy {
+    /// Parse a `--by` value.
+    pub fn from_flag(s: &str) -> Result<TopBy, String> {
+        match s {
+            "self" => Ok(TopBy::SelfTime),
+            "total" => Ok(TopBy::Total),
+            "count" => Ok(TopBy::Count),
+            other => Err(format!("--by must be self|total|count, got `{other}`")),
+        }
+    }
+}
+
+/// The `n` hottest span paths of one point, one line each. Ties break on
+/// path, so output is deterministic.
+pub fn top(pt: &ProfPoint, by: TopBy, n: usize) -> String {
+    let mut rows = flatten(pt);
+    rows.sort_by(|(pa, a), (pb, b)| {
+        let ka = match by {
+            TopBy::SelfTime => a.sim_self_ns,
+            TopBy::Total => a.sim_total_ns,
+            TopBy::Count => a.count,
+        };
+        let kb = match by {
+            TopBy::SelfTime => b.sim_self_ns,
+            TopBy::Total => b.sim_total_ns,
+            TopBy::Count => b.count,
+        };
+        kb.cmp(&ka).then_with(|| pa.cmp(pb))
+    });
+    let mut out = String::new();
+    for (path, s) in rows.into_iter().take(n) {
+        out.push_str(&format!(
+            "{:>12} {:>12} {:>8}  {}\n",
+            fmt_ns(s.sim_self_ns),
+            fmt_ns(s.sim_total_ns),
+            s.count,
+            path
+        ));
+    }
+    out
+}
+
+/// Folded-stacks text of one point: `a;b;c self_ns` per span with nonzero
+/// self time (leaves always emitted) — the flamegraph input format.
+pub fn flame(pt: &ProfPoint) -> String {
+    let mut out = String::new();
+    for (path, s) in flatten(pt) {
+        if s.sim_self_ns > 0 || s.children.is_empty() {
+            out.push_str(&format!("{path} {}\n", s.sim_self_ns));
+        }
+    }
+    out
+}
+
+fn diff_spans(path: &str, a: &[Span], b: &[Span]) -> Option<String> {
+    if a.len() != b.len() {
+        return Some(format!("{path}: {} child span(s) vs {}", a.len(), b.len()));
+    }
+    for (x, y) in a.iter().zip(b) {
+        let here = format!("{path}/{}", x.name);
+        if x.name != y.name {
+            return Some(format!("{path}: span `{}` vs `{}`", x.name, y.name));
+        }
+        if x.count != y.count {
+            return Some(format!("{here}: count {} vs {}", x.count, y.count));
+        }
+        if x.sim_self_ns != y.sim_self_ns {
+            return Some(format!(
+                "{here}: sim_self_ns {} vs {}",
+                x.sim_self_ns, y.sim_self_ns
+            ));
+        }
+        if x.sim_total_ns != y.sim_total_ns {
+            return Some(format!(
+                "{here}: sim_total_ns {} vs {}",
+                x.sim_total_ns, y.sim_total_ns
+            ));
+        }
+        if x.sim_max_ns != y.sim_max_ns {
+            return Some(format!(
+                "{here}: sim_max_ns {} vs {}",
+                x.sim_max_ns, y.sim_max_ns
+            ));
+        }
+        if let Some(d) = diff_spans(&here, &x.children, &y.children) {
+            return Some(d);
+        }
+    }
+    None
+}
+
+/// First structural divergence between two prof files, or `None` when they
+/// agree. Wall-clock fields are ignored by construction (the parser never
+/// reads them), so a wall-mode capture diffs clean against a sim-only one
+/// as long as the sim-time tree matches.
+pub fn diff(a: &ParsedProf, b: &ParsedProf) -> Option<String> {
+    if a.points.len() != b.points.len() {
+        return Some(format!(
+            "point count differs: {} vs {}",
+            a.points.len(),
+            b.points.len()
+        ));
+    }
+    for (i, (x, y)) in a.points.iter().zip(&b.points).enumerate() {
+        if x.experiment != y.experiment || x.point != y.point || x.label != y.label {
+            return Some(format!(
+                "point {i}: header ({}, {}, {}) vs ({}, {}, {})",
+                x.experiment, x.point, x.label, y.experiment, y.point, y.label
+            ));
+        }
+        if x.seed != y.seed {
+            return Some(format!("point {i}: seed {} vs {}", x.seed, y.seed));
+        }
+        if let Some(d) = diff_spans(&format!("point {i}"), &x.roots, &y.roots) {
+            return Some(d);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEADER: &str = r#"{"experiment":"fig05","point":0,"label":"r=1","seed":7}"#;
+    const SNAP: &str = r#"{"wall":false,"spans":[{"name":"sim.event","count":3,"sim_self_ns":100,"sim_total_ns":400,"sim_max_ns":90,"children":[{"name":"mac.dcf.tx","count":2,"sim_self_ns":300,"sim_total_ns":300,"sim_max_ns":200,"children":[]}]}]}"#;
+
+    fn sample() -> String {
+        format!("{HEADER}\n{SNAP}\n")
+    }
+
+    #[test]
+    fn parses_header_snapshot_pairs() {
+        let p = parse(&sample()).unwrap();
+        assert_eq!(p.points.len(), 1);
+        let pt = &p.points[0];
+        assert_eq!(pt.experiment, "fig05");
+        assert_eq!(pt.seed, 7);
+        assert!(!pt.wall);
+        assert_eq!(pt.roots.len(), 1);
+        assert_eq!(pt.roots[0].children[0].name, "mac.dcf.tx");
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let e = parse("{\"bogus\":1}\n").unwrap_err();
+        assert!(e.starts_with("line 1:"), "{e}");
+        let e = parse(&format!("{HEADER}\n")).unwrap_err();
+        assert!(e.contains("no snapshot"), "{e}");
+        let e = parse(&format!("{SNAP}\n")).unwrap_err();
+        assert!(e.contains("no preceding header"), "{e}");
+        let bad_span = r#"{"wall":false,"spans":[{"name":"x","count":1}]}"#;
+        let e = parse(&format!("{HEADER}\n{bad_span}\n")).unwrap_err();
+        assert!(e.contains("line 2") && e.contains("sim_self_ns"), "{e}");
+    }
+
+    #[test]
+    fn tree_top_and_flame_render() {
+        let p = parse(&sample()).unwrap();
+        let tree = render_tree(&p.points[0]);
+        assert!(tree.contains("sim.event count=3"), "{tree}");
+        assert!(tree.contains("  mac.dcf.tx"), "{tree}");
+
+        let by_self = top(&p.points[0], TopBy::SelfTime, 10);
+        // mac.dcf.tx has more self time than sim.event.
+        let first = by_self.lines().next().unwrap();
+        assert!(first.ends_with("sim.event;mac.dcf.tx"), "{by_self}");
+        let by_count = top(&p.points[0], TopBy::Count, 1);
+        assert!(by_count.trim_end().ends_with("sim.event"), "{by_count}");
+
+        let folded = flame(&p.points[0]);
+        assert_eq!(folded, "sim.event 100\nsim.event;mac.dcf.tx 300\n");
+    }
+
+    #[test]
+    fn diff_ignores_wall_but_not_sim_time() {
+        let a = parse(&sample()).unwrap();
+        // Same tree with wall fields present: still identical.
+        let wall_snap = SNAP.replace("\"wall\":false", "\"wall\":true").replace(
+            "\"sim_max_ns\":200,",
+            "\"sim_max_ns\":200,\"wall_ms\":1.5,\"max_wall_ms\":1.0,",
+        );
+        let b = parse(&format!("{HEADER}\n{wall_snap}\n")).unwrap();
+        assert_eq!(diff(&a, &b), None);
+        // A sim-time change is reported with its path.
+        let c = parse(&sample().replace("\"sim_self_ns\":300", "\"sim_self_ns\":301")).unwrap();
+        let msg = diff(&a, &c).unwrap();
+        assert!(
+            msg.contains("mac.dcf.tx") && msg.contains("sim_self_ns"),
+            "{msg}"
+        );
+        // Point-count mismatch is reported.
+        let d = parse(&format!("{}{}", sample(), sample())).unwrap();
+        assert!(diff(&a, &d).unwrap().contains("point count"));
+    }
+}

@@ -35,6 +35,9 @@ pub struct Rec {
     pub fields: Vec<(String, Value)>,
     /// The raw line, for faithful re-printing.
     pub raw: String,
+    /// 1-based line number in the source file, so schema violations point
+    /// straight at the offending line.
+    pub line: usize,
 }
 
 impl Rec {
@@ -164,6 +167,7 @@ pub fn parse(text: &str) -> Result<ParsedTrace, String> {
             kind,
             fields,
             raw: line.to_string(),
+            line: lineno,
         });
     }
     Ok(out)
@@ -340,7 +344,7 @@ pub fn validate(trace: &ParsedTrace) -> Vec<String> {
     let mut problems = Vec::new();
     for (pi, point) in trace.points.iter().enumerate() {
         for (ri, rec) in point.records.iter().enumerate() {
-            let loc = format!("point {pi} record {ri} ({})", rec.kind);
+            let loc = format!("line {}: point {pi} record {ri} ({})", rec.line, rec.kind);
             let Some((_, layer, fields)) = SCHEMA.iter().find(|(k, _, _)| *k == rec.kind) else {
                 problems.push(format!("{loc}: unknown event kind"));
                 continue;
@@ -559,6 +563,20 @@ mod tests {
         assert!(problems
             .iter()
             .any(|p| p.contains("`qdepth` has wrong type")));
+        // Problems carry the 1-based source line: the mangled tx_end is
+        // line 3 (after the header), the mangled injector_gate line 4.
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.starts_with("line 3:") && p.contains("unknown event kind")),
+            "{problems:?}"
+        );
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.starts_with("line 4:") && p.contains("`qdepth`")),
+            "{problems:?}"
+        );
     }
 
     #[test]

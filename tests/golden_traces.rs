@@ -144,6 +144,57 @@ fn injector_gated_obs_trace_matches_golden() {
     }
 }
 
+/// Byte-compare the sim-time span profile (`obs::prof` snapshot) of one
+/// canonical scenario against its committed snapshot. Wall timing is off
+/// during capture, and the committed bytes are compared under whatever
+/// profile the tests run in — so this is the debug/release byte-identity
+/// gate for profiler output.
+#[test]
+fn injector_gated_prof_matches_golden() {
+    let actual = powifi::golden::render_prof("injector_gated");
+    assert!(
+        !actual.contains("wall_ms"),
+        "golden prof capture must not carry wall-clock keys:\n{actual}"
+    );
+    let path = golden_path("x")
+        .parent()
+        .unwrap()
+        .join("injector_gated.prof.jsonl");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden prof snapshot {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    if expected != actual {
+        panic!(
+            "golden prof drift for injector_gated\n{}\nIf intentional, regenerate \
+             with: UPDATE_GOLDEN=1 cargo test --test golden_traces",
+            first_diff(&expected, &actual)
+        );
+    }
+}
+
+#[test]
+fn prof_snapshots_are_deterministic_and_nonempty() {
+    for sc in powifi::golden::scenarios() {
+        let a = powifi::golden::render_prof(sc.name);
+        let b = powifi::golden::render_prof(sc.name);
+        assert_eq!(a, b, "scenario {} profile differs on repeat", sc.name);
+        assert!(
+            a.contains("\"sim.event\""),
+            "scenario {} profile has no event spans: {a}",
+            sc.name
+        );
+    }
+    // The profiler must be off again after the captures above.
+    assert!(!powifi::sim::obs::prof::enabled());
+}
+
 #[test]
 fn obs_traces_are_deterministic_and_schema_clean() {
     for sc in powifi::golden::scenarios() {
