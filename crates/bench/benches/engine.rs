@@ -5,10 +5,10 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use powifi_core::{Router, RouterConfig};
 use powifi_deploy::three_channel_world;
 use powifi_harvest::{MatchingNetwork, Rectifier};
-use powifi_mac::{enqueue, Frame, Mac, MacWorld, RateController, StationId};
-use powifi_net::{start_tcp_flow, tcp_push, NetState, NetWorld};
+use powifi_mac::{enqueue, Frame, Mac, MacWorld, Queue, RateController, StationId};
+use powifi_net::{dispatch_stack, start_tcp_flow, tcp_push, NetState, NetWorld, StackEvent};
 use powifi_rf::{Bitrate, Dbm, Hertz};
-use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use powifi_sim::{Dispatch, EventQueue, SimDuration, SimRng, SimTime};
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue/schedule_and_run_10k", |b| {
@@ -27,20 +27,43 @@ fn bench_event_queue(c: &mut Criterion) {
             assert_eq!(w, 10_000);
         })
     });
+    struct Counter(u64);
+    impl Dispatch<u32> for Counter {
+        fn dispatch(&mut self, _q: &mut EventQueue<Self, u32>, ev: u32) {
+            self.0 += u64::from(ev);
+        }
+    }
+    c.bench_function("event_queue/post_and_run_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::<Counter, u32>::new();
+            let mut w = Counter(0);
+            for i in 0..10_000u64 {
+                q.post_at(SimTime::from_nanos((i * 2_654_435_761) % 1_000_000), 1u32);
+            }
+            q.run_to_completion(&mut w);
+            assert_eq!(w.0, 10_000);
+        })
+    });
 }
 
 struct W {
     mac: Mac,
     net: NetState,
 }
+impl Dispatch<StackEvent> for W {
+    fn dispatch(&mut self, q: &mut Queue<Self>, ev: StackEvent) {
+        dispatch_stack(self, q, ev);
+    }
+}
 impl MacWorld for W {
+    type Ev = StackEvent;
     fn mac(&self) -> &Mac {
         &self.mac
     }
     fn mac_mut(&mut self) -> &mut Mac {
         &mut self.mac
     }
-    fn deliver(&mut self, q: &mut EventQueue<Self>, rx: StationId, frame: &Frame) {
+    fn deliver(&mut self, q: &mut Queue<Self>, rx: StationId, frame: &Frame) {
         powifi_net::on_deliver(self, q, rx, frame);
     }
 }
@@ -62,7 +85,7 @@ fn bench_mac_saturation(c: &mut Criterion) {
             };
             let m = w.mac.add_medium(SimDuration::from_secs(1));
             let sta = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
-            let mut q = EventQueue::new();
+            let mut q = Queue::new();
             q.schedule_repeating(
                 SimTime::ZERO,
                 SimDuration::from_micros(100),
@@ -88,7 +111,7 @@ fn bench_tcp(c: &mut Criterion) {
             let m = w.mac.add_medium(SimDuration::from_secs(1));
             let ap = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
             let cl = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
-            let mut q = EventQueue::new();
+            let mut q = Queue::new();
             let flow = start_tcp_flow(&mut w, ap, cl);
             q.schedule_at(SimTime::ZERO, move |w: &mut W, q| {
                 tcp_push(w, q, flow, 100_000_000);

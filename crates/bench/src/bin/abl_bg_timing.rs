@@ -84,7 +84,7 @@ impl Experiment for BgTiming {
             end,
         );
         q.run_until(&mut w, end);
-        let Some(Flow::Udp(u)) = w.net.flows.get(&flow) else {
+        let Some(Flow::Udp(u)) = w.net.flow(flow) else {
             unreachable!()
         };
         let (_, cum) = r.occupancy(&w.mac, end);

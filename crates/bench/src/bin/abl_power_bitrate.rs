@@ -88,7 +88,7 @@ impl Experiment for PowerBitrate {
             end,
         );
         q.run_until(&mut w, end);
-        let Some(Flow::Udp(u)) = w.net.flows.get(&flow) else {
+        let Some(Flow::Udp(u)) = w.net.flow(flow) else {
             unreachable!()
         };
         let (_, cum) = s.router.occupancy(&w.mac, end);

@@ -81,7 +81,7 @@ impl Experiment for SilentSlot {
             end,
         );
         q.run_until(&mut w, end);
-        let Some(Flow::Udp(u)) = w.net.flows.get(&flow) else {
+        let Some(Flow::Udp(u)) = w.net.flow(flow) else {
             unreachable!()
         };
         let (_, cum) = s.router.occupancy(&w.mac, end);

@@ -8,11 +8,11 @@ use powifi_deploy::{
     constant_intensity, install_background, install_traffic_source, BackgroundConfig, SimWorld,
 };
 use powifi_harvest::{rectifier_trace, summarize as trace_summary, Rectifier, RectifierNode};
-use powifi_mac::{Mac, MacWorld, RateController};
+use powifi_mac::{Mac, MacWorld, Queue, RateController};
 use powifi_net::NetState;
 use powifi_rf::{Bitrate, Db, Meters, PathLoss, WifiChannel};
 use powifi_sensors::sensor_pathloss;
-use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use powifi_sim::{SimDuration, SimRng, SimTime};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -58,7 +58,7 @@ impl Experiment for RectifierFig {
             mac: Mac::new(rng.derive("mac")),
             net: NetState::new(),
         };
-        let mut q = EventQueue::new();
+        let mut q = Queue::new();
         let medium = w.mac.add_medium(SimDuration::from_millis(100));
         let router = Router::install(
             &mut w,

@@ -7,10 +7,10 @@
 use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
 use powifi_core::{spawn_injector, PowerTrafficConfig, Scheme};
 use powifi_deploy::{constant_intensity, install_background, BackgroundConfig, SimWorld};
-use powifi_mac::{Mac, MacWorld, RateController};
+use powifi_mac::{Mac, MacWorld, Queue, RateController};
 use powifi_net::NetState;
 use powifi_rf::Bitrate;
-use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use powifi_sim::{SimDuration, SimRng, SimTime};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -71,7 +71,7 @@ impl Experiment for OccupancyVsDelay {
             mac: Mac::new(rng.derive("mac")),
             net: NetState::new(),
         };
-        let mut q = EventQueue::new();
+        let mut q = Queue::new();
         let medium = w.mac.add_medium(SimDuration::from_secs(1));
         let iface = w
             .mac

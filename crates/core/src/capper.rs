@@ -10,8 +10,8 @@
 
 use crate::injector::InjectorHandle;
 use crate::router::Router;
-use powifi_mac::{MacWorld, MediumId};
-use powifi_sim::{EventQueue, SimDuration, SimTime};
+use powifi_mac::{MacWorld, MediumId, Queue};
+use powifi_sim::{SimDuration, SimTime};
 
 /// Controller configuration.
 #[derive(Debug, Clone, Copy)]
@@ -38,12 +38,13 @@ impl Default for CapperConfig {
 }
 
 /// Spawn the capper controlling `router`'s injectors.
-pub fn spawn_capper<W: MacWorld>(q: &mut EventQueue<W>, router: &Router, cfg: CapperConfig) {
+pub fn spawn_capper<W: MacWorld>(q: &mut Queue<W>, router: &Router, cfg: CapperConfig) {
     let mediums: Vec<MediumId> = router.ifaces.iter().map(|i| i.medium).collect();
     let injectors: Vec<InjectorHandle> = router.injectors.clone();
     // Previous cumulative on-air seconds, to compute windowed occupancy.
     let mut prev_total = 0.0f64;
     let mut prev_t = SimTime::ZERO;
+    // powifi-lint: allow(R8) — 500 ms control loop, cold path
     q.schedule_repeating(
         SimTime::ZERO + cfg.interval,
         cfg.interval,
@@ -79,10 +80,19 @@ mod tests {
     use powifi_rf::WifiChannel;
     use powifi_sim::SimRng;
 
+    use crate::{dispatch_core_stack, CoreStackEvent};
+    use powifi_sim::Dispatch;
+
     struct W {
         mac: Mac,
     }
+    impl Dispatch<CoreStackEvent> for W {
+        fn dispatch(&mut self, q: &mut Queue<Self>, ev: CoreStackEvent) {
+            dispatch_core_stack(self, q, ev);
+        }
+    }
     impl MacWorld for W {
+        type Ev = CoreStackEvent;
         fn mac(&self) -> &Mac {
             &self.mac
         }
@@ -99,7 +109,7 @@ mod tests {
             .iter()
             .map(|&ch| (ch, w.mac.add_medium(SimDuration::from_secs(1))))
             .collect();
-        let mut q = EventQueue::new();
+        let mut q = Queue::<W>::new();
         let rng = SimRng::from_seed(5);
         let r = Router::install(&mut w, &mut q, &channels, RouterConfig::powifi(), &rng);
         if let Some(t) = target {

@@ -8,8 +8,9 @@
 
 use crate::config::PowerTrafficConfig;
 use crate::stack::{ip_power_check, IpPowerVerdict};
-use powifi_mac::{enqueue, Frame, MacWorld, StationId};
-use powifi_sim::{EventQueue, SimRng, SimTime};
+use crate::CoreEvent;
+use powifi_mac::{enqueue, Frame, MacWorld, Queue, StationId};
+use powifi_sim::{SimRng, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -61,112 +62,144 @@ impl InjectorCtl {
 /// Handle to a running injector.
 pub type InjectorHandle = Rc<RefCell<InjectorCtl>>;
 
+/// Spawn-time state of one injector, carried inside its
+/// [`CoreEvent::InjectorTick`] event: the traffic config, the injector's
+/// private RNG stream, and the shared control block. Allocated once at
+/// [`spawn_injector`]; every tick re-posts the same block.
+pub struct InjectorSt {
+    iface: StationId,
+    cfg: PowerTrafficConfig,
+    rng: SimRng,
+    ctl: InjectorHandle,
+}
+
 /// Start an injector on `iface`, first tick at `start`. Returns the shared
 /// control block.
-pub fn spawn_injector<W: MacWorld>(
-    q: &mut EventQueue<W>,
+pub fn spawn_injector<W>(
+    q: &mut Queue<W>,
     iface: StationId,
     cfg: PowerTrafficConfig,
     rng: SimRng,
     start: SimTime,
-) -> InjectorHandle {
+) -> InjectorHandle
+where
+    W: MacWorld,
+    W::Ev: From<CoreEvent>,
+{
     let ctl: InjectorHandle = Rc::new(RefCell::new(InjectorCtl::default()));
-    let ctl2 = ctl.clone();
-    q.schedule_at(start, move |w, q| tick(w, q, iface, cfg, rng, ctl2));
+    let st = Rc::new(RefCell::new(InjectorSt {
+        iface,
+        cfg,
+        rng,
+        ctl: ctl.clone(),
+    }));
+    q.post_at(start, CoreEvent::InjectorTick(st).into());
     ctl
 }
 
-fn tick<W: MacWorld>(
-    w: &mut W,
-    q: &mut EventQueue<W>,
-    iface: StationId,
-    cfg: PowerTrafficConfig,
-    mut rng: SimRng,
-    ctl: InjectorHandle,
-) {
+pub(crate) fn injector_tick<W>(w: &mut W, q: &mut Queue<W>, st: Rc<RefCell<InjectorSt>>)
+where
+    W: MacWorld,
+    W::Ev: From<CoreEvent>,
+{
     let _prof = powifi_sim::obs::prof::span("core.injector.tick");
-    let (enabled, delay_scale) = {
-        let c = ctl.borrow();
-        (c.enabled, c.delay_scale)
-    };
-    if enabled {
-        let verdict = {
-            let _prof = powifi_sim::obs::prof::span("core.injector.qdepth_poll");
-            ip_power_check(w.mac(), iface, cfg.qdepth_threshold)
-        };
-        if powifi_sim::obs::trace::enabled() {
-            let open = matches!(verdict, IpPowerVerdict::Admit);
-            let mut c = ctl.borrow_mut();
-            if c.gate_open != Some(open) {
-                c.gate_open = Some(open);
-                powifi_sim::obs::trace::emit(
-                    q.now(),
-                    powifi_sim::obs::trace::TraceEvent::InjectorGate {
-                        iface: iface.0,
-                        open,
-                        qdepth: w.mac().queue_depth(iface) as u32,
-                    },
-                );
-            }
-        }
-        match verdict {
-            IpPowerVerdict::Admit => {
-                let frame = Frame::power(iface, cfg.payload_bytes, cfg.bitrate);
-                if enqueue(w, q, iface, frame) {
-                    ctl.borrow_mut().sent += 1;
+    // One borrow of the spawn-time state and one of the shared control block
+    // for the whole tick. Nothing reached from here (enqueue → MAC, trace,
+    // conformance) touches either RefCell, and holding them saves an Rc
+    // clone plus several borrow round-trips on the hottest event in the
+    // tier-1 scenarios.
+    let delay = {
+        let mut s = st.borrow_mut();
+        let s = &mut *s;
+        let iface = s.iface;
+        let cfg = s.cfg;
+        let mut c = s.ctl.borrow_mut();
+        if c.enabled {
+            let verdict = {
+                let _prof = powifi_sim::obs::prof::span("core.injector.qdepth_poll");
+                ip_power_check(w.mac(), iface, cfg.qdepth_threshold)
+            };
+            if powifi_sim::obs::trace::enabled() {
+                let open = matches!(verdict, IpPowerVerdict::Admit);
+                if c.gate_open != Some(open) {
+                    c.gate_open = Some(open);
                     powifi_sim::obs::trace::emit(
                         q.now(),
-                        powifi_sim::obs::trace::TraceEvent::PowerPacket {
+                        powifi_sim::obs::trace::TraceEvent::InjectorGate {
                             iface: iface.0,
-                            bytes: cfg.payload_bytes,
+                            open,
+                            qdepth: w.mac().queue_depth(iface) as u32,
                         },
                     );
-                } else {
-                    ctl.borrow_mut().queue_full += 1;
                 }
-                if powifi_sim::conformance::enabled() {
-                    // §3.2 contract: admission requires depth < threshold,
-                    // so right after an admission depth ≤ threshold; more
-                    // means the IP_Power check let traffic pile up behind
-                    // the MAC's back.
-                    if let Some(t) = cfg.qdepth_threshold {
-                        let depth = w.mac().queue_depth(iface);
-                        if depth > t {
-                            powifi_sim::conformance::report(
-                                "core/qdepth-threshold",
-                                q.now(),
-                                format!(
-                                    "iface {} queue depth {depth} after admit, threshold {t}",
-                                    iface.0
-                                ),
-                            );
+            }
+            match verdict {
+                IpPowerVerdict::Admit => {
+                    let frame = Frame::power(iface, cfg.payload_bytes, cfg.bitrate);
+                    if enqueue(w, q, iface, frame) {
+                        c.sent += 1;
+                        powifi_sim::obs::trace::emit(
+                            q.now(),
+                            powifi_sim::obs::trace::TraceEvent::PowerPacket {
+                                iface: iface.0,
+                                bytes: cfg.payload_bytes,
+                            },
+                        );
+                    } else {
+                        c.queue_full += 1;
+                    }
+                    if powifi_sim::conformance::enabled() {
+                        // §3.2 contract: admission requires depth < threshold,
+                        // so right after an admission depth ≤ threshold; more
+                        // means the IP_Power check let traffic pile up behind
+                        // the MAC's back.
+                        if let Some(t) = cfg.qdepth_threshold {
+                            let depth = w.mac().queue_depth(iface);
+                            if depth > t {
+                                powifi_sim::conformance::report(
+                                    "core/qdepth-threshold",
+                                    q.now(),
+                                    format!(
+                                        "iface {} queue depth {depth} after admit, threshold {t}",
+                                        iface.0
+                                    ),
+                                );
+                            }
                         }
                     }
                 }
-            }
-            IpPowerVerdict::Drop => {
-                ctl.borrow_mut().dropped += 1;
+                IpPowerVerdict::Drop => {
+                    c.dropped += 1;
+                }
             }
         }
-    }
-    let base = cfg.inter_packet_delay.as_nanos() as f64 * delay_scale.max(0.01);
-    let delay =
-        powifi_sim::SimDuration::from_nanos(base.round() as u64) + cfg.jitter.sample(&mut rng);
-    q.schedule_in(delay, move |w, q| tick(w, q, iface, cfg, rng, ctl));
+        let base = cfg.inter_packet_delay.as_nanos() as f64 * c.delay_scale.max(0.01);
+        drop(c);
+        let jitter = cfg.jitter.sample(&mut s.rng);
+        powifi_sim::SimDuration::from_nanos(base.round() as u64) + jitter
+    };
+    q.post_in(delay, CoreEvent::InjectorTick(st).into());
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::JitterModel;
+    use crate::{dispatch_core_stack, CoreStackEvent};
     use powifi_mac::{Mac, RateController};
     use powifi_rf::Bitrate;
-    use powifi_sim::{SimDuration, SimTime};
+    use powifi_sim::{Dispatch, SimDuration, SimTime};
 
     struct W {
         mac: Mac,
     }
+    impl Dispatch<CoreStackEvent> for W {
+        fn dispatch(&mut self, q: &mut Queue<Self>, ev: CoreStackEvent) {
+            dispatch_core_stack(self, q, ev);
+        }
+    }
     impl MacWorld for W {
+        type Ev = CoreStackEvent;
         fn mac(&self) -> &Mac {
             &self.mac
         }
@@ -175,7 +208,7 @@ mod tests {
         }
     }
 
-    fn setup() -> (W, EventQueue<W>, StationId) {
+    fn setup() -> (W, Queue<W>, StationId) {
         let mut w = W {
             mac: Mac::new(SimRng::from_seed(1)),
         };
@@ -185,7 +218,7 @@ mod tests {
             let mon = w.mac.monitor_mut(m).monitor();
             mon.track(sta);
         }
-        (w, EventQueue::new(), sta)
+        (w, Queue::new(), sta)
     }
 
     fn cfg(threshold: Option<usize>) -> PowerTrafficConfig {

@@ -6,9 +6,10 @@
 //! colliding power traffic is harmless and every router's channels stay hot.
 
 use crate::router::{Router, RouterConfig};
-use powifi_mac::{MacWorld, MediumId};
+use crate::CoreEvent;
+use powifi_mac::{MacWorld, MediumId, Queue};
 use powifi_rf::WifiChannel;
-use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use powifi_sim::{SimDuration, SimRng, SimTime};
 
 /// How a fleet of routers shares the air for power traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,15 +25,19 @@ pub enum FleetMode {
 
 /// Install `n` routers over the same channel set and arrange their power
 /// traffic per `mode`.
-pub fn install_fleet<W: MacWorld>(
+pub fn install_fleet<W>(
     w: &mut W,
-    q: &mut EventQueue<W>,
+    q: &mut Queue<W>,
     channels: &[(WifiChannel, MediumId)],
     n: usize,
     cfg: RouterConfig,
     mode: FleetMode,
     rng: &SimRng,
-) -> Vec<Router> {
+) -> Vec<Router>
+where
+    W: MacWorld,
+    W::Ev: From<CoreEvent>,
+{
     assert!(n >= 1);
     let routers: Vec<Router> = (0..n)
         .map(|i| Router::install(w, q, channels, cfg, &rng.derive_idx("router", i)))
@@ -48,6 +53,7 @@ pub fn install_fleet<W: MacWorld>(
             }
         }
         let mut turn = 0usize;
+        // powifi-lint: allow(R8) — slot rotation every `slot_ms` ms, cold path
         q.schedule_repeating(
             SimTime::from_millis(slot_ms),
             SimDuration::from_millis(slot_ms),
@@ -67,13 +73,20 @@ pub fn install_fleet<W: MacWorld>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{dispatch_core_stack, CoreStackEvent};
     use powifi_mac::Mac;
-    use powifi_sim::SimTime;
+    use powifi_sim::{Dispatch, SimTime};
 
     struct W {
         mac: Mac,
     }
+    impl Dispatch<CoreStackEvent> for W {
+        fn dispatch(&mut self, q: &mut Queue<Self>, ev: CoreStackEvent) {
+            dispatch_core_stack(self, q, ev);
+        }
+    }
     impl MacWorld for W {
+        type Ev = CoreStackEvent;
         fn mac(&self) -> &Mac {
             &self.mac
         }
@@ -90,7 +103,7 @@ mod tests {
             .iter()
             .map(|&ch| (ch, w.mac.add_medium(SimDuration::from_secs(1))))
             .collect();
-        let mut q = EventQueue::new();
+        let mut q = Queue::<W>::new();
         let rng = SimRng::from_seed(3);
         let routers = install_fleet(
             &mut w,
@@ -145,7 +158,7 @@ mod tests {
             .iter()
             .map(|&ch| (ch, w.mac.add_medium(SimDuration::from_secs(1))))
             .collect();
-        let mut q = EventQueue::new();
+        let mut q = Queue::<W>::new();
         let rng = SimRng::from_seed(3);
         install_fleet(
             &mut w,

@@ -6,9 +6,10 @@
 //! ordinary (protocol-compliant or greedy) station blasting junk broadcast
 //! frames; the ablation bench measures delivered power vs attack intensity.
 
-use powifi_mac::{enqueue, Frame, MacWorld, MediumId, RateController, StationId};
+use crate::CoreEvent;
+use powifi_mac::{enqueue, Frame, MacWorld, MediumId, Queue, RateController, StationId};
 use powifi_rf::Bitrate;
-use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use powifi_sim::{SimDuration, SimRng, SimTime};
 
 /// Attack configuration.
 #[derive(Debug, Clone, Copy)]
@@ -46,36 +47,57 @@ impl AttackConfig {
 }
 
 /// Spawn an attacker station on `medium`. Returns its station id.
-pub fn spawn_attacker<W: MacWorld>(
+pub fn spawn_attacker<W>(
     w: &mut W,
-    q: &mut EventQueue<W>,
+    q: &mut Queue<W>,
     medium: MediumId,
     cfg: AttackConfig,
     _rng: &SimRng,
-) -> StationId {
+) -> StationId
+where
+    W: MacWorld,
+    W::Ev: From<CoreEvent>,
+{
     let sta = w
         .mac_mut()
         .add_station(medium, RateController::fixed(cfg.bitrate));
-    q.schedule_repeating(SimTime::ZERO, cfg.period, move |w: &mut W, q| {
-        if w.mac().queue_depth(sta) < cfg.queue_target {
-            let f = Frame::power(sta, cfg.payload_bytes, cfg.bitrate);
-            enqueue(w, q, sta, f);
-        }
-    });
+    q.post_at(SimTime::ZERO, CoreEvent::AttackTick { sta, cfg }.into());
     sta
+}
+
+/// One injection attempt (routed here from [`crate::dispatch_core`]): top
+/// the attacker's queue up to its target, then re-post.
+pub(crate) fn attack_tick<W>(w: &mut W, q: &mut Queue<W>, sta: StationId, cfg: AttackConfig)
+where
+    W: MacWorld,
+    W::Ev: From<CoreEvent>,
+{
+    if w.mac().queue_depth(sta) < cfg.queue_target {
+        let f = Frame::power(sta, cfg.payload_bytes, cfg.bitrate);
+        enqueue(w, q, sta, f);
+    }
+    q.post_in(cfg.period, CoreEvent::AttackTick { sta, cfg }.into());
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::router::{Router, RouterConfig};
+    use crate::{dispatch_core_stack, CoreStackEvent};
     use powifi_mac::Mac;
     use powifi_rf::WifiChannel;
+    use powifi_sim::Dispatch;
 
     struct W {
         mac: Mac,
     }
+    impl Dispatch<CoreStackEvent> for W {
+        fn dispatch(&mut self, q: &mut Queue<Self>, ev: CoreStackEvent) {
+            dispatch_core_stack(self, q, ev);
+        }
+    }
     impl MacWorld for W {
+        type Ev = CoreStackEvent;
         fn mac(&self) -> &Mac {
             &self.mac
         }
@@ -92,7 +114,7 @@ mod tests {
             .iter()
             .map(|&ch| (ch, w.mac.add_medium(SimDuration::from_secs(1))))
             .collect();
-        let mut q = EventQueue::new();
+        let mut q = Queue::<W>::new();
         let rng = SimRng::from_seed(5);
         let r = Router::install(&mut w, &mut q, &channels, RouterConfig::powifi(), &rng);
         if let Some(a) = attack {

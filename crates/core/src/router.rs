@@ -4,9 +4,10 @@
 
 use crate::config::Scheme;
 use crate::injector::{spawn_injector, InjectorHandle};
-use powifi_mac::{start_beacons, Mac, MacWorld, MediumId, RateController, StationId};
+use crate::CoreEvent;
+use powifi_mac::{start_beacons, Mac, MacWorld, MediumId, Queue, RateController, StationId};
 use powifi_rf::{Bitrate, WifiChannel};
-use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use powifi_sim::{SimDuration, SimRng, SimTime};
 
 /// One wireless interface of the router.
 #[derive(Debug, Clone, Copy)]
@@ -63,13 +64,17 @@ impl Router {
     /// medium)` pair, marks it tracked in the channel monitor, starts
     /// beacons and the scheme's injectors. The first interface is the one
     /// that serves clients (channel 1 in the paper).
-    pub fn install<W: MacWorld>(
+    pub fn install<W>(
         w: &mut W,
-        q: &mut EventQueue<W>,
+        q: &mut Queue<W>,
         channels: &[(WifiChannel, MediumId)],
         cfg: RouterConfig,
         rng: &SimRng,
-    ) -> Router {
+    ) -> Router
+    where
+        W: MacWorld,
+        W::Ev: From<CoreEvent>,
+    {
         assert!(!channels.is_empty(), "router needs at least one interface");
         let mut ifaces = Vec::new();
         let mut injectors = Vec::new();
@@ -158,11 +163,19 @@ impl Router {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{dispatch_core_stack, CoreStackEvent};
+    use powifi_sim::Dispatch;
 
     struct W {
         mac: Mac,
     }
+    impl Dispatch<CoreStackEvent> for W {
+        fn dispatch(&mut self, q: &mut Queue<Self>, ev: CoreStackEvent) {
+            dispatch_core_stack(self, q, ev);
+        }
+    }
     impl MacWorld for W {
+        type Ev = CoreStackEvent;
         fn mac(&self) -> &Mac {
             &self.mac
         }
@@ -171,7 +184,7 @@ mod tests {
         }
     }
 
-    fn three_channel_world() -> (W, EventQueue<W>, Vec<(WifiChannel, MediumId)>) {
+    fn three_channel_world() -> (W, Queue<W>, Vec<(WifiChannel, MediumId)>) {
         let mut w = W {
             mac: Mac::new(SimRng::from_seed(1)),
         };
@@ -179,7 +192,7 @@ mod tests {
             .iter()
             .map(|&ch| (ch, w.mac.add_medium(SimDuration::from_secs(1))))
             .collect();
-        (w, EventQueue::new(), channels)
+        (w, Queue::new(), channels)
     }
 
     #[test]

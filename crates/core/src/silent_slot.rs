@@ -9,9 +9,10 @@
 //! design.
 
 use crate::injector::{InjectorCtl, InjectorHandle};
-use powifi_mac::{enqueue, Frame, MacWorld, StationId};
+use crate::CoreEvent;
+use powifi_mac::{enqueue, Frame, MacWorld, Queue, StationId};
 use powifi_rf::Bitrate;
-use powifi_sim::{EventQueue, SimDuration, SimTime};
+use powifi_sim::{SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -42,25 +43,39 @@ impl Default for SilentSlotConfig {
 /// Start a silent-slot injector on `iface`. Returns the shared control
 /// block (same shape as the queue-threshold injector's, so cappers and
 /// fleet controllers compose).
-pub fn spawn_silent_injector<W: MacWorld>(
-    q: &mut EventQueue<W>,
+pub fn spawn_silent_injector<W>(
+    q: &mut Queue<W>,
     iface: StationId,
     cfg: SilentSlotConfig,
     start: SimTime,
-) -> InjectorHandle {
+) -> InjectorHandle
+where
+    W: MacWorld,
+    W::Ev: From<CoreEvent>,
+{
     let ctl: InjectorHandle = Rc::new(RefCell::new(InjectorCtl::default()));
-    let ctl2 = ctl.clone();
-    q.schedule_at(start, move |w, q| tick(w, q, iface, cfg, ctl2));
+    q.post_at(
+        start,
+        CoreEvent::SilentTick {
+            iface,
+            cfg,
+            ctl: ctl.clone(),
+        }
+        .into(),
+    );
     ctl
 }
 
-fn tick<W: MacWorld>(
+pub(crate) fn silent_tick<W>(
     w: &mut W,
-    q: &mut EventQueue<W>,
+    q: &mut Queue<W>,
     iface: StationId,
     cfg: SilentSlotConfig,
     ctl: InjectorHandle,
-) {
+) where
+    W: MacWorld,
+    W::Ev: From<CoreEvent>,
+{
     let enabled = ctl.borrow().enabled;
     if enabled {
         let now = q.now();
@@ -79,19 +94,26 @@ fn tick<W: MacWorld>(
             ctl.borrow_mut().dropped += 1;
         }
     }
-    q.schedule_in(cfg.poll, move |w, q| tick(w, q, iface, cfg, ctl));
+    q.post_in(cfg.poll, CoreEvent::SilentTick { iface, cfg, ctl }.into());
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{dispatch_core_stack, CoreStackEvent};
     use powifi_mac::{Mac, RateController};
-    use powifi_sim::SimRng;
+    use powifi_sim::{Dispatch, SimRng};
 
     struct W {
         mac: Mac,
     }
+    impl Dispatch<CoreStackEvent> for W {
+        fn dispatch(&mut self, q: &mut Queue<Self>, ev: CoreStackEvent) {
+            dispatch_core_stack(self, q, ev);
+        }
+    }
     impl MacWorld for W {
+        type Ev = CoreStackEvent;
         fn mac(&self) -> &Mac {
             &self.mac
         }
@@ -111,7 +133,7 @@ mod tests {
             let mon = w.mac.monitor_mut(m).monitor();
             mon.track(iface);
         }
-        let mut q = EventQueue::new();
+        let mut q = Queue::<W>::new();
         spawn_silent_injector(&mut q, iface, SilentSlotConfig::default(), SimTime::ZERO);
         let end = SimTime::from_secs(2);
         q.run_until(&mut w, end);
@@ -130,7 +152,7 @@ mod tests {
         let m = w.mac.add_medium(SimDuration::from_secs(1));
         let iface = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
         let hog = w.mac.add_station(m, RateController::fixed(Bitrate::B1));
-        let mut q = EventQueue::new();
+        let mut q = Queue::<W>::new();
         // Saturate the channel with 12.5 ms frames: idle windows stay far
         // below the guard.
         q.schedule_repeating(
@@ -158,7 +180,7 @@ mod tests {
         };
         let m = w.mac.add_medium(SimDuration::from_secs(1));
         let iface = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
-        let mut q = EventQueue::new();
+        let mut q = Queue::<W>::new();
         let ctl = spawn_silent_injector(&mut q, iface, SilentSlotConfig::default(), SimTime::ZERO);
         ctl.borrow_mut().enabled = false;
         q.run_until(&mut w, SimTime::from_secs(1));

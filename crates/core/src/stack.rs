@@ -67,14 +67,20 @@ pub fn ip_power_check(mac: &Mac, iface: StationId, threshold: Option<usize>) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use powifi_mac::{enqueue, Frame, MacWorld, RateController};
+    use powifi_mac::{dispatch_mac, enqueue, Frame, MacEvent, MacWorld, Queue, RateController};
     use powifi_rf::Bitrate;
-    use powifi_sim::{EventQueue, SimDuration, SimRng};
+    use powifi_sim::{Dispatch, SimDuration, SimRng};
 
     struct W {
         mac: Mac,
     }
+    impl Dispatch<MacEvent> for W {
+        fn dispatch(&mut self, q: &mut Queue<Self>, ev: MacEvent) {
+            dispatch_mac(self, q, ev);
+        }
+    }
     impl MacWorld for W {
+        type Ev = MacEvent;
         fn mac(&self) -> &Mac {
             &self.mac
         }
@@ -89,7 +95,7 @@ mod tests {
         };
         let m = w.mac.add_medium(SimDuration::from_secs(1));
         let sta = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
-        let mut q = EventQueue::new();
+        let mut q = Queue::<W>::new();
         for _ in 0..depth {
             enqueue(&mut w, &mut q, sta, Frame::power(sta, 1500, Bitrate::G54));
         }

@@ -3,18 +3,24 @@
 //! the determinism of the whole pipeline.
 
 use powifi_core::{
-    ip_power_check, spawn_capper, spawn_injector, CapperConfig, IpPowerVerdict, PowerTrafficConfig,
-    Router, RouterConfig, Scheme,
+    dispatch_core_stack, ip_power_check, spawn_capper, spawn_injector, CapperConfig,
+    CoreStackEvent, IpPowerVerdict, PowerTrafficConfig, Router, RouterConfig, Scheme,
 };
-use powifi_mac::{enqueue, Frame, Mac, MacWorld, MediumId, RateController};
+use powifi_mac::{enqueue, Frame, Mac, MacWorld, MediumId, Queue, RateController};
 use powifi_rf::{Bitrate, WifiChannel};
-use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use powifi_sim::{Dispatch, SimDuration, SimRng, SimTime};
 use proptest::prelude::*;
 
 struct W {
     mac: Mac,
 }
+impl Dispatch<CoreStackEvent> for W {
+    fn dispatch(&mut self, q: &mut Queue<Self>, ev: CoreStackEvent) {
+        dispatch_core_stack(self, q, ev);
+    }
+}
 impl MacWorld for W {
+    type Ev = CoreStackEvent;
     fn mac(&self) -> &Mac {
         &self.mac
     }
@@ -23,7 +29,7 @@ impl MacWorld for W {
     }
 }
 
-fn three_channels(seed: u64) -> (W, EventQueue<W>, Vec<(WifiChannel, MediumId)>) {
+fn three_channels(seed: u64) -> (W, Queue<W>, Vec<(WifiChannel, MediumId)>) {
     let mut w = W {
         mac: Mac::new(SimRng::from_seed(seed)),
     };
@@ -31,7 +37,7 @@ fn three_channels(seed: u64) -> (W, EventQueue<W>, Vec<(WifiChannel, MediumId)>)
         .iter()
         .map(|&ch| (ch, w.mac.add_medium(SimDuration::from_secs(1))))
         .collect();
-    (w, EventQueue::new(), channels)
+    (w, Queue::new(), channels)
 }
 
 proptest! {
@@ -43,7 +49,7 @@ proptest! {
         let mut w = W { mac: Mac::new(SimRng::from_seed(1)) };
         let m = w.mac.add_medium(SimDuration::from_secs(1));
         let sta = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
-        let mut q = EventQueue::new();
+        let mut q = Queue::<W>::new();
         for _ in 0..pre_queued {
             enqueue(&mut w, &mut q, sta, Frame::power(sta, 1500, Bitrate::G54));
         }
@@ -67,7 +73,7 @@ proptest! {
         let mut w = W { mac: Mac::new(SimRng::from_seed(seed)) };
         let m = w.mac.add_medium(SimDuration::from_secs(1));
         let sta = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
-        let mut q = EventQueue::new();
+        let mut q = Queue::<W>::new();
         let cfg = PowerTrafficConfig {
             inter_packet_delay: SimDuration::from_micros(delay_us),
             qdepth_threshold: Some(threshold),

@@ -7,10 +7,11 @@
 //! yield to it, which is exactly the mechanism behind Fig. 14's per-channel
 //! variation.
 
-use crate::world::SimWorld;
-use powifi_mac::{enqueue, Dest, Frame, MediumId, PayloadTag, RateController, StationId};
+use crate::world::{DeployEvent, SimWorld};
+use powifi_mac::{enqueue, Dest, Frame, MediumId, PayloadTag, Queue, RateController, StationId};
 use powifi_rf::Bitrate;
-use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use powifi_sim::{SimDuration, SimRng, SimTime};
+use std::cell::RefCell;
 use std::rc::Rc;
 
 /// A background AP→client pair.
@@ -46,10 +47,34 @@ pub fn constant_intensity() -> IntensityFn {
     Rc::new(|_| 1.0)
 }
 
+/// Spawn-time state of one background source, carried inside its
+/// [`DeployEvent::Burst`] event: the endpoints, traffic shape, intensity
+/// schedule and the source's private RNG stream. Allocated once at
+/// [`install_traffic_source`].
+pub struct BurstSt {
+    src: StationId,
+    dst: StationId,
+    cfg: BackgroundConfig,
+    intensity: IntensityFn,
+    rng: SimRng,
+    on_rate: f64,
+}
+
+/// Route a [`DeployEvent`] to its handler (called from the world's
+/// [`powifi_sim::Dispatch`] impl).
+pub(crate) fn dispatch_deploy(w: &mut SimWorld, q: &mut Queue<SimWorld>, ev: DeployEvent) {
+    match ev {
+        DeployEvent::Burst(st) => burst_fire(w, q, st),
+        DeployEvent::BgFrame { src, frame } => {
+            enqueue(w, q, src, frame);
+        }
+    }
+}
+
 /// Install a background pair on `medium`. Returns `(ap, client)` stations.
 pub fn install_background(
     w: &mut SimWorld,
-    q: &mut EventQueue<SimWorld>,
+    q: &mut Queue<SimWorld>,
     medium: MediumId,
     cfg: BackgroundConfig,
     intensity: IntensityFn,
@@ -74,7 +99,7 @@ pub fn install_background(
 /// length stretches as `intensity` falls, so mean offered load ≈
 /// `base_load × intensity(t)`.
 pub fn install_traffic_source(
-    q: &mut EventQueue<SimWorld>,
+    q: &mut Queue<SimWorld>,
     src: StationId,
     dst: StationId,
     cfg: BackgroundConfig,
@@ -87,52 +112,54 @@ pub fn install_traffic_source(
     // Arrival rate during ON bursts to hit base_load/duty occupancy.
     let on_rate = (cfg.base_load / duty / frame_airtime).max(0.1);
     let start = SimTime::from_nanos(rng.range(0..2_000_000u64));
-    schedule_burst(q, src, dst, cfg, intensity, rng, on_rate, start);
+    let st = Rc::new(RefCell::new(BurstSt {
+        src,
+        dst,
+        cfg,
+        intensity,
+        rng,
+        on_rate,
+    }));
+    q.post_at(start, DeployEvent::Burst(st).into());
 }
 
-#[allow(clippy::too_many_arguments)]
-fn schedule_burst(
-    q: &mut EventQueue<SimWorld>,
-    ap: StationId,
-    client: StationId,
-    cfg: BackgroundConfig,
-    intensity: IntensityFn,
-    mut rng: SimRng,
-    on_rate: f64,
-    at: SimTime,
-) {
-    q.schedule_at(at, move |w: &mut SimWorld, q| {
-        let now = q.now();
-        let scale = intensity(now).clamp(0.0, 1.0);
-        if scale > 0.0 && rng.chance(scale.sqrt()) {
+/// One burst decision (routed here from [`dispatch_deploy`]): maybe emit a
+/// Poisson ON burst of frame arrivals, then re-post after the OFF gap.
+fn burst_fire(_w: &mut SimWorld, q: &mut Queue<SimWorld>, st: Rc<RefCell<BurstSt>>) {
+    let now = q.now();
+    let next = {
+        let s = &mut *st.borrow_mut();
+        let scale = (s.intensity)(now).clamp(0.0, 1.0);
+        if scale > 0.0 && s.rng.chance(scale.sqrt()) {
             // Emit one ON burst: Poisson arrivals over the burst window.
-            let burst_len = rng.exp(cfg.on_mean.as_secs_f64());
+            let burst_len = s.rng.exp(s.cfg.on_mean.as_secs_f64());
             let mut t = 0.0;
             loop {
-                t += rng.exp(1.0 / on_rate);
+                t += s.rng.exp(1.0 / s.on_rate);
                 if t >= burst_len {
                     break;
                 }
                 let frame = Frame::data(
-                    ap,
-                    Dest::Unicast(client),
+                    s.src,
+                    Dest::Unicast(s.dst),
                     PayloadTag {
                         flow: 0,
                         seq: 0,
                         bytes: 1500,
                     },
                 );
-                q.schedule_in(SimDuration::from_secs_f64(t), move |w: &mut SimWorld, q| {
-                    enqueue(w, q, ap, frame);
-                });
+                q.post_in(
+                    SimDuration::from_secs_f64(t),
+                    DeployEvent::BgFrame { src: s.src, frame }.into(),
+                );
             }
-            let _ = w;
         }
         // Next burst after the OFF gap, stretched by inverse intensity.
-        let gap = rng.exp(cfg.off_mean.as_secs_f64() / scale.max(0.05)) + cfg.on_mean.as_secs_f64();
-        let next = now + SimDuration::from_secs_f64(gap);
-        schedule_burst(q, ap, client, cfg, intensity, rng, on_rate, next);
-    });
+        let gap =
+            s.rng.exp(s.cfg.off_mean.as_secs_f64() / scale.max(0.05)) + s.cfg.on_mean.as_secs_f64();
+        now + SimDuration::from_secs_f64(gap)
+    };
+    q.post_at(next, DeployEvent::Burst(st).into());
 }
 
 #[cfg(test)]

@@ -70,7 +70,7 @@ pub fn udp_experiment_in(
         end,
     );
     q.run_until(&mut w, end);
-    let Some(Flow::Udp(u)) = w.net.flows.get(&flow) else {
+    let Some(Flow::Udp(u)) = w.net.flow(flow) else {
         unreachable!()
     };
     let (per, cum) = s.router.occupancy(&w.mac, end);
@@ -191,7 +191,7 @@ pub fn neighbor_experiment_in(
         end,
     );
     q.run_until(&mut w, end);
-    let Some(Flow::Udp(u)) = w.net.flows.get(&flow) else {
+    let Some(Flow::Udp(u)) = w.net.flow(flow) else {
         unreachable!()
     };
     let cum = s.router.occupancy(&w.mac, end).1;

@@ -18,9 +18,9 @@ use crate::background::{
 use crate::diurnal::diurnal_intensity;
 use crate::world::{three_channel_world, SimWorld};
 use powifi_core::{Router, RouterConfig};
-use powifi_mac::{MediumId, RateController, StationId};
+use powifi_mac::{MediumId, Queue, RateController, StationId};
 use powifi_rf::{Bitrate, WifiChannel};
-use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use powifi_sim::{SimDuration, SimRng, SimTime};
 use std::rc::Rc;
 
 /// One row of Table 1.
@@ -119,7 +119,7 @@ pub fn build_home(
     cfg: HomeConfig,
     seed: u64,
     sim_seconds_per_day: u64,
-) -> (SimWorld, EventQueue<SimWorld>, HomeDeployment) {
+) -> (SimWorld, Queue<SimWorld>, HomeDeployment) {
     assert!(
         sim_seconds_per_day >= 1440,
         "need at least 1 s per 60 s bin"

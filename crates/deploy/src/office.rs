@@ -4,9 +4,9 @@
 use crate::background::{constant_intensity, install_background, BackgroundConfig};
 use crate::world::{three_channel_world, SimWorld};
 use powifi_core::{Router, RouterConfig, Scheme};
-use powifi_mac::{MediumId, RateController, StationId};
+use powifi_mac::{MediumId, Queue, RateController, StationId};
 use powifi_rf::{Bitrate, WifiChannel};
-use powifi_sim::{EventQueue, SimDuration, SimRng};
+use powifi_sim::{SimDuration, SimRng};
 
 /// Office environment parameters.
 #[derive(Debug, Clone, Copy)]
@@ -45,7 +45,7 @@ pub fn build_office(
     seed: u64,
     scheme: Scheme,
     cfg: OfficeConfig,
-) -> (SimWorld, EventQueue<SimWorld>, OfficeScenario) {
+) -> (SimWorld, Queue<SimWorld>, OfficeScenario) {
     let (mut w, mut q, channels) = three_channel_world(seed, cfg.monitor_bin);
     let rng = SimRng::from_seed(seed).derive("office");
     let router = Router::install(

@@ -1,9 +1,15 @@
-//! The composed simulation world: MAC + transport.
+//! The composed simulation world: MAC + transport + power machinery.
 
-use powifi_mac::{Frame, Mac, MacWorld, MediumId, StationId, TxOutcome};
-use powifi_net::{on_deliver, NetState, NetWorld};
+use crate::background::{self, BurstSt};
+use powifi_core::{dispatch_core, CoreEvent};
+use powifi_mac::{
+    dispatch_mac, Frame, Mac, MacEvent, MacWorld, MediumId, Queue, StationId, TxOutcome,
+};
+use powifi_net::{dispatch_net, on_deliver, NetEvent, NetState, NetWorld};
 use powifi_rf::WifiChannel;
-use powifi_sim::{EventQueue, SimDuration, SimRng};
+use powifi_sim::{Dispatch, SimDuration, SimRng};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// The world used by every deployment scenario, example and bench.
 pub struct SimWorld {
@@ -13,17 +19,82 @@ pub struct SimWorld {
     pub net: NetState,
 }
 
+/// The full composed event enum: every layer's typed events, absorbed via
+/// `From` so each layer can post its own events without knowing the world.
+#[derive(Clone)]
+pub enum WorldEvent {
+    /// MAC-layer event.
+    Mac(MacEvent),
+    /// Transport-layer event.
+    Net(NetEvent),
+    /// Power-machinery event.
+    Core(CoreEvent),
+    /// Deployment-scenario event (background traffic).
+    Deploy(DeployEvent),
+}
+
+/// Events of the deployment layer's background-traffic sources.
+#[derive(Clone)]
+pub enum DeployEvent {
+    /// One ON/OFF burst decision of a background source; carries the
+    /// source's spawn-time state block.
+    Burst(Rc<RefCell<BurstSt>>),
+    /// Enqueue one background data frame at its Poisson arrival time.
+    BgFrame {
+        /// The transmitting station.
+        src: StationId,
+        /// The frame to enqueue.
+        frame: Frame,
+    },
+}
+
+impl From<MacEvent> for WorldEvent {
+    fn from(ev: MacEvent) -> Self {
+        WorldEvent::Mac(ev)
+    }
+}
+
+impl From<NetEvent> for WorldEvent {
+    fn from(ev: NetEvent) -> Self {
+        WorldEvent::Net(ev)
+    }
+}
+
+impl From<CoreEvent> for WorldEvent {
+    fn from(ev: CoreEvent) -> Self {
+        WorldEvent::Core(ev)
+    }
+}
+
+impl From<DeployEvent> for WorldEvent {
+    fn from(ev: DeployEvent) -> Self {
+        WorldEvent::Deploy(ev)
+    }
+}
+
+impl Dispatch<WorldEvent> for SimWorld {
+    fn dispatch(&mut self, q: &mut Queue<Self>, ev: WorldEvent) {
+        match ev {
+            WorldEvent::Mac(m) => dispatch_mac(self, q, m),
+            WorldEvent::Net(n) => dispatch_net(self, q, n),
+            WorldEvent::Core(c) => dispatch_core(self, q, c),
+            WorldEvent::Deploy(d) => background::dispatch_deploy(self, q, d),
+        }
+    }
+}
+
 impl MacWorld for SimWorld {
+    type Ev = WorldEvent;
     fn mac(&self) -> &Mac {
         &self.mac
     }
     fn mac_mut(&mut self) -> &mut Mac {
         &mut self.mac
     }
-    fn deliver(&mut self, q: &mut EventQueue<Self>, rx: StationId, frame: &Frame) {
+    fn deliver(&mut self, q: &mut Queue<Self>, rx: StationId, frame: &Frame) {
         on_deliver(self, q, rx, frame);
     }
-    fn tx_complete(&mut self, _q: &mut EventQueue<Self>, _frame: &Frame, _outcome: TxOutcome) {}
+    fn tx_complete(&mut self, _q: &mut Queue<Self>, _frame: &Frame, _outcome: TxOutcome) {}
 }
 
 impl NetWorld for SimWorld {
@@ -40,7 +111,7 @@ impl NetWorld for SimWorld {
 pub fn three_channel_world(
     seed: u64,
     monitor_bin: SimDuration,
-) -> (SimWorld, EventQueue<SimWorld>, Vec<(WifiChannel, MediumId)>) {
+) -> (SimWorld, Queue<SimWorld>, Vec<(WifiChannel, MediumId)>) {
     let rng = SimRng::from_seed(seed);
     let mut w = SimWorld {
         mac: Mac::new(rng.derive("mac")),
@@ -50,7 +121,7 @@ pub fn three_channel_world(
         .iter()
         .map(|&ch| (ch, w.mac.add_medium(monitor_bin)))
         .collect();
-    let mut q = EventQueue::new();
+    let mut q = Queue::new();
     if powifi_sim::conformance::enabled() {
         // Checked runs (tests, `--check` sweeps, the fuzz driver) get a
         // periodic whole-world airtime audit for free. The audit only reads

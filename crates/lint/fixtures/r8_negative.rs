@@ -1,0 +1,12 @@
+// Fixture: R8 must stay quiet — the allocation-free typed path. Events are
+// plain enum values posted by value; the world's `Dispatch` impl routes
+// them, so nothing is boxed per event.
+pub fn arm_timers(world: &mut World, q: &mut Queue) {
+    q.post_at(world.now, MacEvent::ArbFire { sta: world.sta });
+    q.post_in(BACKOFF, MacEvent::TxEnd { sta: world.sta });
+    // Unrelated identifiers that merely resemble the scheduling API.
+    world.schedule.push(SLOT);
+    let boxed = Box::new(Payload::default());
+    let sink: Box<dyn Sink> = make_sink();
+    let _ = (boxed, sink);
+}

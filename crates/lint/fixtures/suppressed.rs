@@ -11,3 +11,8 @@ pub fn exact(x: f64) -> bool {
     // powifi-lint: allow(float-eq) — fixture: sentinel compare
     x == -1.0
 }
+
+pub fn audit(q: &mut Queue) {
+    // powifi-lint: allow(R8) — fixture: one closure per run, cold path
+    q.schedule_repeating(START, PERIOD, |w, _| w.audit());
+}

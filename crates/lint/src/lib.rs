@@ -118,11 +118,15 @@ pub fn classify(rel: &str) -> Option<FileContext> {
     // The profiler is the one library file sanctioned to read `Instant`
     // (wall-clock span timing, bench-only) — R7's file-level carve-out.
     let is_prof_impl = crate_name == "sim" && rest == ["src", "obs", "prof.rs"];
+    // The queue defines (and internally uses) the boxed-closure scheduling
+    // API — R8's file-level carve-out.
+    let is_queue_impl = crate_name == "sim" && rest == ["src", "queue.rs"];
     Some(FileContext {
         crate_name,
         is_test_file,
         is_bin,
         is_prof_impl,
+        is_queue_impl,
     })
 }
 
@@ -354,6 +358,9 @@ mod tests {
         assert!(c.is_bin);
         let c = classify("crates/sim/src/obs/prof.rs").unwrap();
         assert!(c.is_prof_impl);
+        let c = classify("crates/sim/src/queue.rs").unwrap();
+        assert!(c.is_queue_impl);
+        assert!(!classify("crates/sim/src/lib.rs").unwrap().is_queue_impl);
         assert!(
             !classify("crates/sim/src/obs/metrics.rs")
                 .unwrap()

@@ -1,4 +1,4 @@
-//! The rule catalogue: R1–R7, each a token-level pass over one lexed file.
+//! The rule catalogue: R1–R8, each a token-level pass over one lexed file.
 //!
 //! Scope model: every rule declares which crates it patrols and whether it
 //! looks inside test regions. "Simulation crates" are the ones whose
@@ -7,7 +7,9 @@
 //! randomness are allowed (progress bars, run timing), so R2 and R7 exempt
 //! it. The profiler implementation (`crates/sim/src/obs/prof.rs`) is the one
 //! other place allowed to read `Instant` — R7 carries a file-level carve-out
-//! for it via [`FileContext::is_prof_impl`].
+//! for it via [`FileContext::is_prof_impl`]. The event-queue implementation
+//! (`crates/sim/src/queue.rs`) defines the closure-scheduling API itself, so
+//! R8 carves it out via [`FileContext::is_queue_impl`].
 
 use crate::lexer::{Lexed, TokKind, Token};
 
@@ -16,7 +18,12 @@ pub const SIM_CRATES: [&str; 8] = [
     "core", "deploy", "harvest", "mac", "net", "rf", "sensors", "sim",
 ];
 
-/// The seven rules.
+/// Crates whose event handling is hot enough that per-event heap
+/// allocation is a perf bug (R8 scope). Deployment scenarios and test
+/// support stay closure-friendly.
+pub const HOT_CRATES: [&str; 5] = ["core", "harvest", "mac", "net", "sim"];
+
+/// The eight rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// R1: no `HashMap`/`HashSet` in simulation crates.
@@ -36,11 +43,15 @@ pub enum Rule {
     /// R7: no `std::time::Instant` outside `crates/bench` and the profiler
     /// implementation (`crates/sim/src/obs/prof.rs`).
     WallClockScope,
+    /// R8: no per-event heap allocation (`Box<dyn Fn…>`, closure
+    /// scheduling) in hot simulation layers; post typed events through the
+    /// world's `Dispatch` impl instead.
+    HotPathAlloc,
 }
 
 impl Rule {
     /// All rules, in id order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::HashIteration,
         Rule::AmbientNondeterminism,
         Rule::Unwrap,
@@ -48,6 +59,7 @@ impl Rule {
         Rule::BareCast,
         Rule::SinkConstruction,
         Rule::WallClockScope,
+        Rule::HotPathAlloc,
     ];
 
     /// Short id (`R1`…`R7`), used in output and baseline entries.
@@ -60,6 +72,7 @@ impl Rule {
             Rule::BareCast => "R5",
             Rule::SinkConstruction => "R6",
             Rule::WallClockScope => "R7",
+            Rule::HotPathAlloc => "R8",
         }
     }
 
@@ -73,6 +86,7 @@ impl Rule {
             Rule::BareCast => "bare-cast",
             Rule::SinkConstruction => "sink-construction",
             Rule::WallClockScope => "instant-outside-bench",
+            Rule::HotPathAlloc => "no-hot-path-alloc",
         }
     }
 
@@ -104,6 +118,10 @@ impl Rule {
                 "std::time::Instant outside crates/bench and obs::prof; wall time is a \
                  harness/profiler concern — instrument with obs::prof spans instead"
             }
+            Rule::HotPathAlloc => {
+                "Box<dyn Fn…>/closure scheduling allocates per event; hot layers post \
+                 typed events (EventQueue::post_at/post_in) routed by Dispatch"
+            }
         }
     }
 
@@ -114,6 +132,7 @@ impl Rule {
             // Sinks may only be built where they are defined (`sim`, home of
             // the `obs` layer) or wired (`bench`, the sweep runner).
             Rule::SinkConstruction => crate_name != "sim" && crate_name != "bench",
+            Rule::HotPathAlloc => HOT_CRATES.contains(&crate_name),
             _ => SIM_CRATES.contains(&crate_name),
         }
     }
@@ -134,6 +153,9 @@ pub struct FileContext {
     /// (`crates/sim/src/obs/prof.rs`) — the one library file allowed to read
     /// `Instant`, so R7 skips it.
     pub is_prof_impl: bool,
+    /// File is the event-queue implementation (`crates/sim/src/queue.rs`) —
+    /// it defines the boxed-closure scheduling API, so R8 skips it.
+    pub is_queue_impl: bool,
 }
 
 /// One raw finding, before suppression/baseline filtering.
@@ -239,6 +261,16 @@ const AMBIENT_IDENTS: [&str; 4] = ["SystemTime", "thread_rng", "from_entropy", "
 /// Trace-sink types whose mere mention outside obs/bench means a simulation
 /// layer is wiring its own observability plumbing (R6).
 const SINK_IDENTS: [&str; 3] = ["NullSink", "RingSink", "JsonlSink"];
+
+/// Closure-scheduling entry points on the event queue: each call boxes its
+/// handler on the heap, so one of these per event is a hot-path perf bug
+/// (R8). Typed posting (`post_at`/`post_in`) is the allocation-free path.
+const CLOSURE_SCHEDULERS: [&str; 4] = [
+    "schedule_at",
+    "schedule_in",
+    "schedule_repeating",
+    "schedule_repeating_while",
+];
 
 /// Run every applicable rule over one lexed file.
 pub fn check_file(ctx: &FileContext, lexed: &Lexed) -> Vec<RawFinding> {
@@ -385,6 +417,46 @@ pub fn check_file(ctx: &FileContext, lexed: &Lexed) -> Vec<RawFinding> {
                 });
             }
         }
+        // R8 — per-event heap allocation in hot layers: method calls on the
+        // closure-scheduling API, and `Box<dyn Fn…>` handler types. The
+        // queue implementation itself (which defines both) is carved out.
+        if active.contains(&Rule::HotPathAlloc) && !ctx.is_queue_impl && t.kind == TokKind::Ident {
+            if CLOSURE_SCHEDULERS.contains(&t.text.as_str())
+                && i > 0
+                && toks[i - 1].text == "."
+                && toks.get(i + 1).map(|n| n.text == "(").unwrap_or(false)
+            {
+                out.push(RawFinding {
+                    line: t.line,
+                    col: t.col,
+                    rule: Rule::HotPathAlloc,
+                    message: format!(
+                        "`.{}()` boxes one closure per event; post a typed event \
+                         (post_at/post_in) routed by the world's Dispatch impl, or \
+                         justify a cold path with an allow",
+                        t.text
+                    ),
+                });
+            } else if t.text == "Box"
+                && toks.get(i + 1).map(|n| n.text == "<").unwrap_or(false)
+                && toks.get(i + 2).map(|n| n.text == "dyn").unwrap_or(false)
+                && toks
+                    .get(i + 3)
+                    .map(|n| n.kind == TokKind::Ident && n.text.starts_with("Fn"))
+                    .unwrap_or(false)
+            {
+                out.push(RawFinding {
+                    line: t.line,
+                    col: t.col,
+                    rule: Rule::HotPathAlloc,
+                    message: format!(
+                        "`Box<dyn {}…>` is a per-event heap allocation; hot layers \
+                         carry typed event enums instead of boxed handlers",
+                        toks[i + 3].text
+                    ),
+                });
+            }
+        }
         // R5 — bare float→int cast.
         if active.contains(&Rule::BareCast)
             && t.kind == TokKind::Ident
@@ -478,6 +550,7 @@ mod tests {
             is_test_file: false,
             is_bin: false,
             is_prof_impl: false,
+            is_queue_impl: false,
         }
     }
 
@@ -610,6 +683,44 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn r8_fires_on_closure_scheduling_and_boxed_handlers() {
+        let f = run("fn f(q: &mut Q) { q.schedule_at(t, |w, _| {}); \
+             q.schedule_repeating_while(t, p, cb); \
+             let h: Box<dyn FnMut(&mut W)> = mk(); }");
+        assert_eq!(
+            f.iter().filter(|f| f.rule == Rule::HotPathAlloc).count(),
+            3,
+            "{f:?}"
+        );
+        // Typed posting and unrelated method names are clean.
+        let f = run("fn f(q: &mut Q) { q.post_at(t, ev); q.post_in(d, ev); q.schedule(t); }");
+        assert!(f.iter().all(|f| f.rule != Rule::HotPathAlloc), "{f:?}");
+        // `Box::new` and non-Fn trait objects are not handler boxes.
+        let f = run("fn f() { let b = Box::new(3); let s: Box<dyn Sink> = mk(); }");
+        assert!(f.iter().all(|f| f.rule != Rule::HotPathAlloc), "{f:?}");
+    }
+
+    #[test]
+    fn r8_is_exempt_in_queue_impl_and_cold_crates() {
+        let lexed = lex("fn f(q: &mut Q) { q.schedule_at(t, cb); }");
+        let mut c = ctx();
+        c.crate_name = "sim".into();
+        c.is_queue_impl = true;
+        let f = check_file(&c, &lexed);
+        assert!(
+            f.iter().all(|f| f.rule != Rule::HotPathAlloc),
+            "queue.rs defines the API: {f:?}"
+        );
+        c.is_queue_impl = false;
+        let f = check_file(&c, &lexed);
+        assert_eq!(f.iter().filter(|f| f.rule == Rule::HotPathAlloc).count(), 1);
+        // Deploy scenarios run once per experiment, not once per event.
+        c.crate_name = "deploy".into();
+        let f = check_file(&c, &lexed);
+        assert!(f.iter().all(|f| f.rule != Rule::HotPathAlloc), "{f:?}");
     }
 
     #[test]

@@ -147,6 +147,32 @@ fn r7_is_exempt_in_bench_and_the_profiler() {
 }
 
 #[test]
+fn r8_positive_and_negative() {
+    let f = scan_fixture(include_str!("../fixtures/r8_positive.rs"));
+    assert!(f.iter().all(|f| f.rule == Rule::HotPathAlloc), "{f:?}");
+    // `Box<dyn FnMut…>` + the four closure-scheduling calls = 5 sites.
+    assert_eq!(f.len(), 5, "{f:?}");
+    assert!(rules_fired(include_str!("../fixtures/r8_negative.rs")).is_empty());
+}
+
+#[test]
+fn r8_is_exempt_in_the_queue_impl_and_deploy() {
+    let pos = include_str!("../fixtures/r8_positive.rs");
+    assert!(
+        scan_source("crates/sim/src/queue.rs", pos).is_empty(),
+        "queue.rs defines the scheduling API"
+    );
+    assert!(
+        scan_source("crates/deploy/src/home.rs", pos).is_empty(),
+        "deploy wiring runs once per experiment, not per event"
+    );
+    assert!(
+        !scan_source("crates/sim/src/conformance.rs", pos).is_empty(),
+        "the carve-out is one file, not the whole sim crate"
+    );
+}
+
+#[test]
 fn suppressions_silence_every_fixture_violation() {
     let f = scan_fixture(include_str!("../fixtures/suppressed.rs"));
     assert!(f.is_empty(), "{f:?}");

@@ -13,9 +13,9 @@
 //! next be idle.
 
 use crate::frame::{MediumId, StationId};
-use crate::world::MacWorld;
+use crate::world::{MacWorld, Queue};
 use powifi_sim::conformance::{self, Invariant, InvariantSuite};
-use powifi_sim::{EventQueue, SimDuration, SimTime};
+use powifi_sim::{SimDuration, SimTime};
 
 /// Tolerance for the occupancy bound: `src_totals` accumulates f64 seconds,
 /// one rounding error per frame.
@@ -69,7 +69,7 @@ impl<W: MacWorld> Invariant<W> for MacInvariants {
 
 /// Install the MAC audit on `q`, first firing at `period` and repeating
 /// every `period` thereafter.
-pub fn install_audit<W: MacWorld>(q: &mut EventQueue<W>, period: SimDuration) {
+pub fn install_audit<W: MacWorld>(q: &mut Queue<W>, period: SimDuration) {
     let mut suite = InvariantSuite::new();
     suite.push(MacInvariants);
     suite.install(q, SimTime::ZERO + period, period);
@@ -97,11 +97,18 @@ mod tests {
     }
 
     impl MacWorld for TestWorld {
+        type Ev = crate::MacEvent;
         fn mac(&self) -> &Mac {
             &self.mac
         }
         fn mac_mut(&mut self) -> &mut Mac {
             &mut self.mac
+        }
+    }
+
+    impl powifi_sim::Dispatch<crate::MacEvent> for TestWorld {
+        fn dispatch(&mut self, q: &mut Queue<Self>, ev: crate::MacEvent) {
+            crate::dispatch_mac(self, q, ev);
         }
     }
 
@@ -111,7 +118,7 @@ mod tests {
         let mut w = TestWorld {
             mac: Mac::new(SimRng::from_seed(7)),
         };
-        let mut q = EventQueue::new();
+        let mut q = Queue::<TestWorld>::new();
         let m = w.mac.add_medium(SimDuration::from_secs(1));
         let a = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
         let b = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
@@ -140,7 +147,7 @@ mod tests {
         let mut w = TestWorld {
             mac: Mac::new(SimRng::from_seed(7)),
         };
-        let mut q = EventQueue::new();
+        let mut q = Queue::<TestWorld>::new();
         let m = w.mac.add_medium(SimDuration::from_secs(1));
         let a = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
         w.mac.inject_timing_bug(true);
@@ -171,7 +178,7 @@ mod tests {
         let mut w = TestWorld {
             mac: Mac::new(SimRng::from_seed(3)),
         };
-        let mut q = EventQueue::new();
+        let mut q = Queue::<TestWorld>::new();
         let m1 = w.mac.add_medium(SimDuration::from_secs(1));
         let m2 = w.mac.add_medium(SimDuration::from_secs(1));
         let a = w.mac.add_station(m1, RateController::fixed(Bitrate::G54));

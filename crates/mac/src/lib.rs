@@ -27,4 +27,6 @@ pub use frame::{
 pub use occupancy::OccupancyMonitor;
 pub use rate_adapt::RateController;
 pub use trace::{FrameRecord, FrameTrace};
-pub use world::{enqueue, start_beacons, Mac, MacWorld, Medium, Station};
+pub use world::{
+    dispatch_mac, enqueue, start_beacons, Mac, MacEvent, MacWorld, Medium, Queue, Station,
+};

@@ -11,13 +11,15 @@ use crate::airtime::{frame_airtime, tshark_airtime};
 use crate::frame::StationId;
 use powifi_rf::Bitrate;
 use powifi_sim::{PowerEnvelope, Seconds, SimDuration, SimTime};
-use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-channel occupancy accounting.
 #[derive(Debug)]
 pub struct OccupancyMonitor {
     bin: SimDuration,
-    tracked: BTreeSet<StationId>,
+    /// Dense per-station "is the router" flags, indexed by station id and
+    /// grown on demand — [`record`](Self::record) runs once per frame, so
+    /// membership must be an array load, not a tree probe.
+    tracked: Vec<bool>,
     /// Per-bin tshark-metric on-air time of tracked stations.
     tshark_tracked: Vec<Seconds>,
     /// Per-bin tshark-metric on-air time of everyone.
@@ -27,9 +29,13 @@ pub struct OccupancyMonitor {
     /// Optional fine RF envelope of tracked transmissions (1.0 = on air).
     envelope: Option<PowerEnvelope>,
     envelope_busy_until: SimTime,
-    /// Total tshark-metric on-air time per source station (always kept,
-    /// so co-channel routers can be accounted separately).
-    src_totals: BTreeMap<StationId, Seconds>,
+    /// Total tshark-metric on-air time per source station (dense, indexed by
+    /// station id), so co-channel routers can be accounted separately.
+    src_totals: Vec<Seconds>,
+    /// One-entry memo of the last `(bytes, rate)` → `(tshark, phys)`
+    /// airtime conversion; the injector repeats one frame shape millions of
+    /// times, and the cached value is exactly the recomputation.
+    airtime_memo: Option<(u32, Bitrate, Seconds, SimDuration)>,
 }
 
 impl OccupancyMonitor {
@@ -39,19 +45,24 @@ impl OccupancyMonitor {
         assert!(!bin.is_zero());
         OccupancyMonitor {
             bin,
-            tracked: BTreeSet::new(),
+            tracked: Vec::new(),
             tshark_tracked: Vec::new(),
             tshark_all: Vec::new(),
             phys_tracked: Vec::new(),
             envelope: None,
             envelope_busy_until: SimTime::ZERO,
-            src_totals: BTreeMap::new(),
+            src_totals: Vec::new(),
+            airtime_memo: None,
         }
     }
 
     /// Mark a station as "the router" for the tracked-occupancy metric.
     pub fn track(&mut self, sta: StationId) {
-        self.tracked.insert(sta);
+        let i = sta.0 as usize;
+        if i >= self.tracked.len() {
+            self.tracked.resize(i + 1, false);
+        }
+        self.tracked[i] = true;
     }
 
     /// Enable fine envelope recording (use only for short runs; memory grows
@@ -68,12 +79,23 @@ impl OccupancyMonitor {
             self.tshark_tracked.resize(idx + 1, Seconds::ZERO);
             self.phys_tracked.resize(idx + 1, Seconds::ZERO);
         }
-        let tshark = tshark_airtime(bytes, rate).as_seconds();
+        let (tshark, phys) = match self.airtime_memo {
+            Some((b, r, t, p)) if b == bytes && r == rate => (t, p),
+            _ => {
+                let t = tshark_airtime(bytes, rate).as_seconds();
+                let p = frame_airtime(bytes, rate);
+                self.airtime_memo = Some((bytes, rate, t, p));
+                (t, p)
+            }
+        };
         self.tshark_all[idx] += tshark;
-        *self.src_totals.entry(src).or_insert(Seconds::ZERO) += tshark;
-        if self.tracked.contains(&src) {
+        let si = src.0 as usize;
+        if si >= self.src_totals.len() {
+            self.src_totals.resize(si + 1, Seconds::ZERO);
+        }
+        self.src_totals[si] += tshark;
+        if self.tracked.get(si).copied().unwrap_or(false) {
             self.tshark_tracked[idx] += tshark;
-            let phys = frame_airtime(bytes, rate);
             self.phys_tracked[idx] += phys.as_seconds();
             if let Some(env) = &mut self.envelope {
                 let end = t + phys;
@@ -150,7 +172,11 @@ impl OccupancyMonitor {
         if span.0 <= 0.0 {
             0.0
         } else {
-            self.src_totals.get(&sta).copied().unwrap_or(Seconds::ZERO) / span
+            self.src_totals
+                .get(sta.0 as usize)
+                .copied()
+                .unwrap_or(Seconds::ZERO)
+                / span
         }
     }
 

@@ -22,11 +22,44 @@ use powifi_rf::{packet_error_rate, Bitrate, Db};
 use powifi_sim::conformance;
 use powifi_sim::obs::prof;
 use powifi_sim::obs::trace as obs;
-use powifi_sim::{EventHandle, EventQueue, SimDuration, SimRng, SimTime};
-use std::collections::{BTreeMap, VecDeque};
+use powifi_sim::{Dispatch, EventHandle, EventQueue, SimDuration, SimRng, SimTime};
+use std::collections::VecDeque;
+
+/// The MAC layer's typed events. Hot protocol timers post these through
+/// [`powifi_sim::EventQueue::post_at`] instead of boxing a closure per
+/// event; the embedding world's event enum must absorb them via `From`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacEvent {
+    /// Arbitration decision on a medium: the earliest backoff finisher(s)
+    /// transmit.
+    ArbFire(MediumId),
+    /// End of a medium's busy period: resolve outcomes, resume contention.
+    TxEnd(MediumId),
+    /// Periodic beacon from a station; re-posts itself every `interval`.
+    Beacon {
+        /// Beaconing station (typically an AP interface).
+        sta: StationId,
+        /// Beacon interval.
+        interval: SimDuration,
+        /// Transmit rate for the beacon frame.
+        rate: Bitrate,
+    },
+}
+
+/// The event queue of a MAC-embedding world: typed over the world's own
+/// event enum, which must absorb [`MacEvent`].
+pub type Queue<W> = EventQueue<W, <W as MacWorld>::Ev>;
 
 /// The world trait: any simulation embedding the MAC implements this.
-pub trait MacWorld: Sized + 'static {
+///
+/// A world declares its composed event enum as [`MacWorld::Ev`] (absorbing
+/// [`MacEvent`] via `From`) and routes events in its
+/// [`powifi_sim::Dispatch`] impl — typically by delegating the MAC's share
+/// to [`dispatch_mac`].
+pub trait MacWorld: Sized + Dispatch<Self::Ev> + 'static {
+    /// The world's composed typed-event enum.
+    type Ev: From<MacEvent> + 'static;
+
     /// Immutable access to the MAC state.
     fn mac(&self) -> &Mac;
     /// Mutable access to the MAC state.
@@ -34,14 +67,42 @@ pub trait MacWorld: Sized + 'static {
 
     /// A frame was received by `rx` (unicast to it, or a broadcast it opted
     /// into via [`Mac::set_wants_broadcast`]).
-    fn deliver(&mut self, q: &mut EventQueue<Self>, rx: StationId, frame: &Frame) {
+    fn deliver(&mut self, q: &mut Queue<Self>, rx: StationId, frame: &Frame) {
         let _ = (q, rx, frame);
     }
 
     /// The sender finished with a frame (ACKed / retries exhausted /
     /// broadcast attempt done).
-    fn tx_complete(&mut self, q: &mut EventQueue<Self>, frame: &Frame, outcome: TxOutcome) {
+    fn tx_complete(&mut self, q: &mut Queue<Self>, frame: &Frame, outcome: TxOutcome) {
         let _ = (q, frame, outcome);
+    }
+}
+
+/// Route a [`MacEvent`] to its handler. Worlds call this from their
+/// [`powifi_sim::Dispatch`] impl for the MAC's share of the composed enum.
+pub fn dispatch_mac<W: MacWorld>(w: &mut W, q: &mut Queue<W>, ev: MacEvent) {
+    match ev {
+        MacEvent::ArbFire(medium) => arb_fire(w, q, medium),
+        MacEvent::TxEnd(medium) => tx_end(w, q, medium),
+        MacEvent::Beacon {
+            sta,
+            interval,
+            rate,
+        } => {
+            let beacon = Frame::beacon(sta, rate);
+            enqueue(w, q, sta, beacon);
+            // Body first, then re-arm — matching the repeating-closure
+            // scheduler's sequence-number order exactly.
+            q.post_in(
+                interval,
+                MacEvent::Beacon {
+                    sta,
+                    interval,
+                    rate,
+                }
+                .into(),
+            );
+        }
     }
 }
 
@@ -107,6 +168,11 @@ pub struct Medium {
     arb: Option<EventHandle>,
     monitor: OccupancyMonitor,
     trace: Option<FrameTrace>,
+    /// Stations on this medium that opted into broadcast delivery, kept
+    /// sorted by station index (the deterministic fan-out order).
+    bcast_listeners: Vec<StationId>,
+    /// External frame-corruption probability (fault injection).
+    corruption: f64,
     /// Ground-truth collision counter.
     pub collisions: u64,
 }
@@ -117,15 +183,40 @@ pub struct Mac {
     pub timing: MacTiming,
     stations: Vec<Station>,
     mediums: Vec<Medium>,
-    /// Link SNR table; missing entries default to a strong 40 dB link.
-    links: BTreeMap<(StationId, StationId), Db>,
-    /// Optional block-fading processes per directed link.
-    faders: BTreeMap<(StationId, StationId), powifi_rf::BlockFader>,
-    /// Per-medium external frame-corruption probability (fault injection).
-    corruption: BTreeMap<MediumId, f64>,
+    /// Dense link SNR matrix, row-major `[a * n + b]` over station indices;
+    /// unset entries default to a strong 40 dB link. Grown on
+    /// [`Mac::add_station`].
+    links: Vec<Db>,
+    /// Optional block-fading processes per directed link, same key scheme
+    /// as `links`.
+    faders: Vec<Option<powifi_rf::BlockFader>>,
+    /// Memoized [`packet_error_rate`] per directed link at the last-used
+    /// rate. Static links recompute the same logistic (one `exp`) for every
+    /// broadcast listener on every frame; caching it is free because the
+    /// cached value is exactly the recomputation. Faded links bypass the
+    /// cache (their SNR varies with time), and any SNR/fader mutation
+    /// invalidates the entry.
+    per_cache: Vec<Option<(Bitrate, f64)>>,
     rng: SimRng,
     next_frame_id: u64,
     timing_bug: bool,
+    /// Scratch buffers reused across [`arb_fire`] / [`tx_end`] invocations so
+    /// the two hottest handlers do not pay a heap allocation per
+    /// transmission. Always left empty between calls; neither handler can
+    /// re-enter itself (both only run from queue dispatch).
+    scratch: Scratch,
+}
+
+#[derive(Default)]
+struct Scratch {
+    winners: Vec<StationId>,
+    completions: Vec<(Frame, TxOutcome)>,
+    deliveries: Vec<(StationId, Frame)>,
+    resume: Vec<StationId>,
+    /// Spare buffer swapped into `Medium::in_flight` when `tx_end` drains
+    /// it, so the arb→tx_end cycle recycles capacity instead of
+    /// reallocating it every busy period.
+    in_flight_spare: Vec<InFlight>,
 }
 
 impl Mac {
@@ -135,12 +226,13 @@ impl Mac {
             timing: MacTiming::default(),
             stations: Vec::new(),
             mediums: Vec::new(),
-            links: BTreeMap::new(),
-            faders: BTreeMap::new(),
-            corruption: BTreeMap::new(),
+            links: Vec::new(),
+            faders: Vec::new(),
+            per_cache: Vec::new(),
             rng,
             next_frame_id: 1,
             timing_bug: false,
+            scratch: Scratch::default(),
         }
     }
 
@@ -165,6 +257,8 @@ impl Mac {
             arb: None,
             monitor: OccupancyMonitor::new(monitor_bin),
             trace: None,
+            bcast_listeners: Vec::new(),
+            corruption: 0.0,
             collisions: 0,
         });
         id
@@ -173,6 +267,7 @@ impl Mac {
     /// Add a station on `medium`.
     pub fn add_station(&mut self, medium: MediumId, rate_ctl: RateController) -> StationId {
         let id = StationId(self.stations.len() as u32);
+        self.grow_link_tables();
         self.stations.push(Station {
             medium,
             queues: [VecDeque::new(), VecDeque::new()],
@@ -190,33 +285,79 @@ impl Mac {
         id
     }
 
+    /// Grow the dense n×n link matrices for one more station, preserving
+    /// the existing entries under the new row stride.
+    fn grow_link_tables(&mut self) {
+        let old_n = self.stations.len();
+        let new_n = old_n + 1;
+        let mut links = vec![Db(40.0); new_n * new_n];
+        let mut faders: Vec<Option<powifi_rf::BlockFader>> =
+            (0..new_n * new_n).map(|_| None).collect();
+        for a in 0..old_n {
+            for b in 0..old_n {
+                links[a * new_n + b] = self.links[a * old_n + b];
+                faders[a * new_n + b] = self.faders[a * old_n + b].take();
+            }
+        }
+        self.links = links;
+        self.faders = faders;
+        self.per_cache = vec![None; new_n * new_n];
+    }
+
+    #[inline]
+    fn link_index(&self, a: StationId, b: StationId) -> usize {
+        a.0 as usize * self.stations.len() + b.0 as usize
+    }
+
     /// Set the SNR of the directed link `a → b` (used for PER and ACK loss).
     pub fn set_link_snr(&mut self, a: StationId, b: StationId, snr: Db) {
-        self.links.insert((a, b), snr);
+        let idx = self.link_index(a, b);
+        self.links[idx] = snr;
+        self.per_cache[idx] = None;
     }
 
     fn link_snr(&mut self, a: StationId, b: StationId, now: SimTime) -> Db {
-        let base = self.links.get(&(a, b)).copied().unwrap_or(Db(40.0));
-        match self.faders.get_mut(&(a, b)) {
+        let idx = self.link_index(a, b);
+        let base = self.links[idx];
+        match self.faders[idx].as_mut() {
             Some(f) => base + f.fade_at(now),
             None => base,
         }
     }
 
+    /// Packet-error rate of the directed link `a → b` at `rate`, memoized
+    /// for static (fader-less) links.
+    fn per_of(&mut self, a: StationId, b: StationId, rate: Bitrate, now: SimTime) -> f64 {
+        let idx = self.link_index(a, b);
+        if self.faders[idx].is_some() {
+            return packet_error_rate(self.link_snr(a, b, now), rate);
+        }
+        if let Some((r, per)) = self.per_cache[idx] {
+            if r == rate {
+                return per;
+            }
+        }
+        let per = packet_error_rate(self.links[idx], rate);
+        self.per_cache[idx] = Some((rate, per));
+        per
+    }
+
     /// Attach a block-fading process to the directed link `a → b`.
     pub fn set_link_fader(&mut self, a: StationId, b: StationId, fader: powifi_rf::BlockFader) {
-        self.faders.insert((a, b), fader);
+        let idx = self.link_index(a, b);
+        self.faders[idx] = Some(fader);
+        self.per_cache[idx] = None;
     }
 
     /// Fault injection: corrupt every frame on `medium` with probability
     /// `p`, independent of SNR (interference from non-Wi-Fi devices —
     /// microwave ovens, the "external causes" of §6's home 6 anomaly).
     pub fn set_corruption(&mut self, medium: MediumId, p: f64) {
-        self.corruption.insert(medium, p.clamp(0.0, 1.0));
+        self.mediums[medium.0 as usize].corruption = p.clamp(0.0, 1.0);
     }
 
     fn corruption_of(&self, medium: MediumId) -> f64 {
-        self.corruption.get(&medium).copied().unwrap_or(0.0)
+        self.mediums[medium.0 as usize].corruption
     }
 
     /// Replace a station's transmit-rate controller.
@@ -224,9 +365,22 @@ impl Mac {
         self.stations[sta.0 as usize].rate_ctl = ctl;
     }
 
-    /// Opt a station into receiving broadcast frames via `deliver`.
+    /// Opt a station into receiving broadcast frames via `deliver`. The
+    /// per-medium listener list is maintained here so the broadcast fan-out
+    /// never rescans every station.
     pub fn set_wants_broadcast(&mut self, sta: StationId, wants: bool) {
-        self.stations[sta.0 as usize].wants_broadcast = wants;
+        let st = &mut self.stations[sta.0 as usize];
+        if st.wants_broadcast == wants {
+            return;
+        }
+        st.wants_broadcast = wants;
+        let listeners = &mut self.mediums[st.medium.0 as usize].bcast_listeners;
+        if wants {
+            listeners.push(sta);
+            listeners.sort_unstable_by_key(|s| s.0);
+        } else {
+            listeners.retain(|&s| s != sta);
+        }
     }
 
     /// Cap a station's transmit queue (default 1000 frames).
@@ -341,12 +495,7 @@ impl Medium {
 
 /// Enqueue a frame for transmission. Returns `false` (dropping the frame) if
 /// the station's transmit queue is full.
-pub fn enqueue<W: MacWorld>(
-    w: &mut W,
-    q: &mut EventQueue<W>,
-    sta: StationId,
-    mut frame: Frame,
-) -> bool {
+pub fn enqueue<W: MacWorld>(w: &mut W, q: &mut Queue<W>, sta: StationId, mut frame: Frame) -> bool {
     let _prof = prof::span("mac.enqueue");
     let now = q.now();
     let mac = w.mac_mut();
@@ -429,7 +578,7 @@ impl Station {
 }
 
 /// Begin a channel-access attempt for a station with queued traffic.
-fn start_access<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, sta: StationId) {
+fn start_access<W: MacWorld>(w: &mut W, q: &mut Queue<W>, sta: StationId) {
     let _prof = prof::span("mac.dcf.backoff");
     let now = q.now();
     let medium_id;
@@ -475,7 +624,7 @@ fn start_access<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, sta: StationId) {
 }
 
 /// Recompute and (re)schedule the medium's next transmission decision.
-fn rearm<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
+fn rearm<W: MacWorld>(w: &mut W, q: &mut Queue<W>, medium: MediumId) {
     let _prof = prof::span("mac.dcf.carrier_sense");
     let now = q.now();
     let mac = w.mac_mut();
@@ -498,7 +647,7 @@ fn rearm<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
         return;
     };
     let at = earliest.max(now);
-    m.arb = Some(q.schedule_at(at, move |w, q| arb_fire(w, q, medium)));
+    m.arb = Some(q.post_at(at, MacEvent::ArbFire(medium).into()));
 }
 
 fn finish_time(c: &Contender, idle_since: SimTime, timing: &MacTiming, bug: bool) -> SimTime {
@@ -512,7 +661,7 @@ fn finish_time(c: &Contender, idle_since: SimTime, timing: &MacTiming, bug: bool
 }
 
 /// The arbitration event: the earliest finisher(s) transmit.
-fn arb_fire<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
+fn arb_fire<W: MacWorld>(w: &mut W, q: &mut Queue<W>, medium: MediumId) {
     let _prof = prof::span("mac.dcf.tx");
     let now = q.now();
     let mut busy = SimDuration::ZERO;
@@ -573,7 +722,8 @@ fn arb_fire<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
             }
         }
         // Partition winners (finish == earliest) and losers.
-        let mut winners = Vec::new();
+        let mut winners = std::mem::take(&mut mac.scratch.winners);
+        let m = &mut mac.mediums[medium.0 as usize];
         m.contenders.retain(|c| {
             if finish_time(c, idle_since, &timing, bug) == earliest {
                 winners.push(c.sta);
@@ -607,7 +757,7 @@ fn arb_fire<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
         }
         // Start every winner's transmission.
         debug_assert!(m.in_flight.is_empty());
-        for sta in winners {
+        for sta in winners.drain(..) {
             let (rate, bytes, dst, class, kind) = {
                 let st = &mac.stations[sta.0 as usize];
                 let class = st.next_class();
@@ -623,7 +773,7 @@ fn arb_fire<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
             let delivered = match dst {
                 Dest::Broadcast => !collision && !corrupted,
                 Dest::Unicast(peer) => {
-                    let per = packet_error_rate(mac.link_snr(sta, peer, now), rate);
+                    let per = mac.per_of(sta, peer, rate, now);
                     !collision && !corrupted && !mac.rng.chance(per)
                 }
             };
@@ -672,26 +822,32 @@ fn arb_fire<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
         let m = &mut mac.mediums[medium.0 as usize];
         m.busy_until = now + busy;
         m.busy_accum += busy;
+        mac.scratch.winners = winners;
     }
     // Attribute this busy period's airtime (frames + SIFS + ACKs) to the
     // transmission span — the Σ sizeᵢ/rateᵢ currency of the paper's Fig. 5.
     prof::attr(busy);
-    q.schedule_in(busy, move |w, q| tx_end(w, q, medium));
+    q.post_in(busy, MacEvent::TxEnd(medium).into());
 }
 
 /// End of a busy period: resolve outcomes, deliver frames, resume contention.
-fn tx_end<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
+fn tx_end<W: MacWorld>(w: &mut W, q: &mut Queue<W>, medium: MediumId) {
     let _prof = prof::span("mac.dcf.tx_end");
     let now = q.now();
-    // (frame, outcome) for tx_complete; (rx, frame) for deliver.
-    let mut completions: Vec<(Frame, TxOutcome)> = Vec::new();
-    let mut deliveries: Vec<(StationId, Frame)> = Vec::new();
-    let mut resume: Vec<StationId> = Vec::new();
+    // (frame, outcome) for tx_complete; (rx, frame) for deliver. Pooled in
+    // `Mac::scratch` so a busy period costs no allocations.
+    let mut completions: Vec<(Frame, TxOutcome)>;
+    let mut deliveries: Vec<(StationId, Frame)>;
+    let mut resume: Vec<StationId>;
     {
         let mac = w.mac_mut();
+        completions = std::mem::take(&mut mac.scratch.completions);
+        deliveries = std::mem::take(&mut mac.scratch.deliveries);
+        resume = std::mem::take(&mut mac.scratch.resume);
+        let spare = std::mem::take(&mut mac.scratch.in_flight_spare);
         let timing = mac.timing;
         let m = &mut mac.mediums[medium.0 as usize];
-        let in_flight = std::mem::take(&mut m.in_flight);
+        let mut in_flight = std::mem::replace(&mut m.in_flight, spare);
         let collision = in_flight.len() > 1;
         if conformance::enabled() && now != m.busy_until {
             conformance::report(
@@ -704,7 +860,7 @@ fn tx_end<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
             );
         }
         m.idle_since = now;
-        for fl in in_flight {
+        for fl in in_flight.drain(..) {
             let sta = fl.sta;
             let st = &mut mac.stations[sta.0 as usize];
             st.state = StaState::Idle;
@@ -736,24 +892,22 @@ fn tx_end<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
                         },
                     ));
                     if fl.delivered {
-                        // Fan out to opted-in listeners on this medium.
-                        let listeners: Vec<StationId> = mac
-                            .stations
-                            .iter()
-                            .enumerate()
-                            .filter(|(i, other)| {
-                                StationId(*i as u32) != sta
-                                    && other.medium == medium
-                                    && other.wants_broadcast
-                            })
-                            .map(|(i, _)| StationId(i as u32))
-                            .collect();
-                        for oid in listeners {
-                            let per = packet_error_rate(mac.link_snr(sta, oid, now), fl.rate);
+                        // Fan out to this medium's opted-in listeners — a
+                        // precomputed, station-index-sorted list, so the
+                        // fan-out never rescans every station and the RNG
+                        // is consumed in the same order as before.
+                        let listeners =
+                            std::mem::take(&mut mac.mediums[medium.0 as usize].bcast_listeners);
+                        for &oid in &listeners {
+                            if oid == sta {
+                                continue;
+                            }
+                            let per = mac.per_of(sta, oid, fl.rate, now);
                             if !mac.rng.chance(per) {
                                 deliveries.push((oid, frame));
                             }
                         }
+                        mac.mediums[medium.0 as usize].bcast_listeners = listeners;
                     }
                 }
                 Dest::Unicast(peer) => {
@@ -816,32 +970,42 @@ fn tx_end<W: MacWorld>(w: &mut W, q: &mut EventQueue<W>, medium: MediumId) {
                 resume.push(sta);
             }
         }
+        mac.scratch.in_flight_spare = in_flight;
     }
-    for sta in resume {
+    for sta in resume.drain(..) {
         start_access(w, q, sta);
     }
     rearm(w, q, medium);
-    for (frame, outcome) in completions {
+    for (frame, outcome) in completions.drain(..) {
         w.tx_complete(q, &frame, outcome);
     }
-    for (rx, frame) in deliveries {
+    for (rx, frame) in deliveries.drain(..) {
         w.deliver(q, rx, &frame);
     }
+    let mac = w.mac_mut();
+    mac.scratch.completions = completions;
+    mac.scratch.deliveries = deliveries;
+    mac.scratch.resume = resume;
 }
 
 /// Schedule periodic beacons from `sta` (typically an AP interface) every
 /// `interval` at `rate`, starting at `first`.
 pub fn start_beacons<W: MacWorld>(
-    q: &mut EventQueue<W>,
+    q: &mut Queue<W>,
     sta: StationId,
     first: SimTime,
     interval: SimDuration,
     rate: Bitrate,
 ) {
-    q.schedule_repeating(first, interval, move |w, q| {
-        let beacon = Frame::beacon(sta, rate);
-        enqueue(w, q, sta, beacon);
-    });
+    q.post_at(
+        first,
+        MacEvent::Beacon {
+            sta,
+            interval,
+            rate,
+        }
+        .into(),
+    );
 }
 
 #[cfg(test)]
@@ -857,21 +1021,28 @@ mod tests {
     }
 
     impl MacWorld for TestWorld {
+        type Ev = MacEvent;
         fn mac(&self) -> &Mac {
             &self.mac
         }
         fn mac_mut(&mut self) -> &mut Mac {
             &mut self.mac
         }
-        fn deliver(&mut self, _q: &mut EventQueue<Self>, rx: StationId, frame: &Frame) {
+        fn deliver(&mut self, _q: &mut Queue<Self>, rx: StationId, frame: &Frame) {
             self.delivered.push((rx, frame.id));
         }
-        fn tx_complete(&mut self, _q: &mut EventQueue<Self>, frame: &Frame, outcome: TxOutcome) {
+        fn tx_complete(&mut self, _q: &mut Queue<Self>, frame: &Frame, outcome: TxOutcome) {
             self.completed.push((frame.id, outcome));
         }
     }
 
-    fn world() -> (TestWorld, EventQueue<TestWorld>) {
+    impl Dispatch<MacEvent> for TestWorld {
+        fn dispatch(&mut self, q: &mut Queue<Self>, ev: MacEvent) {
+            dispatch_mac(self, q, ev);
+        }
+    }
+
+    fn world() -> (TestWorld, Queue<TestWorld>) {
         (
             TestWorld {
                 mac: Mac::new(SimRng::from_seed(1)),

@@ -19,17 +19,116 @@ pub use tcp::{start_tcp_flow, tcp_push, TcpFlow, MSS};
 pub use udp::{start_udp_flow, UdpFlowState, UDP_PAYLOAD};
 pub use web::{start_page_load, top10_us, PageState, SiteProfile, WanConfig};
 
-use powifi_mac::{Frame, StationId};
-use powifi_sim::EventQueue;
+use powifi_mac::{dispatch_mac, Frame, MacEvent, MacWorld, Queue, StationId};
+use powifi_sim::{SimDuration, SimTime};
+
+/// The transport layer's typed events. A [`NetWorld`]'s event enum absorbs
+/// these via `From`; hot timers (UDP CBR ticks, TCP RTOs, page-fetch WAN
+/// delays) post them with zero allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEvent {
+    /// One CBR datagram of a UDP flow; re-posts itself every `interval`
+    /// until `stop`.
+    UdpTick {
+        /// Flow id.
+        flow: FlowId,
+        /// Sending station.
+        src: StationId,
+        /// Receiving station.
+        dst: StationId,
+        /// Inter-datagram interval.
+        interval: SimDuration,
+        /// Stop time (exclusive).
+        stop: SimTime,
+        /// Next datagram sequence number.
+        seq: u64,
+    },
+    /// A TCP retransmission timeout; stale epochs are ignored.
+    TcpRto {
+        /// Flow id.
+        flow: FlowId,
+        /// Timer generation at arming time.
+        epoch: u64,
+    },
+    /// DNS resolved: dispatch a page's first objects over its connections.
+    PageStart {
+        /// Index into `NetState::pages`.
+        page: usize,
+    },
+    /// WAN round-trip done: push an object's bytes onto a connection.
+    PageFetch {
+        /// Index into `NetState::pages`.
+        page: usize,
+        /// Connection index within the page.
+        conn: usize,
+        /// Object size in bytes.
+        bytes: u64,
+    },
+}
+
+/// Route a [`NetEvent`] to its handler. Worlds call this from their
+/// [`powifi_sim::Dispatch`] impl for the transport share of the composed
+/// enum.
+pub fn dispatch_net<W: NetWorld>(w: &mut W, q: &mut Queue<W>, ev: NetEvent) {
+    match ev {
+        NetEvent::UdpTick {
+            flow,
+            src,
+            dst,
+            interval,
+            stop,
+            seq,
+        } => udp::udp_tick(w, q, flow, src, dst, interval, stop, seq),
+        NetEvent::TcpRto { flow, epoch } => tcp::rto_fire(w, q, flow, epoch),
+        NetEvent::PageStart { page } => web::page_start(w, q, page),
+        NetEvent::PageFetch { page, conn, bytes } => web::page_fetch(w, q, page, conn, bytes),
+    }
+}
+
+/// Composed event enum for worlds that carry exactly the MAC plus
+/// transport (no PoWiFi core) — test harnesses, the bench TCP world.
+/// Larger worlds define their own enum absorbing [`MacEvent`] and
+/// [`NetEvent`] the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackEvent {
+    /// MAC-layer event.
+    Mac(MacEvent),
+    /// Transport-layer event.
+    Net(NetEvent),
+}
+
+impl From<MacEvent> for StackEvent {
+    fn from(ev: MacEvent) -> Self {
+        StackEvent::Mac(ev)
+    }
+}
+
+impl From<NetEvent> for StackEvent {
+    fn from(ev: NetEvent) -> Self {
+        StackEvent::Net(ev)
+    }
+}
+
+/// Route a [`StackEvent`] for worlds whose event enum is exactly
+/// [`StackEvent`].
+pub fn dispatch_stack<W>(w: &mut W, q: &mut Queue<W>, ev: StackEvent)
+where
+    W: NetWorld + MacWorld<Ev = StackEvent>,
+{
+    match ev {
+        StackEvent::Mac(m) => dispatch_mac(w, q, m),
+        StackEvent::Net(n) => dispatch_net(w, q, n),
+    }
+}
 
 /// Route a delivered MAC frame to its transport flow. Call this from the
 /// world's `MacWorld::deliver`.
-pub fn on_deliver<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, rx: StationId, frame: &Frame) {
+pub fn on_deliver<W: NetWorld>(w: &mut W, q: &mut Queue<W>, rx: StationId, frame: &Frame) {
     let id = frame.payload.flow;
     if id == 0 {
         return; // power packets, beacons, junk traffic
     }
-    match w.net().flows.get(&id) {
+    match w.net().flow(id) {
         Some(Flow::Udp(_)) => udp::on_udp_deliver(w, q.now(), frame),
         Some(Flow::Tcp(_)) => tcp::on_tcp_deliver(w, q, rx, frame),
         None => {}
@@ -41,20 +140,26 @@ mod tests {
     use super::*;
     use powifi_mac::{Mac, MacWorld, RateController};
     use powifi_rf::Bitrate;
-    use powifi_sim::{SimDuration, SimRng, SimTime};
+    use powifi_sim::{Dispatch, SimDuration, SimRng, SimTime};
 
     struct W {
         mac: Mac,
         net: NetState,
     }
+    impl Dispatch<StackEvent> for W {
+        fn dispatch(&mut self, q: &mut Queue<Self>, ev: StackEvent) {
+            dispatch_stack(self, q, ev);
+        }
+    }
     impl MacWorld for W {
+        type Ev = StackEvent;
         fn mac(&self) -> &Mac {
             &self.mac
         }
         fn mac_mut(&mut self) -> &mut Mac {
             &mut self.mac
         }
-        fn deliver(&mut self, q: &mut EventQueue<Self>, rx: powifi_mac::StationId, frame: &Frame) {
+        fn deliver(&mut self, q: &mut Queue<Self>, rx: powifi_mac::StationId, frame: &Frame) {
             on_deliver(self, q, rx, frame);
         }
     }
@@ -67,12 +172,7 @@ mod tests {
         }
     }
 
-    fn world() -> (
-        W,
-        EventQueue<W>,
-        powifi_mac::StationId,
-        powifi_mac::StationId,
-    ) {
+    fn world() -> (W, Queue<W>, powifi_mac::StationId, powifi_mac::StationId) {
         let mut w = W {
             mac: Mac::new(SimRng::from_seed(1)),
             net: NetState::new(),
@@ -80,7 +180,7 @@ mod tests {
         let m = w.mac.add_medium(SimDuration::from_secs(1));
         let ap = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
         let client = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
-        (w, EventQueue::new(), ap, client)
+        (w, Queue::new(), ap, client)
     }
 
     #[test]
@@ -96,7 +196,7 @@ mod tests {
             SimTime::from_secs(4),
         );
         q.run_until(&mut w, SimTime::from_secs(4));
-        let Flow::Udp(u) = &w.net.flows[&flow] else {
+        let Some(Flow::Udp(u)) = w.net.flow(flow) else {
             unreachable!()
         };
         let got = u.mean_mbps();
@@ -117,7 +217,7 @@ mod tests {
             SimTime::from_secs(4),
         );
         q.run_until(&mut w, SimTime::from_secs(4));
-        let Flow::Udp(u) = &w.net.flows[&flow] else {
+        let Some(Flow::Udp(u)) = w.net.flow(flow) else {
             unreachable!()
         };
         let got = u.mean_mbps();
@@ -140,7 +240,7 @@ mod tests {
             SimTime::from_secs(1),
         );
         q.run_until(&mut w, SimTime::from_secs(3));
-        let Flow::Udp(u) = &w.net.flows[&flow] else {
+        let Some(Flow::Udp(u)) = w.net.flow(flow) else {
             unreachable!()
         };
         let bins = u.delivered.mbps_per_bin();

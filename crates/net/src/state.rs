@@ -8,10 +8,12 @@
 use crate::tcp::TcpFlow;
 use crate::udp::UdpFlowState;
 use crate::web::PageState;
+use crate::NetEvent;
 use powifi_mac::MacWorld;
-use std::collections::BTreeMap;
 
-/// Flow identifier carried in every data frame's payload tag.
+/// Flow identifier carried in every data frame's payload tag. Ids start at
+/// 1 (0 means "no flow"), and id `n` is slot `n - 1` of the flow table —
+/// flows are never removed, so the mapping is stable by construction.
 pub type FlowId = u32;
 
 /// A transport flow.
@@ -24,13 +26,15 @@ pub enum Flow {
 }
 
 /// All transport state in a simulation world.
+///
+/// Flows live in a dense index-keyed vector ([`FlowId`] = index + 1), so
+/// the per-frame flow lookup on the delivery path is one bounds-checked
+/// array access, and iteration order is ascending id by construction.
 #[derive(Default)]
 pub struct NetState {
-    /// Flows by id.
-    pub flows: BTreeMap<FlowId, Flow>,
+    flows: Vec<Flow>,
     /// In-progress and completed page loads.
     pub pages: Vec<PageState>,
-    next_flow: FlowId,
 }
 
 impl NetState {
@@ -39,15 +43,41 @@ impl NetState {
         NetState::default()
     }
 
-    /// Allocate a flow id (ids start at 1; 0 means "no flow" in payload tags).
-    pub fn alloc_flow(&mut self) -> FlowId {
-        self.next_flow += 1;
-        self.next_flow
+    /// Register a flow: `make` receives the newly allocated id and returns
+    /// the flow to store under it.
+    pub fn insert_flow(&mut self, make: impl FnOnce(FlowId) -> Flow) -> FlowId {
+        let id = self.flows.len() as FlowId + 1;
+        self.flows.push(make(id));
+        id
+    }
+
+    /// Look up a flow by id.
+    pub fn flow(&self, id: FlowId) -> Option<&Flow> {
+        id.checked_sub(1).and_then(|i| self.flows.get(i as usize))
+    }
+
+    /// Look up a flow by id, mutably.
+    pub fn flow_mut(&mut self, id: FlowId) -> Option<&mut Flow> {
+        id.checked_sub(1)
+            .and_then(|i| self.flows.get_mut(i as usize))
+    }
+
+    /// Iterate every flow in ascending id order.
+    pub fn flows(&self) -> impl Iterator<Item = (FlowId, &Flow)> {
+        self.flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (i as FlowId + 1, f))
+    }
+
+    /// Number of registered flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
     }
 
     /// Fetch a TCP flow mutably; panics if the id is not TCP.
     pub fn tcp_mut(&mut self, id: FlowId) -> &mut TcpFlow {
-        match self.flows.get_mut(&id) {
+        match self.flow_mut(id) {
             Some(Flow::Tcp(t)) => t,
             _ => panic!("flow {id} is not TCP"),
         }
@@ -55,15 +85,16 @@ impl NetState {
 
     /// Fetch a TCP flow; panics if the id is not TCP.
     pub fn tcp(&self, id: FlowId) -> &TcpFlow {
-        match self.flows.get(&id) {
+        match self.flow(id) {
             Some(Flow::Tcp(t)) => t,
             _ => panic!("flow {id} is not TCP"),
         }
     }
 }
 
-/// World trait for simulations that carry transport traffic.
-pub trait NetWorld: MacWorld {
+/// World trait for simulations that carry transport traffic. The world's
+/// event enum must absorb [`NetEvent`] on top of the MAC's events.
+pub trait NetWorld: MacWorld<Ev: From<NetEvent>> {
     /// Immutable transport state.
     fn net(&self) -> &NetState;
     /// Mutable transport state.

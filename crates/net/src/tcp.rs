@@ -8,12 +8,13 @@
 //! NoQueue hurt it in Fig. 6(b).
 
 use crate::state::{Flow, FlowId, NetWorld};
-use powifi_mac::{enqueue, Dest, Frame, PayloadTag, StationId};
+use crate::NetEvent;
+use powifi_mac::{enqueue, Dest, Frame, PayloadTag, Queue, StationId};
 use powifi_sim::obs::metrics as obs_metrics;
 use powifi_sim::obs::prof;
 use powifi_sim::obs::trace as obs;
-use powifi_sim::{BinnedThroughput, EventQueue, SimDuration, SimTime};
-use std::collections::{BTreeMap, BTreeSet};
+use powifi_sim::{BinnedThroughput, SimDuration, SimTime};
+use std::collections::{BTreeSet, VecDeque};
 
 /// Maximum segment size (bytes of TCP payload per frame).
 pub const MSS: u32 = 1460;
@@ -48,7 +49,11 @@ pub struct TcpFlow {
     srtt: Option<f64>,
     rttvar: f64,
     rto: f64,
-    sent_at: BTreeMap<u64, (SimTime, bool)>,
+    /// Send timestamps of the outstanding window, indexed by
+    /// `seq - snd_una`: slot `i` holds `(sent time, was retransmitted)` for
+    /// segment `snd_una + i`. ACKs pop the front; new segments push the
+    /// back — O(1) at both ends, no tree rebalancing per segment.
+    sent_at: VecDeque<(SimTime, bool)>,
     timer_epoch: u64,
     // --- receiver ---
     rcv_next: u64,
@@ -81,7 +86,7 @@ impl TcpFlow {
             srtt: None,
             rttvar: 0.0,
             rto: RTO_INIT,
-            sent_at: BTreeMap::new(),
+            sent_at: VecDeque::new(),
             timer_epoch: 0,
             rcv_next: 1,
             ooo: BTreeSet::new(),
@@ -111,19 +116,34 @@ impl TcpFlow {
     fn outstanding(&self) -> u64 {
         self.next_seq - self.snd_una
     }
+
+    /// The send record of `seq`, if it is inside the outstanding window.
+    fn sent_entry(&self, seq: u64) -> Option<(SimTime, bool)> {
+        seq.checked_sub(self.snd_una)
+            .and_then(|i| self.sent_at.get(i as usize))
+            .copied()
+    }
+
+    /// Overwrite the send record of an outstanding `seq`.
+    fn set_sent(&mut self, seq: u64, entry: (SimTime, bool)) {
+        let i = (seq - self.snd_una) as usize;
+        if i < self.sent_at.len() {
+            self.sent_at[i] = entry;
+        } else {
+            debug_assert_eq!(i, self.sent_at.len(), "send window gap");
+            self.sent_at.push_back(entry);
+        }
+    }
 }
 
 /// Create a TCP flow (no data authorized yet). Use [`tcp_push`] to send.
 pub fn start_tcp_flow<W: NetWorld>(w: &mut W, src: StationId, dst: StationId) -> FlowId {
-    let id = w.net_mut().alloc_flow();
     w.net_mut()
-        .flows
-        .insert(id, Flow::Tcp(Box::new(TcpFlow::new(id, src, dst))));
-    id
+        .insert_flow(|id| Flow::Tcp(Box::new(TcpFlow::new(id, src, dst))))
 }
 
 /// Authorize `bytes` more bytes on the flow and (re)start transmission.
-pub fn tcp_push<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, id: FlowId, bytes: u64) {
+pub fn tcp_push<W: NetWorld>(w: &mut W, q: &mut Queue<W>, id: FlowId, bytes: u64) {
     {
         let f = w.net_mut().tcp_mut(id);
         f.budget += bytes.div_ceil(MSS as u64);
@@ -158,7 +178,7 @@ fn ack_frame(f: &TcpFlow, ack: u64) -> Frame {
     )
 }
 
-fn try_send<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, id: FlowId) {
+fn try_send<W: NetWorld>(w: &mut W, q: &mut Queue<W>, id: FlowId) {
     let mut to_send = Vec::new();
     let (had_outstanding, src) = {
         let f = w.net_mut().tcp_mut(id);
@@ -173,13 +193,13 @@ fn try_send<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, id: FlowId) {
     for seq in to_send {
         let frame = {
             let f = w.net_mut().tcp_mut(id);
-            f.sent_at.insert(seq, (now, false));
+            f.set_sent(seq, (now, false));
             data_frame(f, seq)
         };
         if !enqueue(w, q, src, frame) {
             // MAC queue full: roll back and let ACK clocking retry.
             let f = w.net_mut().tcp_mut(id);
-            f.sent_at.remove(&seq);
+            f.sent_at.pop_back();
             f.next_seq = seq;
             break;
         }
@@ -190,31 +210,34 @@ fn try_send<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, id: FlowId) {
     }
 }
 
-fn retransmit<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, id: FlowId, seq: u64) {
+fn retransmit<W: NetWorld>(w: &mut W, q: &mut Queue<W>, id: FlowId, seq: u64) {
     let (frame, src) = {
         let f = w.net_mut().tcp_mut(id);
         f.retransmits += 1;
-        f.sent_at.insert(seq, (q.now(), true));
+        f.set_sent(seq, (q.now(), true));
         (data_frame(f, seq), f.src)
     };
     let _ = enqueue(w, q, src, frame);
 }
 
-fn arm_rto<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, id: FlowId) {
+fn arm_rto<W: NetWorld>(w: &mut W, q: &mut Queue<W>, id: FlowId) {
     let (epoch, rto) = {
         let f = w.net_mut().tcp_mut(id);
         f.timer_epoch += 1;
         (f.timer_epoch, f.rto)
     };
-    q.schedule_in(SimDuration::from_secs_f64(rto), move |w, q| {
-        rto_fire(w, q, id, epoch)
-    });
+    q.post_in(
+        SimDuration::from_secs_f64(rto),
+        NetEvent::TcpRto { flow: id, epoch }.into(),
+    );
 }
 
-fn rto_fire<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, id: FlowId, epoch: u64) {
+/// An RTO fired (routed here from [`crate::dispatch_net`]): if the epoch is
+/// current and data is outstanding, back off and retransmit from `snd_una`.
+pub(crate) fn rto_fire<W: NetWorld>(w: &mut W, q: &mut Queue<W>, id: FlowId, epoch: u64) {
     let _prof = prof::span("net.tcp.rto");
     let expired = {
-        let Some(Flow::Tcp(f)) = w.net_mut().flows.get_mut(&id) else {
+        let Some(Flow::Tcp(f)) = w.net_mut().flow_mut(id) else {
             return;
         };
         if f.timer_epoch != epoch || f.outstanding() == 0 {
@@ -258,7 +281,7 @@ fn rto_fire<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, id: FlowId, epoch: u6
 }
 
 /// Handle a delivered TCP frame (dispatched from [`crate::on_deliver`]).
-pub fn on_tcp_deliver<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, rx: StationId, frame: &Frame) {
+pub fn on_tcp_deliver<W: NetWorld>(w: &mut W, q: &mut Queue<W>, rx: StationId, frame: &Frame) {
     let _prof = prof::span("net.tcp.deliver");
     let id = frame.payload.flow;
     if frame.payload.bytes > 0 {
@@ -268,16 +291,10 @@ pub fn on_tcp_deliver<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, rx: Station
     }
 }
 
-fn receiver_data<W: NetWorld>(
-    w: &mut W,
-    q: &mut EventQueue<W>,
-    id: FlowId,
-    rx: StationId,
-    seq: u64,
-) {
+fn receiver_data<W: NetWorld>(w: &mut W, q: &mut Queue<W>, id: FlowId, rx: StationId, seq: u64) {
     let now = q.now();
     let (ack, frame, src) = {
-        let Some(Flow::Tcp(f)) = w.net_mut().flows.get_mut(&id) else {
+        let Some(Flow::Tcp(f)) = w.net_mut().flow_mut(id) else {
             return;
         };
         debug_assert_eq!(rx, f.dst, "TCP data delivered to wrong station");
@@ -300,7 +317,7 @@ fn receiver_data<W: NetWorld>(
     let _ = enqueue(w, q, src, frame);
 }
 
-fn sender_ack<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, id: FlowId, ack: u64) {
+fn sender_ack<W: NetWorld>(w: &mut W, q: &mut Queue<W>, id: FlowId, ack: u64) {
     let now = q.now();
     enum Action {
         None,
@@ -309,7 +326,7 @@ fn sender_ack<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, id: FlowId, ack: u6
         Completed,
     }
     let (action, rearm) = {
-        let Some(Flow::Tcp(f)) = w.net_mut().flows.get_mut(&id) else {
+        let Some(Flow::Tcp(f)) = w.net_mut().flow_mut(id) else {
             return;
         };
         let mut action = Action::None;
@@ -317,7 +334,7 @@ fn sender_ack<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, id: FlowId, ack: u6
             let newly = ack - f.snd_una;
             // RTT sample from the newest segment this ACK covers, unless it
             // was retransmitted (Karn's rule).
-            if let Some(&(t, retx)) = f.sent_at.get(&(ack - 1)) {
+            if let Some((t, retx)) = f.sent_entry(ack - 1) {
                 if !retx {
                     let sample = now.duration_since(t).as_secs_f64();
                     let srtt_now = match f.srtt {
@@ -334,8 +351,9 @@ fn sender_ack<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, id: FlowId, ack: u6
                     f.rto = (srtt_now + 4.0 * f.rttvar).clamp(RTO_MIN, RTO_MAX);
                 }
             }
-            for s in f.snd_una..ack {
-                f.sent_at.remove(&s);
+            // Slide the window: drop the records of everything now ACKed.
+            for _ in f.snd_una..ack {
+                f.sent_at.pop_front();
             }
             f.snd_una = ack;
             f.dup_acks = 0;

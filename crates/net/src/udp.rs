@@ -1,8 +1,9 @@
 //! UDP constant-bit-rate flows — the iperf UDP workload of §4.1(a).
 
 use crate::state::{Flow, FlowId, NetWorld};
-use powifi_mac::{enqueue, Dest, Frame, PayloadTag, StationId};
-use powifi_sim::{BinnedThroughput, EventQueue, SimDuration, SimTime};
+use crate::NetEvent;
+use powifi_mac::{enqueue, Dest, Frame, PayloadTag, Queue, StationId};
+use powifi_sim::{BinnedThroughput, SimDuration, SimTime};
 
 /// Receiver-side state of a UDP flow.
 pub struct UdpFlowState {
@@ -47,7 +48,7 @@ pub const UDP_PAYLOAD: u32 = 1470;
 /// `[start, stop)`. Returns the flow id; read results from the flow state.
 pub fn start_udp_flow<W: NetWorld>(
     w: &mut W,
-    q: &mut EventQueue<W>,
+    q: &mut Queue<W>,
     src: StationId,
     dst: StationId,
     rate_mbps: f64,
@@ -55,21 +56,29 @@ pub fn start_udp_flow<W: NetWorld>(
     stop: SimTime,
 ) -> FlowId {
     assert!(rate_mbps > 0.0);
-    let flow = w.net_mut().alloc_flow();
-    w.net_mut()
-        .flows
-        .insert(flow, Flow::Udp(UdpFlowState::new()));
+    let flow = w.net_mut().insert_flow(|_| Flow::Udp(UdpFlowState::new()));
     let interval = SimDuration::from_secs_f64(UDP_PAYLOAD as f64 * 8.0 / (rate_mbps * 1e6));
-    q.schedule_at(start, move |w, q| {
-        udp_tick(w, q, flow, src, dst, interval, stop, 1)
-    });
+    q.post_at(
+        start,
+        NetEvent::UdpTick {
+            flow,
+            src,
+            dst,
+            interval,
+            stop,
+            seq: 1,
+        }
+        .into(),
+    );
     flow
 }
 
+/// One CBR tick: emit the next datagram, then re-post for `interval` later
+/// (routed here from [`crate::dispatch_net`]).
 #[allow(clippy::too_many_arguments)]
-fn udp_tick<W: NetWorld>(
+pub(crate) fn udp_tick<W: NetWorld>(
     w: &mut W,
-    q: &mut EventQueue<W>,
+    q: &mut Queue<W>,
     flow: FlowId,
     src: StationId,
     dst: StationId,
@@ -87,18 +96,27 @@ fn udp_tick<W: NetWorld>(
     };
     let f = Frame::data(src, Dest::Unicast(dst), tag);
     if !enqueue(w, q, src, f) {
-        if let Some(Flow::Udp(u)) = w.net_mut().flows.get_mut(&flow) {
+        if let Some(Flow::Udp(u)) = w.net_mut().flow_mut(flow) {
             u.sender_drops += 1;
         }
     }
-    q.schedule_in(interval, move |w, q| {
-        udp_tick(w, q, flow, src, dst, interval, stop, seq + 1)
-    });
+    q.post_in(
+        interval,
+        NetEvent::UdpTick {
+            flow,
+            src,
+            dst,
+            interval,
+            stop,
+            seq: seq + 1,
+        }
+        .into(),
+    );
 }
 
 /// Deliver a UDP data frame at the sink (called from the world's `deliver`).
 pub fn on_udp_deliver<W: NetWorld>(w: &mut W, now: SimTime, frame: &Frame) {
-    if let Some(Flow::Udp(u)) = w.net_mut().flows.get_mut(&frame.payload.flow) {
+    if let Some(Flow::Udp(u)) = w.net_mut().flow_mut(frame.payload.flow) {
         u.packets += 1;
         u.max_seq = u.max_seq.max(frame.payload.seq);
         u.delivered.record(now, frame.payload.bytes as u64);

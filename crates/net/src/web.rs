@@ -8,8 +8,9 @@
 
 use crate::state::{FlowId, NetWorld};
 use crate::tcp::{start_tcp_flow, tcp_push};
-use powifi_mac::StationId;
-use powifi_sim::{EventQueue, SimDuration, SimTime};
+use crate::NetEvent;
+use powifi_mac::{Queue, StationId};
+use powifi_sim::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
 /// Static description of a site's front page (2015-era approximations).
@@ -92,7 +93,7 @@ impl PageState {
 /// at `start`. Returns the page index into `NetState::pages`.
 pub fn start_page_load<W: NetWorld>(
     w: &mut W,
-    q: &mut EventQueue<W>,
+    q: &mut Queue<W>,
     router: StationId,
     client: StationId,
     site: SiteProfile,
@@ -133,17 +134,24 @@ pub fn start_page_load<W: NetWorld>(
     w.net_mut().pages[page_idx].conns = conns;
     // After DNS, dispatch the first object; remaining connections open as
     // soon as the main document arrives (simplified: all at DNS + one WAN).
-    q.schedule_at(start + wan.dns, move |w: &mut W, q| {
-        let nconn = w.net().pages[page_idx].conns.len();
-        for conn_idx in 0..nconn {
-            dispatch_next(w, q, page_idx, conn_idx);
-        }
-    });
+    q.post_at(
+        start + wan.dns,
+        NetEvent::PageStart { page: page_idx }.into(),
+    );
     page_idx
 }
 
+/// DNS resolved (routed here from [`crate::dispatch_net`]): hand every
+/// connection its first object.
+pub(crate) fn page_start<W: NetWorld>(w: &mut W, q: &mut Queue<W>, page_idx: usize) {
+    let nconn = w.net().pages[page_idx].conns.len();
+    for conn_idx in 0..nconn {
+        dispatch_next(w, q, page_idx, conn_idx);
+    }
+}
+
 /// Give `conn_idx` its next object after the WAN delay, if any remain.
-fn dispatch_next<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, page_idx: usize, conn_idx: usize) {
+fn dispatch_next<W: NetWorld>(w: &mut W, q: &mut Queue<W>, page_idx: usize, conn_idx: usize) {
     let (bytes, wan) = {
         let page = &mut w.net_mut().pages[page_idx];
         let Some(bytes) = page.pending.pop_front() else {
@@ -152,20 +160,33 @@ fn dispatch_next<W: NetWorld>(w: &mut W, q: &mut EventQueue<W>, page_idx: usize,
         page.active += 1;
         (bytes, page.wan.per_object)
     };
-    q.schedule_in(wan, move |w: &mut W, q| {
-        let flow = w.net().pages[page_idx].conns[conn_idx];
-        tcp_push(w, q, flow, bytes);
-    });
+    q.post_in(
+        wan,
+        NetEvent::PageFetch {
+            page: page_idx,
+            conn: conn_idx,
+            bytes,
+        }
+        .into(),
+    );
+}
+
+/// The WAN round-trip for an object elapsed (routed here from
+/// [`crate::dispatch_net`]): push its bytes onto the connection.
+pub(crate) fn page_fetch<W: NetWorld>(
+    w: &mut W,
+    q: &mut Queue<W>,
+    page_idx: usize,
+    conn_idx: usize,
+    bytes: u64,
+) {
+    let flow = w.net().pages[page_idx].conns[conn_idx];
+    tcp_push(w, q, flow, bytes);
 }
 
 /// Called by the TCP layer when a connection has delivered and ACKed all
 /// pushed bytes.
-pub fn on_conn_drained<W: NetWorld>(
-    w: &mut W,
-    q: &mut EventQueue<W>,
-    page_idx: usize,
-    conn_idx: usize,
-) {
+pub fn on_conn_drained<W: NetWorld>(w: &mut W, q: &mut Queue<W>, page_idx: usize, conn_idx: usize) {
     let now = q.now();
     let more = {
         let page = &mut w.net_mut().pages[page_idx];

@@ -1,10 +1,12 @@
 //! Property tests of the TCP machine: reliable, exactly-once, in-order
 //! delivery under randomized loss, and conservation of the byte budget.
 
-use powifi_mac::{Mac, MacWorld, RateController, StationId};
-use powifi_net::{on_deliver, start_tcp_flow, tcp_push, Flow, NetState, NetWorld, MSS};
+use powifi_mac::{Mac, MacWorld, Queue, RateController, StationId};
+use powifi_net::{
+    dispatch_stack, on_deliver, start_tcp_flow, tcp_push, Flow, NetState, NetWorld, StackEvent, MSS,
+};
 use powifi_rf::Bitrate;
-use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use powifi_sim::{Dispatch, SimDuration, SimRng, SimTime};
 use proptest::prelude::*;
 
 struct W {
@@ -13,14 +15,20 @@ struct W {
     /// (flow, seq) of every data segment delivered to a receiver, in order.
     delivered_seqs: Vec<(u32, u64)>,
 }
+impl Dispatch<StackEvent> for W {
+    fn dispatch(&mut self, q: &mut Queue<Self>, ev: StackEvent) {
+        dispatch_stack(self, q, ev);
+    }
+}
 impl MacWorld for W {
+    type Ev = StackEvent;
     fn mac(&self) -> &Mac {
         &self.mac
     }
     fn mac_mut(&mut self) -> &mut Mac {
         &mut self.mac
     }
-    fn deliver(&mut self, q: &mut EventQueue<Self>, rx: StationId, frame: &powifi_mac::Frame) {
+    fn deliver(&mut self, q: &mut Queue<Self>, rx: StationId, frame: &powifi_mac::Frame) {
         if frame.payload.bytes > 0 && frame.payload.flow != 0 {
             self.delivered_seqs
                 .push((frame.payload.flow, frame.payload.seq));
@@ -58,7 +66,7 @@ proptest! {
         let ap = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
         let client = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
         w.mac.set_corruption(m, corruption);
-        let mut q = EventQueue::new();
+        let mut q = Queue::<W>::new();
         let flow = start_tcp_flow(&mut w, ap, client);
         let bytes = kilobytes * 1000;
         q.schedule_at(SimTime::ZERO, move |w: &mut W, q| {
@@ -93,14 +101,14 @@ proptest! {
         let m = w.mac.add_medium(SimDuration::from_secs(1));
         let ap = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
         let client = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
-        let mut q = EventQueue::new();
+        let mut q = Queue::<W>::new();
         let flow = start_tcp_flow(&mut w, ap, client);
         let bytes = kilobytes * 1000;
         q.schedule_at(SimTime::ZERO, move |w: &mut W, q| {
             tcp_push(w, q, flow, bytes);
         });
         q.run_until(&mut w, SimTime::from_secs(60));
-        let Some(Flow::Tcp(f)) = w.net.flows.get(&flow) else { unreachable!() };
+        let Some(Flow::Tcp(f)) = w.net.flow(flow) else { unreachable!() };
         let total: u64 = f.delivered.total_bytes();
         let budget_segments = bytes.div_ceil(MSS as u64);
         prop_assert!(total <= budget_segments * MSS as u64, "delivered {total} > budget");

@@ -1,23 +1,31 @@
 //! Behavioural tests of the TCP machine under controlled adversity:
 //! timeouts, fast retransmit, fading links, and competing power traffic.
 
-use powifi_mac::{Mac, MacWorld, RateController, StationId};
-use powifi_net::{on_deliver, start_tcp_flow, tcp_push, NetState, NetWorld};
+use powifi_mac::{Mac, MacWorld, Queue, RateController, StationId};
+use powifi_net::{
+    dispatch_stack, on_deliver, start_tcp_flow, tcp_push, NetState, NetWorld, StackEvent,
+};
 use powifi_rf::{Bitrate, BlockFader, Db};
-use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use powifi_sim::{Dispatch, SimDuration, SimRng, SimTime};
 
 struct W {
     mac: Mac,
     net: NetState,
 }
+impl Dispatch<StackEvent> for W {
+    fn dispatch(&mut self, q: &mut Queue<Self>, ev: StackEvent) {
+        dispatch_stack(self, q, ev);
+    }
+}
 impl MacWorld for W {
+    type Ev = StackEvent;
     fn mac(&self) -> &Mac {
         &self.mac
     }
     fn mac_mut(&mut self) -> &mut Mac {
         &mut self.mac
     }
-    fn deliver(&mut self, q: &mut EventQueue<Self>, rx: StationId, frame: &powifi_mac::Frame) {
+    fn deliver(&mut self, q: &mut Queue<Self>, rx: StationId, frame: &powifi_mac::Frame) {
         on_deliver(self, q, rx, frame);
     }
 }
@@ -30,7 +38,7 @@ impl NetWorld for W {
     }
 }
 
-fn world(seed: u64) -> (W, EventQueue<W>, StationId, StationId) {
+fn world(seed: u64) -> (W, Queue<W>, StationId, StationId) {
     let mut w = W {
         mac: Mac::new(SimRng::from_seed(seed)),
         net: NetState::new(),
@@ -38,7 +46,7 @@ fn world(seed: u64) -> (W, EventQueue<W>, StationId, StationId) {
     let m = w.mac.add_medium(SimDuration::from_secs(1));
     let ap = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
     let client = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
-    (w, EventQueue::new(), ap, client)
+    (w, Queue::new(), ap, client)
 }
 
 /// A totally dead link forces RTO-driven retransmission; reviving it lets

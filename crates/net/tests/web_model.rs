@@ -1,25 +1,32 @@
 //! Tests of the page-load model: object splitting, connection fan-out, WAN
 //! pacing and completion semantics.
 
-use powifi_mac::{Mac, MacWorld, RateController, StationId};
+use powifi_mac::{Mac, MacWorld, Queue, RateController, StationId};
 use powifi_net::{
-    on_deliver, start_page_load, top10_us, NetState, NetWorld, SiteProfile, WanConfig,
+    dispatch_stack, on_deliver, start_page_load, top10_us, NetState, NetWorld, SiteProfile,
+    StackEvent, WanConfig,
 };
 use powifi_rf::Bitrate;
-use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use powifi_sim::{Dispatch, SimDuration, SimRng, SimTime};
 
 struct W {
     mac: Mac,
     net: NetState,
 }
+impl Dispatch<StackEvent> for W {
+    fn dispatch(&mut self, q: &mut Queue<Self>, ev: StackEvent) {
+        dispatch_stack(self, q, ev);
+    }
+}
 impl MacWorld for W {
+    type Ev = StackEvent;
     fn mac(&self) -> &Mac {
         &self.mac
     }
     fn mac_mut(&mut self) -> &mut Mac {
         &mut self.mac
     }
-    fn deliver(&mut self, q: &mut EventQueue<Self>, rx: StationId, frame: &powifi_mac::Frame) {
+    fn deliver(&mut self, q: &mut Queue<Self>, rx: StationId, frame: &powifi_mac::Frame) {
         on_deliver(self, q, rx, frame);
     }
 }
@@ -32,7 +39,7 @@ impl NetWorld for W {
     }
 }
 
-fn world() -> (W, EventQueue<W>, StationId, StationId) {
+fn world() -> (W, Queue<W>, StationId, StationId) {
     let mut w = W {
         mac: Mac::new(SimRng::from_seed(3)),
         net: NetState::new(),
@@ -40,7 +47,7 @@ fn world() -> (W, EventQueue<W>, StationId, StationId) {
     let m = w.mac.add_medium(SimDuration::from_secs(1));
     let ap = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
     let client = w.mac.add_station(m, RateController::fixed(Bitrate::G54));
-    (w, EventQueue::new(), ap, client)
+    (w, Queue::new(), ap, client)
 }
 
 #[test]

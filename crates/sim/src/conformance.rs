@@ -195,13 +195,16 @@ impl<W> InvariantSuite<W> {
 
 impl<W: 'static> InvariantSuite<W> {
     /// Install the suite as a repeating audit event: first run at `first`,
-    /// then every `period`, for as long as the queue keeps running.
+    /// then every `period`, for as long as the queue keeps running. Works on
+    /// a queue with any typed-event parameter `E` — audits are cold-path by
+    /// design, so the closure API is the right fit here.
     ///
     /// The audit observes the world immutably through `&W` and writes only
     /// to the thread-local sink, so installing it cannot change simulation
     /// behavior — only add (deterministic) event-queue activity.
-    pub fn install(self, q: &mut EventQueue<W>, first: SimTime, period: SimDuration) {
+    pub fn install<E>(self, q: &mut EventQueue<W, E>, first: SimTime, period: SimDuration) {
         let suite = RefCell::new(self);
+        // powifi-lint: allow(R8) — periodic cold-path audit, one closure per run
         q.schedule_repeating(first, period, move |w: &mut W, q| {
             suite.borrow_mut().run(w, q.now());
         });

@@ -1,17 +1,19 @@
 //! # powifi-sim
 //!
 //! Deterministic discrete-event simulation substrate for the PoWiFi
-//! reproduction: integer simulation time, a cancellable closure-based event
-//! calendar, seeded splittable randomness, and the measurement primitives
-//! (CDFs, time-weighted means, binned throughput, power envelopes) that the
-//! paper's figures are built from.
+//! reproduction: integer simulation time, a typed-event timer-wheel
+//! calendar with eager cancellation, seeded splittable randomness, and the
+//! measurement primitives (CDFs, time-weighted means, binned throughput,
+//! power envelopes) that the paper's figures are built from.
 //!
 //! Design notes:
 //! * Single-threaded and allocation-light; determinism beats parallelism for
 //!   a reproduction (parallelism lives one level up, across *experiments*).
-//! * `EventQueue<W>` is generic over a world type so each layer (MAC,
-//!   transport, deployment) composes its own world without dynamic dispatch
-//!   at the hot edges.
+//! * `EventQueue<W, E>` is generic over a world type and a typed event
+//!   payload so each layer (MAC, transport, deployment) composes its own
+//!   world and event enum without dynamic dispatch — or per-event heap
+//!   allocation — at the hot edges. Closure scheduling remains available
+//!   for cold paths via `schedule_at`/`schedule_in`.
 
 #![warn(missing_docs)]
 
@@ -21,15 +23,11 @@ pub mod queue;
 pub mod rng;
 pub mod series;
 pub mod stats;
-#[deprecated(
-    note = "use powifi_sim::obs::metrics; this compatibility shim will be removed in a future PR"
-)]
-pub mod telemetry;
 pub mod time;
 pub mod units;
 
 pub use obs::metrics::RunTelemetry;
-pub use queue::{EventFn, EventHandle, EventQueue};
+pub use queue::{Dispatch, EventFn, EventHandle, EventQueue, NoEvent};
 pub use rng::SimRng;
 pub use series::{PowerEnvelope, TimeSeries};
 pub use stats::{BinnedThroughput, Cdf, TimeWeighted, Welford};

@@ -12,10 +12,10 @@
 //! ordering plus the same shortest-roundtrip float formatting as the
 //! vendored `serde_json`, so the bytes are identical at any `--jobs` level.
 //!
-//! This module replaces and subsumes the ad-hoc [`crate::telemetry`]
-//! counters: the legacy `events` / `frames` / `occupancy` triple now lives
-//! here under the well-known names in [`keys`], and `telemetry` survives
-//! only as a deprecated shim over this registry.
+//! This module replaces and subsumes the ad-hoc `telemetry` counters of
+//! early PRs: the legacy `events` / `frames` / `occupancy` triple lives
+//! here under the well-known names in [`keys`] (the deprecated shim has
+//! been removed).
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;

@@ -13,12 +13,14 @@
 //!   [`std::time::Instant`] (lint rule R7); it is opt-in via
 //!   [`enable`]`(true)`, used by `bench_report` only, and every rendered
 //!   wall field carries the `wall_ms` key token so golden comparisons strip
-//!   it.
+//!   it. Wall time is *sampled* (1 in [`WALL_SAMPLE_EVERY`] entries, plus
+//!   each node's first) and scaled up at snapshot time, so wall mode no
+//!   longer dominates the very event loop it is measuring.
 //!
-//! Spans nest: [`span`] returns an RAII guard that pushes a node onto this
-//! thread's call stack and pops it on drop, so the same span name under
-//! different parents is attributed separately (a true call *tree*, not a
-//! flat tag set). The tree lives in a thread-local arena with
+//! Spans nest: [`span`] returns an RAII guard that makes its node the
+//! innermost open span and restores the enclosing one on drop, so the same
+//! span name under different parents is attributed separately (a true call
+//! *tree*, not a flat tag set). The tree lives in a thread-local arena with
 //! `BTreeMap`-ordered children, so snapshots render in stable name order.
 //!
 //! Like [`super::trace`] and [`super::metrics`], the profiler follows the
@@ -37,21 +39,45 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
+/// Sample one in this many span entries for wall timing (power of two).
+/// Reading the host clock twice per span costs more than the rest of the
+/// span bookkeeping combined at simulator event rates (tens of millions of
+/// spans per run), so wall mode times a deterministic 1-in-512 subsample
+/// (plus every node's first entry) and scales by the observed count at
+/// snapshot time. Wall numbers are nondeterministic and stripped from
+/// goldens, so the estimate costs nothing in reproducibility; hot spans
+/// still collect tens of thousands of samples per run.
+const WALL_SAMPLE_EVERY: u64 = 512;
+
 /// One node of the arena call tree (see [`ProfState`]).
 #[derive(Debug)]
 struct Node {
     name: &'static str,
     /// Child name → arena index. BTree order gives stable rendering.
     children: BTreeMap<&'static str, usize>,
+    /// One-entry lookup cache: the last child entered under this node. Hot
+    /// loops re-enter the same child span millions of times in a row, so a
+    /// pointer compare on the `&'static str` skips any map walk; a miss
+    /// falls back to `by_ptr`, so equal-content names still unify.
+    last_child: Option<(&'static str, usize)>,
+    /// Pointer-keyed child lookup: one entry per distinct `&'static str`
+    /// pointer seen, scanned linearly (span fan-out is tiny). Names are
+    /// string literals, so the pointer is a stable identity per call site;
+    /// a content-equal name from a different site falls through to the
+    /// ordered map once and is then added here.
+    by_ptr: Vec<(*const u8, usize)>,
     /// Times this span was entered.
     count: u64,
     /// Sim time attributed directly to this span via [`attr`].
     sim_self_ns: u64,
     /// Largest single [`attr`] observation.
     sim_max_ns: u64,
-    /// Wall time from enter to drop, accumulated (inclusive of children).
+    /// Wall time from enter to drop, accumulated over *sampled* entries
+    /// (inclusive of children).
     wall_ns: u64,
-    /// Largest single enter-to-drop wall observation.
+    /// Number of sampled entries contributing to `wall_ns`.
+    wall_sampled: u64,
+    /// Largest single enter-to-drop wall observation (among samples).
     wall_max_ns: u64,
 }
 
@@ -60,76 +86,170 @@ impl Node {
         Node {
             name,
             children: BTreeMap::new(),
+            last_child: None,
+            by_ptr: Vec::new(),
             count: 0,
             sim_self_ns: 0,
             sim_max_ns: 0,
             wall_ns: 0,
+            wall_sampled: 0,
             wall_max_ns: 0,
         }
     }
 }
 
-/// Arena-backed call tree plus the open-span stack. Index 0 is a synthetic
-/// root that is never rendered; the stack always contains at least it.
+/// Arena-backed call tree. Index 0 is a synthetic root that is never
+/// rendered; the innermost *open* span lives outside the arena, in
+/// [`Prof::cur`], so closing a span does not need to borrow this state.
 #[derive(Debug)]
 struct ProfState {
     arena: Vec<Node>,
-    stack: Vec<usize>,
 }
 
 impl ProfState {
     fn new() -> ProfState {
         ProfState {
             arena: vec![Node::new("")],
-            stack: vec![0],
         }
     }
 
     fn clear(&mut self) {
         self.arena.clear();
         self.arena.push(Node::new(""));
-        self.stack.clear();
-        self.stack.push(0);
+    }
+}
+
+/// Slots in the direct-mapped hot-entry cache (power of two).
+const HOT_SLOTS: usize = 8;
+
+/// One slot of the hot-entry cache: the last `(parent, name)` pair resolved
+/// whose parent hashes (`parent & (HOT_SLOTS-1)`) here, plus entry counts
+/// not yet flushed into the node. A node's counts can only accumulate via
+/// its one `(parent, name)` slot, so flushing the slot before the arena is
+/// read (or on eviction) keeps `Node::count` exact.
+struct HotSlot {
+    parent: Cell<usize>,
+    /// The name's `as_ptr()` address (0 = empty). Names are `'static`
+    /// literals, so the address is a stable identity per call site.
+    name: Cell<usize>,
+    idx: Cell<usize>,
+    pending: Cell<u64>,
+}
+
+impl HotSlot {
+    fn new() -> HotSlot {
+        HotSlot {
+            parent: Cell::new(usize::MAX),
+            name: Cell::new(0),
+            idx: Cell::new(0),
+            pending: Cell::new(0),
+        }
+    }
+
+    fn clear(&self) {
+        self.parent.set(usize::MAX);
+        self.name.set(0);
+        self.idx.set(0);
+        self.pending.set(0);
+    }
+}
+
+/// All per-thread profiler state behind a single thread-local, so the span
+/// hot path pays one TLS access per operation instead of three.
+///
+/// `cur` is the arena index of the innermost open span (0 = root). Each
+/// [`SpanGuard`] remembers the previous value and restores it on drop — a
+/// plain `Cell` store, with no `RefCell` traffic on the close path unless
+/// the entry was wall-sampled. A stale `cur` (guard dropped after a
+/// [`reset`] shrank the arena) is caught by bounds checks at the next use
+/// and falls back to the root.
+///
+/// `hot` lets a repeat entry of the same child under the same parent skip
+/// the `RefCell` borrow entirely: the count increment is banked in the
+/// slot's `pending` cell and flushed into the arena on eviction and before
+/// every snapshot.
+struct Prof {
+    enabled: Cell<bool>,
+    wall: Cell<bool>,
+    cur: Cell<usize>,
+    /// Monotone span-entry counter driving wall sampling.
+    tick: Cell<u64>,
+    hot: [HotSlot; HOT_SLOTS],
+    state: RefCell<ProfState>,
+}
+
+impl Prof {
+    /// Flush every hot slot's pending count into the arena.
+    fn flush_hot(&self, s: &mut ProfState) {
+        for h in &self.hot {
+            let pend = h.pending.get();
+            if pend > 0 {
+                if let Some(n) = s.arena.get_mut(h.idx.get()) {
+                    n.count += pend;
+                }
+                h.pending.set(0);
+            }
+        }
+    }
+
+    fn clear_hot(&self) {
+        for h in &self.hot {
+            h.clear();
+        }
+        self.tick.set(0);
     }
 }
 
 thread_local! {
-    static ENABLED: Cell<bool> = const { Cell::new(false) };
-    static WALL: Cell<bool> = const { Cell::new(false) };
-    static STATE: RefCell<ProfState> = RefCell::new(ProfState::new());
+    static PROF: Prof = Prof {
+        enabled: const { Cell::new(false) },
+        wall: const { Cell::new(false) },
+        cur: const { Cell::new(0) },
+        tick: const { Cell::new(0) },
+        hot: std::array::from_fn(|_| HotSlot::new()),
+        state: RefCell::new(ProfState::new()),
+    };
 }
 
 /// Is the profiler recording on this thread? Instrumented code checks this
 /// (inside [`span`] / [`attr`]) so the disabled path costs one branch.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.with(|e| e.get())
+    PROF.with(|p| p.enabled.get())
 }
 
 /// Is wall-clock timing on for this thread's profiler?
 pub fn wall_enabled() -> bool {
-    WALL.with(|w| w.get())
+    PROF.with(|p| p.wall.get())
 }
 
 /// Start recording on this thread and clear any previous tree. With
 /// `wall = true` each span also accumulates host-clock time (bench-only;
-/// wall fields are nondeterministic and stripped from goldens).
+/// wall fields are nondeterministic, sampled, and stripped from goldens).
 pub fn enable(wall: bool) {
-    STATE.with(|s| s.borrow_mut().clear());
-    WALL.with(|w| w.set(wall));
-    ENABLED.with(|e| e.set(true));
+    PROF.with(|p| {
+        p.state.borrow_mut().clear();
+        p.clear_hot();
+        p.cur.set(0);
+        p.wall.set(wall);
+        p.enabled.set(true);
+    });
 }
 
 /// Stop recording on this thread. The tree is kept until [`reset`] or the
 /// next [`enable`], so it can still be snapshotted.
 pub fn disable() {
-    ENABLED.with(|e| e.set(false));
+    PROF.with(|p| p.enabled.set(false));
 }
 
 /// Clear this thread's tree and open-span stack without changing the
 /// enabled flags.
 pub fn reset() {
-    STATE.with(|s| s.borrow_mut().clear());
+    PROF.with(|p| {
+        p.state.borrow_mut().clear();
+        p.clear_hot();
+        p.cur.set(0);
+    });
 }
 
 /// RAII guard for one open span; created by [`span`], pops on drop.
@@ -137,47 +257,119 @@ pub fn reset() {
 #[must_use = "a span guard attributes time until it is dropped"]
 pub struct SpanGuard {
     active: bool,
+    /// Arena index of the enclosing span, restored into [`Prof::cur`] on
+    /// drop.
+    prev: usize,
     start: Option<Instant>,
 }
 
 /// Enter the span `name` under the innermost open span. Returns a guard
 /// that closes the span when dropped. When the profiler is disabled this is
-/// one branch and no allocation.
+/// one thread-local read and one branch, no allocation.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
-    if !enabled() {
-        return SpanGuard {
-            active: false,
-            start: None,
-        };
-    }
-    enter(name)
+    PROF.with(|p| {
+        if !p.enabled.get() {
+            return SpanGuard {
+                active: false,
+                prev: 0,
+                start: None,
+            };
+        }
+        // Hot path: re-entering the child the cache already resolved for
+        // this parent banks the count in the slot and never borrows the
+        // arena. A cached node was entered before, so it is never "first"
+        // for the first-entry wall sample.
+        let parent = p.cur.get();
+        let h = &p.hot[parent & (HOT_SLOTS - 1)];
+        if h.parent.get() == parent && h.name.get() == name.as_ptr() as usize {
+            h.pending.set(h.pending.get() + 1);
+            p.cur.set(h.idx.get());
+            let start = if p.wall.get() {
+                let t = p.tick.get().wrapping_add(1);
+                p.tick.set(t);
+                t.is_multiple_of(WALL_SAMPLE_EVERY).then(Instant::now)
+            } else {
+                None
+            };
+            return SpanGuard {
+                active: true,
+                prev: parent,
+                start,
+            };
+        }
+        enter(p, name)
+    })
 }
 
 #[cold]
-fn enter(name: &'static str) -> SpanGuard {
-    STATE.with(|s| {
-        let mut s = s.borrow_mut();
-        let parent = *s.stack.last().unwrap_or(&0);
-        let idx = match s.arena[parent].children.get(name).copied() {
-            Some(idx) => idx,
-            None => {
-                let idx = s.arena.len();
-                s.arena.push(Node::new(name));
-                s.arena[parent].children.insert(name, idx);
-                idx
-            }
-        };
-        s.arena[idx].count += 1;
-        s.stack.push(idx);
-    });
+fn enter(p: &Prof, name: &'static str) -> SpanGuard {
+    let mut s = p.state.borrow_mut();
+    let s = &mut *s;
+    // A `cur` pointing past the arena means a guard outlived a reset that
+    // shrank the tree; re-root rather than index out of bounds.
+    let parent = match p.cur.get() {
+        i if i < s.arena.len() => i,
+        _ => 0,
+    };
+    // Evict this parent's hot slot: flush its banked count (this node's
+    // pending, if the slot held the same pair, so `count` below is exact)
+    // and re-point it at the entry we are about to resolve.
+    let h = &p.hot[parent & (HOT_SLOTS - 1)];
+    let pend = h.pending.get();
+    if pend > 0 {
+        if let Some(n) = s.arena.get_mut(h.idx.get()) {
+            n.count += pend;
+        }
+        h.pending.set(0);
+    }
+    // Pointer-compare against the last child entered under this parent;
+    // fall back to the ordered map on a miss (first entry, or alternating
+    // children) so equal-content names still resolve to one node.
+    let idx = match s.arena[parent].last_child {
+        Some((cached, idx)) if std::ptr::eq(cached.as_ptr(), name.as_ptr()) => idx,
+        _ => {
+            let hit = s.arena[parent]
+                .by_ptr
+                .iter()
+                .find(|&&(p, _)| std::ptr::eq(p, name.as_ptr()))
+                .map(|&(_, i)| i);
+            let idx = match hit {
+                Some(idx) => idx,
+                None => {
+                    let idx = match s.arena[parent].children.get(name).copied() {
+                        Some(idx) => idx,
+                        None => {
+                            let idx = s.arena.len();
+                            s.arena.push(Node::new(name));
+                            s.arena[parent].children.insert(name, idx);
+                            idx
+                        }
+                    };
+                    s.arena[parent].by_ptr.push((name.as_ptr(), idx));
+                    idx
+                }
+            };
+            s.arena[parent].last_child = Some((name, idx));
+            idx
+        }
+    };
+    h.parent.set(parent);
+    h.name.set(name.as_ptr() as usize);
+    h.idx.set(idx);
+    let n = &mut s.arena[idx];
+    n.count += 1;
+    let first = n.count == 1;
+    let sampled = p.wall.get() && {
+        let t = p.tick.get().wrapping_add(1);
+        p.tick.set(t);
+        first || t.is_multiple_of(WALL_SAMPLE_EVERY)
+    };
+    p.cur.set(idx);
     SpanGuard {
         active: true,
-        start: if wall_enabled() {
-            Some(Instant::now())
-        } else {
-            None
-        },
+        prev: parent,
+        start: if sampled { Some(Instant::now()) } else { None },
     }
 }
 
@@ -189,19 +381,19 @@ impl Drop for SpanGuard {
         let wall_ns = self
             .start
             .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
-        STATE.with(|s| {
-            let mut s = s.borrow_mut();
-            // Never pop the synthetic root, even if guards are dropped out
-            // of order (e.g. across an unwind).
-            if s.stack.len() > 1 {
-                if let Some(idx) = s.stack.pop() {
-                    if let Some(ns) = wall_ns {
-                        let n = &mut s.arena[idx];
+        PROF.with(|p| {
+            if let Some(ns) = wall_ns {
+                let mut s = p.state.borrow_mut();
+                let idx = p.cur.get();
+                if idx != 0 {
+                    if let Some(n) = s.arena.get_mut(idx) {
                         n.wall_ns = n.wall_ns.saturating_add(ns);
+                        n.wall_sampled += 1;
                         n.wall_max_ns = n.wall_max_ns.max(ns);
                     }
                 }
             }
+            p.cur.set(self.prev);
         });
     }
 }
@@ -210,25 +402,27 @@ impl Drop for SpanGuard {
 /// when the profiler is disabled; a no-op when no span is open.
 #[inline]
 pub fn attr(d: SimDuration) {
-    if !enabled() {
-        return;
-    }
-    attr_slow(d);
+    PROF.with(|p| {
+        if !p.enabled.get() {
+            return;
+        }
+        attr_slow(p, d);
+    });
 }
 
 #[cold]
-fn attr_slow(d: SimDuration) {
-    STATE.with(|s| {
-        let mut s = s.borrow_mut();
-        let Some(&idx) = s.stack.last() else { return };
-        if idx == 0 {
-            return; // no span open; nowhere meaningful to attribute
-        }
-        let ns = d.as_nanos();
-        let n = &mut s.arena[idx];
-        n.sim_self_ns = n.sim_self_ns.saturating_add(ns);
-        n.sim_max_ns = n.sim_max_ns.max(ns);
-    });
+fn attr_slow(p: &Prof, d: SimDuration) {
+    let idx = p.cur.get();
+    if idx == 0 {
+        return; // no span open; nowhere meaningful to attribute
+    }
+    let mut s = p.state.borrow_mut();
+    let ns = d.as_nanos();
+    let Some(n) = s.arena.get_mut(idx) else {
+        return; // stale guard after a reset; nothing to attribute to
+    };
+    n.sim_self_ns = n.sim_self_ns.saturating_add(ns);
+    n.sim_max_ns = n.sim_max_ns.max(ns);
 }
 
 /// One span of a [`ProfSnapshot`]: stats plus name-ordered children.
@@ -244,10 +438,12 @@ pub struct ProfSpan {
     pub sim_total_ns: u64,
     /// Largest single [`attr`] observation (ns).
     pub sim_max_ns: u64,
-    /// Accumulated wall time, enter to drop (ns); only when wall timing
-    /// was enabled. Rendered as `wall_ms` so golden filters strip it.
+    /// Estimated wall time, enter to drop (ns); only when wall timing was
+    /// enabled. Extrapolated from a 1-in-[`WALL_SAMPLE_EVERY`] subsample of
+    /// entries. Rendered as `wall_ms` so golden filters strip it.
     pub wall_ns: Option<u64>,
-    /// Largest single enter-to-drop wall time (ns); only with wall timing.
+    /// Largest single enter-to-drop wall time (ns) among sampled entries;
+    /// only with wall timing.
     pub wall_max_ns: Option<u64>,
     /// Child spans in name order.
     pub children: Vec<ProfSpan>,
@@ -265,9 +461,10 @@ pub struct ProfSnapshot {
 /// Copy this thread's span tree without clearing it. Totals are computed
 /// bottom-up (self + descendants) at snapshot time.
 pub fn snapshot() -> ProfSnapshot {
-    STATE.with(|s| {
-        let s = s.borrow();
-        let wall = wall_enabled();
+    PROF.with(|p| {
+        let mut s = p.state.borrow_mut();
+        p.flush_hot(&mut s);
+        let wall = p.wall.get();
         ProfSnapshot {
             wall,
             roots: s.arena[0]
@@ -277,6 +474,15 @@ pub fn snapshot() -> ProfSnapshot {
                 .collect(),
         }
     })
+}
+
+/// Scale a node's sampled wall accumulation up to its full entry count.
+fn estimate_wall_ns(n: &Node) -> u64 {
+    if n.wall_sampled == 0 {
+        return 0;
+    }
+    u64::try_from(u128::from(n.wall_ns) * u128::from(n.count) / u128::from(n.wall_sampled))
+        .unwrap_or(u64::MAX)
 }
 
 fn copy_span(arena: &[Node], idx: usize, wall: bool) -> ProfSpan {
@@ -293,7 +499,7 @@ fn copy_span(arena: &[Node], idx: usize, wall: bool) -> ProfSpan {
         sim_self_ns: n.sim_self_ns,
         sim_total_ns,
         sim_max_ns: n.sim_max_ns,
-        wall_ns: wall.then_some(n.wall_ns),
+        wall_ns: wall.then(|| estimate_wall_ns(n)),
         wall_max_ns: wall.then_some(n.wall_max_ns),
         children,
     }
@@ -438,9 +644,13 @@ pub fn capture<T>(f: impl FnOnce() -> T) -> (T, ProfSnapshot) {
     enable(false);
     let out = f();
     let snap = snapshot();
-    ENABLED.with(|e| e.set(prev_enabled));
-    WALL.with(|w| w.set(prev_wall));
-    STATE.with(|s| s.borrow_mut().clear());
+    PROF.with(|p| {
+        p.enabled.set(prev_enabled);
+        p.wall.set(prev_wall);
+        p.state.borrow_mut().clear();
+        p.clear_hot();
+        p.cur.set(0);
+    });
     (out, snap)
 }
 
@@ -549,7 +759,7 @@ mod tests {
         let snap = snapshot();
         disable();
         reset();
-        WALL.with(|w| w.set(false));
+        PROF.with(|p| p.wall.set(false));
         assert!(snap.wall);
         let j = snap.to_json();
         assert!(j.contains("\"wall_ms\":"));

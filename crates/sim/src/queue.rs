@@ -1,41 +1,122 @@
 //! The discrete-event queue.
 //!
-//! `EventQueue<W>` is a deterministic, single-threaded calendar of boxed
-//! closures over a world state `W`. Handlers receive `&mut W` and
-//! `&mut EventQueue<W>` so they can mutate state and schedule further events.
+//! `EventQueue<W, E>` is a deterministic, single-threaded calendar over a
+//! world state `W` and a typed event payload `E`. Hot layers post plain
+//! `E` values with [`EventQueue::post_at`]/[`EventQueue::post_in`] — no
+//! per-event heap allocation — and the world routes them through its
+//! [`Dispatch`] implementation. Cold paths (tests, one-shot experiment
+//! setup, periodic audits) may still schedule boxed closures via
+//! [`EventQueue::schedule_at`] and friends; both kinds share one sequence
+//! counter, so their interleaving is exactly the scheduling order.
+//!
 //! Two events at the same instant fire in scheduling order (FIFO), which —
-//! together with integer [`SimTime`] — makes every run bit-reproducible for a
-//! given seed.
+//! together with integer [`SimTime`] — makes every run bit-reproducible for
+//! a given seed.
+//!
+//! # Implementation: a bucketed timer wheel
+//!
+//! Pending events live in one of three places, partitioned by time:
+//!
+//! * the **active heap** — events inside the cursor slot (the current
+//!   [`SLOT_WIDTH`] window), kept as a small binary heap ordered by
+//!   `(time, seq)`;
+//! * the **wheel** — [`SLOTS`] buckets of [`SLOT_WIDTH`] nanoseconds each
+//!   (≈ 33.5 ms horizon), unordered within a bucket (ordering is imposed
+//!   when the cursor reaches the bucket and heapifies it), with a bitmap
+//!   for constant-time empty-slot skipping;
+//! * the **overflow map** — a `BTreeMap` keyed by `(time, seq)` for events
+//!   beyond the horizon, drained into the wheel as the cursor advances.
+//!
+//! Determinism argument: global execution order is exactly ascending
+//! `(time, seq)`. The wheel partitions events by time window, so any event
+//! in a later slot is strictly later than every event in an earlier slot;
+//! within the cursor slot the active heap orders by `(time, seq)`; events
+//! scheduled mid-drain into the current window join the active heap and
+//! sort by the same key. This reproduces the total order of a single
+//! global priority queue while touching only O(1) buckets per event.
+//!
+//! Cancellation is **eager**: [`EventQueue::cancel`] locates the entry via
+//! its handle (which carries the scheduled time) and removes it on the
+//! spot, so cancelled-but-unpopped entries never accumulate.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap};
 
-/// An event handler: consumes itself, mutating the world and the queue.
-pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut EventQueue<W>)>;
+/// log2 of the wheel slot width: slots are 2^13 ns = 8.192 µs wide.
+const SLOT_BITS: u32 = 13;
+/// Width of one wheel slot in nanoseconds.
+const SLOT_WIDTH: u64 = 1 << SLOT_BITS;
+/// Number of wheel slots (must be a power of two).
+const SLOTS: usize = 4096;
+/// Nanoseconds covered by the whole wheel (≈ 33.5 ms).
+const HORIZON: u64 = (SLOTS as u64) << SLOT_BITS;
+/// Words in the slot-occupancy bitmap.
+const WORDS: usize = SLOTS / 64;
 
-/// Handle to a scheduled event, usable for cancellation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventHandle(u64);
+/// A boxed event handler: consumes itself, mutating the world and queue.
+///
+/// The closure form of scheduling. Kept for cold paths — experiment setup,
+/// periodic audits, tests — where capturing environment beats defining an
+/// event variant. Hot layers use typed events via [`EventQueue::post_at`].
+pub type EventFn<W, E = NoEvent> = Box<dyn FnOnce(&mut W, &mut EventQueue<W, E>)>;
 
-struct Entry<W> {
-    time: SimTime,
-    seq: u64,
-    f: EventFn<W>,
+/// The uninhabited default event type: a queue over `NoEvent` is
+/// closure-only, and every world trivially dispatches it (there are no
+/// values to dispatch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoEvent {}
+
+/// How a world routes typed events to their handlers.
+///
+/// Implementations are a match over the event enum calling plain handler
+/// functions — the typed replacement for allocating one boxed closure per
+/// event. Every world dispatches [`NoEvent`] for free via a blanket impl,
+/// so closure-only worlds (`EventQueue<W>` with the default `E`) need no
+/// code at all.
+pub trait Dispatch<E>: Sized {
+    /// Handle one event. Runs with the queue clock at the event's instant.
+    fn dispatch(&mut self, q: &mut EventQueue<Self, E>, ev: E);
 }
 
-impl<W> PartialEq for Entry<W> {
+impl<W> Dispatch<NoEvent> for W {
+    fn dispatch(&mut self, _q: &mut EventQueue<Self, NoEvent>, ev: NoEvent) {
+        match ev {}
+    }
+}
+
+/// Handle to a scheduled event, usable for cancellation. Carries the
+/// scheduled instant so cancellation can locate the entry's bucket
+/// directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle {
+    seq: u64,
+    time: u64,
+}
+
+enum Payload<W, E> {
+    Typed(E),
+    Boxed(EventFn<W, E>),
+}
+
+struct Entry<W, E> {
+    time: u64,
+    seq: u64,
+    payload: Payload<W, E>,
+}
+
+impl<W, E> PartialEq for Entry<W, E> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<W> Eq for Entry<W> {}
-impl<W> PartialOrd for Entry<W> {
+impl<W, E> Eq for Entry<W, E> {}
+impl<W, E> PartialOrd for Entry<W, E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<W> Ord for Entry<W> {
+impl<W, E> Ord for Entry<W, E> {
     // Reverse ordering: BinaryHeap is a max-heap, we want the earliest event.
     fn cmp(&self, other: &Self) -> Ordering {
         other
@@ -45,27 +126,47 @@ impl<W> Ord for Entry<W> {
     }
 }
 
-/// Deterministic discrete-event calendar over world state `W`.
-pub struct EventQueue<W> {
-    heap: BinaryHeap<Entry<W>>,
-    cancelled: BTreeSet<u64>,
+/// Deterministic discrete-event calendar over world state `W` with typed
+/// event payload `E` (default: closure-only, see [`NoEvent`]).
+pub struct EventQueue<W, E = NoEvent> {
+    /// Cursor-slot events, ordered by `(time, seq)`.
+    active: BinaryHeap<Entry<W, E>>,
+    /// The wheel buckets; the cursor slot's bucket is always empty (its
+    /// contents live in `active`).
+    slots: Vec<Vec<Entry<W, E>>>,
+    /// Bit `i` set iff `slots[i]` is non-empty.
+    occupancy: [u64; WORDS],
+    /// Slot-aligned start of the cursor slot, nanoseconds.
+    wheel_start: u64,
+    /// Entries across all wheel buckets (excluding `active` and overflow).
+    wheel_len: usize,
+    /// Events beyond the wheel horizon, keyed by `(time, seq)`.
+    overflow: BTreeMap<(u64, u64), Payload<W, E>>,
+    /// Spare bucket swapped with the cursor slot on each advance, so bucket
+    /// capacity is recycled instead of reallocated once per drained slot.
+    bucket_scratch: Vec<Entry<W, E>>,
     now: SimTime,
     next_seq: u64,
     executed: u64,
 }
 
-impl<W> Default for EventQueue<W> {
+impl<W, E> Default for EventQueue<W, E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<W> EventQueue<W> {
+impl<W, E> EventQueue<W, E> {
     /// An empty queue at `t = 0`.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: BTreeSet::new(),
+            active: BinaryHeap::new(),
+            slots: std::iter::repeat_with(Vec::new).take(SLOTS).collect(),
+            occupancy: [0; WORDS],
+            wheel_start: 0,
+            wheel_len: 0,
+            overflow: BTreeMap::new(),
+            bucket_scratch: Vec::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             executed: 0,
@@ -82,17 +183,22 @@ impl<W> EventQueue<W> {
         self.executed
     }
 
-    /// Number of pending (non-cancelled) events.
+    /// Number of pending events.
     pub fn pending(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.wheel_len + self.active.len() + self.overflow.len()
     }
 
-    /// Schedule `f` at the absolute instant `at`. Panics if `at` is in the past.
-    pub fn schedule_at(
-        &mut self,
-        at: SimTime,
-        f: impl FnOnce(&mut W, &mut EventQueue<W>) + 'static,
-    ) -> EventHandle {
+    /// Entries physically retained by the queue. Cancellation reclaims
+    /// storage eagerly, so this always equals [`EventQueue::pending`];
+    /// the leak-regression suite asserts on it so a reintroduced
+    /// tombstone scheme (cancelled entries left in place, subtracted from
+    /// `pending`) cannot hide.
+    pub fn stored(&self) -> usize {
+        self.wheel_len + self.active.len() + self.overflow.len()
+    }
+
+    #[inline]
+    fn insert(&mut self, at: SimTime, payload: Payload<W, E>) -> EventHandle {
         assert!(
             at >= self.now,
             "scheduling into the past: {at} < {}",
@@ -100,19 +206,47 @@ impl<W> EventQueue<W> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
-            time: at,
-            seq,
-            f: Box::new(f),
-        });
-        EventHandle(seq)
+        let time = at.as_nanos();
+        if time < self.wheel_start.saturating_add(SLOT_WIDTH) {
+            self.active.push(Entry { time, seq, payload });
+        } else if time < self.wheel_start.saturating_add(HORIZON) {
+            let idx = ((time >> SLOT_BITS) as usize) & (SLOTS - 1);
+            self.slots[idx].push(Entry { time, seq, payload });
+            self.occupancy[idx >> 6] |= 1 << (idx & 63);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.insert((time, seq), payload);
+        }
+        EventHandle { seq, time }
     }
 
-    /// Schedule `f` after a relative delay.
+    /// Post a typed event at the absolute instant `at` — the zero-allocation
+    /// hot path. The world's [`Dispatch`] impl routes it when it fires.
+    /// Panics if `at` is in the past.
+    pub fn post_at(&mut self, at: SimTime, ev: E) -> EventHandle {
+        self.insert(at, Payload::Typed(ev))
+    }
+
+    /// Post a typed event after a relative delay.
+    pub fn post_in(&mut self, delay: SimDuration, ev: E) -> EventHandle {
+        self.post_at(self.now + delay, ev)
+    }
+
+    /// Schedule closure `f` at the absolute instant `at`. Panics if `at` is
+    /// in the past.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut W, &mut EventQueue<W, E>) + 'static,
+    ) -> EventHandle {
+        self.insert(at, Payload::Boxed(Box::new(f)))
+    }
+
+    /// Schedule closure `f` after a relative delay.
     pub fn schedule_in(
         &mut self,
         delay: SimDuration,
-        f: impl FnOnce(&mut W, &mut EventQueue<W>) + 'static,
+        f: impl FnOnce(&mut W, &mut EventQueue<W, E>) + 'static,
     ) -> EventHandle {
         self.schedule_at(self.now + delay, f)
     }
@@ -127,7 +261,7 @@ impl<W> EventQueue<W> {
         &mut self,
         first: SimTime,
         period: SimDuration,
-        f: impl FnMut(&mut W, &mut EventQueue<W>) + 'static,
+        f: impl FnMut(&mut W, &mut EventQueue<W, E>) + 'static,
     ) -> EventHandle {
         self.schedule_repeating_while(first, period, f, |_| true)
     }
@@ -138,19 +272,19 @@ impl<W> EventQueue<W> {
         &mut self,
         first: SimTime,
         period: SimDuration,
-        f: impl FnMut(&mut W, &mut EventQueue<W>) + 'static,
+        f: impl FnMut(&mut W, &mut EventQueue<W, E>) + 'static,
         keep_going: impl Fn(&W) -> bool + 'static,
     ) -> EventHandle {
         assert!(!period.is_zero(), "zero-period repeating event");
-        fn arm<W, F, K>(
-            q: &mut EventQueue<W>,
+        fn arm<W, E, F, K>(
+            q: &mut EventQueue<W, E>,
             at: SimTime,
             period: SimDuration,
             mut f: F,
             keep: K,
         ) -> EventHandle
         where
-            F: FnMut(&mut W, &mut EventQueue<W>) + 'static,
+            F: FnMut(&mut W, &mut EventQueue<W, E>) + 'static,
             K: Fn(&W) -> bool + 'static,
         {
             q.schedule_at(at, move |w, q| {
@@ -163,31 +297,156 @@ impl<W> EventQueue<W> {
         arm(self, first, period, f, keep_going)
     }
 
-    /// Cancel a previously scheduled event. Cancelling an event that already
-    /// fired (or was already cancelled) is a no-op.
+    /// Cancel a previously scheduled event, reclaiming its slot
+    /// immediately. Cancelling an event that already fired (or was already
+    /// cancelled) is a no-op.
     pub fn cancel(&mut self, h: EventHandle) {
-        self.cancelled.insert(h.0);
+        if h.time >= self.wheel_start.saturating_add(HORIZON) {
+            self.overflow.remove(&(h.time, h.seq));
+        } else if h.time < self.wheel_start.saturating_add(SLOT_WIDTH) {
+            // In the cursor slot (or already fired — retain is a no-op).
+            self.active.retain(|e| e.seq != h.seq);
+        } else {
+            let idx = ((h.time >> SLOT_BITS) as usize) & (SLOTS - 1);
+            let slot = &mut self.slots[idx];
+            if let Some(pos) = slot.iter().position(|e| e.seq == h.seq) {
+                // Bucket order is irrelevant (ordering is imposed at drain
+                // time), so a swap_remove reclaims in O(1).
+                slot.swap_remove(pos);
+                self.wheel_len -= 1;
+                if slot.is_empty() {
+                    self.occupancy[idx >> 6] &= !(1 << (idx & 63));
+                }
+            }
+        }
     }
 
+    /// Circular distance (in slots, 1..SLOTS) from the cursor to the first
+    /// occupied bucket, or `None` if the wheel is empty.
+    fn first_occupied_distance(&self) -> Option<usize> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let cursor = ((self.wheel_start >> SLOT_BITS) as usize) & (SLOTS - 1);
+        // Scan the bitmap word-wise starting just past the cursor.
+        let start = cursor + 1;
+        for step in 0..=WORDS {
+            let word_idx = ((start >> 6) + step) % WORDS;
+            let mut word = self.occupancy[word_idx];
+            if step == 0 {
+                // Mask off bits at or before the start within its word.
+                word &= !0u64 << (start & 63);
+            }
+            if step == WORDS {
+                // Wrapped all the way around: only bits up to the cursor.
+                word &= !(!0u64 << (start & 63));
+            }
+            if word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                let idx = (word_idx << 6) | bit;
+                return Some((idx + SLOTS - cursor) & (SLOTS - 1));
+            }
+        }
+        None
+    }
+
+    /// Move the cursor to the bucket holding the earliest pending event and
+    /// heapify it into the active set — provided that event is at or before
+    /// `end_ns`. Returns whether the active set gained events.
+    fn advance_cursor(&mut self, end_ns: u64) -> bool {
+        let target = match self.first_occupied_distance() {
+            Some(d) => {
+                let idx = (((self.wheel_start >> SLOT_BITS) as usize) + d) & (SLOTS - 1);
+                match self.slots[idx].iter().map(|e| e.time).min() {
+                    Some(t) => t,
+                    None => return false,
+                }
+            }
+            None => match self.overflow.first_key_value() {
+                Some((&(t, _), _)) => t,
+                None => return false,
+            },
+        };
+        if target > end_ns {
+            return false;
+        }
+        let new_start = target & !(SLOT_WIDTH - 1);
+        if new_start > self.wheel_start {
+            self.wheel_start = new_start;
+            // The horizon moved: drain every overflow entry it now covers.
+            let bound = new_start.saturating_add(HORIZON);
+            while let Some((&(t, _), _)) = self.overflow.first_key_value() {
+                if t >= bound {
+                    break;
+                }
+                // powifi-lint: allow(R3) — first_key_value above proves non-empty
+                let ((t, seq), payload) = self.overflow.pop_first().expect("checked non-empty");
+                if t < new_start.saturating_add(SLOT_WIDTH) {
+                    self.active.push(Entry {
+                        time: t,
+                        seq,
+                        payload,
+                    });
+                } else {
+                    let idx = ((t >> SLOT_BITS) as usize) & (SLOTS - 1);
+                    self.slots[idx].push(Entry {
+                        time: t,
+                        seq,
+                        payload,
+                    });
+                    self.occupancy[idx >> 6] |= 1 << (idx & 63);
+                    self.wheel_len += 1;
+                }
+            }
+        }
+        // Heapify the (new) cursor bucket into the active set, leaving the
+        // scratch buffer (with its capacity) in the slot for future refills.
+        let idx = ((new_start >> SLOT_BITS) as usize) & (SLOTS - 1);
+        if !self.slots[idx].is_empty() {
+            let mut bucket = std::mem::replace(
+                &mut self.slots[idx],
+                std::mem::take(&mut self.bucket_scratch),
+            );
+            self.wheel_len -= bucket.len();
+            self.occupancy[idx >> 6] &= !(1 << (idx & 63));
+            for e in bucket.drain(..) {
+                self.active.push(e);
+            }
+            self.bucket_scratch = bucket;
+        }
+        !self.active.is_empty()
+    }
+}
+
+impl<W: Dispatch<E>, E> EventQueue<W, E> {
     /// Run events in order until the queue is empty or `end` is reached.
     /// Events scheduled exactly at `end` *do* run; afterwards `now == end`
     /// if any event remains pending past it, else the time of the last event.
     pub fn run_until(&mut self, world: &mut W, end: SimTime) {
         let executed_before = self.executed;
+        let end_ns = end.as_nanos();
         loop {
-            match self.heap.peek() {
-                Some(top) if top.time <= end => {}
-                _ => break,
+            while let Some(top) = self.active.peek() {
+                if top.time > end_ns {
+                    break;
+                }
+                // powifi-lint: allow(R3) — the peek above proves non-empty
+                let entry = self.active.pop().expect("peeked entry");
+                debug_assert!(
+                    entry.time >= self.now.as_nanos(),
+                    "event queue time went backwards"
+                );
+                self.now = SimTime::from_nanos(entry.time);
+                self.executed += 1;
+                let _prof = crate::obs::prof::span("sim.event");
+                match entry.payload {
+                    Payload::Typed(ev) => world.dispatch(self, ev),
+                    Payload::Boxed(f) => f(world, self),
+                }
             }
-            let Some(entry) = self.heap.pop() else { break };
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+            if !self.active.is_empty() || !self.advance_cursor(end_ns) {
+                break;
             }
-            debug_assert!(entry.time >= self.now, "event queue time went backwards");
-            self.now = entry.time;
-            self.executed += 1;
-            let _prof = crate::obs::prof::span("sim.event");
-            (entry.f)(world, self);
         }
         if self.now < end {
             self.now = end;
@@ -271,6 +530,23 @@ mod tests {
     }
 
     #[test]
+    fn cancellation_reclaims_storage_eagerly() {
+        let mut q = EventQueue::<World>::new();
+        // One event per region: cursor slot, wheel, overflow.
+        let a = q.schedule_at(SimTime::from_nanos(100), |_, _| {});
+        let b = q.schedule_at(SimTime::from_millis(1), |_, _| {});
+        let c = q.schedule_at(SimTime::from_secs(10), |_, _| {});
+        assert_eq!(q.pending(), 3);
+        assert_eq!(q.stored(), 3);
+        q.cancel(b);
+        assert_eq!(q.stored(), 2);
+        q.cancel(a);
+        q.cancel(c);
+        assert_eq!(q.stored(), 0);
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
     fn run_until_stops_and_advances_clock() {
         let mut q = EventQueue::<World>::new();
         let mut w = World::default();
@@ -325,5 +601,121 @@ mod tests {
             q.schedule_at(SimTime::from_micros(5), |_, _| {});
         });
         q.run_to_completion(&mut w);
+    }
+
+    // ---- typed-event dispatch ----
+
+    #[derive(Debug, PartialEq, Eq)]
+    enum TestEvent {
+        Mark(&'static str),
+        Chain(u32),
+    }
+
+    #[derive(Default)]
+    struct TypedWorld {
+        log: Vec<(u64, String)>,
+    }
+
+    impl Dispatch<TestEvent> for TypedWorld {
+        fn dispatch(&mut self, q: &mut EventQueue<Self, TestEvent>, ev: TestEvent) {
+            match ev {
+                TestEvent::Mark(s) => self.log.push((q.now().as_micros(), s.to_string())),
+                TestEvent::Chain(n) => {
+                    self.log.push((q.now().as_micros(), format!("chain{n}")));
+                    if n > 0 {
+                        q.post_in(SimDuration::from_micros(10), TestEvent::Chain(n - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn typed_events_dispatch_in_order() {
+        let mut q = EventQueue::<TypedWorld, TestEvent>::new();
+        let mut w = TypedWorld::default();
+        q.post_at(SimTime::from_micros(20), TestEvent::Mark("late"));
+        q.post_at(SimTime::from_micros(5), TestEvent::Mark("early"));
+        q.run_to_completion(&mut w);
+        assert_eq!(
+            w.log,
+            vec![(5, "early".to_string()), (20, "late".to_string())]
+        );
+    }
+
+    #[test]
+    fn typed_and_boxed_share_fifo_order() {
+        let mut q = EventQueue::<TypedWorld, TestEvent>::new();
+        let mut w = TypedWorld::default();
+        let t = SimTime::from_micros(7);
+        q.post_at(t, TestEvent::Mark("typed1"));
+        q.schedule_at(t, |w: &mut TypedWorld, q| {
+            w.log.push((q.now().as_micros(), "boxed".into()))
+        });
+        q.post_at(t, TestEvent::Mark("typed2"));
+        q.run_to_completion(&mut w);
+        let names: Vec<&str> = w.log.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(names, ["typed1", "boxed", "typed2"]);
+    }
+
+    #[test]
+    fn typed_events_can_chain() {
+        let mut q = EventQueue::<TypedWorld, TestEvent>::new();
+        let mut w = TypedWorld::default();
+        q.post_at(SimTime::ZERO, TestEvent::Chain(3));
+        q.run_to_completion(&mut w);
+        assert_eq!(w.log.len(), 4);
+        assert_eq!(w.log.last().unwrap().0, 30);
+    }
+
+    #[test]
+    fn typed_events_cancel() {
+        let mut q = EventQueue::<TypedWorld, TestEvent>::new();
+        let mut w = TypedWorld::default();
+        let h = q.post_at(SimTime::from_micros(10), TestEvent::Mark("no"));
+        q.post_at(SimTime::from_micros(20), TestEvent::Mark("yes"));
+        q.cancel(h);
+        q.run_to_completion(&mut w);
+        assert_eq!(w.log, vec![(20, "yes".to_string())]);
+    }
+
+    // ---- wheel mechanics across region boundaries ----
+
+    #[test]
+    fn events_beyond_the_horizon_fire_in_order() {
+        // Spread events over ~10 s — far beyond the 33.5 ms wheel horizon —
+        // plus a dense cluster inside one slot, interleaved at random-ish
+        // times, and check global ordering survives the overflow drain.
+        let mut q = EventQueue::<Vec<u64>>::new();
+        let mut w: Vec<u64> = Vec::new();
+        let mut times: Vec<u64> = (0..200u64)
+            .map(|i| (i * 7_919_777_123) % 10_000_000_000)
+            .collect();
+        times.extend(5_000..5_040u64); // same-slot cluster
+        for &t in &times {
+            q.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<u64>, q| {
+                w.push(q.now().as_nanos());
+            });
+        }
+        q.run_to_completion(&mut w);
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(w, sorted);
+    }
+
+    #[test]
+    fn cancel_works_in_every_region_after_cursor_moves() {
+        let mut q = EventQueue::<World>::new();
+        let mut w = World::default();
+        // Fire one event at 50 ms to advance the cursor well past t = 0.
+        q.schedule_at(SimTime::from_millis(50), |w, _| w.log.push((50, "tick")));
+        let near = q.schedule_at(SimTime::from_millis(51), |w, _| w.log.push((51, "near")));
+        let far = q.schedule_at(SimTime::from_secs(2), |w, _| w.log.push((2, "far")));
+        q.run_until(&mut w, SimTime::from_millis(50));
+        q.cancel(near);
+        q.cancel(far);
+        q.run_to_completion(&mut w);
+        assert_eq!(w.log, vec![(50, "tick")]);
+        assert_eq!(q.stored(), 0);
     }
 }

@@ -1,0 +1,79 @@
+//! Regression test for the event-queue cancellation leak.
+//!
+//! The pre-wheel queue kept cancelled entries in its heap as tombstones and
+//! only dropped them lazily on pop, so a workload that schedules and
+//! cancels without draining (rate controllers re-arming timeouts, TCP RTO
+//! rescheduling) grew its heap without bound. The wheel reclaims eagerly;
+//! these tests pin that down by scheduling and cancelling a million events
+//! and asserting the queue's physical storage stays bounded by the batch
+//! size — under the old scheme `stored()` would end at one million.
+
+use powifi_sim::{Dispatch, EventQueue, SimTime};
+
+#[derive(Default)]
+struct Count(u64);
+
+impl Dispatch<u32> for Count {
+    fn dispatch(&mut self, _q: &mut EventQueue<Self, u32>, _ev: u32) {
+        self.0 += 1;
+    }
+}
+
+/// A million schedule+cancel cycles, in batches, without ever draining the
+/// queue: storage must return to the floor after every batch instead of
+/// accumulating tombstones.
+#[test]
+fn million_cancelled_events_do_not_accumulate() {
+    const BATCHES: u64 = 1_000;
+    const PER_BATCH: u64 = 1_000;
+    let mut q = EventQueue::<Count, u32>::new();
+    for batch in 0..BATCHES {
+        let handles: Vec<_> = (0..PER_BATCH)
+            .map(|i| {
+                // Spread each batch over all three time regions: cursor
+                // slot (ns), wheel (µs..ms), and past the ~33.5 ms horizon.
+                let t = match i % 3 {
+                    0 => SimTime::from_nanos(1_000 + i),
+                    1 => SimTime::from_micros(50 + i),
+                    _ => SimTime::from_millis(100 + i),
+                };
+                q.post_at(t, batch as u32)
+            })
+            .collect();
+        for h in handles {
+            q.cancel(h);
+        }
+        assert_eq!(
+            q.stored(),
+            0,
+            "batch {batch}: cancelled entries were retained"
+        );
+        assert_eq!(q.pending(), 0);
+    }
+    let mut w = Count::default();
+    q.run_to_completion(&mut w);
+    assert_eq!(w.0, 0, "a cancelled event fired");
+    assert_eq!(q.executed(), 0);
+}
+
+/// Interleaved live and cancelled events: exactly the live half fires, and
+/// peak storage never exceeds what is genuinely pending.
+#[test]
+fn half_cancelled_half_live_storage_is_exact() {
+    const N: u64 = 100_000;
+    let mut q = EventQueue::<Count, u32>::new();
+    let mut live = 0u64;
+    for i in 0..N {
+        let h = q.post_at(SimTime::from_nanos(i * 977), 0);
+        if i % 2 == 0 {
+            q.cancel(h);
+        } else {
+            live += 1;
+        }
+        assert_eq!(q.stored(), live as usize);
+    }
+    let mut w = Count::default();
+    q.run_to_completion(&mut w);
+    assert_eq!(w.0, live);
+    assert_eq!(q.stored(), 0);
+}

@@ -1,11 +1,77 @@
 //! Property tests for the event queue and measurement primitives.
 
-use powifi_sim::{Cdf, EventQueue, PowerEnvelope, SimDuration, SimTime, TimeWeighted, Welford};
+use powifi_sim::{
+    Cdf, Dispatch, EventQueue, PowerEnvelope, SimDuration, SimTime, TimeWeighted, Welford,
+};
 use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
+/// Records the insertion index of every event that fires, typed or boxed.
+#[derive(Default)]
+struct Log {
+    fired: Vec<usize>,
+}
+
+impl Dispatch<usize> for Log {
+    fn dispatch(&mut self, _q: &mut EventQueue<Self, usize>, id: usize) {
+        self.fired.push(id);
+    }
+}
+
 proptest! {
+    /// The wheel/heap/overflow queue is observationally identical to the
+    /// naive model it replaced: a list of `(time, insertion-order)` pairs
+    /// stably sorted by time. Same pop order, same FIFO tie-break between
+    /// typed and boxed entries, same cancellation semantics — including
+    /// cancels issued mid-run against handles that already fired.
+    #[test]
+    fn queue_matches_naive_model(
+        ops in prop::collection::vec(
+            // (time, typed-vs-boxed, 0 = keep / 1 = cancel now / 2 = cancel at mid)
+            (0u64..60_000_000, prop::bool::ANY, 0u8..3),
+            1..300,
+        ),
+        mid in 0u64..60_000_000,
+    ) {
+        let mut q = EventQueue::<Log, usize>::new();
+        let mut later = Vec::new();
+        for (i, &(t, typed, mode)) in ops.iter().enumerate() {
+            let h = if typed {
+                q.post_at(SimTime::from_nanos(t), i)
+            } else {
+                q.schedule_at(SimTime::from_nanos(t), move |w: &mut Log, _| w.fired.push(i))
+            };
+            match mode {
+                1 => q.cancel(h),
+                2 => later.push(h),
+                _ => {}
+            }
+        }
+        let mut w = Log::default();
+        // Split the run so the mid-run cancels exercise every queue region
+        // after the cursor has moved; cancelling an already-fired handle
+        // must be a no-op.
+        q.run_until(&mut w, SimTime::from_nanos(mid));
+        for h in later {
+            q.cancel(h);
+        }
+        q.run_to_completion(&mut w);
+
+        // The reference model: survivors stably sorted by time (stable sort
+        // on insertion order == the queue's FIFO-within-instant seq order).
+        let mut model: Vec<(u64, usize)> = ops
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(t, _, mode))| mode == 0 || (mode == 2 && t <= mid))
+            .map(|(i, &(t, _, _))| (t, i))
+            .collect();
+        model.sort_by_key(|&(t, _)| t);
+        let expect: Vec<usize> = model.into_iter().map(|(_, i)| i).collect();
+        prop_assert_eq!(w.fired, expect);
+        prop_assert_eq!(q.stored(), 0);
+    }
+
     /// Events always fire in non-decreasing time order, regardless of the
     /// insertion order, and every non-cancelled event fires exactly once.
     #[test]

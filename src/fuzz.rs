@@ -12,15 +12,17 @@
 //! The driver is a library so tests can call it directly; the
 //! `powifi-fuzz` binary wraps it for CI and command-line use.
 
-use powifi_core::{spawn_injector, JitterModel, PowerTrafficConfig};
+use powifi_core::{
+    dispatch_core_stack, spawn_injector, CoreStackEvent, JitterModel, PowerTrafficConfig,
+};
 use powifi_mac::world::{enqueue, start_beacons};
 use powifi_mac::{
-    conformance as mac_conformance, Dest, Frame, Mac, MacTiming, MacWorld, PayloadTag,
+    conformance as mac_conformance, Dest, Frame, Mac, MacTiming, MacWorld, PayloadTag, Queue,
     RateController, StationId,
 };
 use powifi_rf::{Bitrate, Db};
 use powifi_sim::conformance::{self, Violation};
-use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use powifi_sim::{Dispatch, SimDuration, SimRng, SimTime};
 
 /// Rates the generator draws station rate controllers from.
 const RATES: [Bitrate; 7] = [
@@ -176,7 +178,14 @@ struct FuzzWorld {
     mac: Mac,
 }
 
+impl Dispatch<CoreStackEvent> for FuzzWorld {
+    fn dispatch(&mut self, q: &mut Queue<Self>, ev: CoreStackEvent) {
+        dispatch_core_stack(self, q, ev);
+    }
+}
+
 impl MacWorld for FuzzWorld {
+    type Ev = CoreStackEvent;
     fn mac(&self) -> &Mac {
         &self.mac
     }
@@ -202,7 +211,7 @@ pub fn run_spec(spec: &TopologySpec, inject_bug: bool) -> CaseResult {
     if inject_bug {
         w.mac.inject_timing_bug(true);
     }
-    let mut q = EventQueue::new();
+    let mut q = Queue::new();
     let mediums: Vec<_> = (0..spec.mediums)
         .map(|_| w.mac.add_medium(SimDuration::from_millis(10)))
         .collect();

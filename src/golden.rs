@@ -13,11 +13,15 @@
 //! count is part of the rendered document, so a checker regression is a
 //! golden drift too.
 
-use powifi_core::{spawn_injector, JitterModel, PowerTrafficConfig};
-use powifi_mac::{enqueue, Dest, Frame, Mac, MacWorld, PayloadTag, RateController, StationId};
+use powifi_core::{
+    dispatch_core_stack, spawn_injector, CoreStackEvent, JitterModel, PowerTrafficConfig,
+};
+use powifi_mac::{
+    enqueue, Dest, Frame, Mac, MacWorld, PayloadTag, Queue, RateController, StationId,
+};
 use powifi_rf::{Bitrate, Db};
 use powifi_sim::conformance;
-use powifi_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use powifi_sim::{Dispatch, SimDuration, SimRng, SimTime};
 use serde::Value;
 
 /// Trace-ring capacity; scenarios are sized so nothing is ever evicted.
@@ -27,7 +31,14 @@ struct GoldenWorld {
     mac: Mac,
 }
 
+impl Dispatch<CoreStackEvent> for GoldenWorld {
+    fn dispatch(&mut self, q: &mut Queue<Self>, ev: CoreStackEvent) {
+        dispatch_core_stack(self, q, ev);
+    }
+}
+
 impl MacWorld for GoldenWorld {
+    type Ev = CoreStackEvent;
     fn mac(&self) -> &Mac {
         &self.mac
     }
@@ -43,7 +54,7 @@ pub struct GoldenScenario {
     /// One-line description, embedded in the rendered JSON.
     pub about: &'static str,
     horizon: SimDuration,
-    build: fn(&mut GoldenWorld, &mut EventQueue<GoldenWorld>),
+    build: fn(&mut GoldenWorld, &mut Queue<GoldenWorld>),
 }
 
 /// The full corpus, in render order.
@@ -208,7 +219,7 @@ pub fn render_trace(name: &str) -> String {
         let mut w = GoldenWorld {
             mac: Mac::new(SimRng::from_seed(0).derive(sc.name)),
         };
-        let mut q = EventQueue::new();
+        let mut q = Queue::new();
         (sc.build)(&mut w, &mut q);
         q.run_until(&mut w, SimTime::ZERO + sc.horizon);
     });
@@ -230,7 +241,7 @@ pub fn render_prof(name: &str) -> String {
         let mut w = GoldenWorld {
             mac: Mac::new(SimRng::from_seed(0).derive(sc.name)),
         };
-        let mut q = EventQueue::new();
+        let mut q = Queue::new();
         (sc.build)(&mut w, &mut q);
         q.run_until(&mut w, SimTime::ZERO + sc.horizon);
     });
@@ -257,7 +268,7 @@ fn render_scenario(sc: &GoldenScenario) -> String {
     let mut w = GoldenWorld {
         mac: Mac::new(SimRng::from_seed(0).derive(sc.name)),
     };
-    let mut q = EventQueue::new();
+    let mut q = Queue::new();
     (sc.build)(&mut w, &mut q);
     powifi_mac::conformance::install_audit(&mut q, SimDuration::from_millis(1));
     let end = SimTime::ZERO + sc.horizon;

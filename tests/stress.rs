@@ -126,7 +126,7 @@ proptest! {
             prop_assert!(mine <= all + 1e-9, "router {mine} > channel {all}");
         }
         for &flow in &flows {
-            match w.net.flows.get(&flow) {
+            match w.net.flow(flow) {
                 Some(Flow::Udp(u)) => {
                     prop_assert!(u.packets <= u.max_seq, "sink got more than sent");
                     prop_assert!(u.loss() >= 0.0 && u.loss() <= 1.0);
