@@ -32,7 +32,10 @@ use powifi_bench::report::{
 };
 use powifi_bench::{BenchArgs, Experiment, PointRun, Sweep};
 use powifi_core::Scheme;
-use powifi_deploy::{neighbor_experiment, run_home, table1, tcp_experiment, udp_experiment};
+use powifi_deploy::city::runtime::{run_city, CityConfig};
+use powifi_deploy::{
+    apartment_block, neighbor_experiment, run_home, table1, tcp_experiment, udp_experiment,
+};
 use powifi_rf::Bitrate;
 use serde::{Serialize, Value};
 
@@ -93,6 +96,35 @@ fn roster() -> Vec<Roster> {
             name: "tier1_neighbor",
             variants: vec!["powifi".into()],
             run: Box::new(|_, seed| neighbor_experiment(Scheme::PoWiFi, Bitrate::G12, seed, 3)),
+        },
+        // Two city entries at different scales so the history records both
+        // events/wall-ms figures — the 10k/1k ratio is the sharded world's
+        // near-linear-scaling evidence (target >= 0.6x). They run before
+        // tier1_home: its 37M-event day leaves the heap sprawling, which
+        // taints the memory-bound 10k measurement if it runs after.
+        Roster {
+            name: "tier1_city",
+            variants: vec!["block_1k".into()],
+            run: Box::new(|_, seed| {
+                let topo = apartment_block(1_000, seed);
+                let cfg = CityConfig {
+                    seed,
+                    ..CityConfig::default()
+                };
+                run_city(&topo, &cfg).harvested_j.iter().sum()
+            }),
+        },
+        Roster {
+            name: "tier1_city_10k",
+            variants: vec!["block_10k".into()],
+            run: Box::new(|_, seed| {
+                let topo = apartment_block(10_000, seed);
+                let cfg = CityConfig {
+                    seed,
+                    ..CityConfig::default()
+                };
+                run_city(&topo, &cfg).harvested_j.iter().sum()
+            }),
         },
         Roster {
             name: "tier1_home",

@@ -1,0 +1,189 @@
+//! City-scale sharded-world scaling sweep: 1k → 100k co-channel networks.
+//!
+//! Each point generates a seeded city topology (`powifi_deploy::city`),
+//! partitions it into provably independent interference cells, and runs the
+//! shard runtime across `--jobs` worker threads with deterministic
+//! epoch-barrier boundary exchange. Artifacts are byte-identical at any
+//! `--jobs` level — the runtime guarantees it, and the golden/determinism
+//! tests enforce it.
+//!
+//! Expect: events/wall-ms stays near-flat from `block_1k` to `block_10k`
+//! (the partition makes work per shard constant; only shard count grows).
+//! The 100k-network point rides behind `--full`.
+
+use powifi_bench::{banner, row, BenchArgs, Experiment, Sweep};
+use powifi_deploy::city::runtime::{run_city, CityConfig, CityRun};
+use powifi_deploy::city::topology::{apartment_block, campus, diurnal_city, CityTopology};
+use serde::Serialize;
+
+/// Which generator a point draws its world from.
+#[derive(Clone, Copy)]
+enum Gen {
+    Block,
+    Campus,
+    Diurnal(u32),
+}
+
+#[derive(Clone)]
+struct Pt {
+    label: &'static str,
+    gen: Gen,
+    networks: usize,
+}
+
+/// Deterministic per-point projection of a [`CityRun`] for artifacts.
+#[derive(Serialize)]
+struct Out {
+    networks: usize,
+    groups: usize,
+    shards: usize,
+    boundary_links: u64,
+    epochs: u64,
+    events: u64,
+    frames: u64,
+    /// Σ busy time across groups, ns.
+    busy_total_ns: u64,
+    /// Mean per-group channel occupancy over the horizon, percent.
+    occupancy_pct: f64,
+    /// Σ harvested energy across all sensors, joules.
+    harvested_total_j: f64,
+    /// Best single sensor, joules.
+    harvested_max_j: f64,
+    violations: u64,
+}
+
+fn project(topo: &CityTopology, run: &CityRun) -> Out {
+    let busy_total_ns: u64 = run.busy_ns.iter().sum();
+    let horizon_ns = topo.horizon.as_nanos() as f64;
+    Out {
+        networks: run.networks,
+        groups: run.groups,
+        shards: run.shards,
+        boundary_links: run.boundary_links,
+        epochs: run.epochs,
+        events: run.events,
+        frames: run.frames,
+        busy_total_ns,
+        occupancy_pct: busy_total_ns as f64 / (run.groups.max(1) as f64 * horizon_ns) * 100.0,
+        harvested_total_j: run.harvested_j.iter().sum(),
+        harvested_max_j: run.harvested_j.iter().fold(0.0, |a, &b| a.max(b)),
+        violations: run.violations,
+    }
+}
+
+struct CityScaling {
+    jobs: usize,
+}
+
+impl Experiment for CityScaling {
+    type Point = Pt;
+    type Output = Out;
+
+    fn name(&self) -> &'static str {
+        "city"
+    }
+
+    fn points(&self, full: bool) -> Vec<Pt> {
+        let mut pts = vec![
+            Pt {
+                label: "block_1k",
+                gen: Gen::Block,
+                networks: 1_000,
+            },
+            Pt {
+                label: "block_10k",
+                gen: Gen::Block,
+                networks: 10_000,
+            },
+            Pt {
+                label: "campus_5k",
+                gen: Gen::Campus,
+                networks: 5_000,
+            },
+            Pt {
+                label: "diurnal_2k",
+                gen: Gen::Diurnal(20),
+                networks: 2_000,
+            },
+        ];
+        if full {
+            pts.push(Pt {
+                label: "block_100k",
+                gen: Gen::Block,
+                networks: 100_000,
+            });
+        }
+        pts
+    }
+
+    fn label(&self, pt: &Pt) -> String {
+        pt.label.to_string()
+    }
+
+    fn run(&self, pt: &Pt, seed: u64) -> Out {
+        let topo = match pt.gen {
+            Gen::Block => apartment_block(pt.networks, seed),
+            Gen::Campus => campus(pt.networks, seed),
+            Gen::Diurnal(hour) => diurnal_city(pt.networks, hour, seed),
+        };
+        let cfg = CityConfig {
+            seed,
+            jobs: self.jobs,
+            ..CityConfig::default()
+        };
+        let run = run_city(&topo, &cfg);
+        project(&topo, &run)
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "City-scale sharded world — 1k-100k co-channel networks",
+        "expect: near-flat events/wall-ms from block_1k to block_10k (exact shard partition)",
+    );
+    let exp = CityScaling { jobs: args.jobs };
+    let runs = Sweep::new(&args).run(&exp);
+
+    println!(
+        "{:<22}{:>10} {:>8} {:>9} {:>12} {:>10} {:>9} {:>12}",
+        "point", "networks", "shards", "boundary", "events", "occ %", "harv µJ", "ev/wall-ms"
+    );
+    let mut epms: Vec<(String, f64)> = Vec::new();
+    let mut outs: Vec<Out> = Vec::new();
+    for r in &runs {
+        let o = &r.output;
+        let e = if r.wall_ms > 0.0 {
+            o.events as f64 / r.wall_ms
+        } else {
+            0.0
+        };
+        row(
+            &r.label,
+            &[
+                o.networks as f64,
+                o.shards as f64,
+                o.boundary_links as f64,
+                o.events as f64,
+                o.occupancy_pct,
+                o.harvested_total_j * 1e6,
+                e,
+            ],
+            1,
+        );
+        epms.push((r.label.clone(), e));
+    }
+    let find = |name: &str| epms.iter().find(|(l, _)| l == name).map(|&(_, e)| e);
+    if let (Some(e1), Some(e10)) = (find("block_1k"), find("block_10k")) {
+        if e1 > 0.0 {
+            println!(
+                "scaling: block_10k runs at {:.2}x the events/wall-ms of block_1k (target >= 0.6x)",
+                e10 / e1
+            );
+        }
+    }
+    for r in runs {
+        outs.push(r.output);
+    }
+    args.emit("city", &outs);
+}

@@ -1,0 +1,126 @@
+//! City sweep artifact gates: the sharded-world bench must produce
+//! byte-identical deterministic artifacts at any `--jobs` level, and the
+//! `block_1k` point is pinned against a committed golden snapshot
+//! (`tests/golden/city.*`). Because CI runs this test in both debug
+//! (conformance job) and release (local bless) builds against the same
+//! snapshot, it doubles as the debug/release determinism gate.
+//!
+//! Regenerate intentional changes with
+//! `UPDATE_GOLDEN=1 cargo test -p powifi-bench --test city_artifacts`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Manifest lines carrying wall-clock timings are the only
+/// nondeterministic bytes a bench artifact may contain.
+fn strip_wall_clock(manifest: &str) -> String {
+    manifest
+        .lines()
+        .filter(|l| !l.contains("wall_ms"))
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+/// Run the city bin at `--seed 0 --check --filter block_1k` into a scratch
+/// dir and return `(points, manifest, emit)` artifact bytes.
+fn city_artifacts(tag: &str, jobs: usize) -> (String, String, String) {
+    let tmp = std::env::temp_dir().join(format!("powifi-city-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&tmp);
+    let out = Command::new(env!("CARGO_BIN_EXE_city"))
+        .args(["--seed", "0", "--jobs"])
+        .arg(jobs.to_string())
+        .args(["--check", "--filter", "block_1k", "--json"])
+        .arg(&tmp)
+        .output()
+        .expect("spawn city bench binary");
+    assert!(
+        out.status.success(),
+        "city run (jobs={jobs}) failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let read = |name: &str| {
+        fs::read_to_string(tmp.join(name))
+            .unwrap_or_else(|e| panic!("missing artifact {name}: {e}"))
+    };
+    let arts = (
+        read("city.points.json"),
+        read("city.manifest.json"),
+        read("city.json"),
+    );
+    let _ = fs::remove_dir_all(&tmp);
+    arts
+}
+
+fn compare_or_update(golden: &Path, actual: &str, what: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        fs::write(golden, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(golden).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            golden.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "{what} drifted from {}.\nIf intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p powifi-bench --test city_artifacts",
+        golden.display()
+    );
+}
+
+/// Satellite gate: the deterministic artifacts must not depend on how many
+/// worker threads executed the shards. This exercises the epoch-barrier
+/// exchange end to end — a single out-of-order import would flip a byte.
+#[test]
+fn city_artifacts_identical_across_job_counts() {
+    let (p1, _, e1) = city_artifacts("jobs1", 1);
+    let (p4, _, e4) = city_artifacts("jobs4", 4);
+    let (p8, m8, e8) = city_artifacts("jobs8", 8);
+
+    assert_eq!(p1, p4, "city points artifact differs between jobs 1 and 4");
+    assert_eq!(p1, p8, "city points artifact differs between jobs 1 and 8");
+    assert_eq!(e1, e4, "city emit artifact differs between jobs 1 and 4");
+    assert_eq!(e1, e8, "city emit artifact differs between jobs 1 and 8");
+
+    assert!(
+        p1.contains("\"violations\": 0"),
+        "conformance count missing"
+    );
+    assert!(
+        e1.contains("\"boundary_links\""),
+        "emit artifact lost its partition columns"
+    );
+    assert!(m8.contains("\"jobs\": 8"), "manifest must record real jobs");
+}
+
+/// Golden snapshot of the `block_1k` point. Blessing happens in one build
+/// profile and CI replays in the other, so a debug/release divergence in
+/// the partitioner or shard runtime fails here.
+#[test]
+fn city_block_artifacts_match_golden() {
+    let (points, manifest, emit) = city_artifacts("golden", 2);
+
+    compare_or_update(
+        &golden_dir().join("city.points.json"),
+        &points,
+        "city.points.json",
+    );
+    compare_or_update(&golden_dir().join("city.json"), &emit, "city.json");
+
+    let stripped = strip_wall_clock(&manifest);
+    assert_ne!(manifest, stripped, "manifest lost its wall_ms lines");
+    compare_or_update(
+        &golden_dir().join("city.manifest.json"),
+        &stripped,
+        "city.manifest.json",
+    );
+}

@@ -1,0 +1,34 @@
+//! City-scale sharded world: thousands of co-channel networks, exact
+//! interference-range partitioning, deterministic epoch-barrier exchange.
+//!
+//! The paper's evaluation stops at six homes; this module scales the same
+//! substrate to apartment blocks, campuses and diurnal cities. Three pieces:
+//!
+//! * [`topology`] — seeded scenario generators producing a [`CityTopology`]:
+//!   router positions, channels, traffic parameters and harvester placements,
+//!   all drawn from a [`powifi_sim::SimRng`] stream so the same seed is the
+//!   same city everywhere.
+//! * [`partition`] — the exact spatial partitioner. Using the RF substrate's
+//!   pairwise budgets ([`powifi_rf::budget`]), a pair whose worst-case budget
+//!   sits below the interaction floor provably cannot interact; the
+//!   partitioner groups same-channel interacting networks into shared
+//!   mediums, packs groups into shards, and emits explicit coupling links for
+//!   every interacting pair it could not co-locate.
+//! * [`runtime`] — the shard runtime. Shards run concurrently on scoped
+//!   worker threads and meet at epoch barriers, where each medium publishes
+//!   its airtime into a slot-pinned export table and every importer reads the
+//!   completed table in sorted order. Each medium owns a private RNG stream
+//!   seeded from a stable label, so a shard simulates its channels exactly as
+//!   a monolithic world would — results are byte-identical at any `--jobs`
+//!   level, and identical to the unsharded reference runner.
+//!
+//! See DESIGN.md § "Sharded world" for the partition proof sketch and the
+//! barrier protocol.
+
+pub mod partition;
+pub mod runtime;
+pub mod topology;
+
+pub use partition::{partition, Coupling, Group, Partition};
+pub use runtime::{run_city, run_city_monolithic, CityConfig, CityRun};
+pub use topology::{apartment_block, campus, diurnal_city, CityTopology, Network};

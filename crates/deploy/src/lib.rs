@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod background;
+pub mod city;
 pub mod diurnal;
 pub mod experiment;
 pub mod geometry;
@@ -17,6 +18,10 @@ pub mod world;
 
 pub use background::{
     constant_intensity, install_background, install_traffic_source, BackgroundConfig, IntensityFn,
+};
+pub use city::{
+    apartment_block, campus, diurnal_city, partition, run_city, run_city_monolithic, CityConfig,
+    CityRun, CityTopology, Network, Partition,
 };
 pub use diurnal::diurnal_intensity;
 pub use experiment::{

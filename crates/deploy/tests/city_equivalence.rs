@@ -1,0 +1,82 @@
+//! The sharded city runtime must be an *exact* decomposition: a 64-network
+//! city run sharded at `--jobs` 1, 4 and 8 is identical — events, per-group
+//! occupancy, per-network harvested energy, bit for bit — to the same
+//! topology run unsharded in one world.
+
+use powifi_deploy::city::runtime::{run_city, run_city_monolithic, CityConfig, CityRun};
+use powifi_deploy::city::topology::{apartment_block, campus};
+use powifi_sim::conformance;
+
+fn cfg(jobs: usize) -> CityConfig {
+    CityConfig {
+        seed: 42,
+        jobs,
+        max_group: 8,
+        max_shard: 24,
+        ..CityConfig::default()
+    }
+}
+
+/// Exact comparison, floats included: the runs must be byte-identical, so
+/// bit-level equality on `harvested_j` is the point, not an accident.
+fn assert_identical(a: &CityRun, b: &CityRun, what: &str) {
+    assert_eq!(a.events, b.events, "{what}: events diverge");
+    assert_eq!(a.frames, b.frames, "{what}: frames diverge");
+    assert_eq!(a.busy_ns, b.busy_ns, "{what}: occupancy diverges");
+    let bits =
+        |run: &CityRun| -> Vec<u64> { run.harvested_j.iter().map(|h| h.to_bits()).collect() };
+    assert_eq!(bits(a), bits(b), "{what}: harvested energy diverges");
+    assert_eq!(a.violations, b.violations, "{what}: violations diverge");
+    assert_eq!(a, b, "{what}: runs diverge");
+}
+
+#[test]
+fn sharded_equals_monolithic_at_any_jobs() {
+    let _guard = conformance::check();
+    let topo = apartment_block(64, 42);
+    let mono = run_city_monolithic(&topo, &cfg(1));
+    assert!(mono.shards > 1, "topology must actually shard");
+    assert!(
+        mono.events > 2_000,
+        "world too quiet: {} events",
+        mono.events
+    );
+    assert!(mono.frames > 500, "too few frames: {}", mono.frames);
+    assert!(
+        mono.harvested_j.iter().any(|&h| h > 0.0),
+        "nothing harvested"
+    );
+    assert_eq!(mono.violations, 0, "clean run expected");
+    for jobs in [1usize, 4, 8] {
+        let sharded = run_city(&topo, &cfg(jobs));
+        assert_identical(&sharded, &mono, &format!("jobs={jobs} vs monolithic"));
+    }
+}
+
+#[test]
+fn campus_shards_heavily_and_stays_exact() {
+    let _guard = conformance::check();
+    let topo = campus(96, 7);
+    let mono = run_city_monolithic(&topo, &cfg(1));
+    let sharded = run_city(&topo, &cfg(6));
+    assert_identical(&sharded, &mono, "campus jobs=6 vs monolithic");
+    assert_eq!(mono.violations, 0);
+}
+
+#[test]
+fn boundary_exchange_actually_couples_shards() {
+    // Corruption imports must do something: a dense block run with coupling
+    // differs from the same mediums run with the exchange severed (epoch =
+    // horizon means one epoch, i.e. imports never feed back).
+    let _guard = conformance::check();
+    let mut topo = apartment_block(64, 42);
+    let coupled = run_city(&topo, &cfg(4));
+    topo.epoch = topo.horizon; // single epoch: corruption never applied
+    let severed = run_city(&topo, &cfg(4));
+    assert!(coupled.epochs > 1);
+    assert_eq!(severed.epochs, 1);
+    assert_ne!(
+        coupled.frames, severed.frames,
+        "boundary exchange had no observable effect"
+    );
+}

@@ -1,0 +1,123 @@
+//! Property tests for the city partitioner.
+//!
+//! The partition proof obligation: two networks whose pairwise RF budget
+//! clears the interaction floor must never be *silently* separated — they
+//! either share a group (same medium) or their groups are connected by an
+//! explicit coupling the epoch exchange will carry. When this fails,
+//! proptest shrinks the world to a minimal counterexample (fewest networks,
+//! smallest coordinates), which is exactly the debugging artifact we want.
+
+use powifi_deploy::city::partition::partition;
+use powifi_deploy::city::topology::{CityTopology, Network};
+use powifi_deploy::geometry::Pos;
+use powifi_rf::budget::InteractionModel;
+use powifi_rf::{Bitrate, WifiChannel};
+use powifi_sim::SimDuration;
+use proptest::prelude::*;
+
+/// A beacon-only network at `(x, y)` on `POWER_SET[chan]` — traffic is
+/// irrelevant to the partitioner, which only reads positions and channels.
+fn net(x: f64, y: f64, chan: usize) -> Network {
+    Network {
+        pos: Pos::new(x, y),
+        channel: WifiChannel::POWER_SET[chan % WifiChannel::POWER_SET.len()],
+        beacon_phase: SimDuration::ZERO,
+        beacon_rate: Bitrate::G6,
+        burst_period: SimDuration::ZERO,
+        burst_bytes: 0,
+        burst_rate: Bitrate::G6,
+        client_snr_db: 0.0,
+        sensor_ft: 6.0,
+    }
+}
+
+fn topo_from(points: &[(f64, f64, usize)]) -> CityTopology {
+    CityTopology {
+        networks: points.iter().map(|&(x, y, c)| net(x, y, c)).collect(),
+        model: InteractionModel::city_default(),
+        horizon: SimDuration::from_millis(100),
+        epoch: SimDuration::from_millis(50),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No interacting pair is ever silently separated, whatever the world
+    /// shape or the packing caps.
+    #[test]
+    fn partitioner_never_silently_separates(
+        points in prop::collection::vec((0f64..400.0, 0f64..400.0, 0usize..3), 2..40),
+        max_group in 2usize..10,
+        extra_shard in 0usize..40,
+    ) {
+        let topo = topo_from(&points);
+        let max_shard = max_group + extra_shard;
+        let part = partition(&topo, max_group, max_shard);
+        for i in 0..points.len() {
+            for j in i + 1..points.len() {
+                let d = topo.networks[i].pos.distance(topo.networks[j].pos);
+                if !topo.model.interacts(d) {
+                    continue;
+                }
+                let (gi, gj) = (part.group_of[i], part.group_of[j]);
+                if gi == gj {
+                    continue;
+                }
+                let coupled = part
+                    .couplings
+                    .iter()
+                    .any(|c| (c.from == gi && c.to == gj) || (c.from == gj && c.to == gi));
+                prop_assert!(
+                    coupled,
+                    "networks {} and {} interact at {:.1} m but groups \
+                     {} and {} have no coupling",
+                    i, j, d.0, gi, gj
+                );
+            }
+        }
+    }
+
+    /// Groups partition the network set exactly, members stay ascending,
+    /// and both packing caps hold.
+    #[test]
+    fn partition_is_exact_and_capped(
+        points in prop::collection::vec((0f64..400.0, 0f64..400.0, 0usize..3), 1..40),
+        max_group in 1usize..10,
+        extra_shard in 0usize..40,
+    ) {
+        let topo = topo_from(&points);
+        let max_shard = max_group + extra_shard;
+        let part = partition(&topo, max_group, max_shard);
+        let mut seen = vec![false; points.len()];
+        for (g, grp) in part.groups.iter().enumerate() {
+            prop_assert!(grp.members.len() <= max_group, "group {g} over cap");
+            prop_assert!(grp.members.windows(2).all(|w| w[0] < w[1]));
+            for &m in &grp.members {
+                prop_assert_eq!(part.group_of[m], g);
+                prop_assert!(!seen[m], "network {} in two groups", m);
+                seen[m] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "network missing from all groups");
+        for (s, shard) in part.shards.iter().enumerate() {
+            let nets: usize = shard.iter().map(|&g| part.groups[g].members.len()).sum();
+            prop_assert!(nets <= max_shard, "shard {s} holds {nets} networks");
+        }
+    }
+
+    /// The partitioner is a pure function of the topology: running it twice
+    /// gives identical groups, shards and couplings.
+    #[test]
+    fn partition_is_deterministic(
+        points in prop::collection::vec((0f64..400.0, 0f64..400.0, 0usize..3), 1..30),
+    ) {
+        let topo = topo_from(&points);
+        let a = partition(&topo, 8, 24);
+        let b = partition(&topo, 8, 24);
+        prop_assert_eq!(a.group_of, b.group_of);
+        prop_assert_eq!(a.shards, b.shards);
+        prop_assert_eq!(a.couplings.len(), b.couplings.len());
+        prop_assert_eq!(a.boundary_links, b.boundary_links);
+    }
+}

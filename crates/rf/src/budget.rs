@@ -1,0 +1,166 @@
+//! Pairwise interaction budgets for spatial sharding.
+//!
+//! The city-scale world (`powifi_deploy::city`) partitions networks into
+//! shards that run concurrently. The partition is *exact*, not approximate:
+//! two networks may land in different shards only when their pairwise link
+//! budget proves they cannot interact. "Interact" means a transmission from
+//! one arrives at the other above the **interaction floor** — loud enough to
+//! either deposit harvestable energy (rectifier turn-on) or register as
+//! co-channel interference at the receiver (CCA energy detect). Below the
+//! floor a frame is both unharvestable (the rectifier's DC-DC converter has a
+//! hard cutoff 1 dB under its sensitivity) and invisible to the MAC's
+//! clear-channel assessment, so it cannot change any simulation outcome.
+//!
+//! The floor is the *minimum* of the two mechanism thresholds: a pair must be
+//! below both to be provably independent.
+
+use crate::link::{Antenna, Transmitter};
+use crate::pathloss::PathLoss;
+use crate::units::{Db, Dbm, Hertz, Meters};
+
+/// 802.11 clear-channel-assessment energy-detect threshold for a 20 MHz
+/// channel. Unsynchronized cross-network energy below this level does not
+/// trigger deferral and, being ≥ 30 dB under any in-network signal of
+/// interest, cannot move a decode outcome in the corruption model.
+pub const ENERGY_DETECT_FLOOR: Dbm = Dbm(-62.0);
+
+/// Input power below which every rectifier variant outputs identically zero:
+/// the deepest sensitivity in the harvest crate (battery-recharging,
+/// −19.3 dBm) minus the 1 dB hard cutoff of its DC-DC converter.
+pub const HARVEST_FLOOR: Dbm = Dbm(-20.3);
+
+/// The interaction floor: the weakest received power that can still affect
+/// any outcome, via either mechanism.
+pub fn interaction_floor() -> Dbm {
+    Dbm(ENERGY_DETECT_FLOOR.0.min(HARVEST_FLOOR.0))
+}
+
+/// A worst-case coupling model between two networks: the strongest
+/// transmitter either side owns, into the highest-gain receive antenna,
+/// through a path-loss model with no walls. Used by the shard partitioner —
+/// conservative by construction, so "budget below floor" is a proof.
+#[derive(Debug, Clone, Copy)]
+pub struct InteractionModel<M> {
+    /// Transmitter of the louder network.
+    pub tx: Transmitter,
+    /// Receive antenna gain (highest-gain antenna on the quieter side).
+    pub rx_gain: Db,
+    /// Path-loss model (walls excluded: conservative).
+    pub path: M,
+    /// Carrier frequency for the loss computation.
+    pub freq: Hertz,
+    /// Interaction floor the budget is compared against.
+    pub floor: Dbm,
+}
+
+impl InteractionModel<crate::pathloss::LogDistance> {
+    /// The city default: PoWiFi prototype router (36 dBm EIRP) into a 6 dBi
+    /// router antenna over the indoor-obstructed exponent, judged against
+    /// [`interaction_floor`].
+    pub fn city_default() -> Self {
+        InteractionModel {
+            tx: Transmitter::powifi_prototype(),
+            rx_gain: Antenna::ROUTER_6DBI.gain(),
+            path: crate::pathloss::LogDistance::indoor_obstructed(),
+            freq: crate::channel::WifiChannel::CH6.center(),
+            floor: interaction_floor(),
+        }
+    }
+}
+
+impl<M: PathLoss> InteractionModel<M> {
+    /// Pairwise budget: worst-case received power at separation `d`.
+    pub fn budget_at(&self, d: Meters) -> Dbm {
+        self.path
+            .received(self.tx.eirp(), self.rx_gain, self.freq, d)
+    }
+
+    /// Whether two networks separated by `d` can interact (budget ≥ floor).
+    pub fn interacts(&self, d: Meters) -> bool {
+        self.budget_at(d).0 >= self.floor.0
+    }
+
+    /// Interaction range: the separation beyond which the budget is provably
+    /// below the floor. Bisected to 1 cm on the monotone path-loss curve;
+    /// capped at `max` (returned when even `max` still interacts).
+    pub fn interaction_range(&self, max: Meters) -> Meters {
+        if !self.interacts(Meters(0.05)) {
+            return Meters(0.0);
+        }
+        if self.interacts(max) {
+            return max;
+        }
+        let (mut lo, mut hi) = (0.05_f64, max.0);
+        while hi - lo > 0.01 {
+            let mid = 0.5 * (lo + hi);
+            if self.interacts(Meters(mid)) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Meters(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathloss::LogDistance;
+
+    #[test]
+    fn floor_is_energy_detect() {
+        // CCA energy detect is far below the harvest cutoff, so it decides.
+        assert!(interaction_floor().0 < HARVEST_FLOOR.0);
+        assert!((interaction_floor().0 - ENERGY_DETECT_FLOOR.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn city_default_range_is_plausible() {
+        let m = InteractionModel::city_default();
+        let r = m.interaction_range(Meters(2000.0));
+        // 36 dBm EIRP + 6 dBi over indoor-obstructed loss crosses −62 dBm
+        // in the tens of meters — city blocks, not city-wide coupling.
+        assert!(r.0 > 30.0 && r.0 < 150.0, "range {} m", r.0);
+    }
+
+    #[test]
+    fn budget_consistent_with_range() {
+        let m = InteractionModel::city_default();
+        let r = m.interaction_range(Meters(2000.0));
+        assert!(m.interacts(Meters(r.0 - 0.5)));
+        assert!(!m.interacts(Meters(r.0 + 0.5)));
+    }
+
+    #[test]
+    fn range_caps_and_floors() {
+        let mut m = InteractionModel::city_default();
+        // A floor above the strongest conceivable budget → zero range.
+        m.floor = Dbm(60.0);
+        assert!(m.interaction_range(Meters(2000.0)).0 < 1e-12);
+        // A floor below thermal noise → the cap.
+        m.floor = Dbm(-200.0);
+        let capped = m.interaction_range(Meters(10.0));
+        assert!((capped.0 - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_floor_extends_range() {
+        let base = InteractionModel::city_default();
+        let mut deep = base;
+        deep.floor = Dbm(base.floor.0 - 10.0);
+        let r0 = base.interaction_range(Meters(5000.0));
+        let r1 = deep.interaction_range(Meters(5000.0));
+        assert!(r1.0 > r0.0, "{} !> {}", r1.0, r0.0);
+    }
+
+    #[test]
+    fn obstructed_exponent_shrinks_range() {
+        let base = InteractionModel::city_default();
+        let mut los = base;
+        los.path = LogDistance::indoor_los();
+        let r_obs = base.interaction_range(Meters(5000.0));
+        let r_los = los.interaction_range(Meters(5000.0));
+        assert!(r_los.0 > r_obs.0, "{} !> {}", r_los.0, r_obs.0);
+    }
+}

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod band;
+pub mod budget;
 pub mod channel;
 pub mod fading;
 pub mod link;
@@ -17,6 +18,7 @@ pub mod pathloss;
 pub mod units;
 
 pub use band::IsmBand;
+pub use budget::{interaction_floor, InteractionModel, ENERGY_DETECT_FLOOR, HARVEST_FLOOR};
 pub use channel::WifiChannel;
 pub use fading::BlockFader;
 pub use link::{Antenna, Link, Transmitter, FCC_EIRP_LIMIT};

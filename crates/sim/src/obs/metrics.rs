@@ -47,6 +47,19 @@ pub mod keys {
     pub const NET_TCP_RTO: &str = "net.tcp_rto";
     /// TCP fast retransmits triggered (counter).
     pub const NET_TCP_FAST_RETRANSMIT: &str = "net.tcp_fast_retransmit";
+    /// Shards the city partitioner produced for the run (gauge).
+    pub const CITY_SHARDS: &str = "city.shards";
+    /// Networks per shard (histogram over shards).
+    pub const CITY_SHARD_NETWORKS: &str = "city.shard_networks";
+    /// Events executed per shard (histogram over shards).
+    pub const CITY_SHARD_EVENTS: &str = "city.shard_events";
+    /// Inter-group couplings whose endpoints sit in different shards
+    /// (counter).
+    pub const CITY_BOUNDARY_LINKS: &str = "city.boundary_links";
+    /// Boundary export records published across all epoch barriers (counter).
+    pub const CITY_BOUNDARY_EXPORTS: &str = "city.boundary_exports";
+    /// Epoch barriers executed by the city runtime (counter).
+    pub const CITY_EPOCHS: &str = "city.epochs";
 }
 
 /// Number of power-of-two histogram buckets (see [`bucket_index`]).

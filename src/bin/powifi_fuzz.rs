@@ -2,9 +2,14 @@
 //! [`powifi::fuzz`]).
 //!
 //! ```text
-//! powifi-fuzz [--topologies N] [--seed S] [--inject-bug]
+//! powifi-fuzz [--topologies N] [--seed S] [--inject-bug] [--city]
 //!             [--replay SEED [--trace FILE] [--prof]]
 //! ```
+//!
+//! `--city` switches to the multi-cell world mode: each case is a sharded
+//! city topology run both sharded and monolithic under the checker
+//! (cross-shard conservation audits included) and fails on any violation
+//! or on sharded/monolithic divergence.
 //!
 //! `--trace FILE` writes the replayed topology's structured trace
 //! (`powifi_sim::obs::trace` JSONL, inspectable with `powifi-trace`);
@@ -16,7 +21,7 @@
 use powifi::fuzz;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: powifi-fuzz [--topologies N] [--seed S] [--inject-bug] \
+const USAGE: &str = "usage: powifi-fuzz [--topologies N] [--seed S] [--inject-bug] [--city] \
      [--replay SEED [--trace FILE] [--prof]]";
 
 fn usage_err(msg: &str) -> ExitCode {
@@ -30,6 +35,7 @@ fn main() -> ExitCode {
     let mut replay_seed: Option<u64> = None;
     let mut trace_path: Option<String> = None;
     let mut prof = false;
+    let mut city = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -42,6 +48,7 @@ fn main() -> ExitCode {
                 _ => return usage_err("--seed needs an integer"),
             },
             "--inject-bug" => cfg.inject_bug = true,
+            "--city" => city = true,
             "--replay" => match args.next().map(|v| v.parse::<u64>()) {
                 Some(Ok(s)) => replay_seed = Some(s),
                 _ => return usage_err("--replay needs a seed"),
@@ -60,6 +67,33 @@ fn main() -> ExitCode {
     }
 
     if let Some(seed) = replay_seed {
+        if city {
+            if trace_path.is_some() || prof || cfg.inject_bug {
+                return usage_err("--city replay takes no --trace/--prof/--inject-bug");
+            }
+            let spec = fuzz::gen_city_spec(seed);
+            println!("replaying {}", spec.summary());
+            let res = fuzz::replay_city(seed);
+            println!(
+                "shards {} · frames {} · violations {} · {}",
+                res.shards,
+                res.frames,
+                res.violations,
+                if res.equivalent {
+                    "sharded == monolithic"
+                } else {
+                    "sharded != monolithic"
+                },
+            );
+            for v in res.retained.iter().take(10) {
+                println!("  {v}");
+            }
+            return if res.violations == 0 && res.equivalent {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            };
+        }
         let spec = fuzz::gen_spec(seed);
         println!("replaying {}", spec.summary());
         if prof {
@@ -97,6 +131,23 @@ fn main() -> ExitCode {
     }
     if trace_path.is_some() || prof {
         return usage_err("--trace/--prof only apply to --replay runs");
+    }
+
+    if city {
+        if cfg.inject_bug {
+            return usage_err("--inject-bug applies to the MAC stack mode only");
+        }
+        println!(
+            "fuzzing {} city worlds from base seed {}",
+            cfg.topologies, cfg.base_seed,
+        );
+        let report = fuzz::run_city_campaign(&cfg);
+        print!("{}", report.render());
+        return if report.failures.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
     }
 
     println!(

@@ -492,3 +492,235 @@ pub fn run(cfg: &FuzzConfig) -> FuzzReport {
 pub fn replay(seed: u64, inject_bug: bool) -> CaseResult {
     run_spec(&gen_spec(seed), inject_bug)
 }
+
+// ---------------------------------------------------------------------------
+// Multi-cell city mode (`powifi-fuzz --city`)
+// ---------------------------------------------------------------------------
+//
+// Instead of a single handful of channels, generate a spatially sharded
+// city world (powifi_deploy::city), run it both sharded and monolithic
+// under the invariant checker — including the per-epoch cross-shard
+// airtime/corruption conservation audits — and fail the case if either run
+// violates or the two runs are not byte-identical.
+
+use powifi_deploy::city::runtime::{run_city, run_city_monolithic, CityConfig};
+use powifi_deploy::city::topology::{apartment_block, campus, diurnal_city, CityTopology};
+
+/// Which city generator a fuzz case draws its world from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CityGenerator {
+    /// Dense apartment block (worst-case co-channel coupling).
+    Block,
+    /// Scattered campus buildings (best-case shardability).
+    Campus,
+    /// Diurnal city at a generated hour.
+    Diurnal,
+}
+
+/// A generated multi-cell city fuzz case, determined by its seed.
+#[derive(Debug, Clone)]
+pub struct CitySpec {
+    /// The case seed (also seeds topology generation and medium streams).
+    pub seed: u64,
+    /// World generator.
+    pub generator: CityGenerator,
+    /// Networks in the world.
+    pub networks: usize,
+    /// Hour of day (diurnal generator only).
+    pub hour: u32,
+    /// Worker threads for the sharded run.
+    pub jobs: usize,
+    /// Networks per shared medium, max.
+    pub max_group: usize,
+    /// Networks per shard, max.
+    pub max_shard: usize,
+    /// Simulated horizon, ms.
+    pub horizon_ms: u64,
+    /// Epoch length, ms.
+    pub epoch_ms: u64,
+}
+
+impl CitySpec {
+    /// One-line summary for reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "seed {} · {:?} · {} network(s) · jobs {} · group≤{} shard≤{} · {} ms / {} ms epochs",
+            self.seed,
+            self.generator,
+            self.networks,
+            self.jobs,
+            self.max_group,
+            self.max_shard,
+            self.horizon_ms,
+            self.epoch_ms,
+        )
+    }
+}
+
+/// Generate the city case for a seed. Pure: same seed, same spec.
+pub fn gen_city_spec(seed: u64) -> CitySpec {
+    let mut rng = SimRng::from_seed(seed).derive("fuzz-city");
+    let generator = *rng.choose(&[
+        CityGenerator::Block,
+        CityGenerator::Campus,
+        CityGenerator::Diurnal,
+    ]);
+    let max_group = rng.range(3..=10u32) as usize;
+    CitySpec {
+        seed,
+        generator,
+        networks: rng.range(8..=36u32) as usize,
+        hour: rng.range(0..24u32),
+        jobs: rng.range(1..=4u32) as usize,
+        max_group,
+        max_shard: max_group + rng.range(0..=20u32) as usize,
+        horizon_ms: rng.range(60..=160u64),
+        epoch_ms: rng.range(10..=60u64),
+    }
+}
+
+/// Materialize a case's world.
+pub fn build_city(spec: &CitySpec) -> CityTopology {
+    let mut topo = match spec.generator {
+        CityGenerator::Block => apartment_block(spec.networks, spec.seed),
+        CityGenerator::Campus => campus(spec.networks, spec.seed),
+        CityGenerator::Diurnal => diurnal_city(spec.networks, spec.hour, spec.seed),
+    };
+    topo.horizon = SimDuration::from_millis(spec.horizon_ms);
+    topo.epoch = SimDuration::from_millis(spec.epoch_ms);
+    topo
+}
+
+/// Result of running one city case.
+#[derive(Debug, Clone)]
+pub struct CityCaseResult {
+    /// Invariant violations across both runs (exchange audits included).
+    pub violations: u64,
+    /// Up to the first 64 violations verbatim.
+    pub retained: Vec<Violation>,
+    /// Whether sharded and monolithic runs were byte-identical.
+    pub equivalent: bool,
+    /// Shards the partitioner produced.
+    pub shards: usize,
+    /// MAC frames sent (sharded run).
+    pub frames: u64,
+}
+
+/// Run one city case under the checker: sharded at `spec.jobs`, then
+/// monolithic, then compare. Restores the caller's checker state.
+pub fn run_city_spec(spec: &CitySpec) -> CityCaseResult {
+    let was_enabled = conformance::enabled();
+    let saved = conformance::take();
+    conformance::set_enabled(true);
+
+    let topo = build_city(spec);
+    let cfg = CityConfig {
+        seed: spec.seed,
+        jobs: spec.jobs,
+        max_group: spec.max_group,
+        max_shard: spec.max_shard,
+        ..CityConfig::default()
+    };
+    let sharded = run_city(&topo, &cfg);
+    let mono = run_city_monolithic(&topo, &cfg);
+    let equivalent = sharded == mono;
+
+    let (violations, retained) = conformance::take();
+    conformance::set_enabled(was_enabled);
+    for v in saved.1 {
+        conformance::report(v.rule, v.at, v.detail);
+    }
+    CityCaseResult {
+        violations,
+        retained,
+        equivalent,
+        shards: sharded.shards,
+        frames: sharded.frames,
+    }
+}
+
+/// One failing city case.
+#[derive(Debug, Clone)]
+pub struct CityFailure {
+    /// Index of the case within the campaign.
+    pub case_index: u64,
+    /// The reproducing seed: `run_city_spec(&gen_city_spec(seed))` re-fails.
+    pub seed: u64,
+    /// The generated case.
+    pub spec: CitySpec,
+    /// Violations observed.
+    pub violations: u64,
+    /// Whether the sharded and monolithic runs matched.
+    pub equivalent: bool,
+    /// Sample violations.
+    pub samples: Vec<Violation>,
+}
+
+/// City campaign outcome.
+#[derive(Debug, Clone, Default)]
+pub struct CityFuzzReport {
+    /// Cases executed.
+    pub ran: u64,
+    /// Failing cases (campaign stops after 5).
+    pub failures: Vec<CityFailure>,
+}
+
+impl CityFuzzReport {
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "city fuzz: {} worlds run, {} failure(s)\n",
+            self.ran,
+            self.failures.len()
+        );
+        for f in &self.failures {
+            out.push_str(&format!(
+                "case #{}: {} violation(s){}\n  spec: {}\n  replay: powifi-fuzz --city --replay {}\n",
+                f.case_index,
+                f.violations,
+                if f.equivalent {
+                    ""
+                } else {
+                    " · sharded ≠ monolithic"
+                },
+                f.spec.summary(),
+                f.seed,
+            ));
+            for v in f.samples.iter().take(3) {
+                out.push_str(&format!("  {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Run a multi-cell city fuzz campaign. A case fails on any invariant
+/// violation or on sharded/monolithic divergence.
+pub fn run_city_campaign(cfg: &FuzzConfig) -> CityFuzzReport {
+    let mut report = CityFuzzReport::default();
+    for i in 0..cfg.topologies {
+        let seed = case_seed(cfg.base_seed, i);
+        let spec = gen_city_spec(seed);
+        let res = run_city_spec(&spec);
+        report.ran += 1;
+        if res.violations > 0 || !res.equivalent {
+            report.failures.push(CityFailure {
+                case_index: i,
+                seed,
+                spec,
+                violations: res.violations,
+                equivalent: res.equivalent,
+                samples: res.retained,
+            });
+            if report.failures.len() >= 5 {
+                break;
+            }
+        }
+    }
+    report
+}
+
+/// Re-run one city case from its reproducing seed.
+pub fn replay_city(seed: u64) -> CityCaseResult {
+    run_city_spec(&gen_city_spec(seed))
+}

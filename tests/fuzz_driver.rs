@@ -92,6 +92,45 @@ fn gen_spec_is_pure() {
 }
 
 #[test]
+fn city_worlds_run_clean_and_equivalent() {
+    let report = fuzz::run_city_campaign(&fuzz::FuzzConfig {
+        topologies: 12,
+        base_seed: 42,
+        inject_bug: false,
+        shrink: false,
+    });
+    assert_eq!(report.ran, 12);
+    assert!(
+        report.failures.is_empty(),
+        "city fuzz failures:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn city_campaign_is_deterministic() {
+    let cfg = fuzz::FuzzConfig {
+        topologies: 6,
+        base_seed: 9,
+        inject_bug: false,
+        shrink: false,
+    };
+    let a = fuzz::run_city_campaign(&cfg);
+    let b = fuzz::run_city_campaign(&cfg);
+    assert_eq!(a.ran, b.ran);
+    assert_eq!(a.failures.len(), b.failures.len());
+}
+
+#[test]
+fn gen_city_spec_is_pure() {
+    let a = fuzz::gen_city_spec(123);
+    let b = fuzz::gen_city_spec(123);
+    assert_eq!(format!("{:?}", a), format!("{:?}", b));
+    assert!(a.networks >= 8);
+    assert!(a.max_shard >= a.max_group);
+}
+
+#[test]
 fn run_spec_restores_caller_checker_state() {
     use powifi::sim::conformance;
     // Checker off outside: a fuzz case must not leave it on.
