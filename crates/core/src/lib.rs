@@ -11,6 +11,7 @@
 //! NoQueue / PoWiFi / EqualShare), the §6 future-work occupancy capper, the
 //! §8c multi-router modes, and the §8d power-DoS attacker model.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod capper;

@@ -5,6 +5,7 @@
 //! load), background-traffic generators, and runnable experiment procedures
 //! for Figs. 6–8 and 15.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod background;

@@ -10,6 +10,7 @@
 //! All calibration constants are documented at their definition sites and
 //! cross-referenced in EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod complex;

@@ -1,0 +1,24 @@
+// Fixture: R10 rng-stream-discipline violations — rogue streams that
+// ignore the experiment seed or sever replay mid-run.
+
+pub fn jitter_stream() -> SimRng {
+    SimRng::from_seed(1234)
+}
+
+pub fn raw_generator() {
+    let r = StdRng::seed_from_u64(7);
+    let s = SmallRng::from_seed(SEED_BYTES);
+    let _ = (r, s);
+}
+
+pub fn fork_stream(rng: &mut SimRng) -> SimRng {
+    rng.clone()
+}
+
+pub fn rearm(rng: &mut SimRng) {
+    rng.reseed(99);
+}
+
+pub fn tick_medium(world: &mut World, m: MediumId, root: &SimRng) {
+    world.seed_medium_rng(m, root.derive_idx("city-medium", 3));
+}

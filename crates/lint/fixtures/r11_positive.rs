@@ -1,0 +1,18 @@
+// Fixture: R11 non-exhaustive-dispatch violations — wildcard arms that
+// would silently swallow a newly added event kind.
+
+pub fn dispatch_mac(w: &mut World, ev: MacEvent) {
+    match ev {
+        MacEvent::ArbFire(m) => arb_fire(w, m),
+        MacEvent::TxDone { medium, .. } => tx_done(w, medium),
+        _ => {}
+    }
+}
+
+pub fn dispatch_stack(w: &mut World, ev: Stacked) {
+    match ev {
+        Stacked::Mac(m) => dispatch_mac(w, m),
+        _ if w.lenient => {}
+        Stacked::Net(n) => dispatch_net(w, n),
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: R12 unsafe-in-sim violations — unsafe blocks and fns in a
+// simulation crate.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { core::ptr::read(p) }
+}
+
+pub unsafe fn transmute_state(bits: u64) -> State {
+    core::mem::transmute(bits)
+}

@@ -1,0 +1,30 @@
+// Fixture: the blessed export-table protocol — workers exchange state only
+// through the free lock() helper and barriers. Zero R9 findings when
+// scanned as crates/deploy/src/city/runtime.rs.
+use std::sync::{Barrier, Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+pub fn run_city(jobs: usize) {
+    let table: Mutex<Vec<u64>> = Mutex::new(vec![0; jobs]);
+    let barrier = Barrier::new(jobs);
+    std::thread::scope(|s| {
+        for t in 0..jobs {
+            s.spawn(|| {
+                let mut epochs = 0u64;
+                {
+                    let mut tbl = lock(&table);
+                    tbl[t] += 1;
+                }
+                barrier.wait();
+                epochs += 1;
+                epochs
+            });
+        }
+    });
+}

@@ -1,0 +1,23 @@
+// Fixture: R9 shard-isolation violations — a city worker reaching around
+// the export-table protocol. Scanned as crates/deploy/src/city/runtime.rs.
+use std::cell::RefCell;
+use std::sync::Mutex;
+
+static mut EPOCH_TALLY: u64 = 0;
+static SHARED_TABLE: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+pub fn run_city(jobs: usize) {
+    let scratch: RefCell<Vec<u64>> = RefCell::new(Vec::new());
+    std::thread::scope(|s| {
+        for _t in 0..jobs {
+            s.spawn(|| {
+                let mut tbl = SHARED_TABLE.lock().unwrap();
+                tbl[0] += 1;
+                let mine = scratch;
+                unsafe {
+                    EPOCH_TALLY += 1;
+                }
+            });
+        }
+    });
+}

@@ -16,3 +16,22 @@ pub fn audit(q: &mut Queue) {
     // powifi-lint: allow(R8) — fixture: one closure per run, cold path
     q.schedule_repeating(START, PERIOD, |w, _| w.audit());
 }
+
+pub fn replay_probe(rng: &mut SimRng) -> SimRng {
+    // powifi-lint: allow(rng-stream-discipline) — fixture: deliberate twin
+    // stream for a divergence probe
+    rng.clone()
+}
+
+pub fn dispatch_legacy(w: &mut World, ev: MacEvent) {
+    match ev {
+        MacEvent::ArbFire(m) => fire(w, m),
+        // powifi-lint: allow(R11) — fixture: legacy kinds routed elsewhere
+        _ => {}
+    }
+}
+
+pub fn peek(p: *const u8) -> u8 {
+    // powifi-lint: allow(unsafe-in-sim) — fixture: p is checked non-null
+    unsafe { core::ptr::read(p) }
+}

@@ -1,0 +1,1447 @@
+//! A lightweight hand-written parser over the lexer's token stream — the
+//! "engine v2" behind the flow-aware rules (R9–R12) and the AST upgrades to
+//! R1–R8.
+//!
+//! This is not a full Rust grammar. It recovers exactly the structure the
+//! rule catalogue reasons about:
+//!
+//! * the **item tree** (fns, impls, mods, traits, statics, uses, …) with
+//!   attributes, so `#[cfg(test)]`/`#[test]` scoping and `static mut`
+//!   detection are structural rather than token-window heuristics;
+//! * **`use` resolution** (`use a::b::{C, D as E}`) so a rule can see
+//!   through renames (`use std::collections::HashMap as Map`);
+//! * per-fn **local bindings** (name, declared type, initializer span) and
+//!   parameters, giving rules a little typed-expression context;
+//! * **closures** with parameter lists, body spans, and enough provenance
+//!   to compute captures and spot worker closures handed to `spawn`;
+//! * **`match` expressions** with scrutinee and per-arm pattern spans, so
+//!   exhaustive-dispatch rules can flag wildcard arms.
+//!
+//! The parser is *permissive*: malformed or exotic input degrades into
+//! `Other` items or skipped spans, never a panic — the engine round-trip
+//! test in `tests/engine.rs` runs it over every first-party file to pin
+//! that. Macro invocation bodies are left in the token stream (token-level
+//! rules still see them) but are not structured.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Comment, Lexed, TokKind, Token};
+
+/// Half-open token index range `[start, end)`.
+pub type Span = (usize, usize);
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn` (index into [`FileAst::fns`]).
+    Fn(usize),
+    /// `struct`.
+    Struct,
+    /// `enum`.
+    Enum,
+    /// `union`.
+    Union,
+    /// `trait`.
+    Trait,
+    /// `impl` block.
+    Impl,
+    /// `mod` (inline or declaration).
+    Mod,
+    /// `static` (index into [`FileAst::statics`]).
+    Static(usize),
+    /// `const` item.
+    Const,
+    /// `use` declaration.
+    Use,
+    /// `type` alias.
+    TypeAlias,
+    /// Macro definition or item-level macro invocation.
+    Macro,
+    /// `extern` crate/block.
+    Extern,
+    /// Anything the parser stepped over to recover.
+    Other,
+}
+
+/// One node of the item tree.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Kind (with payload index for fns/statics).
+    pub kind: ItemKind,
+    /// Declared name (`""` for impls and recovery nodes).
+    pub name: String,
+    /// 1-based line of the item's first token (after attributes).
+    pub line: u32,
+    /// Token span covering the whole item including attributes.
+    pub tokens: Span,
+    /// Attributes, normalized by concatenating token texts
+    /// (`#[cfg(test)]` → `"cfg(test)"`).
+    pub attrs: Vec<String>,
+    /// True when this item (or an ancestor) carries `#[test]`/`#[cfg(test)]`.
+    pub is_test: bool,
+    /// Nested items (mods, impls, traits).
+    pub children: Vec<Item>,
+}
+
+/// A `static` declaration.
+#[derive(Debug, Clone)]
+pub struct StaticInfo {
+    /// Item name (`UPPER_SNAKE` by convention).
+    pub name: String,
+    /// `static mut`?
+    pub is_mut: bool,
+    /// Declared type, normalized by concatenating token texts.
+    pub ty: String,
+    /// 1-based line of the `static` keyword.
+    pub line: u32,
+    /// 1-based column of the `static` keyword.
+    pub col: u32,
+    /// Declared under `#[cfg(test)]`/`#[test]`?
+    pub is_test: bool,
+}
+
+impl StaticInfo {
+    /// Does the declared type carry interior mutability (so a shared
+    /// reference still permits writes)?
+    pub fn interior_mutable(&self) -> bool {
+        [
+            "Mutex<",
+            "RwLock<",
+            "RefCell<",
+            "Cell<",
+            "UnsafeCell<",
+            "Atomic",
+        ]
+        .iter()
+        .any(|t| self.ty.contains(t))
+    }
+}
+
+/// One name introduced by a `use` declaration.
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// The name visible in this file (the alias, if `as` was used).
+    pub name: String,
+    /// Full normalized path (`std::collections::HashMap`).
+    pub path: String,
+    /// 1-based line of the binding.
+    pub line: u32,
+    /// Declared under a test region?
+    pub is_test: bool,
+}
+
+/// A local binding (`let` statement or fn parameter).
+#[derive(Debug, Clone)]
+pub struct Local {
+    /// Bound name (one entry per name for tuple/struct patterns).
+    pub name: String,
+    /// Declared type, normalized by concatenating token texts (`""` when
+    /// inferred).
+    pub ty: String,
+    /// Initializer token span (empty for parameters / uninitialized lets).
+    pub init: Span,
+    /// 1-based line of the binding.
+    pub line: u32,
+    /// Token index of the `let` keyword (or the parameter name).
+    pub tok: usize,
+}
+
+/// A closure expression.
+#[derive(Debug, Clone)]
+pub struct Closure {
+    /// Span from `move`/`|` through the end of the body.
+    pub tokens: Span,
+    /// Body span (block contents or the trailing expression).
+    pub body: Span,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// `move` closure?
+    pub is_move: bool,
+    /// 1-based line of the opening `|`.
+    pub line: u32,
+    /// True when the closure is the first argument of a call to an ident
+    /// named `spawn` (`s.spawn(move || …)`, `thread::spawn(|| …)`).
+    pub spawned: bool,
+}
+
+/// One arm of a `match`.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    /// Pattern token span (includes any `if` guard).
+    pub pat: Span,
+    /// 1-based line of the pattern's first token.
+    pub line: u32,
+    /// 1-based column of the pattern's first token.
+    pub col: u32,
+}
+
+/// A `match` expression.
+#[derive(Debug, Clone)]
+pub struct MatchExpr {
+    /// Scrutinee token span.
+    pub scrutinee: Span,
+    /// Arms in source order.
+    pub arms: Vec<Arm>,
+    /// 1-based line of the `match` keyword.
+    pub line: u32,
+}
+
+/// A parsed function (free, method, or trait default).
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Body token span (inside the braces), empty for bodyless decls.
+    pub body: Span,
+    /// Parameters.
+    pub params: Vec<Local>,
+    /// `let` bindings anywhere in the body (closure-internal ones
+    /// included; filter by token index against a closure's span).
+    pub locals: Vec<Local>,
+    /// Closures anywhere in the body, in source order.
+    pub closures: Vec<Closure>,
+    /// `match` expressions anywhere in the body, in source order.
+    pub matches: Vec<MatchExpr>,
+    /// Inside a test region (own or inherited attribute)?
+    pub is_test: bool,
+}
+
+/// The parse result for one file.
+#[derive(Debug, Default)]
+pub struct FileAst {
+    /// The token stream the tree indexes into.
+    pub tokens: Vec<Token>,
+    /// Comments (for suppression parsing).
+    pub comments: Vec<Comment>,
+    /// Top-level item tree.
+    pub items: Vec<Item>,
+    /// All fns, flattened in source order.
+    pub fns: Vec<FnInfo>,
+    /// All statics, flattened in source order.
+    pub statics: Vec<StaticInfo>,
+    /// All `use` bindings, flattened in source order.
+    pub uses: Vec<UseDecl>,
+    /// Inner attributes (`#![…]`) at any level, normalized.
+    pub inner_attrs: Vec<String>,
+}
+
+impl FileAst {
+    /// Resolve a bare name through this file's `use` declarations.
+    /// Returns the full path when the name was imported (test-region
+    /// imports resolve too — rules scope by *use site*).
+    pub fn resolve_use(&self, name: &str) -> Option<&str> {
+        self.uses
+            .iter()
+            .find(|u| u.name == name)
+            .map(|u| u.path.as_str())
+    }
+
+    /// The innermost fn whose body contains token index `tok`.
+    pub fn enclosing_fn(&self, tok: usize) -> Option<&FnInfo> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.0 <= tok && tok < f.body.1)
+            .min_by_key(|f| f.body.1 - f.body.0)
+    }
+}
+
+/// Workspace-wide symbol index: what the rules need to reason across
+/// files. Built once per run from every parsed file.
+#[derive(Debug, Default)]
+pub struct SymbolIndex {
+    /// Non-test statics by name (last declaration wins on collision —
+    /// adequate for the flat `UPPER_SNAKE` namespace this workspace uses).
+    pub statics: BTreeMap<String, StaticSym>,
+    /// Non-test enum names.
+    pub enums: BTreeMap<String, String>,
+}
+
+/// A static as seen by the index.
+#[derive(Debug, Clone)]
+pub struct StaticSym {
+    /// Repo-relative path of the declaring file.
+    pub path: String,
+    /// `static mut`?
+    pub is_mut: bool,
+    /// Interior-mutable type (`Mutex`, `RefCell`, `Atomic*`, …)?
+    pub interior_mutable: bool,
+}
+
+impl SymbolIndex {
+    /// Fold one parsed file into the index.
+    pub fn add_file(&mut self, rel: &str, ast: &FileAst) {
+        for s in &ast.statics {
+            if s.is_test {
+                continue;
+            }
+            self.statics.insert(
+                s.name.clone(),
+                StaticSym {
+                    path: rel.to_string(),
+                    is_mut: s.is_mut,
+                    interior_mutable: s.interior_mutable(),
+                },
+            );
+        }
+        collect_enums(&ast.items, rel, &mut self.enums);
+    }
+}
+
+fn collect_enums(items: &[Item], rel: &str, out: &mut BTreeMap<String, String>) {
+    for it in items {
+        if it.kind == ItemKind::Enum && !it.is_test {
+            out.insert(it.name.clone(), rel.to_string());
+        }
+        collect_enums(&it.children, rel, out);
+    }
+}
+
+const KEYWORDS: [&str; 36] = [
+    "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "false", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "self", "Self", "static", "struct", "super", "trait", "true", "type", "unsafe",
+    "use", "where", "while",
+];
+
+/// Is `s` a Rust keyword (as far as capture analysis cares)?
+pub fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Parse a lexed file into a [`FileAst`]. Never panics; unparseable spans
+/// become `Other` items or are skipped.
+pub fn parse(lexed: Lexed) -> FileAst {
+    let mut ast = FileAst {
+        tokens: lexed.tokens,
+        comments: lexed.comments,
+        ..FileAst::default()
+    };
+    let end = ast.tokens.len();
+    let mut p = Parser {
+        out_fns: Vec::new(),
+        out_statics: Vec::new(),
+        out_uses: Vec::new(),
+        inner_attrs: Vec::new(),
+    };
+    let items = p.items(&ast.tokens, 0, end, false);
+    ast.items = items;
+    ast.fns = p.out_fns;
+    ast.statics = p.out_statics;
+    ast.uses = p.out_uses;
+    ast.inner_attrs = p.inner_attrs;
+    ast
+}
+
+struct Parser {
+    out_fns: Vec<FnInfo>,
+    out_statics: Vec<StaticInfo>,
+    out_uses: Vec<UseDecl>,
+    inner_attrs: Vec<String>,
+}
+
+/// Concatenate token texts over a span (type/attr normalization).
+fn join(toks: &[Token], span: Span) -> String {
+    let mut s = String::new();
+    for t in &toks[span.0..span.1.min(toks.len())] {
+        s.push_str(&t.text);
+    }
+    s
+}
+
+/// Index just past the `]`/`)`/`}` matching the opener at `open`.
+/// Returns `end` when unclosed (error recovery).
+fn match_delim(toks: &[Token], open: usize, end: usize) -> usize {
+    let (o, c) = match toks[open].text.as_str() {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        _ => return (open + 1).min(end),
+    };
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < end {
+        let t = toks[i].text.as_str();
+        if t == o {
+            depth += 1;
+        } else if t == c {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Scan from `i` to the first token in `stops` at bracket depth 0
+/// (counting `(`/`[`/`{`). Returns the stop index (or `end`).
+fn scan_to(toks: &[Token], i: usize, end: usize, stops: &[&str]) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < end {
+        let t = toks[j].text.as_str();
+        if depth == 0 && stops.contains(&t) {
+            return j;
+        }
+        match t {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    end
+}
+
+fn is_test_attr(attr: &str) -> bool {
+    attr == "test" || attr.ends_with("::test") || attr.starts_with("cfg(test")
+}
+
+impl Parser {
+    /// Parse items in `[i, end)`. `inherited_test` marks everything inside
+    /// a `#[cfg(test)]` ancestor.
+    fn items(
+        &mut self,
+        toks: &[Token],
+        mut i: usize,
+        end: usize,
+        inherited_test: bool,
+    ) -> Vec<Item> {
+        let mut items = Vec::new();
+        while i < end {
+            let start = i;
+            // Attributes.
+            let mut attrs = Vec::new();
+            while i + 1 < end && toks[i].text == "#" {
+                if toks[i + 1].text == "[" {
+                    let close = match_delim(toks, i + 1, end);
+                    attrs.push(join(toks, (i + 2, close.saturating_sub(1))));
+                    i = close;
+                } else if toks[i + 1].text == "!" && i + 2 < end && toks[i + 2].text == "[" {
+                    let close = match_delim(toks, i + 2, end);
+                    self.inner_attrs
+                        .push(join(toks, (i + 3, close.saturating_sub(1))));
+                    i = close;
+                } else {
+                    break;
+                }
+            }
+            if i >= end {
+                break;
+            }
+            let is_test = inherited_test || attrs.iter().any(|a| is_test_attr(a));
+            // Modifiers: `pub`, `pub(crate)`, `unsafe`, `async`, `default`,
+            // `const fn`, `extern "C" fn`.
+            let mut j = i;
+            loop {
+                let t = toks.get(j).map(|t| t.text.as_str()).unwrap_or("");
+                match t {
+                    "pub" => {
+                        j += 1;
+                        if toks.get(j).map(|t| t.text == "(").unwrap_or(false) {
+                            j = match_delim(toks, j, end);
+                        }
+                    }
+                    "unsafe" | "async" | "default" => j += 1,
+                    "const" if toks.get(j + 1).map(|t| t.text == "fn").unwrap_or(false) => j += 1,
+                    "extern"
+                        if toks
+                            .get(j + 1)
+                            .map(|t| t.kind == TokKind::Str)
+                            .unwrap_or(false)
+                            && toks.get(j + 2).map(|t| t.text == "fn").unwrap_or(false) =>
+                    {
+                        j += 2
+                    }
+                    _ => break,
+                }
+            }
+            let head = toks.get(j).map(|t| t.text.as_str()).unwrap_or("");
+            let line = toks.get(j).map(|t| t.line).unwrap_or(0);
+            let item = match head {
+                "fn" => {
+                    let (item, next) = self.parse_fn(toks, (start, end), j, attrs, is_test, line);
+                    i = next;
+                    item
+                }
+                "struct" | "enum" | "union" | "trait" => {
+                    let kind = match head {
+                        "struct" => ItemKind::Struct,
+                        "enum" => ItemKind::Enum,
+                        "union" => ItemKind::Union,
+                        _ => ItemKind::Trait,
+                    };
+                    let name = ident_after(toks, j + 1, end);
+                    let stop = scan_to(toks, j + 1, end, &["{", ";"]);
+                    let (children, next) = if toks.get(stop).map(|t| t.text == "{").unwrap_or(false)
+                    {
+                        let close = match_delim(toks, stop, end);
+                        let kids = if kind == ItemKind::Trait {
+                            self.items(toks, stop + 1, close.saturating_sub(1), is_test)
+                        } else {
+                            Vec::new()
+                        };
+                        (kids, close)
+                    } else {
+                        (Vec::new(), (stop + 1).min(end))
+                    };
+                    i = next;
+                    Item {
+                        kind,
+                        name,
+                        line,
+                        tokens: (start, i),
+                        attrs,
+                        is_test,
+                        children,
+                    }
+                }
+                "impl" => {
+                    let stop = scan_to(toks, j + 1, end, &["{", ";"]);
+                    let (children, next) = if toks.get(stop).map(|t| t.text == "{").unwrap_or(false)
+                    {
+                        let close = match_delim(toks, stop, end);
+                        (
+                            self.items(toks, stop + 1, close.saturating_sub(1), is_test),
+                            close,
+                        )
+                    } else {
+                        (Vec::new(), (stop + 1).min(end))
+                    };
+                    i = next;
+                    Item {
+                        kind: ItemKind::Impl,
+                        name: String::new(),
+                        line,
+                        tokens: (start, i),
+                        attrs,
+                        is_test,
+                        children,
+                    }
+                }
+                "mod" => {
+                    let name = ident_after(toks, j + 1, end);
+                    let stop = scan_to(toks, j + 1, end, &["{", ";"]);
+                    let (children, next) = if toks.get(stop).map(|t| t.text == "{").unwrap_or(false)
+                    {
+                        let close = match_delim(toks, stop, end);
+                        (
+                            self.items(toks, stop + 1, close.saturating_sub(1), is_test),
+                            close,
+                        )
+                    } else {
+                        (Vec::new(), (stop + 1).min(end))
+                    };
+                    i = next;
+                    Item {
+                        kind: ItemKind::Mod,
+                        name,
+                        line,
+                        tokens: (start, i),
+                        attrs,
+                        is_test,
+                        children,
+                    }
+                }
+                "static" => {
+                    let (item, next) = self.parse_static(toks, start, j, end, attrs, is_test);
+                    i = next;
+                    item
+                }
+                "const" => {
+                    let name = ident_after(toks, j + 1, end);
+                    let stop = scan_to(toks, j + 1, end, &[";"]);
+                    i = (stop + 1).min(end);
+                    Item {
+                        kind: ItemKind::Const,
+                        name,
+                        line,
+                        tokens: (start, i),
+                        attrs,
+                        is_test,
+                        children: Vec::new(),
+                    }
+                }
+                "use" => {
+                    let stop = scan_to(toks, j + 1, end, &[";"]);
+                    self.parse_use(toks, j + 1, stop, is_test);
+                    i = (stop + 1).min(end);
+                    Item {
+                        kind: ItemKind::Use,
+                        name: String::new(),
+                        line,
+                        tokens: (start, i),
+                        attrs,
+                        is_test,
+                        children: Vec::new(),
+                    }
+                }
+                "type" => {
+                    let name = ident_after(toks, j + 1, end);
+                    let stop = scan_to(toks, j + 1, end, &[";"]);
+                    i = (stop + 1).min(end);
+                    Item {
+                        kind: ItemKind::TypeAlias,
+                        name,
+                        line,
+                        tokens: (start, i),
+                        attrs,
+                        is_test,
+                        children: Vec::new(),
+                    }
+                }
+                "extern" => {
+                    // `extern crate name;` or `extern "C" { … }`.
+                    let stop = scan_to(toks, j + 1, end, &["{", ";"]);
+                    i = if toks.get(stop).map(|t| t.text == "{").unwrap_or(false) {
+                        match_delim(toks, stop, end)
+                    } else {
+                        (stop + 1).min(end)
+                    };
+                    Item {
+                        kind: ItemKind::Extern,
+                        name: String::new(),
+                        line,
+                        tokens: (start, i),
+                        attrs,
+                        is_test,
+                        children: Vec::new(),
+                    }
+                }
+                "macro_rules" => {
+                    let name = ident_after(toks, j + 2, end); // skip `!`
+                    let open = scan_to(toks, j + 1, end, &["{", "(", "["]);
+                    i = match_delim(toks, open.min(end.saturating_sub(1)), end);
+                    Item {
+                        kind: ItemKind::Macro,
+                        name,
+                        line,
+                        tokens: (start, i),
+                        attrs,
+                        is_test,
+                        children: Vec::new(),
+                    }
+                }
+                _ => {
+                    // Item-level macro invocation (`thread_local! { … }`) or
+                    // unknown input: skip a path, a `!`, one delimited group
+                    // or to the next `;`.
+                    let mut k = j;
+                    let mut name = String::new();
+                    while k < end
+                        && (toks[k].kind == TokKind::Ident || toks[k].text == "::")
+                        && toks[k].text != "!"
+                    {
+                        if toks[k].kind == TokKind::Ident {
+                            name = toks[k].text.clone();
+                        }
+                        k += 1;
+                    }
+                    if toks.get(k).map(|t| t.text == "!").unwrap_or(false) && k > j {
+                        let open = scan_to(toks, k + 1, end, &["{", "(", "["]);
+                        if open < end {
+                            let close = match_delim(toks, open, end);
+                            i = if toks[open].text == "{" {
+                                close
+                            } else {
+                                // `foo!(…);`
+                                let semi = scan_to(toks, close, end, &[";"]);
+                                (semi + 1).min(end)
+                            };
+                        } else {
+                            i = end;
+                        }
+                        Item {
+                            kind: ItemKind::Macro,
+                            name,
+                            line,
+                            tokens: (start, i),
+                            attrs,
+                            is_test,
+                            children: Vec::new(),
+                        }
+                    } else {
+                        // Recovery: swallow to the next `;` or block.
+                        let stop = scan_to(toks, j, end, &["{", ";"]);
+                        i = if toks.get(stop).map(|t| t.text == "{").unwrap_or(false) {
+                            match_delim(toks, stop, end)
+                        } else {
+                            (stop + 1).min(end)
+                        };
+                        if i <= start {
+                            i = start + 1; // guarantee progress
+                        }
+                        Item {
+                            kind: ItemKind::Other,
+                            name: String::new(),
+                            line,
+                            tokens: (start, i),
+                            attrs,
+                            is_test,
+                            children: Vec::new(),
+                        }
+                    }
+                }
+            };
+            items.push(item);
+        }
+        items
+    }
+
+    fn parse_static(
+        &mut self,
+        toks: &[Token],
+        start: usize,
+        kw: usize,
+        end: usize,
+        attrs: Vec<String>,
+        is_test: bool,
+    ) -> (Item, usize) {
+        let mut j = kw + 1;
+        let is_mut = toks.get(j).map(|t| t.text == "mut").unwrap_or(false);
+        if is_mut {
+            j += 1;
+        }
+        let name = ident_after(toks, j, end);
+        let colon = scan_to(toks, j, end, &[":", ";", "="]);
+        let ty_end = if toks.get(colon).map(|t| t.text == ":").unwrap_or(false) {
+            scan_to_type_end(toks, colon + 1, end)
+        } else {
+            colon
+        };
+        let ty = if toks.get(colon).map(|t| t.text == ":").unwrap_or(false) {
+            join(toks, (colon + 1, ty_end))
+        } else {
+            String::new()
+        };
+        let semi = scan_to(toks, ty_end, end, &[";"]);
+        let next = (semi + 1).min(end);
+        let (line, col) = toks.get(kw).map(|t| (t.line, t.col)).unwrap_or((0, 0));
+        self.out_statics.push(StaticInfo {
+            name: name.clone(),
+            is_mut,
+            ty,
+            line,
+            col,
+            is_test,
+        });
+        (
+            Item {
+                kind: ItemKind::Static(self.out_statics.len() - 1),
+                name,
+                line,
+                tokens: (start, next),
+                attrs,
+                is_test,
+                children: Vec::new(),
+            },
+            next,
+        )
+    }
+
+    /// Parse `use` tree content in `[i, end)` (the span between `use` and
+    /// `;`), emitting one [`UseDecl`] per bound name.
+    fn parse_use(&mut self, toks: &[Token], i: usize, end: usize, is_test: bool) {
+        self.parse_use_prefixed(toks, i, end, String::new(), is_test);
+    }
+
+    fn parse_use_prefixed(
+        &mut self,
+        toks: &[Token],
+        mut i: usize,
+        end: usize,
+        prefix: String,
+        is_test: bool,
+    ) {
+        // Collect the leading path; recurse into `{…}` groups; emit leaves.
+        let mut path = prefix;
+        while i < end {
+            match toks[i].text.as_str() {
+                "::" => {
+                    i += 1;
+                }
+                "{" => {
+                    let close = match_delim(toks, i, end);
+                    // Split group members on top-level commas.
+                    let mut m = i + 1;
+                    let inner_end = close.saturating_sub(1);
+                    while m < inner_end {
+                        let comma = scan_to(toks, m, inner_end, &[","]);
+                        self.parse_use_prefixed(toks, m, comma, path.clone(), is_test);
+                        m = comma + 1;
+                    }
+                    return;
+                }
+                "*" => return, // glob: nothing nameable to record
+                "as" => {
+                    let alias = ident_after(toks, i + 1, end);
+                    if !alias.is_empty() && !path.is_empty() {
+                        let line = toks[i].line;
+                        self.out_uses.push(UseDecl {
+                            name: alias,
+                            path,
+                            line,
+                            is_test,
+                        });
+                    }
+                    return;
+                }
+                _ if toks[i].kind == TokKind::Ident => {
+                    if !path.is_empty() {
+                        path.push_str("::");
+                    }
+                    path.push_str(&toks[i].text);
+                    i += 1;
+                }
+                _ => {
+                    i += 1;
+                }
+            }
+        }
+        // Leaf without alias: bound name is the last segment.
+        if let Some(last) = path.rsplit("::").next() {
+            if !last.is_empty() && last != "self" {
+                let line = toks.get(i.saturating_sub(1)).map(|t| t.line).unwrap_or(0);
+                self.out_uses.push(UseDecl {
+                    name: last.to_string(),
+                    path: path.clone(),
+                    line,
+                    is_test,
+                });
+            }
+        }
+    }
+
+    fn parse_fn(
+        &mut self,
+        toks: &[Token],
+        span: Span,
+        kw: usize,
+        attrs: Vec<String>,
+        is_test: bool,
+        line: u32,
+    ) -> (Item, usize) {
+        let (start, end) = span;
+        let name = ident_after(toks, kw + 1, end);
+        // Skip generics.
+        let mut j = kw + 1;
+        while j < end && toks[j].text != "(" && toks[j].text != "{" && toks[j].text != ";" {
+            j += 1;
+        }
+        let mut params = Vec::new();
+        if toks.get(j).map(|t| t.text == "(").unwrap_or(false) {
+            let close = match_delim(toks, j, end);
+            parse_params(toks, j + 1, close.saturating_sub(1), &mut params);
+            j = close;
+        }
+        // Return type / where clause up to the body or `;`.
+        let stop = scan_to(toks, j, end, &["{", ";"]);
+        let (body, next) = if toks.get(stop).map(|t| t.text == "{").unwrap_or(false) {
+            let close = match_delim(toks, stop, end);
+            ((stop + 1, close.saturating_sub(1)), close)
+        } else {
+            ((stop, stop), (stop + 1).min(end))
+        };
+        let mut info = FnInfo {
+            name: name.clone(),
+            line,
+            body,
+            params,
+            locals: Vec::new(),
+            closures: Vec::new(),
+            matches: Vec::new(),
+            is_test,
+        };
+        analyze_body(toks, body, &mut info);
+        self.out_fns.push(info);
+        (
+            Item {
+                kind: ItemKind::Fn(self.out_fns.len() - 1),
+                name,
+                line,
+                tokens: (start, next),
+                attrs,
+                is_test,
+                children: Vec::new(),
+            },
+            next,
+        )
+    }
+}
+
+fn ident_after(toks: &[Token], i: usize, end: usize) -> String {
+    toks.get(i)
+        .filter(|t| i < end && t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .unwrap_or_default()
+}
+
+/// Type spans stop at `=`, `;` or `,` at *angle* depth 0 (so
+/// `Box<dyn Iterator<Item = u8>>` stays whole).
+fn scan_to_type_end(toks: &[Token], i: usize, end: usize) -> usize {
+    let mut angle = 0i32;
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < end {
+        let t = toks[j].text.as_str();
+        match t {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            "=" | ";" | "," if angle <= 0 && depth == 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Parse a parameter list span into locals (`name: Type`, `&self`, …).
+fn parse_params(toks: &[Token], i: usize, end: usize, out: &mut Vec<Local>) {
+    let mut m = i;
+    while m < end {
+        let comma = {
+            // Commas inside generic types (`BTreeMap<K, V>`) are not
+            // separators: track angle depth alongside brackets.
+            let mut angle = 0i32;
+            let mut depth = 0i32;
+            let mut j = m;
+            loop {
+                if j >= end {
+                    break end;
+                }
+                match toks[j].text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "," if angle <= 0 && depth <= 0 => break j,
+                    _ => {}
+                }
+                j += 1;
+            }
+        };
+        let colon = scan_to(toks, m, comma, &[":"]);
+        let mut name = String::new();
+        for t in &toks[m..colon.min(end)] {
+            if t.kind == TokKind::Ident && !is_keyword(&t.text) {
+                name = t.text.clone();
+            } else if t.text == "self" {
+                name = "self".into();
+            }
+        }
+        if toks[m..colon.min(end)].iter().any(|t| t.text == "self") {
+            name = "self".into();
+        }
+        if !name.is_empty() {
+            let ty = if colon < comma {
+                join(toks, (colon + 1, comma))
+            } else {
+                String::new()
+            };
+            out.push(Local {
+                name,
+                ty,
+                init: (m, m),
+                line: toks.get(m).map(|t| t.line).unwrap_or(0),
+                tok: m,
+            });
+        }
+        m = comma + 1;
+    }
+}
+
+/// Tokens that may directly precede a closure's `|`/`||` in expression
+/// position (so `a | b` bitwise-or is not misread as a closure).
+fn closure_can_start_after(prev: Option<&Token>) -> bool {
+    match prev {
+        None => true,
+        Some(t) => matches!(
+            t.text.as_str(),
+            "(" | "," | "=" | "=>" | "{" | ";" | "return" | ":" | "[" | "&&" | "||" | "else"
+        ),
+    }
+}
+
+/// Linear scan of a fn body collecting locals, closures and matches.
+fn analyze_body(toks: &[Token], body: Span, info: &mut FnInfo) {
+    let (start, end) = body;
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "let" => {
+                i = parse_let(toks, i, end, info);
+            }
+            "match" if t.kind == TokKind::Ident => {
+                parse_match(toks, i, end, info);
+                i += 1; // keep scanning inside (nested lets/closures/matches)
+            }
+            "move"
+                if toks
+                    .get(i + 1)
+                    .map(|n| n.text == "|" || n.text == "||")
+                    .unwrap_or(false) =>
+            {
+                i = parse_closure(toks, i, end, true, info);
+            }
+            "|" | "||"
+                if closure_can_start_after(if i > start { toks.get(i - 1) } else { None }) =>
+            {
+                i = parse_closure(toks, i, end, false, info);
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Parse one `let` statement starting at `let_idx`; returns the index to
+/// resume scanning from (just past the pattern/type, so initializer
+/// contents still get scanned for closures and matches).
+fn parse_let(toks: &[Token], let_idx: usize, end: usize, info: &mut FnInfo) -> usize {
+    let mut j = let_idx + 1;
+    // Pattern: idents up to `:`, `=` or `;` at depth 0.
+    let pat_end = scan_to(toks, j, end, &[":", "=", ";"]);
+    let mut names = Vec::new();
+    while j < pat_end {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident
+            && !is_keyword(&t.text)
+            && !t
+                .text
+                .chars()
+                .next()
+                .map(char::is_uppercase)
+                .unwrap_or(false)
+            && toks.get(j + 1).map(|n| n.text != "::").unwrap_or(true)
+        {
+            names.push((t.text.clone(), t.line));
+        }
+        j += 1;
+    }
+    let mut ty = String::new();
+    let mut k = pat_end;
+    if toks.get(k).map(|t| t.text == ":").unwrap_or(false) {
+        let ty_end = scan_to_type_end(toks, k + 1, end);
+        ty = join(toks, (k + 1, ty_end));
+        k = ty_end;
+    }
+    let init = if toks.get(k).map(|t| t.text == "=").unwrap_or(false) {
+        let init_end = scan_to(toks, k + 1, end, &[";", "else"]);
+        (k + 1, init_end)
+    } else {
+        (k, k)
+    };
+    for (name, line) in names {
+        info.locals.push(Local {
+            name,
+            ty: ty.clone(),
+            init,
+            line,
+            tok: let_idx,
+        });
+    }
+    k.max(let_idx + 1)
+}
+
+/// Parse one closure starting at `start` (`move` or the pipe). Returns the
+/// index just past the parameter list so body contents still get scanned.
+fn parse_closure(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    is_move: bool,
+    info: &mut FnInfo,
+) -> usize {
+    let pipe = if is_move { start + 1 } else { start };
+    let Some(pt) = toks.get(pipe) else {
+        return start + 1;
+    };
+    let (params_span, after_params) = if pt.text == "||" {
+        ((pipe, pipe), pipe + 1)
+    } else {
+        // `|params|` — find the closing pipe.
+        let mut j = pipe + 1;
+        let mut depth = 0i32;
+        while j < end {
+            match toks[j].text.as_str() {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" | ">" => depth -= 1,
+                "|" if depth <= 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= end {
+            return start + 1; // not a closure after all
+        }
+        ((pipe + 1, j), j + 1)
+    };
+    let mut params = Vec::new();
+    {
+        let mut locals = Vec::new();
+        parse_params(toks, params_span.0, params_span.1, &mut locals);
+        for l in locals {
+            params.push(l.name);
+        }
+    }
+    // Optional `-> Type`, then the body.
+    let mut b = after_params;
+    if toks.get(b).map(|t| t.text == "->").unwrap_or(false) {
+        b = scan_to(toks, b + 1, end, &["{"]);
+    }
+    let body = if toks.get(b).map(|t| t.text == "{").unwrap_or(false) {
+        let close = match_delim(toks, b, end);
+        (b + 1, close.saturating_sub(1))
+    } else {
+        // Expression body: to the first `,`/`;` at depth 0 or a closing
+        // delimiter of the surrounding group.
+        let stop = scan_to(toks, b, end, &[",", ";"]);
+        (b, stop)
+    };
+    // `spawn(move || …)` / `spawn(|| …)` detection.
+    let spawned = start >= 2
+        && toks[start - 1].text == "("
+        && toks[start - 2].kind == TokKind::Ident
+        && toks[start - 2].text == "spawn";
+    info.closures.push(Closure {
+        tokens: (start, body.1),
+        body,
+        params,
+        is_move,
+        line: pt.line,
+        spawned,
+    });
+    after_params
+}
+
+/// Parse one `match` expression starting at the `match` keyword.
+fn parse_match(toks: &[Token], kw: usize, end: usize, info: &mut FnInfo) {
+    let scrut_end = scan_to(toks, kw + 1, end, &["{"]);
+    if !toks.get(scrut_end).map(|t| t.text == "{").unwrap_or(false) {
+        return;
+    }
+    let close = match_delim(toks, scrut_end, end);
+    let block_end = close.saturating_sub(1);
+    let mut arms = Vec::new();
+    let mut i = scrut_end + 1;
+    while i < block_end {
+        let arrow = scan_to(toks, i, block_end, &["=>"]);
+        if arrow >= block_end {
+            break;
+        }
+        let first = &toks[i];
+        arms.push(Arm {
+            pat: (i, arrow),
+            line: first.line,
+            col: first.col,
+        });
+        // Arm body: block or expression up to the next top-level comma.
+        let b = arrow + 1;
+        if toks.get(b).map(|t| t.text == "{").unwrap_or(false) {
+            i = match_delim(toks, b, block_end);
+        } else {
+            i = scan_to(toks, b, block_end, &[","]);
+        }
+        if toks.get(i).map(|t| t.text == ",").unwrap_or(false) {
+            i += 1;
+        }
+    }
+    info.matches.push(MatchExpr {
+        scrutinee: (kw + 1, scrut_end),
+        arms,
+        line: toks[kw].line,
+    });
+}
+
+/// A reference to an outer binding from inside a closure body.
+#[derive(Debug, Clone)]
+pub struct CaptureRef {
+    /// Captured name.
+    pub name: String,
+    /// Token index of the reference.
+    pub tok: usize,
+    /// Declared type of the outer binding (`""` when unknown).
+    pub ty: String,
+}
+
+/// Compute the outer bindings a closure captures: identifiers used in its
+/// body that are bound by the *enclosing fn* (params or earlier locals)
+/// rather than by the closure's own params/lets. Path segments, field and
+/// method names are excluded.
+pub fn closure_captures(toks: &[Token], f: &FnInfo, c: &Closure) -> Vec<CaptureRef> {
+    let inner_names: Vec<&str> = c
+        .params
+        .iter()
+        .map(String::as_str)
+        .chain(
+            f.locals
+                .iter()
+                .filter(|l| l.tok >= c.tokens.0 && l.tok < c.body.1)
+                .map(|l| l.name.as_str()),
+        )
+        .collect();
+    let mut outer: BTreeMap<&str, &str> = BTreeMap::new();
+    for l in f
+        .params
+        .iter()
+        .chain(f.locals.iter().filter(|l| l.tok < c.tokens.0))
+    {
+        outer.insert(&l.name, &l.ty);
+    }
+    let mut out = Vec::new();
+    for i in c.body.0..c.body.1.min(toks.len()) {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || is_keyword(&t.text) {
+            continue;
+        }
+        if inner_names.contains(&t.text.as_str()) {
+            continue;
+        }
+        let prev = i
+            .checked_sub(1)
+            .map(|p| toks[p].text.as_str())
+            .unwrap_or("");
+        let next = toks.get(i + 1).map(|n| n.text.as_str()).unwrap_or("");
+        if prev == "." || prev == "::" || next == "::" || next == "!" {
+            continue;
+        }
+        if let Some(ty) = outer.get(t.text.as_str()) {
+            out.push(CaptureRef {
+                name: t.text.clone(),
+                tok: i,
+                ty: ty.to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> FileAst {
+        parse(lex(src))
+    }
+
+    #[test]
+    fn item_tree_kinds_and_names() {
+        let ast = parse_src(
+            "use std::collections::HashMap as Map;\n\
+             pub struct S { x: u8 }\n\
+             pub enum E { A, B }\n\
+             static mut COUNT: u64 = 0;\n\
+             static TABLE: Mutex<Vec<u64>> = Mutex::new(Vec::new());\n\
+             impl S { pub fn get(&self) -> u8 { self.x } }\n\
+             mod inner { pub fn f() {} }\n\
+             pub fn top(a: u32, b: &str) -> u32 { a }\n",
+        );
+        let kinds: Vec<&ItemKind> = ast.items.iter().map(|i| &i.kind).collect();
+        assert!(matches!(kinds[0], ItemKind::Use));
+        assert!(matches!(kinds[1], ItemKind::Struct));
+        assert!(matches!(kinds[2], ItemKind::Enum));
+        assert!(matches!(kinds[3], ItemKind::Static(_)));
+        assert!(matches!(kinds[4], ItemKind::Static(_)));
+        assert!(matches!(kinds[5], ItemKind::Impl));
+        assert!(matches!(kinds[6], ItemKind::Mod));
+        assert!(matches!(kinds[7], ItemKind::Fn(_)));
+        assert_eq!(ast.items[2].name, "E");
+        assert_eq!(ast.statics.len(), 2);
+        assert!(ast.statics[0].is_mut);
+        assert!(!ast.statics[0].interior_mutable());
+        assert!(!ast.statics[1].is_mut);
+        assert!(ast.statics[1].interior_mutable());
+        assert_eq!(ast.statics[1].ty, "Mutex<Vec<u64>>");
+        // Fns: S::get, inner::f, top.
+        let names: Vec<&str> = ast.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["get", "f", "top"]);
+        assert_eq!(ast.fns[2].params.len(), 2);
+        assert_eq!(ast.fns[2].params[0].name, "a");
+        assert_eq!(ast.fns[2].params[0].ty, "u32");
+    }
+
+    #[test]
+    fn use_resolution_handles_groups_globs_and_aliases() {
+        let ast = parse_src(
+            "use std::collections::{BTreeMap, HashMap as Map};\n\
+             use std::time::Instant;\n\
+             use crate::foo::*;\n",
+        );
+        assert_eq!(ast.resolve_use("Map"), Some("std::collections::HashMap"));
+        assert_eq!(
+            ast.resolve_use("BTreeMap"),
+            Some("std::collections::BTreeMap")
+        );
+        assert_eq!(ast.resolve_use("Instant"), Some("std::time::Instant"));
+        assert_eq!(ast.resolve_use("foo"), None);
+    }
+
+    #[test]
+    fn test_attrs_mark_items_and_descendants() {
+        let ast = parse_src(
+            "pub fn lib_code() {}\n\
+             #[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { let x = 1; }\n  fn helper() {}\n}\n",
+        );
+        assert!(
+            !ast.fns
+                .iter()
+                .find(|f| f.name == "lib_code")
+                .unwrap()
+                .is_test
+        );
+        assert!(ast.fns.iter().find(|f| f.name == "t").unwrap().is_test);
+        assert!(ast.fns.iter().find(|f| f.name == "helper").unwrap().is_test);
+    }
+
+    #[test]
+    fn locals_record_types_and_float_inits() {
+        let ast = parse_src(
+            "fn f() {\n\
+               let a: f64 = compute();\n\
+               let b = 1.5;\n\
+               let (c, d) = (1, 2);\n\
+               let e: BTreeMap<u32, Vec<u8>> = BTreeMap::new();\n\
+               let Some(g) = opt else { return; };\n\
+             }\n",
+        );
+        let f = &ast.fns[0];
+        let get = |n: &str| f.locals.iter().find(|l| l.name == n).unwrap();
+        assert_eq!(get("a").ty, "f64");
+        assert_eq!(get("b").ty, "");
+        assert!(get("c").ty.is_empty() && get("d").ty.is_empty());
+        assert_eq!(get("e").ty, "BTreeMap<u32,Vec<u8>>");
+        assert_eq!(get("g").name, "g");
+        assert_eq!(f.locals.len(), 6);
+    }
+
+    #[test]
+    fn match_arms_and_scrutinee() {
+        let ast = parse_src(
+            "fn f(ev: E) -> u32 {\n\
+               match ev {\n\
+                 E::A(x) => x,\n\
+                 E::B { y, .. } => { y + 1 }\n\
+                 _ => 0,\n\
+               }\n\
+             }\n",
+        );
+        let m = &ast.fns[0].matches[0];
+        assert_eq!(m.arms.len(), 3);
+        // Wildcard arm is the last, pattern exactly `_`.
+        let last = &m.arms[2];
+        assert_eq!(last.pat.1 - last.pat.0, 1);
+    }
+
+    #[test]
+    fn empty_and_nested_matches() {
+        let ast = parse_src(
+            "fn f(ev: V, o: Option<u8>) {\n\
+               match ev {}\n\
+               match o {\n\
+                 Some(x) => match x { 0 => (), _ => () },\n\
+                 None => (),\n\
+               }\n\
+             }\n",
+        );
+        let f = &ast.fns[0];
+        assert_eq!(f.matches.len(), 3);
+        assert!(f.matches[0].arms.is_empty());
+        assert_eq!(f.matches[1].arms.len(), 2);
+        assert_eq!(f.matches[2].arms.len(), 2);
+    }
+
+    #[test]
+    fn closures_captures_and_spawn_detection() {
+        let ast = parse_src(
+            "fn f(jobs: usize) {\n\
+               let table: Mutex<Vec<u64>> = Mutex::new(Vec::new());\n\
+               let plain = 3u64;\n\
+               std::thread::scope(|s| {\n\
+                 for _t in 0..jobs {\n\
+                   s.spawn(move || {\n\
+                     let local = plain + 1;\n\
+                     let g = table.lock();\n\
+                     drop(g);\n\
+                     local\n\
+                   });\n\
+                 }\n\
+               });\n\
+               let add = |x: u64, y: u64| x + y;\n\
+               let or = plain | 4;\n\
+               let _ = (add, or);\n\
+             }\n",
+        );
+        let f = &ast.fns[0];
+        // scope closure, spawn closure, add closure (`plain | 4` is not one).
+        assert_eq!(f.closures.len(), 3, "{:#?}", f.closures);
+        let spawn = f.closures.iter().find(|c| c.spawned).unwrap();
+        assert!(spawn.is_move);
+        let caps = closure_captures(&ast.tokens, f, spawn);
+        let names: Vec<&str> = caps.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"table"), "{names:?}");
+        assert!(names.contains(&"plain"), "{names:?}");
+        assert!(!names.contains(&"local"), "{names:?}");
+        let table_cap = caps.iter().find(|c| c.name == "table").unwrap();
+        assert_eq!(table_cap.ty, "Mutex<Vec<u64>>");
+        let add = f.closures.iter().find(|c| c.params.len() == 2).unwrap();
+        assert_eq!(add.params, vec!["x", "y"]);
+        assert!(!add.spawned);
+    }
+
+    #[test]
+    fn enclosing_fn_finds_the_innermost() {
+        let ast = parse_src("fn outer() { let x = 1; }\nfn other() { let y = 2; }\n");
+        let f = ast.enclosing_fn(ast.fns[0].body.0).unwrap();
+        assert_eq!(f.name, "outer");
+    }
+
+    #[test]
+    fn symbol_index_collects_statics_and_enums() {
+        let ast = parse_src(
+            "pub enum MacEvent { A }\n\
+             static mut RAW: u64 = 0;\n\
+             static CELL: RefCell<u8> = RefCell::new(0);\n\
+             #[cfg(test)]\nmod tests { pub enum TestOnly { X } static T: u8 = 0; }\n",
+        );
+        let mut ix = SymbolIndex::default();
+        ix.add_file("crates/mac/src/a.rs", &ast);
+        assert!(ix.statics.get("RAW").unwrap().is_mut);
+        assert!(ix.statics.get("CELL").unwrap().interior_mutable);
+        assert!(!ix.statics.contains_key("T"), "test statics excluded");
+        assert!(ix.enums.contains_key("MacEvent"));
+        assert!(!ix.enums.contains_key("TestOnly"));
+    }
+
+    #[test]
+    fn malformed_input_never_panics() {
+        for src in [
+            "fn broken( { let x = ",
+            "impl { }",
+            "match",
+            "| | |",
+            "static X",
+            "use ;",
+            "macro_rules! m",
+            "#[cfg(test)",
+            "fn f() { let = ; }",
+        ] {
+            let _ = parse_src(src);
+        }
+    }
+}

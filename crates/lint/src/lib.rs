@@ -1,18 +1,21 @@
 //! # powifi-lint
 //!
 //! In-repo static analyzer enforcing the workspace's determinism and
-//! unit-safety rules (R1–R7, see `docs/STATIC_ANALYSIS.md`). Self-contained:
-//! a hand-written lexer, no external dependencies, so it builds wherever the
-//! workspace builds.
+//! unit-safety rules (R1–R12, see `docs/STATIC_ANALYSIS.md`). Self-contained:
+//! a hand-written lexer and parser, no external dependencies, so it builds
+//! wherever the workspace builds.
 //!
-//! The flow: walk `crates/*/src` (and sibling trees), lex each file, run the
-//! rule catalogue, drop findings covered by inline
+//! The flow (engine v2): walk `crates/*/src` (and sibling trees), lex and
+//! parse each file into a [`ast::FileAst`], pool every file's items into a
+//! workspace [`ast::SymbolIndex`], run the rule catalogue over each parsed
+//! file with the index in hand, drop findings covered by inline
 //! `// powifi-lint: allow(<rule>) — <reason>` suppressions, then split the
 //! rest into *baselined* (grandfathered in `lint-baseline.txt`) and *new*.
 //! `--deny-new` exits non-zero iff any new finding survives.
 
 #![warn(missing_docs)]
 
+pub mod ast;
 pub mod lexer;
 pub mod rules;
 
@@ -21,6 +24,7 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use ast::{FileAst, SymbolIndex};
 use rules::{FileContext, Rule};
 
 /// A finding after suppression filtering, attached to its file.
@@ -121,21 +125,29 @@ pub fn classify(rel: &str) -> Option<FileContext> {
     // The queue defines (and internally uses) the boxed-closure scheduling
     // API — R8's file-level carve-out.
     let is_queue_impl = crate_name == "sim" && rest == ["src", "queue.rs"];
+    // The RNG implementation is the one place allowed to seed raw
+    // generators — R10's file-level carve-out.
+    let is_rng_impl = crate_name == "sim" && rest == ["src", "rng.rs"];
+    // The sharded city runtime and its helpers — R9's scope.
+    let is_city = crate_name == "deploy" && top == "src" && rest.get(1) == Some(&"city");
     Some(FileContext {
         crate_name,
+        rel_path: rel.to_string(),
         is_test_file,
         is_bin,
         is_prof_impl,
         is_queue_impl,
+        is_rng_impl,
+        is_city,
     })
 }
 
 /// Rules allowed on a given line by `// powifi-lint: allow(...)` comments.
 /// A trailing suppression covers its own line; a standalone one covers the
 /// whole statement starting at the first code line below its comment block.
-fn suppressions(lexed: &lexer::Lexed, src: &str) -> BTreeMap<u32, Vec<Rule>> {
+fn suppressions(ast: &FileAst, src: &str) -> BTreeMap<u32, Vec<Rule>> {
     let mut by_line: BTreeMap<u32, Vec<Rule>> = BTreeMap::new();
-    for c in &lexed.comments {
+    for c in &ast.comments {
         let Some(pos) = c.text.find("powifi-lint:") else {
             continue;
         };
@@ -176,7 +188,7 @@ fn suppressions(lexed: &lexer::Lexed, src: &str) -> BTreeMap<u32, Vec<Rule>> {
             // Cover the whole statement, not just its first line — rustfmt
             // is free to split a guarded chain across lines. The statement
             // ends at the first `;` or block-opening `{` at nesting depth 0.
-            let last = statement_end_line(&lexed.tokens, first);
+            let last = statement_end_line(&ast.tokens, first);
             for line in first..=last.max(first) {
                 by_line
                     .entry(line)
@@ -210,17 +222,20 @@ fn statement_end_line(tokens: &[lexer::Token], first_line: u32) -> u32 {
     first_line
 }
 
-/// Scan one file (already read) and return surviving findings.
-pub fn scan_source(rel: &str, src: &str) -> Vec<Finding> {
-    let Some(ctx) = classify(rel) else {
-        return Vec::new();
-    };
-    let lexed = lexer::lex(src);
-    let raw = rules::check_file(&ctx, &lexed);
+/// Run the rule catalogue over one already-parsed file and return surviving
+/// findings, sorted. `index` should cover the whole workspace for
+/// cross-file rules; a single-file index degrades gracefully.
+pub fn scan_parsed(
+    ctx: &FileContext,
+    ast: &FileAst,
+    index: &SymbolIndex,
+    src: &str,
+) -> Vec<Finding> {
+    let raw = rules::check_file(ctx, ast, index);
     if raw.is_empty() {
         return Vec::new();
     }
-    let allowed = suppressions(&lexed, src);
+    let allowed = suppressions(ast, src);
     let lines: Vec<&str> = src.lines().collect();
     let mut out: Vec<Finding> = raw
         .into_iter()
@@ -231,7 +246,7 @@ pub fn scan_source(rel: &str, src: &str) -> Vec<Finding> {
                 .unwrap_or(false)
         })
         .map(|f| Finding {
-            path: rel.to_string(),
+            path: ctx.rel_path.clone(),
             line: f.line,
             col: f.col,
             rule: f.rule,
@@ -244,6 +259,19 @@ pub fn scan_source(rel: &str, src: &str) -> Vec<Finding> {
         .collect();
     out.sort();
     out
+}
+
+/// Scan one file (already read) in isolation: parse it, index only its own
+/// symbols, run the rules. Cross-file context (other files' statics) is
+/// absent — [`run`] provides it for full-workspace scans.
+pub fn scan_source(rel: &str, src: &str) -> Vec<Finding> {
+    let Some(ctx) = classify(rel) else {
+        return Vec::new();
+    };
+    let ast = ast::parse(lexer::lex(src));
+    let mut index = SymbolIndex::default();
+    index.add_file(rel, &ast);
+    scan_parsed(&ctx, &ast, &index, src)
 }
 
 /// Baseline entry key: line numbers deliberately excluded so entries survive
@@ -284,29 +312,106 @@ pub fn render_baseline(findings: &[Finding]) -> String {
     out
 }
 
+/// Escape a string for JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_finding(f: &Finding, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"path\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"slug\":\"{}\",\
+         \"message\":\"{}\",\"snippet\":\"{}\"}}",
+        json_escape(&f.path),
+        f.line,
+        f.col,
+        f.rule.id(),
+        f.rule.slug(),
+        json_escape(&f.message),
+        json_escape(&f.snippet),
+    ));
+}
+
+/// Render a [`Report`] as machine-readable JSON with a stable field order
+/// (`files_scanned`, `new`, `baselined`, `stale_baseline`; findings carry
+/// `path`, `line`, `col`, `rule`, `slug`, `message`, `snippet`). Findings
+/// are already sorted by [`run`], so the output is byte-stable for a given
+/// tree. One trailing newline, no pretty-printing — consumers pipe it
+/// through their own formatter.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"files_scanned\":{},", report.files_scanned));
+    for (name, findings) in [("new", &report.new), ("baselined", &report.baselined)] {
+        out.push_str(&format!("\"{name}\":["));
+        for (i, f) in findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_finding(f, &mut out);
+        }
+        out.push_str("],");
+    }
+    out.push_str("\"stale_baseline\":[");
+    for (i, k) in report.stale_baseline.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\"", json_escape(k)));
+    }
+    out.push_str("]}\n");
+    out
+}
+
 /// Run the analyzer over the workspace at `root`.
 ///
-/// `baseline` is the parsed content of `lint-baseline.txt` (empty map if the
-/// file is absent). Each baseline entry absorbs at most its multiplicity of
-/// matching findings; leftovers surface in [`Report::stale_baseline`].
+/// Two passes: first lex+parse every file and pool statics/enums into the
+/// workspace [`SymbolIndex`]; then run the rules per file with the full
+/// index in hand, so cross-file facts (a mutable static declared in one
+/// module, touched in another) are visible. `baseline` is the parsed
+/// content of `lint-baseline.txt` (empty map if the file is absent). Each
+/// baseline entry absorbs at most its multiplicity of matching findings;
+/// leftovers surface in [`Report::stale_baseline`].
 pub fn run(root: &Path, baseline: &BTreeMap<String, u32>) -> std::io::Result<Report> {
     let files = collect_files(root)?;
     let mut report = Report {
         files_scanned: files.len(),
         ..Report::default()
     };
-    let mut remaining = baseline.clone();
-    let mut all = Vec::new();
+    // Pass 1: parse everything, build the index.
+    let mut parsed: Vec<(FileContext, FileAst, String)> = Vec::new();
+    let mut index = SymbolIndex::default();
     for path in &files {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
+        let Some(ctx) = classify(&rel) else {
+            continue;
+        };
         let src = fs::read_to_string(path)?;
-        all.extend(scan_source(&rel, &src));
+        let ast = ast::parse(lexer::lex(&src));
+        index.add_file(&rel, &ast);
+        parsed.push((ctx, ast, src));
+    }
+    // Pass 2: rules, with the whole workspace visible.
+    let mut all = Vec::new();
+    for (ctx, ast, src) in &parsed {
+        all.extend(scan_parsed(ctx, ast, &index, src));
     }
     all.sort();
+    let mut remaining = baseline.clone();
     for f in all {
         let key = baseline_key(f.rule, &f.path, &f.snippet);
         match remaining.get_mut(&key) {
@@ -349,6 +454,7 @@ mod tests {
     fn classify_paths() {
         let c = classify("crates/mac/src/world.rs").unwrap();
         assert_eq!(c.crate_name, "mac");
+        assert_eq!(c.rel_path, "crates/mac/src/world.rs");
         assert!(!c.is_test_file && !c.is_bin);
         let c = classify("crates/bench/src/bin/fig05.rs").unwrap();
         assert!(c.is_bin);
@@ -360,6 +466,13 @@ mod tests {
         assert!(c.is_prof_impl);
         let c = classify("crates/sim/src/queue.rs").unwrap();
         assert!(c.is_queue_impl);
+        let c = classify("crates/sim/src/rng.rs").unwrap();
+        assert!(c.is_rng_impl && !c.is_queue_impl);
+        let c = classify("crates/deploy/src/city/runtime.rs").unwrap();
+        assert!(c.is_city);
+        let c = classify("crates/deploy/src/city/mod.rs").unwrap();
+        assert!(c.is_city);
+        assert!(!classify("crates/deploy/src/lib.rs").unwrap().is_city);
         assert!(!classify("crates/sim/src/lib.rs").unwrap().is_queue_impl);
         assert!(
             !classify("crates/sim/src/obs/metrics.rs")
@@ -403,6 +516,18 @@ mod tests {
     }
 
     #[test]
+    fn suppression_works_for_new_rules() {
+        let src = "fn dispatch(ev: MacEvent) {\n\
+                   match ev {\n\
+                   MacEvent::A => (),\n\
+                   // powifi-lint: allow(non-exhaustive-dispatch) — legacy kinds TBD\n\
+                   _ => (),\n\
+                   }\n}\n";
+        let f = scan_source("crates/mac/src/lib.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
     fn baseline_roundtrip_and_multiplicity() {
         let src = "fn f(a: Option<u8>, b: Option<u8>) { a.unwrap(); b.unwrap(); }\n";
         let findings = scan_source("crates/mac/src/lib.rs", src);
@@ -428,5 +553,30 @@ mod tests {
         let key_b = baseline_key(b[0].rule, &b[0].path, &b[0].snippet);
         assert_eq!(key_a, key_b);
         assert_ne!(a[0].line, b[0].line);
+    }
+
+    #[test]
+    fn json_output_is_stable_and_escaped() {
+        let report = Report {
+            new: vec![Finding {
+                path: "crates/mac/src/lib.rs".into(),
+                line: 3,
+                col: 7,
+                rule: Rule::Unwrap,
+                message: "`.unwrap()` in library code; return a typed error".into(),
+                snippet: "x.unwrap(); // says \"hi\"".into(),
+            }],
+            baselined: Vec::new(),
+            stale_baseline: vec!["R1\tcrates/x.rs\tlet m: HashMap<u8,u8>;".into()],
+            files_scanned: 1,
+        };
+        let js = render_json(&report);
+        assert!(js.starts_with("{\"files_scanned\":1,\"new\":[{\"path\":"));
+        assert!(js.contains("\\\"hi\\\""), "{js}");
+        assert!(js.contains("\"rule\":\"R3\",\"slug\":\"unwrap\""));
+        assert!(js.contains("R1\\tcrates/x.rs"), "{js}");
+        assert!(js.ends_with("]}\n"));
+        // Byte-stable across calls.
+        assert_eq!(js, render_json(&report));
     }
 }

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use powifi_lint::{find_root, parse_baseline, render_baseline, rules::Rule, run};
+use powifi_lint::{find_root, parse_baseline, render_baseline, render_json, rules::Rule, run};
 
 const USAGE: &str = "\
 powifi-lint: workspace determinism/unit-safety analyzer
@@ -20,15 +20,17 @@ OPTIONS:
     --root <DIR>          Workspace root (default: auto-detected)
     --baseline <FILE>     Baseline path (default: <root>/lint-baseline.txt)
     --rules               Print the rule catalogue and exit
+    --json                Emit the report as JSON (stable field order)
     -h, --help            Show this help
 
 Findings are suppressed inline with:
     // powifi-lint: allow(<rule>) — <reason>
-where <rule> is an id (R1..R7) or slug. See docs/STATIC_ANALYSIS.md.";
+where <rule> is an id (R1..R12) or slug. See docs/STATIC_ANALYSIS.md.";
 
 fn main() -> ExitCode {
     let mut deny_new = false;
     let mut write_baseline = false;
+    let mut json = false;
     let mut root_arg: Option<PathBuf> = None;
     let mut baseline_arg: Option<PathBuf> = None;
 
@@ -37,6 +39,7 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--deny-new" => deny_new = true,
             "--write-baseline" => write_baseline = true,
+            "--json" => json = true,
             "--root" => match args.next() {
                 Some(v) => root_arg = Some(PathBuf::from(v)),
                 None => return usage_error("--root needs a value"),
@@ -100,6 +103,14 @@ fn main() -> ExitCode {
             all.len(),
             baseline_path.display()
         );
+        return ExitCode::SUCCESS;
+    }
+
+    if json {
+        print!("{}", render_json(&report));
+        if deny_new && !report.new.is_empty() {
+            return ExitCode::from(1);
+        }
         return ExitCode::SUCCESS;
     }
 

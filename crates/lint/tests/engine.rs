@@ -1,0 +1,162 @@
+//! Engine-level round-trip tests: the parser must digest every first-party
+//! file in the workspace without panicking, with faithful spans, and
+//! deterministically. This is the fixed point that lets the rule catalogue
+//! trust the AST.
+
+use std::fs;
+
+use powifi_lint::ast::{self, ItemKind};
+use powifi_lint::rules::Rule;
+use powifi_lint::{collect_files, find_root, lexer};
+
+fn workspace_files() -> Vec<(String, String)> {
+    let root = find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    collect_files(&root)
+        .expect("walk workspace")
+        .into_iter()
+        .map(|p| {
+            let rel = p
+                .strip_prefix(&root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src = fs::read_to_string(&p).expect("read source");
+            (rel, src)
+        })
+        .collect()
+}
+
+#[test]
+fn every_first_party_file_parses_without_panic() {
+    let files = workspace_files();
+    assert!(
+        files.len() > 100,
+        "workspace walk looks broken: {} files",
+        files.len()
+    );
+    for (rel, src) in &files {
+        let ast = ast::parse(lexer::lex(src));
+        assert!(
+            !ast.items.is_empty() || src.trim().is_empty(),
+            "{rel}: no items parsed from non-empty file"
+        );
+    }
+}
+
+#[test]
+fn spans_stay_inside_the_token_stream() {
+    for (rel, src) in workspace_files() {
+        let ast = ast::parse(lexer::lex(&src));
+        let n = ast.tokens.len();
+        let check = |span: (usize, usize), what: &str| {
+            assert!(
+                span.0 <= span.1 && span.1 <= n,
+                "{rel}: {what} span {span:?} escapes {n} tokens"
+            );
+        };
+        for f in &ast.fns {
+            check(f.body, "fn body");
+            for l in &f.locals {
+                check(l.init, "local init");
+                assert!(l.tok <= n, "{rel}: local token index");
+            }
+            for c in &f.closures {
+                check(c.tokens, "closure");
+                check(c.body, "closure body");
+                assert!(
+                    c.tokens.0 <= c.body.0 && c.body.1 <= c.tokens.1.max(c.body.1),
+                    "{rel}: closure body outside closure span"
+                );
+            }
+            for m in &f.matches {
+                check(m.scrutinee, "match scrutinee");
+                for a in &m.arms {
+                    check(a.pat, "match arm");
+                    assert!(a.pat.0 < a.pat.1, "{rel}: empty arm pattern");
+                }
+            }
+        }
+        // Item spans nest: every item's token span lies inside the stream
+        // and every line is a real 1-based line.
+        fn walk(items: &[ast::Item], rel: &str, n: usize) {
+            for it in items {
+                assert!(it.tokens.1 <= n, "{rel}: item span escapes");
+                assert!(
+                    it.tokens.0 < it.tokens.1,
+                    "{rel}: empty item span for {:?}",
+                    it.kind
+                );
+                walk(&it.children, rel, n);
+            }
+        }
+        walk(&ast.items, &rel, n);
+    }
+}
+
+#[test]
+fn parse_is_deterministic() {
+    for (rel, src) in workspace_files().into_iter().take(20) {
+        let a = format!("{:?}", ast::parse(lexer::lex(&src)));
+        let b = format!("{:?}", ast::parse(lexer::lex(&src)));
+        assert_eq!(a, b, "{rel}: nondeterministic parse");
+    }
+}
+
+#[test]
+fn the_tree_yields_sane_aggregate_structure() {
+    let files = workspace_files();
+    let mut fns = 0usize;
+    let mut matches = 0usize;
+    let mut uses = 0usize;
+    let mut enums = 0usize;
+    for (_, src) in &files {
+        let ast = ast::parse(lexer::lex(src));
+        fns += ast.fns.len();
+        matches += ast.fns.iter().map(|f| f.matches.len()).sum::<usize>();
+        uses += ast.uses.len();
+        fn count_enums(items: &[ast::Item]) -> usize {
+            items
+                .iter()
+                .map(|i| usize::from(matches!(i.kind, ItemKind::Enum)) + count_enums(&i.children))
+                .sum()
+        }
+        enums += count_enums(&ast.items);
+    }
+    // The workspace is a real codebase: hundreds of fns, dozens of matches
+    // and enums. If any of these collapse to ~zero the parser regressed.
+    assert!(fns > 500, "only {fns} fns parsed");
+    assert!(matches > 50, "only {matches} matches parsed");
+    assert!(uses > 200, "only {uses} use bindings parsed");
+    assert!(enums > 10, "only {enums} enums parsed");
+}
+
+#[test]
+fn rule_catalogue_matches_the_committed_snapshot() {
+    // `cargo lint --rules` output, pinned so the catalogue, docs, and CI
+    // cannot drift silently. Regenerate with:
+    //     cargo run -p powifi-lint -- --rules > crates/lint/tests/rules_catalogue.txt
+    let mut rendered = String::new();
+    for r in Rule::ALL {
+        rendered.push_str(&format!("{} ({}): {}\n", r.id(), r.slug(), r.describe()));
+    }
+    let committed = include_str!("rules_catalogue.txt");
+    assert_eq!(
+        rendered, committed,
+        "rule catalogue drifted from tests/rules_catalogue.txt — regenerate it \
+         and update docs/STATIC_ANALYSIS.md"
+    );
+}
+
+#[test]
+fn every_rule_is_documented() {
+    let root = find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let docs = fs::read_to_string(root.join("docs/STATIC_ANALYSIS.md")).expect("docs file");
+    for r in Rule::ALL {
+        assert!(
+            docs.contains(r.id()) && docs.contains(r.slug()),
+            "{} ({}) missing from docs/STATIC_ANALYSIS.md",
+            r.id(),
+            r.slug()
+        );
+    }
+}

@@ -173,6 +173,93 @@ fn r8_is_exempt_in_the_queue_impl_and_deploy() {
 }
 
 #[test]
+fn r9_positive_and_negative() {
+    // R9 is scoped to the sharded city runtime.
+    let pos = include_str!("../fixtures/r9_positive.rs");
+    let f = scan_source("crates/deploy/src/city/runtime.rs", pos);
+    // Two rogue static decls, the static refs + .lock() in the worker, and
+    // the captured RefCell local.
+    assert_eq!(
+        f.iter().filter(|f| f.rule == Rule::ShardIsolation).count(),
+        6,
+        "{f:?}"
+    );
+    let neg = include_str!("../fixtures/r9_negative.rs");
+    let f = scan_source("crates/deploy/src/city/runtime.rs", neg);
+    assert!(f.is_empty(), "{f:?}");
+    // Outside the city tree the same code is not R9's business.
+    let f = scan_source("crates/deploy/src/home.rs", pos);
+    assert!(f.iter().all(|f| f.rule != Rule::ShardIsolation), "{f:?}");
+}
+
+#[test]
+fn r9_suppression_works_in_the_city_tree() {
+    let src = "pub fn run(jobs: usize) {\n\
+               std::thread::scope(|s| {\n\
+                 s.spawn(|| {\n\
+                   // powifi-lint: allow(shard-isolation) — fixture: local cell\n\
+                   acc.borrow_mut();\n\
+                 });\n\
+               });\n\
+             }\n";
+    let f = scan_source("crates/deploy/src/city/runtime.rs", src);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn r10_positive_and_negative() {
+    let f = scan_fixture(include_str!("../fixtures/r10_positive.rs"));
+    // Literal SimRng seed, StdRng::seed_from_u64, SmallRng::from_seed,
+    // rng.clone(), rng.reseed, and seed_medium_rng outside a builder.
+    assert_eq!(
+        f.iter()
+            .filter(|f| f.rule == Rule::RngStreamDiscipline)
+            .count(),
+        6,
+        "{f:?}"
+    );
+    assert!(rules_fired(include_str!("../fixtures/r10_negative.rs")).is_empty());
+}
+
+#[test]
+fn r10_is_exempt_in_the_rng_impl() {
+    let pos = include_str!("../fixtures/r10_positive.rs");
+    let f = scan_source("crates/sim/src/rng.rs", pos);
+    assert!(
+        f.iter().all(|f| f.rule != Rule::RngStreamDiscipline),
+        "rng.rs builds the generators: {f:?}"
+    );
+}
+
+#[test]
+fn r11_positive_and_negative() {
+    let f = scan_fixture(include_str!("../fixtures/r11_positive.rs"));
+    // One plain `_` arm and one guarded `_ if …` arm.
+    assert_eq!(
+        f.iter()
+            .filter(|f| f.rule == Rule::NonExhaustiveDispatch)
+            .count(),
+        2,
+        "{f:?}"
+    );
+    assert!(rules_fired(include_str!("../fixtures/r11_negative.rs")).is_empty());
+}
+
+#[test]
+fn r12_positive_and_negative() {
+    let f = scan_fixture(include_str!("../fixtures/r12_positive.rs"));
+    assert_eq!(
+        f.iter().filter(|f| f.rule == Rule::UnsafeInSim).count(),
+        2,
+        "{f:?}"
+    );
+    assert!(rules_fired(include_str!("../fixtures/r12_negative.rs")).is_empty());
+    // Non-sim crates (the linter itself, bench) are out of scope.
+    let pos = include_str!("../fixtures/r12_positive.rs");
+    assert!(scan_source("crates/bench/src/runner.rs", pos).is_empty());
+}
+
+#[test]
 fn suppressions_silence_every_fixture_violation() {
     let f = scan_fixture(include_str!("../fixtures/suppressed.rs"));
     assert!(f.is_empty(), "{f:?}");

@@ -10,6 +10,7 @@
 //! the transport layer, the PoWiFi router and the deployment scenarios can
 //! compose one simulation world; see [`world`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod airtime;

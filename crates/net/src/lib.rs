@@ -7,6 +7,7 @@
 //! A world embedding transport implements [`NetWorld`] and forwards the
 //! MAC's `deliver` upcall to [`on_deliver`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod state;

@@ -5,6 +5,7 @@
 //! with the FCC EIRP check, and the 802.11b/g rate/PER tables shared by the
 //! MAC simulator and the harvester.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod band;

@@ -6,6 +6,7 @@
 //! MSP430 MCU model, and the calibrated RF-exposure helpers that place a
 //! device at a distance (and behind walls) from a PoWiFi router.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backscatter;

@@ -15,6 +15,7 @@
 //!   allocation — at the hot edges. Closure scheduling remains available
 //!   for cold paths via `schedule_at`/`schedule_in`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod conformance;

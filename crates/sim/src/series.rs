@@ -117,6 +117,8 @@ impl PowerEnvelope {
                 *last_v = level;
                 return;
             }
+            // powifi-lint: allow(float-eq) — bitwise-identical levels coalesce;
+            // any difference, however tiny, is a genuine change point.
             if *last_v == level {
                 return;
             }
