@@ -1,0 +1,146 @@
+//! `powifi-fleet` — client for a serving `powifi-fleetd`.
+//!
+//! ```text
+//! powifi-fleet watch ADDR
+//! powifi-fleet record ADDR FILE
+//! powifi-fleet aggregate FILE [--window-ms MS] [--deny-gaps]
+//! ```
+//!
+//! `watch` connects and prints the raw NDJSON stream until the daemon
+//! closes it. `record` does the same into `FILE` (a capture replayable by
+//! `aggregate`). `aggregate` runs the deterministic tumbling-window
+//! aggregation ([`powifi_sim::obs::agg`]) over a capture and prints one
+//! row per `(window, deployment)` to stdout — byte-identical for the same
+//! record set regardless of how the wire interleaved it; a summary
+//! (records, seq gaps) goes to stderr. `--deny-gaps` exits 1 when any
+//! sequence number is missing (dropped or lost records); malformed lines
+//! always fail with exit 1, which is the schema validation CI leans on.
+
+use powifi_bench::fleet::record_stream;
+use powifi_sim::obs::agg::{AggConfig, Aggregator};
+use powifi_sim::SimDuration;
+use std::fs;
+use std::io::{self, Write};
+use std::process::exit;
+
+const USAGE: &str = "usage: powifi-fleet watch ADDR | record ADDR FILE | \
+     aggregate FILE [--window-ms MS] [--deny-gaps]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("watch") => watch(&args[1..]),
+        Some("record") => record(&args[1..]),
+        Some("aggregate") => aggregate(&args[1..]),
+        Some("--help") | Some("-h") => {
+            eprintln!("{USAGE}");
+            0
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            2
+        }
+    };
+    exit(code);
+}
+
+fn watch(args: &[String]) -> i32 {
+    let [addr] = args else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let stdout = io::stdout();
+    match record_stream(addr, &mut stdout.lock()) {
+        Ok(lines) => {
+            eprintln!("stream ended after {lines} lines");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: watch {addr}: {e}");
+            1
+        }
+    }
+}
+
+fn record(args: &[String]) -> i32 {
+    let [addr, file] = args else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let out = match fs::File::create(file) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: create {file}: {e}");
+            return 1;
+        }
+    };
+    match record_stream(addr, &mut io::BufWriter::new(out)) {
+        Ok(lines) => {
+            eprintln!("recorded {lines} lines to {file}");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: record {addr}: {e}");
+            1
+        }
+    }
+}
+
+fn aggregate(args: &[String]) -> i32 {
+    let Some(file) = args.first() else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let mut window = SimDuration::from_secs(1);
+    let mut deny_gaps = false;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--window-ms" => {
+                let Some(ms) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("error: --window-ms needs an integer");
+                    return 2;
+                };
+                window = SimDuration::from_millis(ms.max(1));
+            }
+            "--deny-gaps" => deny_gaps = true,
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let text = match fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: read {file}: {e}");
+            return 1;
+        }
+    };
+    let mut agg = Aggregator::new(&AggConfig { window });
+    for (i, line) in text.lines().enumerate() {
+        if let Err(e) = agg.ingest_line(line) {
+            eprintln!("error: {file}:{}: {e}", i + 1);
+            return 1;
+        }
+    }
+    let out = agg.render();
+    if io::stdout().write_all(out.as_bytes()).is_err() {
+        return 1;
+    }
+    eprintln!(
+        "aggregated {} records, {} seq gap(s){}",
+        agg.records(),
+        agg.seq_gaps(),
+        match agg.session() {
+            Some(s) => format!(", session {} (seed {})", s.run_id, s.seed),
+            None => String::new(),
+        }
+    );
+    if deny_gaps && agg.seq_gaps() > 0 {
+        eprintln!("error: --deny-gaps: stream lost records");
+        return 1;
+    }
+    0
+}

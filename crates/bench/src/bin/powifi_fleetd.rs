@@ -1,0 +1,113 @@
+//! `powifi-fleetd` — serve N concurrent deployments' live telemetry over
+//! one TCP listener.
+//!
+//! ```text
+//! powifi-fleetd [--listen ADDR] [--deployments N] [--seed N] [--secs S]
+//!               [--epoch-ms MS] [--jobs N] [--subscribers K]
+//! ```
+//!
+//! Binds `ADDR` (default `127.0.0.1:7077`; port 0 picks a free port — the
+//! bound address is printed to stderr as `listening on <addr>`), waits for
+//! `K` subscribers (default 1, e.g. a `powifi-fleet record` client), then
+//! runs the deployments on the sweep worker pool, multiplexing their
+//! tagged NDJSON records to every subscriber. Exits when the last
+//! deployment ends; a per-deployment summary plus egress drop/queue stats
+//! go to stderr.
+
+use powifi_bench::fleet::{serve_fleet, FleetConfig};
+use std::net::TcpListener;
+use std::process::exit;
+
+const USAGE: &str = "usage: powifi-fleetd [--listen ADDR] [--deployments N] [--seed N] \
+     [--secs S] [--epoch-ms MS] [--jobs N] [--subscribers K]";
+
+struct Args {
+    listen: String,
+    deployments: usize,
+    seed: u64,
+    secs: u64,
+    epoch_ms: u64,
+    jobs: Option<usize>,
+    subscribers: usize,
+}
+
+fn next_val(it: &mut impl Iterator<Item = String>, name: &str) -> Result<String, String> {
+    it.next().ok_or(format!("{name} needs a value"))
+}
+
+fn next_num(it: &mut impl Iterator<Item = String>, name: &str) -> Result<u64, String> {
+    next_val(it, name)?
+        .parse()
+        .map_err(|_| format!("{name} needs an integer"))
+}
+
+fn parse(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut a = Args {
+        listen: "127.0.0.1:7077".into(),
+        deployments: 2,
+        seed: 42,
+        secs: 4,
+        epoch_ms: 500,
+        jobs: None,
+        subscribers: 1,
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--listen" => a.listen = next_val(&mut it, "--listen")?,
+            "--deployments" => a.deployments = next_num(&mut it, "--deployments")?.max(1) as usize,
+            "--seed" => a.seed = next_num(&mut it, "--seed")?,
+            "--secs" => a.secs = next_num(&mut it, "--secs")?.max(1),
+            "--epoch-ms" => a.epoch_ms = next_num(&mut it, "--epoch-ms")?.max(1),
+            "--jobs" => a.jobs = Some(next_num(&mut it, "--jobs")?.max(1) as usize),
+            "--subscribers" => a.subscribers = next_num(&mut it, "--subscribers")?.max(1) as usize,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(a)
+}
+
+fn main() {
+    let args = match parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            exit(2);
+        }
+    };
+    let mut cfg = FleetConfig::default_fleet(args.deployments, args.seed, args.secs);
+    cfg.epoch = powifi_sim::SimDuration::from_millis(args.epoch_ms);
+    if let Some(j) = args.jobs {
+        cfg.jobs = j;
+    }
+    let listener = match TcpListener::bind(&args.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.listen);
+            exit(1);
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => eprintln!("listening on {addr}"),
+        Err(_) => eprintln!("listening on {}", args.listen),
+    }
+    match serve_fleet(&listener, &cfg, args.subscribers) {
+        Ok(summary) => {
+            for out in &summary.outputs {
+                eprintln!("{}: {:.2} Mbit/s", out.name, out.throughput_mbps);
+            }
+            eprintln!(
+                "stream: {} records, {} dropped, peak queue depth {}",
+                summary.records, summary.dropped, summary.peak_depth
+            );
+        }
+        Err(e) => {
+            eprintln!("error: serve failed: {e}");
+            exit(1);
+        }
+    }
+}

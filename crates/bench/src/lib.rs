@@ -8,9 +8,14 @@
 //! (`--jobs`), derives a deterministic per-point seed, and — with
 //! `--json DIR` — writes machine-readable artifacts for EXPERIMENTS.md.
 
+pub mod fleet;
 pub mod report;
 pub mod runner;
 
+pub use fleet::{
+    record_stream, run_fleet, serve_fleet, DeploymentKind, DeploymentSpec, FleetConfig,
+    ServeSummary,
+};
 pub use runner::{BenchArgs, Experiment, PointRun, Sweep};
 
 /// Print a header line for a figure/table.

@@ -32,12 +32,13 @@
 //!   periodic audits, violations are counted per point, and the sweep
 //!   panics after reporting if any point violated an invariant.
 
-use powifi_sim::obs::{metrics, prof, trace};
-use powifi_sim::{conformance, RunTelemetry, SimRng};
+use powifi_sim::obs::{metrics, prof, stream, trace};
+use powifi_sim::{conformance, RunTelemetry, SimRng, SimTime};
 use serde::{Serialize, Value};
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Common CLI arguments for all bench binaries.
@@ -67,10 +68,16 @@ pub struct BenchArgs {
     /// nondeterministic, so they never belong in `--prof` artifacts);
     /// `bench_report` sets this programmatically for subsystem attribution.
     pub prof_wall: bool,
+    /// Stream live telemetry to this TCP address (`host:port`) while the
+    /// sweep runs: each point gets a `powifi_sim::obs::stream` handle
+    /// tagged with its label, so epoch-stepped experiments emit `metrics`
+    /// records as they go. Observational only — the egress never blocks,
+    /// so results are unchanged.
+    pub stream: Option<String>,
 }
 
 const USAGE: &str = "usage: [--seed N] [--full] [--json DIR] [--jobs N] [--filter SUBSTR] \
-     [--check] [--trace FILE] [--metrics] [--prof FILE]";
+     [--check] [--trace FILE] [--metrics] [--prof FILE] [--stream ADDR]";
 
 impl Default for BenchArgs {
     fn default() -> Self {
@@ -85,6 +92,7 @@ impl Default for BenchArgs {
             metrics: false,
             prof: None,
             prof_wall: false,
+            stream: None,
         }
     }
 }
@@ -143,6 +151,9 @@ impl BenchArgs {
                 "--metrics" => out.metrics = true,
                 "--prof" => {
                     out.prof = Some(PathBuf::from(it.next().ok_or("--prof needs a file")?));
+                }
+                "--stream" => {
+                    out.stream = Some(it.next().ok_or("--stream needs host:port")?);
                 }
                 "--help" | "-h" => {
                     eprintln!("{USAGE}");
@@ -272,10 +283,37 @@ impl<'a> Sweep<'a> {
             })
             .collect();
         let started = Instant::now();
-        let runs = self.execute(exp, items);
+        // `--stream`: one shared egress + writer thread for the whole
+        // sweep; every point pushes tagged records through it. Connection
+        // failure is fatal up front — a silently dead stream would defeat
+        // the point of asking for one.
+        let streamer = self.args.stream.as_deref().map(|addr| {
+            let session = stream::SessionInfo {
+                run_id: exp.name().into(),
+                seed: self.args.seed,
+                git_sha: crate::report::git_head_sha(),
+            };
+            match stream::tcp_egress(addr, &session, stream::DEFAULT_QUEUE_CAP) {
+                Ok(pair) => pair,
+                Err(e) => panic!("--stream {addr}: {e}"),
+            }
+        });
+        let runs = self.execute(exp, items, streamer.as_ref().map(|(eg, _)| eg));
+        let stream_stats = streamer.map(|(eg, join)| {
+            let stats = (eg.dropped(), eg.peak_depth() as u64);
+            eg.close();
+            let _ = join.join();
+            stats
+        });
         self.write_trace(exp, &runs);
         self.write_prof(exp, &runs);
-        self.write_artifacts(exp, grid_len, &runs, started.elapsed().as_secs_f64() * 1e3);
+        self.write_artifacts(
+            exp,
+            grid_len,
+            &runs,
+            started.elapsed().as_secs_f64() * 1e3,
+            stream_stats,
+        );
         if self.args.check {
             let total: u64 = runs.iter().map(|r| r.violations).sum();
             if total > 0 {
@@ -297,6 +335,7 @@ impl<'a> Sweep<'a> {
         &self,
         exp: &E,
         items: Vec<Item<E::Point>>,
+        egress: Option<&Arc<stream::Egress>>,
     ) -> Vec<PointRun<E::Point, E::Output>> {
         let jobs = self.args.jobs.clamp(1, items.len().max(1));
         let opts = PointOpts {
@@ -309,7 +348,7 @@ impl<'a> Sweep<'a> {
         if jobs == 1 {
             return items
                 .into_iter()
-                .map(|it| run_point(exp, it, opts))
+                .map(|it| run_point(exp, it, opts, egress))
                 .collect();
         }
         let n = items.len();
@@ -339,6 +378,7 @@ impl<'a> Sweep<'a> {
                             point: item.point.clone(),
                         },
                         opts,
+                        egress,
                     );
                     slots.lock()[i] = Some(run);
                 });
@@ -418,6 +458,7 @@ impl<'a> Sweep<'a> {
         grid_len: usize,
         runs: &[PointRun<E::Point, E::Output>],
         total_wall_ms: f64,
+        stream_stats: Option<(u64, u64)>,
     ) {
         let Some(dir) = &self.args.json_dir else {
             return;
@@ -457,6 +498,23 @@ impl<'a> Sweep<'a> {
             ),
             ("grid_points".into(), Value::UInt(grid_len as u64)),
             ("run_points".into(), Value::UInt(runs.len() as u64)),
+            (
+                // `--stream` egress health: how many records the bounded
+                // queue dropped (0 = every seq reached the consumer) and
+                // the deepest it got. `null` when not streaming.
+                "stream".into(),
+                match stream_stats {
+                    Some((dropped, peak)) => Value::Object(vec![
+                        (
+                            "addr".into(),
+                            Value::Str(self.args.stream.clone().unwrap_or_default()),
+                        ),
+                        ("dropped".into(), Value::UInt(dropped)),
+                        ("peak_queue_depth".into(), Value::UInt(peak)),
+                    ]),
+                    None => Value::Null,
+                },
+            ),
             ("total_wall_ms".into(), Value::Float(total_wall_ms)),
             ("wall_stats".into(), wall_stats_value(runs)),
             (
@@ -506,8 +564,14 @@ fn run_point<E: Experiment>(
     exp: &E,
     item: Item<E::Point>,
     opts: PointOpts,
+    egress: Option<&Arc<stream::Egress>>,
 ) -> PointRun<E::Point, E::Output> {
     metrics::reset();
+    if let Some(eg) = egress {
+        // Tag this point's records with its label; epoch-stepped
+        // experiments emit through the handle as they run.
+        stream::install(stream::Handle::new(Arc::clone(eg), item.label.as_str()));
+    }
     if opts.check {
         // Per worker thread: the conformance sink is thread-local, exactly
         // like the metrics registry and trace sink.
@@ -528,6 +592,11 @@ fn run_point<E: Experiment>(
         (exp.run(&item.point, item.seed), None)
     };
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    if egress.is_some() {
+        // Final snapshot + `end` record at the last epoch mark (finish
+        // uninstalls the handle; a point that never marked ends at t=0).
+        stream::finish(SimTime::ZERO);
+    }
     let prof_json = if opts.prof {
         let snap = prof::snapshot();
         prof::disable();

@@ -62,6 +62,20 @@ impl InjectorCtl {
 /// Handle to a running injector.
 pub type InjectorHandle = Rc<RefCell<InjectorCtl>>;
 
+/// Set this thread's live injector gauges (`core.live.*`) to the current
+/// cumulative totals summed across `injectors`. Idempotent under repeat
+/// calls (gauge `set`, not counter `add`), so the streaming epoch driver
+/// calls it once per epoch before snapshotting the registry.
+pub fn record_injector_progress(injectors: &[InjectorHandle]) {
+    use powifi_sim::obs::metrics::{gauge, keys};
+    let (sent, gated) = injectors.iter().fold((0u64, 0u64), |(s, g), h| {
+        let ctl = h.borrow();
+        (s + ctl.sent, g + ctl.dropped)
+    });
+    gauge(keys::CORE_LIVE_POWER_SENT).set(sent as f64);
+    gauge(keys::CORE_LIVE_POWER_GATED).set(gated as f64);
+}
+
 /// Spawn-time state of one injector, carried inside its
 /// [`CoreEvent::InjectorTick`] event: the traffic config, the injector's
 /// private RNG stream, and the shared control block. Allocated once at

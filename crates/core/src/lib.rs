@@ -25,7 +25,9 @@ pub mod stack;
 
 pub use capper::{spawn_capper, CapperConfig};
 pub use config::{JitterModel, PowerTrafficConfig, Scheme};
-pub use injector::{spawn_injector, InjectorCtl, InjectorHandle, InjectorSt};
+pub use injector::{
+    record_injector_progress, spawn_injector, InjectorCtl, InjectorHandle, InjectorSt,
+};
 pub use multi_router::{install_fleet, FleetMode};
 pub use pdos::{spawn_attacker, AttackConfig};
 pub use router::{Router, RouterConfig, RouterIface};

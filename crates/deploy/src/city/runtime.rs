@@ -44,6 +44,7 @@ use powifi_sensors::sensor_pathloss;
 use powifi_sim::conformance::{self, Invariant, InvariantSuite, Violation};
 use powifi_sim::obs::metrics::{counter, gauge, histogram, keys};
 use powifi_sim::obs::prof;
+use powifi_sim::obs::stream as obs_stream;
 use powifi_sim::{Dispatch, EventQueue, SimDuration, SimRng, SimTime};
 
 /// Scale from summed foreign-airtime coupling to a corruption probability.
@@ -451,6 +452,26 @@ fn shard_outcome(shard: &Shard) -> ShardOutcome {
     }
 }
 
+/// Emit one cumulative `progress` wire record for a shard at epoch end
+/// `now` — the fields [`powifi_sim::obs::agg`] windows a city run from.
+/// All values are totals since the run started (the aggregator diffs
+/// consecutive samples), so a dropped record only widens one window.
+fn emit_shard_progress(hs: &obs_stream::Handle, shard_ix: u64, sh: &Shard, now: SimTime) {
+    let harvested_uj: f64 = sh.harvesters.iter().map(|h| h.harvested.0 * 1e6).sum();
+    hs.emit_progress(
+        now,
+        Some(shard_ix),
+        &[
+            ("events", sh.q.executed()),
+            ("frames", sh.world.mac.total_frames_sent()),
+            ("retransmissions", sh.world.mac.total_retransmissions()),
+            ("corrupted", sh.world.mac.total_corrupted()),
+            ("busy_ns", sh.world.mac.total_busy().as_nanos()),
+            ("harvested_uj", harvested_uj.round() as u64),
+        ],
+    );
+}
+
 /// Epoch boundaries: ascending end instants, the last clamped to `horizon`.
 fn epoch_ends(horizon: SimDuration, epoch: SimDuration) -> Vec<SimTime> {
     let h = horizon.as_nanos();
@@ -490,9 +511,16 @@ fn run_partitioned(topo: &CityTopology, cfg: &CityConfig, part: &Partition) -> C
         Mutex::new((0..n_shards).map(|_| None).collect());
     let sinks: Mutex<Vec<(usize, u64, Vec<Violation>)>> = Mutex::new(Vec::new());
     let exports_total = Mutex::new(0u64);
+    // Live telemetry: the caller's stream handle (if one is installed on
+    // this thread) is cloned into every worker, which emits one cumulative
+    // `progress` record per owned shard per epoch, tagged with the global
+    // shard index. Emission is observational — the egress is non-blocking
+    // and nothing reads it back — so determinism is untouched.
+    let stream = obs_stream::handle();
 
     std::thread::scope(|s| {
         for t in 0..jobs {
+            let stream = stream.clone();
             let (table, acc, barrier, outcomes, sinks, exports_total) =
                 (&table, &acc, &barrier, &outcomes, &sinks, &exports_total);
             let (part, ends) = (&*part, &ends);
@@ -527,13 +555,16 @@ fn run_partitioned(topo: &CityTopology, cfg: &CityConfig, part: &Partition) -> C
                     {
                         let tbl = lock(table).clone();
                         let mut applied = (0.0, 0u64);
-                        for sh in &mut shards {
+                        for (k, sh) in shards.iter_mut().enumerate() {
                             let (a, c) = apply_corruption_imports(sh, part, &tbl, epoch_ns);
                             applied.0 += a;
                             applied.1 += c;
                             advance_harvest(sh, topo, part, &tbl, epoch);
                             if checking {
                                 mac_conformance::audit_now(&sh.world, end);
+                            }
+                            if let Some(hs) = &stream {
+                                emit_shard_progress(hs, (t + k * jobs) as u64, sh, end);
                             }
                         }
                         let mut a = lock(acc);

@@ -52,6 +52,22 @@ pub fn udp_experiment_in(
     seed: u64,
     secs: u64,
 ) -> UdpResult {
+    udp_experiment_epochs(cfg, scheme, rate_mbps, seed, secs, None)
+}
+
+/// [`udp_experiment_in`] with optional live telemetry: `Some(width)` steps
+/// the run in `width`-wide epochs, refreshing `*.live.*` gauges and
+/// emitting a stream `metrics` record at each boundary
+/// ([`crate::telemetry::drive`]). Event execution — and therefore the
+/// result — is identical either way.
+pub fn udp_experiment_epochs(
+    cfg: OfficeConfig,
+    scheme: Scheme,
+    rate_mbps: f64,
+    seed: u64,
+    secs: u64,
+    epoch: Option<SimDuration>,
+) -> UdpResult {
     let (mut w, mut q, s) = build_office(seed, scheme, cfg);
     // §4.1(a): "The client sets its Wi-Fi bitrate to 54 Mbps" — pin the
     // data rate rather than letting AARF misread collision losses.
@@ -69,7 +85,7 @@ pub fn udp_experiment_in(
         SimTime::from_millis(100),
         end,
     );
-    q.run_until(&mut w, end);
+    crate::telemetry::drive(&mut w, &mut q, &s, end, epoch);
     let Some(Flow::Udp(u)) = w.net.flow(flow) else {
         unreachable!()
     };
@@ -90,13 +106,25 @@ pub fn tcp_experiment(scheme: Scheme, seed: u64, secs: u64) -> TcpResult {
 
 /// [`tcp_experiment`] in an explicitly configured office.
 pub fn tcp_experiment_in(cfg: OfficeConfig, scheme: Scheme, seed: u64, secs: u64) -> TcpResult {
+    tcp_experiment_epochs(cfg, scheme, seed, secs, None)
+}
+
+/// [`tcp_experiment_in`] with optional epoch-stepped live telemetry (see
+/// [`udp_experiment_epochs`]).
+pub fn tcp_experiment_epochs(
+    cfg: OfficeConfig,
+    scheme: Scheme,
+    seed: u64,
+    secs: u64,
+    epoch: Option<SimDuration>,
+) -> TcpResult {
     let (mut w, mut q, s) = build_office(seed, scheme, cfg);
     let end = SimTime::from_secs(secs);
     let flow = start_tcp_flow(&mut w, s.router.client_iface().sta, s.client);
     q.schedule_at(SimTime::from_millis(100), move |w: &mut SimWorld, q| {
         tcp_push(w, q, flow, u64::MAX / 4);
     });
-    q.run_until(&mut w, end);
+    crate::telemetry::drive(&mut w, &mut q, &s, end, epoch);
     let tcp = w.net.tcp(flow);
     let (_, cum) = s.router.occupancy(&w.mac, end);
     record_run_telemetry(&w, &s.router, cum);

@@ -15,6 +15,7 @@ pub mod experiment;
 pub mod geometry;
 pub mod home;
 pub mod office;
+pub mod telemetry;
 pub mod world;
 
 pub use background::{
@@ -27,10 +28,11 @@ pub use city::{
 pub use diurnal::diurnal_intensity;
 pub use experiment::{
     neighbor_experiment, neighbor_experiment_in, plt_experiment, plt_experiment_in,
-    sensor_rates_from_home, tcp_experiment, tcp_experiment_in, udp_experiment, udp_experiment_in,
-    TcpResult, UdpResult,
+    sensor_rates_from_home, tcp_experiment, tcp_experiment_epochs, tcp_experiment_in,
+    udp_experiment, udp_experiment_epochs, udp_experiment_in, TcpResult, UdpResult,
 };
 pub use geometry::{FloorPlan, Pos, Wall};
 pub use home::{build_home, run_home, table1, HomeConfig, HomeDeployment, HomeRun};
 pub use office::{build_office, OfficeConfig, OfficeScenario};
+pub use telemetry::EpochDriver;
 pub use world::{three_channel_world, SimWorld};

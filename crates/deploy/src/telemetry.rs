@@ -1,0 +1,193 @@
+//! Epoch-stepped live telemetry: the deploy-layer glue between a running
+//! office scenario and [`powifi_sim::obs::stream`].
+//!
+//! Batch experiment runners execute one `run_until(end)` and dump totals at
+//! the end. A *servable* deployment instead steps the same queue through
+//! fixed sim-time epochs and, at each boundary, refreshes the cumulative
+//! `*.live.*` gauges (MAC, injector gate, harvest), advances a monitoring
+//! harvester fed by the epoch's per-channel airtime duty, and emits a
+//! `metrics` snapshot record through the installed stream handle
+//! ([`stream::epoch_mark`]). Event execution is identical however
+//! `run_until` is chopped, so a streamed run returns byte-identical results
+//! to its batch twin — pinned by tests.
+
+use crate::office::OfficeScenario;
+use crate::world::SimWorld;
+use powifi_core::record_injector_progress;
+use powifi_harvest::Harvester;
+use powifi_mac::{MediumId, Queue};
+use powifi_rf::{Db, Dbm, Hertz, Meters, PathLoss, Transmitter};
+use powifi_sensors::sensor_pathloss;
+use powifi_sim::obs::stream;
+use powifi_sim::{SimDuration, SimTime};
+
+/// Distance of the monitoring harvester from the router, feet. Matches the
+/// mid-range point of the paper's Fig. 15 sensor study.
+pub const MONITOR_HARVESTER_FEET: f64 = 10.0;
+
+/// Per-epoch live-telemetry driver for an office deployment.
+///
+/// Owns a battery-free monitoring [`Harvester`] placed
+/// [`MONITOR_HARVESTER_FEET`] from the router; each epoch it converts the
+/// epoch's per-channel busy-airtime delta into a duty cycle and integrates
+/// the harvest, so `harvest.live.energy_uj` tracks what a real sensor at
+/// that spot would have banked so far.
+pub struct EpochDriver {
+    epoch: SimDuration,
+    harvester: Harvester,
+    /// Receive power per office channel at the harvester.
+    rx: Vec<(Hertz, Dbm)>,
+    mediums: Vec<MediumId>,
+    prev_busy: Vec<SimDuration>,
+}
+
+impl EpochDriver {
+    /// A driver stepping `s` in `epoch`-wide windows.
+    pub fn new(epoch: SimDuration, s: &OfficeScenario) -> EpochDriver {
+        let model = sensor_pathloss();
+        let tx = Transmitter::powifi_prototype();
+        let rx = s
+            .channels
+            .iter()
+            .map(|(ch, _)| {
+                (
+                    ch.center(),
+                    model.received(
+                        tx.eirp(),
+                        Db(2.0),
+                        ch.center(),
+                        Meters::from_feet(MONITOR_HARVESTER_FEET),
+                    ),
+                )
+            })
+            .collect();
+        EpochDriver {
+            epoch,
+            harvester: Harvester::battery_free_sensor(),
+            rx,
+            mediums: s.channels.iter().map(|&(_, m)| m).collect(),
+            prev_busy: vec![SimDuration::ZERO; s.channels.len()],
+        }
+    }
+
+    /// The monitoring harvester (for end-of-run inspection).
+    pub fn harvester(&self) -> &Harvester {
+        &self.harvester
+    }
+
+    /// Epoch boundary hook: refresh every live gauge from the world's
+    /// cumulative totals, integrate the monitoring harvester over the
+    /// epoch's airtime duty, and emit a `metrics` record at `now` through
+    /// the installed stream handle (one branch when no stream is active).
+    pub fn after_epoch(&mut self, w: &SimWorld, s: &OfficeScenario, now: SimTime) {
+        w.mac.record_progress_metrics();
+        record_injector_progress(&s.router.injectors);
+        let epoch_ns = self.epoch.as_nanos().max(1);
+        let inputs: Vec<(Hertz, Dbm, f64)> = self
+            .mediums
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| {
+                let busy = w.mac.busy_time(m);
+                let delta = busy - self.prev_busy[i];
+                self.prev_busy[i] = busy;
+                let (f, p) = self.rx[i];
+                (f, p, (delta.as_nanos() as f64 / epoch_ns as f64).min(1.0))
+            })
+            .collect();
+        self.harvester.advance_duty(self.epoch, &inputs);
+        self.harvester.record_progress();
+        stream::epoch_mark(now);
+    }
+}
+
+/// Run `q` until `end`. With `epoch: None` this is a single plain
+/// `run_until` (the batch path, zero overhead). With `Some(width)` the run
+/// is chopped into tumbling epochs with an [`EpochDriver::after_epoch`]
+/// call at every boundary — same events, same results, plus live telemetry.
+pub fn drive(
+    w: &mut SimWorld,
+    q: &mut Queue<SimWorld>,
+    s: &OfficeScenario,
+    end: SimTime,
+    epoch: Option<SimDuration>,
+) {
+    let Some(width) = epoch else {
+        q.run_until(w, end);
+        return;
+    };
+    let mut drv = EpochDriver::new(width, s);
+    let mut t = SimTime::ZERO;
+    while t < end {
+        t = (t + width).min(end);
+        q.run_until(w, t);
+        drv.after_epoch(w, s, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::office::{build_office, OfficeConfig};
+    use powifi_core::Scheme;
+    use powifi_net::start_udp_flow;
+
+    fn run_office(epoch: Option<SimDuration>) -> (u64, u64) {
+        let (mut w, mut q, s) = build_office(7, Scheme::PoWiFi, OfficeConfig::default());
+        let end = SimTime::from_secs(3);
+        start_udp_flow(
+            &mut w,
+            &mut q,
+            s.router.client_iface().sta,
+            s.client,
+            10.0,
+            SimTime::from_millis(100),
+            end,
+        );
+        drive(&mut w, &mut q, &s, end, epoch);
+        (w.mac.total_frames_sent(), w.mac.total_busy().as_nanos())
+    }
+
+    #[test]
+    fn epoch_stepping_does_not_change_the_simulation() {
+        let batch = run_office(None);
+        let stepped = run_office(Some(SimDuration::from_millis(500)));
+        assert_eq!(batch, stepped);
+    }
+
+    #[test]
+    fn after_epoch_sets_live_gauges_and_harvests() {
+        powifi_sim::obs::metrics::reset();
+        let (mut w, mut q, s) = build_office(9, Scheme::PoWiFi, OfficeConfig::default());
+        let end = SimTime::from_secs(2);
+        start_udp_flow(
+            &mut w,
+            &mut q,
+            s.router.client_iface().sta,
+            s.client,
+            10.0,
+            SimTime::from_millis(100),
+            end,
+        );
+        let mut drv = EpochDriver::new(SimDuration::from_secs(1), &s);
+        let mut t = SimTime::ZERO;
+        while t < end {
+            t = (t + SimDuration::from_secs(1)).min(end);
+            q.run_until(&mut w, t);
+            drv.after_epoch(&w, &s, t);
+        }
+        let snap = powifi_sim::obs::metrics::snapshot();
+        let g = |k: &str| snap.gauges.get(k).copied();
+        use powifi_sim::obs::metrics::keys;
+        assert!(g(keys::MAC_LIVE_FRAMES).unwrap_or(0.0) > 0.0);
+        assert!(g(keys::MAC_LIVE_BUSY_NS).unwrap_or(0.0) > 0.0);
+        assert!(g(keys::CORE_LIVE_POWER_SENT).unwrap_or(0.0) > 0.0);
+        assert!(
+            g(keys::HARVEST_LIVE_ENERGY_UJ).unwrap_or(0.0) > 0.0,
+            "monitoring harvester banked energy: {:?}",
+            snap.gauges
+        );
+        assert!(drv.harvester().harvested.0 > 0.0);
+        powifi_sim::obs::metrics::reset();
+    }
+}

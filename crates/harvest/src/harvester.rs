@@ -279,6 +279,15 @@ impl Harvester {
         &self.store
     }
 
+    /// Set this thread's live harvest gauge (`harvest.live.energy_uj`) to
+    /// the cumulative harvested energy in µJ. Idempotent (gauge `set`), so
+    /// the streaming epoch driver calls it once per epoch; pass the sum when
+    /// a deployment owns several harvesters.
+    pub fn record_progress(&self) {
+        use powifi_sim::obs::metrics::{gauge, keys};
+        gauge(keys::HARVEST_LIVE_ENERGY_UJ).set(self.harvested.0 * 1e6);
+    }
+
     /// Energy-conservation self-check, run after every integration step when
     /// conformance checking is enabled: the chain is lossy end to end
     /// (mismatch ≤ 1, rectifier sub-unity above its floor, converter

@@ -1,0 +1,22 @@
+// Fixture: zero R13 findings — simulation code that wants telemetry on
+// the wire hands records to the obs::stream egress and never names a
+// socket type. The word in strings/comments does not count, nor do
+// test-only blocks (integration harnesses may open loopback sockets).
+
+pub fn emit_epoch(t: powifi_sim::SimTime) {
+    // "TcpStream" in a comment is documentation, not I/O.
+    powifi_sim::obs::stream::epoch_mark(t);
+}
+
+pub fn describe() -> &'static str {
+    "egress rides a TcpStream owned by obs::stream, not by this layer"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn loopback_harness_may_open_sockets() {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        assert!(l.local_addr().is_ok());
+    }
+}

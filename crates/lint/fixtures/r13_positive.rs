@@ -1,0 +1,23 @@
+// Fixture: R13 socket-outside-stream violations — a simulation layer
+// opening its own network connections instead of emitting through the
+// obs::stream egress. Alias renames do not hide the type.
+
+use std::net::TcpStream as Wire;
+use std::net::{TcpListener, UdpSocket};
+
+pub struct RogueUplink {
+    conn: Wire,
+}
+
+pub fn phone_home(addr: &str) -> std::io::Result<RogueUplink> {
+    let conn = Wire::connect(addr)?;
+    Ok(RogueUplink { conn })
+}
+
+pub fn listen_for_peers(addr: &str) -> std::io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}
+
+pub fn beacon(addr: &str) -> std::io::Result<UdpSocket> {
+    UdpSocket::bind(addr)
+}

@@ -1,7 +1,7 @@
 //! # powifi-lint
 //!
 //! In-repo static analyzer enforcing the workspace's determinism and
-//! unit-safety rules (R1–R12, see `docs/STATIC_ANALYSIS.md`). Self-contained:
+//! unit-safety rules (R1–R13, see `docs/STATIC_ANALYSIS.md`). Self-contained:
 //! a hand-written lexer and parser, no external dependencies, so it builds
 //! wherever the workspace builds.
 //!
@@ -130,6 +130,9 @@ pub fn classify(rel: &str) -> Option<FileContext> {
     let is_rng_impl = crate_name == "sim" && rest == ["src", "rng.rs"];
     // The sharded city runtime and its helpers — R9's scope.
     let is_city = crate_name == "deploy" && top == "src" && rest.get(1) == Some(&"city");
+    // The streaming-telemetry wire layer is the one sim file allowed to
+    // touch sockets — R13's file-level carve-out.
+    let is_stream_impl = crate_name == "sim" && rest == ["src", "obs", "stream.rs"];
     Some(FileContext {
         crate_name,
         rel_path: rel.to_string(),
@@ -139,6 +142,7 @@ pub fn classify(rel: &str) -> Option<FileContext> {
         is_queue_impl,
         is_rng_impl,
         is_city,
+        is_stream_impl,
     })
 }
 
@@ -472,6 +476,14 @@ mod tests {
         assert!(c.is_city);
         let c = classify("crates/deploy/src/city/mod.rs").unwrap();
         assert!(c.is_city);
+        let c = classify("crates/sim/src/obs/stream.rs").unwrap();
+        assert!(c.is_stream_impl && !c.is_prof_impl);
+        assert!(
+            !classify("crates/sim/src/obs/agg.rs")
+                .unwrap()
+                .is_stream_impl,
+            "the carve-out is the wire layer only, not the whole obs tree"
+        );
         assert!(!classify("crates/deploy/src/lib.rs").unwrap().is_city);
         assert!(!classify("crates/sim/src/lib.rs").unwrap().is_queue_impl);
         assert!(

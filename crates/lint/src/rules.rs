@@ -1,4 +1,4 @@
-//! The rule catalogue: R1–R12 over one parsed file (the [`crate::ast`]
+//! The rule catalogue: R1–R13 over one parsed file (the [`crate::ast`]
 //! engine) plus the workspace [`SymbolIndex`].
 //!
 //! Scope model: every rule declares which crates it patrols and whether it
@@ -13,10 +13,13 @@
 //! R8 carves it out via [`FileContext::is_queue_impl`]; likewise the RNG
 //! implementation (`crates/sim/src/rng.rs`) is the one place allowed to
 //! seed raw generators, so R10 carves it out via
-//! [`FileContext::is_rng_impl`].
+//! [`FileContext::is_rng_impl`]; and the streaming-telemetry wire layer
+//! (`crates/sim/src/obs/stream.rs`) is the one simulation file allowed to
+//! touch sockets, so R13 carves it out via
+//! [`FileContext::is_stream_impl`].
 //!
 //! Two engine layers feed findings. *Token-level* passes (most of R1–R8,
-//! R12) scan the raw stream with test-region masking, exactly as engine v1
+//! R12, R13) scan the raw stream with test-region masking, exactly as engine v1
 //! did — macro bodies included. *AST* passes use the parse tree: alias
 //! resolution through `use … as` (R1/R2/R7), typed-local float context
 //! (R4), closure captures and spawn provenance (R9), enclosing-fn seeding
@@ -36,7 +39,7 @@ pub const SIM_CRATES: [&str; 8] = [
 /// support stay closure-friendly.
 pub const HOT_CRATES: [&str; 5] = ["core", "harvest", "mac", "net", "sim"];
 
-/// The twelve rules.
+/// The thirteen rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// R1: no `HashMap`/`HashSet` in simulation crates.
@@ -72,11 +75,15 @@ pub enum Rule {
     NonExhaustiveDispatch,
     /// R12: no `unsafe` in simulation crates.
     UnsafeInSim,
+    /// R13: no socket construction or blocking network I/O in simulation
+    /// crates outside the streaming-telemetry egress
+    /// (`crates/sim/src/obs/stream.rs`).
+    SocketOutsideStream,
 }
 
 impl Rule {
     /// All rules, in id order.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 13] = [
         Rule::HashIteration,
         Rule::AmbientNondeterminism,
         Rule::Unwrap,
@@ -89,9 +96,10 @@ impl Rule {
         Rule::RngStreamDiscipline,
         Rule::NonExhaustiveDispatch,
         Rule::UnsafeInSim,
+        Rule::SocketOutsideStream,
     ];
 
-    /// Short id (`R1`…`R12`), used in output and baseline entries.
+    /// Short id (`R1`…`R13`), used in output and baseline entries.
     pub fn id(self) -> &'static str {
         match self {
             Rule::HashIteration => "R1",
@@ -106,6 +114,7 @@ impl Rule {
             Rule::RngStreamDiscipline => "R10",
             Rule::NonExhaustiveDispatch => "R11",
             Rule::UnsafeInSim => "R12",
+            Rule::SocketOutsideStream => "R13",
         }
     }
 
@@ -124,6 +133,7 @@ impl Rule {
             Rule::RngStreamDiscipline => "rng-stream-discipline",
             Rule::NonExhaustiveDispatch => "non-exhaustive-dispatch",
             Rule::UnsafeInSim => "unsafe-in-sim",
+            Rule::SocketOutsideStream => "socket-outside-stream",
         }
     }
 
@@ -175,6 +185,10 @@ impl Rule {
                 "`unsafe` in a simulation crate; the sim tree is forbid(unsafe_code) — \
                  justify any exception with an allow and a safety argument"
             }
+            Rule::SocketOutsideStream => {
+                "socket construction/blocking I/O in a simulation crate; network egress \
+                 is obs::stream's job — emit records through its bounded queue instead"
+            }
         }
     }
 
@@ -220,6 +234,10 @@ pub struct FileContext {
     /// File is part of the sharded city runtime
     /// (`crates/deploy/src/city/…`) — R9's scope.
     pub is_city: bool,
+    /// File is the streaming-telemetry wire layer
+    /// (`crates/sim/src/obs/stream.rs`) — the one simulation file allowed
+    /// to touch sockets, so R13 skips it.
+    pub is_stream_impl: bool,
 }
 
 impl FileContext {
@@ -234,6 +252,7 @@ impl FileContext {
             is_queue_impl: false,
             is_rng_impl: false,
             is_city: false,
+            is_stream_impl: false,
         }
     }
 }
@@ -344,6 +363,18 @@ const AMBIENT_IDENTS: [&str; 4] = ["SystemTime", "thread_rng", "from_entropy", "
 /// layer is wiring its own observability plumbing (R6).
 const SINK_IDENTS: [&str; 3] = ["NullSink", "RingSink", "JsonlSink"];
 
+/// Socket types whose mention in a simulation crate outside the streaming
+/// wire layer means a sim layer is doing its own network I/O (R13). Sockets
+/// block, retry, and time out nondeterministically; all egress goes through
+/// `obs::stream`'s bounded queue.
+const SOCKET_IDENTS: [&str; 5] = [
+    "TcpListener",
+    "TcpStream",
+    "UdpSocket",
+    "UnixListener",
+    "UnixStream",
+];
+
 /// Closure-scheduling entry points on the event queue: each call boxes its
 /// handler on the heap, so one of these per event is a hot-path perf bug
 /// (R8). Typed posting (`post_at`/`post_in`) is the allocation-free path.
@@ -426,7 +457,7 @@ fn effective_name<'a>(ast: &'a FileAst, t: &'a Token) -> &'a str {
 }
 
 /// The token-level passes: R1–R8 (as in engine v1, plus alias resolution
-/// through the AST's `use` table) and R12.
+/// through the AST's `use` table), R12 and R13.
 fn token_pass(
     ctx: &FileContext,
     ast: &FileAst,
@@ -493,6 +524,24 @@ fn token_pass(
                 message: "`Instant` is a wall clock; only crates/bench and obs::prof may \
                           read it — attribute time with obs::prof spans instead"
                     .to_string(),
+            });
+        }
+        // R13 — socket construction/blocking I/O outside the streaming wire
+        // layer, which owns network egress for the whole sim tree.
+        if active.contains(&Rule::SocketOutsideStream)
+            && !ctx.is_stream_impl
+            && t.kind == TokKind::Ident
+            && SOCKET_IDENTS.contains(&eff)
+        {
+            out.push(RawFinding {
+                line: t.line,
+                col: t.col,
+                rule: Rule::SocketOutsideStream,
+                message: format!(
+                    "`{}` in a simulation crate; network I/O blocks and times out \
+                     nondeterministically — emit through obs::stream's bounded egress instead",
+                    t.text
+                ),
             });
         }
         // R12 — `unsafe` in simulation crates.

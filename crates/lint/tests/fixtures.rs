@@ -260,6 +260,37 @@ fn r12_positive_and_negative() {
 }
 
 #[test]
+fn r13_positive_and_negative() {
+    let f = scan_fixture(include_str!("../fixtures/r13_positive.rs"));
+    assert!(
+        f.iter().all(|f| f.rule == Rule::SocketOutsideStream),
+        "{f:?}"
+    );
+    // `use … TcpStream as Wire` + `use {TcpListener, UdpSocket}` (two) +
+    // the alias-resolved `Wire` field type and `Wire::connect` + the
+    // `TcpListener`/`UdpSocket` return types and `::bind` calls = 9 sites.
+    assert_eq!(f.len(), 9, "{f:?}");
+    assert!(rules_fired(include_str!("../fixtures/r13_negative.rs")).is_empty());
+}
+
+#[test]
+fn r13_is_exempt_in_the_stream_impl_and_bench() {
+    let pos = include_str!("../fixtures/r13_positive.rs");
+    assert!(
+        scan_source("crates/sim/src/obs/stream.rs", pos).is_empty(),
+        "the wire layer owns the sockets"
+    );
+    assert!(
+        scan_source("crates/bench/src/fleet.rs", pos).is_empty(),
+        "bench is the harness boundary, not a simulation crate"
+    );
+    assert!(
+        !scan_source("crates/sim/src/obs/agg.rs", pos).is_empty(),
+        "the carve-out is one file, not the whole obs tree"
+    );
+}
+
+#[test]
 fn suppressions_silence_every_fixture_violation() {
     let f = scan_fixture(include_str!("../fixtures/suppressed.rs"));
     assert!(f.is_empty(), "{f:?}");

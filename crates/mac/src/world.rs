@@ -178,6 +178,8 @@ pub struct Medium {
     rng: Option<SimRng>,
     /// Ground-truth collision counter.
     pub collisions: u64,
+    /// Ground-truth count of frames lost to injected corruption.
+    pub corrupted: u64,
 }
 
 /// The MAC state: all stations, mediums and links of one scenario.
@@ -264,6 +266,7 @@ impl Mac {
             corruption: 0.0,
             rng: None,
             collisions: 0,
+            corrupted: 0,
         });
         id
     }
@@ -498,10 +501,40 @@ impl Mac {
             .add(self.stations.iter().map(|s| s.queue_drops).sum::<u64>());
     }
 
+    /// Set this thread's live MAC gauges (`mac.live.*`) to the current
+    /// *cumulative* totals. Unlike [`Mac::record_metrics`] (one-shot counter
+    /// adds at the end of a run), gauges are idempotent under `set`, so the
+    /// streaming epoch driver can call this after every epoch and snapshot
+    /// the registry for a `metrics` wire record without double counting.
+    pub fn record_progress_metrics(&self) {
+        use powifi_sim::obs::metrics::{gauge, keys};
+        gauge(keys::MAC_LIVE_FRAMES).set(self.total_frames_sent() as f64);
+        gauge(keys::MAC_LIVE_RETRANSMISSIONS).set(self.total_retransmissions() as f64);
+        gauge(keys::MAC_LIVE_CORRUPTED).set(self.total_corrupted() as f64);
+        gauge(keys::MAC_LIVE_BUSY_NS).set(self.total_busy().as_nanos() as f64);
+    }
+
     /// Total frames sent across all stations — the scenario-wide activity
     /// counter the bench sweep engine reports per experiment point.
     pub fn total_frames_sent(&self) -> u64 {
         self.stations.iter().map(|s| s.frames_sent).sum()
+    }
+
+    /// Total unicast retransmission attempts across all stations.
+    pub fn total_retransmissions(&self) -> u64 {
+        self.stations.iter().map(|s| s.retransmissions).sum()
+    }
+
+    /// Total frames lost to injected corruption across all mediums.
+    pub fn total_corrupted(&self) -> u64 {
+        self.mediums.iter().map(|m| m.corrupted).sum()
+    }
+
+    /// Cumulative busy airtime summed across all mediums.
+    pub fn total_busy(&self) -> SimDuration {
+        self.mediums
+            .iter()
+            .fold(SimDuration::ZERO, |acc, m| acc + m.busy_accum)
     }
 
     /// Number of mediums.
@@ -810,6 +843,9 @@ fn arb_fire<W: MacWorld>(w: &mut W, q: &mut Queue<W>, medium: MediumId) {
             }
             busy = busy.max(dur);
             let m = &mut mac.mediums[medium.0 as usize];
+            if corrupted {
+                m.corrupted += 1;
+            }
             m.monitor.record(now, sta, bytes, rate);
             if obs::enabled() {
                 obs::emit(

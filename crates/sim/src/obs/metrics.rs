@@ -60,6 +60,28 @@ pub mod keys {
     pub const CITY_BOUNDARY_EXPORTS: &str = "city.boundary_exports";
     /// Epoch barriers executed by the city runtime (counter).
     pub const CITY_EPOCHS: &str = "city.epochs";
+    /// Stream records dropped by a bounded egress queue because the
+    /// consumer fell behind (counter; see [`crate::obs::stream`]).
+    pub const OBS_STREAM_DROPPED: &str = "obs.stream.dropped";
+    /// Peak depth the egress queue reached over the run (gauge).
+    pub const OBS_STREAM_QUEUE_DEPTH: &str = "obs.stream.queue_depth";
+    /// Cumulative MAC frames sent at the last progress mark (gauge; set by
+    /// `Mac::record_progress_metrics` at stream epochs).
+    pub const MAC_LIVE_FRAMES: &str = "mac.live.frames";
+    /// Cumulative MAC retransmissions at the last progress mark (gauge).
+    pub const MAC_LIVE_RETRANSMISSIONS: &str = "mac.live.retransmissions";
+    /// Cumulative corrupted frames at the last progress mark (gauge).
+    pub const MAC_LIVE_CORRUPTED: &str = "mac.live.corrupted";
+    /// Cumulative busy airtime in ns, summed over mediums, at the last
+    /// progress mark (gauge).
+    pub const MAC_LIVE_BUSY_NS: &str = "mac.live.busy_ns";
+    /// Cumulative power packets admitted by an injector gate at the last
+    /// progress mark (gauge).
+    pub const CORE_LIVE_POWER_SENT: &str = "core.live.power_sent";
+    /// Cumulative power packets gated at the last progress mark (gauge).
+    pub const CORE_LIVE_POWER_GATED: &str = "core.live.power_gated";
+    /// Cumulative harvested energy in µJ at the last progress mark (gauge).
+    pub const HARVEST_LIVE_ENERGY_UJ: &str = "harvest.live.energy_uj";
 }
 
 /// Number of power-of-two histogram buckets (see [`bucket_index`]).

@@ -22,9 +22,19 @@
 //! [`trace::enabled`] before building an event, and the metrics registry is
 //! only written at run boundaries (end-of-run totals, batched event counts).
 //!
-//! See `docs/OBSERVABILITY.md` for the full event catalogue and the
-//! `powifi-trace` inspector.
+//! Batch artifacts are not the whole story: [`stream`] frames live
+//! metrics/trace/progress records as NDJSON over a bounded non-blocking
+//! egress (overflow drops-with-counter, never blocks the event loop), and
+//! [`agg`] rolls any such stream — live socket or recorded capture — into
+//! deterministic tumbling sim-time windows. `powifi-fleetd` serves multiple
+//! deployments over one TCP listener; `powifi-fleet` watches, records and
+//! aggregates them.
+//!
+//! See `docs/OBSERVABILITY.md` for the full event catalogue, the
+//! `powifi-trace` inspector, and the streaming wire format.
 
+pub mod agg;
 pub mod metrics;
 pub mod prof;
+pub mod stream;
 pub mod trace;

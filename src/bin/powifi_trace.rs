@@ -6,23 +6,28 @@
 //!                             [--from SECS] [--to SECS]
 //! powifi-trace occupancy FILE --end SECS [--sta N] [--point IDX]
 //! powifi-trace diff      FILE_A FILE_B
+//! powifi-trace merge     FILE...
 //! powifi-trace validate  FILE
 //! ```
 //!
 //! `occupancy` recomputes the paper's Σ sizeᵢ/rateᵢ per-channel airtime
 //! metric from `tx_start` records (§4's tshark post-processing) as a
-//! cross-check against the MAC's own accounting. `diff` and `validate`
-//! exit nonzero on divergence / schema violations, so both work as CI
-//! gates.
+//! cross-check against the MAC's own accounting. `merge`
+//! deterministically interleaves several per-shard / per-deployment
+//! trace files by `(sim-time, seq)` into one timeline on stdout — the
+//! way to stitch a city run's shard traces back together. `diff` and
+//! `validate` exit nonzero on divergence / schema violations, so both
+//! work as CI gates.
 
 use powifi::traceinspect::{self, Filter, ParsedTrace};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: powifi-trace <summary|filter|occupancy|diff|validate> FILE [...]
+const USAGE: &str = "usage: powifi-trace <summary|filter|occupancy|diff|merge|validate> FILE [...]
   summary   FILE                          counts per layer/kind, time span
   filter    FILE [--layer L] [--kind K] [--entity N] [--from SECS] [--to SECS]
   occupancy FILE --end SECS [--sta N] [--point IDX]
   diff      FILE_A FILE_B
+  merge     FILE...                       interleave by (sim-time, seq) to stdout
   validate  FILE";
 
 fn fail(msg: &str) -> ExitCode {
@@ -140,6 +145,19 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, String> {
                     Ok(ExitCode::FAILURE)
                 }
             }
+        }
+        "merge" => {
+            if rest.is_empty() {
+                return Err("merge needs at least one FILE".into());
+            }
+            let traces = rest
+                .iter()
+                .map(|f| load(f))
+                .collect::<Result<Vec<_>, _>>()?;
+            for rec in traceinspect::merge(&traces) {
+                println!("{}", rec.raw);
+            }
+            Ok(ExitCode::SUCCESS)
         }
         "validate" => {
             let [file] = rest else {

@@ -438,6 +438,31 @@ pub fn occupancy(point: &TracePoint, end_ns: u64, sta: Option<u64>) -> BTreeMap<
     per_medium
 }
 
+/// Deterministically interleave several traces' records into one
+/// timeline — the engine of `powifi-trace merge`, for stitching
+/// per-shard or per-deployment JSONL files from city / fleet runs back
+/// together.
+///
+/// The sort key is `(t, seq, source index, source line)`: `seq` is the
+/// record's own `seq` field when it carries one (records captured from
+/// an `obs::stream` wire session do), falling back to the source-file
+/// line number, so plain trace files keep their file order at equal
+/// timestamps and ties across files resolve by argument position. The
+/// key is total, so the merged order is a pure function of the inputs —
+/// re-running the merge reproduces it byte for byte. Point headers are
+/// not carried over: the merged stream is one anonymous timeline.
+pub fn merge(traces: &[ParsedTrace]) -> Vec<&Rec> {
+    let mut keyed: Vec<(u64, u64, usize, usize, &Rec)> = Vec::new();
+    for (src, trace) in traces.iter().enumerate() {
+        for rec in trace.records() {
+            let seq = rec.field_u64("seq").unwrap_or(rec.line as u64);
+            keyed.push((rec.t_ns, seq, src, rec.line, rec));
+        }
+    }
+    keyed.sort_by_key(|&(t, seq, src, line, _)| (t, seq, src, line));
+    keyed.into_iter().map(|(_, _, _, _, r)| r).collect()
+}
+
 /// Structurally diff two traces. Returns `None` when identical, else a
 /// human-readable description of the first divergence.
 pub fn diff(a: &ParsedTrace, b: &ParsedTrace) -> Option<String> {
@@ -617,6 +642,69 @@ mod tests {
         let b = parse(&sample_jsonl().replace("\"qdepth\":6", "\"qdepth\":7")).unwrap();
         let msg = diff(&a, &b).expect("must differ");
         assert!(msg.contains("record 2 differs"), "{msg}");
+    }
+
+    #[test]
+    fn merge_interleaves_by_time_then_seq_then_source() {
+        // Two "shards" whose timestamps interleave; equal-time records
+        // order by their `seq` field, then by source position.
+        let shard_a = parse(concat!(
+            "{\"t\":100,\"layer\":\"mac\",\"kind\":\"ack\",\"medium\":0,\"sta\":1,\"seq\":4}\n",
+            "{\"t\":300,\"layer\":\"mac\",\"kind\":\"ack\",\"medium\":0,\"sta\":1,\"seq\":9}\n",
+        ))
+        .unwrap();
+        let shard_b = parse(concat!(
+            "{\"t\":100,\"layer\":\"mac\",\"kind\":\"ack\",\"medium\":1,\"sta\":2,\"seq\":2}\n",
+            "{\"t\":200,\"layer\":\"mac\",\"kind\":\"ack\",\"medium\":1,\"sta\":2,\"seq\":7}\n",
+        ))
+        .unwrap();
+        let inputs = [shard_a, shard_b];
+        let merged = merge(&inputs);
+        let order: Vec<(u64, Option<u64>)> = merged
+            .iter()
+            .map(|r| (r.t_ns, r.field_u64("seq")))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (100, Some(2)), // t ties broken by seq: shard_b first
+                (100, Some(4)),
+                (200, Some(7)),
+                (300, Some(9)),
+            ]
+        );
+        // Total key ⇒ rerunning the merge reproduces the bytes exactly.
+        let again: Vec<&str> = merge(&inputs).iter().map(|r| r.raw.as_str()).collect();
+        let first: Vec<&str> = merged.iter().map(|r| r.raw.as_str()).collect();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn merge_without_seq_keeps_file_order_and_argument_order() {
+        // Plain trace records (no `seq` field) at equal timestamps keep
+        // their per-file line order; across files the earlier argument
+        // wins. Line numbers double as the seq fallback, so a line-2
+        // record in file B sorts after a line-1 record in file A.
+        let a = parse("{\"t\":50,\"layer\":\"mac\",\"kind\":\"ack\",\"medium\":0,\"sta\":1}\n")
+            .unwrap();
+        let b = parse("{\"t\":50,\"layer\":\"mac\",\"kind\":\"ack\",\"medium\":0,\"sta\":2}\n")
+            .unwrap();
+        let inputs = [a, b];
+        let merged = merge(&inputs);
+        let stas: Vec<u64> = merged.iter().filter_map(|r| r.field_u64("sta")).collect();
+        assert_eq!(stas, vec![1, 2]);
+    }
+
+    #[test]
+    fn merged_output_reparses_as_one_anonymous_point() {
+        let t = parse(&sample_jsonl()).unwrap();
+        let inputs = [t.clone(), t];
+        let merged = merge(&inputs);
+        let text: String = merged.iter().map(|r| format!("{}\n", r.raw)).collect();
+        let re = parse(&text).unwrap();
+        assert_eq!(re.points.len(), 1);
+        assert_eq!(re.points[0].records.len(), 6);
+        assert_eq!(validate(&re), Vec::<String>::new());
     }
 
     #[test]

@@ -82,7 +82,10 @@ fn run_one<F: FnMut(&mut Bencher)>(samples: usize, name: &str, mut f: F) {
         .get(b.times.len() / 2)
         .copied()
         .unwrap_or(Duration::ZERO);
-    println!("bench: {name:<40} median {median:>12.3?} ({} samples)", b.times.len());
+    println!(
+        "bench: {name:<40} median {median:>12.3?} ({} samples)",
+        b.times.len()
+    );
 }
 
 impl Criterion {
@@ -181,7 +184,8 @@ mod tests {
         let mut c = Criterion::default();
         let mut g = c.benchmark_group("grp");
         let mut n = 0;
-        g.sample_size(3).bench_function("inner", |b| b.iter(|| n += 1));
+        g.sample_size(3)
+            .bench_function("inner", |b| b.iter(|| n += 1));
         g.finish();
         assert_eq!(n, 3);
     }

@@ -59,7 +59,11 @@ fn parse(input: TokenStream) -> Result<Item, String> {
     if kind == "enum" {
         let body = match toks.next() {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
-            _ => return Err(format!("derive(Serialize): expected enum body for `{name}`")),
+            _ => {
+                return Err(format!(
+                    "derive(Serialize): expected enum body for `{name}`"
+                ))
+            }
         };
         let mut variants = Vec::new();
         let mut inner = body.stream().into_iter().peekable();
@@ -89,12 +93,10 @@ fn parse(input: TokenStream) -> Result<Item, String> {
         return Ok(Item::FieldlessEnum { name, variants });
     }
     match toks.next() {
-        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-            Ok(Item::NamedStruct {
-                name,
-                fields: named_fields(g.stream())?,
-            })
-        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::NamedStruct {
+            name,
+            fields: named_fields(g.stream())?,
+        }),
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
             Ok(Item::TupleStruct {
                 name,
@@ -129,7 +131,11 @@ fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
         };
         match toks.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
-            _ => return Err(format!("derive(Serialize): expected `:` after field `{ident}`")),
+            _ => {
+                return Err(format!(
+                    "derive(Serialize): expected `:` after field `{ident}`"
+                ))
+            }
         }
         fields.push(ident);
         // Consume the type up to the next top-level comma. Commas inside

@@ -206,9 +206,9 @@ impl<'a> Parser<'a> {
                             } else {
                                 char::from_u32(cp)
                             };
-                            out.push(c.ok_or_else(|| {
-                                Error::parse(self.pos, "invalid \\u escape")
-                            })?);
+                            out.push(
+                                c.ok_or_else(|| Error::parse(self.pos, "invalid \\u escape"))?,
+                            );
                         }
                         _ => return Err(Error::parse(self.pos, "invalid escape")),
                     }
@@ -237,8 +237,8 @@ impl<'a> Parser<'a> {
         }
         let s = std::str::from_utf8(&self.bytes[self.pos..end])
             .map_err(|_| Error::parse(self.pos, "invalid \\u escape"))?;
-        let v = u32::from_str_radix(s, 16)
-            .map_err(|_| Error::parse(self.pos, "invalid \\u escape"))?;
+        let v =
+            u32::from_str_radix(s, 16).map_err(|_| Error::parse(self.pos, "invalid \\u escape"))?;
         self.pos = end;
         Ok(v)
     }
@@ -282,9 +282,14 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
         Value::UInt(u) => out.push_str(&u.to_string()),
         Value::Float(x) => write_float(out, *x),
         Value::Str(s) => write_string(out, s),
-        Value::Array(items) => write_seq(out, items.iter(), indent, depth, ('[', ']'), |out, item, ind, d| {
-            write_value(out, item, ind, d)
-        }),
+        Value::Array(items) => write_seq(
+            out,
+            items.iter(),
+            indent,
+            depth,
+            ('[', ']'),
+            write_value,
+        ),
         Value::Object(entries) => write_seq(
             out,
             entries.iter(),
@@ -374,7 +379,10 @@ mod tests {
     fn compact_and_pretty_shapes() {
         let v = Value::Object(vec![
             ("a".into(), Value::UInt(1)),
-            ("b".into(), Value::Array(vec![Value::Float(0.5), Value::Null])),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Float(0.5), Value::Null]),
+            ),
         ]);
         assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[0.5,null]}"#);
         assert_eq!(
@@ -419,8 +427,14 @@ mod tests {
 
     #[test]
     fn parse_handles_numbers_and_escapes() {
-        assert_eq!(from_str("18446744073709551615").unwrap(), Value::UInt(u64::MAX));
-        assert_eq!(from_str("-9223372036854775808").unwrap(), Value::Int(i64::MIN));
+        assert_eq!(
+            from_str("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        assert_eq!(
+            from_str("-9223372036854775808").unwrap(),
+            Value::Int(i64::MIN)
+        );
         assert_eq!(from_str("2.5e-3").unwrap(), Value::Float(0.0025));
         assert_eq!(from_str(r#""Aé""#).unwrap(), Value::Str("Aé".into()));
         assert_eq!(from_str(r#""😀""#).unwrap(), Value::Str("😀".into()));
@@ -429,7 +443,15 @@ mod tests {
     #[test]
     fn parse_rejects_malformed_documents() {
         for bad in [
-            "", "{", "[1,", "{\"a\"}", "tru", "1 2", "\"unterminated", "{'a':1}", "[01e]",
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "{'a':1}",
+            "[01e]",
         ] {
             assert!(from_str(bad).is_err(), "`{bad}` should fail");
         }
