@@ -4,7 +4,8 @@
 //!
 //! Runs a small fixed roster of representative experiments (one per major
 //! subsystem path: MAC-only injection, full-office UDP/TCP, neighbor
-//! fairness, a compressed home day) through the sweep engine and records
+//! fairness, a compressed home day; `--full` adds the paper-scale
+//! `tier1_city_100k` block) through the sweep engine and records
 //! *our own* runtime per point and per experiment — the perf-trajectory
 //! artifact CI uploads so regressions in simulator throughput are visible
 //! across commits. Each experiment runs twice: an unprofiled pass that
@@ -49,6 +50,9 @@ type RunFn = Box<dyn Fn(&str, u64) -> f64 + Sync>;
 struct Roster {
     name: &'static str,
     variants: Vec<String>,
+    /// Only runs under `--full` (paper-scale workloads too heavy for the
+    /// per-commit roster).
+    full_only: bool,
     run: RunFn,
 }
 
@@ -60,7 +64,10 @@ impl Experiment for Roster {
         self.name
     }
 
-    fn points(&self, _full: bool) -> Vec<String> {
+    fn points(&self, full: bool) -> Vec<String> {
+        if self.full_only && !full {
+            return Vec::new();
+        }
         self.variants.clone()
     }
 
@@ -78,6 +85,7 @@ fn roster() -> Vec<Roster> {
         Roster {
             name: "tier1_udp",
             variants: vec!["baseline".into(), "powifi".into()],
+            full_only: false,
             run: Box::new(|v, seed| {
                 let scheme = if v == "baseline" {
                     Scheme::Baseline
@@ -90,11 +98,13 @@ fn roster() -> Vec<Roster> {
         Roster {
             name: "tier1_tcp",
             variants: vec!["powifi".into()],
+            full_only: false,
             run: Box::new(|_, seed| tcp_experiment(Scheme::PoWiFi, seed, 3).throughput_mbps),
         },
         Roster {
             name: "tier1_neighbor",
             variants: vec!["powifi".into()],
+            full_only: false,
             run: Box::new(|_, seed| neighbor_experiment(Scheme::PoWiFi, Bitrate::G12, seed, 3)),
         },
         // Two city entries at different scales so the history records both
@@ -105,6 +115,7 @@ fn roster() -> Vec<Roster> {
         Roster {
             name: "tier1_city",
             variants: vec!["block_1k".into()],
+            full_only: false,
             run: Box::new(|_, seed| {
                 let topo = apartment_block(1_000, seed);
                 let cfg = CityConfig {
@@ -117,8 +128,25 @@ fn roster() -> Vec<Roster> {
         Roster {
             name: "tier1_city_10k",
             variants: vec!["block_10k".into()],
+            full_only: false,
             run: Box::new(|_, seed| {
                 let topo = apartment_block(10_000, seed);
+                let cfg = CityConfig {
+                    seed,
+                    ..CityConfig::default()
+                };
+                run_city(&topo, &cfg).harvested_j.iter().sum()
+            }),
+        },
+        // The 100k block is paper scale — tens of seconds per pass — so it
+        // rides behind `--full` only; the 100k/10k events-per-wall-ms ratio
+        // extends the scaling evidence one more decade when it runs.
+        Roster {
+            name: "tier1_city_100k",
+            variants: vec!["block_100k".into()],
+            full_only: true,
+            run: Box::new(|_, seed| {
+                let topo = apartment_block(100_000, seed);
                 let cfg = CityConfig {
                     seed,
                     ..CityConfig::default()
@@ -129,6 +157,7 @@ fn roster() -> Vec<Roster> {
         Roster {
             name: "tier1_home",
             variants: vec!["home2".into()],
+            full_only: false,
             run: Box::new(|_, seed| run_home(table1()[1], seed, 1440).mean_cumulative),
         },
     ]
@@ -292,6 +321,9 @@ fn main() {
         let mut total_ms = 0.0;
         for exp in roster() {
             let runs = Sweep::new(&args).run(&exp);
+            if runs.is_empty() {
+                continue; // full-only entry without --full
+            }
             let prof_runs = Sweep::new(&attr_args).run(&exp);
             let v = experiment_value(exp.name, &runs, &prof_runs);
             if let Value::Object(entries) = &v {

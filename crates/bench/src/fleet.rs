@@ -17,9 +17,12 @@
 //! interleaving of the same record set, so `powifi-fleet aggregate` over a
 //! capture is byte-identical across `--jobs` and debug/release.
 
+use crate::ckpt_run::{self, CkptPolicy};
 use crate::runner::{BenchArgs, Experiment, Sweep};
 use powifi_core::Scheme;
-use powifi_deploy::{tcp_experiment_epochs, udp_experiment_epochs, OfficeConfig};
+use powifi_deploy::{
+    tcp_experiment_epochs, udp_experiment_epochs, OfficeConfig, OfficeSpec, TrafficSpec,
+};
 use powifi_sim::obs::stream::{self, Egress, SessionInfo};
 use powifi_sim::{SimDuration, SimTime};
 use serde::Serialize;
@@ -63,6 +66,11 @@ pub struct FleetConfig {
     pub jobs: usize,
     /// The deployments.
     pub deployments: Vec<DeploymentSpec>,
+    /// Checkpoint-chain policy: `Some` drives every deployment through the
+    /// checkpointable runner ([`crate::ckpt_run`]), writing per-deployment
+    /// chain files and *crash-resuming* from the newest valid one on
+    /// restart. `None` runs straight through (the historical path).
+    pub ckpt: Option<CkptPolicy>,
 }
 
 impl FleetConfig {
@@ -89,6 +97,7 @@ impl FleetConfig {
                     },
                 })
                 .collect(),
+            ckpt: None,
         }
     }
 }
@@ -141,27 +150,52 @@ impl Experiment for FleetExperiment {
     fn run(&self, pt: &DeploymentSpec, seed: u64) -> DeploymentOutput {
         let prev = stream::install(stream::Handle::new(Arc::clone(&self.egress), &pt.name));
         let epoch = Some(self.cfg.epoch);
-        let throughput = match pt.kind {
-            DeploymentKind::Udp { rate_mbps } => {
-                udp_experiment_epochs(
-                    OfficeConfig::default(),
-                    pt.scheme,
-                    rate_mbps,
-                    seed,
-                    self.cfg.secs,
-                    epoch,
-                )
-                .throughput_mbps
-            }
-            DeploymentKind::Tcp => {
-                tcp_experiment_epochs(
-                    OfficeConfig::default(),
-                    pt.scheme,
-                    seed,
-                    self.cfg.secs,
-                    epoch,
-                )
-                .throughput_mbps
+        let throughput = if let Some(policy) = &self.cfg.ckpt {
+            // Checkpointed path: drive the deployment through the
+            // resumable runner, picking up from its chain if one exists
+            // (crash-resume) and announcing every chain write as a `ckpt`
+            // stream record. Event execution is identical to the straight
+            // path, so the throughput is too.
+            let spec = OfficeSpec {
+                seed,
+                scheme: pt.scheme,
+                cfg: OfficeConfig::default(),
+                traffic: match pt.kind {
+                    DeploymentKind::Udp { rate_mbps } => TrafficSpec::Udp { rate_mbps },
+                    DeploymentKind::Tcp => TrafficSpec::Tcp,
+                },
+                secs: self.cfg.secs,
+                epoch: self.cfg.epoch,
+            };
+            let (mut run, _info) = ckpt_run::start_or_resume(&spec, Some(policy), &pt.name)
+                .unwrap_or_else(|e| panic!("deployment {}: checkpoint chain: {e}", pt.name));
+            ckpt_run::drive(&mut run, Some(policy), &pt.name)
+                .unwrap_or_else(|e| panic!("deployment {}: checkpoint write: {e}", pt.name));
+            run.record_run_telemetry();
+            run.throughput_mbps()
+        } else {
+            match pt.kind {
+                DeploymentKind::Udp { rate_mbps } => {
+                    udp_experiment_epochs(
+                        OfficeConfig::default(),
+                        pt.scheme,
+                        rate_mbps,
+                        seed,
+                        self.cfg.secs,
+                        epoch,
+                    )
+                    .throughput_mbps
+                }
+                DeploymentKind::Tcp => {
+                    tcp_experiment_epochs(
+                        OfficeConfig::default(),
+                        pt.scheme,
+                        seed,
+                        self.cfg.secs,
+                        epoch,
+                    )
+                    .throughput_mbps
+                }
             }
         };
         stream::finish(SimTime::from_secs(self.cfg.secs));

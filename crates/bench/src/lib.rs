@@ -8,14 +8,18 @@
 //! (`--jobs`), derives a deterministic per-point seed, and — with
 //! `--json DIR` — writes machine-readable artifacts for EXPERIMENTS.md.
 
+pub mod ckpt_run;
 pub mod fleet;
+pub mod replay;
 pub mod report;
 pub mod runner;
 
+pub use ckpt_run::{CkptPolicy, ResumeInfo};
 pub use fleet::{
     record_stream, run_fleet, serve_fleet, DeploymentKind, DeploymentSpec, FleetConfig,
     ServeSummary,
 };
+pub use replay::{bisect, BisectReport};
 pub use runner::{BenchArgs, Experiment, PointRun, Sweep};
 
 /// Print a header line for a figure/table.

@@ -74,10 +74,25 @@ pub struct BenchArgs {
     /// records as they go. Observational only — the egress never blocks,
     /// so results are unchanged.
     pub stream: Option<String>,
+    /// Checkpoint cadence, in epochs, for checkpoint-aware binaries: write
+    /// a chain checkpoint (`crate::ckpt_run`) every N epochs. `None`
+    /// disables checkpointing; sweep-only binaries ignore it.
+    pub checkpoint_every: Option<u64>,
+    /// Directory for checkpoint chain files (defaults to the `--json` dir
+    /// when only `--checkpoint-every` is given).
+    pub ckpt_dir: Option<PathBuf>,
+    /// Resume from this checkpoint file instead of cold-starting.
+    pub resume: Option<PathBuf>,
+    /// Resume provenance `(epoch, state hash)`, recorded in the manifest as
+    /// `resumed_from` so observatory points from resumed runs are
+    /// distinguishable from straight-through runs. Not a CLI flag —
+    /// checkpoint-aware binaries set it after picking up a chain.
+    pub resumed_from: Option<(u64, String)>,
 }
 
 const USAGE: &str = "usage: [--seed N] [--full] [--json DIR] [--jobs N] [--filter SUBSTR] \
-     [--check] [--trace FILE] [--metrics] [--prof FILE] [--stream ADDR]";
+     [--check] [--trace FILE] [--metrics] [--prof FILE] [--stream ADDR] \
+     [--checkpoint-every N] [--ckpt-dir DIR] [--resume FILE]";
 
 impl Default for BenchArgs {
     fn default() -> Self {
@@ -93,6 +108,10 @@ impl Default for BenchArgs {
             prof: None,
             prof_wall: false,
             stream: None,
+            checkpoint_every: None,
+            ckpt_dir: None,
+            resume: None,
+            resumed_from: None,
         }
     }
 }
@@ -154,6 +173,23 @@ impl BenchArgs {
                 }
                 "--stream" => {
                     out.stream = Some(it.next().ok_or("--stream needs host:port")?);
+                }
+                "--checkpoint-every" => {
+                    let v = it.next().ok_or("--checkpoint-every needs a positive epoch count")?;
+                    out.checkpoint_every = Some(
+                        v.parse()
+                            .ok()
+                            .filter(|&n: &u64| n >= 1)
+                            .ok_or_else(|| {
+                                format!("--checkpoint-every needs a positive epoch count, got `{v}`")
+                            })?,
+                    );
+                }
+                "--ckpt-dir" => {
+                    out.ckpt_dir = Some(PathBuf::from(it.next().ok_or("--ckpt-dir needs a dir")?));
+                }
+                "--resume" => {
+                    out.resume = Some(PathBuf::from(it.next().ok_or("--resume needs a file")?));
                 }
                 "--help" | "-h" => {
                     eprintln!("{USAGE}");
@@ -511,6 +547,20 @@ impl<'a> Sweep<'a> {
                         ),
                         ("dropped".into(), Value::UInt(dropped)),
                         ("peak_queue_depth".into(), Value::UInt(peak)),
+                    ]),
+                    None => Value::Null,
+                },
+            ),
+            (
+                // Resume provenance: which checkpoint this run picked up
+                // from, or `null` for a straight-through run. Lets the
+                // observatory tell resumed points apart (the results are
+                // byte-identical either way — that's the ckpt invariant).
+                "resumed_from".into(),
+                match &self.args.resumed_from {
+                    Some((epoch, hash)) => Value::Object(vec![
+                        ("epoch".into(), Value::UInt(*epoch)),
+                        ("hash".into(), Value::Str(hash.clone())),
                     ]),
                     None => Value::Null,
                 },
@@ -977,6 +1027,34 @@ mod tests {
     }
 
     #[test]
+    fn parse_from_accepts_checkpoint_flags() {
+        let d = BenchArgs::default();
+        assert!(d.checkpoint_every.is_none() && d.ckpt_dir.is_none() && d.resume.is_none());
+        let args = BenchArgs::parse_from(
+            [
+                "--checkpoint-every",
+                "4",
+                "--ckpt-dir",
+                "/tmp/chain",
+                "--resume",
+                "/tmp/chain/d0.ckpt-000002",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(args.checkpoint_every, Some(4));
+        assert_eq!(
+            args.ckpt_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/chain"))
+        );
+        assert_eq!(
+            args.resume.as_deref(),
+            Some(std::path::Path::new("/tmp/chain/d0.ckpt-000002"))
+        );
+        assert!(args.resumed_from.is_none(), "provenance is not a CLI flag");
+    }
+
+    #[test]
     fn parse_from_rejects_malformed_input() {
         for bad in [
             &["--seed", "abc"][..],
@@ -984,6 +1062,10 @@ mod tests {
             &["--jobs", "0"][..],
             &["--jobs", "-1"][..],
             &["--frobnicate"][..],
+            &["--checkpoint-every", "0"][..],
+            &["--checkpoint-every"][..],
+            &["--resume"][..],
+            &["--ckpt-dir"][..],
         ] {
             let r = BenchArgs::parse_from(bad.iter().map(|s| s.to_string()));
             assert!(r.is_err(), "{bad:?} should be rejected");

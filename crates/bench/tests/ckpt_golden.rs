@@ -1,0 +1,56 @@
+//! Committed golden checkpoint: `tests/golden/office.ckpt` is the epoch-2
+//! chain file of the default `powifi-office` run (PoWiFi, UDP 10 Mbit/s,
+//! 2 sim-seconds at 500 ms epochs, sweep-derived seed from root 42). This
+//! pins three things at once:
+//!
+//! * **format compatibility** — today's build still loads and restores a
+//!   checkpoint written by the build that committed the golden (any
+//!   breaking change to the state tree must bump `CKPT_VERSION` and
+//!   regenerate);
+//! * **fixed point** — restore→save reproduces the container byte for
+//!   byte;
+//! * **cross-build determinism** — resuming the golden and running to the
+//!   end reaches a pinned final state hash, which holds across
+//!   debug/release and machines because the simulator is pure integer/
+//!   deterministic-f64 arithmetic.
+//!
+//! Regenerate (only with a deliberate format/behavior change):
+//!   powifi-office --secs 2 --epoch-ms 500 --checkpoint-every 1 \
+//!     --ckpt-dir DIR   # commit DIR/office.ckpt-000002, repin the hashes
+
+use powifi_sim::ckpt;
+use powifi_sim::obs::metrics;
+
+const GOLDEN: &[u8] = include_bytes!("golden/office.ckpt");
+/// Container hash of the golden itself (epoch 2).
+const GOLDEN_HASH: &str = "01ad49fa05a696255790e05a712f35f8";
+/// State hash after resuming the golden and running the remaining epochs.
+const FINAL_HASH: &str = "1def769a90915f9c8e5b93cc741ab90a";
+
+#[test]
+fn golden_checkpoint_loads_resumes_and_reruns_identically() {
+    metrics::reset();
+    let c = ckpt::load(GOLDEN).unwrap_or_else(|e| {
+        panic!("golden checkpoint no longer loads ({e}) — format drift without a version bump?")
+    });
+    assert_eq!(c.version, ckpt::CKPT_VERSION);
+    assert_eq!(c.hash, GOLDEN_HASH, "golden container hash drifted");
+
+    let mut run = powifi_deploy::ckpt::resume_value(&c.root)
+        .unwrap_or_else(|e| panic!("golden checkpoint no longer restores: {e}"));
+    assert_eq!(run.epochs_done, 2);
+    let (bytes, hash) = powifi_deploy::checkpoint(&run).unwrap();
+    assert_eq!(hash, GOLDEN_HASH, "restore→save is not a fixed point");
+    assert_eq!(bytes, GOLDEN, "restore→save container bytes drifted");
+
+    while !run.done() {
+        run.step_epoch();
+    }
+    let (_, fin) = powifi_deploy::checkpoint(&run).unwrap();
+    assert_eq!(
+        fin, FINAL_HASH,
+        "resumed run reached a different final state than when the golden \
+         was committed — simulation behavior changed"
+    );
+    metrics::reset();
+}

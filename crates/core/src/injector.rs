@@ -32,7 +32,7 @@ pub struct InjectorCtl {
     /// Last `IP_Power` verdict, tracked only while tracing so gate
     /// open/close *transitions* can be emitted (observational only —
     /// nothing reads this back into the control loop).
-    gate_open: Option<bool>,
+    pub(crate) gate_open: Option<bool>,
 }
 
 impl Default for InjectorCtl {
@@ -81,10 +81,10 @@ pub fn record_injector_progress(injectors: &[InjectorHandle]) {
 /// private RNG stream, and the shared control block. Allocated once at
 /// [`spawn_injector`]; every tick re-posts the same block.
 pub struct InjectorSt {
-    iface: StationId,
-    cfg: PowerTrafficConfig,
-    rng: SimRng,
-    ctl: InjectorHandle,
+    pub(crate) iface: StationId,
+    pub(crate) cfg: PowerTrafficConfig,
+    pub(crate) rng: SimRng,
+    pub(crate) ctl: InjectorHandle,
 }
 
 /// Start an injector on `iface`, first tick at `start`. Returns the shared

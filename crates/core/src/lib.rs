@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod capper;
+pub mod ckpt;
 pub mod config;
 pub mod injector;
 pub mod multi_router;

@@ -52,12 +52,12 @@ pub fn constant_intensity() -> IntensityFn {
 /// schedule and the source's private RNG stream. Allocated once at
 /// [`install_traffic_source`].
 pub struct BurstSt {
-    src: StationId,
-    dst: StationId,
-    cfg: BackgroundConfig,
-    intensity: IntensityFn,
-    rng: SimRng,
-    on_rate: f64,
+    pub(crate) src: StationId,
+    pub(crate) dst: StationId,
+    pub(crate) cfg: BackgroundConfig,
+    pub(crate) intensity: IntensityFn,
+    pub(crate) rng: SimRng,
+    pub(crate) on_rate: f64,
 }
 
 /// Route a [`DeployEvent`] to its handler (called from the world's

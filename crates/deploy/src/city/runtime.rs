@@ -452,6 +452,41 @@ fn shard_outcome(shard: &Shard) -> ShardOutcome {
     }
 }
 
+/// Content hash of a shard's dynamic state at an epoch barrier: event-queue
+/// counters, the full MAC state tree, and every harvester's accumulated
+/// joules. The city world schedules through boxed closures, so a full
+/// restorable checkpoint is impossible here — but the *hash* gives the
+/// divergence observatory the same signal: two city runs that should agree
+/// (same topology across `--jobs` levels, same build across days) emit
+/// equal per-shard hash sequences, and the first unequal `(shard, epoch)`
+/// localizes a divergence to one shard and one epoch. Only computed when a
+/// stream handle is installed; purely observational.
+fn shard_state_hash(sh: &Shard) -> String {
+    use powifi_sim::ckpt::{self, Value};
+    let (now, next_seq, executed) = sh.q.ckpt_counters();
+    let v = Value::map()
+        .field(
+            "queue",
+            Value::map()
+                .field("now", Value::U64(now))
+                .field("next_seq", Value::U64(next_seq))
+                .field("executed", Value::U64(executed))
+                .build(),
+        )
+        .field("mac", powifi_mac::ckpt::save_mac(&sh.world.mac))
+        .field(
+            "harvested",
+            Value::List(
+                sh.harvesters
+                    .iter()
+                    .map(|h| Value::f64(h.harvested.0))
+                    .collect(),
+            ),
+        )
+        .build();
+    ckpt::state_hash(&v)
+}
+
 /// Emit one cumulative `progress` wire record for a shard at epoch end
 /// `now` — the fields [`powifi_sim::obs::agg`] windows a city run from.
 /// All values are totals since the run started (the aggregator diffs
@@ -536,7 +571,7 @@ fn run_partitioned(topo: &CityTopology, cfg: &CityConfig, part: &Partition) -> C
                     .map(|i| build_shard(topo, part, &part.shards[i], cfg.seed, cfg))
                     .collect();
                 let mut prev_end = SimTime::ZERO;
-                for &end in ends {
+                for (ei, &end) in ends.iter().enumerate() {
                     let epoch_ns = end.as_nanos() - prev_end.as_nanos();
                     let epoch = SimDuration::from_nanos(epoch_ns);
                     for sh in &mut shards {
@@ -564,7 +599,14 @@ fn run_partitioned(topo: &CityTopology, cfg: &CityConfig, part: &Partition) -> C
                                 mac_conformance::audit_now(&sh.world, end);
                             }
                             if let Some(hs) = &stream {
-                                emit_shard_progress(hs, (t + k * jobs) as u64, sh, end);
+                                let shard_ix = (t + k * jobs) as u64;
+                                emit_shard_progress(hs, shard_ix, sh, end);
+                                hs.emit_ckpt(
+                                    end,
+                                    Some(shard_ix),
+                                    ei as u64 + 1,
+                                    &shard_state_hash(sh),
+                                );
                             }
                         }
                         let mut a = lock(acc);
@@ -655,13 +697,21 @@ pub fn run_city_monolithic(topo: &CityTopology, cfg: &CityConfig) -> CityRun {
     let mut exports_total = 0u64;
     let mut audit_violations = 0u64;
     let mut prev_end = SimTime::ZERO;
-    for &end in &ends {
+    // Same live-telemetry contract as the sharded runner, over the single
+    // all-groups shard (tagged shard 0): two monolithic runs that should
+    // agree emit comparable per-epoch state hashes.
+    let stream = obs_stream::handle();
+    for (ei, &end) in ends.iter().enumerate() {
         let epoch_ns = end.as_nanos() - prev_end.as_nanos();
         let epoch = SimDuration::from_nanos(epoch_ns);
         shard.q.run_until(&mut shard.world, end);
         exports_total += publish_exports(&mut shard, &mut table);
         let (applied, consumed) = apply_corruption_imports(&mut shard, &part, &table, epoch_ns);
         advance_harvest(&mut shard, topo, &part, &table, epoch);
+        if let Some(hs) = &stream {
+            emit_shard_progress(hs, 0, &shard, end);
+            hs.emit_ckpt(end, Some(0), ei as u64 + 1, &shard_state_hash(&shard));
+        }
         if checking {
             mac_conformance::audit_now(&shard.world, end);
             let ledger = EpochExchange {

@@ -10,6 +10,7 @@
 
 pub mod background;
 pub mod city;
+pub mod ckpt;
 pub mod diurnal;
 pub mod experiment;
 pub mod geometry;
@@ -25,6 +26,7 @@ pub use city::{
     apartment_block, campus, diurnal_city, partition, run_city, run_city_monolithic, CityConfig,
     CityRun, CityTopology, Network, Partition,
 };
+pub use ckpt::{checkpoint, resume, OfficeRun, OfficeSpec, TrafficSpec};
 pub use diurnal::diurnal_intensity;
 pub use experiment::{
     neighbor_experiment, neighbor_experiment_in, plt_experiment, plt_experiment_in,

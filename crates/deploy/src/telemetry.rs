@@ -33,12 +33,12 @@ pub const MONITOR_HARVESTER_FEET: f64 = 10.0;
 /// the harvest, so `harvest.live.energy_uj` tracks what a real sensor at
 /// that spot would have banked so far.
 pub struct EpochDriver {
-    epoch: SimDuration,
-    harvester: Harvester,
+    pub(crate) epoch: SimDuration,
+    pub(crate) harvester: Harvester,
     /// Receive power per office channel at the harvester.
     rx: Vec<(Hertz, Dbm)>,
     mediums: Vec<MediumId>,
-    prev_busy: Vec<SimDuration>,
+    pub(crate) prev_busy: Vec<SimDuration>,
 }
 
 impl EpochDriver {

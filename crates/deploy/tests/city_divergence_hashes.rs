@@ -1,0 +1,115 @@
+//! The city divergence observatory: a sharded run with a live stream
+//! installed emits one `ckpt` record per shard per epoch carrying a
+//! content hash of that shard's dynamic state. Because the sharded runtime
+//! is an exact decomposition, the per-`(shard, epoch)` hash sequence must
+//! be *identical at any `--jobs` level* — and when two runs that should
+//! agree don't, `Aggregator::first_ckpt_divergence` localizes the first
+//! disagreement to one shard and one epoch from the captures alone.
+
+use powifi_deploy::city::runtime::{run_city, run_city_monolithic, CityConfig};
+use powifi_deploy::city::topology::apartment_block;
+use powifi_sim::obs::agg::{AggConfig, Aggregator};
+use powifi_sim::obs::stream::{self, Egress};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+fn cfg(seed: u64, jobs: usize) -> CityConfig {
+    CityConfig {
+        seed,
+        jobs,
+        max_group: 8,
+        max_shard: 24,
+        ..CityConfig::default()
+    }
+}
+
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Run a city with a live stream installed and return the aggregated
+/// capture. `monolithic` switches to the unsharded reference runner.
+fn capture(seed: u64, jobs: usize, monolithic: bool) -> Aggregator {
+    let topo = apartment_block(64, 42);
+    let egress = Egress::with_default_cap();
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    let writer = stream::spawn_writer(Arc::clone(&egress), SharedBuf(Arc::clone(&buf)));
+    let prev = stream::install(stream::Handle::new(Arc::clone(&egress), "city"));
+    let run = if monolithic {
+        run_city_monolithic(&topo, &cfg(seed, jobs))
+    } else {
+        run_city(&topo, &cfg(seed, jobs))
+    };
+    assert!(run.shards > 1, "topology must actually shard");
+    assert!(run.epochs > 1, "need several epoch barriers");
+    match prev {
+        Some(h) => stream::install(h),
+        None => stream::uninstall(),
+    };
+    assert_eq!(egress.dropped(), 0, "egress dropped records");
+    egress.close();
+    writer.join().unwrap();
+    let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+    let mut agg = Aggregator::new(&AggConfig::default());
+    for line in text.lines() {
+        agg.ingest_line(line).unwrap();
+    }
+    agg
+}
+
+#[test]
+fn shard_state_hashes_are_invariant_across_jobs() {
+    let a = capture(42, 1, false);
+    let b = capture(42, 4, false);
+    assert!(
+        !a.ckpt_hashes().is_empty(),
+        "sharded run must emit ckpt records"
+    );
+    // One hash per shard per epoch, and the full keyed map — shard ids,
+    // epochs, hashes — is identical whatever the thread count.
+    assert_eq!(
+        a.ckpt_hashes(),
+        b.ckpt_hashes(),
+        "per-shard state hashes diverged between jobs=1 and jobs=4"
+    );
+    assert!(a.first_ckpt_divergence(&b).is_none());
+}
+
+#[test]
+fn divergence_localizes_to_shard_and_epoch() {
+    let a = capture(42, 2, false);
+    let c = capture(43, 2, false);
+    let (key, ha, hc) = a
+        .first_ckpt_divergence(&c)
+        .expect("different seeds must diverge");
+    let (deployment, shard, epoch) = key;
+    assert_eq!(deployment, "city");
+    assert!(shard.is_some(), "city ckpt records are shard-tagged");
+    assert!(*epoch >= 1);
+    assert_ne!(ha, hc);
+}
+
+#[test]
+fn monolithic_runner_emits_comparable_hashes() {
+    let a = capture(42, 1, true);
+    let b = capture(42, 1, true);
+    assert!(
+        !a.ckpt_hashes().is_empty(),
+        "monolithic run must emit ckpt records"
+    );
+    // All records cover the single all-groups shard, tagged shard 0.
+    assert!(a
+        .ckpt_hashes()
+        .keys()
+        .all(|(_, shard, _)| *shard == Some(0)));
+    assert_eq!(a.ckpt_hashes(), b.ckpt_hashes());
+}

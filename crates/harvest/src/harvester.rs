@@ -140,6 +140,27 @@ impl Harvester {
         }
     }
 
+    /// Checkpoint view of the private dynamic fields:
+    /// `(output_on, elapsed, design_efficiency)`. The public fields
+    /// (`store`, `harvested`, `incident`) are checkpointed directly by the
+    /// deployment layer.
+    pub fn ckpt_state(&self) -> (bool, SimDuration, Option<f64>) {
+        (self.output_on, self.elapsed, self.design_efficiency)
+    }
+
+    /// Overlay the private dynamic fields captured by
+    /// [`Harvester::ckpt_state`].
+    pub fn ckpt_restore(
+        &mut self,
+        output_on: bool,
+        elapsed: SimDuration,
+        design_efficiency: Option<f64>,
+    ) {
+        self.output_on = output_on;
+        self.elapsed = elapsed;
+        self.design_efficiency = design_efficiency;
+    }
+
     /// Step the harvester by `dt` with the given instantaneous per-channel
     /// input powers at the antenna.
     pub fn advance(&mut self, dt: SimDuration, inputs: &[(Hertz, Dbm)]) {

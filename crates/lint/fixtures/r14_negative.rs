@@ -1,0 +1,11 @@
+// Fixture: R14 must stay quiet — checkpoint state as a pure function of
+// simulation state (sim time, counters, deterministic f64 bits). Wall-time
+// provenance, when wanted, belongs in the run manifest outside the hashed
+// state tree.
+pub fn save_run(run: &Run) -> Value {
+    Value::map()
+        .field("now_ns", Value::U64(run.queue.now().nanos()))
+        .field("executed", Value::U64(run.queue.executed()))
+        .field("harvested_j", Value::f64(run.harvester.harvested.0))
+        .build()
+}

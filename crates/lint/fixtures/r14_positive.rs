@@ -1,0 +1,16 @@
+// Fixture: R14 must fire — wall-clock sources in checkpoint-serialization
+// code. Scanned as `crates/bench/src/ckpt_run.rs`, where R2/R7 are exempt
+// and R14 is the only guard.
+use std::time::{SystemTime, UNIX_EPOCH};
+
+pub fn save_run(run: &Run) -> Value {
+    let stamp = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let t0 = Instant::now();
+    Value::map()
+        .field("saved_at_secs", Value::U64(stamp))
+        .field("elapsed_ns", Value::U64(t0.elapsed().as_nanos() as u64))
+        .build()
+}

@@ -1,7 +1,7 @@
 //! # powifi-lint
 //!
 //! In-repo static analyzer enforcing the workspace's determinism and
-//! unit-safety rules (R1–R13, see `docs/STATIC_ANALYSIS.md`). Self-contained:
+//! unit-safety rules (R1–R14, see `docs/STATIC_ANALYSIS.md`). Self-contained:
 //! a hand-written lexer and parser, no external dependencies, so it builds
 //! wherever the workspace builds.
 //!
@@ -133,6 +133,12 @@ pub fn classify(rel: &str) -> Option<FileContext> {
     // The streaming-telemetry wire layer is the one sim file allowed to
     // touch sockets — R13's file-level carve-out.
     let is_stream_impl = crate_name == "sim" && rest == ["src", "obs", "stream.rs"];
+    // Checkpoint-serialization code — R14's scope: library files named
+    // `ckpt*.rs` (ckpt.rs, ckpt_run.rs, …) or anywhere under a `ckpt/`
+    // directory, in every crate.
+    let fname = rest.last().copied().unwrap_or("");
+    let is_ckpt = !is_test_file
+        && (fname.starts_with("ckpt") && fname.ends_with(".rs") || rest.contains(&"ckpt"));
     Some(FileContext {
         crate_name,
         rel_path: rel.to_string(),
@@ -143,6 +149,7 @@ pub fn classify(rel: &str) -> Option<FileContext> {
         is_rng_impl,
         is_city,
         is_stream_impl,
+        is_ckpt,
     })
 }
 
@@ -483,6 +490,20 @@ mod tests {
                 .unwrap()
                 .is_stream_impl,
             "the carve-out is the wire layer only, not the whole obs tree"
+        );
+        let c = classify("crates/deploy/src/ckpt.rs").unwrap();
+        assert!(c.is_ckpt);
+        assert!(classify("crates/bench/src/ckpt_run.rs").unwrap().is_ckpt);
+        assert!(classify("crates/net/src/ckpt/frames.rs").unwrap().is_ckpt);
+        assert!(
+            !classify("crates/bench/src/replay.rs").unwrap().is_ckpt,
+            "the inspector reads checkpoints, it does not serialize state"
+        );
+        assert!(
+            !classify("crates/deploy/tests/ckpt_roundtrip.rs")
+                .unwrap()
+                .is_ckpt,
+            "test trees are out of every rule's scope, R14 included"
         );
         assert!(!classify("crates/deploy/src/lib.rs").unwrap().is_city);
         assert!(!classify("crates/sim/src/lib.rs").unwrap().is_queue_impl);

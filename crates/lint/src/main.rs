@@ -25,7 +25,7 @@ OPTIONS:
 
 Findings are suppressed inline with:
     // powifi-lint: allow(<rule>) — <reason>
-where <rule> is an id (R1..R12) or slug. See docs/STATIC_ANALYSIS.md.";
+where <rule> is an id (R1..R14) or slug. See docs/STATIC_ANALYSIS.md.";
 
 fn main() -> ExitCode {
     let mut deny_new = false;

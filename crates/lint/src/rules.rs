@@ -1,4 +1,4 @@
-//! The rule catalogue: R1–R13 over one parsed file (the [`crate::ast`]
+//! The rule catalogue: R1–R14 over one parsed file (the [`crate::ast`]
 //! engine) plus the workspace [`SymbolIndex`].
 //!
 //! Scope model: every rule declares which crates it patrols and whether it
@@ -19,7 +19,7 @@
 //! [`FileContext::is_stream_impl`].
 //!
 //! Two engine layers feed findings. *Token-level* passes (most of R1–R8,
-//! R12, R13) scan the raw stream with test-region masking, exactly as engine v1
+//! R12–R14) scan the raw stream with test-region masking, exactly as engine v1
 //! did — macro bodies included. *AST* passes use the parse tree: alias
 //! resolution through `use … as` (R1/R2/R7), typed-local float context
 //! (R4), closure captures and spawn provenance (R9), enclosing-fn seeding
@@ -39,7 +39,7 @@ pub const SIM_CRATES: [&str; 8] = [
 /// support stay closure-friendly.
 pub const HOT_CRATES: [&str; 5] = ["core", "harvest", "mac", "net", "sim"];
 
-/// The thirteen rules.
+/// The fourteen rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// R1: no `HashMap`/`HashSet` in simulation crates.
@@ -79,11 +79,16 @@ pub enum Rule {
     /// crates outside the streaming-telemetry egress
     /// (`crates/sim/src/obs/stream.rs`).
     SocketOutsideStream,
+    /// R14: no wall-clock sources (`Instant`, `SystemTime`, `UNIX_EPOCH`)
+    /// in checkpoint-serialization code — any crate, including
+    /// `crates/bench`, whose R2/R7 exemptions do not extend to state that
+    /// gets hashed into a checkpoint.
+    WallClockInCkpt,
 }
 
 impl Rule {
     /// All rules, in id order.
-    pub const ALL: [Rule; 13] = [
+    pub const ALL: [Rule; 14] = [
         Rule::HashIteration,
         Rule::AmbientNondeterminism,
         Rule::Unwrap,
@@ -97,6 +102,7 @@ impl Rule {
         Rule::NonExhaustiveDispatch,
         Rule::UnsafeInSim,
         Rule::SocketOutsideStream,
+        Rule::WallClockInCkpt,
     ];
 
     /// Short id (`R1`…`R13`), used in output and baseline entries.
@@ -115,6 +121,7 @@ impl Rule {
             Rule::NonExhaustiveDispatch => "R11",
             Rule::UnsafeInSim => "R12",
             Rule::SocketOutsideStream => "R13",
+            Rule::WallClockInCkpt => "R14",
         }
     }
 
@@ -134,6 +141,7 @@ impl Rule {
             Rule::NonExhaustiveDispatch => "non-exhaustive-dispatch",
             Rule::UnsafeInSim => "unsafe-in-sim",
             Rule::SocketOutsideStream => "socket-outside-stream",
+            Rule::WallClockInCkpt => "wall-clock-in-ckpt",
         }
     }
 
@@ -189,6 +197,11 @@ impl Rule {
                 "socket construction/blocking I/O in a simulation crate; network egress \
                  is obs::stream's job — emit records through its bounded queue instead"
             }
+            Rule::WallClockInCkpt => {
+                "wall-clock source (Instant/SystemTime/UNIX_EPOCH) in checkpoint code; \
+                 anything serialized must be a pure function of simulation state or \
+                 restore(checkpoint(t)) stops being byte-identical"
+            }
         }
     }
 
@@ -203,6 +216,10 @@ impl Rule {
             // The sharded runtime lives in deploy; the rule's file scope is
             // narrowed further via `FileContext::is_city`.
             Rule::ShardIsolation => crate_name == "deploy",
+            // Checkpoint code may live anywhere — including bench, whose
+            // R2/R7 exemptions are exactly why this rule exists. The file
+            // scope is narrowed via `FileContext::is_ckpt`.
+            Rule::WallClockInCkpt => true,
             _ => SIM_CRATES.contains(&crate_name),
         }
     }
@@ -238,6 +255,9 @@ pub struct FileContext {
     /// (`crates/sim/src/obs/stream.rs`) — the one simulation file allowed
     /// to touch sockets, so R13 skips it.
     pub is_stream_impl: bool,
+    /// File is checkpoint-serialization code (`ckpt*.rs`, or under a
+    /// `ckpt/` directory) — R14's scope, in every crate.
+    pub is_ckpt: bool,
 }
 
 impl FileContext {
@@ -253,6 +273,7 @@ impl FileContext {
             is_rng_impl: false,
             is_city: false,
             is_stream_impl: false,
+            is_ckpt: false,
         }
     }
 }
@@ -358,6 +379,12 @@ const ROUNDING_HELPERS: [&str; 4] = ["round", "floor", "ceil", "trunc"];
 /// is deliberately absent: it has its own rule (R7) with a carve-out for the
 /// profiler implementation.
 const AMBIENT_IDENTS: [&str; 4] = ["SystemTime", "thread_rng", "from_entropy", "OsRng"];
+
+/// Wall-clock sources that must never appear in checkpoint-serialization
+/// code (R14). A checkpoint is a pure function of simulation state; one
+/// wall-derived field breaks restore-then-run byte-identity and poisons
+/// every divergence hash downstream.
+const WALL_CLOCK_IDENTS: [&str; 3] = ["Instant", "SystemTime", "UNIX_EPOCH"];
 
 /// Trace-sink types whose mere mention outside obs/bench means a simulation
 /// layer is wiring its own observability plumbing (R6).
@@ -524,6 +551,27 @@ fn token_pass(
                 message: "`Instant` is a wall clock; only crates/bench and obs::prof may \
                           read it — attribute time with obs::prof spans instead"
                     .to_string(),
+            });
+        }
+        // R14 — wall-clock sources in checkpoint-serialization code. Fires
+        // in every crate, because bench's R2/R7 exemptions (progress bars,
+        // run timing) stop at the checkpoint boundary: serialized state must
+        // be a pure function of simulation state.
+        if active.contains(&Rule::WallClockInCkpt)
+            && ctx.is_ckpt
+            && t.kind == TokKind::Ident
+            && WALL_CLOCK_IDENTS.contains(&eff)
+        {
+            out.push(RawFinding {
+                line: t.line,
+                col: t.col,
+                rule: Rule::WallClockInCkpt,
+                message: format!(
+                    "`{}` in checkpoint code; wall time in serialized state breaks \
+                     restore-then-run byte-identity — stamp provenance in the manifest \
+                     (outside the hashed state tree) instead",
+                    t.text
+                ),
             });
         }
         // R13 — socket construction/blocking I/O outside the streaming wire
@@ -1539,6 +1587,60 @@ mod tests {
         let f = check(&c, src);
         assert!(f.iter().all(|f| f.rule != Rule::UnsafeInSim), "{f:?}");
         let f = run("#[cfg(test)]\nmod tests { fn t() { unsafe {} } }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    fn ckpt_ctx(crate_name: &str) -> FileContext {
+        let mut c = FileContext::lib(crate_name);
+        c.rel_path = format!("crates/{crate_name}/src/ckpt.rs");
+        c.is_ckpt = true;
+        c
+    }
+
+    #[test]
+    fn r14_fires_on_wall_clocks_in_ckpt_code_even_in_bench() {
+        let src = "use std::time::SystemTime;\n\
+             fn save_run(run: &Run) -> Value {\n\
+               let stamp = SystemTime::now().duration_since(std::time::UNIX_EPOCH);\n\
+               let t0 = Instant::now();\n\
+             }\n";
+        // Bench is exempt from R2/R7 — R14 is the only guard there, and it
+        // must fire on every wall-clock ident.
+        let f = check(&ckpt_ctx("bench"), src);
+        let r14: Vec<_> = f
+            .iter()
+            .filter(|f| f.rule == Rule::WallClockInCkpt)
+            .collect();
+        // SystemTime ×2 (use + call), UNIX_EPOCH, Instant.
+        assert_eq!(r14.len(), 4, "{r14:?}");
+        // In a sim crate the same code also trips R2/R7; R14 still reports
+        // its own findings.
+        let f = check(&ckpt_ctx("deploy"), src);
+        assert_eq!(
+            f.iter().filter(|f| f.rule == Rule::WallClockInCkpt).count(),
+            4,
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn r14_is_scoped_to_ckpt_files_and_sees_through_renames() {
+        let src = "use std::time::SystemTime as Clock;\nfn f() { let t = Clock::now(); }";
+        let f = check(&ckpt_ctx("bench"), src);
+        assert_eq!(
+            f.iter().filter(|f| f.rule == Rule::WallClockInCkpt).count(),
+            2,
+            "{f:?}"
+        );
+        // The same source in a non-ckpt bench file is the harness's
+        // business, not R14's.
+        let f = check(&FileContext::lib("bench"), src);
+        assert!(f.iter().all(|f| f.rule != Rule::WallClockInCkpt), "{f:?}");
+        // Pure simulation-state serialization stays quiet.
+        let f = check(
+            &ckpt_ctx("bench"),
+            "fn save(q: &Queue) -> Value { Value::U64(q.now().nanos()) }",
+        );
         assert!(f.is_empty(), "{f:?}");
     }
 

@@ -291,6 +291,48 @@ fn r13_is_exempt_in_the_stream_impl_and_bench() {
 }
 
 #[test]
+fn r14_positive_and_negative() {
+    // R14 is scoped to checkpoint files; scan at the real bench path where
+    // the R2/R7 bench exemptions would otherwise leave wall clocks unseen.
+    let pos = include_str!("../fixtures/r14_positive.rs");
+    let f = scan_source("crates/bench/src/ckpt_run.rs", pos);
+    assert!(f.iter().all(|f| f.rule == Rule::WallClockInCkpt), "{f:?}");
+    // `use {SystemTime, UNIX_EPOCH}` + SystemTime::now + UNIX_EPOCH +
+    // Instant::now = 5 sites.
+    assert_eq!(f.len(), 5, "{f:?}");
+    let neg = include_str!("../fixtures/r14_negative.rs");
+    assert!(scan_source("crates/bench/src/ckpt_run.rs", neg).is_empty());
+}
+
+#[test]
+fn r14_covers_ckpt_files_in_every_crate_and_nothing_else() {
+    let pos = include_str!("../fixtures/r14_positive.rs");
+    // Sim-crate checkpoint modules get R14 on top of R2/R7.
+    let f = scan_source("crates/deploy/src/ckpt.rs", pos);
+    assert_eq!(
+        f.iter()
+            .filter(|f| f.rule == Rule::WallClockInCkpt)
+            .count(),
+        5,
+        "{f:?}"
+    );
+    // Outside checkpoint files the rule is silent — bench harness timing
+    // (progress bars, run duration) is legitimate wall-clock use.
+    let f = scan_source("crates/bench/src/progress.rs", pos);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn r14_suppression_works_in_ckpt_files() {
+    let src = "pub fn manifest_stamp() -> u64 {\n\
+               // powifi-lint: allow(wall-clock-in-ckpt) — manifest provenance, not hashed state\n\
+               std::time::SystemTime::now().elapsed().map(|d| d.as_secs()).unwrap_or(0)\n\
+             }\n";
+    let f = scan_source("crates/bench/src/ckpt_run.rs", src);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
 fn suppressions_silence_every_fixture_violation() {
     let f = scan_fixture(include_str!("../fixtures/suppressed.rs"));
     assert!(f.is_empty(), "{f:?}");

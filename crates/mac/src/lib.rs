@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod airtime;
+pub mod ckpt;
 pub mod conformance;
 pub mod frame;
 pub mod occupancy;

@@ -15,27 +15,27 @@ use powifi_sim::{PowerEnvelope, Seconds, SimDuration, SimTime};
 /// Per-channel occupancy accounting.
 #[derive(Debug)]
 pub struct OccupancyMonitor {
-    bin: SimDuration,
+    pub(crate) bin: SimDuration,
     /// Dense per-station "is the router" flags, indexed by station id and
     /// grown on demand — [`record`](Self::record) runs once per frame, so
     /// membership must be an array load, not a tree probe.
-    tracked: Vec<bool>,
+    pub(crate) tracked: Vec<bool>,
     /// Per-bin tshark-metric on-air time of tracked stations.
-    tshark_tracked: Vec<Seconds>,
+    pub(crate) tshark_tracked: Vec<Seconds>,
     /// Per-bin tshark-metric on-air time of everyone.
-    tshark_all: Vec<Seconds>,
+    pub(crate) tshark_all: Vec<Seconds>,
     /// Per-bin physical on-air time (preamble included) of tracked stations.
-    phys_tracked: Vec<Seconds>,
+    pub(crate) phys_tracked: Vec<Seconds>,
     /// Optional fine RF envelope of tracked transmissions (1.0 = on air).
-    envelope: Option<PowerEnvelope>,
-    envelope_busy_until: SimTime,
+    pub(crate) envelope: Option<PowerEnvelope>,
+    pub(crate) envelope_busy_until: SimTime,
     /// Total tshark-metric on-air time per source station (dense, indexed by
     /// station id), so co-channel routers can be accounted separately.
-    src_totals: Vec<Seconds>,
+    pub(crate) src_totals: Vec<Seconds>,
     /// One-entry memo of the last `(bytes, rate)` → `(tshark, phys)`
     /// airtime conversion; the injector repeats one frame shape millions of
     /// times, and the cached value is exactly the recomputation.
-    airtime_memo: Option<(u32, Bitrate, Seconds, SimDuration)>,
+    pub(crate) airtime_memo: Option<(u32, Bitrate, Seconds, SimDuration)>,
 }
 
 impl OccupancyMonitor {

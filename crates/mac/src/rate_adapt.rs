@@ -23,20 +23,20 @@ pub enum RateController {
 
 /// Per-rate statistics for the Minstrel controller.
 #[derive(Debug, Clone, Copy)]
-struct RateStats {
-    attempts: u32,
-    successes: u32,
-    ewma_prob: f64,
+pub(crate) struct RateStats {
+    pub(crate) attempts: u32,
+    pub(crate) successes: u32,
+    pub(crate) ewma_prob: f64,
 }
 
 /// Minstrel-style controller state over the OFDM ladder.
 #[derive(Debug, Clone)]
 pub struct MinstrelState {
-    stats: [RateStats; 8],
-    best: usize,
-    probing: Option<usize>,
-    frames: u32,
-    window: u32,
+    pub(crate) stats: [RateStats; 8],
+    pub(crate) best: usize,
+    pub(crate) probing: Option<usize>,
+    pub(crate) frames: u32,
+    pub(crate) window: u32,
 }
 
 impl MinstrelState {
@@ -104,13 +104,13 @@ impl MinstrelState {
 /// AARF controller state.
 #[derive(Debug, Clone)]
 pub struct AarfState {
-    rate: Bitrate,
-    success_streak: u32,
-    fail_streak: u32,
+    pub(crate) rate: Bitrate,
+    pub(crate) success_streak: u32,
+    pub(crate) fail_streak: u32,
     /// Successes required before probing the next rate up.
-    probe_threshold: u32,
+    pub(crate) probe_threshold: u32,
     /// True if the last step-up has not yet been validated by a success.
-    probing: bool,
+    pub(crate) probing: bool,
 }
 
 impl RateController {

@@ -32,8 +32,8 @@ pub struct FrameRecord {
 /// A bounded capture ring.
 #[derive(Debug)]
 pub struct FrameTrace {
-    ring: VecDeque<FrameRecord>,
-    capacity: usize,
+    pub(crate) ring: VecDeque<FrameRecord>,
+    pub(crate) capacity: usize,
     /// Total frames observed (including those evicted from the ring).
     pub observed: u64,
 }

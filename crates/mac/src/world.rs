@@ -107,7 +107,7 @@ pub fn dispatch_mac<W: MacWorld>(w: &mut W, q: &mut Queue<W>, ev: MacEvent) {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum StaState {
+pub(crate) enum StaState {
     Idle,
     Contending,
     Transmitting,
@@ -121,16 +121,16 @@ enum StaState {
 /// rather than starve it).
 #[derive(Debug)]
 pub struct Station {
-    medium: MediumId,
+    pub(crate) medium: MediumId,
     /// queues[0]: data/beacons/management; queues[1]: power broadcasts.
-    queues: [VecDeque<Frame>; 2],
-    rr: usize,
-    queue_cap: usize,
-    state: StaState,
-    cw: u32,
-    retries: u8,
-    rate_ctl: RateController,
-    wants_broadcast: bool,
+    pub(crate) queues: [VecDeque<Frame>; 2],
+    pub(crate) rr: usize,
+    pub(crate) queue_cap: usize,
+    pub(crate) state: StaState,
+    pub(crate) cw: u32,
+    pub(crate) retries: u8,
+    pub(crate) rate_ctl: RateController,
+    pub(crate) wants_broadcast: bool,
     /// Counters for tests and reporting.
     pub frames_sent: u64,
     /// Unicast retransmission attempts.
@@ -139,43 +139,43 @@ pub struct Station {
     pub queue_drops: u64,
 }
 
-struct Contender {
-    sta: StationId,
-    rem: u32,
+pub(crate) struct Contender {
+    pub(crate) sta: StationId,
+    pub(crate) rem: u32,
     /// Backoff drawn when the access attempt began; `rem` may only count
     /// down from here (checked by the conformance layer).
-    drawn: u32,
-    count_start: SimTime,
+    pub(crate) drawn: u32,
+    pub(crate) count_start: SimTime,
 }
 
-struct InFlight {
-    sta: StationId,
-    rate: Bitrate,
-    delivered: bool,
-    class: usize,
+pub(crate) struct InFlight {
+    pub(crate) sta: StationId,
+    pub(crate) rate: Bitrate,
+    pub(crate) delivered: bool,
+    pub(crate) class: usize,
 }
 
 /// A collision domain (one Wi-Fi channel).
 pub struct Medium {
-    idle_since: SimTime,
-    busy_until: SimTime,
+    pub(crate) idle_since: SimTime,
+    pub(crate) busy_until: SimTime,
     /// Cumulative airtime: the sum of every busy period's duration. Busy
     /// periods never overlap, so this may not exceed wall time — the
     /// airtime-conservation invariant.
-    busy_accum: SimDuration,
-    contenders: Vec<Contender>,
-    in_flight: Vec<InFlight>,
-    arb: Option<EventHandle>,
-    monitor: OccupancyMonitor,
-    trace: Option<FrameTrace>,
+    pub(crate) busy_accum: SimDuration,
+    pub(crate) contenders: Vec<Contender>,
+    pub(crate) in_flight: Vec<InFlight>,
+    pub(crate) arb: Option<EventHandle>,
+    pub(crate) monitor: OccupancyMonitor,
+    pub(crate) trace: Option<FrameTrace>,
     /// Stations on this medium that opted into broadcast delivery, kept
     /// sorted by station index (the deterministic fan-out order).
-    bcast_listeners: Vec<StationId>,
+    pub(crate) bcast_listeners: Vec<StationId>,
     /// External frame-corruption probability (fault injection).
-    corruption: f64,
+    pub(crate) corruption: f64,
     /// Medium-private randomness stream (see [`Mac::seed_medium_rng`]);
     /// `None` draws from the MAC-wide stream.
-    rng: Option<SimRng>,
+    pub(crate) rng: Option<SimRng>,
     /// Ground-truth collision counter.
     pub collisions: u64,
     /// Ground-truth count of frames lost to injected corruption.
@@ -186,24 +186,24 @@ pub struct Medium {
 pub struct Mac {
     /// Timing constants (802.11g by default).
     pub timing: MacTiming,
-    stations: Vec<Station>,
-    mediums: Vec<Medium>,
+    pub(crate) stations: Vec<Station>,
+    pub(crate) mediums: Vec<Medium>,
     /// Dense link SNR matrix, row-major `[a * n + b]` over station indices;
     /// unset entries default to a strong 40 dB link. Grown on
     /// [`Mac::add_station`].
-    links: Vec<Db>,
+    pub(crate) links: Vec<Db>,
     /// Optional block-fading processes per directed link, same key scheme
     /// as `links`.
-    faders: Vec<Option<powifi_rf::BlockFader>>,
+    pub(crate) faders: Vec<Option<powifi_rf::BlockFader>>,
     /// Memoized [`packet_error_rate`] per directed link at the last-used
     /// rate. Static links recompute the same logistic (one `exp`) for every
     /// broadcast listener on every frame; caching it is free because the
     /// cached value is exactly the recomputation. Faded links bypass the
     /// cache (their SNR varies with time), and any SNR/fader mutation
     /// invalidates the entry.
-    per_cache: Vec<Option<(Bitrate, f64)>>,
-    rng: SimRng,
-    next_frame_id: u64,
+    pub(crate) per_cache: Vec<Option<(Bitrate, f64)>>,
+    pub(crate) rng: SimRng,
+    pub(crate) next_frame_id: u64,
     timing_bug: bool,
     /// Scratch buffers reused across [`arb_fire`] / [`tx_end`] invocations so
     /// the two hottest handlers do not pay a heap allocation per

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod state;
 pub mod tcp;
 pub mod udp;
@@ -65,6 +66,15 @@ pub enum NetEvent {
         /// Object size in bytes.
         bytes: u64,
     },
+    /// Authorize `bytes` more on a TCP flow at a scheduled instant — the
+    /// typed form of a one-shot `tcp_push` closure, so deferred pushes
+    /// survive checkpointing.
+    TcpPush {
+        /// Flow id.
+        flow: FlowId,
+        /// Bytes to authorize.
+        bytes: u64,
+    },
 }
 
 /// Route a [`NetEvent`] to its handler. Worlds call this from their
@@ -83,6 +93,7 @@ pub fn dispatch_net<W: NetWorld>(w: &mut W, q: &mut Queue<W>, ev: NetEvent) {
         NetEvent::TcpRto { flow, epoch } => tcp::rto_fire(w, q, flow, epoch),
         NetEvent::PageStart { page } => web::page_start(w, q, page),
         NetEvent::PageFetch { page, conn, bytes } => web::page_fetch(w, q, page, conn, bytes),
+        NetEvent::TcpPush { flow, bytes } => tcp::tcp_push(w, q, flow, bytes),
     }
 }
 

@@ -32,7 +32,7 @@ pub enum Flow {
 /// array access, and iteration order is ascending id by construction.
 #[derive(Default)]
 pub struct NetState {
-    flows: Vec<Flow>,
+    pub(crate) flows: Vec<Flow>,
     /// In-progress and completed page loads.
     pub pages: Vec<PageState>,
 }

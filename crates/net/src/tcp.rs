@@ -35,29 +35,29 @@ pub struct TcpFlow {
     /// Receiving station.
     pub dst: StationId,
     // --- sender ---
-    cwnd: f64,
-    ssthresh: f64,
+    pub(crate) cwnd: f64,
+    pub(crate) ssthresh: f64,
     /// Lowest unacknowledged segment (1-based; 1 is the first segment).
-    snd_una: u64,
+    pub(crate) snd_una: u64,
     /// Next new segment to transmit.
-    next_seq: u64,
+    pub(crate) next_seq: u64,
     /// Total segments authorized (grows via [`tcp_push`]).
-    budget: u64,
-    dup_acks: u32,
+    pub(crate) budget: u64,
+    pub(crate) dup_acks: u32,
     /// NewReno recovery: highest segment outstanding when loss was detected.
-    recovery_high: Option<u64>,
-    srtt: Option<f64>,
-    rttvar: f64,
-    rto: f64,
+    pub(crate) recovery_high: Option<u64>,
+    pub(crate) srtt: Option<f64>,
+    pub(crate) rttvar: f64,
+    pub(crate) rto: f64,
     /// Send timestamps of the outstanding window, indexed by
     /// `seq - snd_una`: slot `i` holds `(sent time, was retransmitted)` for
     /// segment `snd_una + i`. ACKs pop the front; new segments push the
     /// back — O(1) at both ends, no tree rebalancing per segment.
-    sent_at: VecDeque<(SimTime, bool)>,
-    timer_epoch: u64,
+    pub(crate) sent_at: VecDeque<(SimTime, bool)>,
+    pub(crate) timer_epoch: u64,
     // --- receiver ---
-    rcv_next: u64,
-    ooo: BTreeSet<u64>,
+    pub(crate) rcv_next: u64,
+    pub(crate) ooo: BTreeSet<u64>,
     /// Goodput at the receiver, 500 ms bins.
     pub delivered: BinnedThroughput,
     /// Set when every budgeted segment has been ACKed.
@@ -71,7 +71,7 @@ pub struct TcpFlow {
 }
 
 impl TcpFlow {
-    fn new(id: FlowId, src: StationId, dst: StationId) -> TcpFlow {
+    pub(crate) fn new(id: FlowId, src: StationId, dst: StationId) -> TcpFlow {
         TcpFlow {
             id,
             src,

@@ -18,7 +18,7 @@ pub struct UdpFlowState {
 }
 
 impl UdpFlowState {
-    fn new() -> UdpFlowState {
+    pub(crate) fn new() -> UdpFlowState {
         UdpFlowState {
             delivered: BinnedThroughput::new(SimDuration::from_millis(500)),
             packets: 0,

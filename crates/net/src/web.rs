@@ -87,6 +87,19 @@ impl PageState {
         self.finished
             .map(|f| f.duration_since(self.started).as_secs_f64())
     }
+
+    #[cfg(test)]
+    pub(crate) fn stub_for_tests() -> PageState {
+        PageState {
+            site: top10_us()[0],
+            started: SimTime::ZERO,
+            finished: None,
+            conns: Vec::new(),
+            pending: VecDeque::new(),
+            active: 0,
+            wan: WanConfig::default(),
+        }
+    }
 }
 
 /// Begin loading `site` from `router` (the AP-side TCP sender) to `client`

@@ -57,6 +57,19 @@ impl BlockFader {
         self.current_fade
     }
 
+    /// Checkpoint view: RNG position plus the current block and fade, so a
+    /// restored fader continues the exact same fade sequence.
+    pub fn ckpt_state(&self) -> ((u64, [u64; 4]), u64, f64) {
+        (self.rng.ckpt_state(), self.current_block, self.current_fade.0)
+    }
+
+    /// Overlay a position captured by [`BlockFader::ckpt_state`].
+    pub fn ckpt_restore(&mut self, rng: (u64, [u64; 4]), block: u64, fade_db: f64) {
+        self.rng = SimRng::from_ckpt_state(rng.0, rng.1);
+        self.current_block = block;
+        self.current_fade = Db(fade_db);
+    }
+
     /// Draw one fade sample: a Rician envelope converted to dB.
     fn draw(&mut self) -> Db {
         let k = 10f64.powf(self.k_factor_db / 10.0);

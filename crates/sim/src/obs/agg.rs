@@ -107,6 +107,12 @@ pub struct Aggregator {
     window_ns: u64,
     header: Option<SessionHeader>,
     deployments: BTreeMap<String, Series>,
+    /// State hashes from `ckpt` records, keyed by
+    /// `(deployment, shard, epoch)`. Two captures of runs that should be
+    /// identical diverge exactly where these maps first disagree — the
+    /// live-fleet early warning that `powifi-replay bisect` then pinpoints
+    /// offline from the chain files.
+    ckpt_hashes: BTreeMap<(String, Option<u64>, u64), String>,
     max_t: u64,
     records: u64,
     seq_seen: u64,
@@ -179,6 +185,28 @@ impl Aggregator {
         }
     }
 
+    /// State hashes seen in `ckpt` records, keyed by
+    /// `(deployment, shard, epoch)`.
+    pub fn ckpt_hashes(&self) -> &BTreeMap<(String, Option<u64>, u64), String> {
+        &self.ckpt_hashes
+    }
+
+    /// First `(deployment, shard, epoch)` key at which this capture's
+    /// checkpoint hashes disagree with `other`'s — the live divergence
+    /// check for two runs that should be identical. Keys present in only
+    /// one capture are skipped (different cadence is not divergence).
+    pub fn first_ckpt_divergence<'a>(
+        &'a self,
+        other: &'a Aggregator,
+    ) -> Option<(&'a (String, Option<u64>, u64), &'a str, &'a str)> {
+        self.ckpt_hashes.iter().find_map(|(k, h)| {
+            other
+                .ckpt_hashes
+                .get(k)
+                .and_then(|h2| (h != h2).then_some((k, h.as_str(), h2.as_str())))
+        })
+    }
+
     /// Ingest one wire line (header or record). Blank lines are ignored.
     pub fn ingest_line(&mut self, line: &str) -> Result<(), String> {
         let line = line.trim();
@@ -241,6 +269,14 @@ impl Aggregator {
                     .entry(shard)
                     .or_default()
                     .insert(t, cum);
+            }
+            "ckpt" => {
+                let epoch = get_u64(entries, "epoch").ok_or("ckpt record without epoch")?;
+                let hash = get_str(entries, "hash")
+                    .ok_or("ckpt record without hash")?
+                    .to_string();
+                self.ckpt_hashes
+                    .insert((deployment, get_u64(entries, "shard"), epoch), hash);
             }
             // Traces pass through untouched; `end` only extends max_t
             // (already done above) so the final partial window renders.
@@ -534,6 +570,44 @@ mod tests {
             .ingest_line("{\"seq\":0,\"deployment\":\"d\",\"kind\":\"nope\",\"t\":1}")
             .is_err());
         assert!(agg.ingest_line("").is_ok(), "blank lines are fine");
+    }
+
+    #[test]
+    fn ckpt_records_index_by_deployment_shard_epoch() {
+        let mut a = Aggregator::new(&AggConfig::default());
+        a.ingest_line(
+            "{\"seq\":0,\"deployment\":\"d0\",\"kind\":\"ckpt\",\"t\":1,\"epoch\":1,\
+             \"hash\":\"aa\"}",
+        )
+        .unwrap();
+        a.ingest_line(
+            "{\"seq\":1,\"deployment\":\"city\",\"kind\":\"ckpt\",\"t\":1,\"shard\":3,\
+             \"epoch\":1,\"hash\":\"bb\"}",
+        )
+        .unwrap();
+        assert_eq!(a.ckpt_hashes().len(), 2);
+        assert_eq!(a.ckpt_hashes()[&("d0".into(), None, 1)], "aa");
+        assert!(
+            a.ingest_line("{\"seq\":2,\"deployment\":\"d0\",\"kind\":\"ckpt\",\"t\":1}")
+                .is_err(),
+            "ckpt without epoch/hash must error"
+        );
+
+        let mut b = Aggregator::new(&AggConfig::default());
+        b.ingest_line(
+            "{\"seq\":0,\"deployment\":\"d0\",\"kind\":\"ckpt\",\"t\":1,\"epoch\":1,\
+             \"hash\":\"aa\"}",
+        )
+        .unwrap();
+        b.ingest_line(
+            "{\"seq\":1,\"deployment\":\"city\",\"kind\":\"ckpt\",\"t\":1,\"shard\":3,\
+             \"epoch\":1,\"hash\":\"cc\"}",
+        )
+        .unwrap();
+        let (key, ha, hb) = a.first_ckpt_divergence(&b).expect("hashes differ");
+        assert_eq!(key, &("city".into(), Some(3), 1));
+        assert_eq!((ha, hb), ("bb", "cc"));
+        assert!(b.first_ckpt_divergence(&b).is_none(), "self-compare agrees");
     }
 
     #[test]

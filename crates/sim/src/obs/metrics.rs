@@ -233,6 +233,82 @@ pub fn reset() {
     });
 }
 
+/// Every well-known key, for snapshot-restore key interning.
+const STATIC_KEYS: &[&str] = &[
+    keys::SIM_EVENTS,
+    keys::MAC_FRAMES,
+    keys::MAC_COLLISIONS,
+    keys::MAC_RETRANSMISSIONS,
+    keys::MAC_QUEUE_DROPS,
+    keys::MAC_OCCUPANCY,
+    keys::CORE_POWER_SENT,
+    keys::CORE_POWER_GATED,
+    keys::HARVEST_COLD_STARTS,
+    keys::HARVEST_BROWNOUTS,
+    keys::NET_TCP_RTO,
+    keys::NET_TCP_FAST_RETRANSMIT,
+    keys::CITY_SHARDS,
+    keys::CITY_SHARD_NETWORKS,
+    keys::CITY_SHARD_EVENTS,
+    keys::CITY_BOUNDARY_LINKS,
+    keys::CITY_BOUNDARY_EXPORTS,
+    keys::CITY_EPOCHS,
+    keys::OBS_STREAM_DROPPED,
+    keys::OBS_STREAM_QUEUE_DEPTH,
+    keys::MAC_LIVE_FRAMES,
+    keys::MAC_LIVE_RETRANSMISSIONS,
+    keys::MAC_LIVE_CORRUPTED,
+    keys::MAC_LIVE_BUSY_NS,
+    keys::CORE_LIVE_POWER_SENT,
+    keys::CORE_LIVE_POWER_GATED,
+    keys::HARVEST_LIVE_ENERGY_UJ,
+];
+
+/// Intern a snapshot key as `&'static str`: well-known keys resolve to
+/// their constants; anything else (test-only names, future keys read from
+/// an older build's checkpoint) is leaked once. Restores happen at most
+/// once per process run, so the leak is bounded and tiny.
+fn intern_key(k: &str) -> &'static str {
+    STATIC_KEYS
+        .iter()
+        .find(|s| **s == k)
+        .copied()
+        .unwrap_or_else(|| Box::leak(k.to_string().into_boxed_str()))
+}
+
+/// Replace this thread's registry with the contents of `s` — the
+/// checkpoint-restore inverse of [`snapshot`]. Restored histograms carry
+/// only the non-empty buckets a summary retains, which is exactly what
+/// [`snapshot`] re-renders, so snapshot→restore→snapshot is a fixed point.
+pub fn restore(s: &MetricsSnapshot) {
+    REGISTRY.with(|r| {
+        let mut r = r.borrow_mut();
+        r.counters.clear();
+        r.gauges.clear();
+        r.histograms.clear();
+        for (k, v) in &s.counters {
+            r.counters.insert(intern_key(k), *v);
+        }
+        for (k, v) in &s.gauges {
+            r.gauges.insert(intern_key(k), *v);
+        }
+        for (k, h) in &s.histograms {
+            let mut hist = Hist::new();
+            hist.count = h.count;
+            hist.sum = h.sum;
+            hist.min = h.min;
+            hist.max = h.max;
+            for &(bound, n) in &h.buckets {
+                let idx = (0..BUCKET_COUNT)
+                    .find(|&i| bucket_bound(i) == bound)
+                    .unwrap_or(BUCKET_COUNT - 1);
+                hist.buckets[idx] = n;
+            }
+            r.histograms.insert(intern_key(k), hist);
+        }
+    });
+}
+
 /// Rendered summary of one histogram in a [`MetricsSnapshot`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSummary {
@@ -462,6 +538,28 @@ mod tests {
         assert_eq!(hs.max, 100.0);
         // v<1 → bound 1; [1,2) → bound 2; [2,4) → bound 4; [64,128) → 128.
         assert_eq!(hs.buckets, vec![(1.0, 2), (2.0, 2), (4.0, 1), (128.0, 1)]);
+        reset();
+    }
+
+    #[test]
+    fn restore_is_snapshot_inverse() {
+        reset();
+        counter(keys::SIM_EVENTS).add(42);
+        counter("t.custom").add(9); // non-well-known key takes the leak path
+        gauge(keys::OBS_STREAM_QUEUE_DEPTH).set(17.0);
+        let h = histogram("t.h");
+        for v in [0.25, 1.5, 3.0, 100.0, 1e300] {
+            h.observe(v);
+        }
+        let snap = snapshot();
+        reset();
+        assert_eq!(snapshot(), MetricsSnapshot::default());
+        restore(&snap);
+        assert_eq!(snapshot(), snap, "snapshot→restore→snapshot fixed point");
+        // The restored registry stays live: further observations accumulate
+        // on top of the restored totals.
+        counter(keys::SIM_EVENTS).add(8);
+        assert_eq!(snapshot().counter(keys::SIM_EVENTS), 50);
         reset();
     }
 

@@ -10,8 +10,11 @@
 //!   loss as a gap. Record kinds are `metrics` (a full
 //!   [`MetricsSnapshot`] at a sim-time epoch boundary), `trace` (one
 //!   [`trace::TraceRecord`]), `progress` (cumulative per-shard counters
-//!   from the sharded city runtime, tagged with `shard`), and `end` (the
-//!   deployment finished; carries the final drop counter).
+//!   from the sharded city runtime, tagged with `shard`), `ckpt` (a
+//!   checkpoint was written: the epoch it covers plus the content hash of
+//!   the state tree, so consumers can correlate resume points with the
+//!   telemetry timeline), and `end` (the deployment finished; carries the
+//!   final drop counter).
 //!
 //! ## Backpressure: drop-with-counter, never block
 //!
@@ -339,6 +342,29 @@ impl Handle {
         self.egress.push_record(&body)
     }
 
+    /// Emit a `ckpt` record: a checkpoint (or, for city shards, a state
+    /// hash) was taken at sim time `t`, covering `epoch` epochs, with
+    /// content hash `hash` (the 32-hex digest from `ckpt::state_hash`).
+    /// `shard: Some(s)` tags the record with the city shard it covers, the
+    /// same tagging as `progress` records; live fleets detect divergence by
+    /// comparing these hashes at equal `(deployment, shard, epoch)` keys.
+    pub fn emit_ckpt(
+        &self,
+        t: SimTime,
+        shard: Option<u64>,
+        epoch: u64,
+        hash: &str,
+    ) -> PushOutcome {
+        let mut body = self.body_prefix("ckpt", t);
+        if let Some(s) = shard {
+            let _ = write!(body, ",\"shard\":{s}");
+        }
+        let _ = write!(body, ",\"epoch\":{epoch},\"hash\":");
+        push_json_str(&mut body, hash);
+        body.push('}');
+        self.egress.push_record(&body)
+    }
+
     /// Emit the deployment's `end` record, carrying the egress drop total
     /// at emission time.
     pub fn emit_end(&self, t: SimTime) -> PushOutcome {
@@ -397,9 +423,27 @@ pub fn epoch_mark(t: SimTime) {
     if let Some(h) = handle() {
         // Record this sink's consumer lag first so it rides in the snapshot
         // (`obs.stream.queue_depth`, alongside the `obs.stream.dropped`
-        // counter the egress bumps on overflow).
-        metrics::gauge(metrics::keys::OBS_STREAM_QUEUE_DEPTH).set(h.egress().depth() as f64);
+        // counter the egress bumps on overflow). The gauge is the *peak*
+        // depth since the stream opened, not the instantaneous depth: an
+        // epoch boundary is the quietest moment of the cycle, so sampling
+        // `depth()` here systematically under-reports how close the queue
+        // came to overflow mid-epoch.
+        metrics::gauge(metrics::keys::OBS_STREAM_QUEUE_DEPTH).set(h.egress().peak_depth() as f64);
         h.emit_metrics(t, &metrics::snapshot());
+    }
+}
+
+/// Checkpoint mark: if a stream is installed on this thread, emit a `ckpt`
+/// record announcing that a checkpoint with content hash `hash` was
+/// written at sim time `t` covering `epoch` epochs. One branch when no
+/// stream is installed.
+pub fn ckpt_mark(t: SimTime, epoch: u64, hash: &str) {
+    if !active() {
+        return;
+    }
+    LAST_MARK.with(|m| m.set(m.get().max(t.as_nanos())));
+    if let Some(h) = handle() {
+        h.emit_ckpt(t, None, epoch, hash);
     }
 }
 
@@ -598,6 +642,48 @@ mod tests {
             lines[2]
         );
         metrics::reset();
+    }
+
+    #[test]
+    fn ckpt_record_carries_epoch_and_hash() {
+        let eg = Egress::new(8);
+        let h = Handle::new(Arc::clone(&eg), "d0");
+        h.emit_ckpt(
+            SimTime::from_secs(3),
+            None,
+            3,
+            "6c62272e07bb014262b821756295c58d",
+        );
+        h.emit_ckpt(SimTime::from_secs(3), Some(7), 3, "ff");
+        eg.close();
+        let line = eg.pop_wait().unwrap_or_default();
+        assert_eq!(
+            line,
+            "{\"seq\":0,\"deployment\":\"d0\",\"kind\":\"ckpt\",\"t\":3000000000,\
+             \"epoch\":3,\"hash\":\"6c62272e07bb014262b821756295c58d\"}"
+        );
+        let shard_line = eg.pop_wait().unwrap_or_default();
+        assert_eq!(
+            shard_line,
+            "{\"seq\":1,\"deployment\":\"d0\",\"kind\":\"ckpt\",\"t\":3000000000,\
+             \"shard\":7,\"epoch\":3,\"hash\":\"ff\"}"
+        );
+    }
+
+    #[test]
+    fn ckpt_mark_is_noop_without_handle_and_emits_with_one() {
+        assert!(!active());
+        ckpt_mark(SimTime::from_secs(1), 1, "ff"); // no-op without a handle
+        let eg = Egress::new(8);
+        install(Handle::new(Arc::clone(&eg), "d0"));
+        ckpt_mark(SimTime::from_secs(1), 1, "ff");
+        uninstall();
+        eg.close();
+        let line = eg.pop_wait().unwrap_or_default();
+        assert!(
+            line.contains("\"kind\":\"ckpt\",\"t\":1000000000,\"epoch\":1,\"hash\":\"ff\""),
+            "{line}"
+        );
     }
 
     #[test]

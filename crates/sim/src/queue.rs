@@ -94,6 +94,19 @@ pub struct EventHandle {
     time: u64,
 }
 
+impl EventHandle {
+    /// The handle's `(seq, time_ns)` pair, for checkpoint serialization.
+    pub fn ckpt_parts(&self) -> (u64, u64) {
+        (self.seq, self.time)
+    }
+
+    /// Rebuild a handle from checkpointed parts. Only meaningful for a seq
+    /// that [`EventQueue::ckpt_restore`] re-inserted at the same time.
+    pub fn from_ckpt_parts(seq: u64, time: u64) -> EventHandle {
+        EventHandle { seq, time }
+    }
+}
+
 enum Payload<W, E> {
     Typed(E),
     Boxed(EventFn<W, E>),
@@ -415,6 +428,83 @@ impl<W, E> EventQueue<W, E> {
             self.bucket_scratch = bucket;
         }
         !self.active.is_empty()
+    }
+
+    /// Checkpoint the calendar's counters: `(now_ns, next_seq, executed)`.
+    pub fn ckpt_counters(&self) -> (u64, u64, u64) {
+        (self.now.as_nanos(), self.next_seq, self.executed)
+    }
+
+    /// Export every pending entry as `(time_ns, seq, &event)` in ascending
+    /// `(time, seq)` order — the execution order an uninterrupted run would
+    /// use. Fails with the offending seq if any pending payload is a boxed
+    /// closure: closures cannot be serialized, so checkpointing requires an
+    /// all-typed pending set (conformance audits and other
+    /// `schedule_repeating` users are incompatible with `--checkpoint-every`).
+    pub fn ckpt_pending(&self) -> Result<Vec<(u64, u64, &E)>, u64> {
+        fn typed<W, E>(payload: &Payload<W, E>, seq: u64) -> Result<&E, u64> {
+            match payload {
+                Payload::Typed(ev) => Ok(ev),
+                Payload::Boxed(_) => Err(seq),
+            }
+        }
+        let mut out = Vec::with_capacity(self.pending());
+        for e in self.active.iter() {
+            out.push((e.time, e.seq, typed(&e.payload, e.seq)?));
+        }
+        for slot in &self.slots {
+            for e in slot {
+                out.push((e.time, e.seq, typed(&e.payload, e.seq)?));
+            }
+        }
+        for (&(time, seq), payload) in &self.overflow {
+            out.push((time, seq, typed(payload, seq)?));
+        }
+        out.sort_unstable_by_key(|&(t, s, _)| (t, s));
+        Ok(out)
+    }
+
+    /// Rebuild the calendar from a checkpoint: clear everything, set the
+    /// counters, and re-insert `entries` *preserving their original seqs* so
+    /// same-instant FIFO ordering — and therefore the whole downstream event
+    /// interleaving — is identical to the uninterrupted run. Entries must
+    /// not be earlier than `now`.
+    pub fn ckpt_restore(
+        &mut self,
+        now: SimTime,
+        next_seq: u64,
+        executed: u64,
+        entries: Vec<(u64, u64, E)>,
+    ) {
+        self.active.clear();
+        for s in &mut self.slots {
+            s.clear();
+        }
+        self.occupancy = [0; WORDS];
+        self.wheel_len = 0;
+        self.overflow.clear();
+        self.now = now;
+        self.next_seq = next_seq;
+        self.executed = executed;
+        self.wheel_start = now.as_nanos() & !(SLOT_WIDTH - 1);
+        for (time, seq, ev) in entries {
+            assert!(
+                time >= now.as_nanos(),
+                "checkpointed event at {time} precedes restore time {now}"
+            );
+            assert!(seq < next_seq, "checkpointed seq {seq} >= next_seq");
+            let payload = Payload::Typed(ev);
+            if time < self.wheel_start.saturating_add(SLOT_WIDTH) {
+                self.active.push(Entry { time, seq, payload });
+            } else if time < self.wheel_start.saturating_add(HORIZON) {
+                let idx = ((time >> SLOT_BITS) as usize) & (SLOTS - 1);
+                self.slots[idx].push(Entry { time, seq, payload });
+                self.occupancy[idx >> 6] |= 1 << (idx & 63);
+                self.wheel_len += 1;
+            } else {
+                self.overflow.insert((time, seq), payload);
+            }
+        }
     }
 }
 

@@ -56,6 +56,23 @@ impl SimRng {
         splitmix(self.base ^ h)
     }
 
+    /// The stream's exact position, for checkpointing: the derivation base
+    /// (so future [`SimRng::derive`] calls reproduce) plus the generator's
+    /// raw state words.
+    pub fn ckpt_state(&self) -> (u64, [u64; 4]) {
+        (self.base, self.inner.state())
+    }
+
+    /// Rebuild a stream at an exact position captured by
+    /// [`SimRng::ckpt_state`]: continues the same draw sequence and derives
+    /// the same child streams.
+    pub fn from_ckpt_state(base: u64, state: [u64; 4]) -> SimRng {
+        SimRng {
+            base,
+            inner: StdRng::from_state(state),
+        }
+    }
+
     /// Uniform sample from a range.
     pub fn range<T, R>(&mut self, range: R) -> T
     where

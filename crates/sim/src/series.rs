@@ -195,6 +195,17 @@ impl PowerEnvelope {
         self.changes.is_empty()
     }
 
+    /// Checkpoint view: the raw `(time, level)` change points.
+    pub fn ckpt_changes(&self) -> &[(SimTime, f64)] {
+        &self.changes
+    }
+
+    /// Rebuild from change points captured by
+    /// [`PowerEnvelope::ckpt_changes`].
+    pub fn from_ckpt_changes(changes: Vec<(SimTime, f64)>) -> PowerEnvelope {
+        PowerEnvelope { changes }
+    }
+
     /// Scale every level by a constant factor (e.g. apply path loss).
     pub fn scaled(&self, factor: f64) -> PowerEnvelope {
         PowerEnvelope {

@@ -282,6 +282,17 @@ impl BinnedThroughput {
     pub fn total_bytes(&self) -> u64 {
         self.bins.iter().sum()
     }
+
+    /// Checkpoint view: `(bin_width, bytes per bin)`.
+    pub fn ckpt_state(&self) -> (SimDuration, &[u64]) {
+        (self.bin, &self.bins)
+    }
+
+    /// Rebuild from a checkpointed [`BinnedThroughput::ckpt_state`].
+    pub fn from_ckpt_state(bin: SimDuration, bins: Vec<u64>) -> Self {
+        assert!(!bin.is_zero());
+        BinnedThroughput { bin, bins }
+    }
 }
 
 #[cfg(test)]

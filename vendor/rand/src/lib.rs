@@ -66,6 +66,22 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state words, for checkpointing. Together
+        /// with [`StdRng::from_state`] this makes a generator's position in
+        /// its stream serializable: `from_state(r.state())` continues the
+        /// exact sequence `r` would have produced.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator at an exact stream position captured by
+        /// [`StdRng::state`].
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
